@@ -1,0 +1,57 @@
+// Figure 4 reproduction: SORD hot-spot selection curves on BG/Q and Xeon —
+// Prof, Modl(p), Modl(m), plus the cross-machine portability curves
+// Prof.Q(x) (Xeon-suggested spots evaluated with BG/Q-measured times) and
+// Prof.X(q) (the converse). The paper's point: cross-machine selections are
+// poor representatives, while the model tracks each machine.
+#include "common.h"
+
+using namespace skope;
+
+int main() {
+  bench::banner("Figure 4: SORD selection quality and cross-machine portability");
+
+  core::CodesignFramework fw(workloads::sord());
+  auto bgq = fw.analyze(MachineModel::bgq(), bench::scaledCriteria());
+  auto xeon = fw.analyze(MachineModel::xeonE5_2420(), bench::scaledCriteria());
+
+  auto bgqMeasured = hotspot::fractionsByOrigin(bgq.profRanking);
+  auto xeonMeasured = hotspot::fractionsByOrigin(xeon.profRanking);
+  const size_t topN = 12;
+
+  std::printf("--- BG/Q curves (x = top-k hot spots, y = runtime coverage) ---\n");
+  std::vector<report::Series> qSeries = {
+      {"Prof", hotspot::coverageCurve(bgq.profRanking, bgqMeasured, topN)},
+      {"Modl(p)", hotspot::coverageCurve(bgq.modelRanking,
+                                         hotspot::fractionsByOrigin(bgq.modelRanking), topN)},
+      {"Modl(m)", hotspot::coverageCurve(bgq.modelRanking, bgqMeasured, topN)},
+      {"Prof.Q(x)", hotspot::coverageCurve(xeon.profRanking, bgqMeasured, topN)},
+  };
+  std::printf("%s\n", report::seriesChart(qSeries).c_str());
+
+  std::printf("--- Xeon curves ---\n");
+  std::vector<report::Series> xSeries = {
+      {"Prof", hotspot::coverageCurve(xeon.profRanking, xeonMeasured, topN)},
+      {"Modl(p)", hotspot::coverageCurve(xeon.modelRanking,
+                                         hotspot::fractionsByOrigin(xeon.modelRanking), topN)},
+      {"Modl(m)", hotspot::coverageCurve(xeon.modelRanking, xeonMeasured, topN)},
+      {"Prof.X(q)", hotspot::coverageCurve(bgq.profRanking, xeonMeasured, topN)},
+  };
+  std::printf("%s\n", report::seriesChart(xSeries).c_str());
+
+  std::printf("BG/Q: ");
+  bench::printQualityLine(bgq);
+  std::printf("Xeon: ");
+  bench::printQualityLine(xeon);
+
+  // cross-machine "selection quality": apply machine A's profiler selection
+  // to machine B's measured times (the paper's portability argument)
+  auto xeonSelOnBgq = hotspot::measuredCoverage(xeon.profSelection, bgqMeasured);
+  auto bgqSelOnXeon = hotspot::measuredCoverage(bgq.profSelection, xeonMeasured);
+  std::printf("\nportability: Xeon-selected spots cover %.1f%% of BG/Q time "
+              "(model-selected: %.1f%%)\n",
+              xeonSelOnBgq * 100, bgq.quality.modelCoverage * 100);
+  std::printf("portability: BG/Q-selected spots cover %.1f%% of Xeon time "
+              "(model-selected: %.1f%%)\n",
+              bgqSelOnXeon * 100, xeon.quality.modelCoverage * 100);
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Figures 6 & 7 reproduction: model-projected per-hot-spot performance
+// breakdown for SORD — time in computation (Tc), memory (Tm), and the
+// overlapped portion (To) — on BG/Q (Fig. 6) and Xeon (Fig. 7). The paper's
+// observation: on Xeon a larger share of each spot's time is memory.
+#include "common.h"
+
+using namespace skope;
+
+namespace {
+
+void breakdownFor(core::CodesignFramework& fw, const MachineModel& machine) {
+  auto analysis = fw.analyze(machine, bench::scaledCriteria());
+  std::printf("--- %s: projected breakdown of the top-10 model hot spots ---\n",
+              machine.name.c_str());
+
+  std::vector<report::BarSegments> bars;
+  double memShareSum = 0;
+  size_t n = 0;
+  for (size_t i = 0; i < 10 && i < analysis.modelRanking.size(); ++i) {
+    uint32_t origin = analysis.modelRanking[i].origin;
+    const auto& bc = analysis.model.blocks.at(origin);
+    // report non-overlapped compute, non-overlapped memory, and the overlap
+    double overlap = bc.toSeconds;
+    bars.push_back({bc.label,
+                    {bc.tcSeconds - overlap, bc.tmSeconds - overlap, overlap}});
+    double total = bc.tcSeconds + bc.tmSeconds - overlap;
+    if (total > 0) {
+      memShareSum += (bc.tmSeconds - overlap) / total;
+      ++n;
+    }
+  }
+  std::printf("%s", report::barChart(bars, {"compute", "memory", "overlap"}, 50).c_str());
+  std::printf("mean non-overlapped memory share across top spots: %.1f%%\n\n",
+              n ? memShareSum / n * 100 : 0.0);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Figures 6 & 7: SORD per-hot-spot Tc/Tm/To breakdown");
+  core::CodesignFramework fw(workloads::sord());
+  breakdownFor(fw, MachineModel::bgq());
+  breakdownFor(fw, MachineModel::xeonE5_2420());
+  std::printf("paper: the Xeon breakdown shows a significant increase in the\n"
+              "percentage of time spent in memory accesses (§VII-A).\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Shared helpers for the experiment binaries (one per paper table/figure).
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "core/framework.h"
+#include "report/chart.h"
+#include "report/table.h"
+#include "support/text.h"
+
+namespace skope::bench {
+
+/// The paper's criteria are {coverage >= 90%, leanness <= 10%} on production
+/// codes. Our workload ports are ~20x smaller, so a single hot loop is a much
+/// larger share of the static code; 45% leanness applies the same selective
+/// pressure at this scale (see EXPERIMENTS.md, "criteria scaling").
+inline hotspot::SelectionCriteria scaledCriteria() { return {0.90, 0.45}; }
+
+inline void banner(const std::string& title) {
+  std::string bar(title.size() + 8, '=');
+  std::printf("\n%s\n==  %s  ==\n%s\n\n", bar.c_str(), title.c_str(), bar.c_str());
+}
+
+/// Side-by-side Prof vs Modl top-N table (the layout of the paper's Table I).
+inline std::string rankTable(const core::Analysis& a, size_t topN) {
+  report::Table t({"#", "Prof (measured)", "time%", "Modl (projected)", "time%"});
+  for (size_t i = 0; i < topN; ++i) {
+    std::vector<std::string> row(5);
+    row[0] = std::to_string(i + 1);
+    if (i < a.profRanking.size()) {
+      row[1] = a.profRanking[i].label;
+      row[2] = format("%.2f%%", a.profRanking[i].fraction * 100);
+    }
+    if (i < a.modelRanking.size()) {
+      row[3] = a.modelRanking[i].label;
+      row[4] = format("%.2f%%", a.modelRanking[i].fraction * 100);
+    }
+    t.addRow(std::move(row));
+  }
+  return t.str();
+}
+
+/// The paper's standard coverage-curve figure: Prof (measured coverage of the
+/// profiler ranking), Modl(p) (projected coverage of the model ranking) and
+/// Modl(m) (measured coverage of the model ranking).
+inline std::string coverageFigure(const core::Analysis& a, size_t topN) {
+  auto measured = hotspot::fractionsByOrigin(a.profRanking);
+  auto projected = hotspot::fractionsByOrigin(a.modelRanking);
+  std::vector<report::Series> series = {
+      {"Prof", hotspot::coverageCurve(a.profRanking, measured, topN)},
+      {"Modl(p)", hotspot::coverageCurve(a.modelRanking, projected, topN)},
+      {"Modl(m)", hotspot::coverageCurve(a.modelRanking, measured, topN)},
+  };
+  return report::seriesChart(series);
+}
+
+inline void printQualityLine(const core::Analysis& a) {
+  std::printf(
+      "selection (coverage>=%.0f%%, leanness<=%.0f%%): prof %zu spots "
+      "(measured %.1f%%), model %zu spots (measured %.1f%%) -> quality %.1f%%\n",
+      scaledCriteria().timeCoverage * 100, scaledCriteria().codeLeanness * 100,
+      a.profSelection.spots.size(), a.quality.profCoverage * 100,
+      a.modelSelection.spots.size(), a.quality.modelCoverage * 100,
+      a.quality.quality * 100);
+}
+
+}  // namespace skope::bench

@@ -1,0 +1,92 @@
+// Hardware design-space exploration — the "co-design" use case of the title.
+//
+// Starting from the BG/Q node description, this example sweeps conceptual
+// design knobs (memory bandwidth, SIMD width via peak flops, cache latency)
+// and asks, for the SORD earthquake code, purely analytically:
+//   * how does total projected runtime move?
+//   * which code block is the top hot spot under each design?
+//   * does the top spot flip from compute-bound to memory-bound?
+// No simulation of the conceptual machines is ever run — exactly the
+// workflow the paper proposes for early design-space pruning.
+//
+// Build & run:  ./build/examples/codesign_sweep
+#include <cstdio>
+
+#include "core/framework.h"
+#include "report/table.h"
+#include "support/text.h"
+
+using namespace skope;
+
+namespace {
+
+struct DesignPoint {
+  std::string name;
+  MachineModel machine;
+};
+
+void evaluate(core::CodesignFramework& fw, const std::vector<DesignPoint>& designs) {
+  report::Table t({"design", "projected time", "speedup", "top hot spot", "bottleneck"});
+  double baseline = 0;
+  for (const auto& d : designs) {
+    auto model = fw.project(d.machine);
+    if (baseline == 0) baseline = model.totalSeconds;
+
+    // find the top block and classify its bottleneck
+    const roofline::BlockCost* top = nullptr;
+    for (const auto& [origin, bc] : model.blocks) {
+      if (!top || bc.seconds > top->seconds) top = &bc;
+    }
+    std::string bottleneck = "-";
+    if (top) {
+      bottleneck = top->tmSeconds > top->tcSeconds ? "memory" : "compute";
+    }
+    t.addRow({d.name, format("%.4f s", model.totalSeconds),
+              format("%.2fx", baseline / model.totalSeconds),
+              top ? top->label : "-", bottleneck});
+  }
+  std::printf("%s\n", t.str().c_str());
+}
+
+}  // namespace
+
+int main() {
+  core::CodesignFramework fw(workloads::sord());
+
+  std::printf("SORD on conceptual machines derived from the BG/Q node\n"
+              "(analytic projection only — no simulator runs):\n\n");
+
+  std::vector<DesignPoint> designs;
+  designs.push_back({"baseline BG/Q", MachineModel::bgq()});
+
+  MachineModel bw2 = MachineModel::bgq();
+  bw2.name = "BG/Q 2x-BW";
+  bw2.memBandwidthGBs *= 2;
+  designs.push_back({"2x memory bandwidth", bw2});
+
+  MachineModel fastMem = MachineModel::bgq();
+  fastMem.name = "BG/Q fast-mem";
+  fastMem.memLatencyCycles /= 2;
+  fastMem.llc.latencyCycles /= 2;
+  designs.push_back({"halved memory/LLC latency", fastMem});
+
+  MachineModel wide = MachineModel::bgq();
+  wide.name = "BG/Q wide";
+  wide.issueWidth = 4;
+  wide.peakFlopsPerCyclePerCore *= 2;
+  designs.push_back({"2x issue width + flops", wide});
+
+  MachineModel both = wide;
+  both.name = "BG/Q wide+BW";
+  both.memBandwidthGBs *= 2;
+  both.memLatencyCycles /= 2;
+  designs.push_back({"wide core + fast memory", both});
+
+  evaluate(fw, designs);
+
+  std::printf("reading: if the 'wide core' design barely moves the projection but\n"
+              "'fast memory' does, the workload's hot spots are memory-bound and\n"
+              "silicon is better spent on the memory system — the co-design call\n"
+              "the paper's framework is built to answer early.\n");
+  return 0;
+}

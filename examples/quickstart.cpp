@@ -1,0 +1,96 @@
+// Quickstart: the full co-design pipeline on a small custom workload.
+//
+//   1. write a MiniC program (the stand-in for your C/Fortran application),
+//   2. let the framework profile it locally and build its code skeleton,
+//   3. project hot spots for a target machine the code has never run on,
+//   4. compare against the ground-truth simulator and print the hot path.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/framework.h"
+
+using namespace skope;
+
+// A toy "application": a stencil sweep plus a data-dependent refinement pass.
+constexpr const char* kSource = R"(
+param int N = 400;
+param int STEPS = 4;
+
+global real grid[N][N];
+global real flux[N][N];
+global real residual;
+
+func void init() {
+  var int i; var int j;
+  for (i = 0; i < N; i = i + 1) {
+    for (j = 0; j < N; j = j + 1) {
+      grid[i][j] = rand();
+    }
+  }
+}
+
+func void stencil() {
+  var int i; var int j;
+  for (i = 1; i < N - 1; i = i + 1) {
+    for (j = 1; j < N - 1; j = j + 1) {
+      flux[i][j] = 0.25 * (grid[i - 1][j] + grid[i + 1][j]
+                 + grid[i][j - 1] + grid[i][j + 1]) - grid[i][j];
+    }
+  }
+}
+
+func void refine() {
+  var int i; var int j;
+  for (i = 1; i < N - 1; i = i + 1) {
+    for (j = 1; j < N - 1; j = j + 1) {
+      if (fabs(flux[i][j]) > 0.2) {
+        grid[i][j] = grid[i][j] + 0.5 * flux[i][j] / (1.0 + fabs(flux[i][j]));
+      }
+    }
+  }
+}
+
+func real norm() {
+  var int i; var int j;
+  var real s = 0.0;
+  for (i = 0; i < N; i = i + 1) {
+    for (j = 0; j < N; j = j + 1) { s = s + flux[i][j] * flux[i][j]; }
+  }
+  return s;
+}
+
+func void main() {
+  init();
+  var int t;
+  for (t = 0; t < STEPS; t = t + 1) {
+    stencil();
+    refine();
+    residual = residual + norm();
+  }
+}
+)";
+
+int main() {
+  // Params play the role of the paper's "hint file" describing the input.
+  core::CodesignFramework fw("quickstart", kSource, {{"N", 400}, {"STEPS", 4}});
+
+  std::printf("source statements: %zu, skeleton nodes: %zu, BET nodes: %zu\n\n",
+              fw.program().countStatements(), fw.skeleton().totalNodes(), fw.bet().size());
+
+  // Project hot spots on BG/Q and validate against the ground-truth simulator.
+  hotspot::SelectionCriteria criteria{0.90, 0.45};
+  auto analysis = fw.analyze(MachineModel::bgq(), criteria);
+  std::printf("%s\n", analysis.summary(6).c_str());
+
+  // Where do the hot spots live in the execution flow?
+  std::printf("%s\n", fw.hotPathReport(MachineModel::bgq(), criteria).c_str());
+
+  // The same skeleton projects onto any machine — no re-profiling needed.
+  auto xeon = fw.analyze(MachineModel::xeonE5_2420(), criteria);
+  std::printf("on %s the model-selected spots cover %.1f%% of measured time "
+              "(quality %.1f%%)\n",
+              xeon.machineName.c_str(), xeon.quality.modelCoverage * 100,
+              xeon.quality.quality * 100);
+  return 0;
+}

@@ -1,0 +1,80 @@
+#include "bet/bet.h"
+
+#include <functional>
+
+#include "support/text.h"
+
+namespace skope::bet {
+
+std::string_view betKindName(BetKind k) {
+  switch (k) {
+    case BetKind::Func: return "func";
+    case BetKind::Loop: return "loop";
+    case BetKind::BranchThen: return "then";
+    case BetKind::BranchElse: return "else";
+    case BetKind::Comp: return "comp";
+    case BetKind::LibCall: return "libcall";
+    case BetKind::Comm: return "comm";
+  }
+  return "?";
+}
+
+size_t BetNode::subtreeSize() const {
+  size_t n = 1;
+  for (const auto& k : kids) n += k->subtreeSize();
+  return n;
+}
+
+void BetNode::visit(const std::function<void(const BetNode&)>& fn) const {
+  fn(*this);
+  for (const auto& k : kids) k->visit(fn);
+}
+
+void BetNode::visitMut(const std::function<void(BetNode&)>& fn) {
+  fn(*this);
+  for (const auto& k : kids) k->visitMut(fn);
+}
+
+std::vector<const BetNode*> Bet::nodesForOrigin(uint32_t origin) const {
+  std::vector<const BetNode*> out;
+  if (root) {
+    root->visit([&](const BetNode& n) {
+      if (n.origin == origin) out.push_back(&n);
+    });
+  }
+  return out;
+}
+
+namespace {
+
+void printNode(const BetNode& n, int depth, int maxDepth, std::string& out) {
+  if (depth > maxDepth) return;
+  for (int i = 0; i < depth; ++i) out += "  ";
+  out += betKindName(n.kind);
+  if (!n.name.empty()) out += " " + n.name;
+  if (n.origin != 0) out += format(" @%u", n.origin);
+  out += format(" p=%.4g", n.prob);
+  if (n.kind == BetKind::Loop) out += format(" iter=%.6g", n.numIter);
+  if (n.kind == BetKind::Comp) {
+    out += format(" [flops=%g divs=%g iops=%g ld=%g st=%g]", n.metrics.flops,
+                  n.metrics.fpdivs, n.metrics.iops, n.metrics.loads, n.metrics.stores);
+  }
+  if (n.kind == BetKind::LibCall) out += format(" calls=%.4g", n.callsPerExec);
+  if (n.kind == BetKind::Comm) out += format(" bytes=%.6g", n.commBytes);
+  if (n.enr > 0) out += format(" enr=%.6g", n.enr);
+  out += "\n";
+  for (const auto& k : n.kids) printNode(*k, depth + 1, maxDepth, out);
+}
+
+}  // namespace
+
+std::string printBet(const Bet& bet, int maxDepth) {
+  std::string out;
+  if (bet.root) printNode(*bet.root, 0, maxDepth, out);
+  if (bet.droppedCalls > 0) {
+    out += format("(%zu call mounts dropped by the recursion guard)\n", bet.droppedCalls);
+  }
+  return out;
+}
+
+}  // namespace skope::bet

@@ -1,0 +1,86 @@
+// The Bayesian Execution Tree (paper §IV) — contribution #1.
+//
+// A BET models one *run* of the workload for a given input: the BSTs of all
+// functions are mounted together along the call structure, loop nodes record
+// expected iteration counts without being unrolled, and every node carries
+// the conditional probability of executing given its parent, derived from the
+// input parameters and the profiled branch statistics. Its size is
+// independent of the input data size.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "skeleton/skeleton.h"
+
+namespace skope::bet {
+
+enum class BetKind {
+  Func,        ///< a mounted function invocation
+  Loop,        ///< a loop; numIter = expected iterations per invocation
+  BranchThen,  ///< taken arm of a branch
+  BranchElse,  ///< fall-through arm
+  Comp,        ///< aggregate straight-line work
+  LibCall,     ///< library function call site
+  Comm,        ///< inter-node message (multi-node extension, §VIII)
+};
+
+std::string_view betKindName(BetKind k);
+
+struct BetNode {
+  BetKind kind = BetKind::Comp;
+  uint32_t origin = 0;       ///< originating AST region / statement id
+  std::string name;          ///< function name for Func, builtin name for LibCall
+  double prob = 1.0;         ///< P(execute | parent executes once)
+  double numIter = 1.0;      ///< expected iterations (Loop only)
+  bool parallel = false;     ///< Loop iterations are independent
+  skel::SkMetrics metrics;   ///< per-execution mix (Comp only)
+  int builtinIndex = -1;     ///< LibCall target
+  double callsPerExec = 1;   ///< LibCall: calls per execution of this node
+  double commBytes = 0;      ///< Comm: expected message bytes per execution
+  std::map<std::string, double> context;  ///< snapshot of context values
+
+  BetNode* parent = nullptr;
+  std::vector<std::unique_ptr<BetNode>> kids;
+
+  // ---- filled in by the performance estimator (src/roofline) ----
+  double enr = 0;          ///< expected number of repetitions (§V-A)
+  double tcCycles = 0;     ///< per-invocation compute time (blocks only)
+  double tmCycles = 0;     ///< per-invocation memory time
+  double toCycles = 0;     ///< per-invocation overlapped time
+  double totalSeconds = 0; ///< ENR × per-invocation time
+
+  /// True for nodes the hot-spot analysis treats as code blocks. Branch arms
+  /// are folded into the enclosing block so that model blocks align exactly
+  /// with the profiler's region attribution.
+  [[nodiscard]] bool isBlock() const {
+    return kind == BetKind::Func || kind == BetKind::Loop || kind == BetKind::LibCall ||
+           kind == BetKind::Comm;
+  }
+
+  [[nodiscard]] size_t subtreeSize() const;
+
+  /// Pre-order visit of the whole subtree.
+  void visit(const std::function<void(const BetNode&)>& fn) const;
+  /// Mutating variant (distinct name: overloading on the std::function
+  /// parameter type is ambiguous per ISO C++).
+  void visitMut(const std::function<void(BetNode&)>& fn);
+};
+
+struct Bet {
+  std::unique_ptr<BetNode> root;
+  size_t droppedCalls = 0;   ///< call mounts skipped by the recursion guard
+
+  [[nodiscard]] size_t size() const { return root ? root->subtreeSize() : 0; }
+
+  /// All nodes with the given origin (a block can be mounted many times).
+  [[nodiscard]] std::vector<const BetNode*> nodesForOrigin(uint32_t origin) const;
+};
+
+/// Renders the tree (one node per line, indented) for inspection and tests.
+std::string printBet(const Bet& bet, int maxDepth = 32);
+
+}  // namespace skope::bet

@@ -1,0 +1,248 @@
+#include "bet/builder.h"
+
+#include <cmath>
+
+#include "minic/builtins.h"
+#include "support/diagnostics.h"
+
+namespace skope::bet {
+
+using skel::SkKind;
+using skel::SkNode;
+using skel::SkeletonProgram;
+
+namespace {
+
+/// Probability mass leaving a statement sequence through non-sequential exits,
+/// relative to one execution of the sequence's enclosing block.
+struct Flow {
+  double breakMass = 0;
+  double continueMass = 0;
+  double returnMass = 0;
+};
+
+class Builder {
+ public:
+  Builder(const SkeletonProgram& sk, const BuilderOptions& opts) : sk_(sk), opts_(opts) {}
+
+  Bet run(const ParamEnv& input) {
+    const SkNode* entry = sk_.findDef(opts_.entry);
+    if (!entry) throw Error("BET: no '" + opts_.entry + "' function in skeleton");
+
+    Bet bet;
+    bet.root = newNode(BetKind::Func, entry->origin);
+    bet.root->name = entry->name;
+    bet.root->prob = 1.0;
+
+    ContextSet ctx(input.values());
+    bet.root->context = ctx.snapshot();
+    buildSeq(entry->kids, ctx, bet.root.get());
+    bet.droppedCalls = droppedCalls_;
+    return bet;
+  }
+
+ private:
+  std::unique_ptr<BetNode> newNode(BetKind kind, uint32_t origin) {
+    if (++nodeCount_ > opts_.maxNodes) {
+      throw Error("BET construction exceeded " + std::to_string(opts_.maxNodes) +
+                  " nodes — context explosion?");
+    }
+    auto n = std::make_unique<BetNode>();
+    n->kind = kind;
+    n->origin = origin;
+    return n;
+  }
+
+  BetNode* attach(BetNode* parent, std::unique_ptr<BetNode> node) {
+    node->parent = parent;
+    parent->kids.push_back(std::move(node));
+    return parent->kids.back().get();
+  }
+
+  ExprPtr requireExpr(const ExprPtr& e, const SkNode& n, const char* what) {
+    if (!e) {
+      throw Error(std::string("BET: ") + what + " unresolved at origin " +
+                  std::to_string(n.origin) + " — run the annotator first");
+    }
+    return e;
+  }
+
+  /// Builds BET nodes for a statement list. `ctx` enters with some live
+  /// weight and leaves with the fall-through weight; exit masses are
+  /// accumulated into the returned Flow (all relative to one execution of the
+  /// enclosing block).
+  Flow buildSeq(const std::vector<skel::SkNodeUP>& stmts, ContextSet& ctx, BetNode* parent) {
+    Flow flow;
+    for (const auto& s : stmts) {
+      if (ctx.empty() || ctx.totalWeight() < 1e-12) break;  // unreachable tail
+      buildStmt(*s, ctx, parent, flow);
+    }
+    return flow;
+  }
+
+  void buildStmt(const SkNode& s, ContextSet& ctx, BetNode* parent, Flow& flow) {
+    switch (s.kind) {
+      case SkKind::Def:
+        throw Error("BET: nested def in skeleton body");
+
+      case SkKind::Comp: {
+        BetNode* n = attach(parent, newNode(BetKind::Comp, s.origin));
+        n->prob = ctx.totalWeight();
+        n->metrics = s.metrics;
+        return;
+      }
+
+      case SkKind::Set:
+        ctx.setVar(s.name, s.value);
+        return;
+
+      case SkKind::LibCall: {
+        BetNode* n = attach(parent, newNode(BetKind::LibCall, s.origin));
+        n->prob = ctx.totalWeight();
+        n->builtinIndex = s.builtinIndex;
+        n->name = std::string(
+            minic::builtinTable()[static_cast<size_t>(s.builtinIndex)].name);
+        n->callsPerExec = s.count ? ctx.evalMean(s.count, 1.0) : 1.0;
+        return;
+      }
+
+      case SkKind::Comm: {
+        BetNode* n = attach(parent, newNode(BetKind::Comm, s.origin));
+        n->prob = ctx.totalWeight();
+        n->commBytes = s.bytes ? std::max(0.0, ctx.evalMean(s.bytes, 0.0)) : 0.0;
+        n->name = "comm";
+        return;
+      }
+
+      case SkKind::Call:
+        buildCall(s, ctx, parent);
+        return;
+
+      case SkKind::Loop:
+        buildLoop(s, ctx, parent, flow);
+        return;
+
+      case SkKind::Branch:
+        buildBranch(s, ctx, parent, flow);
+        return;
+
+      case SkKind::Return:
+        flow.returnMass += ctx.totalWeight();
+        ctx.scale(0);
+        return;
+
+      case SkKind::Break:
+        flow.breakMass += ctx.totalWeight();
+        ctx.scale(0);
+        return;
+
+      case SkKind::Continue:
+        flow.continueMass += ctx.totalWeight();
+        ctx.scale(0);
+        return;
+    }
+  }
+
+  void buildCall(const SkNode& s, ContextSet& ctx, BetNode* parent) {
+    const SkNode* def = sk_.findDef(s.name);
+    if (!def) throw Error("BET: call to unknown function '" + s.name + "'");
+    if (callDepth_ >= opts_.maxCallDepth) {
+      ++droppedCalls_;
+      return;
+    }
+
+    double w = ctx.totalWeight();
+    BetNode* n = attach(parent, newNode(BetKind::Func, def->origin));
+    n->prob = w;
+    n->name = def->name;
+
+    // Callee contexts: caller bindings plus formals evaluated at the call.
+    ContextSet callee = ctx;
+    callee.normalize();
+    for (size_t i = 0; i < def->formals.size(); ++i) {
+      ExprPtr arg = i < s.args.size() ? s.args[i] : constant(0);
+      callee.setVar(def->formals[i], arg);
+    }
+    n->context = callee.snapshot();
+
+    ++callDepth_;
+    buildSeq(def->kids, callee, n);  // callee return mass stays inside
+    --callDepth_;
+  }
+
+  void buildLoop(const SkNode& s, ContextSet& ctx, BetNode* parent, Flow& flow) {
+    double w = ctx.totalWeight();
+    BetNode* n = attach(parent, newNode(BetKind::Loop, s.origin));
+    n->prob = w;
+    n->parallel = s.parallel;
+
+    ExprPtr iterExpr = requireExpr(s.iter, s, "loop bound");
+    double range = std::max(0.0, ctx.evalMean(iterExpr, 0.0));
+
+    // Body contexts are per-iteration, relative to one loop-node invocation.
+    ContextSet body = ctx;
+    body.normalize();
+    n->context = body.snapshot();
+    Flow bodyFlow = buildSeq(s.kids, body, n);
+
+    // Early exits cap the expected iteration count: with per-iteration exit
+    // probability p over a range of n iterations, E[iters] = (1-(1-p)^n)/p.
+    double exitProb = std::min(1.0, bodyFlow.breakMass + bodyFlow.returnMass);
+    double iters = range;
+    if (exitProb > 1e-12 && range > 0) {
+      iters = (1.0 - std::pow(1.0 - exitProb, range)) / exitProb;
+    }
+    n->numIter = iters;
+
+    // A return inside the loop also leaves the enclosing function; promote
+    // the total mass (per loop entry) upward.
+    if (bodyFlow.returnMass > 0) {
+      double pReturn = std::min(1.0, bodyFlow.returnMass * iters);
+      flow.returnMass += w * pReturn;
+      ctx.scale(1.0 - pReturn);
+    }
+  }
+
+  void buildBranch(const SkNode& s, ContextSet& ctx, BetNode* parent, Flow& flow) {
+    ExprPtr probExpr = requireExpr(s.prob, s, "branch probability");
+    auto [thenCtx, elseCtx] = ctx.splitByProb(probExpr, 0.5);
+
+    auto buildArm = [&](BetKind kind, const std::vector<skel::SkNodeUP>& arm,
+                        ContextSet armCtx) -> ContextSet {
+      double w = armCtx.totalWeight();
+      if (w < 1e-12) return ContextSet{};
+      if (arm.empty()) return armCtx;  // empty arm: fall straight through
+      BetNode* n = attach(parent, newNode(kind, s.origin));
+      n->prob = w;
+      ContextSet inner = armCtx;
+      inner.normalize();
+      n->context = inner.snapshot();
+      Flow armFlow = buildSeq(arm, inner, n);
+      // Masses inside the arm are relative to the arm; rescale to the block.
+      flow.breakMass += w * armFlow.breakMass;
+      flow.continueMass += w * armFlow.continueMass;
+      flow.returnMass += w * armFlow.returnMass;
+      inner.scale(w);  // back to block-relative fall-through weight
+      return inner;
+    };
+
+    ContextSet thenOut = buildArm(BetKind::BranchThen, s.kids, std::move(thenCtx));
+    ContextSet elseOut = buildArm(BetKind::BranchElse, s.elseKids, std::move(elseCtx));
+    ctx = ContextSet::merged(thenOut, elseOut, opts_.maxContexts);
+  }
+
+  const SkeletonProgram& sk_;
+  BuilderOptions opts_;
+  size_t nodeCount_ = 0;
+  size_t droppedCalls_ = 0;
+  int callDepth_ = 0;
+};
+
+}  // namespace
+
+Bet buildBet(const SkeletonProgram& skeleton, const ParamEnv& input,
+             const BuilderOptions& opts) {
+  return Builder(skeleton, opts).run(input);
+}
+
+}  // namespace skope::bet

@@ -1,0 +1,35 @@
+// BET construction (paper §IV-B).
+//
+// Starting from main's BST with the input parameters as the initial 100 %-
+// probability context, the builder traverses statements in order:
+//   * function calls mount a fresh copy of the callee's BST with formals
+//     bound in the current contexts;
+//   * loops create a single node whose expected iteration count is evaluated
+//     from the contexts — the body is traversed once, never unrolled;
+//   * branches split the context set by the branch probability and traverse
+//     both arms; arm-local `set` statements make downstream contexts diverge;
+//   * `return` / `continue` / `break` zero out the live contexts and promote
+//     their probability mass to the enclosing function / loop; a loop whose
+//     body breaks with per-iteration probability p over range n gets the
+//     expected iteration count (1-(1-p)^n)/p (→ n as p → 0).
+#pragma once
+
+#include "bet/bet.h"
+#include "bet/context.h"
+
+namespace skope::bet {
+
+struct BuilderOptions {
+  size_t maxContexts = 32;    ///< context-set cap (heaviest kept, mass preserved)
+  size_t maxNodes = 2'000'000;///< safety valve for pathological programs
+  int maxCallDepth = 64;      ///< recursion guard for mounted calls
+  std::string entry = "main";
+};
+
+/// Builds the BET for one input binding. Throws Error when the skeleton still
+/// contains unresolved loop bounds / branch probabilities (run the annotator
+/// first), when the entry function is missing, or when maxNodes is exceeded.
+Bet buildBet(const skel::SkeletonProgram& skeleton, const ParamEnv& input,
+             const BuilderOptions& opts = {});
+
+}  // namespace skope::bet

@@ -1,0 +1,127 @@
+#include "bet/context.h"
+
+#include <algorithm>
+
+namespace skope::bet {
+
+namespace {
+constexpr double kMinWeight = 1e-12;
+}
+
+ContextSet::ContextSet(std::map<std::string, double> initialVars) {
+  ctxs_.push_back(Ctx{1.0, std::move(initialVars)});
+}
+
+double ContextSet::totalWeight() const {
+  double w = 0;
+  for (const auto& c : ctxs_) w += c.weight;
+  return w;
+}
+
+void ContextSet::scale(double f) {
+  for (auto& c : ctxs_) c.weight *= f;
+  std::erase_if(ctxs_, [](const Ctx& c) { return c.weight < kMinWeight; });
+}
+
+void ContextSet::normalize() {
+  double w = totalWeight();
+  if (w > 0) scale(1.0 / w);
+}
+
+ParamEnv ContextSet::envFor(const Ctx& c) const { return ParamEnv(c.vars); }
+
+void ContextSet::setVar(const std::string& name, const ExprPtr& value) {
+  for (auto& c : ctxs_) {
+    try {
+      double v = value->eval(ParamEnv(c.vars));
+      c.vars[name] = v;
+    } catch (const Error&) {
+      c.vars.erase(name);  // value depends on unknown data
+    }
+  }
+}
+
+double ContextSet::evalMean(const ExprPtr& e, double fallback) const {
+  double sum = 0, wsum = 0;
+  for (const auto& c : ctxs_) {
+    try {
+      sum += c.weight * e->eval(ParamEnv(c.vars));
+      wsum += c.weight;
+    } catch (const Error&) {
+      // skip contexts that cannot evaluate the expression
+    }
+  }
+  return wsum > 0 ? sum / wsum : fallback;
+}
+
+std::pair<ContextSet, ContextSet> ContextSet::splitByProb(const ExprPtr& p,
+                                                          double fallbackProb) const {
+  ContextSet thenSet, elseSet;
+  for (const auto& c : ctxs_) {
+    double prob = fallbackProb;
+    try {
+      prob = std::clamp(p->eval(ParamEnv(c.vars)), 0.0, 1.0);
+    } catch (const Error&) {
+    }
+    if (c.weight * prob >= kMinWeight) {
+      thenSet.ctxs_.push_back(Ctx{c.weight * prob, c.vars});
+    }
+    if (c.weight * (1 - prob) >= kMinWeight) {
+      elseSet.ctxs_.push_back(Ctx{c.weight * (1 - prob), c.vars});
+    }
+  }
+  return {std::move(thenSet), std::move(elseSet)};
+}
+
+ContextSet ContextSet::merged(const ContextSet& a, const ContextSet& b, size_t maxContexts) {
+  ContextSet out;
+  out.ctxs_ = a.ctxs_;
+  out.ctxs_.insert(out.ctxs_.end(), b.ctxs_.begin(), b.ctxs_.end());
+  out.compact(maxContexts);
+  return out;
+}
+
+void ContextSet::compact(size_t maxContexts) {
+  // Merge identical bindings.
+  std::vector<Ctx> merged;
+  for (auto& c : ctxs_) {
+    bool found = false;
+    for (auto& m : merged) {
+      if (m.vars == c.vars) {
+        m.weight += c.weight;
+        found = true;
+        break;
+      }
+    }
+    if (!found) merged.push_back(std::move(c));
+  }
+  // Keep the heaviest contexts; fold the weight of the dropped tail into the
+  // heaviest survivor so total probability is preserved.
+  if (merged.size() > maxContexts) {
+    std::sort(merged.begin(), merged.end(),
+              [](const Ctx& x, const Ctx& y) { return x.weight > y.weight; });
+    double dropped = 0;
+    for (size_t i = maxContexts; i < merged.size(); ++i) dropped += merged[i].weight;
+    merged.resize(maxContexts);
+    if (!merged.empty()) merged.front().weight += dropped;
+  }
+  ctxs_ = std::move(merged);
+}
+
+std::map<std::string, double> ContextSet::snapshot() const {
+  std::map<std::string, double> sums;
+  std::map<std::string, double> weights;
+  for (const auto& c : ctxs_) {
+    for (const auto& [k, v] : c.vars) {
+      sums[k] += c.weight * v;
+      weights[k] += c.weight;
+    }
+  }
+  std::map<std::string, double> out;
+  for (const auto& [k, v] : sums) {
+    if (weights[k] > 0) out[k] = v / weights[k];
+  }
+  return out;
+}
+
+}  // namespace skope::bet

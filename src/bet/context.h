@@ -1,0 +1,74 @@
+// Weighted execution contexts for BET construction (§IV-A).
+//
+// A context is a binding of "context values" — the variables that affect
+// branch outcomes, loop bounds and data sizes — together with the probability
+// weight of executing under that binding. Branches that assign different
+// values on their two arms spawn multiple contexts; identical contexts are
+// merged so the set stays small for the nested, correlated control flow that
+// real workloads exhibit (§IV-B's size argument).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "expr/expr.h"
+
+namespace skope::bet {
+
+/// One weighted variable binding.
+struct Ctx {
+  double weight = 1.0;
+  std::map<std::string, double> vars;
+};
+
+/// A small set of weighted contexts. Weights are probabilities relative to
+/// one invocation of the enclosing BET block, so they sum to at most 1.
+class ContextSet {
+ public:
+  ContextSet() = default;
+  explicit ContextSet(std::map<std::string, double> initialVars);
+
+  [[nodiscard]] double totalWeight() const;
+  [[nodiscard]] bool empty() const { return ctxs_.empty(); }
+  [[nodiscard]] size_t size() const { return ctxs_.size(); }
+  [[nodiscard]] const std::vector<Ctx>& contexts() const { return ctxs_; }
+
+  /// Multiplies every weight by `f`, dropping contexts that vanish.
+  void scale(double f);
+
+  /// Divides weights so they sum to 1. No-op on an empty set.
+  void normalize();
+
+  /// Assigns `name = value(ctx)` in every context. Contexts where the value
+  /// expression cannot be evaluated lose the variable instead (it becomes
+  /// data-dependent / unknown).
+  void setVar(const std::string& name, const ExprPtr& value);
+
+  /// Weighted mean of `e` over the set. Contexts that cannot evaluate the
+  /// expression are skipped; returns fallback when none can.
+  [[nodiscard]] double evalMean(const ExprPtr& e, double fallback = 0.0) const;
+
+  /// Splits into (then, else) sets according to a per-context probability
+  /// expression (clamped to [0,1]; contexts that cannot evaluate it use
+  /// `fallbackProb`).
+  [[nodiscard]] std::pair<ContextSet, ContextSet> splitByProb(const ExprPtr& p,
+                                                              double fallbackProb) const;
+
+  /// Union of two sets with dedup of identical bindings.
+  static ContextSet merged(const ContextSet& a, const ContextSet& b, size_t maxContexts);
+
+  /// Merges duplicate bindings and truncates to the `maxContexts` heaviest,
+  /// preserving total weight.
+  void compact(size_t maxContexts);
+
+  /// Weighted mean of each bound variable — the "context snapshot" attached
+  /// to BET nodes for reporting.
+  [[nodiscard]] std::map<std::string, double> snapshot() const;
+
+ private:
+  [[nodiscard]] ParamEnv envFor(const Ctx& c) const;
+  std::vector<Ctx> ctxs_;
+};
+
+}  // namespace skope::bet

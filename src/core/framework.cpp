@@ -1,0 +1,205 @@
+#include "core/framework.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "minic/parser.h"
+#include "minic/sema.h"
+#include "report/table.h"
+#include "sim/simulator.h"
+#include "support/text.h"
+#include "vm/compiler.h"
+
+namespace skope::core {
+
+MachineModel machineByName(std::string_view name) {
+  if (name == "bgq") return MachineModel::bgq();
+  if (name == "xeon") return MachineModel::xeonE5_2420();
+  if (name == "knl") return MachineModel::manycoreKnl();
+  if (name == "arm") return MachineModel::armServer();
+  throw Error("unknown machine '" + std::string(name) + "' (bgq, xeon, knl, arm)");
+}
+
+std::map<std::string, double> parseParamSpec(std::string_view spec) {
+  std::map<std::string, double> out;
+  if (trim(spec).empty()) return out;
+  for (std::string_view part : split(spec, ',')) {
+    auto kv = split(part, '=');
+    if (kv.size() != 2 || trim(kv[0]).empty()) {
+      throw Error("bad parameter binding '" + std::string(part) +
+                  "' (expected name=value)");
+    }
+    try {
+      out[std::string(trim(kv[0]))] = std::stod(std::string(trim(kv[1])));
+    } catch (const std::exception&) {
+      throw Error("parameter '" + std::string(trim(kv[0])) + "' has a non-numeric value");
+    }
+  }
+  return out;
+}
+
+std::map<std::string, double> parseHintText(std::string_view text) {
+  std::map<std::string, double> out;
+  uint32_t lineNo = 0;
+  for (std::string_view line : split(text, '\n')) {
+    ++lineNo;
+    size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    auto kv = split(line, '=');
+    if (kv.size() != 2 || trim(kv[0]).empty()) {
+      throw Error("hint file line " + std::to_string(lineNo) +
+                  ": expected 'name = value', got '" + std::string(line) + "'");
+    }
+    try {
+      out[std::string(trim(kv[0]))] = std::stod(std::string(trim(kv[1])));
+    } catch (const std::exception&) {
+      throw Error("hint file line " + std::to_string(lineNo) + ": non-numeric value in '" +
+                  std::string(line) + "'");
+    }
+  }
+  return out;
+}
+
+std::map<std::string, double> loadHintFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot read hint file '" + path + "'");
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return parseHintText(ss.str());
+}
+
+std::string Analysis::summary(size_t topN) const {
+  std::string out = format("=== %s on %s ===\n", workloadName.c_str(), machineName.c_str());
+
+  report::Table table({"#", "Prof (measured)", "time%", "Modl (projected)", "time%"});
+  for (size_t i = 0; i < topN; ++i) {
+    std::vector<std::string> row(5);
+    row[0] = std::to_string(i + 1);
+    if (i < profRanking.size()) {
+      row[1] = profRanking[i].label;
+      row[2] = format("%.2f%%", profRanking[i].fraction * 100);
+    }
+    if (i < modelRanking.size()) {
+      row[3] = modelRanking[i].label;
+      row[4] = format("%.2f%%", modelRanking[i].fraction * 100);
+    }
+    table.addRow(std::move(row));
+  }
+  out += table.str();
+
+  out += format(
+      "hot spots: prof picked %zu (measured coverage %.1f%%), model picked %zu\n"
+      "model spots measured coverage: %.1f%% | selection quality: %.1f%%\n",
+      profSelection.spots.size(), quality.profCoverage * 100, modelSelection.spots.size(),
+      quality.modelCoverage * 100, quality.quality * 100);
+  return out;
+}
+
+CodesignFramework::CodesignFramework(const workloads::Workload& workload)
+    : name_(workload.name), params_(workload.params), seed_(workload.seed) {
+  buildFrontend(workload.source);
+}
+
+CodesignFramework::CodesignFramework(std::string name, std::string source,
+                                     std::map<std::string, double> params, uint64_t seed)
+    : name_(std::move(name)), params_(std::move(params)), seed_(seed) {
+  buildFrontend(source);
+}
+
+void CodesignFramework::buildFrontend(std::string_view source) {
+  prog_ = minic::parseProgram(source, name_);
+  minic::analyzeOrThrow(*prog_);
+  mod_ = vm::compile(*prog_);
+}
+
+const vm::ProfileData& CodesignFramework::profileData() {
+  if (!profile_) {
+    profile_ = vm::profileRun(mod_, params_, seed_);
+  }
+  return *profile_;
+}
+
+const skel::SkeletonProgram& CodesignFramework::skeleton() {
+  if (!skeleton_) {
+    skeleton_ = translate::translateProgram(*prog_);
+    translate::annotate(*skeleton_, profileData());
+    auto unresolved = translate::unresolvedSites(*skeleton_);
+    if (!unresolved.empty()) {
+      throw Error(format("workload %s: %zu control-flow sites left unresolved after "
+                         "profiling",
+                         name_.c_str(), unresolved.size()));
+    }
+  }
+  return *skeleton_;
+}
+
+bet::Bet& CodesignFramework::bet() {
+  if (!bet_) {
+    ParamEnv input(params_);
+    bet_ = bet::buildBet(skeleton(), input);
+  }
+  return *bet_;
+}
+
+const libmodel::LibProfile& CodesignFramework::libProfile() {
+  static const libmodel::LibProfile profile = libmodel::profileLibraryFunctions();
+  return profile;
+}
+
+roofline::ModelResult CodesignFramework::project(const MachineModel& machine,
+                                                 roofline::RooflineParams rparams) {
+  roofline::Roofline model(machine, rparams);
+  return roofline::estimate(bet(), model, &mod_, &libProfile().mixes);
+}
+
+const sim::SimResult& CodesignFramework::simResultOn(const MachineModel& machine) {
+  auto it = simCache_.find(machine.name);
+  if (it == simCache_.end()) {
+    sim::Simulator simulator(*prog_, mod_, machine, &libProfile().mixes);
+    it = simCache_.emplace(machine.name, simulator.run(params_, seed_)).first;
+  }
+  return it->second;
+}
+
+const sim::ProfileReport& CodesignFramework::profileOn(const MachineModel& machine) {
+  auto it = reportCache_.find(machine.name);
+  if (it == reportCache_.end()) {
+    it = reportCache_.emplace(machine.name, sim::makeReport(simResultOn(machine), mod_)).first;
+  }
+  return it->second;
+}
+
+Analysis CodesignFramework::analyze(const MachineModel& machine,
+                                    const hotspot::SelectionCriteria& criteria) {
+  Analysis a;
+  a.workloadName = name_;
+  a.machineName = machine.name;
+  a.prof = profileOn(machine);
+  a.model = project(machine);
+  a.profRanking = hotspot::rankingFromProfile(a.prof);
+  a.modelRanking = hotspot::rankingFromModel(a.model);
+
+  size_t totalInstrs = mod_.totalStaticInstrs();
+  a.profSelection = hotspot::selectHotSpots(a.profRanking, totalInstrs, criteria);
+  a.modelSelection = hotspot::selectHotSpots(a.modelRanking, totalInstrs, criteria);
+
+  auto measured = hotspot::fractionsByOrigin(a.profRanking);
+  a.quality = hotspot::selectionQuality(a.modelSelection, a.profSelection, measured);
+  return a;
+}
+
+std::string CodesignFramework::hotPathReport(const MachineModel& machine,
+                                             const hotspot::SelectionCriteria& criteria) {
+  auto model = project(machine);  // annotates the BET nodes for this machine
+  auto ranking = hotspot::rankingFromModel(model);
+  auto selection = hotspot::selectHotSpots(ranking, mod_.totalStaticInstrs(), criteria);
+  auto path = hotpath::extractHotPath(bet(), selection);
+  std::string out = format("Hot path of %s on %s (%zu hot spot instances)\n", name_.c_str(),
+                           machine.name.c_str(), path.hotSpotInstances);
+  out += hotpath::printHotPath(path, &mod_);
+  return out;
+}
+
+}  // namespace skope::core

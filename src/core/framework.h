@@ -1,0 +1,131 @@
+// CodesignFramework — the public facade wiring the paper's Figure-1 pipeline:
+//
+//   source ──(analysis engine)──> code skeleton + local branch profile
+//          ──(BET builder)──────> execution-flow model
+//          ──(roofline)─────────> per-block projections on a target machine
+//          ──(hot region analysis)> hot spots + hot paths
+//
+// and, for validation, the ground-truth path:
+//
+//   source ──(timing simulator on the target machine)──> measured hot spots
+//
+// A typical co-design session:
+//
+//   CodesignFramework fw(workloads::sord());
+//   auto bgq = fw.analyze(MachineModel::bgq());
+//   std::cout << bgq.summary();
+//   std::cout << fw.hotPathReport(MachineModel::bgq());
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "bet/builder.h"
+#include "hotpath/hotpath.h"
+#include "hotspot/quality.h"
+#include "libmodel/libmodel.h"
+#include "minic/ast.h"
+#include "roofline/estimate.h"
+#include "sim/profile_report.h"
+#include "translate/annotate.h"
+#include "translate/translate.h"
+#include "vm/profile.h"
+#include "workloads/workloads.h"
+
+namespace skope::core {
+
+/// Resolves a machine by short name: "bgq", "xeon", "knl", "arm".
+/// Throws Error for unknown names (the message lists the valid ones).
+MachineModel machineByName(std::string_view name);
+
+/// Parses a "N=64,STEPS=10"-style parameter binding (the inline form of the
+/// paper's hint file). Whitespace around names/values is ignored.
+std::map<std::string, double> parseParamSpec(std::string_view spec);
+
+/// Parses a hint *file* (§III-B: "the input data sizes and distribution of
+/// values ... summarized in a hint file provided by the developers"):
+/// one `name = value` binding per line, `#` comments, blank lines ignored.
+std::map<std::string, double> parseHintText(std::string_view text);
+
+/// Reads and parses a hint file from disk. Throws Error if unreadable.
+std::map<std::string, double> loadHintFile(const std::string& path);
+
+/// End-to-end result of analyzing one workload on one machine.
+struct Analysis {
+  std::string workloadName;
+  std::string machineName;
+
+  sim::ProfileReport prof;            ///< ground-truth ("Prof")
+  roofline::ModelResult model;        ///< analytic projection ("Modl")
+  hotspot::Ranking profRanking;
+  hotspot::Ranking modelRanking;
+  hotspot::Selection profSelection;
+  hotspot::Selection modelSelection;
+  hotspot::QualityResult quality;     ///< Modl(m) vs Prof on measured times
+
+  /// Human-readable comparison (rank table + coverage + quality).
+  [[nodiscard]] std::string summary(size_t topN = 10) const;
+};
+
+class CodesignFramework {
+ public:
+  /// Parses, checks, compiles and translates the workload. Throws Error on
+  /// any frontend failure.
+  explicit CodesignFramework(const workloads::Workload& workload);
+
+  /// Same, from raw MiniC source (params act as the hint file).
+  CodesignFramework(std::string name, std::string source,
+                    std::map<std::string, double> params, uint64_t seed = 0x5eed);
+
+  // --- stage accessors ---
+  [[nodiscard]] const minic::Program& program() const { return *prog_; }
+  [[nodiscard]] const vm::Module& module() const { return mod_; }
+  [[nodiscard]] const std::map<std::string, double>& params() const { return params_; }
+
+  /// The annotated code skeleton (local profiling happens on first use and
+  /// is cached — the paper's "profile once, project everywhere").
+  const skel::SkeletonProgram& skeleton();
+  const vm::ProfileData& profileData();
+
+  /// Machine-independent BET for the bound input (rebuilt on demand; the
+  /// per-node time annotations reflect the most recent project() call).
+  bet::Bet& bet();
+
+  /// Analytic projection for a machine (paper's Modl).
+  roofline::ModelResult project(const MachineModel& machine,
+                                roofline::RooflineParams params = {});
+
+  /// Ground-truth simulation + ranked profile (paper's Prof). Cached per
+  /// machine name.
+  const sim::ProfileReport& profileOn(const MachineModel& machine);
+  const sim::SimResult& simResultOn(const MachineModel& machine);
+
+  /// Full model-vs-measurement comparison on one machine.
+  Analysis analyze(const MachineModel& machine,
+                   const hotspot::SelectionCriteria& criteria = {});
+
+  /// Hot path for the model-selected spots on a machine (runs project()
+  /// internally so BET annotations match the machine).
+  std::string hotPathReport(const MachineModel& machine,
+                            const hotspot::SelectionCriteria& criteria = {});
+
+  /// The shared empirical library-function profile (§IV-C), computed once
+  /// per process.
+  static const libmodel::LibProfile& libProfile();
+
+ private:
+  void buildFrontend(std::string_view source);
+
+  std::string name_;
+  std::map<std::string, double> params_;
+  uint64_t seed_;
+  std::unique_ptr<minic::Program> prog_;
+  vm::Module mod_;
+  std::optional<skel::SkeletonProgram> skeleton_;
+  std::optional<vm::ProfileData> profile_;
+  std::optional<bet::Bet> bet_;
+  std::map<std::string, sim::SimResult> simCache_;
+  std::map<std::string, sim::ProfileReport> reportCache_;
+};
+
+}  // namespace skope::core

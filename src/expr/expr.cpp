@@ -1,0 +1,377 @@
+#include "expr/expr.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+#include "support/text.h"
+
+namespace skope {
+
+std::optional<double> ParamEnv::lookup(const std::string& name) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+double Expr::eval(const ParamEnv& env) const {
+  switch (op) {
+    case ExprOp::Const:
+      return value;
+    case ExprOp::Param: {
+      auto v = env.lookup(name);
+      if (!v) throw Error("unbound parameter '" + name + "' in expression");
+      return *v;
+    }
+    case ExprOp::Add: return operands[0]->eval(env) + operands[1]->eval(env);
+    case ExprOp::Sub: return operands[0]->eval(env) - operands[1]->eval(env);
+    case ExprOp::Mul: return operands[0]->eval(env) * operands[1]->eval(env);
+    case ExprOp::Div: {
+      double d = operands[1]->eval(env);
+      if (d == 0.0) throw Error("division by zero in expression " + str());
+      return operands[0]->eval(env) / d;
+    }
+    case ExprOp::Mod: {
+      double d = operands[1]->eval(env);
+      if (d == 0.0) throw Error("modulo by zero in expression " + str());
+      return std::fmod(operands[0]->eval(env), d);
+    }
+    case ExprOp::Min: return std::min(operands[0]->eval(env), operands[1]->eval(env));
+    case ExprOp::Max: return std::max(operands[0]->eval(env), operands[1]->eval(env));
+    case ExprOp::Neg: return -operands[0]->eval(env);
+    case ExprOp::Ceil: {
+      double d = operands[1]->eval(env);
+      if (d == 0.0) throw Error("ceildiv by zero in expression " + str());
+      return std::ceil(operands[0]->eval(env) / d);
+    }
+    case ExprOp::Log2: {
+      double a = operands[0]->eval(env);
+      if (a <= 0.0) throw Error("log2 of non-positive value in expression " + str());
+      return std::log2(a);
+    }
+  }
+  throw Error("corrupt expression node");
+}
+
+void Expr::collectParams(std::vector<std::string>& out) const {
+  if (op == ExprOp::Param) {
+    if (std::find(out.begin(), out.end(), name) == out.end()) out.push_back(name);
+    return;
+  }
+  for (const auto& o : operands) o->collectParams(out);
+}
+
+bool Expr::isConstant() const {
+  if (op == ExprOp::Param) return false;
+  for (const auto& o : operands) {
+    if (!o->isConstant()) return false;
+  }
+  return true;
+}
+
+namespace {
+
+int precedence(ExprOp op) {
+  switch (op) {
+    case ExprOp::Add:
+    case ExprOp::Sub:
+      return 1;
+    case ExprOp::Mul:
+    case ExprOp::Div:
+    case ExprOp::Mod:
+      return 2;
+    case ExprOp::Neg:
+      return 3;
+    default:
+      return 4;  // atoms and function-call syntax never need parentheses
+  }
+}
+
+const char* infixToken(ExprOp op) {
+  switch (op) {
+    case ExprOp::Add: return " + ";
+    case ExprOp::Sub: return " - ";
+    case ExprOp::Mul: return "*";
+    case ExprOp::Div: return "/";
+    case ExprOp::Mod: return "%";
+    default: return "?";
+  }
+}
+
+}  // namespace
+
+std::string Expr::strPrec(int parentPrec) const {
+  int myPrec = precedence(op);
+  std::string out;
+  switch (op) {
+    case ExprOp::Const: {
+      if (value == std::floor(value) && std::abs(value) < 1e15) {
+        out = format("%lld", static_cast<long long>(value));
+      } else {
+        out = humanDouble(value, 6);
+      }
+      break;
+    }
+    case ExprOp::Param:
+      out = name;
+      break;
+    case ExprOp::Neg:
+      out = "-" + operands[0]->strPrec(myPrec);
+      break;
+    case ExprOp::Min:
+      out = "min(" + operands[0]->strPrec(0) + ", " + operands[1]->strPrec(0) + ")";
+      break;
+    case ExprOp::Max:
+      out = "max(" + operands[0]->strPrec(0) + ", " + operands[1]->strPrec(0) + ")";
+      break;
+    case ExprOp::Ceil:
+      out = "ceildiv(" + operands[0]->strPrec(0) + ", " + operands[1]->strPrec(0) + ")";
+      break;
+    case ExprOp::Log2:
+      out = "log2(" + operands[0]->strPrec(0) + ")";
+      break;
+    default:
+      out = operands[0]->strPrec(myPrec) + infixToken(op) +
+            operands[1]->strPrec(myPrec + 1);
+      break;
+  }
+  if (myPrec < parentPrec) return "(" + out + ")";
+  return out;
+}
+
+std::string Expr::str() const { return strPrec(0); }
+
+namespace {
+
+ExprPtr makeNode(ExprOp op, std::vector<ExprPtr> operands) {
+  auto e = std::make_shared<Expr>();
+  e->op = op;
+  e->operands = std::move(operands);
+  return e;
+}
+
+bool isConst(const ExprPtr& e, double v) {
+  return e->op == ExprOp::Const && e->value == v;
+}
+
+}  // namespace
+
+ExprPtr constant(double v) {
+  auto e = std::make_shared<Expr>();
+  e->op = ExprOp::Const;
+  e->value = v;
+  return e;
+}
+
+ExprPtr param(std::string name) {
+  auto e = std::make_shared<Expr>();
+  e->op = ExprOp::Param;
+  e->name = std::move(name);
+  return e;
+}
+
+ExprPtr add(ExprPtr a, ExprPtr b) {
+  if (a->op == ExprOp::Const && b->op == ExprOp::Const) return constant(a->value + b->value);
+  if (isConst(a, 0)) return b;
+  if (isConst(b, 0)) return a;
+  return makeNode(ExprOp::Add, {std::move(a), std::move(b)});
+}
+
+ExprPtr sub(ExprPtr a, ExprPtr b) {
+  if (a->op == ExprOp::Const && b->op == ExprOp::Const) return constant(a->value - b->value);
+  if (isConst(b, 0)) return a;
+  return makeNode(ExprOp::Sub, {std::move(a), std::move(b)});
+}
+
+ExprPtr mul(ExprPtr a, ExprPtr b) {
+  if (a->op == ExprOp::Const && b->op == ExprOp::Const) return constant(a->value * b->value);
+  if (isConst(a, 0) || isConst(b, 0)) return constant(0);
+  if (isConst(a, 1)) return b;
+  if (isConst(b, 1)) return a;
+  return makeNode(ExprOp::Mul, {std::move(a), std::move(b)});
+}
+
+ExprPtr divide(ExprPtr a, ExprPtr b) {
+  if (a->op == ExprOp::Const && b->op == ExprOp::Const && b->value != 0.0) {
+    return constant(a->value / b->value);
+  }
+  if (isConst(b, 1)) return a;
+  return makeNode(ExprOp::Div, {std::move(a), std::move(b)});
+}
+
+ExprPtr mod(ExprPtr a, ExprPtr b) {
+  if (a->op == ExprOp::Const && b->op == ExprOp::Const && b->value != 0.0) {
+    return constant(std::fmod(a->value, b->value));
+  }
+  return makeNode(ExprOp::Mod, {std::move(a), std::move(b)});
+}
+
+ExprPtr exprMin(ExprPtr a, ExprPtr b) {
+  if (a->op == ExprOp::Const && b->op == ExprOp::Const) {
+    return constant(std::min(a->value, b->value));
+  }
+  return makeNode(ExprOp::Min, {std::move(a), std::move(b)});
+}
+
+ExprPtr exprMax(ExprPtr a, ExprPtr b) {
+  if (a->op == ExprOp::Const && b->op == ExprOp::Const) {
+    return constant(std::max(a->value, b->value));
+  }
+  return makeNode(ExprOp::Max, {std::move(a), std::move(b)});
+}
+
+ExprPtr neg(ExprPtr a) {
+  if (a->op == ExprOp::Const) return constant(-a->value);
+  return makeNode(ExprOp::Neg, {std::move(a)});
+}
+
+ExprPtr ceilDiv(ExprPtr a, ExprPtr b) {
+  if (a->op == ExprOp::Const && b->op == ExprOp::Const && b->value != 0.0) {
+    return constant(std::ceil(a->value / b->value));
+  }
+  return makeNode(ExprOp::Ceil, {std::move(a), std::move(b)});
+}
+
+ExprPtr log2e(ExprPtr a) {
+  if (a->op == ExprOp::Const && a->value > 0.0) return constant(std::log2(a->value));
+  return makeNode(ExprOp::Log2, {std::move(a)});
+}
+
+// ---------------------------------------------------------------------------
+// Textual parser (recursive descent).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class ExprParser {
+ public:
+  explicit ExprParser(std::string_view text) : text_(text) {}
+
+  ExprPtr parse() {
+    auto e = parseAdditive();
+    skipWs();
+    if (pos_ != text_.size()) {
+      throw Error("trailing characters in expression: '" +
+                  std::string(text_.substr(pos_)) + "'");
+    }
+    return e;
+  }
+
+ private:
+  void skipWs() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+  }
+
+  bool consume(char c) {
+    skipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  char peek() {
+    skipWs();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  ExprPtr parseAdditive() {
+    auto lhs = parseMultiplicative();
+    while (true) {
+      if (consume('+')) {
+        lhs = add(lhs, parseMultiplicative());
+      } else if (consume('-')) {
+        lhs = sub(lhs, parseMultiplicative());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  ExprPtr parseMultiplicative() {
+    auto lhs = parseUnary();
+    while (true) {
+      if (consume('*')) {
+        lhs = mul(lhs, parseUnary());
+      } else if (consume('/')) {
+        lhs = divide(lhs, parseUnary());
+      } else if (consume('%')) {
+        lhs = mod(lhs, parseUnary());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  ExprPtr parseUnary() {
+    if (consume('-')) return neg(parseUnary());
+    return parsePrimary();
+  }
+
+  ExprPtr parsePrimary() {
+    skipWs();
+    if (pos_ >= text_.size()) throw Error("unexpected end of expression");
+    char c = text_[pos_];
+    if (c == '(') {
+      ++pos_;
+      auto e = parseAdditive();
+      if (!consume(')')) throw Error("missing ')' in expression");
+      return e;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '.') return parseNumber();
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') return parseIdent();
+    throw Error(std::string("unexpected character '") + c + "' in expression");
+  }
+
+  ExprPtr parseNumber() {
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            ((text_[pos_] == '+' || text_[pos_] == '-') && pos_ > start &&
+             (text_[pos_ - 1] == 'e' || text_[pos_ - 1] == 'E')))) {
+      ++pos_;
+    }
+    return constant(std::stod(std::string(text_.substr(start, pos_ - start))));
+  }
+
+  ExprPtr parseIdent() {
+    size_t start = pos_;
+    while (pos_ < text_.size() && (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+                                   text_[pos_] == '_' || text_[pos_] == '.')) {
+      ++pos_;
+    }
+    std::string name(text_.substr(start, pos_ - start));
+    if (peek() != '(') return param(std::move(name));
+
+    consume('(');
+    std::vector<ExprPtr> args;
+    if (peek() != ')') {
+      args.push_back(parseAdditive());
+      while (consume(',')) args.push_back(parseAdditive());
+    }
+    if (!consume(')')) throw Error("missing ')' after arguments of " + name);
+
+    auto want = [&](size_t n) {
+      if (args.size() != n) {
+        throw Error(name + " expects " + std::to_string(n) + " argument(s), got " +
+                    std::to_string(args.size()));
+      }
+    };
+    if (name == "min") { want(2); return exprMin(args[0], args[1]); }
+    if (name == "max") { want(2); return exprMax(args[0], args[1]); }
+    if (name == "ceildiv") { want(2); return ceilDiv(args[0], args[1]); }
+    if (name == "log2") { want(1); return log2e(args[0]); }
+    throw Error("unknown function '" + name + "' in expression");
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+ExprPtr parseExpr(std::string_view text) { return ExprParser(text).parse(); }
+
+}  // namespace skope

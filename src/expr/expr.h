@@ -1,0 +1,95 @@
+// Symbolic expressions over named workload parameters.
+//
+// Code skeletons express loop bounds, branch probabilities, and data sizes as
+// functions of the input (e.g. `NX*NY - 1`, `ITERS/2`). This module provides
+// an immutable expression tree with construction helpers, algebraic
+// simplification, evaluation under a parameter environment, and a small
+// recursive-descent parser for the textual form used by the skeleton language.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/diagnostics.h"
+
+namespace skope {
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// Binding of parameter names to numeric values, used to evaluate expressions.
+class ParamEnv {
+ public:
+  ParamEnv() = default;
+  explicit ParamEnv(std::map<std::string, double> values) : values_(std::move(values)) {}
+
+  void set(const std::string& name, double value) { values_[name] = value; }
+  [[nodiscard]] std::optional<double> lookup(const std::string& name) const;
+  [[nodiscard]] bool has(const std::string& name) const { return values_.count(name) != 0; }
+  [[nodiscard]] const std::map<std::string, double>& values() const { return values_; }
+
+ private:
+  std::map<std::string, double> values_;
+};
+
+/// Operator of an interior expression node.
+enum class ExprOp {
+  Const,   ///< numeric literal; value in Expr::value
+  Param,   ///< named parameter; name in Expr::name
+  Add, Sub, Mul, Div, Mod,
+  Min, Max,
+  Neg,     ///< unary minus
+  Ceil,    ///< ceil(a / b) — common for blocked loop bounds
+  Log2,    ///< log2(a) — butterfly-style loop depths
+};
+
+/// Immutable expression node. Use the free helpers (constant(), param(),
+/// add()...) to build trees; they fold constants eagerly.
+class Expr {
+ public:
+  ExprOp op = ExprOp::Const;
+  double value = 0.0;              ///< for Const
+  std::string name;                ///< for Param
+  std::vector<ExprPtr> operands;   ///< for everything else
+
+  /// Evaluates under `env`. Throws Error if a referenced parameter is unbound
+  /// or a division by zero occurs.
+  [[nodiscard]] double eval(const ParamEnv& env) const;
+
+  /// Collects the set of parameter names referenced by the tree.
+  void collectParams(std::vector<std::string>& out) const;
+
+  /// True if the expression contains no Param nodes.
+  [[nodiscard]] bool isConstant() const;
+
+  /// Renders to the textual syntax accepted by parseExpr().
+  [[nodiscard]] std::string str() const;
+
+ private:
+  [[nodiscard]] std::string strPrec(int parentPrec) const;
+};
+
+// Construction helpers. Binary helpers constant-fold when both sides are
+// Const, and apply cheap identities (x+0, x*1, x*0).
+ExprPtr constant(double v);
+ExprPtr param(std::string name);
+ExprPtr add(ExprPtr a, ExprPtr b);
+ExprPtr sub(ExprPtr a, ExprPtr b);
+ExprPtr mul(ExprPtr a, ExprPtr b);
+ExprPtr divide(ExprPtr a, ExprPtr b);
+ExprPtr mod(ExprPtr a, ExprPtr b);
+ExprPtr exprMin(ExprPtr a, ExprPtr b);
+ExprPtr exprMax(ExprPtr a, ExprPtr b);
+ExprPtr neg(ExprPtr a);
+ExprPtr ceilDiv(ExprPtr a, ExprPtr b);
+ExprPtr log2e(ExprPtr a);
+
+/// Parses the textual expression syntax: numbers, identifiers, + - * / %,
+/// parentheses, and the functions min(a,b), max(a,b), ceildiv(a,b), log2(a).
+/// Throws Error on malformed input.
+ExprPtr parseExpr(std::string_view text);
+
+}  // namespace skope

@@ -1,0 +1,114 @@
+#include "hotpath/hotpath.h"
+
+#include <set>
+
+#include "support/text.h"
+
+namespace skope::hotpath {
+
+using bet::BetKind;
+using bet::BetNode;
+
+size_t HotPathNode::subtreeSize() const {
+  size_t n = 1;
+  for (const auto& k : kids) n += k->subtreeSize();
+  return n;
+}
+
+namespace {
+
+bool nodeIsSelected(const BetNode& n, const hotspot::Selection& sel) {
+  if (!n.isBlock()) return false;
+  uint32_t origin =
+      n.kind == BetKind::LibCall ? vm::libRegion(n.builtinIndex) : n.origin;
+  return sel.contains(origin);
+}
+
+void markPaths(const BetNode& n, const hotspot::Selection& sel,
+               std::set<const BetNode*>& onPath, size_t& instances) {
+  if (nodeIsSelected(n, sel)) {
+    ++instances;
+    for (const BetNode* p = &n; p != nullptr; p = p->parent) {
+      if (!onPath.insert(p).second) break;  // rest of the chain already marked
+    }
+  }
+  for (const auto& k : n.kids) markPaths(*k, sel, onPath, instances);
+}
+
+std::unique_ptr<HotPathNode> cloneMarked(const BetNode& n,
+                                         const std::set<const BetNode*>& onPath,
+                                         const hotspot::Selection& sel) {
+  auto out = std::make_unique<HotPathNode>();
+  out->node = &n;
+  out->isHotSpot = nodeIsSelected(n, sel);
+  for (const auto& k : n.kids) {
+    if (onPath.count(k.get())) out->kids.push_back(cloneMarked(*k, onPath, sel));
+  }
+  return out;
+}
+
+void printNode(const HotPathNode& hp, int depth, const vm::Module* mod, std::string& out) {
+  const BetNode& n = *hp.node;
+  for (int i = 0; i < depth; ++i) out += "| ";
+  if (hp.isHotSpot) out += "* ";
+  switch (n.kind) {
+    case BetKind::Func:
+      out += "func " + n.name;
+      break;
+    case BetKind::Loop:
+      out += mod ? "loop " + vm::regionLabel(*mod, n.origin) : format("loop @%u", n.origin);
+      out += format(" x%.6g", n.numIter);
+      break;
+    case BetKind::BranchThen:
+      out += format("branch-then @%u", n.origin);
+      break;
+    case BetKind::BranchElse:
+      out += format("branch-else @%u", n.origin);
+      break;
+    case BetKind::LibCall:
+      out += "lib:" + n.name;
+      break;
+    case BetKind::Comm:
+      out += format("comm @%u %.4g bytes", n.origin, n.commBytes);
+      break;
+    case BetKind::Comp:
+      out += "comp";
+      break;
+  }
+  if (n.prob < 1.0) out += format(" p=%.4g", n.prob);
+  out += format(" enr=%.6g", n.enr);
+  if (n.totalSeconds > 0) out += format(" t=%.3gs", n.totalSeconds);
+  if (hp.isHotSpot && !n.context.empty()) {
+    out += " ctx{";
+    bool first = true;
+    for (const auto& [k, v] : n.context) {
+      if (!first) out += ", ";
+      first = false;
+      out += k + "=" + humanDouble(v, 6);
+    }
+    out += "}";
+  }
+  out += "\n";
+  for (const auto& k : hp.kids) printNode(*k, depth + 1, mod, out);
+}
+
+}  // namespace
+
+HotPath extractHotPath(const bet::Bet& bet, const hotspot::Selection& selection) {
+  HotPath path;
+  if (!bet.root) return path;
+  std::set<const BetNode*> onPath;
+  markPaths(*bet.root, selection, onPath, path.hotSpotInstances);
+  if (onPath.empty()) return path;
+  path.root = cloneMarked(*bet.root, onPath, selection);
+  return path;
+}
+
+std::string printHotPath(const HotPath& path, const vm::Module* mod) {
+  std::string out;
+  if (!path.root) return "(empty hot path)\n";
+  printNode(*path.root, 0, mod, out);
+  return out;
+}
+
+}  // namespace skope::hotpath

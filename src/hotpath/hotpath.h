@@ -1,0 +1,43 @@
+// Hot path extraction (paper §V-C) — contribution #3.
+//
+// Each hot spot is a set of BET nodes; back-tracing every instance to the
+// root yields its control-flow path, and merging the paths of all selected
+// hot spots (shared prefixes collapse, distinct suffixes branch) produces the
+// hot path: a stripped-down rendition of the execution flow containing only
+// the hot spots and the control flow that reaches them, annotated with
+// iteration counts, probabilities, ENR and the context values — the raw
+// material for mini-application construction.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "bet/bet.h"
+#include "hotspot/hotspot.h"
+
+namespace skope::hotpath {
+
+struct HotPathNode {
+  const bet::BetNode* node = nullptr;  ///< borrowed from the BET
+  bool isHotSpot = false;
+  std::vector<std::unique_ptr<HotPathNode>> kids;
+
+  [[nodiscard]] size_t subtreeSize() const;
+};
+
+struct HotPath {
+  std::unique_ptr<HotPathNode> root;
+  size_t hotSpotInstances = 0;  ///< BET instances of selected spots on the path
+
+  [[nodiscard]] size_t size() const { return root ? root->subtreeSize() : 0; }
+};
+
+/// Extracts the merged hot path of `selection` from `bet`. The BET must
+/// outlive the returned HotPath (nodes are borrowed).
+HotPath extractHotPath(const bet::Bet& bet, const hotspot::Selection& selection);
+
+/// Renders the hot path as an indented tree with per-node annotations
+/// (probability, expected iterations, ENR, context values for hot spots).
+std::string printHotPath(const HotPath& path, const vm::Module* mod = nullptr);
+
+}  // namespace skope::hotpath

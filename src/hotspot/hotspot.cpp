@@ -1,0 +1,86 @@
+#include "hotspot/hotspot.h"
+
+#include <algorithm>
+
+namespace skope::hotspot {
+
+Ranking rankingFromProfile(const sim::ProfileReport& report) {
+  Ranking out;
+  for (const auto& e : report.ranked) {
+    out.push_back({e.region, e.label, e.seconds, e.fraction, e.staticInstrs});
+  }
+  return out;  // report.ranked is already sorted descending
+}
+
+Ranking rankingFromModel(const roofline::ModelResult& model) {
+  Ranking out;
+  for (const auto& [origin, bc] : model.blocks) {
+    if (bc.seconds <= 0) continue;
+    out.push_back({origin, bc.label, bc.seconds, bc.fraction, bc.staticInstrs});
+  }
+  std::sort(out.begin(), out.end(), [](const RankedBlock& a, const RankedBlock& b) {
+    if (a.seconds != b.seconds) return a.seconds > b.seconds;
+    return a.origin < b.origin;
+  });
+  return out;
+}
+
+bool Selection::contains(uint32_t origin) const {
+  for (const auto& s : spots) {
+    if (s.origin == origin) return true;
+  }
+  return false;
+}
+
+Selection selectHotSpots(const Ranking& ranking, size_t totalStaticInstrs,
+                         const SelectionCriteria& criteria) {
+  Selection sel;
+  const auto budget =
+      static_cast<size_t>(criteria.codeLeanness * static_cast<double>(totalStaticInstrs));
+  for (const auto& b : ranking) {
+    if (sel.coverage >= criteria.timeCoverage) break;
+    if (sel.instrs + b.staticInstrs > budget) continue;  // leanness takes precedence
+    sel.spots.push_back(b);
+    sel.instrs += b.staticInstrs;
+    sel.coverage += b.fraction;
+  }
+  sel.leanness = totalStaticInstrs > 0
+                     ? static_cast<double>(sel.instrs) / static_cast<double>(totalStaticInstrs)
+                     : 0;
+  sel.coverageMet = sel.coverage >= criteria.timeCoverage;
+  return sel;
+}
+
+std::map<uint32_t, double> fractionsByOrigin(const Ranking& ranking) {
+  std::map<uint32_t, double> out;
+  for (const auto& b : ranking) out[b.origin] += b.fraction;
+  return out;
+}
+
+std::vector<double> coverageCurve(const Ranking& order,
+                                  const std::map<uint32_t, double>& fractions,
+                                  size_t topN) {
+  std::vector<double> out;
+  double cum = 0;
+  for (size_t i = 0; i < topN && i < order.size(); ++i) {
+    auto it = fractions.find(order[i].origin);
+    if (it != fractions.end()) cum += it->second;
+    out.push_back(cum);
+  }
+  return out;
+}
+
+size_t topNOverlap(const Ranking& a, const Ranking& b, size_t n) {
+  size_t common = 0;
+  for (size_t i = 0; i < n && i < a.size(); ++i) {
+    for (size_t j = 0; j < n && j < b.size(); ++j) {
+      if (a[i].origin == b[j].origin) {
+        ++common;
+        break;
+      }
+    }
+  }
+  return common;
+}
+
+}  // namespace skope::hotspot

@@ -1,0 +1,77 @@
+// Hot spot identification (paper §V-B) — contribution #2.
+//
+// Given a ranked list of code blocks with time estimates (projected by the
+// model or measured by a profiler), select a set of hot spots that satisfies
+// two user criteria:
+//   * time coverage  — the selected spots should together account for at
+//     least this share of total run time (default 90 %);
+//   * code leanness  — the selected spots may contain at most this share of
+//     the program's static instructions (default 10 %).
+// Leanness takes precedence; when both cannot be met, coverage is maximized
+// under the leanness budget. The underlying problem is a knapsack; a greedy
+// pass over the time-ranked blocks is used, as in the paper.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "roofline/estimate.h"
+#include "sim/profile_report.h"
+
+namespace skope::hotspot {
+
+/// One code block in a ranking, with whatever time estimate produced it.
+struct RankedBlock {
+  uint32_t origin = 0;
+  std::string label;
+  double seconds = 0;
+  double fraction = 0;      ///< share of that source's total time
+  size_t staticInstrs = 0;
+};
+
+/// Blocks in descending time order.
+using Ranking = std::vector<RankedBlock>;
+
+/// Ranking from the ground-truth profiler (the paper's Prof columns).
+Ranking rankingFromProfile(const sim::ProfileReport& report);
+
+/// Ranking from the analytic model (the paper's Modl columns).
+Ranking rankingFromModel(const roofline::ModelResult& model);
+
+struct SelectionCriteria {
+  double timeCoverage = 0.90;
+  double codeLeanness = 0.10;
+};
+
+struct Selection {
+  std::vector<RankedBlock> spots;   ///< selected blocks, in rank order
+  double coverage = 0;              ///< share of time covered (same estimate
+                                    ///< the ranking was built from)
+  size_t instrs = 0;                ///< static instructions selected
+  double leanness = 0;              ///< instrs / totalInstrs
+  bool coverageMet = false;
+
+  [[nodiscard]] bool contains(uint32_t origin) const;
+};
+
+/// Greedy knapsack selection over a ranking.
+Selection selectHotSpots(const Ranking& ranking, size_t totalStaticInstrs,
+                         const SelectionCriteria& criteria = {});
+
+/// Per-origin time fractions of a ranking (used to re-evaluate a selection
+/// made on one source against times measured on another).
+std::map<uint32_t, double> fractionsByOrigin(const Ranking& ranking);
+
+/// Cumulative coverage curve: entry k is the summed `fractions` share of the
+/// first k+1 blocks of `order`. Blocks missing from `fractions` contribute 0.
+std::vector<double> coverageCurve(const Ranking& order,
+                                  const std::map<uint32_t, double>& fractions,
+                                  size_t topN);
+
+/// Number of common origins among the top-N of two rankings (the paper's
+/// "only 4 of the top 10 SORD hot spots are shared across machines").
+size_t topNOverlap(const Ranking& a, const Ranking& b, size_t n);
+
+}  // namespace skope::hotspot

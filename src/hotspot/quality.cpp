@@ -1,0 +1,33 @@
+#include "hotspot/quality.h"
+
+#include <algorithm>
+
+namespace skope::hotspot {
+
+double measuredCoverage(const Selection& sel,
+                        const std::map<uint32_t, double>& measuredFractions) {
+  double cov = 0;
+  for (const auto& s : sel.spots) {
+    auto it = measuredFractions.find(s.origin);
+    if (it != measuredFractions.end()) cov += it->second;
+  }
+  return cov;
+}
+
+double coverageSimilarity(double a, double b) {
+  double hi = std::max(a, b);
+  if (hi <= 0) return 1.0;  // both selections cover nothing: identical
+  return std::min(a, b) / hi;
+}
+
+QualityResult selectionQuality(const Selection& modelSelection,
+                               const Selection& profSelection,
+                               const std::map<uint32_t, double>& measuredFractions) {
+  QualityResult r;
+  r.modelCoverage = measuredCoverage(modelSelection, measuredFractions);
+  r.profCoverage = measuredCoverage(profSelection, measuredFractions);
+  r.quality = coverageSimilarity(r.modelCoverage, r.profCoverage);
+  return r;
+}
+
+}  // namespace skope::hotspot

@@ -1,0 +1,35 @@
+// Selection quality (paper §VI).
+//
+// The developer cares about the *measured* run-time coverage a hot-spot
+// selection achieves. Quality compares the measured coverage of the
+// model-suggested selection against the measured coverage of the selection
+// the native profiler itself would suggest, under identical criteria:
+//   Q = min(covModel, covProf) / max(covModel, covProf)   (1.0 when equal).
+// The same machinery evaluates cross-machine portability (using machine A's
+// profiler-selected spots on machine B — the paper's Prof.Q(x) curves).
+#pragma once
+
+#include "hotspot/hotspot.h"
+
+namespace skope::hotspot {
+
+/// Sum of measured time fractions over a selection's origins.
+double measuredCoverage(const Selection& sel,
+                        const std::map<uint32_t, double>& measuredFractions);
+
+/// Similarity of two coverage values in [0, 1].
+double coverageSimilarity(double a, double b);
+
+/// End-to-end: quality of a model-made selection judged against the
+/// profiler-made selection on measured times.
+struct QualityResult {
+  double modelCoverage = 0;  ///< measured coverage of the model's spots
+  double profCoverage = 0;   ///< measured coverage of the profiler's spots
+  double quality = 0;        ///< similarity of the two
+};
+
+QualityResult selectionQuality(const Selection& modelSelection,
+                               const Selection& profSelection,
+                               const std::map<uint32_t, double>& measuredFractions);
+
+}  // namespace skope::hotspot

@@ -1,0 +1,190 @@
+#include "libmodel/libmodel.h"
+
+#include "minic/builtins.h"
+#include "minic/parser.h"
+#include "minic/sema.h"
+#include "support/rng.h"
+#include "vm/compiler.h"
+#include "vm/interp.h"
+
+namespace skope::libmodel {
+
+namespace {
+
+// Reference libm kernels in MiniC. Each kernel_* function reproduces the
+// dynamic shape of a scalar software implementation: range reduction with
+// data-dependent loops, a fixed polynomial core, and table-free arithmetic.
+// main() evaluates the kernel selected by FN over SAMPLES pseudo-random
+// inputs produced by an inline LCG (so the `rand` builtin never pollutes the
+// counters being measured).
+constexpr std::string_view kKernelSource = R"(
+param int FN;       // which kernel to profile
+param int SAMPLES;  // how many calls to average over
+param int SEED;
+global real sink;   // keeps results live
+
+func real kernel_exp(real x) {
+  // range reduction: x = k*ln2 + r, |r| <= ln2/2
+  var real ln2 = 0.6931471805599453;
+  var real r = x;
+  var int k = 0;
+  while (r > 0.34657) { r = r - ln2; k = k + 1; }
+  while (r < -0.34657) { r = r + ln2; k = k - 1; }
+  // degree-6 polynomial core (Horner)
+  var real p = 1.0 + r * (1.0 + r * (0.5 + r * (0.1666666 + r * (0.0416666 +
+               r * (0.0083333 + r * 0.0013888)))));
+  // scale by 2^k with a data-dependent loop
+  var int i;
+  if (k >= 0) {
+    for (i = 0; i < k; i = i + 1) { p = p * 2.0; }
+  } else {
+    for (i = 0; i < -(k); i = i + 1) { p = p * 0.5; }
+  }
+  return p;
+}
+
+func real kernel_log(real x) {
+  // normalize m into [1,2): data-dependent iteration count
+  var real m = x;
+  var real e = 0.0;
+  var real ln2 = 0.6931471805599453;
+  while (m >= 2.0) { m = m * 0.5; e = e + 1.0; }
+  while (m < 1.0) { m = m * 2.0; e = e - 1.0; }
+  // atanh-based series around 1
+  var real t = (m - 1.0) / (m + 1.0);
+  var real t2 = t * t;
+  var real s = t * (2.0 + t2 * (0.6666666 + t2 * (0.4 + t2 * (0.2857142 + t2 * 0.2222222))));
+  return e * ln2 + s;
+}
+
+func real kernel_sqrt(real x) {
+  // Newton iterations from a crude seed
+  var real g = x;
+  if (g > 1.0) { g = g * 0.5; } else { g = g * 2.0; }
+  var int i;
+  for (i = 0; i < 5; i = i + 1) { g = 0.5 * (g + x / g); }
+  return g;
+}
+
+func real kernel_sin(real x) {
+  // range reduce to [-pi, pi]
+  var real twopi = 6.283185307179586;
+  var real r = x - floor(x * 0.15915494309189535) * twopi;
+  if (r > 3.141592653589793) { r = r - twopi; }
+  var real r2 = r * r;
+  return r * (1.0 - r2 * (0.1666666 - r2 * (0.0083333 - r2 * 0.0001984)));
+}
+
+func real kernel_cos(real x) {
+  var real twopi = 6.283185307179586;
+  var real r = x - floor(x * 0.15915494309189535) * twopi;
+  if (r > 3.141592653589793) { r = r - twopi; }
+  var real r2 = r * r;
+  return 1.0 - r2 * (0.5 - r2 * (0.0416666 - r2 * (0.0013888 - r2 * 0.0000248)));
+}
+
+func real kernel_pow(real a, real b) {
+  return kernel_exp(b * kernel_log(a));
+}
+
+func real kernel_rand(real state) {
+  // 32-bit LCG step + scale to [0,1)
+  var int s = state;
+  s = (s * 16807) % 2147483647;
+  if (s < 0) { s = -(s); }
+  return s * 4.656612875245797e-10;
+}
+
+func void main() {
+  var int i;
+  var real lcg = SEED;
+  var real acc = 0.0;
+  for (i = 0; i < SAMPLES; i = i + 1) {
+    // inline LCG for input generation (kept in main so its cost is not
+    // attributed to the kernels)
+    var int g = lcg;
+    g = (g * 16807 + 12345) % 2147483647;
+    if (g < 0) { g = -(g); }
+    lcg = g;
+    var real u = g * 4.656612875245797e-10;   // [0,1)
+    if (FN == 0) { acc = acc + kernel_exp(u * 8.0 - 4.0); }
+    if (FN == 1) { acc = acc + kernel_log(u * 99.9 + 0.1); }
+    if (FN == 2) { acc = acc + kernel_sqrt(u * 100.0 + 0.001); }
+    if (FN == 3) { acc = acc + kernel_sin(u * 20.0 - 10.0); }
+    if (FN == 4) { acc = acc + kernel_cos(u * 20.0 - 10.0); }
+    if (FN == 5) { acc = acc + kernel_pow(u * 4.0 + 0.1, u * 3.0 - 1.5); }
+    if (FN == 6) { acc = acc + kernel_rand(g); }
+  }
+  sink = acc;
+}
+)";
+
+struct KernelBinding {
+  const char* builtinName;
+  int fnSelector;
+  const char* kernelFunc;
+};
+
+constexpr KernelBinding kBindings[] = {
+    {"exp", 0, "kernel_exp"},   {"log", 1, "kernel_log"},  {"sqrt", 2, "kernel_sqrt"},
+    {"sin", 3, "kernel_sin"},   {"cos", 4, "kernel_cos"},  {"pow", 5, "kernel_pow"},
+    {"rand", 6, "kernel_rand"},
+};
+
+}  // namespace
+
+std::string_view referenceKernelSource() { return kKernelSource; }
+
+LibProfile profileLibraryFunctions(size_t samplesPerFunc, uint64_t seed) {
+  auto prog = minic::parseProgram(kKernelSource, "libm_kernels.mc");
+  minic::analyzeOrThrow(*prog);
+  vm::Module mod = vm::compile(*prog);
+
+  LibProfile out;
+  Rng rng(seed);
+  for (const KernelBinding& kb : kBindings) {
+    int bi = minic::findBuiltin(kb.builtinName);
+    if (bi < 0) continue;
+
+    vm::Vm machine(mod);
+    machine.bindParam("FN", kb.fnSelector);
+    machine.bindParam("SAMPLES", static_cast<double>(samplesPerFunc));
+    machine.bindParam("SEED", static_cast<double>(rng.below(1u << 30)));
+    machine.run();
+
+    // Inclusive mix of the kernel: its function region plus every loop region
+    // inside functions with matching names (kernel_pow includes its callees'
+    // own regions only via their separate entries — composition is charged to
+    // the callee kernels, matching how the real libm would be profiled).
+    const vm::OpCounters& oc = machine.counters();
+    skel::SkMetrics mix;
+    double calls = static_cast<double>(samplesPerFunc);
+    for (const auto& [id, info] : mod.regions) {
+      if (info.funcName != kb.kernelFunc) continue;
+      mix.flops += static_cast<double>(oc.get(id, vm::OpClass::FpAdd) +
+                                       oc.get(id, vm::OpClass::FpMul));
+      mix.fpdivs += static_cast<double>(oc.get(id, vm::OpClass::FpDiv));
+      mix.iops += static_cast<double>(oc.get(id, vm::OpClass::IntAlu) +
+                                      oc.get(id, vm::OpClass::IntDiv) +
+                                      oc.get(id, vm::OpClass::Branch) +
+                                      oc.get(id, vm::OpClass::Conv));
+      mix.loads += static_cast<double>(oc.get(id, vm::OpClass::Load));
+      mix.stores += static_cast<double>(oc.get(id, vm::OpClass::Store));
+    }
+    out.mixes[bi] = mix.scaled(1.0 / calls);
+    out.samples[bi] = samplesPerFunc;
+  }
+
+  // kernel_pow composes kernel_exp and kernel_log; fold their per-call mixes
+  // in so pow's mix reflects the full call as a real profiler would see it.
+  int powIdx = minic::findBuiltin("pow");
+  int expIdx = minic::findBuiltin("exp");
+  int logIdx = minic::findBuiltin("log");
+  if (out.has(powIdx) && out.has(expIdx) && out.has(logIdx)) {
+    out.mixes[powIdx] += out.mixes[expIdx];
+    out.mixes[powIdx] += out.mixes[logIdx];
+  }
+  return out;
+}
+
+}  // namespace skope::libmodel

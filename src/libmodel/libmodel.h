@@ -1,0 +1,40 @@
+// Semi-analytic modeling of library functions (paper §IV-C).
+//
+// Library functions (libm transcendentals, rand) are opaque to source
+// analysis but can dominate run time — in SRAD, `exp` and `rand` are two of
+// the top three measured hot spots. The paper profiles their dynamic
+// instruction mix once with hardware counters on a local machine, assumes the
+// mix is hardware-independent, and feeds it to the roofline model.
+//
+// Our substitute for "hardware counters on the local machine": reference
+// implementations of each kernel written in MiniC (range reduction +
+// polynomial cores, Newton iterations, an LCG for rand) are executed in the
+// instrumented VM over a spread of random inputs; the per-call average of the
+// VM's op counters is the empirical mix. Functions whose dynamic behavior is
+// input-dependent (e.g. exp's scaling loop) are averaged over many samples,
+// exactly as §IV-C prescribes.
+#pragma once
+
+#include <map>
+
+#include "roofline/estimate.h"
+
+namespace skope::libmodel {
+
+struct LibProfile {
+  roofline::LibMixes mixes;        ///< builtin index -> mean per-call mix
+  std::map<int, size_t> samples;   ///< builtin index -> #sampled calls
+
+  [[nodiscard]] bool has(int builtinIndex) const {
+    return mixes.count(builtinIndex) != 0;
+  }
+};
+
+/// Profiles all library builtins that have reference kernels. Deterministic
+/// for a fixed (samplesPerFunc, seed).
+LibProfile profileLibraryFunctions(size_t samplesPerFunc = 64, uint64_t seed = 0x11b);
+
+/// The MiniC source of the reference kernels (exposed for tests/examples).
+std::string_view referenceKernelSource();
+
+}  // namespace skope::libmodel

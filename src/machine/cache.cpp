@@ -1,0 +1,71 @@
+#include "machine/cache.h"
+
+#include "support/diagnostics.h"
+
+namespace skope {
+
+namespace {
+
+uint32_t log2u(uint64_t v) {
+  uint32_t n = 0;
+  while (v > 1) {
+    v >>= 1;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+Cache::Cache(const CacheLevelDesc& desc) : desc_(desc) {
+  if (desc.lineBytes == 0 || (desc.lineBytes & (desc.lineBytes - 1)) != 0) {
+    throw Error("cache line size must be a power of two");
+  }
+  if (desc.assoc == 0) throw Error("cache associativity must be positive");
+  uint64_t lines = desc.sizeBytes / desc.lineBytes;
+  if (lines < desc.assoc) throw Error("cache smaller than one set");
+  numSets_ = static_cast<uint32_t>(lines / desc.assoc);
+  if ((numSets_ & (numSets_ - 1)) != 0) {
+    // round down to a power of two so the set index is a simple mask
+    numSets_ = 1u << log2u(numSets_);
+  }
+  lineShift_ = log2u(desc.lineBytes);
+  ways_.assign(static_cast<size_t>(numSets_) * desc.assoc, Way{});
+}
+
+void Cache::reset() {
+  for (auto& w : ways_) w = Way{};
+  clock_ = 0;
+  accesses_ = 0;
+  misses_ = 0;
+}
+
+bool Cache::access(uint64_t addr) {
+  ++accesses_;
+  ++clock_;
+  uint64_t lineAddr = addr >> lineShift_;
+  uint32_t set = static_cast<uint32_t>(lineAddr) & (numSets_ - 1);
+  uint64_t tag = lineAddr / numSets_;
+  Way* row = &ways_[static_cast<size_t>(set) * desc_.assoc];
+
+  Way* victim = row;
+  for (uint32_t w = 0; w < desc_.assoc; ++w) {
+    if (row[w].tag == tag) {
+      row[w].lastUse = clock_;
+      return true;
+    }
+    if (row[w].lastUse < victim->lastUse) victim = &row[w];
+  }
+  ++misses_;
+  victim->tag = tag;
+  victim->lastUse = clock_;
+  return false;
+}
+
+CacheHierarchy::Level CacheHierarchy::access(uint64_t addr) {
+  if (l1_.access(addr)) return Level::L1;
+  if (llc_.access(addr)) return Level::Llc;
+  return Level::Memory;
+}
+
+}  // namespace skope

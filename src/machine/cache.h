@@ -1,0 +1,68 @@
+// Set-associative LRU cache model used by the ground-truth simulator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "machine/machine.h"
+
+namespace skope {
+
+/// A single cache level with true-LRU replacement. Addresses are byte
+/// addresses in the VM's flat virtual address space.
+class Cache {
+ public:
+  explicit Cache(const CacheLevelDesc& desc);
+
+  /// Performs one access; returns true on hit. Misses install the line.
+  bool access(uint64_t addr);
+
+  void reset();
+
+  [[nodiscard]] uint64_t accesses() const { return accesses_; }
+  [[nodiscard]] uint64_t misses() const { return misses_; }
+  [[nodiscard]] double missRate() const {
+    return accesses_ == 0 ? 0.0 : static_cast<double>(misses_) / static_cast<double>(accesses_);
+  }
+  [[nodiscard]] uint32_t numSets() const { return numSets_; }
+  [[nodiscard]] const CacheLevelDesc& desc() const { return desc_; }
+
+ private:
+  struct Way {
+    uint64_t tag = ~0ULL;
+    uint64_t lastUse = 0;
+  };
+
+  CacheLevelDesc desc_;
+  uint32_t numSets_ = 1;
+  uint32_t lineShift_ = 6;
+  std::vector<Way> ways_;  ///< numSets_ × assoc, row-major
+  uint64_t clock_ = 0;
+  uint64_t accesses_ = 0;
+  uint64_t misses_ = 0;
+};
+
+/// Two-level hierarchy (L1 + LLC) as configured by a MachineModel.
+class CacheHierarchy {
+ public:
+  explicit CacheHierarchy(const MachineModel& m) : l1_(m.l1), llc_(m.llc) {}
+
+  enum class Level { L1, Llc, Memory };
+
+  /// Returns the level that served the access.
+  Level access(uint64_t addr);
+
+  void reset() {
+    l1_.reset();
+    llc_.reset();
+  }
+
+  [[nodiscard]] const Cache& l1() const { return l1_; }
+  [[nodiscard]] const Cache& llc() const { return llc_; }
+
+ private:
+  Cache l1_;
+  Cache llc_;
+};
+
+}  // namespace skope

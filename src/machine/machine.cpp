@@ -1,0 +1,109 @@
+#include "machine/machine.h"
+
+namespace skope {
+
+MachineModel MachineModel::bgq() {
+  MachineModel m;
+  m.name = "BG/Q";
+  m.freqGHz = 1.6;
+  m.cores = 16;
+  m.issueWidth = 2;           // A2 is a 2-way in-order core
+  m.simdWidthDoubles = 4;     // QPX
+  m.autoVecQuality = 0.35;    // XL vectorizes only clearly simple loops
+  m.intAluLat = 1;
+  m.intDivLat = 32;
+  m.fpAddLat = 6;
+  m.fpMulLat = 6;
+  m.fpDivLat = 44;            // expanded reciprocal + Newton refinement
+  m.convLat = 2;
+  m.branchLat = 1;
+  m.mispredictPenalty = 12;
+  m.l1 = {16 * 1024, 64, 8, 6};
+  m.llc = {32ULL * 1024 * 1024, 128, 16, 51};  // measured: 51 cycles
+  m.memLatencyCycles = 180;                    // measured: 180 cycles
+  m.memBandwidthGBs = 28;
+  m.mlp = 4;
+  m.peakFlopsPerCyclePerCore = 8;  // 4-wide QPX FMA
+  m.network = {2.5e-6, 2.0};  // 5D-torus link
+  return m;
+}
+
+MachineModel MachineModel::xeonE5_2420() {
+  MachineModel m;
+  m.name = "Xeon E5-2420";
+  m.freqGHz = 1.9;
+  m.cores = 12;
+  m.issueWidth = 4;           // Sandy Bridge out-of-order
+  m.simdWidthDoubles = 4;     // AVX
+  m.autoVecQuality = 0.9;     // GFortran -O3 vectorizes aggressively
+  m.intAluLat = 1;
+  m.intDivLat = 22;
+  m.fpAddLat = 3;
+  m.fpMulLat = 5;
+  m.fpDivLat = 22;
+  m.convLat = 2;
+  m.branchLat = 1;
+  m.mispredictPenalty = 15;
+  m.l1 = {32 * 1024, 64, 8, 4};
+  m.llc = {15ULL * 1024 * 1024, 64, 20, 40};
+  m.memLatencyCycles = 210;   // ~110 ns at 1.9 GHz
+  m.memBandwidthGBs = 42;
+  m.mlp = 8;                  // deeper miss queues than the in-order A2
+  m.peakFlopsPerCyclePerCore = 8;  // AVX add + mul ports
+  m.network = {1.5e-6, 3.0};  // InfiniBand-class cluster fabric
+  return m;
+}
+
+MachineModel MachineModel::manycoreKnl() {
+  MachineModel m;
+  m.name = "Manycore-KNL";
+  m.freqGHz = 1.3;
+  m.cores = 64;
+  m.issueWidth = 2;           // narrow in-order-ish core
+  m.simdWidthDoubles = 8;     // 512-bit vectors
+  m.autoVecQuality = 0.85;    // vectorization is the whole point
+  m.intAluLat = 1;
+  m.intDivLat = 30;
+  m.fpAddLat = 6;
+  m.fpMulLat = 6;
+  m.fpDivLat = 38;
+  m.convLat = 2;
+  m.branchLat = 1;
+  m.mispredictPenalty = 12;
+  m.l1 = {32 * 1024, 64, 8, 5};
+  m.llc = {512ULL * 1024, 64, 16, 20};  // per-tile L2 slice
+  m.memLatencyCycles = 200;
+  m.memBandwidthGBs = 400;    // on-package HBM
+  m.mlp = 10;
+  m.peakFlopsPerCyclePerCore = 16;  // dual 512-bit FMA
+  m.network = {1.2e-6, 10.0};
+  return m;
+}
+
+MachineModel MachineModel::armServer() {
+  MachineModel m;
+  m.name = "ARM-server";
+  m.freqGHz = 2.6;
+  m.cores = 48;
+  m.issueWidth = 4;
+  m.simdWidthDoubles = 2;     // 128-bit NEON-class
+  m.autoVecQuality = 0.7;
+  m.intAluLat = 1;
+  m.intDivLat = 12;
+  m.fpAddLat = 3;
+  m.fpMulLat = 4;
+  m.fpDivLat = 16;
+  m.convLat = 2;
+  m.branchLat = 1;
+  m.mispredictPenalty = 14;
+  m.l1 = {64 * 1024, 64, 4, 4};
+  m.llc = {32ULL * 1024 * 1024, 64, 16, 35};
+  m.memLatencyCycles = 260;
+  m.memBandwidthGBs = 150;
+  m.mlp = 10;
+  m.peakFlopsPerCyclePerCore = 4;
+  m.network = {1.5e-6, 5.0};
+  return m;
+}
+
+}  // namespace skope

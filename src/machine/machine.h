@@ -1,0 +1,104 @@
+// Parameterized hardware descriptions (§V-A of the paper).
+//
+// The same MachineModel feeds two consumers with very different fidelity:
+//   * the ground-truth timing simulator (src/sim), which uses every field
+//     including division latency, auto-vectorization quality and the cache
+//     geometry, and
+//   * the analytic roofline model (src/roofline), which by design uses only
+//     the coarse fields (peak flops, bandwidth, latencies) and a constant
+//     cache miss rate — the paper's deliberate accuracy-for-speed trade.
+// The gap between the two is exactly what Section VII-C of the paper
+// attributes its projection errors to.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace skope {
+
+/// Geometry and latency of one cache level.
+struct CacheLevelDesc {
+  uint64_t sizeBytes = 0;
+  uint32_t lineBytes = 64;
+  uint32_t assoc = 8;
+  double latencyCycles = 1;
+};
+
+/// Inter-node network, postal (alpha-beta) model. Used by the multi-node
+/// projection extension (the paper's §VIII future work): a message of b
+/// bytes costs alpha + b / beta seconds.
+struct NetworkDesc {
+  double linkLatencySec = 2e-6;     ///< alpha: per-message latency
+  double linkBandwidthGBs = 2.0;    ///< beta: per-link bandwidth
+};
+
+/// A single-node hardware configuration.
+struct MachineModel {
+  std::string name;
+  double freqGHz = 1.0;
+  int cores = 1;
+  int issueWidth = 2;        ///< instructions sustained per cycle
+  int simdWidthDoubles = 4;  ///< vector lanes (doubles)
+
+  /// Fraction [0,1] describing how aggressively the native compiler
+  /// auto-vectorizes: a loop with simplicity score s is vectorized when
+  /// s >= 1 - autoVecQuality. Models GFortran -O3 (high) vs IBM XL
+  /// (selective). Used ONLY by the simulator, never by the roofline model.
+  double autoVecQuality = 0.5;
+
+  // Operation latencies, in core cycles.
+  double intAluLat = 1;
+  double intDivLat = 20;
+  double fpAddLat = 5;
+  double fpMulLat = 5;
+  double fpDivLat = 25;  ///< the simulator honors this; the roofline model
+                         ///< treats all flops as equal (paper §VII-B, CFD)
+  double convLat = 2;
+  double branchLat = 1;
+  double mispredictPenalty = 10;
+
+  CacheLevelDesc l1;
+  CacheLevelDesc llc;
+  double memLatencyCycles = 180;
+  double memBandwidthGBs = 30;
+  double mlp = 4;  ///< sustained outstanding misses (memory level parallelism)
+
+  double peakFlopsPerCyclePerCore = 8;  ///< FMA × SIMD width
+
+  NetworkDesc network;  ///< inter-node links (multi-node projection)
+
+  /// Peak flop rate of one core in Gflop/s.
+  [[nodiscard]] double peakGflops() const {
+    return freqGHz * peakFlopsPerCyclePerCore;
+  }
+
+  /// Seconds for a cycle count at this machine's frequency.
+  [[nodiscard]] double cyclesToSeconds(double cycles) const {
+    return cycles / (freqGHz * 1e9);
+  }
+
+  // --- the two validation platforms of Section VI ---
+
+  /// IBM Blue Gene/Q node: 16 in-order PowerPC A2 cores @1.6 GHz, 16 KB L1D,
+  /// shared 32 MB L2 at 51 cycles, DRAM at 180 cycles (paper's measured
+  /// values); QPX 4-wide FMA; XL compiler vectorizes selectively; fp divide
+  /// expands to a reciprocal-estimate + Newton iteration sequence.
+  static MachineModel bgq();
+
+  /// Intel Xeon E5-2420 node: 12 cores @1.9 GHz, 32 KB L1D, 15 MB LLC,
+  /// AVX 4-wide doubles; GFortran -O3 vectorizes aggressively; fast divide;
+  /// higher memory latency in core cycles.
+  static MachineModel xeonE5_2420();
+
+  // --- conceptual design points for co-design sweeps (not validated) ---
+
+  /// A Knights-Landing-flavored many-core: many slow cores, very wide SIMD,
+  /// high-bandwidth on-package memory, weak scalar pipeline.
+  static MachineModel manycoreKnl();
+
+  /// A server-ARM-flavored node: moderate SIMD, strong scalar pipeline,
+  /// modest bandwidth — a contrast point for compute-bound codes.
+  static MachineModel armServer();
+};
+
+}  // namespace skope

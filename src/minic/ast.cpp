@@ -1,0 +1,88 @@
+#include "minic/ast.h"
+
+namespace skope::minic {
+
+std::string_view typeName(Type t) {
+  switch (t) {
+    case Type::Void: return "void";
+    case Type::Int: return "int";
+    case Type::Real: return "real";
+  }
+  return "?";
+}
+
+std::string_view binOpName(BinOp op) {
+  switch (op) {
+    case BinOp::Add: return "+";
+    case BinOp::Sub: return "-";
+    case BinOp::Mul: return "*";
+    case BinOp::Div: return "/";
+    case BinOp::Mod: return "%";
+    case BinOp::Eq: return "==";
+    case BinOp::Ne: return "!=";
+    case BinOp::Lt: return "<";
+    case BinOp::Le: return "<=";
+    case BinOp::Gt: return ">";
+    case BinOp::Ge: return ">=";
+    case BinOp::And: return "&&";
+    case BinOp::Or: return "||";
+  }
+  return "?";
+}
+
+const FuncDecl* Program::findFunc(std::string_view name) const {
+  for (const auto& f : funcs) {
+    if (f->name == name) return f.get();
+  }
+  return nullptr;
+}
+
+const ParamDecl* Program::findParam(std::string_view name) const {
+  for (const auto& p : params) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+const GlobalDecl* Program::findGlobal(std::string_view name) const {
+  for (const auto& g : globals) {
+    if (g.name == name) return &g;
+  }
+  return nullptr;
+}
+
+int Program::globalIndexOf(std::string_view name) const {
+  for (size_t i = 0; i < globals.size(); ++i) {
+    if (globals[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int Program::paramIndexOf(std::string_view name) const {
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (params[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void forEachStmt(const std::vector<StmtUP>& stmts,
+                 const std::function<void(const StmtNode&)>& fn) {
+  for (const auto& s : stmts) {
+    fn(*s);
+    if (s->init) fn(*s->init);
+    if (s->step) fn(*s->step);
+    forEachStmt(s->body, fn);
+    forEachStmt(s->elseBody, fn);
+  }
+}
+
+size_t Program::countStatements() const {
+  size_t n = 0;
+  for (const auto& f : funcs) {
+    ++n;  // the function header itself
+    forEachStmt(f->body, [&](const StmtNode&) { ++n; });
+  }
+  return n;
+}
+
+}  // namespace skope::minic

@@ -1,0 +1,176 @@
+// Abstract syntax tree for MiniC.
+//
+// Every node carries a NodeId that is unique within its Program. Loop and
+// function NodeIds double as *region ids*: the simulator (ground-truth
+// profiler), the skeleton translator, and the BET all attribute costs to the
+// same region ids, which is what makes model-vs-measurement hot-spot
+// comparison exact.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/diagnostics.h"
+
+namespace skope::minic {
+
+using NodeId = uint32_t;
+constexpr NodeId kInvalidNode = 0;
+
+/// Scalar value types. Arrays are declared separately with an element type.
+enum class Type { Void, Int, Real };
+
+std::string_view typeName(Type t);
+
+struct ExprNode;
+struct StmtNode;
+struct FuncDecl;
+using ExprUP = std::unique_ptr<ExprNode>;
+using StmtUP = std::unique_ptr<StmtNode>;
+
+enum class ExprKind {
+  IntLit,    ///< numValue
+  RealLit,   ///< numValue
+  VarRef,    ///< name; resolved to a local slot or global scalar
+  ArrayRef,  ///< name + index args; resolved to a global array
+  Unary,     ///< un + args[0]
+  Binary,    ///< bin + args[0], args[1]
+  Call,      ///< name + args; builtin or user function
+};
+
+enum class BinOp { Add, Sub, Mul, Div, Mod, Eq, Ne, Lt, Le, Gt, Ge, And, Or };
+enum class UnOp { Neg, Not };
+
+std::string_view binOpName(BinOp op);
+
+/// Expression node. Children live in `args`; for Binary they are the two
+/// operands, for ArrayRef the index expressions, for Call the arguments.
+struct ExprNode {
+  NodeId id = kInvalidNode;
+  SourceLoc loc;
+  ExprKind kind = ExprKind::IntLit;
+  double numValue = 0.0;
+  std::string name;
+  BinOp bin = BinOp::Add;
+  UnOp un = UnOp::Neg;
+  std::vector<ExprUP> args;
+
+  // --- filled in by Sema ---
+  Type type = Type::Void;
+  int localSlot = -1;            ///< VarRef to a local/function parameter
+  int paramIndex = -1;           ///< VarRef to a workload `param` declaration
+  int globalIndex = -1;          ///< VarRef to a global scalar
+  int arrayIndex = -1;           ///< ArrayRef target
+  int builtinIndex = -1;         ///< Call to a builtin (index into builtin table)
+  const FuncDecl* callee = nullptr;  ///< Call to a user function
+};
+
+enum class StmtKind {
+  Block,     ///< body
+  VarDecl,   ///< name, declType, optional init in rhs
+  Assign,    ///< lhsName (+ lhsIndices for array element), rhs
+  ExprStmt,  ///< rhs (evaluated for side effects — user calls)
+  If,        ///< cond, thenBlock, optional elseBlock
+  For,       ///< init (Assign), cond, step (Assign), body
+  While,     ///< cond, body
+  Return,    ///< optional rhs
+  Break,
+  Continue,
+};
+
+/// Statement node. A single struct with a kind tag keeps traversal code in
+/// one switch per pass, which the passes in translate/ and vm/ rely on.
+struct StmtNode {
+  NodeId id = kInvalidNode;
+  SourceLoc loc;
+  StmtKind kind = StmtKind::Block;
+
+  // VarDecl / Assign
+  std::string lhsName;
+  Type declType = Type::Void;
+  std::vector<ExprUP> lhsIndices;
+
+  ExprUP rhs;    ///< init value / assigned value / returned value / expr
+  ExprUP cond;   ///< If / For / While condition
+
+  StmtUP init;   ///< For init assignment
+  StmtUP step;   ///< For step assignment
+
+  std::vector<StmtUP> body;      ///< Block / For / While body
+  std::vector<StmtUP> elseBody;  ///< If else-branch
+
+  // --- filled in by Sema ---
+  int localSlot = -1;    ///< VarDecl slot; Assign to local
+  int globalIndex = -1;  ///< Assign to global scalar
+  int arrayIndex = -1;   ///< Assign to array element
+};
+
+/// `param int N;` — a workload input parameter, bound by the hint file /
+/// WorkloadInput before execution. Params behave as read-only global scalars.
+struct ParamDecl {
+  NodeId id = kInvalidNode;
+  SourceLoc loc;
+  std::string name;
+  Type type = Type::Int;
+  std::optional<double> defaultValue;
+};
+
+/// `global real u[NX][NY];` — a global array (or scalar when dims is empty).
+/// Dimension expressions may reference params and integer literals.
+struct GlobalDecl {
+  NodeId id = kInvalidNode;
+  SourceLoc loc;
+  std::string name;
+  Type elemType = Type::Real;
+  std::vector<ExprUP> dims;  ///< empty => global scalar
+
+  [[nodiscard]] bool isArray() const { return !dims.empty(); }
+};
+
+/// A function parameter (scalars only; arrays are globals by design).
+struct FuncParam {
+  std::string name;
+  Type type = Type::Int;
+};
+
+struct FuncDecl {
+  NodeId id = kInvalidNode;
+  SourceLoc loc;
+  std::string name;
+  Type retType = Type::Void;
+  std::vector<FuncParam> params;
+  std::vector<StmtUP> body;
+
+  // --- filled in by Sema ---
+  int numLocalSlots = 0;  ///< params + declared locals
+};
+
+/// A full translation unit.
+struct Program {
+  std::string sourceName;
+  std::vector<ParamDecl> params;
+  std::vector<GlobalDecl> globals;
+  std::vector<std::unique_ptr<FuncDecl>> funcs;
+  NodeId nextNodeId = 1;
+
+  [[nodiscard]] const FuncDecl* findFunc(std::string_view name) const;
+  [[nodiscard]] const ParamDecl* findParam(std::string_view name) const;
+  [[nodiscard]] const GlobalDecl* findGlobal(std::string_view name) const;
+  [[nodiscard]] int globalIndexOf(std::string_view name) const;
+  [[nodiscard]] int paramIndexOf(std::string_view name) const;
+
+  /// Total number of statements (the paper's "source code statements" metric
+  /// used in the BET-size comparison of §IV-B).
+  [[nodiscard]] size_t countStatements() const;
+};
+
+/// Calls `fn` for every statement in the subtree rooted at each element of
+/// `stmts`, pre-order.
+void forEachStmt(const std::vector<StmtUP>& stmts,
+                 const std::function<void(const StmtNode&)>& fn);
+
+}  // namespace skope::minic

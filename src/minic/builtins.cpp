@@ -1,0 +1,36 @@
+#include "minic/builtins.h"
+
+namespace skope::minic {
+
+const std::vector<BuiltinInfo>& builtinTable() {
+  // The fallback mixes approximate a typical scalar libm implementation:
+  // a polynomial-core transcendental is a few dozen fused multiply-adds plus
+  // range-reduction integer work and a table lookup.
+  static const std::vector<BuiltinInfo> table = {
+      {"exp", 1, Type::Real, true, {22, 6, 2, 0}},
+      {"log", 1, Type::Real, true, {24, 8, 2, 0}},
+      {"sqrt", 1, Type::Real, true, {14, 2, 0, 0}},
+      {"sin", 1, Type::Real, true, {20, 8, 2, 0}},
+      {"cos", 1, Type::Real, true, {20, 8, 2, 0}},
+      {"pow", 2, Type::Real, true, {48, 12, 4, 0}},
+      {"rand", 0, Type::Real, true, {4, 10, 1, 1}},
+      {"fabs", 1, Type::Real, false, {1, 0, 0, 0}},
+      {"floor", 1, Type::Real, false, {1, 0, 0, 0}},
+      {"fmin", 2, Type::Real, false, {1, 0, 0, 0}},
+      {"fmax", 2, Type::Real, false, {1, 0, 0, 0}},
+      {"imin", 2, Type::Int, false, {0, 1, 0, 0}},
+      {"imax", 2, Type::Int, false, {0, 1, 0, 0}},
+      {"itrunc", 1, Type::Int, false, {0, 1, 0, 0}},
+  };
+  return table;
+}
+
+int findBuiltin(std::string_view name) {
+  const auto& table = builtinTable();
+  for (size_t i = 0; i < table.size(); ++i) {
+    if (table[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace skope::minic

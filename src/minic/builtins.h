@@ -1,0 +1,45 @@
+// Registry of MiniC builtin (library) functions.
+//
+// Builtins stand in for the math library of the paper's workloads (SRAD's
+// `exp` and `rand` are two of its measured hot spots). Each entry carries a
+// *static* fallback operation mix used by the skeleton translator when no
+// profiled mix is available; the semi-analytic path of §IV-C replaces this
+// with a mix measured by sampling the VM (see src/libmodel).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "minic/ast.h"
+
+namespace skope::minic {
+
+/// Static per-call instruction mix of a builtin, in the same units the
+/// translator uses for user code (see skeleton::BlockMetrics).
+struct BuiltinMix {
+  double flops = 0;    ///< floating point operations
+  double iops = 0;     ///< fixed point / integer operations
+  double loads = 0;    ///< data elements read
+  double stores = 0;   ///< data elements written
+};
+
+struct BuiltinInfo {
+  std::string_view name;
+  int arity = 1;
+  Type retType = Type::Real;
+  /// True for functions that the framework treats as opaque library calls and
+  /// models semi-analytically (transcendentals, rand); false for cheap
+  /// intrinsics folded into the caller's op mix (fabs, floor, min, max).
+  bool isLibraryCall = false;
+  BuiltinMix mix;
+};
+
+/// The full builtin table. Indices into this table are what
+/// ExprNode::builtinIndex refers to.
+const std::vector<BuiltinInfo>& builtinTable();
+
+/// Returns the index of `name` in builtinTable(), or -1.
+int findBuiltin(std::string_view name);
+
+}  // namespace skope::minic

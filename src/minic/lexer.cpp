@@ -1,0 +1,201 @@
+#include "minic/lexer.h"
+
+#include <cctype>
+#include <map>
+
+namespace skope::minic {
+
+std::string_view tokName(Tok t) {
+  switch (t) {
+    case Tok::Ident: return "identifier";
+    case Tok::IntLit: return "integer literal";
+    case Tok::RealLit: return "real literal";
+    case Tok::KwFunc: return "'func'";
+    case Tok::KwVar: return "'var'";
+    case Tok::KwParam: return "'param'";
+    case Tok::KwGlobal: return "'global'";
+    case Tok::KwIf: return "'if'";
+    case Tok::KwElse: return "'else'";
+    case Tok::KwFor: return "'for'";
+    case Tok::KwWhile: return "'while'";
+    case Tok::KwReturn: return "'return'";
+    case Tok::KwBreak: return "'break'";
+    case Tok::KwContinue: return "'continue'";
+    case Tok::KwInt: return "'int'";
+    case Tok::KwReal: return "'real'";
+    case Tok::KwVoid: return "'void'";
+    case Tok::LParen: return "'('";
+    case Tok::RParen: return "')'";
+    case Tok::LBrace: return "'{'";
+    case Tok::RBrace: return "'}'";
+    case Tok::LBracket: return "'['";
+    case Tok::RBracket: return "']'";
+    case Tok::Comma: return "','";
+    case Tok::Semicolon: return "';'";
+    case Tok::Assign: return "'='";
+    case Tok::Plus: return "'+'";
+    case Tok::Minus: return "'-'";
+    case Tok::Star: return "'*'";
+    case Tok::Slash: return "'/'";
+    case Tok::Percent: return "'%'";
+    case Tok::EqEq: return "'=='";
+    case Tok::NotEq: return "'!='";
+    case Tok::Lt: return "'<'";
+    case Tok::Le: return "'<='";
+    case Tok::Gt: return "'>'";
+    case Tok::Ge: return "'>='";
+    case Tok::AmpAmp: return "'&&'";
+    case Tok::PipePipe: return "'||'";
+    case Tok::Bang: return "'!'";
+    case Tok::Eof: return "end of input";
+  }
+  return "?";
+}
+
+namespace {
+
+const std::map<std::string_view, Tok>& keywords() {
+  static const std::map<std::string_view, Tok> kw = {
+      {"func", Tok::KwFunc},     {"var", Tok::KwVar},
+      {"param", Tok::KwParam},   {"global", Tok::KwGlobal},
+      {"if", Tok::KwIf},         {"else", Tok::KwElse},
+      {"for", Tok::KwFor},       {"while", Tok::KwWhile},
+      {"return", Tok::KwReturn}, {"break", Tok::KwBreak},
+      {"continue", Tok::KwContinue},
+      {"int", Tok::KwInt},       {"real", Tok::KwReal},
+      {"void", Tok::KwVoid},
+  };
+  return kw;
+}
+
+}  // namespace
+
+Lexer::Lexer(std::string_view source, std::string_view fileName)
+    : src_(source), file_(fileName) {}
+
+SourceLoc Lexer::here() const { return SourceLoc{file_, line_, col_}; }
+
+char Lexer::peek(size_t ahead) const {
+  return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+}
+
+char Lexer::advance() {
+  char c = src_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    col_ = 1;
+  } else {
+    ++col_;
+  }
+  return c;
+}
+
+bool Lexer::match(char c) {
+  if (peek() != c) return false;
+  advance();
+  return true;
+}
+
+void Lexer::skipWhitespaceAndComments() {
+  while (pos_ < src_.size()) {
+    char c = peek();
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance();
+    } else if (c == '/' && peek(1) == '/') {
+      while (pos_ < src_.size() && peek() != '\n') advance();
+    } else if (c == '/' && peek(1) == '*') {
+      SourceLoc start = here();
+      advance();
+      advance();
+      while (pos_ < src_.size() && !(peek() == '*' && peek(1) == '/')) advance();
+      if (pos_ >= src_.size()) throw Error(start, "unterminated block comment");
+      advance();
+      advance();
+    } else {
+      return;
+    }
+  }
+}
+
+Token Lexer::next() {
+  skipWhitespaceAndComments();
+  SourceLoc loc = here();
+  if (pos_ >= src_.size()) return Token{Tok::Eof, {}, loc, 0.0};
+
+  size_t start = pos_;
+  char c = advance();
+
+  auto tok = [&](Tok kind) {
+    return Token{kind, src_.substr(start, pos_ - start), loc, 0.0};
+  };
+
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+    while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_') advance();
+    std::string_view text = src_.substr(start, pos_ - start);
+    auto it = keywords().find(text);
+    if (it != keywords().end()) return Token{it->second, text, loc, 0.0};
+    return Token{Tok::Ident, text, loc, 0.0};
+  }
+
+  if (std::isdigit(static_cast<unsigned char>(c)) ||
+      (c == '.' && std::isdigit(static_cast<unsigned char>(peek())))) {
+    bool isReal = (c == '.');
+    while (std::isdigit(static_cast<unsigned char>(peek()))) advance();
+    if (!isReal && peek() == '.' ) {
+      isReal = true;
+      advance();
+      while (std::isdigit(static_cast<unsigned char>(peek()))) advance();
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      isReal = true;
+      advance();
+      if (peek() == '+' || peek() == '-') advance();
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+        throw Error(loc, "malformed exponent in numeric literal");
+      }
+      while (std::isdigit(static_cast<unsigned char>(peek()))) advance();
+    }
+    Token t = tok(isReal ? Tok::RealLit : Tok::IntLit);
+    t.numValue = std::stod(std::string(t.text));
+    return t;
+  }
+
+  switch (c) {
+    case '(': return tok(Tok::LParen);
+    case ')': return tok(Tok::RParen);
+    case '{': return tok(Tok::LBrace);
+    case '}': return tok(Tok::RBrace);
+    case '[': return tok(Tok::LBracket);
+    case ']': return tok(Tok::RBracket);
+    case ',': return tok(Tok::Comma);
+    case ';': return tok(Tok::Semicolon);
+    case '+': return tok(Tok::Plus);
+    case '-': return tok(Tok::Minus);
+    case '*': return tok(Tok::Star);
+    case '/': return tok(Tok::Slash);
+    case '%': return tok(Tok::Percent);
+    case '=': return tok(match('=') ? Tok::EqEq : Tok::Assign);
+    case '!': return tok(match('=') ? Tok::NotEq : Tok::Bang);
+    case '<': return tok(match('=') ? Tok::Le : Tok::Lt);
+    case '>': return tok(match('=') ? Tok::Ge : Tok::Gt);
+    case '&':
+      if (match('&')) return tok(Tok::AmpAmp);
+      throw Error(loc, "expected '&&'");
+    case '|':
+      if (match('|')) return tok(Tok::PipePipe);
+      throw Error(loc, "expected '||'");
+    default:
+      throw Error(loc, std::string("unexpected character '") + c + "'");
+  }
+}
+
+std::vector<Token> Lexer::tokenize() {
+  std::vector<Token> out;
+  while (true) {
+    out.push_back(next());
+    if (out.back().kind == Tok::Eof) break;
+  }
+  return out;
+}
+
+}  // namespace skope::minic

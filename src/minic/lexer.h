@@ -1,0 +1,65 @@
+// Lexer for MiniC, the small C-like workload language that stands in for the
+// paper's C/Fortran inputs (ROSE frontend substitute, see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/diagnostics.h"
+
+namespace skope::minic {
+
+enum class Tok {
+  // literals / identifiers
+  Ident, IntLit, RealLit,
+  // keywords
+  KwFunc, KwVar, KwParam, KwGlobal, KwIf, KwElse, KwFor, KwWhile,
+  KwReturn, KwBreak, KwContinue, KwInt, KwReal, KwVoid,
+  // punctuation
+  LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+  Comma, Semicolon,
+  Assign,                       // =
+  Plus, Minus, Star, Slash, Percent,
+  EqEq, NotEq, Lt, Le, Gt, Ge,
+  AmpAmp, PipePipe, Bang,
+  Eof,
+};
+
+/// Human-readable token name for diagnostics.
+std::string_view tokName(Tok t);
+
+struct Token {
+  Tok kind = Tok::Eof;
+  std::string_view text;   ///< slice of the source buffer
+  SourceLoc loc;
+  double numValue = 0.0;   ///< for IntLit / RealLit
+};
+
+/// Tokenizes an entire buffer up front. The source buffer must outlive the
+/// returned tokens (they hold string_views into it).
+class Lexer {
+ public:
+  Lexer(std::string_view source, std::string_view fileName);
+
+  /// Lexes the whole input; the last token is always Eof.
+  /// Throws Error on an unrecognized character or malformed literal.
+  std::vector<Token> tokenize();
+
+ private:
+  Token next();
+  void skipWhitespaceAndComments();
+  [[nodiscard]] SourceLoc here() const;
+  char peek(size_t ahead = 0) const;
+  char advance();
+  bool match(char c);
+
+  std::string_view src_;
+  std::string_view file_;
+  size_t pos_ = 0;
+  uint32_t line_ = 1;
+  uint32_t col_ = 1;
+};
+
+}  // namespace skope::minic

@@ -1,0 +1,395 @@
+#include "minic/parser.h"
+
+#include "minic/lexer.h"
+
+namespace skope::minic {
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, std::unique_ptr<Program> prog)
+      : toks_(std::move(tokens)), prog_(std::move(prog)) {}
+
+  std::unique_ptr<Program> run() {
+    while (!at(Tok::Eof)) {
+      if (at(Tok::KwParam)) {
+        parseParamDecl();
+      } else if (at(Tok::KwGlobal)) {
+        parseGlobalDecl();
+      } else if (at(Tok::KwFunc)) {
+        parseFuncDecl();
+      } else {
+        throw Error(cur().loc, "expected 'param', 'global' or 'func' at top level");
+      }
+    }
+    return std::move(prog_);
+  }
+
+ private:
+  const Token& cur() const { return toks_[pos_]; }
+  bool at(Tok kind) const { return cur().kind == kind; }
+
+  Token eat(Tok kind) {
+    if (!at(kind)) {
+      throw Error(cur().loc, "expected " + std::string(tokName(kind)) + ", found " +
+                                 std::string(tokName(cur().kind)) +
+                                 (cur().text.empty() ? "" : " '" + std::string(cur().text) + "'"));
+    }
+    return toks_[pos_++];
+  }
+
+  bool accept(Tok kind) {
+    if (!at(kind)) return false;
+    ++pos_;
+    return true;
+  }
+
+  NodeId freshId() { return prog_->nextNodeId++; }
+
+  Type parseType() {
+    if (accept(Tok::KwInt)) return Type::Int;
+    if (accept(Tok::KwReal)) return Type::Real;
+    if (accept(Tok::KwVoid)) return Type::Void;
+    throw Error(cur().loc, "expected a type ('int', 'real' or 'void')");
+  }
+
+  void parseParamDecl() {
+    Token kw = eat(Tok::KwParam);
+    ParamDecl d;
+    d.id = freshId();
+    d.loc = kw.loc;
+    d.type = parseType();
+    if (d.type == Type::Void) throw Error(kw.loc, "parameters cannot be void");
+    d.name = std::string(eat(Tok::Ident).text);
+    if (accept(Tok::Assign)) {
+      Token lit = cur();
+      bool negate = accept(Tok::Minus);
+      if (at(Tok::IntLit) || at(Tok::RealLit)) {
+        d.defaultValue = (negate ? -1.0 : 1.0) * eat(cur().kind).numValue;
+      } else {
+        throw Error(lit.loc, "param default must be a numeric literal");
+      }
+    }
+    eat(Tok::Semicolon);
+    prog_->params.push_back(std::move(d));
+  }
+
+  void parseGlobalDecl() {
+    Token kw = eat(Tok::KwGlobal);
+    GlobalDecl d;
+    d.id = freshId();
+    d.loc = kw.loc;
+    d.elemType = parseType();
+    if (d.elemType == Type::Void) throw Error(kw.loc, "globals cannot be void");
+    d.name = std::string(eat(Tok::Ident).text);
+    while (accept(Tok::LBracket)) {
+      d.dims.push_back(parseExpr());
+      eat(Tok::RBracket);
+    }
+    if (d.dims.size() > 3) throw Error(d.loc, "arrays support at most 3 dimensions");
+    eat(Tok::Semicolon);
+    prog_->globals.push_back(std::move(d));
+  }
+
+  void parseFuncDecl() {
+    Token kw = eat(Tok::KwFunc);
+    auto f = std::make_unique<FuncDecl>();
+    f->id = freshId();
+    f->loc = kw.loc;
+    f->retType = parseType();
+    f->name = std::string(eat(Tok::Ident).text);
+    eat(Tok::LParen);
+    if (!at(Tok::RParen)) {
+      do {
+        FuncParam p;
+        p.type = parseType();
+        if (p.type == Type::Void) throw Error(cur().loc, "function parameters cannot be void");
+        p.name = std::string(eat(Tok::Ident).text);
+        f->params.push_back(std::move(p));
+      } while (accept(Tok::Comma));
+    }
+    eat(Tok::RParen);
+    f->body = parseBlockBody();
+    prog_->funcs.push_back(std::move(f));
+  }
+
+  std::vector<StmtUP> parseBlockBody() {
+    eat(Tok::LBrace);
+    std::vector<StmtUP> body;
+    while (!at(Tok::RBrace)) body.push_back(parseStmt());
+    eat(Tok::RBrace);
+    return body;
+  }
+
+  StmtUP makeStmt(StmtKind kind, SourceLoc loc) {
+    auto s = std::make_unique<StmtNode>();
+    s->id = freshId();
+    s->loc = loc;
+    s->kind = kind;
+    return s;
+  }
+
+  StmtUP parseStmt() {
+    SourceLoc loc = cur().loc;
+    switch (cur().kind) {
+      case Tok::KwVar: return parseVarDecl();
+      case Tok::KwIf: return parseIf();
+      case Tok::KwFor: return parseFor();
+      case Tok::KwWhile: return parseWhile();
+      case Tok::KwReturn: {
+        eat(Tok::KwReturn);
+        auto s = makeStmt(StmtKind::Return, loc);
+        if (!at(Tok::Semicolon)) s->rhs = parseExpr();
+        eat(Tok::Semicolon);
+        return s;
+      }
+      case Tok::KwBreak: {
+        eat(Tok::KwBreak);
+        eat(Tok::Semicolon);
+        return makeStmt(StmtKind::Break, loc);
+      }
+      case Tok::KwContinue: {
+        eat(Tok::KwContinue);
+        eat(Tok::Semicolon);
+        return makeStmt(StmtKind::Continue, loc);
+      }
+      case Tok::LBrace: {
+        auto s = makeStmt(StmtKind::Block, loc);
+        s->body = parseBlockBody();
+        return s;
+      }
+      default: {
+        auto s = parseSimpleStmt();
+        eat(Tok::Semicolon);
+        return s;
+      }
+    }
+  }
+
+  StmtUP parseVarDecl() {
+    SourceLoc loc = eat(Tok::KwVar).loc;
+    auto s = makeStmt(StmtKind::VarDecl, loc);
+    s->declType = parseType();
+    if (s->declType == Type::Void) throw Error(loc, "variables cannot be void");
+    s->lhsName = std::string(eat(Tok::Ident).text);
+    if (accept(Tok::Assign)) s->rhs = parseExpr();
+    eat(Tok::Semicolon);
+    return s;
+  }
+
+  StmtUP parseIf() {
+    SourceLoc loc = eat(Tok::KwIf).loc;
+    auto s = makeStmt(StmtKind::If, loc);
+    eat(Tok::LParen);
+    s->cond = parseExpr();
+    eat(Tok::RParen);
+    s->body = parseBlockBody();
+    if (accept(Tok::KwElse)) {
+      if (at(Tok::KwIf)) {
+        s->elseBody.push_back(parseIf());
+      } else {
+        s->elseBody = parseBlockBody();
+      }
+    }
+    return s;
+  }
+
+  StmtUP parseFor() {
+    SourceLoc loc = eat(Tok::KwFor).loc;
+    auto s = makeStmt(StmtKind::For, loc);
+    eat(Tok::LParen);
+    s->init = parseSimpleStmt();
+    if (s->init->kind != StmtKind::Assign) {
+      throw Error(s->init->loc, "for-init must be an assignment");
+    }
+    eat(Tok::Semicolon);
+    s->cond = parseExpr();
+    eat(Tok::Semicolon);
+    s->step = parseSimpleStmt();
+    if (s->step->kind != StmtKind::Assign) {
+      throw Error(s->step->loc, "for-step must be an assignment");
+    }
+    eat(Tok::RParen);
+    s->body = parseBlockBody();
+    return s;
+  }
+
+  StmtUP parseWhile() {
+    SourceLoc loc = eat(Tok::KwWhile).loc;
+    auto s = makeStmt(StmtKind::While, loc);
+    eat(Tok::LParen);
+    s->cond = parseExpr();
+    eat(Tok::RParen);
+    s->body = parseBlockBody();
+    return s;
+  }
+
+  /// assignment or bare call
+  StmtUP parseSimpleStmt() {
+    SourceLoc loc = cur().loc;
+    Token ident = eat(Tok::Ident);
+
+    if (at(Tok::LParen)) {
+      // bare call for side effects
+      auto s = makeStmt(StmtKind::ExprStmt, loc);
+      s->rhs = parseCallRest(ident);
+      return s;
+    }
+
+    auto s = makeStmt(StmtKind::Assign, loc);
+    s->lhsName = std::string(ident.text);
+    while (accept(Tok::LBracket)) {
+      s->lhsIndices.push_back(parseExpr());
+      eat(Tok::RBracket);
+    }
+    eat(Tok::Assign);
+    s->rhs = parseExpr();
+    return s;
+  }
+
+  // ---- expressions ----
+
+  ExprUP makeExpr(ExprKind kind, SourceLoc loc) {
+    auto e = std::make_unique<ExprNode>();
+    e->id = freshId();
+    e->loc = loc;
+    e->kind = kind;
+    return e;
+  }
+
+  ExprUP parseExpr() { return parseOr(); }
+
+  ExprUP parseBinaryChain(ExprUP (Parser::*sub)(),
+                          std::initializer_list<std::pair<Tok, BinOp>> ops) {
+    auto lhs = (this->*sub)();
+    while (true) {
+      bool matched = false;
+      for (auto [tok, op] : ops) {
+        if (at(tok)) {
+          SourceLoc loc = eat(tok).loc;
+          auto e = makeExpr(ExprKind::Binary, loc);
+          e->bin = op;
+          e->args.push_back(std::move(lhs));
+          e->args.push_back((this->*sub)());
+          lhs = std::move(e);
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) return lhs;
+    }
+  }
+
+  ExprUP parseOr() {
+    return parseBinaryChain(&Parser::parseAnd, {{Tok::PipePipe, BinOp::Or}});
+  }
+  ExprUP parseAnd() {
+    return parseBinaryChain(&Parser::parseEquality, {{Tok::AmpAmp, BinOp::And}});
+  }
+  ExprUP parseEquality() {
+    return parseBinaryChain(&Parser::parseRelational,
+                            {{Tok::EqEq, BinOp::Eq}, {Tok::NotEq, BinOp::Ne}});
+  }
+  ExprUP parseRelational() {
+    return parseBinaryChain(&Parser::parseAdditive,
+                            {{Tok::Lt, BinOp::Lt},
+                             {Tok::Le, BinOp::Le},
+                             {Tok::Gt, BinOp::Gt},
+                             {Tok::Ge, BinOp::Ge}});
+  }
+  ExprUP parseAdditive() {
+    return parseBinaryChain(&Parser::parseMultiplicative,
+                            {{Tok::Plus, BinOp::Add}, {Tok::Minus, BinOp::Sub}});
+  }
+  ExprUP parseMultiplicative() {
+    return parseBinaryChain(&Parser::parseUnary, {{Tok::Star, BinOp::Mul},
+                                                  {Tok::Slash, BinOp::Div},
+                                                  {Tok::Percent, BinOp::Mod}});
+  }
+
+  ExprUP parseUnary() {
+    if (at(Tok::Minus)) {
+      SourceLoc loc = eat(Tok::Minus).loc;
+      auto e = makeExpr(ExprKind::Unary, loc);
+      e->un = UnOp::Neg;
+      e->args.push_back(parseUnary());
+      return e;
+    }
+    if (at(Tok::Bang)) {
+      SourceLoc loc = eat(Tok::Bang).loc;
+      auto e = makeExpr(ExprKind::Unary, loc);
+      e->un = UnOp::Not;
+      e->args.push_back(parseUnary());
+      return e;
+    }
+    return parsePrimary();
+  }
+
+  ExprUP parseCallRest(const Token& ident) {
+    auto e = makeExpr(ExprKind::Call, ident.loc);
+    e->name = std::string(ident.text);
+    eat(Tok::LParen);
+    if (!at(Tok::RParen)) {
+      do {
+        e->args.push_back(parseExpr());
+      } while (accept(Tok::Comma));
+    }
+    eat(Tok::RParen);
+    return e;
+  }
+
+  ExprUP parsePrimary() {
+    SourceLoc loc = cur().loc;
+    if (at(Tok::IntLit)) {
+      auto e = makeExpr(ExprKind::IntLit, loc);
+      e->numValue = eat(Tok::IntLit).numValue;
+      return e;
+    }
+    if (at(Tok::RealLit)) {
+      auto e = makeExpr(ExprKind::RealLit, loc);
+      e->numValue = eat(Tok::RealLit).numValue;
+      return e;
+    }
+    if (at(Tok::LParen)) {
+      eat(Tok::LParen);
+      auto e = parseExpr();
+      eat(Tok::RParen);
+      return e;
+    }
+    if (at(Tok::Ident)) {
+      Token ident = eat(Tok::Ident);
+      if (at(Tok::LParen)) return parseCallRest(ident);
+      if (at(Tok::LBracket)) {
+        auto e = makeExpr(ExprKind::ArrayRef, loc);
+        e->name = std::string(ident.text);
+        while (accept(Tok::LBracket)) {
+          e->args.push_back(parseExpr());
+          eat(Tok::RBracket);
+        }
+        return e;
+      }
+      auto e = makeExpr(ExprKind::VarRef, loc);
+      e->name = std::string(ident.text);
+      return e;
+    }
+    throw Error(loc, "expected an expression, found " + std::string(tokName(cur().kind)));
+  }
+
+  std::vector<Token> toks_;
+  std::unique_ptr<Program> prog_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Program> parseProgram(std::string_view source, std::string_view fileName) {
+  auto prog = std::make_unique<Program>();
+  prog->sourceName = std::string(fileName);
+  // Tokens carry string_views into `source`; AST nodes copy names out, so the
+  // caller's buffer only needs to live for the duration of this call.
+  Lexer lexer(source, prog->sourceName);
+  return Parser(lexer.tokenize(), std::move(prog)).run();
+}
+
+}  // namespace skope::minic

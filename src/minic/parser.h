@@ -1,0 +1,38 @@
+// Recursive-descent parser for MiniC.
+//
+// Grammar (EBNF):
+//   program     := topdecl*
+//   topdecl     := paramDecl | globalDecl | funcDecl
+//   paramDecl   := 'param' type ident ('=' expr)? ';'
+//   globalDecl  := 'global' type ident ('[' expr ']')* ';'
+//   funcDecl    := 'func' rettype ident '(' funcParams? ')' block
+//   funcParams  := type ident (',' type ident)*
+//   block       := '{' stmt* '}'
+//   stmt        := varDecl | ifStmt | forStmt | whileStmt | returnStmt
+//                | 'break' ';' | 'continue' ';' | block | simpleStmt ';'
+//   varDecl     := 'var' type ident ('=' expr)? ';'
+//   ifStmt      := 'if' '(' expr ')' block ('else' (ifStmt | block))?
+//   forStmt     := 'for' '(' assign ';' expr ';' assign ')' block
+//   whileStmt   := 'while' '(' expr ')' block
+//   returnStmt  := 'return' expr? ';'
+//   simpleStmt  := assign | callExpr
+//   assign      := lvalue '=' expr
+//   lvalue      := ident ('[' expr ']')*
+//   expr        := C-style precedence: || && == != < <= > >= + - * / % unary
+//   primary     := literal | lvalue | ident '(' args ')' | '(' expr ')'
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "minic/ast.h"
+
+namespace skope::minic {
+
+/// Parses `source` into a Program. Throws Error with location info on the
+/// first syntax error. The returned Program owns a copy of the source text so
+/// token string_views remain valid for its lifetime.
+std::unique_ptr<Program> parseProgram(std::string_view source,
+                                      std::string_view fileName = "<input>");
+
+}  // namespace skope::minic

@@ -1,0 +1,217 @@
+#include "minic/printer.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "support/text.h"
+
+namespace skope::minic {
+
+namespace {
+
+void printExprTo(std::ostringstream& os, const ExprNode& e);
+
+void printArgs(std::ostringstream& os, const std::vector<ExprUP>& args, const char* open,
+               const char* close, const char* sep) {
+  os << open;
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i) os << sep;
+    printExprTo(os, *args[i]);
+  }
+  os << close;
+}
+
+void printExprTo(std::ostringstream& os, const ExprNode& e) {
+  switch (e.kind) {
+    case ExprKind::IntLit:
+      os << static_cast<long long>(e.numValue);
+      return;
+    case ExprKind::RealLit: {
+      std::string s = humanDouble(e.numValue, 17);
+      os << s;
+      if (s.find('.') == std::string::npos && s.find('e') == std::string::npos) os << ".0";
+      return;
+    }
+    case ExprKind::VarRef:
+      os << e.name;
+      return;
+    case ExprKind::ArrayRef:
+      os << e.name;
+      for (const auto& ix : e.args) {
+        os << '[';
+        printExprTo(os, *ix);
+        os << ']';
+      }
+      return;
+    case ExprKind::Unary:
+      os << (e.un == UnOp::Neg ? "-" : "!") << '(';
+      printExprTo(os, *e.args[0]);
+      os << ')';
+      return;
+    case ExprKind::Binary:
+      os << '(';
+      printExprTo(os, *e.args[0]);
+      os << ' ' << binOpName(e.bin) << ' ';
+      printExprTo(os, *e.args[1]);
+      os << ')';
+      return;
+    case ExprKind::Call:
+      os << e.name;
+      printArgs(os, e.args, "(", ")", ", ");
+      return;
+  }
+}
+
+class ProgramPrinter {
+ public:
+  std::string run(const Program& prog) {
+    for (const auto& p : prog.params) {
+      os_ << "param " << typeName(p.type) << ' ' << p.name;
+      if (p.defaultValue) os_ << " = " << humanDouble(*p.defaultValue, 17);
+      os_ << ";\n";
+    }
+    for (const auto& g : prog.globals) {
+      os_ << "global " << typeName(g.elemType) << ' ' << g.name;
+      for (const auto& d : g.dims) {
+        os_ << '[';
+        printExprTo(os_, *d);
+        os_ << ']';
+      }
+      os_ << ";\n";
+    }
+    for (const auto& f : prog.funcs) {
+      os_ << "\nfunc " << typeName(f->retType) << ' ' << f->name << '(';
+      for (size_t i = 0; i < f->params.size(); ++i) {
+        if (i) os_ << ", ";
+        os_ << typeName(f->params[i].type) << ' ' << f->params[i].name;
+      }
+      os_ << ") {\n";
+      indent_ = 1;
+      printStmts(f->body);
+      os_ << "}\n";
+    }
+    return os_.str();
+  }
+
+ private:
+  void line() {
+    for (int i = 0; i < indent_; ++i) os_ << "  ";
+  }
+
+  void printStmts(const std::vector<StmtUP>& stmts) {
+    for (const auto& s : stmts) printStmt(*s);
+  }
+
+  void printBlock(const std::vector<StmtUP>& body) {
+    os_ << "{\n";
+    ++indent_;
+    printStmts(body);
+    --indent_;
+    line();
+    os_ << "}";
+  }
+
+  void printAssignInline(const StmtNode& s) {
+    os_ << s.lhsName;
+    for (const auto& ix : s.lhsIndices) {
+      os_ << '[';
+      printExprTo(os_, *ix);
+      os_ << ']';
+    }
+    os_ << " = ";
+    printExprTo(os_, *s.rhs);
+  }
+
+  void printStmt(const StmtNode& s) {
+    switch (s.kind) {
+      case StmtKind::Block:
+        line();
+        printBlock(s.body);
+        os_ << "\n";
+        return;
+      case StmtKind::VarDecl:
+        line();
+        os_ << "var " << typeName(s.declType) << ' ' << s.lhsName;
+        if (s.rhs) {
+          os_ << " = ";
+          printExprTo(os_, *s.rhs);
+        }
+        os_ << ";\n";
+        return;
+      case StmtKind::Assign:
+        line();
+        printAssignInline(s);
+        os_ << ";\n";
+        return;
+      case StmtKind::ExprStmt:
+        line();
+        printExprTo(os_, *s.rhs);
+        os_ << ";\n";
+        return;
+      case StmtKind::If:
+        line();
+        os_ << "if (";
+        printExprTo(os_, *s.cond);
+        os_ << ") ";
+        printBlock(s.body);
+        if (!s.elseBody.empty()) {
+          os_ << " else ";
+          printBlock(s.elseBody);
+        }
+        os_ << "\n";
+        return;
+      case StmtKind::For:
+        line();
+        os_ << "for (";
+        printAssignInline(*s.init);
+        os_ << "; ";
+        printExprTo(os_, *s.cond);
+        os_ << "; ";
+        printAssignInline(*s.step);
+        os_ << ") ";
+        printBlock(s.body);
+        os_ << "\n";
+        return;
+      case StmtKind::While:
+        line();
+        os_ << "while (";
+        printExprTo(os_, *s.cond);
+        os_ << ") ";
+        printBlock(s.body);
+        os_ << "\n";
+        return;
+      case StmtKind::Return:
+        line();
+        os_ << "return";
+        if (s.rhs) {
+          os_ << ' ';
+          printExprTo(os_, *s.rhs);
+        }
+        os_ << ";\n";
+        return;
+      case StmtKind::Break:
+        line();
+        os_ << "break;\n";
+        return;
+      case StmtKind::Continue:
+        line();
+        os_ << "continue;\n";
+        return;
+    }
+  }
+
+  std::ostringstream os_;
+  int indent_ = 0;
+};
+
+}  // namespace
+
+std::string printExpr(const ExprNode& e) {
+  std::ostringstream os;
+  printExprTo(os, e);
+  return os.str();
+}
+
+std::string printProgram(const Program& prog) { return ProgramPrinter().run(prog); }
+
+}  // namespace skope::minic

@@ -1,0 +1,15 @@
+// Pretty-printer: renders a (parsed, optionally analyzed) Program back to
+// MiniC surface syntax. Round-tripping through the printer is exercised by the
+// frontend tests.
+#pragma once
+
+#include <string>
+
+#include "minic/ast.h"
+
+namespace skope::minic {
+
+std::string printExpr(const ExprNode& e);
+std::string printProgram(const Program& prog);
+
+}  // namespace skope::minic

@@ -1,0 +1,450 @@
+#include "minic/sema.h"
+
+#include <map>
+
+#include "minic/builtins.h"
+
+namespace skope::minic {
+
+namespace {
+
+class Sema {
+ public:
+  Sema(Program& prog, DiagSink& diags) : prog_(prog), diags_(diags) {}
+
+  void run() {
+    checkTopLevelNames();
+    checkArrayDims();
+    for (auto& f : prog_.funcs) checkFunc(*f);
+    checkEntryPoint();
+  }
+
+  void checkEntryPoint() {
+    const FuncDecl* mainFn = prog_.findFunc("main");
+    if (!mainFn) {
+      error(SourceLoc{prog_.sourceName, 1, 1}, "program has no 'main' function");
+      return;
+    }
+    if (!mainFn->params.empty()) {
+      error(mainFn->loc, "'main' must take no parameters");
+    }
+    if (mainFn->retType != Type::Void) {
+      error(mainFn->loc, "'main' must return void");
+    }
+  }
+
+ private:
+  void error(const SourceLoc& loc, std::string msg) { diags_.error(loc, std::move(msg)); }
+
+  void checkTopLevelNames() {
+    std::map<std::string, SourceLoc> seen;
+    auto define = [&](const std::string& name, const SourceLoc& loc, const char* what) {
+      auto [it, inserted] = seen.emplace(name, loc);
+      if (!inserted) {
+        error(loc, std::string(what) + " '" + name + "' redefines a symbol declared at " +
+                       it->second.str());
+      }
+    };
+    for (const auto& p : prog_.params) define(p.name, p.loc, "param");
+    for (const auto& g : prog_.globals) define(g.name, g.loc, "global");
+    for (const auto& f : prog_.funcs) define(f->name, f->loc, "function");
+  }
+
+  /// Array dimensions may only reference params and literals, so that storage
+  /// can be sized before any user code runs.
+  void checkArrayDims() {
+    for (auto& g : prog_.globals) {
+      for (auto& dim : g.dims) {
+        checkDimExpr(*dim, g.name);
+      }
+    }
+  }
+
+  void checkDimExpr(ExprNode& e, const std::string& arrayName) {
+    switch (e.kind) {
+      case ExprKind::IntLit:
+        e.type = Type::Int;
+        return;
+      case ExprKind::VarRef: {
+        int pi = prog_.paramIndexOf(e.name);
+        if (pi < 0) {
+          error(e.loc, "dimension of array '" + arrayName +
+                           "' may only reference params; '" + e.name + "' is not a param");
+          return;
+        }
+        if (prog_.params[pi].type != Type::Int) {
+          error(e.loc, "array dimension param '" + e.name + "' must be int");
+        }
+        e.globalIndex = pi;
+        e.type = Type::Int;
+        return;
+      }
+      case ExprKind::Binary:
+        if (e.bin == BinOp::Add || e.bin == BinOp::Sub || e.bin == BinOp::Mul ||
+            e.bin == BinOp::Div || e.bin == BinOp::Mod) {
+          checkDimExpr(*e.args[0], arrayName);
+          checkDimExpr(*e.args[1], arrayName);
+          e.type = Type::Int;
+          return;
+        }
+        [[fallthrough]];
+      default:
+        error(e.loc, "unsupported expression in dimension of array '" + arrayName +
+                         "' (params, literals, and + - * / % only)");
+    }
+  }
+
+  // --- function-body analysis ---
+
+  struct Scope {
+    std::map<std::string, int> locals;  // name -> slot
+  };
+
+  void checkFunc(FuncDecl& f) {
+    curFunc_ = &f;
+    nextSlot_ = 0;
+    loopDepth_ = 0;
+    scopes_.clear();
+    scopes_.emplace_back();
+    slotTypes_.clear();
+    for (const auto& p : f.params) {
+      if (p.name.empty()) continue;
+      if (!declareLocal(p.name)) {
+        error(f.loc, "duplicate parameter '" + p.name + "' in function '" + f.name + "'");
+      } else {
+        slotTypes_[lookupLocal(p.name)] = p.type;
+      }
+    }
+    checkStmts(f.body);
+    f.numLocalSlots = nextSlot_;
+    scopes_.clear();
+    curFunc_ = nullptr;
+  }
+
+  bool declareLocal(const std::string& name) {
+    auto& scope = scopes_.back();
+    if (scope.locals.count(name)) return false;
+    scope.locals[name] = nextSlot_++;
+    return true;
+  }
+
+  int lookupLocal(const std::string& name) const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      auto f = it->locals.find(name);
+      if (f != it->locals.end()) return f->second;
+    }
+    return -1;
+  }
+
+  void checkStmts(std::vector<StmtUP>& stmts) {
+    for (auto& s : stmts) checkStmt(*s);
+  }
+
+  void checkStmt(StmtNode& s) {
+    switch (s.kind) {
+      case StmtKind::Block:
+        scopes_.emplace_back();
+        checkStmts(s.body);
+        scopes_.pop_back();
+        return;
+
+      case StmtKind::VarDecl: {
+        if (s.rhs) {
+          checkExpr(*s.rhs);
+          requireNumeric(*s.rhs, "initializer");
+        }
+        if (prog_.findParam(s.lhsName) || prog_.findGlobal(s.lhsName)) {
+          error(s.loc, "local '" + s.lhsName + "' shadows a top-level symbol");
+        }
+        if (!declareLocal(s.lhsName)) {
+          error(s.loc, "redeclaration of '" + s.lhsName + "' in the same scope");
+        }
+        s.localSlot = lookupLocal(s.lhsName);
+        slotTypes_[s.localSlot] = s.declType;
+        return;
+      }
+
+      case StmtKind::Assign: {
+        for (auto& ix : s.lhsIndices) {
+          checkExpr(*ix);
+          requireInt(*ix, "array index");
+        }
+        checkExpr(*s.rhs);
+        requireNumeric(*s.rhs, "assigned value");
+        resolveAssignTarget(s);
+        return;
+      }
+
+      case StmtKind::ExprStmt:
+        checkExpr(*s.rhs);
+        return;
+
+      case StmtKind::If:
+        checkExpr(*s.cond);
+        requireNumeric(*s.cond, "if condition");
+        scopes_.emplace_back();
+        checkStmts(s.body);
+        scopes_.pop_back();
+        scopes_.emplace_back();
+        checkStmts(s.elseBody);
+        scopes_.pop_back();
+        return;
+
+      case StmtKind::For: {
+        scopes_.emplace_back();
+        checkStmt(*s.init);
+        checkExpr(*s.cond);
+        requireNumeric(*s.cond, "for condition");
+        checkStmt(*s.step);
+        ++loopDepth_;
+        scopes_.emplace_back();
+        checkStmts(s.body);
+        scopes_.pop_back();
+        --loopDepth_;
+        scopes_.pop_back();
+        return;
+      }
+
+      case StmtKind::While:
+        checkExpr(*s.cond);
+        requireNumeric(*s.cond, "while condition");
+        ++loopDepth_;
+        scopes_.emplace_back();
+        checkStmts(s.body);
+        scopes_.pop_back();
+        --loopDepth_;
+        return;
+
+      case StmtKind::Return: {
+        if (s.rhs) {
+          checkExpr(*s.rhs);
+          requireNumeric(*s.rhs, "return value");
+          if (curFunc_->retType == Type::Void) {
+            error(s.loc, "void function '" + curFunc_->name + "' returns a value");
+          }
+        } else if (curFunc_->retType != Type::Void) {
+          error(s.loc, "non-void function '" + curFunc_->name + "' returns nothing");
+        }
+        return;
+      }
+
+      case StmtKind::Break:
+      case StmtKind::Continue:
+        if (loopDepth_ == 0) {
+          error(s.loc, std::string(s.kind == StmtKind::Break ? "break" : "continue") +
+                           " outside of a loop");
+        }
+        return;
+    }
+  }
+
+  void resolveAssignTarget(StmtNode& s) {
+    if (!s.lhsIndices.empty()) {
+      int ai = prog_.globalIndexOf(s.lhsName);
+      if (ai < 0 || !prog_.globals[ai].isArray()) {
+        error(s.loc, "'" + s.lhsName + "' is not a global array");
+        return;
+      }
+      if (prog_.globals[ai].dims.size() != s.lhsIndices.size()) {
+        error(s.loc, "array '" + s.lhsName + "' has " +
+                         std::to_string(prog_.globals[ai].dims.size()) +
+                         " dimension(s), indexed with " + std::to_string(s.lhsIndices.size()));
+        return;
+      }
+      s.arrayIndex = ai;
+      return;
+    }
+    int slot = lookupLocal(s.lhsName);
+    if (slot >= 0) {
+      s.localSlot = slot;
+      return;
+    }
+    int gi = prog_.globalIndexOf(s.lhsName);
+    if (gi >= 0) {
+      if (prog_.globals[gi].isArray()) {
+        error(s.loc, "cannot assign whole array '" + s.lhsName + "'");
+        return;
+      }
+      s.globalIndex = gi;
+      return;
+    }
+    if (prog_.findParam(s.lhsName)) {
+      error(s.loc, "param '" + s.lhsName + "' is read-only");
+      return;
+    }
+    error(s.loc, "assignment to undeclared variable '" + s.lhsName + "'");
+  }
+
+  void requireNumeric(const ExprNode& e, const char* what) {
+    if (e.type == Type::Void) {
+      error(e.loc, std::string(what) + " has no value (void expression)");
+    }
+  }
+
+  void requireInt(const ExprNode& e, const char* what) {
+    if (e.type != Type::Int) {
+      error(e.loc, std::string(what) + " must be int, got " + std::string(typeName(e.type)));
+    }
+  }
+
+  void checkExpr(ExprNode& e) {
+    switch (e.kind) {
+      case ExprKind::IntLit:
+        e.type = Type::Int;
+        return;
+      case ExprKind::RealLit:
+        e.type = Type::Real;
+        return;
+
+      case ExprKind::VarRef: {
+        int slot = lookupLocal(e.name);
+        if (slot >= 0) {
+          e.localSlot = slot;
+          e.type = localTypeOf(e.name);
+          return;
+        }
+        const ParamDecl* p = prog_.findParam(e.name);
+        if (p) {
+          e.paramIndex = prog_.paramIndexOf(e.name);
+          e.type = p->type;
+          return;
+        }
+        int gi = prog_.globalIndexOf(e.name);
+        if (gi >= 0) {
+          const GlobalDecl& g = prog_.globals[gi];
+          if (g.isArray()) {
+            error(e.loc, "array '" + e.name + "' used without indices");
+            e.type = g.elemType;
+            return;
+          }
+          e.globalIndex = gi;
+          e.type = g.elemType;
+          return;
+        }
+        error(e.loc, "use of undeclared variable '" + e.name + "'");
+        e.type = Type::Real;
+        return;
+      }
+
+      case ExprKind::ArrayRef: {
+        for (auto& ix : e.args) {
+          checkExpr(*ix);
+          requireInt(*ix, "array index");
+        }
+        int ai = prog_.globalIndexOf(e.name);
+        if (ai < 0 || !prog_.globals[ai].isArray()) {
+          error(e.loc, "'" + e.name + "' is not a global array");
+          e.type = Type::Real;
+          return;
+        }
+        if (prog_.globals[ai].dims.size() != e.args.size()) {
+          error(e.loc, "array '" + e.name + "' has " +
+                           std::to_string(prog_.globals[ai].dims.size()) +
+                           " dimension(s), indexed with " + std::to_string(e.args.size()));
+        }
+        e.arrayIndex = ai;
+        e.type = prog_.globals[ai].elemType;
+        return;
+      }
+
+      case ExprKind::Unary: {
+        checkExpr(*e.args[0]);
+        requireNumeric(*e.args[0], "operand");
+        e.type = (e.un == UnOp::Not) ? Type::Int : e.args[0]->type;
+        return;
+      }
+
+      case ExprKind::Binary: {
+        checkExpr(*e.args[0]);
+        checkExpr(*e.args[1]);
+        requireNumeric(*e.args[0], "left operand");
+        requireNumeric(*e.args[1], "right operand");
+        Type a = e.args[0]->type;
+        Type b = e.args[1]->type;
+        switch (e.bin) {
+          case BinOp::Add:
+          case BinOp::Sub:
+          case BinOp::Mul:
+          case BinOp::Div:
+            e.type = (a == Type::Real || b == Type::Real) ? Type::Real : Type::Int;
+            return;
+          case BinOp::Mod:
+            if (a != Type::Int || b != Type::Int) {
+              error(e.loc, "operands of % must be int (use floor() for reals)");
+            }
+            e.type = Type::Int;
+            return;
+          default:  // comparisons and logical ops yield int 0/1
+            e.type = Type::Int;
+            return;
+        }
+      }
+
+      case ExprKind::Call: {
+        for (auto& a : e.args) {
+          checkExpr(*a);
+          requireNumeric(*a, "argument");
+        }
+        int bi = findBuiltin(e.name);
+        if (bi >= 0) {
+          const BuiltinInfo& info = builtinTable()[bi];
+          if (static_cast<int>(e.args.size()) != info.arity) {
+            error(e.loc, "builtin '" + e.name + "' expects " + std::to_string(info.arity) +
+                             " argument(s), got " + std::to_string(e.args.size()));
+          }
+          e.builtinIndex = bi;
+          e.type = info.retType;
+          return;
+        }
+        const FuncDecl* f = prog_.findFunc(e.name);
+        if (!f) {
+          error(e.loc, "call to undeclared function '" + e.name + "'");
+          e.type = Type::Real;
+          return;
+        }
+        if (f->params.size() != e.args.size()) {
+          error(e.loc, "function '" + e.name + "' expects " +
+                           std::to_string(f->params.size()) + " argument(s), got " +
+                           std::to_string(e.args.size()));
+        }
+        e.callee = f;
+        e.type = f->retType;
+        return;
+      }
+    }
+  }
+
+  Type localTypeOf(const std::string& name) const {
+    // Local types are tracked in a side map keyed by slot, filled at
+    // declaration time.
+    auto it = slotTypes_.find(lookupLocal(name));
+    return it != slotTypes_.end() ? it->second : Type::Real;
+  }
+
+ public:
+  // slot -> type, exposed so declareLocal-adjacent code can record types.
+  std::map<int, Type> slotTypes_;
+
+ private:
+  Program& prog_;
+  DiagSink& diags_;
+  FuncDecl* curFunc_ = nullptr;
+  std::vector<Scope> scopes_;
+  int nextSlot_ = 0;
+  int loopDepth_ = 0;
+};
+
+}  // namespace
+
+void analyze(Program& prog, DiagSink& diags) {
+  Sema sema(prog, diags);
+  sema.run();
+}
+
+void analyzeOrThrow(Program& prog) {
+  DiagSink diags;
+  analyze(prog, diags);
+  diags.throwIfErrors();
+}
+
+}  // namespace skope::minic

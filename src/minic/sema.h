@@ -1,0 +1,23 @@
+// Semantic analysis for MiniC: name resolution, local slot allocation, type
+// checking and inference, and structural validation (break/continue placement,
+// array dimensionality, entry point presence).
+//
+// Sema mutates the AST in place, filling the `localSlot` / `globalIndex` /
+// `arrayIndex` / `builtinIndex` / `callee` / `type` fields that the bytecode
+// compiler and the skeleton translator rely on. Call analyze() exactly once
+// per Program before handing it to any downstream pass.
+#pragma once
+
+#include "minic/ast.h"
+#include "support/diagnostics.h"
+
+namespace skope::minic {
+
+/// Runs all semantic checks over `prog`. Diagnostics accumulate in `diags`;
+/// the AST annotations are only trustworthy if `!diags.hasErrors()`.
+void analyze(Program& prog, DiagSink& diags);
+
+/// Convenience wrapper: analyze and throw Error on the first problem.
+void analyzeOrThrow(Program& prog);
+
+}  // namespace skope::minic

@@ -1,0 +1,83 @@
+#include "report/chart.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/text.h"
+
+namespace skope::report {
+
+std::string barChart(const std::vector<BarSegments>& bars,
+                     const std::vector<std::string>& segmentNames, size_t width) {
+  static const char fills[] = {'#', '=', '.', '+', '~', 'o'};
+  double maxTotal = 0;
+  size_t labelWidth = 0;
+  for (const auto& b : bars) {
+    double total = 0;
+    for (double s : b.segments) total += s;
+    maxTotal = std::max(maxTotal, total);
+    labelWidth = std::max(labelWidth, b.label.size());
+  }
+  std::string out;
+  if (!segmentNames.empty()) {
+    out += "legend:";
+    for (size_t i = 0; i < segmentNames.size(); ++i) {
+      out += format(" %c=%s", fills[i % sizeof(fills)], segmentNames[i].c_str());
+    }
+    out += "\n";
+  }
+  if (maxTotal <= 0) return out;
+  for (const auto& b : bars) {
+    out += padRight(b.label, labelWidth) + " |";
+    double total = 0;
+    for (size_t i = 0; i < b.segments.size(); ++i) {
+      auto cols = static_cast<size_t>(std::round(b.segments[i] / maxTotal *
+                                                 static_cast<double>(width)));
+      out += std::string(cols, fills[i % sizeof(fills)]);
+      total += b.segments[i];
+    }
+    out += format("  (%.3g)\n", total);
+  }
+  return out;
+}
+
+std::string seriesChart(const std::vector<Series>& series, size_t height) {
+  size_t n = 0;
+  for (const auto& s : series) n = std::max(n, s.values.size());
+  if (n == 0 || series.empty()) return "(no data)\n";
+
+  static const char marks[] = {'P', 'p', 'M', 'm', 'x', 'o'};
+  std::string out;
+  out += "legend:";
+  for (size_t i = 0; i < series.size(); ++i) {
+    out += format(" %c=%s", marks[i % sizeof(marks)], series[i].name.c_str());
+  }
+  out += "\n";
+
+  // grid rows from 100% down to 0%
+  for (size_t row = 0; row <= height; ++row) {
+    double level = 1.0 - static_cast<double>(row) / static_cast<double>(height);
+    out += format("%5.0f%% |", level * 100);
+    for (size_t x = 0; x < n; ++x) {
+      char cell = ' ';
+      for (size_t si = 0; si < series.size(); ++si) {
+        if (x >= series[si].values.size()) continue;
+        double v = series[si].values[x];
+        // a mark sits in this row if the value rounds to this grid level
+        auto vRow = static_cast<size_t>(std::round((1.0 - v) * static_cast<double>(height)));
+        if (vRow == row) cell = marks[si % sizeof(marks)];
+      }
+      out += cell;
+      out += ' ';
+    }
+    out += "\n";
+  }
+  out += "       +";
+  for (size_t x = 0; x < n; ++x) out += "--";
+  out += "\n        ";
+  for (size_t x = 0; x < n; ++x) out += format("%-2zu", (x + 1) % 100);
+  out += " (top-k hot spots)\n";
+  return out;
+}
+
+}  // namespace skope::report

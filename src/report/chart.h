@@ -1,0 +1,32 @@
+// ASCII charts for experiment output: horizontal bar charts (per-hot-spot
+// breakdowns, Figs. 6-8) and multi-series step charts (coverage curves,
+// Figs. 4, 10-13).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace skope::report {
+
+/// One horizontal bar split into labeled segments (e.g. Tc / Tm / To).
+struct BarSegments {
+  std::string label;
+  std::vector<double> segments;
+};
+
+/// Renders stacked horizontal bars. `segmentNames` labels the legend;
+/// segment k of every bar is drawn with the k-th fill character.
+std::string barChart(const std::vector<BarSegments>& bars,
+                     const std::vector<std::string>& segmentNames, size_t width = 60);
+
+/// One line series over x = 1..n (values in [0, 1] render best).
+struct Series {
+  std::string name;
+  std::vector<double> values;
+};
+
+/// Renders several series as rows of a grid: one column per x index, one
+/// printed line per series, values scaled to a 0..100% axis.
+std::string seriesChart(const std::vector<Series>& series, size_t height = 16);
+
+}  // namespace skope::report

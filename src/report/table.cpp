@@ -1,0 +1,42 @@
+#include "report/table.h"
+
+#include <algorithm>
+
+#include "support/text.h"
+
+namespace skope::report {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::addRow(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::str() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) widths[i] = std::max(widths[i], row[i].size());
+  }
+
+  auto renderRow = [&](const std::vector<std::string>& cells) {
+    std::string line;
+    for (size_t i = 0; i < header_.size(); ++i) {
+      if (i) line += "  ";
+      line += padRight(i < cells.size() ? cells[i] : "", widths[i]);
+    }
+    // trim trailing spaces
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    return line + "\n";
+  };
+
+  std::string out = renderRow(header_);
+  size_t total = 0;
+  for (size_t i = 0; i < widths.size(); ++i) total += widths[i] + (i ? 2 : 0);
+  out += std::string(total, '-') + "\n";
+  for (const auto& row : rows_) out += renderRow(row);
+  return out;
+}
+
+}  // namespace skope::report

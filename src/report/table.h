@@ -1,0 +1,27 @@
+// Fixed-width text tables for experiment output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace skope::report {
+
+/// Builds an aligned text table: set a header, append rows, render.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; it may have fewer cells than the header (padded empty).
+  void addRow(std::vector<std::string> cells);
+
+  /// Renders with column widths fit to content, a separator under the header.
+  [[nodiscard]] std::string str() const;
+
+  [[nodiscard]] size_t numRows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace skope::report

@@ -1,0 +1,139 @@
+#include "roofline/estimate.h"
+
+#include <algorithm>
+
+#include "minic/builtins.h"
+#include "support/text.h"
+
+namespace skope::roofline {
+
+using bet::BetKind;
+using bet::BetNode;
+
+namespace {
+
+/// Sums the per-invocation mix of a block: direct comp children plus comp
+/// statements inside branch arms, weighted by arm probabilities. Stops at
+/// nested blocks (they are charged separately).
+void collectBlockMix(const BetNode& block, const BetNode& node, double factor,
+                     skel::SkMetrics& out) {
+  for (const auto& kid : node.kids) {
+    switch (kid->kind) {
+      case BetKind::Comp:
+        out += kid->metrics.scaled(factor * kid->prob);
+        break;
+      case BetKind::BranchThen:
+      case BetKind::BranchElse:
+        collectBlockMix(block, *kid, factor * kid->prob, out);
+        break;
+      default:
+        break;  // nested Func / Loop / LibCall: separate blocks
+    }
+  }
+}
+
+skel::SkMetrics builtinMix(int builtinIndex, const LibMixes* libMixes) {
+  if (libMixes) {
+    auto it = libMixes->find(builtinIndex);
+    if (it != libMixes->end()) return it->second;
+  }
+  const auto& m = minic::builtinTable()[static_cast<size_t>(builtinIndex)].mix;
+  return skel::SkMetrics{m.flops, 0, m.iops, m.loads, m.stores};
+}
+
+}  // namespace
+
+ModelResult estimate(bet::Bet& bet, const Roofline& model, const vm::Module* mod,
+                     const LibMixes* libMixes) {
+  ModelResult result;
+  result.machineName = model.machine().name;
+  if (!bet.root) return result;
+
+  // Pass 1: ENR, top-down.
+  bet.root->visitMut([](BetNode& n) {
+    double parentEnr = n.parent ? n.parent->enr : 1.0;
+    n.enr = n.numIter * n.prob * parentEnr;
+  });
+
+  // Pass 2: per-block roofline projection.
+  bet.root->visitMut([&](BetNode& n) {
+    if (!n.isBlock()) return;
+    Breakdown b;
+    skel::SkMetrics mix;
+    double invocations = n.enr;
+    if (n.kind == BetKind::LibCall) {
+      mix = builtinMix(n.builtinIndex, libMixes);
+      b = model.libCallTime(mix);
+      invocations *= n.callsPerExec;
+    } else if (n.kind == BetKind::Comm) {
+      // postal model: alpha + bytes / beta, booked as memory time
+      const auto& net = model.machine().network;
+      double seconds = net.linkLatencySec + n.commBytes / (net.linkBandwidthGBs * 1e9);
+      b.tmCycles = seconds * model.machine().freqGHz * 1e9;
+    } else {
+      collectBlockMix(n, n, 1.0, mix);
+      int ways = 1;
+      if (n.kind == BetKind::Loop && n.parallel) {
+        // a parallel loop spreads its iterations over the cores; per-
+        // invocation time shrinks accordingly (capped by the trip count)
+        ways = static_cast<int>(
+            std::min<double>(model.machine().cores, std::max(1.0, n.numIter)));
+      }
+      b = model.blockTime(mix, ways);
+    }
+    n.tcCycles = b.tcCycles;
+    n.tmCycles = b.tmCycles;
+    n.toCycles = b.toCycles;
+    n.totalSeconds = model.machine().cyclesToSeconds(b.totalCycles() * invocations);
+
+    uint32_t origin = n.kind == BetKind::LibCall
+                          ? vm::libRegion(n.builtinIndex)
+                          : n.origin;
+    BlockCost& bc = result.blocks[origin];
+    bc.origin = origin;
+    if (n.kind == BetKind::Comm) {
+      bc.isComm = true;
+      bc.commBytes = n.commBytes;
+    }
+    double w = invocations;
+    bc.perInvocation += mix.scaled(w);  // normalized after the loop
+    bc.enr += w;
+    bc.tcSeconds += model.machine().cyclesToSeconds(b.tcCycles * w);
+    bc.tmSeconds += model.machine().cyclesToSeconds(b.tmCycles * w);
+    bc.toSeconds += model.machine().cyclesToSeconds(b.toCycles * w);
+    bc.seconds += n.totalSeconds;
+  });
+
+  // Pass 3: normalize aggregates, attach labels, compute fractions.
+  for (auto& [origin, bc] : result.blocks) {
+    if (bc.enr > 0) bc.perInvocation = bc.perInvocation.scaled(1.0 / bc.enr);
+    if (bc.isComm) {
+      bc.label = format("comm@%u", origin);
+      bc.staticInstrs = 1;  // a message is one source statement
+      result.totalSeconds += bc.seconds;
+      continue;
+    }
+    if (mod) {
+      bc.label = vm::regionLabel(*mod, origin);
+      bc.staticInstrs = vm::regionStaticInstrs(*mod, origin);
+    } else {
+      bc.label = vm::isLibRegion(origin)
+                     ? "lib:" + std::string(minic::builtinTable()[static_cast<size_t>(
+                                                vm::libRegionBuiltin(origin))]
+                                                .name)
+                     : format("block@%u", origin);
+      // Without a compiled module, approximate code size by the mix size.
+      bc.staticInstrs = static_cast<size_t>(bc.perInvocation.totalFlops() +
+                                            bc.perInvocation.iops +
+                                            bc.perInvocation.accesses()) +
+                        1;
+    }
+    result.totalSeconds += bc.seconds;
+  }
+  for (auto& [origin, bc] : result.blocks) {
+    bc.fraction = result.totalSeconds > 0 ? bc.seconds / result.totalSeconds : 0;
+  }
+  return result;
+}
+
+}  // namespace skope::roofline

@@ -1,0 +1,56 @@
+// Per-block performance estimation over a BET (paper §V-A).
+//
+// Walks the tree bottom-up: every Func / Loop / LibCall node is a code block;
+// its per-invocation operation mix is the probability-weighted sum of the
+// comp statements directly inside it (branch arms fold in with their arm
+// probabilities — matching how the profiler attributes work to regions).
+// The roofline model projects the time of one invocation, the total charged
+// to the block is T × ENR with ENR = num_iter × prob × ENR(parent), and
+// instances of the same source block (a function mounted at several call
+// sites) aggregate by origin id.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "bet/bet.h"
+#include "roofline/roofline.h"
+#include "vm/bytecode.h"
+
+namespace skope::roofline {
+
+/// Projected cost of one source-level code block (aggregated over all of its
+/// BET instances).
+struct BlockCost {
+  uint32_t origin = 0;
+  std::string label;
+  double enr = 0;                   ///< total expected invocations
+  skel::SkMetrics perInvocation;    ///< ENR-weighted mean mix
+  double tcSeconds = 0;             ///< aggregated compute time
+  double tmSeconds = 0;             ///< aggregated memory time
+  double toSeconds = 0;             ///< aggregated overlapped time
+  double seconds = 0;               ///< tc + tm - to
+  size_t staticInstrs = 0;          ///< code size for the leanness criterion
+  double fraction = 0;              ///< share of projected total time
+  bool isComm = false;              ///< inter-node message block (extension)
+  double commBytes = 0;             ///< mean bytes per message when isComm
+};
+
+struct ModelResult {
+  std::string machineName;
+  std::map<uint32_t, BlockCost> blocks;
+  double totalSeconds = 0;
+};
+
+/// Empirical per-call instruction mixes for library builtins, keyed by
+/// builtin index (produced by src/libmodel). Builtins without an entry fall
+/// back to the static mix in minic::builtinTable().
+using LibMixes = std::map<int, skel::SkMetrics>;
+
+/// Estimates every block in `bet`, filling the per-node enr / time fields in
+/// place and returning the per-origin aggregation. `mod` (optional) supplies
+/// block labels and static instruction counts.
+ModelResult estimate(bet::Bet& bet, const Roofline& model,
+                     const vm::Module* mod = nullptr, const LibMixes* libMixes = nullptr);
+
+}  // namespace skope::roofline

@@ -1,0 +1,47 @@
+#include "roofline/multinode.h"
+
+#include <cmath>
+
+namespace skope::roofline {
+
+std::vector<MultiNodeProjection> projectStrongScaling(
+    const ModelResult& singleNode, const MachineModel& machine,
+    const HaloDecomposition& halo, const std::vector<int>& nodeCounts) {
+  std::vector<MultiNodeProjection> out;
+  double base = singleNode.totalSeconds;
+
+  for (int nodes : nodeCounts) {
+    MultiNodeProjection p;
+    p.nodes = nodes;
+    p.computeSeconds = base / std::max(1, nodes);
+
+    if (nodes > 1 && halo.totalCells > 0) {
+      // cubic subdomains: each rank owns totalCells/nodes cells and
+      // exchanges its six faces every step
+      double cellsPerNode = halo.totalCells / nodes;
+      double side = std::cbrt(cellsPerNode);
+      double faceCells = side * side;
+      double bytesPerStep = 6.0 * faceCells * halo.bytesPerCell * halo.fields;
+      double messagesPerStep = 6.0 * halo.fields;
+      double perStep = messagesPerStep * machine.network.linkLatencySec +
+                       bytesPerStep / (machine.network.linkBandwidthGBs * 1e9);
+      p.commSeconds = perStep * halo.stepsPerRun;
+    }
+
+    p.totalSeconds = p.computeSeconds + p.commSeconds;
+    p.speedup = p.totalSeconds > 0 ? base / p.totalSeconds : 0;
+    p.parallelEfficiency = p.speedup / nodes;
+    p.commFraction = p.totalSeconds > 0 ? p.commSeconds / p.totalSeconds : 0;
+    out.push_back(p);
+  }
+  return out;
+}
+
+int commDominanceCrossover(const std::vector<MultiNodeProjection>& scaling) {
+  for (const auto& p : scaling) {
+    if (p.commFraction > 0.5) return p.nodes;
+  }
+  return -1;
+}
+
+}  // namespace skope::roofline

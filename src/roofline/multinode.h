@@ -1,0 +1,47 @@
+// Multi-node strong-scaling projection — the first item of the paper's §VIII
+// future work ("extend our framework to project hot regions and performance
+// bottlenecks for multi-node execution").
+//
+// First-order model: the single-node projection's block times divide across
+// ranks (perfect load balance — the same accuracy class as the roofline
+// itself), and each step exchanges halo messages whose size follows from a
+// 3-D domain decomposition; messages cost alpha + bytes/beta on the
+// machine's network. The projection reports the compute/communication split,
+// parallel efficiency, and the node count where communication overtakes the
+// hottest compute block — the co-design crossover.
+#pragma once
+
+#include <vector>
+
+#include "roofline/estimate.h"
+
+namespace skope::roofline {
+
+/// Halo-exchange pattern of a 3-D domain-decomposed stencil code.
+struct HaloDecomposition {
+  double totalCells = 0;     ///< global grid cells (N^3-ish)
+  double bytesPerCell = 8;   ///< bytes exchanged per face cell per field
+  int fields = 1;            ///< fields exchanged each step
+  int stepsPerRun = 1;       ///< exchanges per run
+};
+
+struct MultiNodeProjection {
+  int nodes = 1;
+  double computeSeconds = 0;  ///< per-rank compute time
+  double commSeconds = 0;     ///< per-rank halo time
+  double totalSeconds = 0;
+  double speedup = 1;             ///< vs single node
+  double parallelEfficiency = 1;  ///< speedup / nodes
+  double commFraction = 0;        ///< comm share of the projected total
+};
+
+/// Projects the strong scaling of `singleNode` over `nodeCounts`.
+std::vector<MultiNodeProjection> projectStrongScaling(
+    const ModelResult& singleNode, const MachineModel& machine,
+    const HaloDecomposition& halo, const std::vector<int>& nodeCounts);
+
+/// Smallest node count (from `nodeCounts`) where communication exceeds half
+/// of the projected time, or -1 when none does.
+int commDominanceCrossover(const std::vector<MultiNodeProjection>& scaling);
+
+}  // namespace skope::roofline

@@ -1,0 +1,67 @@
+#include "roofline/roofline.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace skope::roofline {
+
+Roofline::Roofline(const MachineModel& machine, RooflineParams params)
+    : machine_(machine), params_(params) {
+  double issue = machine.issueWidth;
+  // Uniform floating-point cost: the mean of add and multiply latency under
+  // the same pipelining assumption the simulator uses — but applied to every
+  // flop, divides included.
+  double fpLat = (machine.fpAddLat + machine.fpMulLat) / 2.0;
+  fpCost_ = std::max(1.0 / issue, fpLat / (2.0 * issue));
+  fpDivCost_ = machine.fpDivLat;
+  iopCost_ = 1.0 / issue;
+  accessIssueCost_ = 1.0 / issue;
+
+  double miss = 1.0 - params.cacheHitRate;
+  memPerAccess_ =
+      miss * (machine.llc.latencyCycles / machine.mlp +
+              miss * (machine.memLatencyCycles / machine.mlp));
+  bytesPerCycle_ = machine.memBandwidthGBs / (machine.freqGHz * machine.cores);
+}
+
+Breakdown Roofline::blockTime(const skel::SkMetrics& m, int parallelWays) const {
+  Breakdown b;
+  double ways = std::max(1, std::min(parallelWays, machine_.cores));
+  double flops = m.totalFlops();
+  if (params_.uniformFlops) {
+    b.tcCycles = flops * fpCost_;
+  } else {
+    b.tcCycles = m.flops * fpCost_ + m.fpdivs * fpDivCost_;
+  }
+  b.tcCycles += m.iops * iopCost_ + m.accesses() * accessIssueCost_;
+  b.tcCycles /= ways;
+
+  double miss = 1.0 - params_.cacheHitRate;
+  double dramBytes = m.bytes() * miss * miss;
+  // latency-bound misses parallelize across cores; the bandwidth floor only
+  // grows to the node aggregate (bytesPerCycle_ is a single core's share)
+  b.tmCycles = std::max(m.accesses() * memPerAccess_ / ways,
+                        dramBytes / (bytesPerCycle_ * ways));
+
+  if (params_.modelOverlap) {
+    double delta = 1.0 - 1.0 / std::max(1.0, flops);
+    b.toCycles = std::min(b.tcCycles, b.tmCycles) * delta;
+  } else {
+    // textbook roofline: full overlap, T = max(Tc, Tm)
+    b.toCycles = std::min(b.tcCycles, b.tmCycles);
+  }
+  return b;
+}
+
+Breakdown Roofline::libCallTime(const skel::SkMetrics& m) const {
+  // Library kernels are latency-bound scalar code: charge them like a block
+  // but without the overlap bonus (their loads are table lookups).
+  Breakdown b;
+  b.tcCycles = m.totalFlops() * fpCost_ * 1.5 + m.iops * iopCost_ +
+               m.accesses() * accessIssueCost_;
+  b.tmCycles = m.accesses() * machine_.l1.latencyCycles * 0.5;
+  b.toCycles = 0;
+  return b;
+}
+
+}  // namespace skope::roofline

@@ -1,0 +1,69 @@
+// Extended roofline model (paper §III-C, §V-A).
+//
+// For one invocation of a code block with aggregate mix M, the model computes
+//   Tc — cycles to process the operations, from issue width and a *uniform*
+//        floating-point cost (divides are deliberately not special-cased;
+//        §VII-B traces the CFD mis-projection to exactly this),
+//   Tm — cycles to move the data, from a constant cache miss ratio (paper
+//        footnote 1: 0.85) and the machine's latencies/bandwidth,
+//   To — the overlapped portion: To = min(Tc, Tm) · δ with
+//        δ = 1 − 1/max(1, #flops), the paper's heuristic that bigger
+//        floating-point blocks overlap better,
+// and projects T = Tc + Tm − To. Vectorization is not modeled (§VII-B,
+// STASSUIJ).
+#pragma once
+
+#include "machine/machine.h"
+#include "skeleton/skeleton.h"
+
+namespace skope::roofline {
+
+struct RooflineParams {
+  /// Constant per-level cache hit ratio assumed by the analytic model.
+  double cacheHitRate = 0.85;
+  /// Disable to get the textbook roofline max(Tc, Tm) instead of the paper's
+  /// partial-overlap extension (used by the ablation bench).
+  bool modelOverlap = true;
+  /// Treat fp divides like every other flop (the paper's behavior). The
+  /// ablation bench flips this to show the CFD hot spot snapping into place.
+  bool uniformFlops = true;
+};
+
+struct Breakdown {
+  double tcCycles = 0;
+  double tmCycles = 0;
+  double toCycles = 0;
+
+  [[nodiscard]] double totalCycles() const { return tcCycles + tmCycles - toCycles; }
+};
+
+class Roofline {
+ public:
+  explicit Roofline(const MachineModel& machine, RooflineParams params = {});
+
+  /// Projects one invocation of a block with per-invocation mix `m`.
+  /// `parallelWays` > 1 spreads the block across that many cores (SKOPE's
+  /// degree-of-parallelism annotation): compute and latency-bound memory
+  /// time divide by the ways, the DRAM bandwidth floor by the node's total
+  /// bandwidth instead of a single core's share.
+  [[nodiscard]] Breakdown blockTime(const skel::SkMetrics& m, int parallelWays = 1) const;
+
+  /// Cycles inside one call of library builtin `index`, using mix `m`
+  /// (typically the empirically profiled mix, see src/libmodel).
+  [[nodiscard]] Breakdown libCallTime(const skel::SkMetrics& m) const;
+
+  [[nodiscard]] const MachineModel& machine() const { return machine_; }
+  [[nodiscard]] const RooflineParams& params() const { return params_; }
+
+ private:
+  MachineModel machine_;
+  RooflineParams params_;
+  double fpCost_ = 1;      ///< cycles per (any) floating-point op
+  double fpDivCost_ = 1;   ///< used only when uniformFlops is off
+  double iopCost_ = 1;
+  double accessIssueCost_ = 1;
+  double memPerAccess_ = 0;   ///< expected miss-penalty cycles per access
+  double bytesPerCycle_ = 1;  ///< DRAM bandwidth in bytes per core-cycle
+};
+
+}  // namespace skope::roofline

@@ -1,0 +1,77 @@
+#include "sim/cost_model.h"
+
+#include <algorithm>
+
+#include "minic/builtins.h"
+
+namespace skope::sim {
+
+using vm::OpClass;
+
+CostModel::CostModel(const MachineModel& m) : machine_(m) {
+  double issue = m.issueWidth;
+  // Pipelined units sustain roughly latency/(2*issue) cycles per dependent-ish
+  // op; wide out-of-order cores hide more latency than narrow in-order ones.
+  auto pipelined = [&](double lat) { return std::max(1.0 / issue, lat / (2.0 * issue)); };
+
+  auto set = [&](OpClass c, double v) { opCycles_[static_cast<size_t>(c)] = v; };
+  set(OpClass::IntAlu, 1.0 / issue);
+  set(OpClass::IntDiv, m.intDivLat);
+  set(OpClass::FpAdd, pipelined(m.fpAddLat));
+  set(OpClass::FpMul, pipelined(m.fpMulLat));
+  set(OpClass::FpDiv, m.fpDivLat);  // unpipelined on both targets
+  set(OpClass::Load, 1.0 / issue);
+  set(OpClass::Store, 1.0 / issue);
+  set(OpClass::Branch, m.branchLat / issue);
+  set(OpClass::Call, 8.0);  // frame setup + return overhead
+  set(OpClass::LibCall, 0.0);  // charged separately via builtinCycles
+  set(OpClass::Conv, m.convLat / issue);
+
+  // SIMD divides the compute classes by the vector width; memory ops keep
+  // their issue cost (misses are charged separately and are not narrowed).
+  double w = m.simdWidthDoubles;
+  for (size_t i = 0; i < vm::kNumOpClasses; ++i) opCyclesVec_[i] = opCycles_[i];
+  auto vec = [&](OpClass c) {
+    opCyclesVec_[static_cast<size_t>(c)] = opCycles_[static_cast<size_t>(c)] / w;
+  };
+  vec(OpClass::FpAdd);
+  vec(OpClass::FpMul);
+  vec(OpClass::FpDiv);
+  vec(OpClass::IntAlu);
+  vec(OpClass::Load);   // vector loads amortize issue slots...
+  vec(OpClass::Store);  // ...but not miss penalties
+
+  llcPenalty_ = m.llc.latencyCycles / m.mlp;
+  // Charge DRAM as the worse of latency/MLP and the per-line bandwidth cost.
+  double bytesPerCycle = m.memBandwidthGBs / (m.freqGHz * m.cores);
+  double bwCycles = static_cast<double>(m.llc.lineBytes) / bytesPerCycle;
+  memPenaltyCycles_ = std::max(m.memLatencyCycles / m.mlp, bwCycles);
+}
+
+double CostModel::builtinCycles(int index) const {
+  const auto& m = minic::builtinTable()[static_cast<size_t>(index)].mix;
+  return builtinCycles(skel::SkMetrics{m.flops, 0, m.iops, m.loads, m.stores});
+}
+
+double CostModel::builtinCycles(const skel::SkMetrics& mix) const {
+  // A scalar libm kernel: mostly dependent FMAs (hence the 1.5x serialization
+  // factor), divides at their real cost, plus table lookups that hit L1.
+  return mix.flops * opCycles(OpClass::FpMul) * 1.5 +
+         mix.fpdivs * opCycles(OpClass::FpDiv) +
+         mix.iops * opCycles(OpClass::IntAlu) +
+         mix.accesses() * (opCycles(OpClass::Load) + machine_.l1.latencyCycles * 0.5);
+}
+
+double CostModel::memPenalty(CacheHierarchy::Level lvl) const {
+  switch (lvl) {
+    case CacheHierarchy::Level::L1:
+      return 0.0;  // L1 hits are hidden by the pipeline
+    case CacheHierarchy::Level::Llc:
+      return llcPenalty_;
+    case CacheHierarchy::Level::Memory:
+      return memPenaltyCycles_;
+  }
+  return 0.0;
+}
+
+}  // namespace skope::sim

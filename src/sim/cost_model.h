@@ -1,0 +1,53 @@
+// Per-operation cycle costs for the ground-truth simulator.
+//
+// This is deliberately a *different* and more detailed timing model than the
+// analytic roofline: it distinguishes divides from other flops, honors SIMD
+// vectorization, models branch mispredictions, and charges memory penalties
+// from a real cache simulation. The systematic disagreements between this
+// model and the roofline reproduce the error sources of paper §VII-C.
+#pragma once
+
+#include "machine/cache.h"
+#include "machine/machine.h"
+#include "skeleton/skeleton.h"
+#include "vm/bytecode.h"
+
+namespace skope::sim {
+
+class CostModel {
+ public:
+  explicit CostModel(const MachineModel& m);
+
+  /// Scalar cycles for one dynamic operation of class `c` (memory penalties
+  /// excluded — those come from memPenalty()).
+  [[nodiscard]] double opCycles(vm::OpClass c) const {
+    return opCycles_[static_cast<size_t>(c)];
+  }
+
+  /// Same, with SIMD applied to the vectorizable classes.
+  [[nodiscard]] double opCyclesVectorized(vm::OpClass c) const {
+    return opCyclesVec_[static_cast<size_t>(c)];
+  }
+
+  /// Cycles consumed inside one call of builtin `index` (scalar libm model,
+  /// derived from the builtin's static instruction mix).
+  [[nodiscard]] double builtinCycles(int index) const;
+
+  /// Same cost formula over an explicit (e.g. empirically profiled) mix.
+  [[nodiscard]] double builtinCycles(const skel::SkMetrics& mix) const;
+
+  /// Extra cycles charged per access served at `lvl`, beyond the base
+  /// Load/Store issue cost.
+  [[nodiscard]] double memPenalty(CacheHierarchy::Level lvl) const;
+
+  [[nodiscard]] const MachineModel& machine() const { return machine_; }
+
+ private:
+  MachineModel machine_;
+  double opCycles_[vm::kNumOpClasses] = {};
+  double opCyclesVec_[vm::kNumOpClasses] = {};
+  double llcPenalty_ = 0;
+  double memPenaltyCycles_ = 0;
+};
+
+}  // namespace skope::sim

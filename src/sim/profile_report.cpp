@@ -1,0 +1,67 @@
+#include "sim/profile_report.h"
+
+#include <algorithm>
+
+#include "support/text.h"
+
+namespace skope::sim {
+
+double ProfileReport::coverageOfTop(size_t n) const {
+  if (totalSeconds <= 0) return 0;
+  double s = 0;
+  for (size_t i = 0; i < n && i < ranked.size(); ++i) s += ranked[i].seconds;
+  return s / totalSeconds;
+}
+
+int ProfileReport::rankOf(uint32_t region) const {
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    if (ranked[i].region == region) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+ProfileReport makeReport(const SimResult& sim, const vm::Module& mod) {
+  ProfileReport report;
+  report.machineName = sim.machineName;
+  report.totalSeconds = sim.seconds();
+  report.totalStaticInstrs = mod.totalStaticInstrs();
+
+  for (const auto& [region, rc] : sim.regions) {
+    double secs = rc.totalCycles() / (sim.freqGHz * 1e9);
+    if (secs <= 0) continue;
+    HotSpotEntry e;
+    e.region = region;
+    e.label = regionLabel(mod, region);
+    e.seconds = secs;
+    e.fraction = report.totalSeconds > 0 ? secs / report.totalSeconds : 0;
+    e.staticInstrs = regionStaticInstrs(mod, region);
+    e.issueRate = rc.issueRate();
+    e.instrsPerL1Miss = rc.instrsPerL1Miss();
+    report.ranked.push_back(std::move(e));
+  }
+  std::sort(report.ranked.begin(), report.ranked.end(),
+            [](const HotSpotEntry& a, const HotSpotEntry& b) {
+              if (a.seconds != b.seconds) return a.seconds > b.seconds;
+              return a.region < b.region;  // deterministic tie-break
+            });
+  return report;
+}
+
+std::string formatReport(const ProfileReport& report, size_t topN) {
+  std::string out;
+  out += format("Profiled hot spots on %s (total %.4f s)\n", report.machineName.c_str(),
+                report.totalSeconds);
+  out += format("%4s  %-28s %12s %8s %8s %10s %12s\n", "#", "block", "seconds", "time%",
+                "cum%", "issueRate", "instr/L1miss");
+  double cum = 0;
+  for (size_t i = 0; i < topN && i < report.ranked.size(); ++i) {
+    const auto& e = report.ranked[i];
+    cum += e.fraction;
+    out += format("%4zu  %-28s %12.6f %7.2f%% %7.2f%% %10.3f %12.1f\n", i + 1,
+                  e.label.c_str(), e.seconds, e.fraction * 100, cum * 100, e.issueRate,
+                  e.instrsPerL1Miss);
+  }
+  return out;
+}
+
+}  // namespace skope::sim

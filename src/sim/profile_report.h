@@ -1,0 +1,42 @@
+// Ranked hot-spot report from a simulation — the equivalent of the paper's
+// native-profiler output ("Prof"): the most time-consuming code blocks in
+// descending run-time order, with run-time coverage fractions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace skope::sim {
+
+struct HotSpotEntry {
+  uint32_t region = 0;
+  std::string label;
+  double seconds = 0;
+  double fraction = 0;       ///< share of total run time
+  size_t staticInstrs = 0;   ///< code size of the block (leanness accounting)
+  double issueRate = 0;
+  double instrsPerL1Miss = 0;
+};
+
+struct ProfileReport {
+  std::string machineName;
+  std::vector<HotSpotEntry> ranked;  ///< descending by seconds
+  double totalSeconds = 0;
+  size_t totalStaticInstrs = 0;
+
+  /// Cumulative run-time coverage of the first n entries.
+  [[nodiscard]] double coverageOfTop(size_t n) const;
+
+  /// Index of `region` in the ranking, or -1.
+  [[nodiscard]] int rankOf(uint32_t region) const;
+};
+
+/// Builds the ranked report from a simulation result.
+ProfileReport makeReport(const SimResult& sim, const vm::Module& mod);
+
+/// Formats the top-N rows as a fixed-width text table.
+std::string formatReport(const ProfileReport& report, size_t topN);
+
+}  // namespace skope::sim

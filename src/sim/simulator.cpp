@@ -1,0 +1,138 @@
+#include "sim/simulator.h"
+
+#include "minic/builtins.h"
+#include "sim/vectorize.h"
+#include "support/text.h"
+
+namespace skope::sim {
+
+double SimResult::totalCycles() const {
+  double t = 0;
+  for (const auto& [id, rc] : regions) t += rc.totalCycles();
+  return t;
+}
+
+double SimResult::regionSeconds(uint32_t region) const {
+  auto it = regions.find(region);
+  return it == regions.end() ? 0.0 : it->second.totalCycles() / (freqGHz * 1e9);
+}
+
+namespace {
+
+/// Per-site 2-bit saturating branch predictor.
+class BranchPredictor {
+ public:
+  /// Returns true if the prediction was wrong.
+  bool mispredicted(uint32_t site, bool taken) {
+    uint8_t& state = states_[site];  // 0,1 -> predict not-taken; 2,3 -> taken
+    bool predictTaken = state >= 2;
+    if (taken && state < 3) ++state;
+    if (!taken && state > 0) --state;
+    return predictTaken != taken;
+  }
+
+ private:
+  std::map<uint32_t, uint8_t> states_;
+};
+
+class SimTracer : public vm::Tracer {
+ public:
+  SimTracer(const CostModel& costs, const MachineModel& machine, SimResult& out,
+            const LibMixMap* libMixes)
+      : costs_(costs), caches_(machine), out_(out), libMixes_(libMixes) {}
+
+  void onLoad(uint32_t region, uint64_t addr) override { memAccess(region, addr, true); }
+  void onStore(uint32_t region, uint64_t addr) override { memAccess(region, addr, false); }
+
+  void onBranch(uint32_t region, uint32_t site, bool taken) override {
+    if (predictor_.mispredicted(site, taken)) {
+      out_.regions[region].branchCycles += costs_.machine().mispredictPenalty;
+    }
+  }
+
+  void onLibCall(uint32_t region, int builtin) override {
+    (void)region;
+    RegionCost& rc = out_.regions[libRegion(builtin)];
+    if (libMixes_) {
+      auto it = libMixes_->find(builtin);
+      if (it != libMixes_->end()) {
+        rc.libCycles += costs_.builtinCycles(it->second);
+        rc.instrs += static_cast<uint64_t>(it->second.totalFlops() + it->second.iops +
+                                           it->second.accesses());
+        return;
+      }
+    }
+    rc.libCycles += costs_.builtinCycles(builtin);
+    const auto& mix = minic::builtinTable()[static_cast<size_t>(builtin)].mix;
+    rc.instrs += static_cast<uint64_t>(mix.flops + mix.iops + mix.loads + mix.stores);
+  }
+
+  void finish() {
+    out_.l1MissRate = caches_.l1().missRate();
+    out_.llcMissRate = caches_.llc().missRate();
+  }
+
+ private:
+  void memAccess(uint32_t region, uint64_t addr, bool isLoad) {
+    auto lvl = caches_.access(addr);
+    RegionCost& rc = out_.regions[region];
+    rc.memCycles += costs_.memPenalty(lvl);
+    if (isLoad) ++rc.loads; else ++rc.stores;
+    if (lvl != CacheHierarchy::Level::L1) {
+      ++rc.l1Misses;
+      if (lvl == CacheHierarchy::Level::Memory) ++rc.llcMisses;
+    }
+  }
+
+  const CostModel& costs_;
+  CacheHierarchy caches_;
+  BranchPredictor predictor_;
+  SimResult& out_;
+  const LibMixMap* libMixes_;
+};
+
+}  // namespace
+
+Simulator::Simulator(const minic::Program& prog, const vm::Module& mod,
+                     const MachineModel& machine, const LibMixMap* libMixes)
+    : prog_(prog), mod_(mod), machine_(machine), costs_(machine),
+      vectorized_(vectorizedLoops(prog, machine)), libMixes_(libMixes) {}
+
+SimResult Simulator::run(const std::map<std::string, double>& params, uint64_t seed) {
+  SimResult result;
+  result.machineName = machine_.name;
+  result.freqGHz = machine_.freqGHz;
+
+  vm::Vm vmachine(mod_);
+  vmachine.bindParams(params);
+  vmachine.setSeed(seed);
+  SimTracer tracer(costs_, machine_, result, libMixes_);
+  vmachine.run(&tracer);
+  tracer.finish();
+  result.dynamicInstrs = vmachine.dynamicInstrs();
+
+  // Convert the VM's per-region op counts into compute cycles, honoring the
+  // per-machine vectorization decision for each loop region.
+  const vm::OpCounters& oc = vmachine.counters();
+  for (uint32_t region = 0; region < oc.byRegion.size(); ++region) {
+    const auto& row = oc.byRegion[region];
+    double cycles = 0;
+    uint64_t instrs = 0;
+    bool vec = isVectorized(region);
+    for (size_t c = 0; c < vm::kNumOpClasses; ++c) {
+      uint64_t n = row[c];
+      if (n == 0) continue;
+      instrs += n;
+      double per = vec ? costs_.opCyclesVectorized(static_cast<vm::OpClass>(c))
+                       : costs_.opCycles(static_cast<vm::OpClass>(c));
+      cycles += static_cast<double>(n) * per;
+    }
+    if (instrs == 0) continue;
+    RegionCost& rc = result.regions[region];
+    rc.computeCycles += cycles;
+    rc.instrs += instrs;
+  }
+  return result;
+}
+
+}  // namespace skope::sim

@@ -1,0 +1,98 @@
+// Ground-truth timing simulator — the framework's stand-in for the paper's
+// native profiling runs on real BG/Q and Xeon nodes (§VI).
+//
+// Drives the VM over the full input while simulating the machine's cache
+// hierarchy, branch predictor, SIMD vectorization and per-op latencies, and
+// attributes cycles to source regions. Its ranked per-region output plays the
+// role of the paper's `Prof` baseline.
+#pragma once
+
+#include <map>
+
+#include "machine/cache.h"
+#include "minic/ast.h"
+#include "sim/cost_model.h"
+#include "vm/interp.h"
+
+namespace skope::sim {
+
+// Region-id conventions (library pseudo-regions, labels) live in
+// vm/bytecode.h so the analytic side can share them; re-exported here for
+// convenience.
+using vm::isLibRegion;
+using vm::kLibRegionBase;
+using vm::libRegion;
+using vm::libRegionBuiltin;
+using vm::regionLabel;
+using vm::regionStaticInstrs;
+
+/// Simulated cycle breakdown of one region (exclusive: children are separate).
+struct RegionCost {
+  double computeCycles = 0;   ///< arithmetic + issue cost of loads/stores
+  double memCycles = 0;       ///< cache/DRAM miss penalties
+  double branchCycles = 0;    ///< misprediction penalties
+  double libCycles = 0;       ///< time inside library builtins (pseudo-regions)
+  uint64_t instrs = 0;        ///< dynamic instructions attributed here
+  uint64_t loads = 0, stores = 0;
+  uint64_t l1Misses = 0, llcMisses = 0;
+
+  [[nodiscard]] double totalCycles() const {
+    return computeCycles + memCycles + branchCycles + libCycles;
+  }
+  /// Dynamic instructions per simulated cycle (paper Fig. 8's "issue rate").
+  [[nodiscard]] double issueRate() const {
+    double t = totalCycles();
+    return t == 0 ? 0.0 : static_cast<double>(instrs) / t;
+  }
+  /// Instructions per L1 miss (paper Fig. 8's second counter).
+  [[nodiscard]] double instrsPerL1Miss() const {
+    return l1Misses == 0 ? static_cast<double>(instrs)
+                         : static_cast<double>(instrs) / static_cast<double>(l1Misses);
+  }
+};
+
+struct SimResult {
+  std::string machineName;
+  double freqGHz = 1.0;
+  std::map<uint32_t, RegionCost> regions;
+  uint64_t dynamicInstrs = 0;
+  double l1MissRate = 0;
+  double llcMissRate = 0;
+
+  [[nodiscard]] double totalCycles() const;
+  [[nodiscard]] double seconds() const { return totalCycles() / (freqGHz * 1e9); }
+  [[nodiscard]] double regionSeconds(uint32_t region) const;
+};
+
+/// Per-builtin instruction mixes (see roofline::LibMixes / src/libmodel).
+using LibMixMap = std::map<int, skel::SkMetrics>;
+
+/// One simulator instance per (program, machine) pair.
+class Simulator {
+ public:
+  /// `prog`, `mod` and `libMixes` must outlive the Simulator. When
+  /// `libMixes` is supplied, library calls are charged from those mixes
+  /// (keeps the "hardware" consistent with the kernels the semi-analytic
+  /// model profiled); otherwise the static table mixes are used.
+  Simulator(const minic::Program& prog, const vm::Module& mod, const MachineModel& machine,
+            const LibMixMap* libMixes = nullptr);
+
+  /// Simulates one full run of main with the given workload parameters.
+  SimResult run(const std::map<std::string, double>& params, uint64_t seed = 0x5eed);
+
+  /// True when this machine's compiler model vectorizes the given loop.
+  [[nodiscard]] bool isVectorized(uint32_t region) const {
+    auto it = vectorized_.find(region);
+    return it != vectorized_.end() && it->second;
+  }
+
+ private:
+  const minic::Program& prog_;
+  const vm::Module& mod_;
+  MachineModel machine_;
+  CostModel costs_;
+  std::map<minic::NodeId, bool> vectorized_;
+  const LibMixMap* libMixes_ = nullptr;
+};
+
+}  // namespace skope::sim

@@ -1,0 +1,113 @@
+#include "sim/vectorize.h"
+
+#include "minic/builtins.h"
+
+namespace skope::sim {
+
+using minic::ExprKind;
+using minic::ExprNode;
+using minic::NodeId;
+using minic::Program;
+using minic::StmtKind;
+using minic::StmtNode;
+
+namespace {
+
+struct BodyScan {
+  bool hasControlFlow = false;  ///< if/while/nested-for/break/continue/return
+  bool hasCall = false;         ///< user calls or opaque library calls
+  bool unitStride = false;      ///< some array subscript ends with the loop var
+  size_t stmts = 0;
+};
+
+void scanExpr(const ExprNode& e, int loopVarSlot, BodyScan& out) {
+  switch (e.kind) {
+    case ExprKind::Call:
+      if (e.builtinIndex >= 0) {
+        if (minic::builtinTable()[static_cast<size_t>(e.builtinIndex)].isLibraryCall) {
+          out.hasCall = true;
+        }
+      } else {
+        out.hasCall = true;
+      }
+      break;
+    case ExprKind::ArrayRef:
+      if (!e.args.empty()) {
+        const ExprNode& last = *e.args.back();
+        if (last.kind == ExprKind::VarRef && last.localSlot == loopVarSlot) {
+          out.unitStride = true;
+        }
+      }
+      break;
+    default:
+      break;
+  }
+  for (const auto& a : e.args) scanExpr(*a, loopVarSlot, out);
+}
+
+void scanStmts(const std::vector<minic::StmtUP>& stmts, int loopVarSlot, BodyScan& out) {
+  for (const auto& s : stmts) {
+    ++out.stmts;
+    switch (s->kind) {
+      case StmtKind::If:
+      case StmtKind::While:
+      case StmtKind::For:
+      case StmtKind::Break:
+      case StmtKind::Continue:
+      case StmtKind::Return:
+        out.hasControlFlow = true;
+        break;
+      default:
+        break;
+    }
+    if (s->rhs) scanExpr(*s->rhs, loopVarSlot, out);
+    if (s->cond) scanExpr(*s->cond, loopVarSlot, out);
+    for (const auto& ix : s->lhsIndices) scanExpr(*ix, loopVarSlot, out);
+    // also check stores through the fastest dimension
+    if (s->kind == StmtKind::Assign && !s->lhsIndices.empty()) {
+      const ExprNode& last = *s->lhsIndices.back();
+      if (last.kind == ExprKind::VarRef && last.localSlot == loopVarSlot) {
+        out.unitStride = true;
+      }
+    }
+    scanStmts(s->body, loopVarSlot, out);
+    scanStmts(s->elseBody, loopVarSlot, out);
+  }
+}
+
+void visitLoops(const std::vector<minic::StmtUP>& stmts,
+                std::map<NodeId, double>& out) {
+  for (const auto& s : stmts) {
+    if (s->kind == StmtKind::For) {
+      int loopVar = s->init ? s->init->localSlot : -1;
+      BodyScan scan;
+      scanStmts(s->body, loopVar, scan);
+      if (!scan.hasControlFlow && !scan.hasCall && scan.unitStride && loopVar >= 0) {
+        // Short bodies are "obviously" vectorizable; long ones only to an
+        // aggressive compiler. score: 1 stmt -> 1.0, 5 -> 0.5, 9 -> 1/3 ...
+        double score = 1.0 / (1.0 + (static_cast<double>(scan.stmts) - 1.0) / 4.0);
+        out[s->id] = score;
+      }
+    }
+    visitLoops(s->body, out);
+    visitLoops(s->elseBody, out);
+  }
+}
+
+}  // namespace
+
+std::map<NodeId, double> vectorizableLoops(const Program& prog) {
+  std::map<NodeId, double> out;
+  for (const auto& f : prog.funcs) visitLoops(f->body, out);
+  return out;
+}
+
+std::map<NodeId, bool> vectorizedLoops(const Program& prog, const MachineModel& machine) {
+  std::map<NodeId, bool> out;
+  for (const auto& [id, score] : vectorizableLoops(prog)) {
+    out[id] = score >= 1.0 - machine.autoVecQuality;
+  }
+  return out;
+}
+
+}  // namespace skope::sim

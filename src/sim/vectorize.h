@@ -1,0 +1,32 @@
+// Static auto-vectorization model.
+//
+// The paper's measured baselines were produced by native compilers (IBM XL on
+// BG/Q, GFortran on Xeon) whose auto-vectorizers behave very differently —
+// Section VII-B attributes the STASSUIJ over-estimation to XL vectorizing the
+// top hot spot while the analytic model ignores vectorization entirely. To
+// reproduce that effect, the ground-truth simulator needs a deterministic
+// model of "which loops would the native compiler vectorize".
+//
+// A loop is structurally vectorizable when it is innermost, straight-line
+// (no branches, calls, or early exits in the body), and streams through at
+// least one array with the loop induction variable in the fastest-varying
+// subscript. Each such loop gets a *simplicity score* in (0,1]; a machine
+// whose compiler has autoVecQuality q vectorizes the loop iff
+// score >= 1 - q.
+#pragma once
+
+#include <map>
+
+#include "machine/machine.h"
+#include "minic/ast.h"
+
+namespace skope::sim {
+
+/// Loop NodeId -> simplicity score for every structurally vectorizable loop.
+std::map<minic::NodeId, double> vectorizableLoops(const minic::Program& prog);
+
+/// Applies a machine's compiler quality to the structural scores.
+std::map<minic::NodeId, bool> vectorizedLoops(const minic::Program& prog,
+                                              const MachineModel& machine);
+
+}  // namespace skope::sim

@@ -1,0 +1,294 @@
+#include "skeleton/parser.h"
+
+#include <cctype>
+
+#include "minic/builtins.h"
+#include "support/diagnostics.h"
+
+namespace skope::skel {
+
+namespace {
+
+class SkParser {
+ public:
+  explicit SkParser(std::string_view text) : text_(text) {}
+
+  SkeletonProgram run() {
+    SkeletonProgram prog;
+    skipWs();
+    if (peekWord() == "params") {
+      eatWord("params");
+      prog.params.push_back(eatIdent());
+      while (tryConsume(',')) prog.params.push_back(eatIdent());
+      expect(';');
+    }
+    skipWs();
+    while (pos_ < text_.size()) {
+      prog.defs.push_back(parseDef());
+      skipWs();
+    }
+    return prog;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) {
+    // compute line for a useful message
+    uint32_t line = 1;
+    for (size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') ++line;
+    }
+    throw Error("skeleton:" + std::to_string(line) + ": " + msg);
+  }
+
+  void skipWs() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '#') {  // comment to end of line
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  char peek() {
+    skipWs();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  bool tryConsume(char c) {
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  void expect(char c) {
+    if (!tryConsume(c)) fail(std::string("expected '") + c + "'");
+  }
+
+  std::string_view peekWord() {
+    skipWs();
+    size_t p = pos_;
+    while (p < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[p])) || text_[p] == '_')) {
+      ++p;
+    }
+    return text_.substr(pos_, p - pos_);
+  }
+
+  std::string eatIdent() {
+    std::string_view w = peekWord();
+    if (w.empty() || std::isdigit(static_cast<unsigned char>(w[0]))) {
+      fail("expected identifier");
+    }
+    pos_ += w.size();
+    return std::string(w);
+  }
+
+  void eatWord(std::string_view w) {
+    if (peekWord() != w) fail("expected '" + std::string(w) + "'");
+    pos_ += w.size();
+  }
+
+  uint32_t parseOrigin() {
+    if (peek() != '@') return 0;
+    ++pos_;
+    size_t start = pos_;
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    if (pos_ == start) fail("expected integer after '@'");
+    return static_cast<uint32_t>(std::stoul(std::string(text_.substr(start, pos_ - start))));
+  }
+
+  double parseNumber() {
+    skipWs();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == 'e' ||
+            text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected number");
+    return std::stod(std::string(text_.substr(start, pos_ - start)));
+  }
+
+  /// Extracts an expression substring up to an unparenthesized delimiter.
+  ExprPtr parseExprUntil(std::string_view delims) {
+    skipWs();
+    size_t start = pos_;
+    int depth = 0;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '(') ++depth;
+      if (c == ')') {
+        if (depth == 0) break;
+        --depth;
+      }
+      if (depth == 0 && delims.find(c) != std::string_view::npos) break;
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected expression");
+    return parseExpr(text_.substr(start, pos_ - start));
+  }
+
+  std::vector<SkNodeUP> parseBlock() {
+    expect('{');
+    std::vector<SkNodeUP> kids;
+    while (peek() != '}') {
+      if (pos_ >= text_.size()) fail("unterminated block");
+      kids.push_back(parseStmt());
+    }
+    expect('}');
+    return kids;
+  }
+
+  SkNodeUP parseDef() {
+    eatWord("def");
+    std::string name = eatIdent();
+    expect('(');
+    std::vector<std::string> formals;
+    if (peek() != ')') {
+      formals.push_back(eatIdent());
+      while (tryConsume(',')) formals.push_back(eatIdent());
+    }
+    expect(')');
+    uint32_t origin = parseOrigin();
+    auto def = makeDef(std::move(name), std::move(formals), origin);
+    def->kids = parseBlock();
+    return def;
+  }
+
+  SkNodeUP parseStmt() {
+    std::string_view w = peekWord();
+    if (w == "loop") return parseLoop();
+    if (w == "branch") return parseBranch();
+    if (w == "comp") return parseComp();
+    if (w == "call") return parseCall();
+    if (w == "libcall") return parseLibCall();
+    if (w == "set") return parseSet();
+    if (w == "comm") return parseComm();
+    if (w == "return" || w == "break" || w == "continue") {
+      pos_ += w.size();
+      SkKind kind = w == "return" ? SkKind::Return
+                    : w == "break" ? SkKind::Break
+                                   : SkKind::Continue;
+      auto n = makeSimple(kind, parseOrigin());
+      expect(';');
+      return n;
+    }
+    fail("unknown statement '" + std::string(w) + "'");
+  }
+
+  SkNodeUP parseLoop() {
+    eatWord("loop");
+    bool parallel = false;
+    if (peekWord() == "parallel") {
+      eatWord("parallel");
+      parallel = true;
+    }
+    uint32_t origin = parseOrigin();
+    eatWord("iter");
+    expect('=');
+    auto iter = parseExprUntil("{");
+    auto loop = makeLoop(std::move(iter), origin);
+    loop->parallel = parallel;
+    loop->kids = parseBlock();
+    return loop;
+  }
+
+  SkNodeUP parseBranch() {
+    eatWord("branch");
+    uint32_t origin = parseOrigin();
+    eatWord("p");
+    expect('=');
+    auto prob = parseExprUntil("{");
+    auto branch = makeBranch(std::move(prob), origin);
+    branch->kids = parseBlock();
+    if (peekWord() == "else") {
+      eatWord("else");
+      branch->elseKids = parseBlock();
+    }
+    return branch;
+  }
+
+  SkNodeUP parseComp() {
+    eatWord("comp");
+    uint32_t origin = parseOrigin();
+    SkMetrics m;
+    while (peek() != ';') {
+      std::string key = eatIdent();
+      expect('=');
+      double v = parseNumber();
+      if (key == "flops") m.flops = v;
+      else if (key == "fpdivs") m.fpdivs = v;
+      else if (key == "iops") m.iops = v;
+      else if (key == "loads") m.loads = v;
+      else if (key == "stores") m.stores = v;
+      else fail("unknown comp metric '" + key + "'");
+    }
+    expect(';');
+    return makeComp(m, origin);
+  }
+
+  SkNodeUP parseCall() {
+    eatWord("call");
+    uint32_t origin = parseOrigin();
+    std::string name = eatIdent();
+    expect('(');
+    std::vector<ExprPtr> args;
+    if (peek() != ')') {
+      args.push_back(parseExprUntil(",)"));
+      while (tryConsume(',')) args.push_back(parseExprUntil(",)"));
+    }
+    expect(')');
+    expect(';');
+    return makeCall(std::move(name), std::move(args), origin);
+  }
+
+  SkNodeUP parseLibCall() {
+    eatWord("libcall");
+    uint32_t origin = parseOrigin();
+    std::string name = eatIdent();
+    int bi = minic::findBuiltin(name);
+    if (bi < 0) fail("unknown library function '" + name + "'");
+    ExprPtr count = constant(1);
+    if (peekWord() == "count") {
+      eatWord("count");
+      expect('=');
+      count = parseExprUntil(";");
+    }
+    expect(';');
+    return makeLibCall(bi, std::move(count), origin);
+  }
+
+  SkNodeUP parseComm() {
+    eatWord("comm");
+    uint32_t origin = parseOrigin();
+    eatWord("bytes");
+    expect('=');
+    auto bytes = parseExprUntil(";");
+    expect(';');
+    return makeComm(std::move(bytes), origin);
+  }
+
+  SkNodeUP parseSet() {
+    eatWord("set");
+    uint32_t origin = parseOrigin();
+    std::string name = eatIdent();
+    expect('=');
+    auto value = parseExprUntil(";");
+    expect(';');
+    return makeSet(std::move(name), std::move(value), origin);
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+SkeletonProgram parseSkeleton(std::string_view text) { return SkParser(text).run(); }
+
+}  // namespace skope::skel

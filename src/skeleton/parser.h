@@ -1,0 +1,30 @@
+// Parser for the textual skeleton syntax.
+//
+// Grammar:
+//   program  := ('params' ident (',' ident)* ';')? def*
+//   def      := 'def' ident '(' idents? ')' origin? block
+//   block    := '{' stmt* '}'
+//   stmt     := loop | branch | comp | call | libcall | set
+//             | ('return'|'break'|'continue') origin? ';'
+//   loop     := 'loop' origin? 'iter' '=' expr block
+//   branch   := 'branch' origin? 'p' '=' expr block ('else' block)?
+//   comp     := 'comp' origin? (metric '=' number)* ';'
+//               metric ∈ {flops, fpdivs, iops, loads, stores}
+//   call     := 'call' origin? ident '(' exprs? ')' ';'
+//   libcall  := 'libcall' origin? ident ('count' '=' expr)? ';'
+//   set      := 'set' origin? ident '=' expr ';'
+//   origin   := '@' integer
+// Expressions use the syntax of expr/expr.h (parseExpr).
+#pragma once
+
+#include <string_view>
+
+#include "skeleton/skeleton.h"
+
+namespace skope::skel {
+
+/// Parses skeleton text. Throws Error on malformed input or unknown library
+/// function names.
+SkeletonProgram parseSkeleton(std::string_view text);
+
+}  // namespace skope::skel

@@ -1,0 +1,138 @@
+#include "skeleton/printer.h"
+
+#include <sstream>
+
+#include "minic/builtins.h"
+#include "support/text.h"
+
+namespace skope::skel {
+
+namespace {
+
+class Printer {
+ public:
+  std::string run(const SkeletonProgram& prog) {
+    if (!prog.params.empty()) {
+      os_ << "params " << join(prog.params, ", ") << ";\n";
+    }
+    for (const auto& d : prog.defs) {
+      os_ << "\n";
+      printNode(*d);
+    }
+    return os_.str();
+  }
+
+ private:
+  void line() {
+    for (int i = 0; i < indent_; ++i) os_ << "  ";
+  }
+
+  void origin(const SkNode& n) {
+    if (n.origin != 0) os_ << " @" << n.origin;
+  }
+
+  void printBlock(const std::vector<SkNodeUP>& kids) {
+    os_ << " {\n";
+    ++indent_;
+    for (const auto& k : kids) printNode(*k);
+    --indent_;
+    line();
+    os_ << "}";
+  }
+
+  void printNode(const SkNode& n) {
+    line();
+    switch (n.kind) {
+      case SkKind::Def: {
+        os_ << "def " << n.name << "(";
+        for (size_t i = 0; i < n.formals.size(); ++i) {
+          if (i) os_ << ", ";
+          os_ << n.formals[i];
+        }
+        os_ << ")";
+        origin(n);
+        printBlock(n.kids);
+        os_ << "\n";
+        return;
+      }
+      case SkKind::Loop:
+        os_ << "loop";
+        if (n.parallel) os_ << " parallel";
+        origin(n);
+        os_ << " iter=" << n.iter->str();
+        printBlock(n.kids);
+        os_ << "\n";
+        return;
+      case SkKind::Branch:
+        os_ << "branch";
+        origin(n);
+        os_ << " p=" << n.prob->str();
+        printBlock(n.kids);
+        if (!n.elseKids.empty()) {
+          os_ << " else";
+          printBlock(n.elseKids);
+        }
+        os_ << "\n";
+        return;
+      case SkKind::Comp: {
+        os_ << "comp";
+        origin(n);
+        const SkMetrics& m = n.metrics;
+        if (m.flops != 0) os_ << " flops=" << humanDouble(m.flops, 10);
+        if (m.fpdivs != 0) os_ << " fpdivs=" << humanDouble(m.fpdivs, 10);
+        if (m.iops != 0) os_ << " iops=" << humanDouble(m.iops, 10);
+        if (m.loads != 0) os_ << " loads=" << humanDouble(m.loads, 10);
+        if (m.stores != 0) os_ << " stores=" << humanDouble(m.stores, 10);
+        os_ << ";\n";
+        return;
+      }
+      case SkKind::Call: {
+        os_ << "call";
+        origin(n);
+        os_ << " " << n.name << "(";
+        for (size_t i = 0; i < n.args.size(); ++i) {
+          if (i) os_ << ", ";
+          os_ << n.args[i]->str();
+        }
+        os_ << ");\n";
+        return;
+      }
+      case SkKind::LibCall:
+        os_ << "libcall";
+        origin(n);
+        os_ << " " << minic::builtinTable()[static_cast<size_t>(n.builtinIndex)].name;
+        // a count of exactly 1 is the default; keep the output minimal
+        if (n.count && !(n.count->op == ExprOp::Const && n.count->value == 1.0)) {
+          os_ << " count=" << n.count->str();
+        }
+        os_ << ";\n";
+        return;
+      case SkKind::Set:
+        os_ << "set";
+        origin(n);
+        os_ << " " << n.name << " = " << n.value->str() << ";\n";
+        return;
+      case SkKind::Comm:
+        os_ << "comm";
+        origin(n);
+        os_ << " bytes=" << n.bytes->str() << ";\n";
+        return;
+      case SkKind::Return:
+      case SkKind::Break:
+      case SkKind::Continue:
+        os_ << skKindName(n.kind);
+        origin(n);
+        os_ << ";\n";
+        return;
+    }
+  }
+
+  std::ostringstream os_;
+  int indent_ = 0;
+};
+
+}  // namespace
+
+std::string printSkeleton(const SkeletonProgram& prog) { return Printer().run(prog); }
+
+}  // namespace skope::skel

@@ -1,0 +1,13 @@
+// Renders a SkeletonProgram to the textual skeleton syntax (round-trips with
+// skeleton/parser.h).
+#pragma once
+
+#include <string>
+
+#include "skeleton/skeleton.h"
+
+namespace skope::skel {
+
+std::string printSkeleton(const SkeletonProgram& prog);
+
+}  // namespace skope::skel

@@ -1,0 +1,118 @@
+#include "skeleton/skeleton.h"
+
+namespace skope::skel {
+
+std::string_view skKindName(SkKind k) {
+  switch (k) {
+    case SkKind::Def: return "def";
+    case SkKind::Loop: return "loop";
+    case SkKind::Branch: return "branch";
+    case SkKind::Comp: return "comp";
+    case SkKind::Call: return "call";
+    case SkKind::LibCall: return "libcall";
+    case SkKind::Set: return "set";
+    case SkKind::Comm: return "comm";
+    case SkKind::Return: return "return";
+    case SkKind::Break: return "break";
+    case SkKind::Continue: return "continue";
+  }
+  return "?";
+}
+
+SkMetrics& SkMetrics::operator+=(const SkMetrics& o) {
+  flops += o.flops;
+  fpdivs += o.fpdivs;
+  iops += o.iops;
+  loads += o.loads;
+  stores += o.stores;
+  return *this;
+}
+
+SkMetrics SkMetrics::scaled(double f) const {
+  return {flops * f, fpdivs * f, iops * f, loads * f, stores * f};
+}
+
+size_t SkNode::subtreeSize() const {
+  size_t n = 1;
+  for (const auto& k : kids) n += k->subtreeSize();
+  for (const auto& k : elseKids) n += k->subtreeSize();
+  return n;
+}
+
+const SkNode* SkeletonProgram::findDef(std::string_view name) const {
+  for (const auto& d : defs) {
+    if (d->name == name) return d.get();
+  }
+  return nullptr;
+}
+
+size_t SkeletonProgram::totalNodes() const {
+  size_t n = 0;
+  for (const auto& d : defs) n += d->subtreeSize();
+  return n;
+}
+
+namespace {
+SkNodeUP makeNode(SkKind kind, uint32_t origin) {
+  auto n = std::make_unique<SkNode>();
+  n->kind = kind;
+  n->origin = origin;
+  return n;
+}
+}  // namespace
+
+SkNodeUP makeDef(std::string name, std::vector<std::string> formals, uint32_t origin) {
+  auto n = makeNode(SkKind::Def, origin);
+  n->name = std::move(name);
+  n->formals = std::move(formals);
+  return n;
+}
+
+SkNodeUP makeLoop(ExprPtr iter, uint32_t origin) {
+  auto n = makeNode(SkKind::Loop, origin);
+  n->iter = std::move(iter);
+  return n;
+}
+
+SkNodeUP makeBranch(ExprPtr prob, uint32_t origin) {
+  auto n = makeNode(SkKind::Branch, origin);
+  n->prob = std::move(prob);
+  return n;
+}
+
+SkNodeUP makeComp(SkMetrics m, uint32_t origin) {
+  auto n = makeNode(SkKind::Comp, origin);
+  n->metrics = m;
+  return n;
+}
+
+SkNodeUP makeCall(std::string name, std::vector<ExprPtr> args, uint32_t origin) {
+  auto n = makeNode(SkKind::Call, origin);
+  n->name = std::move(name);
+  n->args = std::move(args);
+  return n;
+}
+
+SkNodeUP makeLibCall(int builtinIndex, ExprPtr count, uint32_t origin) {
+  auto n = makeNode(SkKind::LibCall, origin);
+  n->builtinIndex = builtinIndex;
+  n->count = std::move(count);
+  return n;
+}
+
+SkNodeUP makeSet(std::string name, ExprPtr value, uint32_t origin) {
+  auto n = makeNode(SkKind::Set, origin);
+  n->name = std::move(name);
+  n->value = std::move(value);
+  return n;
+}
+
+SkNodeUP makeComm(ExprPtr bytes, uint32_t origin) {
+  auto n = makeNode(SkKind::Comm, origin);
+  n->bytes = std::move(bytes);
+  return n;
+}
+
+SkNodeUP makeSimple(SkKind kind, uint32_t origin) { return makeNode(kind, origin); }
+
+}  // namespace skope::skel

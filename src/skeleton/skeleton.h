@@ -1,0 +1,105 @@
+// Code skeletons — our implementation of the SKOPE workload-modeling language
+// the paper builds on (§III-A).
+//
+// A skeleton preserves the control-flow structure of the application (functions,
+// loops, branches) but replaces straight-line code with aggregate performance
+// statements (`comp`): floating-point op counts, integer op counts, loads and
+// stores. Loop iteration counts and branch probabilities are expressions over
+// the workload's input parameters, or constants measured by the local branch
+// profiler. The parsed form is the paper's Block Skeleton Tree (BST).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "expr/expr.h"
+
+namespace skope::skel {
+
+enum class SkKind {
+  Def,      ///< function definition; name, formals, kids
+  Loop,     ///< counted loop; iter expression, kids
+  Branch,   ///< two-way branch; prob expression, kids / elseKids
+  Comp,     ///< aggregate op-mix statement
+  Call,     ///< user function call; name, args
+  LibCall,  ///< library call; builtinIndex, count expression
+  Set,      ///< context-variable assignment; name, value expression
+  Comm,     ///< inter-node message; bytes expression (multi-node extension)
+  Return,
+  Break,
+  Continue,
+};
+
+std::string_view skKindName(SkKind k);
+
+/// Aggregate instruction mix of a `comp` statement, per execution.
+struct SkMetrics {
+  double flops = 0;   ///< floating-point ops excluding divides
+  double fpdivs = 0;  ///< floating-point divides (recorded, but the default
+                      ///< roofline model folds them into flops — paper §VII-B)
+  double iops = 0;    ///< integer ops
+  double loads = 0;   ///< data elements read
+  double stores = 0;  ///< data elements written
+
+  [[nodiscard]] double totalFlops() const { return flops + fpdivs; }
+  [[nodiscard]] double accesses() const { return loads + stores; }
+  [[nodiscard]] double bytes() const { return accesses() * 8.0; }
+  [[nodiscard]] bool empty() const {
+    return flops == 0 && fpdivs == 0 && iops == 0 && loads == 0 && stores == 0;
+  }
+
+  SkMetrics& operator+=(const SkMetrics& o);
+  SkMetrics scaled(double f) const;
+};
+
+struct SkNode;
+using SkNodeUP = std::unique_ptr<SkNode>;
+
+/// One node of the Block Skeleton Tree.
+struct SkNode {
+  SkKind kind = SkKind::Comp;
+  uint32_t origin = 0;  ///< originating AST node id (region id for Def/Loop)
+
+  std::string name;                   ///< Def / Call / LibCall / Set
+  std::vector<std::string> formals;   ///< Def parameter names
+  ExprPtr iter;                       ///< Loop iteration count
+  bool parallel = false;              ///< Loop iterations are independent
+                                      ///< (SKOPE's "degree of parallelism")
+  ExprPtr prob;                       ///< Branch probability of the then-arm
+  ExprPtr value;                      ///< Set value
+  std::vector<ExprPtr> args;          ///< Call arguments
+  ExprPtr count;                      ///< LibCall calls per execution (default 1)
+  int builtinIndex = -1;              ///< LibCall target
+  SkMetrics metrics;                  ///< Comp
+  ExprPtr bytes;                      ///< Comm message size in bytes
+
+  std::vector<SkNodeUP> kids;
+  std::vector<SkNodeUP> elseKids;     ///< Branch only
+
+  [[nodiscard]] size_t subtreeSize() const;
+};
+
+/// A full workload skeleton: the BSTs of all functions plus the input
+/// parameter names the expressions may reference.
+struct SkeletonProgram {
+  std::vector<std::string> params;
+  std::vector<SkNodeUP> defs;
+
+  [[nodiscard]] const SkNode* findDef(std::string_view name) const;
+  /// Total number of BST nodes (the paper's BET-size comparison baseline).
+  [[nodiscard]] size_t totalNodes() const;
+};
+
+// --- construction helpers (used by the translator and tests) ---
+SkNodeUP makeDef(std::string name, std::vector<std::string> formals, uint32_t origin);
+SkNodeUP makeLoop(ExprPtr iter, uint32_t origin);
+SkNodeUP makeBranch(ExprPtr prob, uint32_t origin);
+SkNodeUP makeComp(SkMetrics m, uint32_t origin);
+SkNodeUP makeCall(std::string name, std::vector<ExprPtr> args, uint32_t origin);
+SkNodeUP makeLibCall(int builtinIndex, ExprPtr count, uint32_t origin);
+SkNodeUP makeSet(std::string name, ExprPtr value, uint32_t origin);
+SkNodeUP makeComm(ExprPtr bytes, uint32_t origin);
+SkNodeUP makeSimple(SkKind kind, uint32_t origin);  // Return / Break / Continue
+
+}  // namespace skope::skel

@@ -1,0 +1,129 @@
+#include "support/argparse.h"
+
+#include <cstdio>
+
+#include "support/text.h"
+
+namespace skope {
+
+ArgParser::ArgParser(std::string programName, std::string description)
+    : program_(std::move(programName)), description_(std::move(description)) {}
+
+void ArgParser::addFlag(const std::string& name, const std::string& help,
+                        const std::string& defaultValue, bool required) {
+  flags_.push_back({name, help, defaultValue, required, false});
+}
+
+void ArgParser::addBool(const std::string& name, const std::string& help) {
+  flags_.push_back({name, help, "", false, true});
+}
+
+void ArgParser::addPositional(const std::string& name, const std::string& help,
+                              bool required) {
+  positionals_.push_back({name, help, required});
+}
+
+const ArgParser::FlagSpec* ArgParser::findFlag(const std::string& name) const {
+  for (const auto& f : flags_) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+bool ArgParser::parse(int argc, const char* const* argv) {
+  size_t posIndex = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(helpText().c_str(), stdout);
+      return false;
+    }
+    if (startsWith(arg, "--")) {
+      std::string name = arg.substr(2);
+      std::string value;
+      bool hasValue = false;
+      size_t eq = name.find('=');
+      if (eq != std::string::npos) {
+        value = name.substr(eq + 1);
+        name = name.substr(0, eq);
+        hasValue = true;
+      }
+      const FlagSpec* spec = findFlag(name);
+      if (!spec) throw Error("unknown flag --" + name + " (see --help)");
+      if (spec->boolean) {
+        if (hasValue) throw Error("--" + name + " is a boolean flag, no value expected");
+        bools_[name] = true;
+        continue;
+      }
+      if (!hasValue) {
+        if (i + 1 >= argc) throw Error("--" + name + " expects a value");
+        value = argv[++i];
+      }
+      values_[name] = value;
+      continue;
+    }
+    if (posIndex >= positionals_.size()) {
+      throw Error("unexpected positional argument '" + arg + "'");
+    }
+    values_[positionals_[posIndex++].name] = arg;
+  }
+
+  for (const auto& f : flags_) {
+    if (f.boolean) continue;
+    if (!values_.count(f.name)) {
+      if (f.required) throw Error("missing required flag --" + f.name);
+      values_[f.name] = f.defaultValue;
+    }
+  }
+  for (const auto& p : positionals_) {
+    if (p.required && !values_.count(p.name)) {
+      throw Error("missing required argument <" + p.name + ">");
+    }
+  }
+  return true;
+}
+
+std::string ArgParser::get(const std::string& name) const {
+  auto it = values_.find(name);
+  return it != values_.end() ? it->second : "";
+}
+
+double ArgParser::getDouble(const std::string& name) const {
+  std::string v = get(name);
+  if (v.empty()) throw Error("flag --" + name + " has no value");
+  try {
+    return std::stod(v);
+  } catch (const std::exception&) {
+    throw Error("flag --" + name + " expects a number, got '" + v + "'");
+  }
+}
+
+bool ArgParser::getBool(const std::string& name) const {
+  auto it = bools_.find(name);
+  return it != bools_.end() && it->second;
+}
+
+bool ArgParser::has(const std::string& name) const {
+  return values_.count(name) != 0 || getBool(name);
+}
+
+std::string ArgParser::helpText() const {
+  std::string out = program_;
+  for (const auto& p : positionals_) {
+    out += p.required ? " <" + p.name + ">" : " [" + p.name + "]";
+  }
+  out += " [flags]\n  " + description_ + "\n\n";
+  for (const auto& p : positionals_) {
+    out += format("  %-22s %s\n", ("<" + p.name + ">").c_str(), p.help.c_str());
+  }
+  for (const auto& f : flags_) {
+    std::string left = "--" + f.name + (f.boolean ? "" : "=<v>");
+    std::string right = f.help;
+    if (!f.defaultValue.empty()) right += " (default: " + f.defaultValue + ")";
+    if (f.required) right += " (required)";
+    out += format("  %-22s %s\n", left.c_str(), right.c_str());
+  }
+  return out;
+}
+
+}  // namespace skope

@@ -1,0 +1,68 @@
+// Minimal command-line flag parser for the tools/ binaries.
+//
+// Supports --name=value, --name value, boolean --flag, positional arguments,
+// and automatic --help text. Deliberately tiny — no subcommands, no types
+// beyond string/double/bool.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/diagnostics.h"
+
+namespace skope {
+
+class ArgParser {
+ public:
+  ArgParser(std::string programName, std::string description);
+
+  /// Registers a string flag. `defaultValue` empty + required=true makes the
+  /// flag mandatory.
+  void addFlag(const std::string& name, const std::string& help,
+               const std::string& defaultValue = "", bool required = false);
+
+  /// Registers a boolean flag (present = true).
+  void addBool(const std::string& name, const std::string& help);
+
+  /// Declares a positional argument (in order).
+  void addPositional(const std::string& name, const std::string& help,
+                     bool required = true);
+
+  /// Parses argv. Returns false if --help was requested (help text printed
+  /// to stdout). Throws Error on unknown flags or missing required values.
+  bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::string get(const std::string& name) const;
+  [[nodiscard]] double getDouble(const std::string& name) const;
+  [[nodiscard]] bool getBool(const std::string& name) const;
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  [[nodiscard]] std::string helpText() const;
+
+ private:
+  struct FlagSpec {
+    std::string name;
+    std::string help;
+    std::string defaultValue;
+    bool required = false;
+    bool boolean = false;
+  };
+  struct PosSpec {
+    std::string name;
+    std::string help;
+    bool required = true;
+  };
+
+  const FlagSpec* findFlag(const std::string& name) const;
+
+  std::string program_;
+  std::string description_;
+  std::vector<FlagSpec> flags_;
+  std::vector<PosSpec> positionals_;
+  std::map<std::string, std::string> values_;
+  std::map<std::string, bool> bools_;
+};
+
+}  // namespace skope

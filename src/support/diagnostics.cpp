@@ -1,0 +1,54 @@
+#include "support/diagnostics.h"
+
+#include <sstream>
+
+namespace skope {
+
+std::string SourceLoc::str() const {
+  std::ostringstream os;
+  os << (file.empty() ? "<input>" : file) << ":" << line << ":" << col;
+  return os.str();
+}
+
+std::string Diagnostic::str() const {
+  const char* sev = severity == Severity::Note      ? "note"
+                    : severity == Severity::Warning ? "warning"
+                                                    : "error";
+  std::string out;
+  if (loc.valid()) out += loc.str() + ": ";
+  out += sev;
+  out += ": ";
+  out += message;
+  return out;
+}
+
+void DiagSink::note(const SourceLoc& loc, std::string msg) {
+  diags_.push_back({Severity::Note, loc, std::move(msg)});
+}
+
+void DiagSink::warning(const SourceLoc& loc, std::string msg) {
+  diags_.push_back({Severity::Warning, loc, std::move(msg)});
+}
+
+void DiagSink::error(const SourceLoc& loc, std::string msg) {
+  diags_.push_back({Severity::Error, loc, std::move(msg)});
+  ++errorCount_;
+}
+
+std::string DiagSink::str() const {
+  std::string out;
+  for (const auto& d : diags_) {
+    out += d.str();
+    out += '\n';
+  }
+  return out;
+}
+
+void DiagSink::throwIfErrors() const {
+  if (!hasErrors()) return;
+  for (const auto& d : diags_) {
+    if (d.severity == Severity::Error) throw Error(d.str());
+  }
+}
+
+}  // namespace skope

@@ -1,0 +1,68 @@
+// Diagnostics: source locations, error reporting, and the Error exception type
+// used across the framework. All frontend and modeling errors funnel through
+// Diag so callers get consistent "file:line:col: message" formatting.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace skope {
+
+/// A position inside a source buffer. Lines and columns are 1-based; a zero
+/// line means "unknown location" (e.g. synthesized nodes).
+struct SourceLoc {
+  std::string_view file;  ///< name of the buffer (not owned)
+  uint32_t line = 0;
+  uint32_t col = 0;
+
+  [[nodiscard]] bool valid() const { return line != 0; }
+  [[nodiscard]] std::string str() const;
+};
+
+/// Exception thrown for unrecoverable user-facing errors (parse errors,
+/// semantic errors, model misconfiguration). Carries a formatted location.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& msg) : std::runtime_error(msg) {}
+  Error(const SourceLoc& loc, const std::string& msg)
+      : std::runtime_error(loc.valid() ? loc.str() + ": " + msg : msg) {}
+};
+
+/// Severity of a collected diagnostic.
+enum class Severity { Note, Warning, Error };
+
+/// One collected diagnostic message.
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  SourceLoc loc;
+  std::string message;
+
+  [[nodiscard]] std::string str() const;
+};
+
+/// Collects diagnostics during a pass. Passes that can recover (e.g. sema)
+/// accumulate here instead of throwing; callers check hasErrors() afterwards.
+class DiagSink {
+ public:
+  void note(const SourceLoc& loc, std::string msg);
+  void warning(const SourceLoc& loc, std::string msg);
+  void error(const SourceLoc& loc, std::string msg);
+
+  [[nodiscard]] bool hasErrors() const { return errorCount_ > 0; }
+  [[nodiscard]] size_t errorCount() const { return errorCount_; }
+  [[nodiscard]] const std::vector<Diagnostic>& all() const { return diags_; }
+
+  /// Renders every diagnostic, one per line.
+  [[nodiscard]] std::string str() const;
+
+  /// Throws Error with the first error message if any error was recorded.
+  void throwIfErrors() const;
+
+ private:
+  std::vector<Diagnostic> diags_;
+  size_t errorCount_ = 0;
+};
+
+}  // namespace skope

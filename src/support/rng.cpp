@@ -1,0 +1,38 @@
+#include "support/rng.h"
+
+#include <cmath>
+
+namespace skope {
+
+uint64_t Rng::next() {
+  // splitmix64: passes BigCrush, two multiplies + shifts, stateless stream.
+  state_ += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double Rng::uniform() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+uint64_t Rng::below(uint64_t n) { return next() % n; }
+
+int64_t Rng::range(int64_t lo, int64_t hi) {
+  return lo + static_cast<int64_t>(below(static_cast<uint64_t>(hi - lo + 1)));
+}
+
+double Rng::gaussian() {
+  // Box–Muller with a fresh pair each call; u1 is kept away from zero.
+  double u1 = uniform();
+  if (u1 < 1e-300) u1 = 1e-300;
+  double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+bool Rng::chance(double p) { return uniform() < p; }
+
+}  // namespace skope

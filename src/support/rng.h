@@ -1,0 +1,41 @@
+// Deterministic pseudo-random number generator used everywhere randomness is
+// needed (workload input synthesis, library-function input sampling). A fixed
+// algorithm (splitmix64 + xoshiro-style mixing) keeps results reproducible
+// across platforms, unlike std::default_random_engine.
+#pragma once
+
+#include <cstdint>
+
+namespace skope {
+
+/// Small, fast, reproducible PRNG (splitmix64 core).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t next();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). n must be > 0.
+  uint64_t below(uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t range(int64_t lo, int64_t hi);
+
+  /// Standard normal via Box–Muller (no cached spare, for determinism).
+  double gaussian();
+
+  /// Bernoulli trial with probability p of true.
+  bool chance(double p);
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace skope

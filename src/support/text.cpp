@@ -1,0 +1,77 @@
+#include "support/text.h"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+#include <sstream>
+
+namespace skope {
+
+std::vector<std::string_view> split(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) s.remove_prefix(1);
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) s.remove_suffix(1);
+  return s;
+}
+
+bool startsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::string format(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  va_list ap2;
+  va_copy(ap2, ap);
+  int n = std::vsnprintf(nullptr, 0, fmt, ap);
+  va_end(ap);
+  std::string out(n > 0 ? static_cast<size_t>(n) : 0, '\0');
+  if (n > 0) std::vsnprintf(out.data(), out.size() + 1, fmt, ap2);
+  va_end(ap2);
+  return out;
+}
+
+std::string join(const std::vector<std::string>& items, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i) out += sep;
+    out += items[i];
+  }
+  return out;
+}
+
+std::string padRight(std::string_view s, size_t width) {
+  std::string out(s.substr(0, width));
+  out.resize(width, ' ');
+  return out;
+}
+
+std::string padLeft(std::string_view s, size_t width) {
+  if (s.size() >= width) return std::string(s.substr(0, width));
+  std::string out(width - s.size(), ' ');
+  out += s;
+  return out;
+}
+
+std::string humanDouble(double v, int prec) {
+  std::ostringstream os;
+  os.precision(prec);
+  os << v;
+  return os.str();
+}
+
+}  // namespace skope

@@ -1,0 +1,32 @@
+// Small text utilities shared by the frontends and report writers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace skope {
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string_view> split(std::string_view s, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool startsWith(std::string_view s, std::string_view prefix);
+
+/// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Joins items with `sep`.
+std::string join(const std::vector<std::string>& items, std::string_view sep);
+
+/// Left-pads or truncates to exactly `width` columns.
+std::string padRight(std::string_view s, size_t width);
+std::string padLeft(std::string_view s, size_t width);
+
+/// Renders `v` with `prec` significant digits, trimming trailing zeros.
+std::string humanDouble(double v, int prec = 4);
+
+}  // namespace skope

@@ -1,0 +1,80 @@
+#include <algorithm>
+#include <map>
+
+#include "translate/annotate.h"
+
+namespace skope::translate {
+
+using skel::SkKind;
+using skel::SkNode;
+
+namespace {
+
+void annotateNode(SkNode& n, const vm::ProfileData& profile) {
+  if (n.kind == SkKind::Loop && !n.iter) {
+    const vm::BranchSiteStats* st = profile.site(n.origin);
+    n.iter = constant(st ? st->meanTrips() : 0.0);
+  }
+  if (n.kind == SkKind::Branch && !n.prob) {
+    const vm::BranchSiteStats* st = profile.site(n.origin);
+    n.prob = constant(st ? st->pTrue() : 0.0);
+  }
+  for (auto& k : n.kids) annotateNode(*k, profile);
+  for (auto& k : n.elseKids) annotateNode(*k, profile);
+}
+
+void collectUnresolved(const SkNode& n, std::vector<uint32_t>& out) {
+  if ((n.kind == SkKind::Loop && !n.iter) || (n.kind == SkKind::Branch && !n.prob)) {
+    out.push_back(n.origin);
+  }
+  for (const auto& k : n.kids) collectUnresolved(*k, out);
+  for (const auto& k : n.elseKids) collectUnresolved(*k, out);
+}
+
+}  // namespace
+
+void annotate(skel::SkeletonProgram& skeleton, const vm::ProfileData& profile) {
+  for (auto& d : skeleton.defs) annotateNode(*d, profile);
+}
+
+std::vector<uint32_t> unresolvedSites(const skel::SkeletonProgram& skeleton) {
+  std::vector<uint32_t> out;
+  for (const auto& d : skeleton.defs) collectUnresolved(*d, out);
+  return out;
+}
+
+namespace {
+
+void applyHintsToNode(SkNode& n, const std::map<uint32_t, double>& branchProbs,
+                      const std::map<uint32_t, double>& loopTrips, size_t& applied) {
+  if (n.kind == SkKind::Branch) {
+    auto it = branchProbs.find(n.origin);
+    if (it != branchProbs.end()) {
+      n.prob = constant(std::clamp(it->second, 0.0, 1.0));
+      ++applied;
+    }
+  }
+  if (n.kind == SkKind::Loop) {
+    auto it = loopTrips.find(n.origin);
+    if (it != loopTrips.end()) {
+      n.iter = constant(std::max(0.0, it->second));
+      ++applied;
+    }
+  }
+  for (auto& k : n.kids) applyHintsToNode(*k, branchProbs, loopTrips, applied);
+  for (auto& k : n.elseKids) applyHintsToNode(*k, branchProbs, loopTrips, applied);
+}
+
+}  // namespace
+
+size_t applyHints(skel::SkeletonProgram& skeleton,
+                  const std::map<uint32_t, double>& branchProbs,
+                  const std::map<uint32_t, double>& loopTrips) {
+  size_t applied = 0;
+  for (auto& d : skeleton.defs) {
+    applyHintsToNode(*d, branchProbs, loopTrips, applied);
+  }
+  return applied;
+}
+
+}  // namespace skope::translate

@@ -1,0 +1,34 @@
+// Skeleton annotator — merges local branch-profiling statistics (the gcov
+// substitute, §III-B) into a statically translated skeleton.
+//
+// Loops whose bounds the translator could not derive (`iter == nullptr`) get
+// their mean measured trip count; branches get their measured fall-through
+// probability. The statistics are keyed by the skeleton nodes' `origin` AST
+// ids, which are the same ids the VM reports branch sites under.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "skeleton/skeleton.h"
+#include "vm/profile.h"
+
+namespace skope::translate {
+
+/// Fills every unresolved Loop::iter and Branch::prob from `profile`.
+/// Sites never reached during profiling get iter=0 / p=0 (dead code).
+void annotate(skel::SkeletonProgram& skeleton, const vm::ProfileData& profile);
+
+/// Origins of Loop/Branch nodes still lacking statistics (empty after a
+/// successful annotate()). BET construction refuses unresolved skeletons.
+std::vector<uint32_t> unresolvedSites(const skel::SkeletonProgram& skeleton);
+
+/// Developer overrides from the hint file's "distribution of values" section:
+/// sets the fall-through probability of the branch at each origin (and the
+/// trip count of loops, keyed the same way), *replacing* whatever static
+/// analysis or profiling produced. Returns the number of sites overridden.
+size_t applyHints(skel::SkeletonProgram& skeleton,
+                  const std::map<uint32_t, double>& branchProbs,
+                  const std::map<uint32_t, double>& loopTrips = {});
+
+}  // namespace skope::translate

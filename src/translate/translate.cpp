@@ -1,0 +1,412 @@
+#include "translate/translate.h"
+
+#include <map>
+#include <set>
+
+#include "minic/builtins.h"
+
+namespace skope::translate {
+
+using minic::BinOp;
+using minic::ExprKind;
+using minic::ExprNode;
+using minic::FuncDecl;
+using minic::Program;
+using minic::StmtKind;
+using minic::StmtNode;
+using minic::Type;
+using skel::SkKind;
+using skel::SkMetrics;
+using skel::SkNode;
+using skel::SkNodeUP;
+
+namespace {
+
+class FuncTranslator {
+ public:
+  FuncTranslator(const Program& prog, const FuncDecl& fn) : prog_(prog), fn_(fn) {}
+
+  SkNodeUP run() {
+    std::vector<std::string> formals;
+    for (size_t i = 0; i < fn_.params.size(); ++i) {
+      formals.push_back(fn_.params[i].name);
+      tracked_[static_cast<int>(i)] = fn_.params[i].name;
+    }
+    auto def = skel::makeDef(fn_.name, std::move(formals), fn_.id);
+    curOrigin_ = fn_.id;
+    def->kids = translateStmts(fn_.body);
+    return def;
+  }
+
+ private:
+  // ---- symbolic expressions over params / formals / tracked locals ----
+
+  /// Converts a MiniC expression into a symbolic skeleton expression, or
+  /// nullptr when it depends on untracked (data-dependent) state.
+  ExprPtr symbolize(const ExprNode& e) const {
+    switch (e.kind) {
+      case ExprKind::IntLit:
+      case ExprKind::RealLit:
+        return constant(e.numValue);
+      case ExprKind::VarRef:
+        if (e.paramIndex >= 0) return param(e.name);
+        if (e.localSlot >= 0) {
+          auto it = tracked_.find(e.localSlot);
+          if (it != tracked_.end()) return param(it->second);
+        }
+        return nullptr;
+      case ExprKind::Binary: {
+        auto a = symbolize(*e.args[0]);
+        auto b = symbolize(*e.args[1]);
+        if (!a || !b) return nullptr;
+        switch (e.bin) {
+          case BinOp::Add: return add(a, b);
+          case BinOp::Sub: return sub(a, b);
+          case BinOp::Mul: return mul(a, b);
+          case BinOp::Div:
+            // integer division truncates; for modeling purposes plain
+            // division is close enough for loop bounds
+            return divide(a, b);
+          case BinOp::Mod: return mod(a, b);
+          default: return nullptr;  // comparisons are not value expressions
+        }
+      }
+      case ExprKind::Unary:
+        if (e.un == minic::UnOp::Neg) {
+          auto a = symbolize(*e.args[0]);
+          return a ? neg(a) : nullptr;
+        }
+        return nullptr;
+      case ExprKind::Call:
+        if (e.builtinIndex >= 0) {
+          const auto& info = minic::builtinTable()[static_cast<size_t>(e.builtinIndex)];
+          if (info.name == "imin" || info.name == "fmin") {
+            auto a = symbolize(*e.args[0]);
+            auto b = symbolize(*e.args[1]);
+            if (a && b) return exprMin(a, b);
+          }
+          if (info.name == "imax" || info.name == "fmax") {
+            auto a = symbolize(*e.args[0]);
+            auto b = symbolize(*e.args[1]);
+            if (a && b) return exprMax(a, b);
+          }
+        }
+        return nullptr;
+      default:
+        return nullptr;
+    }
+  }
+
+  // ---- instruction-mix characterization ----
+
+  /// Accumulates the op mix of evaluating `e` into `mix_`, emitting Call /
+  /// LibCall skeleton nodes for non-intrinsic calls found inside.
+  void scanExpr(const ExprNode& e, std::vector<SkNodeUP>& out) {
+    switch (e.kind) {
+      case ExprKind::IntLit:
+      case ExprKind::RealLit:
+        return;
+      case ExprKind::VarRef:
+        return;  // register traffic; the paper's skeletons ignore stack vars
+      case ExprKind::ArrayRef:
+        for (const auto& ix : e.args) scanExpr(*ix, out);
+        mix_.loads += 1;
+        return;
+      case ExprKind::Unary:
+        scanExpr(*e.args[0], out);
+        if (e.args[0]->type == Type::Real && e.un == minic::UnOp::Neg) {
+          mix_.flops += 1;
+        } else {
+          mix_.iops += 1;
+        }
+        return;
+      case ExprKind::Binary: {
+        scanExpr(*e.args[0], out);
+        scanExpr(*e.args[1], out);
+        bool real = e.args[0]->type == Type::Real || e.args[1]->type == Type::Real;
+        if (e.bin == BinOp::Div && real) {
+          mix_.fpdivs += 1;
+        } else if (real) {
+          mix_.flops += 1;
+        } else if (e.bin == BinOp::Div || e.bin == BinOp::Mod) {
+          // Integer divide/modulo is statically known to be a multi-cycle
+          // sequence on every target; weight it like the handful of ALU ops
+          // the compiler would emit for it. (FP divides deliberately stay
+          // uniform — that is the paper's §VII-B simplification.)
+          mix_.iops += 8;
+        } else {
+          mix_.iops += 1;
+        }
+        return;
+      }
+      case ExprKind::Call: {
+        for (const auto& a : e.args) scanExpr(*a, out);
+        if (e.builtinIndex >= 0) {
+          const auto& info = minic::builtinTable()[static_cast<size_t>(e.builtinIndex)];
+          if (info.isLibraryCall) {
+            flushComp(out);
+            out.push_back(skel::makeLibCall(e.builtinIndex, constant(1), e.id));
+          } else {
+            // cheap intrinsic: fold its static mix into the caller
+            mix_.flops += info.mix.flops;
+            mix_.iops += info.mix.iops;
+          }
+          return;
+        }
+        // user call: emit with symbolic args (unresolvable args become 0 and
+        // the callee's profiled statistics take over)
+        flushComp(out);
+        std::vector<ExprPtr> args;
+        for (const auto& a : e.args) {
+          auto s = symbolize(*a);
+          args.push_back(s ? s : constant(0));
+        }
+        out.push_back(skel::makeCall(e.name, std::move(args), e.id));
+        return;
+      }
+    }
+  }
+
+  void flushComp(std::vector<SkNodeUP>& out) {
+    if (mix_.empty()) return;
+    out.push_back(skel::makeComp(mix_, curOrigin_));
+    mix_ = SkMetrics{};
+  }
+
+  // ---- statement translation ----
+
+  std::vector<SkNodeUP> translateStmts(const std::vector<minic::StmtUP>& stmts) {
+    std::vector<SkNodeUP> out;
+    for (const auto& s : stmts) translateStmt(*s, out);
+    flushComp(out);
+    return out;
+  }
+
+  void translateStmt(const StmtNode& s, std::vector<SkNodeUP>& out) {
+    switch (s.kind) {
+      case StmtKind::Block: {
+        for (const auto& k : s.body) translateStmt(*k, out);
+        return;
+      }
+
+      case StmtKind::VarDecl:
+        if (s.rhs) {
+          scanExpr(*s.rhs, out);
+          trackAssign(s.localSlot, s.lhsName, *s.rhs, out);
+        }
+        return;
+
+      case StmtKind::Assign: {
+        for (const auto& ix : s.lhsIndices) scanExpr(*ix, out);
+        scanExpr(*s.rhs, out);
+        if (s.arrayIndex >= 0) {
+          mix_.stores += 1;
+        } else if (s.localSlot >= 0) {
+          trackAssign(s.localSlot, s.lhsName, *s.rhs, out);
+        }
+        return;
+      }
+
+      case StmtKind::ExprStmt:
+        scanExpr(*s.rhs, out);
+        return;
+
+      case StmtKind::If: {
+        scanExpr(*s.cond, out);
+        mix_.iops += 1;  // the conditional branch instruction
+        flushComp(out);
+        auto branch = skel::makeBranch(staticBranchProb(*s.cond), s.id);
+        branch->kids = translateStmts(s.body);
+        branch->elseKids = translateStmts(s.elseBody);
+        out.push_back(std::move(branch));
+        return;
+      }
+
+      case StmtKind::For:
+        translateFor(s, out);
+        return;
+
+      case StmtKind::While: {
+        flushComp(out);
+        auto loop = skel::makeLoop(nullptr, s.id);  // bound from profiling
+        uint32_t saved = curOrigin_;
+        curOrigin_ = s.id;
+        loop->kids = translateStmts(s.body);
+        // per-iteration condition evaluation
+        SkMetrics condMix = exprMixOf(*s.cond);
+        condMix.iops += 1;  // loop-back branch
+        if (!condMix.empty()) {
+          loop->kids.insert(loop->kids.begin(), skel::makeComp(condMix, s.id));
+        }
+        curOrigin_ = saved;
+        out.push_back(std::move(loop));
+        return;
+      }
+
+      case StmtKind::Return:
+        flushComp(out);
+        if (s.rhs) scanExpr(*s.rhs, out);
+        flushComp(out);
+        out.push_back(skel::makeSimple(SkKind::Return, s.id));
+        return;
+
+      case StmtKind::Break:
+        flushComp(out);
+        out.push_back(skel::makeSimple(SkKind::Break, s.id));
+        return;
+
+      case StmtKind::Continue:
+        flushComp(out);
+        out.push_back(skel::makeSimple(SkKind::Continue, s.id));
+        return;
+    }
+  }
+
+  /// Records a scalar local assignment as a Set when the value is symbolic;
+  /// otherwise the local becomes untracked from here on.
+  void trackAssign(int slot, const std::string& name, const ExprNode& rhs,
+                   std::vector<SkNodeUP>& out) {
+    if (slot < 0) return;
+    if (inductionSlots_.count(slot)) return;  // loop vars are never tracked
+    auto sym = symbolize(rhs);
+    if (sym) {
+      flushComp(out);
+      tracked_[slot] = name;
+      out.push_back(skel::makeSet(name, std::move(sym), 0));
+    } else {
+      tracked_.erase(slot);
+    }
+  }
+
+  /// Mix of an expression, computed into a fresh accumulator (no node output;
+  /// used for loop conditions whose calls we disallow structurally).
+  SkMetrics exprMixOf(const ExprNode& e) {
+    SkMetrics saved = mix_;
+    mix_ = SkMetrics{};
+    std::vector<SkNodeUP> scratch;
+    scanExpr(e, scratch);
+    SkMetrics result = mix_;
+    mix_ = saved;
+    return result;
+  }
+
+  /// Branch probability when statically decidable, else null (annotator).
+  ExprPtr staticBranchProb(const ExprNode& cond) const {
+    (void)cond;
+    return nullptr;
+  }
+
+  void translateFor(const StmtNode& s, std::vector<SkNodeUP>& out) {
+    // init runs once, outside the loop
+    for (const auto& ix : s.init->lhsIndices) scanExpr(*ix, out);
+    scanExpr(*s.init->rhs, out);
+    flushComp(out);
+
+    int loopVar = s.init->localSlot;
+    bool wasInduction = inductionSlots_.count(loopVar) != 0;
+    bool wasTracked = tracked_.count(loopVar) != 0;
+    std::string trackedName = wasTracked ? tracked_[loopVar] : "";
+    if (loopVar >= 0) {
+      inductionSlots_.insert(loopVar);
+      tracked_.erase(loopVar);
+    }
+
+    auto loop = skel::makeLoop(deriveTripCount(s, loopVar), s.id);
+    uint32_t saved = curOrigin_;
+    curOrigin_ = s.id;
+    loop->kids = translateStmts(s.body);
+    // per-iteration condition + step work
+    SkMetrics overhead = exprMixOf(*s.cond);
+    SkMetrics stepMix = exprMixOf(*s.step->rhs);
+    overhead += stepMix;
+    overhead.iops += 1;  // loop-back branch
+    loop->kids.push_back(skel::makeComp(overhead, s.id));
+    curOrigin_ = saved;
+    out.push_back(std::move(loop));
+
+    if (loopVar >= 0 && !wasInduction) inductionSlots_.erase(loopVar);
+    if (wasTracked) tracked_[loopVar] = trackedName;
+  }
+
+  /// Recognizes `for (i = A; i <cmp> B; i = i ± C)` with symbolic A, B, C and
+  /// returns the trip-count expression; null when the shape is not affine.
+  ExprPtr deriveTripCount(const StmtNode& s, int loopVar) const {
+    if (loopVar < 0) return nullptr;
+    auto a = symbolize(*s.init->rhs);
+    if (!a) return nullptr;
+
+    // condition: loopVar cmp B (either side)
+    const ExprNode& cond = *s.cond;
+    if (cond.kind != ExprKind::Binary) return nullptr;
+    const ExprNode* lhs = cond.args[0].get();
+    const ExprNode* rhs = cond.args[1].get();
+    BinOp cmp = cond.bin;
+    auto isVar = [&](const ExprNode* e) {
+      return e->kind == ExprKind::VarRef && e->localSlot == loopVar;
+    };
+    ExprPtr bound;
+    if (isVar(lhs)) {
+      bound = symbolize(*rhs);
+    } else if (isVar(rhs)) {
+      bound = symbolize(*lhs);
+      // flip the comparison so the var is conceptually on the left
+      switch (cmp) {
+        case BinOp::Lt: cmp = BinOp::Gt; break;
+        case BinOp::Le: cmp = BinOp::Ge; break;
+        case BinOp::Gt: cmp = BinOp::Lt; break;
+        case BinOp::Ge: cmp = BinOp::Le; break;
+        default: break;
+      }
+    }
+    if (!bound) return nullptr;
+
+    // step: i = i + C or i = i - C
+    const ExprNode& step = *s.step->rhs;
+    if (s.step->localSlot != loopVar || step.kind != ExprKind::Binary) return nullptr;
+    if (step.bin != BinOp::Add && step.bin != BinOp::Sub) return nullptr;
+    const ExprNode* sl = step.args[0].get();
+    const ExprNode* sr = step.args[1].get();
+    ExprPtr c;
+    bool decrement = (step.bin == BinOp::Sub);
+    if (isVar(sl)) {
+      c = symbolize(*sr);
+    } else if (isVar(sr) && step.bin == BinOp::Add) {
+      c = symbolize(*sl);
+    }
+    if (!c) return nullptr;
+
+    ExprPtr span;
+    switch (cmp) {
+      case BinOp::Lt: span = sub(bound, a); break;                  // i < B, i += C
+      case BinOp::Le: span = add(sub(bound, a), constant(1)); break;
+      case BinOp::Gt: span = sub(a, bound); break;                  // i > B, i -= C
+      case BinOp::Ge: span = add(sub(a, bound), constant(1)); break;
+      default: return nullptr;
+    }
+    if ((cmp == BinOp::Gt || cmp == BinOp::Ge) != decrement) {
+      // e.g. `for (i = 0; i < N; i = i - 1)` — not a counted loop
+      return nullptr;
+    }
+    return exprMax(constant(0), ceilDiv(span, c));
+  }
+
+  const Program& prog_;
+  const FuncDecl& fn_;
+  SkMetrics mix_;
+  uint32_t curOrigin_ = 0;
+  std::map<int, std::string> tracked_;   ///< local slot -> context var name
+  std::set<int> inductionSlots_;
+};
+
+}  // namespace
+
+skel::SkeletonProgram translateProgram(const Program& prog) {
+  skel::SkeletonProgram out;
+  for (const auto& p : prog.params) out.params.push_back(p.name);
+  for (const auto& f : prog.funcs) {
+    out.defs.push_back(FuncTranslator(prog, *f).run());
+  }
+  return out;
+}
+
+}  // namespace skope::translate

@@ -1,0 +1,22 @@
+// Source-to-skeleton translator — the paper's "application analysis engine"
+// (§III-B), built on our MiniC frontend in place of ROSE.
+//
+// The translator statically characterizes each function: instruction mix of
+// straight-line code (comp statements), control-flow structure (loop/branch
+// nodes), user calls with symbolic arguments, and library calls. Loop bounds
+// that are affine in workload parameters become symbolic expressions; bounds
+// and branch probabilities that depend on data are left unresolved (null) and
+// filled in afterwards by the annotator from a local profiling run.
+#pragma once
+
+#include "minic/ast.h"
+#include "skeleton/skeleton.h"
+
+namespace skope::translate {
+
+/// Purely static translation. The returned skeleton may contain Loop nodes
+/// with null `iter` and Branch nodes with null `prob`; run annotate() on it
+/// before building a BET.
+skel::SkeletonProgram translateProgram(const minic::Program& prog);
+
+}  // namespace skope::translate

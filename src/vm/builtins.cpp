@@ -1,0 +1,31 @@
+#include "vm/builtins.h"
+
+#include <cmath>
+
+#include "support/diagnostics.h"
+
+namespace skope::vm {
+
+double callBuiltin(int index, const double* args, Rng& rng) {
+  // Order must match minic::builtinTable().
+  switch (index) {
+    case 0: return std::exp(args[0]);
+    case 1: return std::log(args[0]);
+    case 2: return std::sqrt(args[0]);
+    case 3: return std::sin(args[0]);
+    case 4: return std::cos(args[0]);
+    case 5: return std::pow(args[0], args[1]);
+    case 6: return rng.uniform();
+    case 7: return std::fabs(args[0]);
+    case 8: return std::floor(args[0]);
+    case 9: return std::fmin(args[0], args[1]);
+    case 10: return std::fmax(args[0], args[1]);
+    case 11: return std::fmin(args[0], args[1]);  // imin (int-valued doubles)
+    case 12: return std::fmax(args[0], args[1]);  // imax
+    case 13: return std::trunc(args[0]);          // itrunc
+    default:
+      throw Error("unknown builtin index " + std::to_string(index));
+  }
+}
+
+}  // namespace skope::vm

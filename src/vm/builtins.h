@@ -1,0 +1,13 @@
+// Native implementations of the MiniC builtin functions (see
+// minic/builtins.h for the registry and the modeling metadata).
+#pragma once
+
+#include "support/rng.h"
+
+namespace skope::vm {
+
+/// Invokes builtin `index` (into minic::builtinTable()) with `args`.
+/// `rand` draws from `rng` so runs are reproducible.
+double callBuiltin(int index, const double* args, Rng& rng);
+
+}  // namespace skope::vm

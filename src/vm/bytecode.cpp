@@ -1,0 +1,62 @@
+#include "vm/bytecode.h"
+
+#include "minic/builtins.h"
+#include "support/text.h"
+
+namespace skope::vm {
+
+std::string_view opClassName(OpClass c) {
+  switch (c) {
+    case OpClass::IntAlu: return "int_alu";
+    case OpClass::IntDiv: return "int_div";
+    case OpClass::FpAdd: return "fp_add";
+    case OpClass::FpMul: return "fp_mul";
+    case OpClass::FpDiv: return "fp_div";
+    case OpClass::Load: return "load";
+    case OpClass::Store: return "store";
+    case OpClass::Branch: return "branch";
+    case OpClass::Call: return "call";
+    case OpClass::LibCall: return "libcall";
+    case OpClass::Conv: return "conv";
+    case OpClass::Count_: break;
+  }
+  return "?";
+}
+
+std::string RegionInfo::label() const {
+  if (kind == RegionKind::Function) return funcName;
+  return format("%s@L%u", funcName.c_str(), line);
+}
+
+int Module::funcIndexOf(std::string_view name) const {
+  for (size_t i = 0; i < funcs.size(); ++i) {
+    if (funcs[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+size_t Module::totalStaticInstrs() const {
+  size_t n = 0;
+  for (const auto& [id, info] : regions) n += info.staticInstrs;
+  return n;
+}
+
+std::string regionLabel(const Module& mod, uint32_t region) {
+  if (isLibRegion(region)) {
+    return "lib:" +
+           std::string(minic::builtinTable()[static_cast<size_t>(libRegionBuiltin(region))].name);
+  }
+  auto it = mod.regions.find(region);
+  return it != mod.regions.end() ? it->second.label() : format("region#%u", region);
+}
+
+size_t regionStaticInstrs(const Module& mod, uint32_t region) {
+  if (isLibRegion(region)) {
+    const auto& mix = minic::builtinTable()[static_cast<size_t>(libRegionBuiltin(region))].mix;
+    return static_cast<size_t>(mix.flops + mix.iops + mix.loads + mix.stores);
+  }
+  auto it = mod.regions.find(region);
+  return it != mod.regions.end() ? it->second.staticInstrs : 0;
+}
+
+}  // namespace skope::vm

@@ -1,0 +1,157 @@
+// Bytecode module produced by the MiniC compiler and executed by the VM.
+//
+// The VM serves two roles from the paper's workflow (Figure 1):
+//   1. the *local branch profiler* (gcov substitute) that measures branch
+//      fall-through probabilities and loop trip counts, and
+//   2. the execution substrate of the *ground-truth timing simulator* that
+//      stands in for the paper's real BG/Q and Xeon profiling runs.
+//
+// Every instruction is tagged with the *region id* (the AST NodeId of the
+// innermost enclosing loop, or of the function when outside any loop). All
+// cost attribution — in the VM's native op counters, in the simulator, and in
+// the analytic model — is keyed by these region ids.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "minic/ast.h"
+
+namespace skope::vm {
+
+/// Coarse instruction classes used for op-mix accounting. The simulator and
+/// the roofline model both consume mixes expressed in these classes.
+enum class OpClass : uint8_t {
+  IntAlu,   ///< integer add/sub/mul/logic, compares
+  IntDiv,   ///< integer divide / modulo
+  FpAdd,    ///< floating add/sub/neg
+  FpMul,    ///< floating multiply
+  FpDiv,    ///< floating divide
+  Load,     ///< array element read
+  Store,    ///< array element write
+  Branch,   ///< conditional jump
+  Call,     ///< user function call
+  LibCall,  ///< builtin library call (exp, rand, ...)
+  Conv,     ///< int<->real conversion
+  Count_,
+};
+constexpr size_t kNumOpClasses = static_cast<size_t>(OpClass::Count_);
+
+std::string_view opClassName(OpClass c);
+
+enum class Op : uint8_t {
+  PushConst,    ///< push imm
+  LoadLocal,    ///< push locals[a]
+  StoreLocal,   ///< locals[a] = pop
+  LoadParam,    ///< push params[a]
+  LoadGlobal,   ///< push globalScalars[a]
+  StoreGlobal,  ///< globalScalars[a] = pop
+  LoadElem,     ///< a=array, b=ndims; pop ndims indices, push element
+  StoreElem,    ///< a=array, b=ndims; pop value then ndims indices
+  AddI, SubI, MulI, DivI, ModI,
+  AddR, SubR, MulR, DivR,
+  NegI, NegR, NotI,
+  AndL, OrL,    ///< eager logical and/or (MiniC has no short-circuit)
+  CmpEqI, CmpNeI, CmpLtI, CmpLeI, CmpGtI, CmpGeI,
+  CmpEqR, CmpNeR, CmpLtR, CmpLeR, CmpGtR, CmpGeR,
+  I2R,          ///< numeric no-op (ints are stored as doubles); mix marker
+  R2I,          ///< truncate toward zero
+  Jump,         ///< pc = a
+  JumpIfZero,   ///< pop; if zero pc = a. b = branch site NodeId
+  CallFn,       ///< a = function index, b = #args
+  CallBuiltin,  ///< a = builtin index, b = #args
+  Ret,          ///< a = 1 if a return value is on the stack
+  Halt,
+  PopV,         ///< discard top of stack (unused call result)
+};
+
+struct Instr {
+  Op op = Op::Halt;
+  int32_t a = 0;
+  int32_t b = 0;
+  double imm = 0.0;
+  uint32_t region = 0;  ///< region id (loop / function NodeId)
+};
+
+/// What kind of program region a region id names.
+enum class RegionKind { Function, Loop };
+
+/// Display and bookkeeping info for one region (loop or function). Regions
+/// are the "code blocks" of the paper's hot-spot analysis.
+struct RegionInfo {
+  uint32_t id = 0;
+  RegionKind kind = RegionKind::Function;
+  std::string funcName;    ///< enclosing function
+  uint32_t line = 0;       ///< source line of the loop / function header
+  uint32_t parent = 0;     ///< enclosing region id (0 for function regions)
+  int depth = 0;           ///< loop nesting depth inside the function
+  size_t staticInstrs = 0; ///< compiled instruction count attributed here
+
+  /// Short unique label, e.g. "diffuse@L42".
+  [[nodiscard]] std::string label() const;
+};
+
+struct FuncCode {
+  std::string name;
+  int numParams = 0;
+  int numLocals = 0;
+  uint32_t regionId = 0;  ///< region id of the function body
+  std::vector<Instr> code;
+};
+
+/// Storage layout of one global array in the VM's flat virtual address space
+/// (used by the cache simulator).
+struct ArrayInfo {
+  std::string name;
+  minic::Type elemType = minic::Type::Real;
+  std::vector<uint32_t> dimGlobals;  ///< indices of dim exprs — resolved at alloc
+  uint64_t baseAddr = 0;             ///< assigned at allocation time
+  std::vector<int64_t> dims;         ///< resolved extents
+  int64_t totalElems = 0;
+};
+
+/// Library builtins get pseudo-region ids so that `exp` / `rand` can appear
+/// as hot spots of their own, exactly as in the paper's SRAD result. Both the
+/// ground-truth simulator and the analytic model attribute library time to
+/// these ids, which is what lets hot-spot selections be compared exactly.
+constexpr uint32_t kLibRegionBase = 0x40000000u;
+
+constexpr uint32_t libRegion(int builtinIndex) {
+  return kLibRegionBase + static_cast<uint32_t>(builtinIndex);
+}
+constexpr bool isLibRegion(uint32_t region) { return region >= kLibRegionBase; }
+constexpr int libRegionBuiltin(uint32_t region) {
+  return static_cast<int>(region - kLibRegionBase);
+}
+
+/// A compiled MiniC program.
+struct Module {
+  std::vector<FuncCode> funcs;
+  int mainIndex = -1;
+  std::vector<std::string> paramNames;
+  std::vector<double> paramDefaults;       ///< NaN when no default
+  std::vector<std::string> globalScalarNames;
+  std::vector<minic::Type> globalScalarTypes;
+  size_t numArrays = 0;
+  std::vector<std::string> arrayNames;
+  std::vector<minic::Type> arrayElemTypes;
+  /// Per-array dimension expressions, kept as AST clones evaluated at
+  /// allocation time against the bound params.
+  std::vector<std::vector<const minic::ExprNode*>> arrayDims;
+
+  std::map<uint32_t, RegionInfo> regions;
+
+  [[nodiscard]] int funcIndexOf(std::string_view name) const;
+  [[nodiscard]] size_t totalStaticInstrs() const;
+};
+
+/// Label for any region id, real or library pseudo-region (e.g. "lib:exp").
+std::string regionLabel(const Module& mod, uint32_t region);
+
+/// Static instruction count of a region; library pseudo-regions use their
+/// builtin's nominal mix size.
+size_t regionStaticInstrs(const Module& mod, uint32_t region);
+
+}  // namespace skope::vm

@@ -1,0 +1,411 @@
+#include "vm/compiler.h"
+
+#include <cmath>
+
+#include "minic/builtins.h"
+#include "support/text.h"
+
+namespace skope::vm {
+
+using minic::BinOp;
+using minic::ExprKind;
+using minic::ExprNode;
+using minic::FuncDecl;
+using minic::Program;
+using minic::StmtKind;
+using minic::StmtNode;
+using minic::Type;
+using minic::UnOp;
+
+namespace {
+
+/// Remaps sema's indices into Program::globals (where arrays and scalars are
+/// interleaved) onto the Module's separate scalar and array tables.
+struct GlobalRemap {
+  std::vector<int> scalarIndex;  ///< prog global idx -> module scalar idx (-1 if array)
+  std::vector<int> arrayIndex;   ///< prog global idx -> module array idx (-1 if scalar)
+};
+
+class FuncCompiler {
+ public:
+  FuncCompiler(const Program& prog, Module& mod, const GlobalRemap& remap,
+               const FuncDecl& fn)
+      : prog_(prog), mod_(mod), remap_(remap), fn_(fn) {}
+
+  FuncCode run() {
+    code_.name = fn_.name;
+    code_.numParams = static_cast<int>(fn_.params.size());
+    code_.numLocals = fn_.numLocalSlots;
+    code_.regionId = fn_.id;
+
+    RegionInfo funcRegion;
+    funcRegion.id = fn_.id;
+    funcRegion.kind = RegionKind::Function;
+    funcRegion.funcName = fn_.name;
+    funcRegion.line = fn_.loc.line;
+    funcRegion.parent = 0;
+    funcRegion.depth = 0;
+    mod_.regions.emplace(fn_.id, funcRegion);
+
+    regionStack_.push_back(fn_.id);
+    collectSlotTypes(fn_.body);
+    compileStmts(fn_.body);
+    // A function falling off the end returns (0 for non-void).
+    if (fn_.retType == Type::Void) {
+      emit(Op::Ret, 0);
+    } else {
+      emit(Op::PushConst, 0, 0, 0.0);
+      emit(Op::Ret, 1);
+    }
+
+    // Attribute static instruction counts to regions.
+    for (const Instr& in : code_.code) {
+      mod_.regions.at(in.region).staticInstrs += 1;
+    }
+    return std::move(code_);
+  }
+
+ private:
+  uint32_t curRegion() const { return regionStack_.back(); }
+
+  size_t emit(Op op, int32_t a = 0, int32_t b = 0, double imm = 0.0) {
+    code_.code.push_back({op, a, b, imm, curRegion()});
+    return code_.code.size() - 1;
+  }
+
+  void patchJump(size_t at) { code_.code[at].a = static_cast<int32_t>(code_.code.size()); }
+
+  void collectSlotTypes(const std::vector<minic::StmtUP>& body) {
+    slotTypes_.assign(static_cast<size_t>(fn_.numLocalSlots), Type::Real);
+    for (size_t i = 0; i < fn_.params.size(); ++i) {
+      slotTypes_[i] = fn_.params[i].type;
+    }
+    minic::forEachStmt(body, [&](const StmtNode& s) {
+      if (s.kind == StmtKind::VarDecl && s.localSlot >= 0) {
+        slotTypes_[static_cast<size_t>(s.localSlot)] = s.declType;
+      }
+    });
+  }
+
+  // Emits a conversion so the value on the stack has type `want`.
+  void convert(Type have, Type want) {
+    if (have == want) return;
+    if (have == Type::Int && want == Type::Real) {
+      emit(Op::I2R);
+    } else if (have == Type::Real && want == Type::Int) {
+      emit(Op::R2I);
+    }
+  }
+
+  void compileStmts(const std::vector<minic::StmtUP>& stmts) {
+    for (const auto& s : stmts) compileStmt(*s);
+  }
+
+  void compileStmt(const StmtNode& s) {
+    switch (s.kind) {
+      case StmtKind::Block:
+        compileStmts(s.body);
+        return;
+
+      case StmtKind::VarDecl:
+        if (s.rhs) {
+          compileExpr(*s.rhs);
+          convert(s.rhs->type, slotTypes_[static_cast<size_t>(s.localSlot)]);
+          emit(Op::StoreLocal, s.localSlot);
+        }
+        return;
+
+      case StmtKind::Assign:
+        compileAssign(s);
+        return;
+
+      case StmtKind::ExprStmt: {
+        compileExpr(*s.rhs);
+        if (s.rhs->type != Type::Void) emit(Op::PopV);
+        return;
+      }
+
+      case StmtKind::If: {
+        compileExpr(*s.cond);
+        size_t jz = emit(Op::JumpIfZero, -1, static_cast<int32_t>(s.id));
+        compileStmts(s.body);
+        if (s.elseBody.empty()) {
+          patchJump(jz);
+        } else {
+          size_t jend = emit(Op::Jump, -1);
+          patchJump(jz);
+          compileStmts(s.elseBody);
+          patchJump(jend);
+        }
+        return;
+      }
+
+      case StmtKind::For:
+        compileFor(s);
+        return;
+
+      case StmtKind::While:
+        compileWhile(s);
+        return;
+
+      case StmtKind::Return:
+        if (s.rhs) {
+          compileExpr(*s.rhs);
+          convert(s.rhs->type, fn_.retType);
+          emit(Op::Ret, 1);
+        } else {
+          emit(Op::Ret, 0);
+        }
+        return;
+
+      case StmtKind::Break:
+        loops_.back().breakJumps.push_back(emit(Op::Jump, -1));
+        return;
+
+      case StmtKind::Continue:
+        loops_.back().continueJumps.push_back(emit(Op::Jump, -1));
+        return;
+    }
+  }
+
+  void compileAssign(const StmtNode& s) {
+    if (s.arrayIndex >= 0) {
+      for (const auto& ix : s.lhsIndices) compileExpr(*ix);
+      compileExpr(*s.rhs);
+      convert(s.rhs->type, prog_.globals[static_cast<size_t>(s.arrayIndex)].elemType);
+      emit(Op::StoreElem, remap_.arrayIndex[static_cast<size_t>(s.arrayIndex)],
+           static_cast<int32_t>(s.lhsIndices.size()));
+      return;
+    }
+    compileExpr(*s.rhs);
+    if (s.localSlot >= 0) {
+      convert(s.rhs->type, slotTypes_[static_cast<size_t>(s.localSlot)]);
+      emit(Op::StoreLocal, s.localSlot);
+      return;
+    }
+    convert(s.rhs->type, prog_.globals[static_cast<size_t>(s.globalIndex)].elemType);
+    emit(Op::StoreGlobal, remap_.scalarIndex[static_cast<size_t>(s.globalIndex)]);
+  }
+
+  struct LoopCtx {
+    std::vector<size_t> breakJumps;
+    std::vector<size_t> continueJumps;
+  };
+
+  void enterLoopRegion(const StmtNode& s) {
+    RegionInfo r;
+    r.id = s.id;
+    r.kind = RegionKind::Loop;
+    r.funcName = fn_.name;
+    r.line = s.loc.line;
+    r.parent = curRegion();
+    r.depth = static_cast<int>(regionStack_.size());  // function is depth 0
+    mod_.regions.emplace(s.id, r);
+    regionStack_.push_back(s.id);
+  }
+
+  void compileFor(const StmtNode& s) {
+    // init runs in the enclosing region; cond/step/body belong to the loop.
+    compileStmt(*s.init);
+    enterLoopRegion(s);
+    loops_.emplace_back();
+    size_t top = code_.code.size();
+    compileExpr(*s.cond);
+    size_t exitJz = emit(Op::JumpIfZero, -1, static_cast<int32_t>(s.id));
+    compileStmts(s.body);
+    size_t stepAt = code_.code.size();
+    compileStmt(*s.step);
+    emit(Op::Jump, static_cast<int32_t>(top));
+    patchJump(exitJz);
+    for (size_t j : loops_.back().breakJumps) patchJump(j);
+    for (size_t j : loops_.back().continueJumps) {
+      code_.code[j].a = static_cast<int32_t>(stepAt);
+    }
+    loops_.pop_back();
+    regionStack_.pop_back();
+  }
+
+  void compileWhile(const StmtNode& s) {
+    enterLoopRegion(s);
+    loops_.emplace_back();
+    size_t top = code_.code.size();
+    compileExpr(*s.cond);
+    size_t exitJz = emit(Op::JumpIfZero, -1, static_cast<int32_t>(s.id));
+    compileStmts(s.body);
+    emit(Op::Jump, static_cast<int32_t>(top));
+    patchJump(exitJz);
+    for (size_t j : loops_.back().breakJumps) patchJump(j);
+    for (size_t j : loops_.back().continueJumps) {
+      code_.code[j].a = static_cast<int32_t>(top);
+    }
+    loops_.pop_back();
+    regionStack_.pop_back();
+  }
+
+  void compileExpr(const ExprNode& e) {
+    switch (e.kind) {
+      case ExprKind::IntLit:
+      case ExprKind::RealLit:
+        emit(Op::PushConst, 0, 0, e.numValue);
+        return;
+
+      case ExprKind::VarRef:
+        if (e.localSlot >= 0) {
+          emit(Op::LoadLocal, e.localSlot);
+        } else if (e.paramIndex >= 0) {
+          emit(Op::LoadParam, e.paramIndex);
+        } else {
+          emit(Op::LoadGlobal, remap_.scalarIndex[static_cast<size_t>(e.globalIndex)]);
+        }
+        return;
+
+      case ExprKind::ArrayRef:
+        for (const auto& ix : e.args) compileExpr(*ix);
+        emit(Op::LoadElem, remap_.arrayIndex[static_cast<size_t>(e.arrayIndex)],
+             static_cast<int32_t>(e.args.size()));
+        return;
+
+      case ExprKind::Unary:
+        compileExpr(*e.args[0]);
+        if (e.un == UnOp::Not) {
+          emit(Op::NotI);
+        } else {
+          emit(e.args[0]->type == Type::Real ? Op::NegR : Op::NegI);
+        }
+        return;
+
+      case ExprKind::Binary:
+        compileBinary(e);
+        return;
+
+      case ExprKind::Call:
+        compileCall(e);
+        return;
+    }
+  }
+
+  void compileBinary(const ExprNode& e) {
+    const ExprNode& lhs = *e.args[0];
+    const ExprNode& rhs = *e.args[1];
+    bool anyReal = lhs.type == Type::Real || rhs.type == Type::Real;
+
+    // Logical ops are eager (no short-circuit in MiniC) and int-typed.
+    if (e.bin == BinOp::And || e.bin == BinOp::Or) {
+      compileExpr(lhs);
+      compileExpr(rhs);
+      emit(e.bin == BinOp::And ? Op::AndL : Op::OrL);
+      return;
+    }
+
+    compileExpr(lhs);
+    if (anyReal) convert(lhs.type, Type::Real);
+    compileExpr(rhs);
+    if (anyReal) convert(rhs.type, Type::Real);
+
+    auto pick = [&](Op intOp, Op realOp) { emit(anyReal ? realOp : intOp); };
+    switch (e.bin) {
+      case BinOp::Add: pick(Op::AddI, Op::AddR); return;
+      case BinOp::Sub: pick(Op::SubI, Op::SubR); return;
+      case BinOp::Mul: pick(Op::MulI, Op::MulR); return;
+      case BinOp::Div: pick(Op::DivI, Op::DivR); return;
+      case BinOp::Mod: emit(Op::ModI); return;
+      case BinOp::Eq: pick(Op::CmpEqI, Op::CmpEqR); return;
+      case BinOp::Ne: pick(Op::CmpNeI, Op::CmpNeR); return;
+      case BinOp::Lt: pick(Op::CmpLtI, Op::CmpLtR); return;
+      case BinOp::Le: pick(Op::CmpLeI, Op::CmpLeR); return;
+      case BinOp::Gt: pick(Op::CmpGtI, Op::CmpGtR); return;
+      case BinOp::Ge: pick(Op::CmpGeI, Op::CmpGeR); return;
+      case BinOp::And:
+      case BinOp::Or: return;  // handled above
+    }
+  }
+
+  void compileCall(const ExprNode& e) {
+    if (e.builtinIndex >= 0) {
+      const auto& info = minic::builtinTable()[static_cast<size_t>(e.builtinIndex)];
+      for (size_t i = 0; i < e.args.size(); ++i) {
+        compileExpr(*e.args[i]);
+        // Builtins take real arguments except the i-prefixed integer ones.
+        Type want = (info.retType == Type::Int) ? Type::Int : Type::Real;
+        convert(e.args[i]->type, want);
+      }
+      emit(Op::CallBuiltin, e.builtinIndex, static_cast<int32_t>(e.args.size()));
+      return;
+    }
+    const FuncDecl* callee = e.callee;
+    for (size_t i = 0; i < e.args.size(); ++i) {
+      compileExpr(*e.args[i]);
+      convert(e.args[i]->type, callee->params[i].type);
+    }
+    int fi = -1;
+    for (size_t i = 0; i < prog_.funcs.size(); ++i) {
+      if (prog_.funcs[i].get() == callee) fi = static_cast<int>(i);
+    }
+    if (fi < 0) throw Error(e.loc, "internal: callee not found in program");
+    emit(Op::CallFn, fi, static_cast<int32_t>(e.args.size()));
+  }
+
+  const Program& prog_;
+  Module& mod_;
+  const GlobalRemap& remap_;
+  const FuncDecl& fn_;
+  FuncCode code_;
+  std::vector<Type> slotTypes_;
+  std::vector<uint32_t> regionStack_;
+  std::vector<LoopCtx> loops_;
+};
+
+}  // namespace
+
+Module compile(const Program& prog) {
+  Module mod;
+  for (const auto& p : prog.params) {
+    mod.paramNames.push_back(p.name);
+    mod.paramDefaults.push_back(p.defaultValue ? *p.defaultValue : std::nan(""));
+  }
+  GlobalRemap remap;
+  for (const auto& g : prog.globals) {
+    if (g.isArray()) {
+      remap.arrayIndex.push_back(static_cast<int>(mod.arrayNames.size()));
+      remap.scalarIndex.push_back(-1);
+      mod.arrayNames.push_back(g.name);
+      mod.arrayElemTypes.push_back(g.elemType);
+      std::vector<const ExprNode*> dims;
+      for (const auto& d : g.dims) dims.push_back(d.get());
+      mod.arrayDims.push_back(std::move(dims));
+    } else {
+      remap.scalarIndex.push_back(static_cast<int>(mod.globalScalarNames.size()));
+      remap.arrayIndex.push_back(-1);
+      mod.globalScalarNames.push_back(g.name);
+      mod.globalScalarTypes.push_back(g.elemType);
+    }
+  }
+  mod.numArrays = mod.arrayNames.size();
+
+  for (const auto& f : prog.funcs) {
+    mod.funcs.push_back(FuncCompiler(prog, mod, remap, *f).run());
+  }
+  mod.mainIndex = mod.funcIndexOf("main");
+  if (mod.mainIndex < 0) throw Error("program has no main function (run sema first)");
+  return mod;
+}
+
+std::string disassemble(const Module& mod, const FuncCode& fn) {
+  (void)mod;
+  std::string out = "func " + fn.name + " locals=" + std::to_string(fn.numLocals) + "\n";
+  static const char* names[] = {
+      "PushConst", "LoadLocal", "StoreLocal", "LoadParam", "LoadGlobal", "StoreGlobal",
+      "LoadElem", "StoreElem", "AddI", "SubI", "MulI", "DivI", "ModI",
+      "AddR", "SubR", "MulR", "DivR", "NegI", "NegR", "NotI", "AndL", "OrL",
+      "CmpEqI", "CmpNeI", "CmpLtI", "CmpLeI", "CmpGtI", "CmpGeI",
+      "CmpEqR", "CmpNeR", "CmpLtR", "CmpLeR", "CmpGtR", "CmpGeR",
+      "I2R", "R2I", "Jump", "JumpIfZero", "CallFn", "CallBuiltin", "Ret", "Halt", "PopV"};
+  for (size_t i = 0; i < fn.code.size(); ++i) {
+    const Instr& in = fn.code[i];
+    out += format("  %4zu: %-12s a=%d b=%d imm=%g region=%u\n", i,
+                  names[static_cast<size_t>(in.op)], in.a, in.b, in.imm, in.region);
+  }
+  return out;
+}
+
+}  // namespace skope::vm

@@ -1,0 +1,20 @@
+// MiniC AST -> bytecode compiler.
+#pragma once
+
+#include "minic/ast.h"
+#include "vm/bytecode.h"
+
+namespace skope::vm {
+
+/// Compiles an analyzed Program into a Module.
+///
+/// Lifetime: the Module stores pointers to array-dimension expressions inside
+/// `prog`, so `prog` must outlive the returned Module.
+/// Throws Error on internal inconsistencies (which indicate the Program was
+/// not run through sema, or sema reported errors that were ignored).
+Module compile(const minic::Program& prog);
+
+/// Disassembles one function for debugging and golden tests.
+std::string disassemble(const Module& mod, const FuncCode& fn);
+
+}  // namespace skope::vm

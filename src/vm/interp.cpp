@@ -1,0 +1,338 @@
+#include "vm/interp.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "support/text.h"
+#include "vm/builtins.h"
+
+namespace skope::vm {
+
+uint64_t OpCounters::regionTotal(uint32_t region) const {
+  if (region >= byRegion.size()) return 0;
+  uint64_t n = 0;
+  for (uint64_t v : byRegion[region]) n += v;
+  return n;
+}
+
+uint64_t OpCounters::classTotal(OpClass c) const {
+  uint64_t n = 0;
+  for (const auto& row : byRegion) n += row[static_cast<size_t>(c)];
+  return n;
+}
+
+uint64_t OpCounters::grandTotal() const {
+  uint64_t n = 0;
+  for (const auto& row : byRegion) {
+    for (uint64_t v : row) n += v;
+  }
+  return n;
+}
+
+Vm::Vm(const Module& mod) : mod_(mod) {
+  paramValues_.assign(mod.paramNames.size(), 0.0);
+  paramBound_.assign(mod.paramNames.size(), false);
+  for (size_t i = 0; i < mod.paramDefaults.size(); ++i) {
+    if (!std::isnan(mod.paramDefaults[i])) {
+      paramValues_[i] = mod.paramDefaults[i];
+      paramBound_[i] = true;
+    }
+  }
+}
+
+void Vm::bindParam(const std::string& name, double value) {
+  for (size_t i = 0; i < mod_.paramNames.size(); ++i) {
+    if (mod_.paramNames[i] == name) {
+      paramValues_[i] = value;
+      paramBound_[i] = true;
+      return;
+    }
+  }
+  throw Error("bindParam: no param named '" + name + "'");
+}
+
+void Vm::bindParams(const std::map<std::string, double>& values) {
+  for (const auto& [k, v] : values) bindParam(k, v);
+}
+
+double Vm::paramValue(const std::string& name) const {
+  for (size_t i = 0; i < mod_.paramNames.size(); ++i) {
+    if (mod_.paramNames[i] == name) return paramValues_[i];
+  }
+  throw Error("paramValue: no param named '" + name + "'");
+}
+
+double Vm::scalar(const std::string& name) const {
+  for (size_t i = 0; i < mod_.globalScalarNames.size(); ++i) {
+    if (mod_.globalScalarNames[i] == name) return globalScalars_[i];
+  }
+  throw Error("scalar: no global scalar named '" + name + "'");
+}
+
+const std::vector<double>& Vm::arrayData(const std::string& name) const {
+  for (size_t i = 0; i < mod_.arrayNames.size(); ++i) {
+    if (mod_.arrayNames[i] == name) return arrays_[i];
+  }
+  throw Error("arrayData: no array named '" + name + "'");
+}
+
+const ArrayInfo& Vm::arrayInfo(const std::string& name) const {
+  for (size_t i = 0; i < arrayInfos_.size(); ++i) {
+    if (arrayInfos_[i].name == name) return arrayInfos_[i];
+  }
+  throw Error("arrayInfo: no array named '" + name + "'");
+}
+
+double Vm::evalDimExpr(const minic::ExprNode& e) const {
+  using minic::BinOp;
+  using minic::ExprKind;
+  switch (e.kind) {
+    case ExprKind::IntLit:
+      return e.numValue;
+    case ExprKind::VarRef:
+      return paramValues_[static_cast<size_t>(e.paramIndex >= 0 ? e.paramIndex
+                                                                : e.globalIndex)];
+    case ExprKind::Binary: {
+      double a = evalDimExpr(*e.args[0]);
+      double b = evalDimExpr(*e.args[1]);
+      switch (e.bin) {
+        case BinOp::Add: return a + b;
+        case BinOp::Sub: return a - b;
+        case BinOp::Mul: return a * b;
+        case BinOp::Div: return std::trunc(a / b);
+        case BinOp::Mod: return std::fmod(a, b);
+        default: break;
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  throw Error(e.loc, "unsupported array dimension expression");
+}
+
+void Vm::allocate() {
+  for (size_t i = 0; i < paramBound_.size(); ++i) {
+    if (!paramBound_[i]) {
+      throw Error("param '" + mod_.paramNames[i] + "' is unbound and has no default");
+    }
+  }
+
+  globalScalars_.assign(mod_.globalScalarNames.size(), 0.0);
+  arrays_.clear();
+  arrayInfos_.clear();
+
+  // Lay arrays out in a flat virtual address space, page-aligned, so the
+  // cache simulator sees realistic disjoint address ranges.
+  uint64_t nextBase = 4096;
+  for (size_t i = 0; i < mod_.arrayNames.size(); ++i) {
+    ArrayInfo info;
+    info.name = mod_.arrayNames[i];
+    info.elemType = mod_.arrayElemTypes[i];
+    int64_t total = 1;
+    for (const minic::ExprNode* dimExpr : mod_.arrayDims[i]) {
+      auto extent = static_cast<int64_t>(evalDimExpr(*dimExpr));
+      if (extent <= 0) {
+        throw Error("array '" + info.name + "' has non-positive extent " +
+                    std::to_string(extent));
+      }
+      info.dims.push_back(extent);
+      total *= extent;
+    }
+    info.totalElems = total;
+    info.baseAddr = nextBase;
+    nextBase += static_cast<uint64_t>(total) * 8;
+    nextBase = (nextBase + 4095) & ~4095ULL;  // page-align the next array
+    arrays_.emplace_back(static_cast<size_t>(total), 0.0);
+    arrayInfos_.push_back(std::move(info));
+  }
+}
+
+void Vm::fail(const Instr& in, const std::string& msg) const {
+  auto it = mod_.regions.find(in.region);
+  std::string where = it != mod_.regions.end() ? it->second.label() : "?";
+  throw Error("vm: " + msg + " (in " + where + ")");
+}
+
+void Vm::run(Tracer* tracer) {
+  allocate();
+  tracer_ = tracer;
+  counters_.byRegion.clear();
+  uint32_t maxRegion = 0;
+  for (const auto& [id, info] : mod_.regions) maxRegion = std::max(maxRegion, id);
+  counters_.byRegion.assign(maxRegion + 1, {});
+  executed_ = 0;
+  callDepth_ = 0;
+  stack_.clear();
+  stack_.reserve(4096);
+  execFunc(mod_.mainIndex);
+  tracer_ = nullptr;
+}
+
+double Vm::execFunc(int funcIndex) {
+  if (++callDepth_ > 512) throw Error("vm: call depth exceeded 512 (runaway recursion?)");
+  const FuncCode& fn = mod_.funcs[static_cast<size_t>(funcIndex)];
+
+  // Pop arguments into the new frame's locals.
+  std::vector<double> locals(static_cast<size_t>(fn.numLocals), 0.0);
+  for (int i = fn.numParams - 1; i >= 0; --i) {
+    locals[static_cast<size_t>(i)] = stack_.back();
+    stack_.pop_back();
+  }
+
+  auto count = [&](uint32_t region, OpClass c) {
+    counters_.byRegion[region][static_cast<size_t>(c)] += 1;
+  };
+
+  const Instr* code = fn.code.data();
+  size_t pc = 0;
+  double retVal = 0.0;
+
+  auto pop = [&]() {
+    double v = stack_.back();
+    stack_.pop_back();
+    return v;
+  };
+
+  while (true) {
+    const Instr& in = code[pc];
+    if (++executed_ > maxOps_) {
+      fail(in, "dynamic instruction budget exceeded (" + std::to_string(maxOps_) + ")");
+    }
+    switch (in.op) {
+      case Op::PushConst: stack_.push_back(in.imm); break;
+      case Op::LoadLocal: stack_.push_back(locals[static_cast<size_t>(in.a)]); break;
+      case Op::StoreLocal: locals[static_cast<size_t>(in.a)] = pop(); break;
+      case Op::LoadParam: stack_.push_back(paramValues_[static_cast<size_t>(in.a)]); break;
+      case Op::LoadGlobal: stack_.push_back(globalScalars_[static_cast<size_t>(in.a)]); break;
+      case Op::StoreGlobal: globalScalars_[static_cast<size_t>(in.a)] = pop(); break;
+
+      case Op::LoadElem:
+      case Op::StoreElem: {
+        const ArrayInfo& info = arrayInfos_[static_cast<size_t>(in.a)];
+        int nd = in.b;
+        double value = 0.0;
+        if (in.op == Op::StoreElem) value = pop();
+        int64_t flat = 0;
+        // Indices were pushed left-to-right; they sit at the stack top.
+        size_t idxBase = stack_.size() - static_cast<size_t>(nd);
+        for (int d = 0; d < nd; ++d) {
+          auto ix = static_cast<int64_t>(stack_[idxBase + static_cast<size_t>(d)]);
+          int64_t extent = info.dims[static_cast<size_t>(d)];
+          if (ix < 0 || ix >= extent) {
+            fail(in, format("index %lld out of bounds [0,%lld) in dim %d of array '%s'",
+                            static_cast<long long>(ix), static_cast<long long>(extent), d,
+                            info.name.c_str()));
+          }
+          flat = flat * extent + ix;
+        }
+        stack_.resize(idxBase);
+        uint64_t addr = info.baseAddr + static_cast<uint64_t>(flat) * 8;
+        auto& data = arrays_[static_cast<size_t>(in.a)];
+        if (in.op == Op::LoadElem) {
+          stack_.push_back(data[static_cast<size_t>(flat)]);
+          count(in.region, OpClass::Load);
+          if (tracer_) tracer_->onLoad(in.region, addr);
+        } else {
+          data[static_cast<size_t>(flat)] = value;
+          count(in.region, OpClass::Store);
+          if (tracer_) tracer_->onStore(in.region, addr);
+        }
+        break;
+      }
+
+      case Op::AddI: { double b = pop(); stack_.back() += b; count(in.region, OpClass::IntAlu); break; }
+      case Op::SubI: { double b = pop(); stack_.back() -= b; count(in.region, OpClass::IntAlu); break; }
+      case Op::MulI: { double b = pop(); stack_.back() *= b; count(in.region, OpClass::IntAlu); break; }
+      case Op::DivI: {
+        double b = pop();
+        if (b == 0) fail(in, "integer division by zero");
+        stack_.back() = std::trunc(stack_.back() / b);
+        count(in.region, OpClass::IntDiv);
+        break;
+      }
+      case Op::ModI: {
+        double b = pop();
+        if (b == 0) fail(in, "modulo by zero");
+        stack_.back() = std::fmod(stack_.back(), b);
+        count(in.region, OpClass::IntDiv);
+        break;
+      }
+      case Op::AddR: { double b = pop(); stack_.back() += b; count(in.region, OpClass::FpAdd); break; }
+      case Op::SubR: { double b = pop(); stack_.back() -= b; count(in.region, OpClass::FpAdd); break; }
+      case Op::MulR: { double b = pop(); stack_.back() *= b; count(in.region, OpClass::FpMul); break; }
+      case Op::DivR: {
+        double b = pop();
+        stack_.back() /= b;
+        count(in.region, OpClass::FpDiv);
+        break;
+      }
+      case Op::NegI: stack_.back() = -stack_.back(); count(in.region, OpClass::IntAlu); break;
+      case Op::NegR: stack_.back() = -stack_.back(); count(in.region, OpClass::FpAdd); break;
+      case Op::NotI: stack_.back() = (stack_.back() == 0.0) ? 1.0 : 0.0; count(in.region, OpClass::IntAlu); break;
+      case Op::AndL: { double b = pop(); stack_.back() = (stack_.back() != 0.0 && b != 0.0) ? 1.0 : 0.0; count(in.region, OpClass::IntAlu); break; }
+      case Op::OrL: { double b = pop(); stack_.back() = (stack_.back() != 0.0 || b != 0.0) ? 1.0 : 0.0; count(in.region, OpClass::IntAlu); break; }
+
+      case Op::CmpEqI: case Op::CmpEqR: { double b = pop(); stack_.back() = (stack_.back() == b) ? 1.0 : 0.0; count(in.region, in.op == Op::CmpEqI ? OpClass::IntAlu : OpClass::FpAdd); break; }
+      case Op::CmpNeI: case Op::CmpNeR: { double b = pop(); stack_.back() = (stack_.back() != b) ? 1.0 : 0.0; count(in.region, in.op == Op::CmpNeI ? OpClass::IntAlu : OpClass::FpAdd); break; }
+      case Op::CmpLtI: case Op::CmpLtR: { double b = pop(); stack_.back() = (stack_.back() < b) ? 1.0 : 0.0; count(in.region, in.op == Op::CmpLtI ? OpClass::IntAlu : OpClass::FpAdd); break; }
+      case Op::CmpLeI: case Op::CmpLeR: { double b = pop(); stack_.back() = (stack_.back() <= b) ? 1.0 : 0.0; count(in.region, in.op == Op::CmpLeI ? OpClass::IntAlu : OpClass::FpAdd); break; }
+      case Op::CmpGtI: case Op::CmpGtR: { double b = pop(); stack_.back() = (stack_.back() > b) ? 1.0 : 0.0; count(in.region, in.op == Op::CmpGtI ? OpClass::IntAlu : OpClass::FpAdd); break; }
+      case Op::CmpGeI: case Op::CmpGeR: { double b = pop(); stack_.back() = (stack_.back() >= b) ? 1.0 : 0.0; count(in.region, in.op == Op::CmpGeI ? OpClass::IntAlu : OpClass::FpAdd); break; }
+
+      case Op::I2R: count(in.region, OpClass::Conv); break;
+      case Op::R2I: stack_.back() = std::trunc(stack_.back()); count(in.region, OpClass::Conv); break;
+
+      case Op::Jump: pc = static_cast<size_t>(in.a); continue;
+      case Op::JumpIfZero: {
+        bool taken = pop() != 0.0;  // taken == condition true == fall through
+        count(in.region, OpClass::Branch);
+        if (tracer_) tracer_->onBranch(in.region, static_cast<uint32_t>(in.b), taken);
+        if (!taken) {
+          pc = static_cast<size_t>(in.a);
+          continue;
+        }
+        break;
+      }
+
+      case Op::CallFn: {
+        count(in.region, OpClass::Call);
+        if (tracer_) tracer_->onCall(in.region, in.a);
+        double r = execFunc(in.a);
+        // execFunc consumed the args; Ret with a=1 signals a return value.
+        if (retHasValue_) stack_.push_back(r);
+        break;
+      }
+
+      case Op::CallBuiltin: {
+        count(in.region, OpClass::LibCall);
+        if (tracer_) tracer_->onLibCall(in.region, in.a);
+        int nargs = in.b;
+        double args[4] = {0, 0, 0, 0};
+        for (int i = nargs - 1; i >= 0; --i) args[i] = pop();
+        stack_.push_back(callBuiltin(in.a, args, rng_));
+        break;
+      }
+
+      case Op::Ret: {
+        if (in.a == 1) {
+          retVal = pop();
+          retHasValue_ = true;
+        } else {
+          retHasValue_ = false;
+        }
+        --callDepth_;
+        return retVal;
+      }
+
+      case Op::Halt:
+        --callDepth_;
+        return retVal;
+
+      case Op::PopV: stack_.pop_back(); break;
+    }
+    ++pc;
+  }
+}
+
+}  // namespace skope::vm

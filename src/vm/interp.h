@@ -1,0 +1,110 @@
+// The MiniC virtual machine.
+//
+// Executes a compiled Module with optional event tracing. The VM natively
+// accumulates per-region operation-mix counters (cheap array increments);
+// heavier analyses (cache simulation, branch statistics) subscribe through
+// the Tracer interface and receive only memory / branch / call events.
+#pragma once
+
+#include <array>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/rng.h"
+#include "vm/bytecode.h"
+
+namespace skope::vm {
+
+/// Event subscriber for a VM run. Default implementations ignore everything.
+class Tracer {
+ public:
+  virtual ~Tracer() = default;
+  /// Array element read at virtual byte address `addr` from region `region`.
+  virtual void onLoad(uint32_t region, uint64_t addr) { (void)region; (void)addr; }
+  /// Array element write.
+  virtual void onStore(uint32_t region, uint64_t addr) { (void)region; (void)addr; }
+  /// Conditional branch at site `site` (AST NodeId of the if/for/while).
+  /// For loops, `taken` means "stay in the loop".
+  virtual void onBranch(uint32_t region, uint32_t site, bool taken) {
+    (void)region; (void)site; (void)taken;
+  }
+  /// Builtin library call (index into minic::builtinTable()).
+  virtual void onLibCall(uint32_t region, int builtin) { (void)region; (void)builtin; }
+  /// User function call (index into Module::funcs).
+  virtual void onCall(uint32_t callerRegion, int calleeFunc) {
+    (void)callerRegion; (void)calleeFunc;
+  }
+};
+
+/// Per-region dynamic operation counts gathered by every run.
+struct OpCounters {
+  /// Indexed by region id; empty rows for ids that are not regions.
+  std::vector<std::array<uint64_t, kNumOpClasses>> byRegion;
+
+  [[nodiscard]] uint64_t get(uint32_t region, OpClass c) const {
+    if (region >= byRegion.size()) return 0;
+    return byRegion[region][static_cast<size_t>(c)];
+  }
+  [[nodiscard]] uint64_t regionTotal(uint32_t region) const;
+  [[nodiscard]] uint64_t classTotal(OpClass c) const;
+  [[nodiscard]] uint64_t grandTotal() const;
+};
+
+/// Execution engine for one Module. Typical use:
+///   Vm vm(mod);
+///   vm.bindParam("NX", 64);
+///   vm.run(&tracer);
+class Vm {
+ public:
+  /// `mod` and the Program it was compiled from must outlive the Vm.
+  explicit Vm(const Module& mod);
+
+  /// Binds one workload parameter. Unbound parameters fall back to their
+  /// declared defaults; run() throws if any parameter is left unresolved.
+  void bindParam(const std::string& name, double value);
+  void bindParams(const std::map<std::string, double>& values);
+
+  /// Reseeds the deterministic RNG used by the `rand` builtin.
+  void setSeed(uint64_t seed) { rng_ = Rng(seed); }
+
+  /// Aborts the run with Error after this many dynamic instructions
+  /// (guards against runaway loops in user programs). Default 4e9.
+  void setMaxOps(uint64_t maxOps) { maxOps_ = maxOps; }
+
+  /// Executes main. Storage is (re)allocated and zeroed on each call.
+  void run(Tracer* tracer = nullptr);
+
+  [[nodiscard]] const OpCounters& counters() const { return counters_; }
+  [[nodiscard]] uint64_t dynamicInstrs() const { return executed_; }
+
+  // --- introspection for tests and workload drivers ---
+  [[nodiscard]] double paramValue(const std::string& name) const;
+  [[nodiscard]] double scalar(const std::string& name) const;
+  [[nodiscard]] const std::vector<double>& arrayData(const std::string& name) const;
+  [[nodiscard]] const ArrayInfo& arrayInfo(const std::string& name) const;
+
+ private:
+  void allocate();
+  double evalDimExpr(const minic::ExprNode& e) const;
+  double execFunc(int funcIndex);
+  [[noreturn]] void fail(const Instr& in, const std::string& msg) const;
+
+  const Module& mod_;
+  std::vector<double> paramValues_;
+  std::vector<bool> paramBound_;
+  std::vector<double> globalScalars_;
+  std::vector<std::vector<double>> arrays_;
+  std::vector<ArrayInfo> arrayInfos_;
+
+  std::vector<double> stack_;
+  Rng rng_{0x5eed};
+  Tracer* tracer_ = nullptr;
+  OpCounters counters_;
+  uint64_t executed_ = 0;
+  uint64_t maxOps_ = 4'000'000'000ULL;
+  int callDepth_ = 0;
+  bool retHasValue_ = false;
+};
+
+}  // namespace skope::vm

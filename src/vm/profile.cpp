@@ -1,0 +1,35 @@
+#include "vm/profile.h"
+
+namespace skope::vm {
+
+void ProfileTracer::onBranch(uint32_t region, uint32_t site, bool taken) {
+  (void)region;
+  auto& s = data_.branchSites[site];
+  s.total += 1;
+  if (taken) s.takenCount += 1;
+}
+
+void ProfileTracer::onLibCall(uint32_t region, int builtin) {
+  data_.libCalls[{region, builtin}] += 1;
+}
+
+void ProfileTracer::onCall(uint32_t callerRegion, int calleeFunc) {
+  data_.calls[{callerRegion, calleeFunc}] += 1;
+}
+
+ProfileData ProfileTracer::finish(const Vm& vm) {
+  data_.opCounters = vm.counters();
+  return std::move(data_);
+}
+
+ProfileData profileRun(const Module& mod, const std::map<std::string, double>& params,
+                       uint64_t seed) {
+  Vm vm(mod);
+  vm.bindParams(params);
+  vm.setSeed(seed);
+  ProfileTracer tracer;
+  vm.run(&tracer);
+  return tracer.finish(vm);
+}
+
+}  // namespace skope::vm

@@ -1,0 +1,66 @@
+// Local profiling pass — the paper's gcov substitute (§III-B).
+//
+// One instrumented run on the "local machine" (the VM) collects branch
+// outcome statistics, loop trip counts, call counts and library-call counts.
+// This information is hardware independent; the skeleton annotator encodes it
+// into the code skeleton, and it is reused for every target architecture.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "vm/interp.h"
+
+namespace skope::vm {
+
+struct BranchSiteStats {
+  uint64_t takenCount = 0;  ///< condition evaluated true
+  uint64_t total = 0;       ///< total evaluations
+
+  /// Probability the condition is true. For a loop site this is the
+  /// probability of staying in the loop.
+  [[nodiscard]] double pTrue() const {
+    return total == 0 ? 0.0 : static_cast<double>(takenCount) / static_cast<double>(total);
+  }
+
+  /// Mean trip count when this site is a loop condition: each entry
+  /// contributes exactly one false evaluation, so entries = total - taken.
+  [[nodiscard]] double meanTrips() const {
+    uint64_t entries = total - takenCount;
+    return entries == 0 ? 0.0
+                        : static_cast<double>(takenCount) / static_cast<double>(entries);
+  }
+};
+
+/// Aggregated results of one profiling run.
+struct ProfileData {
+  std::map<uint32_t, BranchSiteStats> branchSites;         ///< by site NodeId
+  std::map<std::pair<uint32_t, int>, uint64_t> libCalls;   ///< (region, builtin) -> count
+  std::map<std::pair<uint32_t, int>, uint64_t> calls;      ///< (region, callee fn) -> count
+  OpCounters opCounters;                                   ///< copied from the VM after run
+
+  [[nodiscard]] const BranchSiteStats* site(uint32_t id) const {
+    auto it = branchSites.find(id);
+    return it == branchSites.end() ? nullptr : &it->second;
+  }
+};
+
+/// Tracer that fills a ProfileData.
+class ProfileTracer : public Tracer {
+ public:
+  void onBranch(uint32_t region, uint32_t site, bool taken) override;
+  void onLibCall(uint32_t region, int builtin) override;
+  void onCall(uint32_t callerRegion, int calleeFunc) override;
+
+  /// Moves the gathered data out; also snapshots `vm`'s op counters.
+  [[nodiscard]] ProfileData finish(const Vm& vm);
+
+ private:
+  ProfileData data_;
+};
+
+/// Convenience: runs `main` once under a ProfileTracer with the given params.
+ProfileData profileRun(const Module& mod, const std::map<std::string, double>& params,
+                       uint64_t seed = 0x5eed);
+
+}  // namespace skope::vm

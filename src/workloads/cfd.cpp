@@ -1,0 +1,163 @@
+#include "workloads/workloads.h"
+
+namespace skope::workloads {
+
+namespace {
+
+// CFD — unstructured-grid finite-volume solver for the 3-D Euler equations
+// (Rodinia's cfd miniapp shape). A main time-stepping loop updates pressure,
+// momentum and density: per-face flux computation gathers state from an
+// irregular neighbor table, a local time-step kernel scans cell volumes, and
+// a velocity-recovery kernel performs a *series of divisions* per cell —
+// this last one is the paper's example of the uniform-flop roofline
+// under-projecting on BG/Q ("expected <3 % of runtime, took 15 %"), because
+// XL expands each divide into a reciprocal-estimate + Newton sequence.
+// Grid scaled from 97k cells.
+constexpr const char* kSource = R"(
+param int NEL = 24000;   // cells
+param int NNB = 4;       // neighbors per cell
+param int NSTEP = 3;
+
+global int  nbr[NEL][NNB];       // neighbor table (irregular)
+global real normx[NEL][NNB];     // face normals
+global real dens[NEL];
+global real momx[NEL];
+global real momy[NEL];
+global real ener[NEL];
+global real flux_d[NEL];
+global real flux_mx[NEL];
+global real flux_my[NEL];
+global real flux_e[NEL];
+global real velx[NEL];
+global real vely[NEL];
+global real press[NEL];
+global real volume[NEL];
+global real dtloc[NEL];
+global real resid;
+
+func void init_mesh() {
+  var int e; var int n;
+  for (e = 0; e < NEL; e = e + 1) {
+    dens[e] = 1.0 + 0.1 * rand();
+    momx[e] = 0.3 * (rand() - 0.5);
+    momy[e] = 0.3 * (rand() - 0.5);
+    ener[e] = 2.5 + 0.2 * rand();
+    volume[e] = 0.5 + rand();
+    for (n = 0; n < NNB; n = n + 1) {
+      var int k = rand() * (NEL - 1);
+      nbr[e][n] = k;
+      normx[e][n] = rand() - 0.5;
+    }
+  }
+}
+
+// Pressure from the equation of state (gamma-law): streaming, moderate mix.
+func void compute_pressure() {
+  var int e;
+  for (e = 0; e < NEL; e = e + 1) {
+    var real ke = 0.5 * (momx[e] * momx[e] + momy[e] * momy[e]) / dens[e];
+    press[e] = 0.4 * (ener[e] - ke);
+    if (press[e] < 0.001) { press[e] = 0.001; }
+  }
+}
+
+// THE flux hot spot: per-face gather through the neighbor table — dominant
+// and memory-irregular.
+func void compute_flux() {
+  var int e; var int n;
+  for (e = 0; e < NEL; e = e + 1) {
+    var real fd = 0.0;
+    var real fmx = 0.0;
+    var real fmy = 0.0;
+    var real fe = 0.0;
+    for (n = 0; n < NNB; n = n + 1) {
+      var int k = nbr[e][n];
+      var real nx = normx[e][n];
+      var real pavg = 0.5 * (press[e] + press[k]);
+      var real davg = 0.5 * (dens[e] + dens[k]);
+      fd = fd + nx * (momx[k] - momx[e]);
+      fmx = fmx + nx * (pavg + davg * velx[k] * velx[k]);
+      fmy = fmy + nx * (pavg + davg * vely[k] * vely[k]);
+      fe = fe + nx * (ener[k] + pavg) * velx[k];
+    }
+    flux_d[e] = fd;
+    flux_mx[e] = fmx;
+    flux_my[e] = fmy;
+    flux_e[e] = fe;
+  }
+}
+
+// Local CFL time step: one divide + sqrt per cell.
+func void compute_timestep() {
+  var int e;
+  for (e = 0; e < NEL; e = e + 1) {
+    var real c = sqrt(1.4 * press[e] / dens[e]);
+    var real vmag = fabs(velx[e]) + fabs(vely[e]) + c;
+    dtloc[e] = 0.5 * volume[e] / (vmag + 0.0001);
+  }
+}
+
+// Conservative update from fluxes: streaming, vectorizable.
+func void advance() {
+  var int e;
+  for (e = 0; e < NEL; e = e + 1) {
+    dens[e] = dens[e] - dtloc[e] * flux_d[e] * 0.01;
+    momx[e] = momx[e] - dtloc[e] * flux_mx[e] * 0.01;
+    momy[e] = momy[e] - dtloc[e] * flux_my[e] * 0.01;
+    ener[e] = ener[e] - dtloc[e] * flux_e[e] * 0.01;
+  }
+}
+
+// Velocity recovery: the paper's division-heavy spot — several divides per
+// cell and almost nothing else.
+func void compute_velocity() {
+  var int e;
+  for (e = 0; e < NEL; e = e + 1) {
+    velx[e] = momx[e] / dens[e];
+    vely[e] = momy[e] / dens[e];
+    dtloc[e] = dtloc[e] / (1.0 + fabs(flux_d[e]) / (dens[e] + 0.0001));
+  }
+}
+
+// Residual reduction for convergence monitoring.
+func real residual() {
+  var int e;
+  var real r = 0.0;
+  for (e = 0; e < NEL; e = e + 1) {
+    r = r + flux_d[e] * flux_d[e];
+  }
+  return r;
+}
+
+func void main() {
+  init_mesh();
+  var int s;
+  for (s = 0; s < NSTEP; s = s + 1) {
+    compute_pressure();
+    compute_flux();
+    compute_timestep();
+    advance();
+    compute_velocity();
+    resid = resid + residual();
+  }
+}
+)";
+
+}  // namespace
+
+const Workload& cfd() {
+  static const Workload w = [] {
+    Workload wl;
+    wl.name = "CFD";
+    wl.description =
+        "Unstructured finite-volume Euler solver — irregular flux gather plus "
+        "a division-heavy velocity recovery kernel";
+    wl.source = kSource;
+    wl.params = {{"NEL", 24000}, {"NNB", 4}, {"NSTEP", 3}};
+    wl.seed = 0xcfd1;
+    return wl;
+  }();
+  return w;
+}
+
+}  // namespace skope::workloads

@@ -1,0 +1,147 @@
+#include "workloads/workloads.h"
+
+namespace skope::workloads {
+
+namespace {
+
+// CHARGEI — the ion-density deposition function of the Gyrokinetic Toroidal
+// Code (3-D particle-in-cell). The paper describes eight loop structures
+// where some loops produce arrays consumed by others; measured behavior has
+// two dominant hot spots (~44 % and ~38 %): the four-point charge scatter
+// and the field gather, both irregular-access particle loops. The port keeps
+// the eight-loop producer/consumer chain over a particle population and a
+// flux-surface grid.
+constexpr const char* kSource = R"(
+param int MI = 60000;     // ions
+param int MGRID = 16384;  // grid points on the poloidal plane
+param int NSTEP = 2;
+
+global real zion[MI];      // gyrocenter angle
+global real zrad[MI];      // radial coordinate
+global real weight[MI];    // particle weight
+global real rhoi[MI];      // gyro-radius
+global int  igrid[MI];     // cached grid index per particle
+global real dense[MGRID];  // deposited ion density
+global real phi[MGRID];    // field
+global real smooth[MGRID];
+global real efield[MI];    // gathered field per particle
+global real dentot;
+
+// loop 1: particle load
+func void load_particles() {
+  var int m;
+  for (m = 0; m < MI; m = m + 1) {
+    zion[m] = rand() * 6.2831853;
+    zrad[m] = rand();
+    weight[m] = rand() - 0.5;
+    rhoi[m] = 0.0;
+  }
+}
+
+// loop 2: gyro-radius and cached grid index (producer for loops 3 and 5)
+func void gyro_radius() {
+  var int m;
+  for (m = 0; m < MI; m = m + 1) {
+    var real z = zion[m];
+    // 4th-order polynomial stand-in for the trig factors of the real code
+    var real c = 1.0 - z * z * (0.5 - z * z * 0.0416666);
+    rhoi[m] = 0.02 + 0.01 * c * zrad[m];
+    var int ig = (zrad[m] * 0.999 + rhoi[m] * 0.001) * (MGRID - 4);
+    igrid[m] = ig;
+  }
+}
+
+// loop 3: zero the density array (consumer-side reset)
+func void zero_density() {
+  var int g;
+  for (g = 0; g < MGRID; g = g + 1) { dense[g] = 0.0; }
+}
+
+// loop 4: THE deposition hot spot — 4-point scatter per ion, irregular
+// stores through the cached index.
+func void deposit_charge() {
+  var int m;
+  for (m = 0; m < MI; m = m + 1) {
+    var int ig = igrid[m];
+    var real w = weight[m];
+    var real frac = zrad[m] * (MGRID - 4) - ig;
+    var real w0 = w * (1.0 - frac) * 0.5;
+    var real w1 = w * frac * 0.5;
+    dense[ig] = dense[ig] + w0;
+    dense[ig + 1] = dense[ig + 1] + w1;
+    dense[ig + 2] = dense[ig + 2] + w0;
+    dense[ig + 3] = dense[ig + 3] + w1;
+  }
+}
+
+// loop 5: field solve stand-in — tridiagonal-ish smoothing sweep over grid
+func void solve_field() {
+  var int g;
+  for (g = 1; g < MGRID - 1; g = g + 1) {
+    phi[g] = 0.25 * dense[g - 1] + 0.5 * dense[g] + 0.25 * dense[g + 1];
+  }
+}
+
+// loop 6: grid smoothing (producer for the gather)
+func void smooth_field() {
+  var int g;
+  for (g = 2; g < MGRID - 2; g = g + 1) {
+    smooth[g] = 0.0625 * (phi[g - 2] + phi[g + 2]) + 0.25 * (phi[g - 1] + phi[g + 1])
+              + 0.375 * phi[g];
+  }
+}
+
+// loop 7: the second dominant hot spot — per-ion field gather with
+// irregular loads, plus the weight push.
+func void gather_field() {
+  var int m;
+  for (m = 0; m < MI; m = m + 1) {
+    var int ig = igrid[m];
+    var real frac = zrad[m] * (MGRID - 4) - ig;
+    var real e = smooth[ig] * (1.0 - frac) + smooth[ig + 1] * frac;
+    efield[m] = e;
+    weight[m] = weight[m] + 0.01 * e * (1.0 - weight[m] * weight[m]);
+  }
+}
+
+// loop 8: diagnostic reduction
+func real total_density() {
+  var int g;
+  var real s = 0.0;
+  for (g = 0; g < MGRID; g = g + 1) { s = s + dense[g]; }
+  return s;
+}
+
+func void main() {
+  load_particles();
+  var int step;
+  for (step = 0; step < NSTEP; step = step + 1) {
+    gyro_radius();
+    zero_density();
+    deposit_charge();
+    solve_field();
+    smooth_field();
+    gather_field();
+    dentot = dentot + total_density();
+  }
+}
+)";
+
+}  // namespace
+
+const Workload& chargei() {
+  static const Workload w = [] {
+    Workload wl;
+    wl.name = "CHARGEI";
+    wl.description =
+        "GTC ion-density deposition — particle-in-cell charge scatter/gather "
+        "with eight producer/consumer loop structures";
+    wl.source = kSource;
+    wl.params = {{"MI", 60000}, {"MGRID", 16384}, {"NSTEP", 2}};
+    wl.seed = 0xc4a6;
+    return wl;
+  }();
+  return w;
+}
+
+}  // namespace skope::workloads

@@ -1,0 +1,172 @@
+#include "workloads/workloads.h"
+
+namespace skope::workloads {
+
+namespace {
+
+// SRAD — speckle-reducing anisotropic diffusion. Mirrors the Rodinia kernel
+// the paper uses: the image is seeded with exponentially-distributed speckle
+// (rand + exp — both library functions and both among the paper's top three
+// measured hot spots), a sample window provides the noise signature, and the
+// diffusion sweep computes gradients, a diffusion coefficient with exp(),
+// and the update. Image scaled from 2048x2048 to keep the ground-truth
+// simulation interactive; the sample window scales with it.
+constexpr const char* kSource = R"(
+param int NI = 256;
+param int NJ = 256;
+param int NITER = 2;
+param int SAMPLE = 32;   // speckle sample window edge
+
+global real img[NI][NJ];
+global real dn[NI][NJ];
+global real ds[NI][NJ];
+global real de[NI][NJ];
+global real dw[NI][NJ];
+global real coef[NI][NJ];
+global real meanROI;
+global real varROI;
+global real q0sqr;
+
+// Speckle seeding: one rand() and one exp() per pixel (library hot spots).
+func void init_image() {
+  var int i; var int j;
+  for (i = 0; i < NI; i = i + 1) {
+    for (j = 0; j < NJ; j = j + 1) {
+      img[i][j] = exp(rand() * 0.8 - 0.4) * 128.0;
+    }
+  }
+}
+
+// Noise signature from the sample window (paper: 128x128 of 2048x2048).
+func void sample_stats() {
+  var int i; var int j;
+  var real sum = 0.0;
+  var real sum2 = 0.0;
+  for (i = 0; i < SAMPLE; i = i + 1) {
+    for (j = 0; j < SAMPLE; j = j + 1) {
+      sum = sum + img[i][j];
+      sum2 = sum2 + img[i][j] * img[i][j];
+    }
+  }
+  var real n = SAMPLE * SAMPLE;
+  meanROI = sum / n;
+  varROI = sum2 / n - meanROI * meanROI;
+  q0sqr = varROI / (meanROI * meanROI);
+}
+
+// Gradient + diffusion coefficient: the main compute hot spot; one exp()
+// per pixel keeps lib:exp hot across the whole run.
+func void compute_coefficients() {
+  var int i; var int j;
+  for (i = 1; i < NI - 1; i = i + 1) {
+    for (j = 1; j < NJ - 1; j = j + 1) {
+      var real c = img[i][j];
+      dn[i][j] = img[i - 1][j] - c;
+      ds[i][j] = img[i + 1][j] - c;
+      dw[i][j] = img[i][j - 1] - c;
+      de[i][j] = img[i][j + 1] - c;
+      var real g2 = (dn[i][j] * dn[i][j] + ds[i][j] * ds[i][j]
+                   + dw[i][j] * dw[i][j] + de[i][j] * de[i][j]) / (c * c);
+      var real l = (dn[i][j] + ds[i][j] + dw[i][j] + de[i][j]) / c;
+      var real num = 0.5 * g2 - 0.0625 * (l * l);
+      var real den = 1.0 + 0.25 * l;
+      var real qsqr = num / (den * den);
+      coef[i][j] = exp(-(qsqr - q0sqr) / (q0sqr * (1.0 + q0sqr) + 0.0001));
+      if (coef[i][j] < 0.0) { coef[i][j] = 0.0; }
+      if (coef[i][j] > 1.0) { coef[i][j] = 1.0; }
+    }
+  }
+}
+
+// Diffusion update sweep: streaming stencil, short vectorizable body.
+func void diffuse() {
+  var int i; var int j;
+  for (i = 1; i < NI - 1; i = i + 1) {
+    for (j = 1; j < NJ - 1; j = j + 1) {
+      var real cn = coef[i][j];
+      var real cs = coef[i + 1][j];
+      var real ce = coef[i][j + 1];
+      var real d = cn * dn[i][j] + cs * ds[i][j] + cn * dw[i][j] + ce * de[i][j];
+      img[i][j] = img[i][j] + 0.0625 * d;
+    }
+  }
+}
+
+// Rodinia SRAD log-compresses the image before diffusing...
+func void compress() {
+  var int i; var int j;
+  for (i = 0; i < NI; i = i + 1) {
+    for (j = 0; j < NJ; j = j + 1) {
+      img[i][j] = log(img[i][j] + 1.0);
+    }
+  }
+}
+
+// ...and exp-expands it afterwards.
+func void expand() {
+  var int i; var int j;
+  for (i = 0; i < NI; i = i + 1) {
+    for (j = 0; j < NJ; j = j + 1) {
+      img[i][j] = exp(img[i][j]) - 1.0;
+    }
+  }
+}
+
+// Mirror boundary conditions around the frame.
+func void boundary_reflect() {
+  var int i; var int j;
+  for (j = 0; j < NJ; j = j + 1) {
+    img[0][j] = img[1][j];
+    img[NI - 1][j] = img[NI - 2][j];
+  }
+  for (i = 0; i < NI; i = i + 1) {
+    img[i][0] = img[i][1];
+    img[i][NJ - 1] = img[i][NJ - 2];
+  }
+}
+
+// Mean intensity diagnostic.
+func real total_intensity() {
+  var int i; var int j;
+  var real s = 0.0;
+  for (i = 0; i < NI; i = i + 1) {
+    for (j = 0; j < NJ; j = j + 1) { s = s + img[i][j]; }
+  }
+  return s / (NI * NJ);
+}
+
+global real meanOut;
+
+func void main() {
+  init_image();
+  compress();
+  var int iter;
+  for (iter = 0; iter < NITER; iter = iter + 1) {
+    sample_stats();
+    compute_coefficients();
+    diffuse();
+    boundary_reflect();
+  }
+  expand();
+  meanOut = total_intensity();
+}
+)";
+
+}  // namespace
+
+const Workload& srad() {
+  static const Workload w = [] {
+    Workload wl;
+    wl.name = "SRAD";
+    wl.description =
+        "Speckle-reducing anisotropic diffusion — medical-imaging denoise "
+        "with library exp/rand among the measured hot spots";
+    wl.source = kSource;
+    wl.params = {{"NI", 256}, {"NJ", 256}, {"NITER", 2}, {"SAMPLE", 32}};
+    wl.seed = 0x56ad;
+    return wl;
+  }();
+  return w;
+}
+
+}  // namespace skope::workloads

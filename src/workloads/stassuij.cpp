@@ -1,0 +1,129 @@
+#include "workloads/workloads.h"
+
+namespace skope::workloads {
+
+namespace {
+
+// STASSUIJ — the two-body correlation kernel at the core of the Green's
+// Function Monte Carlo application. Two algorithmic phases (paper §VI):
+//   1. multiply a 132x132 *sparse* real matrix with a 132x2048 *dense*
+//      complex matrix — per nonzero, a long unit-stride scaling loop over
+//      the complex row. IBM XL vectorizes this inner loop aggressively,
+//      which is why the paper's model (vectorization-blind) OVER-estimates
+//      the top hot spot's time on BG/Q;
+//   2. exchange groups of four elements within each row in a butterfly
+//      pattern, with exchange indices stored in a separate array.
+// Measured: top spot ~68 % of runtime, second ~23 %.
+constexpr const char* kSource = R"(
+param int NROW = 132;
+param int NCOL = 512;     // complex columns (scaled from 2048)
+param int NNZ = 8;        // nonzeros per sparse row
+param int NPASS = 5;
+
+global int  colidx[NROW][NNZ];   // sparse structure
+global real aval[NROW][NNZ];     // sparse values
+global real xre[NROW][NCOL];     // dense complex input (real part)
+global real xim[NROW][NCOL];
+global real yre[NROW][NCOL];     // accumulator
+global real yim[NROW][NCOL];
+global int  bfly[NCOL];          // butterfly exchange indices
+global real norm;
+
+func void init_data() {
+  var int r; var int c; var int n;
+  for (r = 0; r < NROW; r = r + 1) {
+    for (c = 0; c < NCOL; c = c + 1) {
+      xre[r][c] = rand() - 0.5;
+      xim[r][c] = rand() - 0.5;
+      yre[r][c] = 0.0;
+      yim[r][c] = 0.0;
+    }
+    for (n = 0; n < NNZ; n = n + 1) {
+      colidx[r][n] = rand() * (NROW - 1);
+      aval[r][n] = rand() - 0.5;
+    }
+  }
+  // butterfly pattern: swap within groups of four
+  for (c = 0; c < NCOL; c = c + 1) {
+    var int grp = c / 4;
+    var int off = c % 4;
+    bfly[c] = grp * 4 + (3 - off);
+  }
+}
+
+// Phase 1 hot spot: per sparse nonzero, scale-and-accumulate one complex
+// row — a long, simple, unit-stride loop (XL vectorizes this on BG/Q).
+func void sparse_apply() {
+  var int r; var int n; var int c;
+  for (r = 0; r < NROW; r = r + 1) {
+    for (n = 0; n < NNZ; n = n + 1) {
+      var int src = colidx[r][n];
+      var real s = aval[r][n];
+      for (c = 0; c < NCOL; c = c + 1) {
+        yre[r][c] = yre[r][c] + s * xre[src][c];
+        yim[r][c] = yim[r][c] + s * xim[src][c];
+      }
+    }
+  }
+}
+
+// Phase 2 hot spot: butterfly exchange of groups of four within each row,
+// indices from a separate array (irregular but cache-resident).
+func void butterfly_exchange() {
+  var int r; var int c;
+  for (r = 0; r < NROW; r = r + 1) {
+    for (c = 0; c < NCOL; c = c + 1) {
+      var int d = bfly[c];
+      if (d > c) {
+        var real tre = yre[r][c];
+        var real tim = yim[r][c];
+        yre[r][c] = yre[r][d];
+        yim[r][c] = yim[r][d];
+        yre[r][d] = tre;
+        yim[r][d] = tim;
+      }
+    }
+  }
+}
+
+// normalization reduction over the result
+func real normalize() {
+  var int r; var int c;
+  var real s = 0.0;
+  for (r = 0; r < NROW; r = r + 1) {
+    for (c = 0; c < NCOL; c = c + 1) {
+      s = s + yre[r][c] * yre[r][c] + yim[r][c] * yim[r][c];
+    }
+  }
+  return s;
+}
+
+func void main() {
+  init_data();
+  var int p;
+  for (p = 0; p < NPASS; p = p + 1) {
+    sparse_apply();
+    butterfly_exchange();
+    norm = norm + normalize();
+  }
+}
+)";
+
+}  // namespace
+
+const Workload& stassuij() {
+  static const Workload w = [] {
+    Workload wl;
+    wl.name = "STASSUIJ";
+    wl.description =
+        "GFMC two-body correlation kernel — sparse x dense complex multiply "
+        "plus butterfly element exchange";
+    wl.source = kSource;
+    wl.params = {{"NROW", 132}, {"NCOL", 512}, {"NNZ", 8}, {"NPASS", 5}};
+    wl.seed = 0x57a5;
+    return wl;
+  }();
+  return w;
+}
+
+}  // namespace skope::workloads

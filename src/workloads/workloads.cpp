@@ -1,0 +1,9 @@
+#include "workloads/workloads.h"
+
+namespace skope::workloads {
+
+std::vector<const Workload*> allWorkloads() {
+  return {&sord(), &chargei(), &srad(), &cfd(), &stassuij()};
+}
+
+}  // namespace skope::workloads

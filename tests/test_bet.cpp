@@ -1,0 +1,284 @@
+// Unit tests for contexts and Bayesian Execution Tree construction (§IV).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bet/builder.h"
+#include "skeleton/parser.h"
+
+namespace skope::bet {
+namespace {
+
+Bet buildFrom(std::string_view skeletonText, std::map<std::string, double> input,
+              BuilderOptions opts = {}) {
+  skel::SkeletonProgram sk = skel::parseSkeleton(skeletonText);
+  return buildBet(sk, ParamEnv(std::move(input)), opts);
+}
+
+const BetNode* findKind(const BetNode& n, BetKind k) {
+  if (n.kind == k) return &n;
+  for (const auto& c : n.kids) {
+    if (const BetNode* f = findKind(*c, k)) return f;
+  }
+  return nullptr;
+}
+
+// ---------------- ContextSet ----------------
+
+TEST(ContextSet, WeightsAndScaling) {
+  ContextSet c({{"N", 10}});
+  EXPECT_DOUBLE_EQ(c.totalWeight(), 1.0);
+  c.scale(0.5);
+  EXPECT_DOUBLE_EQ(c.totalWeight(), 0.5);
+  c.normalize();
+  EXPECT_DOUBLE_EQ(c.totalWeight(), 1.0);
+}
+
+TEST(ContextSet, SplitByProb) {
+  ContextSet c({{"N", 10}});
+  auto [t, e] = c.splitByProb(constant(0.3), 0.5);
+  EXPECT_NEAR(t.totalWeight(), 0.3, 1e-12);
+  EXPECT_NEAR(e.totalWeight(), 0.7, 1e-12);
+}
+
+TEST(ContextSet, SetVarAndEval) {
+  ContextSet c({{"N", 10}});
+  c.setVar("half", parseExpr("N/2"));
+  EXPECT_DOUBLE_EQ(c.evalMean(param("half")), 5.0);
+  // unknown-value assignment drops the variable
+  c.setVar("half", param("mystery"));
+  EXPECT_DOUBLE_EQ(c.evalMean(param("half"), -1.0), -1.0);
+}
+
+TEST(ContextSet, MergeDeduplicates) {
+  ContextSet a({{"k", 1}});
+  a.scale(0.5);
+  ContextSet b({{"k", 1}});
+  b.scale(0.5);
+  ContextSet m = ContextSet::merged(a, b, 8);
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_DOUBLE_EQ(m.totalWeight(), 1.0);
+}
+
+TEST(ContextSet, CompactPreservesMass) {
+  ContextSet c({{"k", 0}});
+  // create 4 distinct contexts via repeated splits + setVar
+  auto [a, b] = c.splitByProb(constant(0.5), 0.5);
+  a.setVar("k", constant(1));
+  ContextSet m = ContextSet::merged(a, b, 1);
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_NEAR(m.totalWeight(), 1.0, 1e-12);
+}
+
+// ---------------- BET construction ----------------
+
+TEST(Bet, LoopIsSingleNode) {
+  Bet bet = buildFrom(R"(
+    params N;
+    def main() {
+      loop @7 iter=N {
+        comp @8 flops=2;
+      }
+    }
+  )", {{"N", 1000000}});
+  // 3 nodes regardless of N: func, loop, comp — the paper's core property
+  EXPECT_EQ(bet.size(), 3u);
+  const BetNode* loop = findKind(*bet.root, BetKind::Loop);
+  ASSERT_NE(loop, nullptr);
+  EXPECT_DOUBLE_EQ(loop->numIter, 1e6);
+  EXPECT_DOUBLE_EQ(loop->prob, 1.0);
+}
+
+TEST(Bet, SizeIndependentOfInput) {
+  const char* sk = R"(
+    params N;
+    def main() { loop iter=N { loop iter=N { comp flops=1; } } }
+  )";
+  EXPECT_EQ(buildFrom(sk, {{"N", 10}}).size(), buildFrom(sk, {{"N", 100000}}).size());
+}
+
+TEST(Bet, BranchProbabilities) {
+  Bet bet = buildFrom(R"(
+    def main() {
+      branch @3 p=0.25 { comp @4 flops=1; } else { comp @5 iops=1; }
+    }
+  )", {});
+  const BetNode* thenArm = findKind(*bet.root, BetKind::BranchThen);
+  const BetNode* elseArm = findKind(*bet.root, BetKind::BranchElse);
+  ASSERT_NE(thenArm, nullptr);
+  ASSERT_NE(elseArm, nullptr);
+  EXPECT_DOUBLE_EQ(thenArm->prob, 0.25);
+  EXPECT_DOUBLE_EQ(elseArm->prob, 0.75);
+}
+
+TEST(Bet, CallMountsCalleeWithBoundFormals) {
+  Bet bet = buildFrom(R"(
+    params N;
+    def main() { call foo(N/2); }
+    def foo(n) { loop @9 iter=n { comp flops=1; } }
+  )", {{"N", 20}});
+  const BetNode* mounted = nullptr;
+  bet.root->visit([&](const BetNode& n) {
+    if (n.kind == BetKind::Func && n.name == "foo") mounted = &n;
+  });
+  ASSERT_NE(mounted, nullptr);
+  const BetNode* loop = findKind(*mounted, BetKind::Loop);
+  ASSERT_NE(loop, nullptr);
+  EXPECT_DOUBLE_EQ(loop->numIter, 10.0);  // n = N/2 bound at the call
+}
+
+TEST(Bet, SameFunctionDifferentContexts) {
+  Bet bet = buildFrom(R"(
+    params N;
+    def main() { call foo(N); call foo(N*2); }
+    def foo(n) { loop iter=n { comp flops=1; } }
+  )", {{"N", 5}});
+  std::vector<double> iters;
+  bet.root->visit([&](const BetNode& n) {
+    if (n.kind == BetKind::Loop) iters.push_back(n.numIter);
+  });
+  ASSERT_EQ(iters.size(), 2u);
+  EXPECT_DOUBLE_EQ(iters[0], 5.0);
+  EXPECT_DOUBLE_EQ(iters[1], 10.0);
+}
+
+TEST(Bet, BreakCapsExpectedIterations) {
+  // break with p = 0.1 per iteration over range 1000:
+  // E[iters] = (1 - 0.9^1000) / 0.1 ≈ 10
+  Bet bet = buildFrom(R"(
+    def main() {
+      loop @2 iter=1000 {
+        comp flops=1;
+        branch @3 p=0.1 { break; }
+      }
+    }
+  )", {});
+  const BetNode* loop = findKind(*bet.root, BetKind::Loop);
+  ASSERT_NE(loop, nullptr);
+  EXPECT_NEAR(loop->numIter, 10.0, 1e-6);
+}
+
+TEST(Bet, BreakNeverFiresKeepsFullRange) {
+  Bet bet = buildFrom(R"(
+    def main() {
+      loop iter=50 {
+        branch p=0 { break; }
+        comp flops=1;
+      }
+    }
+  )", {});
+  const BetNode* loop = findKind(*bet.root, BetKind::Loop);
+  EXPECT_DOUBLE_EQ(loop->numIter, 50.0);
+}
+
+TEST(Bet, BreakFormulaLimits) {
+  // small n: E[iters] <= n even with p > 0
+  Bet bet = buildFrom(R"(
+    def main() { loop iter=3 { comp flops=1; branch p=0.5 { break; } } }
+  )", {});
+  const BetNode* loop = findKind(*bet.root, BetKind::Loop);
+  // (1 - 0.5^3) / 0.5 = 1.75
+  EXPECT_NEAR(loop->numIter, 1.75, 1e-9);
+}
+
+TEST(Bet, ReturnZerosTail) {
+  Bet bet = buildFrom(R"(
+    def main() {
+      branch @2 p=0.4 { return; }
+      comp @9 flops=1;
+    }
+  )", {});
+  const BetNode* comp = findKind(*bet.root, BetKind::Comp);
+  ASSERT_NE(comp, nullptr);
+  EXPECT_NEAR(comp->prob, 0.6, 1e-12);
+}
+
+TEST(Bet, ContinueDoesNotChangeIterations) {
+  Bet bet = buildFrom(R"(
+    def main() {
+      loop iter=100 {
+        branch p=0.5 { continue; }
+        comp @5 flops=1;
+      }
+    }
+  )", {});
+  const BetNode* loop = findKind(*bet.root, BetKind::Loop);
+  EXPECT_DOUBLE_EQ(loop->numIter, 100.0);
+  const BetNode* comp = findKind(*loop, BetKind::Comp);
+  EXPECT_NEAR(comp->prob, 0.5, 1e-12);  // skipped half the time
+}
+
+TEST(Bet, SetCreatesDivergentContexts) {
+  // The pedagogical example of the paper's Fig. 2: a branch assigns knob, a
+  // later branch tests knob — outcomes are perfectly correlated.
+  Bet bet = buildFrom(R"(
+    def main() {
+      set knob = 0;
+      branch @2 p=0.3 { set knob = 1; }
+      branch @3 p=knob { call foo(10); }
+    }
+    def foo(n) { comp @5 flops=1; }
+  )", {});
+  const BetNode* foo = nullptr;
+  bet.root->visit([&](const BetNode& n) {
+    if (n.kind == BetKind::Func && n.name == "foo") foo = &n;
+  });
+  ASSERT_NE(foo, nullptr);
+  // foo executes exactly when knob was set. Without context tracking the
+  // branch on knob would fall back to p=0.5; with tracking, the arm carries
+  // exactly 0.3 and foo is certain within it — cumulative probability 0.3.
+  double cumulative = 1.0;
+  for (const BetNode* n = foo; n != nullptr; n = n->parent) cumulative *= n->prob;
+  EXPECT_NEAR(cumulative, 0.3, 1e-12);
+  ASSERT_NE(foo->parent, nullptr);
+  EXPECT_EQ(foo->parent->kind, BetKind::BranchThen);
+  EXPECT_NEAR(foo->parent->prob, 0.3, 1e-12);  // not the 0.5 fallback
+}
+
+TEST(Bet, LibCallNode) {
+  Bet bet = buildFrom(R"(
+    def main() { loop iter=10 { libcall exp count=2; } }
+  )", {});
+  const BetNode* lib = findKind(*bet.root, BetKind::LibCall);
+  ASSERT_NE(lib, nullptr);
+  EXPECT_EQ(lib->name, "exp");
+  EXPECT_DOUBLE_EQ(lib->callsPerExec, 2.0);
+}
+
+TEST(Bet, RecursionGuard) {
+  BuilderOptions opts;
+  opts.maxCallDepth = 8;
+  Bet bet = buildFrom(R"(
+    def main() { call f(); }
+    def f() { comp flops=1; call f(); }
+  )", {}, opts);
+  EXPECT_GT(bet.droppedCalls, 0u);
+  EXPECT_LT(bet.size(), 100u);
+}
+
+TEST(Bet, UnresolvedSkeletonRejected) {
+  skel::SkeletonProgram sk = skel::parseSkeleton("def main() { comp flops=1; }");
+  // manufacture an unresolved loop
+  auto loop = skel::makeLoop(nullptr, 42);
+  sk.defs[0]->kids.push_back(std::move(loop));
+  EXPECT_THROW(buildBet(sk, ParamEnv{}), Error);
+}
+
+TEST(Bet, MissingEntryRejected) {
+  skel::SkeletonProgram sk = skel::parseSkeleton("def notmain() { comp flops=1; }");
+  EXPECT_THROW(buildBet(sk, ParamEnv{}), Error);
+}
+
+TEST(Bet, PrintContainsStructure) {
+  Bet bet = buildFrom(R"(
+    params N;
+    def main() { loop @3 iter=N { comp @4 flops=2 loads=1; } }
+  )", {{"N", 7}});
+  std::string text = printBet(bet);
+  EXPECT_NE(text.find("func main"), std::string::npos);
+  EXPECT_NE(text.find("iter=7"), std::string::npos);
+  EXPECT_NE(text.find("flops=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace skope::bet

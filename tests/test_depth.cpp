@@ -1,0 +1,249 @@
+// Additional depth tests: simulator branch-prediction behavior, VM edge
+// semantics, deeper frontend coverage, and framework behavior on the
+// conceptual machines.
+#include <gtest/gtest.h>
+
+#include "core/framework.h"
+#include "minic/builtins.h"
+#include "minic/parser.h"
+#include "minic/printer.h"
+#include "minic/sema.h"
+#include "sim/simulator.h"
+#include "vm/compiler.h"
+#include "vm/interp.h"
+
+namespace skope {
+namespace {
+
+struct Compiled {
+  std::unique_ptr<minic::Program> prog;
+  vm::Module mod;
+};
+
+Compiled compileSrc(std::string_view src) {
+  Compiled c;
+  c.prog = minic::parseProgram(src, "t.mc");
+  minic::analyzeOrThrow(*c.prog);
+  c.mod = vm::compile(*c.prog);
+  return c;
+}
+
+// ---------------- branch predictor in the simulator ----------------
+
+TEST(Predictor, RegularBranchesCostLessThanRandom) {
+  // same instruction stream, but one branch pattern is periodic and the
+  // other data-random: the 2-bit predictor should penalize the random one
+  const char* regular = R"(
+    param int N = 40000;
+    global real out;
+    func void main() {
+      var int i;
+      for (i = 0; i < N; i = i + 1) {
+        if (i % 2 == 0) { out = out + 1.0; } else { out = out - 1.0; }
+      }
+    }
+  )";
+  const char* random = R"(
+    param int N = 40000;
+    global real out;
+    func void main() {
+      var int i;
+      for (i = 0; i < N; i = i + 1) {
+        if (rand() < 0.5) { out = out + 1.0; } else { out = out - 1.0; }
+      }
+    }
+  )";
+  auto cr = compileSrc(regular);
+  auto cx = compileSrc(random);
+  auto branchCycles = [](Compiled& c) {
+    sim::Simulator s(*c.prog, c.mod, MachineModel::bgq());
+    sim::SimResult r = s.run({});
+    double total = 0;
+    for (const auto& [id, rc] : r.regions) total += rc.branchCycles;
+    return total;
+  };
+  // alternating branches defeat a 2-bit counter too, but rand() also costs
+  // mispredicts; compare against an always-taken pattern instead:
+  const char* biased = R"(
+    param int N = 40000;
+    global real out;
+    func void main() {
+      var int i;
+      for (i = 0; i < N; i = i + 1) {
+        if (i >= 0) { out = out + 1.0; }
+      }
+    }
+  )";
+  auto cb = compileSrc(biased);
+  double biasedCost = branchCycles(cb);
+  double randomCost = branchCycles(cx);
+  double regularCost = branchCycles(cr);
+  EXPECT_LT(biasedCost, randomCost * 0.2);  // predictable ≪ random
+  (void)regularCost;
+}
+
+// ---------------- VM edge semantics ----------------
+
+TEST(VmDepth, RecursionGuardTriggers) {
+  auto c = compileSrc(R"(
+    global real out;
+    func real inf(real x) { return inf(x + 1.0); }
+    func void main() { out = inf(0.0); }
+  )");
+  vm::Vm machine(c.mod);
+  EXPECT_THROW(machine.run(), Error);
+}
+
+TEST(VmDepth, NegativeModulo) {
+  auto c = compileSrc(R"(
+    global real out;
+    func void main() { var int a = -7; out = a % 3; }
+  )");
+  vm::Vm machine(c.mod);
+  machine.run();
+  EXPECT_DOUBLE_EQ(machine.scalar("out"), -1.0);  // C-style truncation
+}
+
+TEST(VmDepth, IntExactnessToLargeValues) {
+  auto c = compileSrc(R"(
+    global real out;
+    func void main() {
+      var int big = 1048576;
+      out = big * big + 1;    // 2^40 + 1: exact in doubles
+    }
+  )");
+  vm::Vm machine(c.mod);
+  machine.run();
+  EXPECT_DOUBLE_EQ(machine.scalar("out"), 1099511627777.0);
+}
+
+TEST(VmDepth, GlobalScalarsPersistAcrossCalls) {
+  auto c = compileSrc(R"(
+    global real acc;
+    func void bump() { acc = acc + 1.0; }
+    func void main() {
+      var int i;
+      for (i = 0; i < 10; i = i + 1) { bump(); }
+    }
+  )");
+  vm::Vm machine(c.mod);
+  machine.run();
+  EXPECT_DOUBLE_EQ(machine.scalar("acc"), 10.0);
+}
+
+TEST(VmDepth, ArrayReadsAreZeroInitialized) {
+  auto c = compileSrc(R"(
+    param int N = 16;
+    global real a[N];
+    global real out;
+    func void main() { out = a[15]; }
+  )");
+  vm::Vm machine(c.mod);
+  machine.run();
+  EXPECT_DOUBLE_EQ(machine.scalar("out"), 0.0);
+}
+
+TEST(VmDepth, RerunReallocatesAndRepeats) {
+  auto c = compileSrc(R"(
+    param int N = 8;
+    global real a[N];
+    global real out;
+    func void main() {
+      a[0] = a[0] + 1.0;   // would accumulate if storage survived
+      out = a[0];
+    }
+  )");
+  vm::Vm machine(c.mod);
+  machine.run();
+  EXPECT_DOUBLE_EQ(machine.scalar("out"), 1.0);
+  machine.run();
+  EXPECT_DOUBLE_EQ(machine.scalar("out"), 1.0);  // fresh storage per run
+}
+
+// ---------------- frontend depth ----------------
+
+TEST(FrontendDepth, DeeplyNestedControlFlow) {
+  std::string src = "global real out;\nfunc void main() {\n var int i0;\n";
+  std::string open, close;
+  for (int d = 0; d < 10; ++d) {
+    std::string v = "i" + std::to_string(d);
+    if (d > 0) src += std::string(2 * d, ' ') + "var int " + v + ";\n";
+    open += "for (" + v + " = 0; " + v + " < 2; " + v + " = " + v + " + 1) { ";
+    close += "}";
+  }
+  src += open + " out = out + 1.0; " + close + "\n}";
+  auto c = compileSrc(src);
+  vm::Vm machine(c.mod);
+  machine.run();
+  EXPECT_DOUBLE_EQ(machine.scalar("out"), 1024.0);  // 2^10
+}
+
+TEST(FrontendDepth, CallExpressionsNest) {
+  auto c = compileSrc(R"(
+    global real out;
+    func real twice(real x) { return x * 2.0; }
+    func real plus(real a, real b) { return a + b; }
+    func void main() {
+      out = plus(twice(plus(1.0, 2.0)), twice(4.0));  // (3*2) + (4*2) = 14
+    }
+  )");
+  vm::Vm machine(c.mod);
+  machine.run();
+  EXPECT_DOUBLE_EQ(machine.scalar("out"), 14.0);
+}
+
+TEST(FrontendDepth, PrinterHandlesAllForms) {
+  auto prog = minic::parseProgram(R"(
+    param int N = 2;
+    global int flags[N];
+    func int pick(int a, int b) {
+      if (a > b) { return a; }
+      return b;
+    }
+    func void main() {
+      var int i;
+      for (i = 0; i < N; i = i + 1) {
+        flags[i] = pick(i, N - i) % 2;
+        while (flags[i] > 0) { flags[i] = flags[i] - 1; }
+        if (!(flags[i])) { continue; }
+      }
+    }
+  )", "t.mc");
+  minic::analyzeOrThrow(*prog);
+  std::string printed = minic::printProgram(*prog);
+  auto again = minic::parseProgram(printed, "p.mc");
+  EXPECT_NO_THROW(minic::analyzeOrThrow(*again));
+  EXPECT_EQ(minic::printProgram(*again), printed);
+}
+
+// ---------------- conceptual machines end-to-end ----------------
+
+TEST(ConceptualMachines, ProjectionsRunOnAllMachines) {
+  core::CodesignFramework fw(workloads::srad());
+  for (const auto& m : {MachineModel::bgq(), MachineModel::xeonE5_2420(),
+                        MachineModel::manycoreKnl(), MachineModel::armServer()}) {
+    auto model = fw.project(m);
+    EXPECT_GT(model.totalSeconds, 0) << m.name;
+    EXPECT_FALSE(model.blocks.empty()) << m.name;
+  }
+}
+
+TEST(ConceptualMachines, SimulatorRunsOnConceptualMachines) {
+  // the conceptual machines are full MachineModels: the ground-truth
+  // simulator accepts them too (useful for sanity-checking design sweeps)
+  auto c = compileSrc(R"(
+    param int N = 5000;
+    global real a[N];
+    func void main() {
+      var int i;
+      for (i = 0; i < N; i = i + 1) { a[i] = a[i] * 1.5 + 2.0; }
+    }
+  )");
+  sim::SimResult knl = sim::Simulator(*c.prog, c.mod, MachineModel::manycoreKnl()).run({});
+  sim::SimResult arm = sim::Simulator(*c.prog, c.mod, MachineModel::armServer()).run({});
+  EXPECT_GT(knl.totalCycles(), 0);
+  EXPECT_GT(arm.totalCycles(), 0);
+}
+
+}  // namespace
+}  // namespace skope

@@ -1,0 +1,128 @@
+// Unit tests for the symbolic expression library (src/expr).
+#include <gtest/gtest.h>
+
+#include "expr/expr.h"
+
+namespace skope {
+namespace {
+
+ParamEnv env(std::map<std::string, double> m) { return ParamEnv(std::move(m)); }
+
+TEST(Expr, ConstantEval) {
+  EXPECT_DOUBLE_EQ(constant(3.5)->eval({}), 3.5);
+  EXPECT_TRUE(constant(1)->isConstant());
+}
+
+TEST(Expr, ParamEval) {
+  auto e = param("N");
+  EXPECT_DOUBLE_EQ(e->eval(env({{"N", 42}})), 42.0);
+  EXPECT_FALSE(e->isConstant());
+  EXPECT_THROW((void)e->eval({}), Error);
+}
+
+TEST(Expr, ArithmeticEval) {
+  auto n = param("N");
+  auto e = add(mul(n, constant(2)), constant(1));  // 2N + 1
+  EXPECT_DOUBLE_EQ(e->eval(env({{"N", 10}})), 21.0);
+}
+
+TEST(Expr, ConstantFolding) {
+  EXPECT_EQ(add(constant(2), constant(3))->op, ExprOp::Const);
+  EXPECT_DOUBLE_EQ(add(constant(2), constant(3))->value, 5.0);
+  EXPECT_EQ(mul(constant(4), constant(5))->value, 20.0);
+  EXPECT_EQ(sub(constant(4), constant(5))->value, -1.0);
+  EXPECT_EQ(divide(constant(9), constant(3))->value, 3.0);
+}
+
+TEST(Expr, Identities) {
+  auto n = param("N");
+  EXPECT_EQ(add(n, constant(0)).get(), n.get());
+  EXPECT_EQ(mul(n, constant(1)).get(), n.get());
+  EXPECT_EQ(mul(n, constant(0))->op, ExprOp::Const);
+  EXPECT_DOUBLE_EQ(mul(n, constant(0))->value, 0.0);
+  EXPECT_EQ(divide(n, constant(1)).get(), n.get());
+}
+
+TEST(Expr, MinMax) {
+  auto e = exprMin(param("A"), param("B"));
+  EXPECT_DOUBLE_EQ(e->eval(env({{"A", 3}, {"B", 7}})), 3.0);
+  auto f = exprMax(param("A"), param("B"));
+  EXPECT_DOUBLE_EQ(f->eval(env({{"A", 3}, {"B", 7}})), 7.0);
+}
+
+TEST(Expr, CeilDivAndLog2) {
+  EXPECT_DOUBLE_EQ(ceilDiv(constant(10), constant(4))->value, 3.0);
+  EXPECT_DOUBLE_EQ(log2e(constant(8))->value, 3.0);
+  auto e = ceilDiv(param("N"), constant(32));
+  EXPECT_DOUBLE_EQ(e->eval(env({{"N", 33}})), 2.0);
+}
+
+TEST(Expr, DivisionByZeroThrows) {
+  auto e = divide(param("A"), param("B"));
+  EXPECT_THROW((void)e->eval(env({{"A", 1}, {"B", 0}})), Error);
+}
+
+TEST(Expr, CollectParams) {
+  auto e = add(mul(param("N"), param("M")), param("N"));
+  std::vector<std::string> names;
+  e->collectParams(names);
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "N");
+  EXPECT_EQ(names[1], "M");
+}
+
+TEST(Expr, Printing) {
+  auto e = add(mul(param("N"), constant(2)), constant(1));
+  EXPECT_EQ(e->str(), "N*2 + 1");
+  auto f = mul(add(param("N"), constant(1)), param("M"));
+  EXPECT_EQ(f->str(), "(N + 1)*M");
+}
+
+TEST(ExprParser, Numbers) {
+  EXPECT_DOUBLE_EQ(parseExpr("42")->eval({}), 42.0);
+  EXPECT_DOUBLE_EQ(parseExpr("3.25")->eval({}), 3.25);
+  EXPECT_DOUBLE_EQ(parseExpr("1e3")->eval({}), 1000.0);
+  EXPECT_DOUBLE_EQ(parseExpr("2.5e-2")->eval({}), 0.025);
+}
+
+TEST(ExprParser, Precedence) {
+  EXPECT_DOUBLE_EQ(parseExpr("2 + 3 * 4")->eval({}), 14.0);
+  EXPECT_DOUBLE_EQ(parseExpr("(2 + 3) * 4")->eval({}), 20.0);
+  EXPECT_DOUBLE_EQ(parseExpr("10 - 4 - 3")->eval({}), 3.0);
+  EXPECT_DOUBLE_EQ(parseExpr("-2 * 3")->eval({}), -6.0);
+}
+
+TEST(ExprParser, Params) {
+  auto e = parseExpr("NX*NY - 1");
+  EXPECT_DOUBLE_EQ(e->eval(env({{"NX", 4}, {"NY", 5}})), 19.0);
+}
+
+TEST(ExprParser, Functions) {
+  EXPECT_DOUBLE_EQ(parseExpr("min(3, 5)")->eval({}), 3.0);
+  EXPECT_DOUBLE_EQ(parseExpr("max(3, 5)")->eval({}), 5.0);
+  EXPECT_DOUBLE_EQ(parseExpr("ceildiv(10, 3)")->eval({}), 4.0);
+  EXPECT_DOUBLE_EQ(parseExpr("log2(16)")->eval({}), 4.0);
+}
+
+TEST(ExprParser, RoundTrip) {
+  const char* cases[] = {"N*2 + 1", "min(N, M)", "ceildiv(N, 32)*M", "N % 4", "N/2 - M"};
+  ParamEnv e = env({{"N", 37}, {"M", 5}});
+  for (const char* c : cases) {
+    auto first = parseExpr(c);
+    auto second = parseExpr(first->str());
+    EXPECT_DOUBLE_EQ(first->eval(e), second->eval(e)) << c;
+  }
+}
+
+TEST(ExprParser, Errors) {
+  EXPECT_THROW(parseExpr(""), Error);
+  EXPECT_THROW(parseExpr("1 +"), Error);
+  EXPECT_THROW(parseExpr("(1"), Error);
+  EXPECT_THROW(parseExpr("foo(1)"), Error);
+  EXPECT_THROW(parseExpr("min(1)"), Error);
+  EXPECT_THROW(parseExpr("1 @ 2"), Error);
+  EXPECT_THROW(parseExpr("1 2"), Error);
+}
+
+}  // namespace
+}  // namespace skope

@@ -1,0 +1,324 @@
+// Tests for the post-reproduction extensions: the argument parser, the
+// conceptual machine models, the `comm` skeleton statement, and the
+// multi-node strong-scaling projection (paper §VIII future work).
+#include <gtest/gtest.h>
+
+#include "bet/builder.h"
+#include "core/framework.h"
+#include "roofline/multinode.h"
+#include "skeleton/parser.h"
+#include "skeleton/printer.h"
+#include "support/argparse.h"
+
+namespace skope {
+namespace {
+
+// ---------------- ArgParser ----------------
+
+bool parseArgs(ArgParser& p, std::initializer_list<const char*> argv) {
+  std::vector<const char*> full = {"prog"};
+  full.insert(full.end(), argv.begin(), argv.end());
+  return p.parse(static_cast<int>(full.size()), full.data());
+}
+
+TEST(ArgParser, FlagsAndDefaults) {
+  ArgParser p("prog", "test");
+  p.addFlag("machine", "target", "bgq");
+  p.addFlag("coverage", "cov", "0.9");
+  ASSERT_TRUE(parseArgs(p, {"--machine=xeon"}));
+  EXPECT_EQ(p.get("machine"), "xeon");
+  EXPECT_DOUBLE_EQ(p.getDouble("coverage"), 0.9);
+}
+
+TEST(ArgParser, SpaceSeparatedValue) {
+  ArgParser p("prog", "test");
+  p.addFlag("name", "n");
+  ASSERT_TRUE(parseArgs(p, {"--name", "value"}));
+  EXPECT_EQ(p.get("name"), "value");
+}
+
+TEST(ArgParser, BooleanFlags) {
+  ArgParser p("prog", "test");
+  p.addBool("verbose", "talk");
+  ASSERT_TRUE(parseArgs(p, {"--verbose"}));
+  EXPECT_TRUE(p.getBool("verbose"));
+  ArgParser q("prog", "test");
+  q.addBool("verbose", "talk");
+  ASSERT_TRUE(parseArgs(q, {}));
+  EXPECT_FALSE(q.getBool("verbose"));
+}
+
+TEST(ArgParser, Positionals) {
+  ArgParser p("prog", "test");
+  p.addPositional("input", "the input");
+  p.addFlag("machine", "m", "bgq");
+  ASSERT_TRUE(parseArgs(p, {"file.mc", "--machine=arm"}));
+  EXPECT_EQ(p.get("input"), "file.mc");
+  EXPECT_EQ(p.get("machine"), "arm");
+}
+
+TEST(ArgParser, Errors) {
+  {
+    ArgParser p("prog", "test");
+    EXPECT_THROW(parseArgs(p, {"--nope"}), Error);
+  }
+  {
+    ArgParser p("prog", "test");
+    p.addFlag("need", "n", "", true);
+    EXPECT_THROW(parseArgs(p, {}), Error);
+  }
+  {
+    ArgParser p("prog", "test");
+    p.addPositional("input", "i");
+    EXPECT_THROW(parseArgs(p, {}), Error);
+  }
+  {
+    ArgParser p("prog", "test");
+    p.addFlag("num", "n", "1");
+    ASSERT_TRUE(parseArgs(p, {"--num=abc"}));
+    EXPECT_THROW((void)p.getDouble("num"), Error);
+  }
+  {
+    ArgParser p("prog", "test");
+    p.addBool("b", "bb");
+    EXPECT_THROW(parseArgs(p, {"--b=1"}), Error);
+  }
+}
+
+TEST(ArgParser, HelpShortCircuits) {
+  ArgParser p("prog", "description text");
+  p.addFlag("x", "an x flag", "1");
+  EXPECT_FALSE(parseArgs(p, {"--help"}));
+  EXPECT_NE(p.helpText().find("description text"), std::string::npos);
+  EXPECT_NE(p.helpText().find("--x"), std::string::npos);
+}
+
+// ---------------- core helpers used by the CLI ----------------
+
+TEST(CoreHelpers, MachineByName) {
+  EXPECT_EQ(core::machineByName("bgq").name, "BG/Q");
+  EXPECT_EQ(core::machineByName("xeon").name, "Xeon E5-2420");
+  EXPECT_EQ(core::machineByName("knl").name, "Manycore-KNL");
+  EXPECT_EQ(core::machineByName("arm").name, "ARM-server");
+  EXPECT_THROW(core::machineByName("vax"), Error);
+}
+
+TEST(CoreHelpers, ParseHintText) {
+  auto p = core::parseHintText(R"(
+# SORD production-ish input
+NX = 40      # grid
+NY = 40
+NZ = 40
+NT = 4
+)");
+  EXPECT_EQ(p.size(), 4u);
+  EXPECT_DOUBLE_EQ(p.at("NX"), 40);
+  EXPECT_DOUBLE_EQ(p.at("NT"), 4);
+  EXPECT_THROW(core::parseHintText("NX"), Error);
+  EXPECT_THROW(core::parseHintText("NX = forty"), Error);
+  EXPECT_TRUE(core::parseHintText("# only comments\n\n").empty());
+  EXPECT_THROW(core::loadHintFile("/no/such/file.hints"), Error);
+}
+
+TEST(CoreHelpers, ParseParamSpec) {
+  auto p = core::parseParamSpec("N=64, STEPS = 10,ALPHA=0.5");
+  EXPECT_DOUBLE_EQ(p.at("N"), 64);
+  EXPECT_DOUBLE_EQ(p.at("STEPS"), 10);
+  EXPECT_DOUBLE_EQ(p.at("ALPHA"), 0.5);
+  EXPECT_TRUE(core::parseParamSpec("").empty());
+  EXPECT_TRUE(core::parseParamSpec("  ").empty());
+  EXPECT_THROW(core::parseParamSpec("N"), Error);
+  EXPECT_THROW(core::parseParamSpec("N=abc"), Error);
+  EXPECT_THROW(core::parseParamSpec("=5"), Error);
+}
+
+// ---------------- conceptual machines ----------------
+
+TEST(Machines, ConceptualModelsWellFormed) {
+  for (const auto& m : {MachineModel::manycoreKnl(), MachineModel::armServer()}) {
+    EXPECT_GT(m.freqGHz, 0);
+    EXPECT_GT(m.cores, 0);
+    EXPECT_GT(m.memBandwidthGBs, 0);
+    EXPECT_GT(m.network.linkBandwidthGBs, 0);
+    EXPECT_GT(m.l1.sizeBytes, 0u);
+  }
+  EXPECT_GT(MachineModel::manycoreKnl().memBandwidthGBs,
+            MachineModel::bgq().memBandwidthGBs * 5);  // HBM
+}
+
+// ---------------- comm statements ----------------
+
+TEST(Comm, ParsesPrintsAndModels) {
+  const char* text = R"(
+params N, NODES;
+
+def main() @1 {
+  loop @2 iter=10 {
+    comp @3 flops=100 loads=10;
+    comm @4 bytes=N*8/NODES;
+  }
+}
+)";
+  skel::SkeletonProgram sk = skel::parseSkeleton(text);
+  std::string printed = skel::printSkeleton(sk);
+  EXPECT_NE(printed.find("comm @4 bytes="), std::string::npos);
+  // round trip
+  EXPECT_EQ(skel::printSkeleton(skel::parseSkeleton(printed)), printed);
+
+  bet::Bet b = bet::buildBet(sk, ParamEnv({{"N", 4096}, {"NODES", 8}}));
+  const bet::BetNode* comm = nullptr;
+  b.root->visit([&](const bet::BetNode& n) {
+    if (n.kind == bet::BetKind::Comm) comm = &n;
+  });
+  ASSERT_NE(comm, nullptr);
+  EXPECT_DOUBLE_EQ(comm->commBytes, 4096.0 * 8 / 8);
+  EXPECT_TRUE(comm->isBlock());
+
+  roofline::Roofline model(MachineModel::bgq());
+  auto result = roofline::estimate(b, model);
+  ASSERT_EQ(result.blocks.count(4), 1u);
+  const auto& bc = result.blocks.at(4);
+  EXPECT_TRUE(bc.isComm);
+  EXPECT_EQ(bc.label, "comm@4");
+  EXPECT_DOUBLE_EQ(bc.enr, 10.0);
+  // postal model: 10 messages x (alpha + bytes/beta)
+  const auto& net = MachineModel::bgq().network;
+  double expected = 10.0 * (net.linkLatencySec + 4096.0 / (net.linkBandwidthGBs * 1e9));
+  EXPECT_NEAR(bc.seconds, expected, expected * 1e-9);
+}
+
+TEST(Comm, ZeroBytesStillLatencyBound) {
+  skel::SkeletonProgram sk = skel::parseSkeleton(
+      "def main() @1 { comm @2 bytes=0; }");
+  bet::Bet b = bet::buildBet(sk, ParamEnv{});
+  roofline::Roofline model(MachineModel::bgq());
+  auto result = roofline::estimate(b, model);
+  EXPECT_NEAR(result.blocks.at(2).seconds, MachineModel::bgq().network.linkLatencySec,
+              1e-12);
+}
+
+// ---------------- parallel loops (degree of parallelism) ----------------
+
+TEST(ParallelLoop, ParsedPrintedAndCarriedToBet) {
+  const char* text = "def main() @1 { loop parallel @2 iter=1000 { comp @3 flops=8; } }";
+  skel::SkeletonProgram sk = skel::parseSkeleton(text);
+  EXPECT_TRUE(sk.defs[0]->kids[0]->parallel);
+  std::string printed = skel::printSkeleton(sk);
+  EXPECT_NE(printed.find("loop parallel"), std::string::npos);
+  EXPECT_EQ(skel::printSkeleton(skel::parseSkeleton(printed)), printed);
+
+  bet::Bet b = bet::buildBet(sk, ParamEnv{});
+  const bet::BetNode* loop = nullptr;
+  b.root->visit([&](const bet::BetNode& n) {
+    if (n.kind == bet::BetKind::Loop) loop = &n;
+  });
+  ASSERT_NE(loop, nullptr);
+  EXPECT_TRUE(loop->parallel);
+}
+
+TEST(ParallelLoop, SpreadsAcrossCores) {
+  const char* serial = "def main() @1 { loop @2 iter=1000 { comp @3 flops=64 loads=4; } }";
+  const char* par = "def main() @1 { loop parallel @2 iter=1000 { comp @3 flops=64 loads=4; } }";
+  roofline::Roofline model(MachineModel::bgq());
+
+  bet::Bet bs = bet::buildBet(skel::parseSkeleton(serial), ParamEnv{});
+  bet::Bet bp = bet::buildBet(skel::parseSkeleton(par), ParamEnv{});
+  double ts = roofline::estimate(bs, model).blocks.at(2).seconds;
+  double tp = roofline::estimate(bp, model).blocks.at(2).seconds;
+
+  // a compute-bound parallel loop approaches cores-x speedup
+  EXPECT_GT(ts / tp, MachineModel::bgq().cores * 0.5);
+  EXPECT_LE(ts / tp, MachineModel::bgq().cores * 1.01);
+}
+
+TEST(ParallelLoop, SpeedupCappedByTripCount) {
+  const char* par = "def main() @1 { loop parallel @2 iter=3 { comp @3 flops=64; } }";
+  const char* serial = "def main() @1 { loop @2 iter=3 { comp @3 flops=64; } }";
+  roofline::Roofline model(MachineModel::bgq());
+  bet::Bet bp = bet::buildBet(skel::parseSkeleton(par), ParamEnv{});
+  bet::Bet bs = bet::buildBet(skel::parseSkeleton(serial), ParamEnv{});
+  double tp = roofline::estimate(bp, model).blocks.at(2).seconds;
+  double ts = roofline::estimate(bs, model).blocks.at(2).seconds;
+  // only 3 iterations: at most 3x, regardless of 16 cores
+  EXPECT_NEAR(ts / tp, 3.0, 0.2);
+}
+
+TEST(ParallelLoop, BandwidthBoundLoopScalesSublinearly) {
+  // almost no flops, heavy traffic: the DRAM bandwidth floor limits scaling
+  const char* par =
+      "def main() @1 { loop parallel @2 iter=10000 { comp @3 flops=1 loads=64 stores=64; } }";
+  const char* serial =
+      "def main() @1 { loop @2 iter=10000 { comp @3 flops=1 loads=64 stores=64; } }";
+  roofline::Roofline model(MachineModel::bgq());
+  bet::Bet bp = bet::buildBet(skel::parseSkeleton(par), ParamEnv{});
+  bet::Bet bs = bet::buildBet(skel::parseSkeleton(serial), ParamEnv{});
+  double speedup = roofline::estimate(bs, model).blocks.at(2).seconds /
+                   roofline::estimate(bp, model).blocks.at(2).seconds;
+  EXPECT_GT(speedup, 1.0);
+  // still bounded by cores even for the latency term
+  EXPECT_LE(speedup, MachineModel::bgq().cores + 1e-9);
+}
+
+// ---------------- multi-node projection ----------------
+
+TEST(MultiNode, PerfectScalingWithoutComm) {
+  roofline::ModelResult single;
+  single.totalSeconds = 8.0;
+  roofline::HaloDecomposition halo;  // totalCells = 0: no communication
+  auto scaling = roofline::projectStrongScaling(single, MachineModel::bgq(), halo,
+                                                {1, 2, 4, 8});
+  ASSERT_EQ(scaling.size(), 4u);
+  EXPECT_DOUBLE_EQ(scaling[3].totalSeconds, 1.0);
+  EXPECT_DOUBLE_EQ(scaling[3].speedup, 8.0);
+  EXPECT_DOUBLE_EQ(scaling[3].parallelEfficiency, 1.0);
+  EXPECT_EQ(roofline::commDominanceCrossover(scaling), -1);
+}
+
+TEST(MultiNode, CommErodesEfficiency) {
+  roofline::ModelResult single;
+  single.totalSeconds = 0.05;
+  roofline::HaloDecomposition halo;
+  halo.totalCells = 64000;
+  halo.bytesPerCell = 8;
+  halo.fields = 4;
+  halo.stepsPerRun = 4;
+  std::vector<int> counts = {1, 2, 4, 8, 16, 32, 64, 128, 256, 512};
+  auto scaling = roofline::projectStrongScaling(single, MachineModel::bgq(), halo, counts);
+
+  // efficiency is monotonically non-increasing
+  for (size_t i = 1; i < scaling.size(); ++i) {
+    EXPECT_LE(scaling[i].parallelEfficiency, scaling[i - 1].parallelEfficiency + 1e-12);
+  }
+  // and communication eventually dominates
+  EXPECT_GT(roofline::commDominanceCrossover(scaling), 1);
+  // per-node comm shrinks with nodes (smaller faces) but slower than compute
+  EXPECT_LT(scaling.back().commSeconds, scaling[1].commSeconds);
+  EXPECT_GT(scaling.back().commFraction, scaling[1].commFraction);
+}
+
+TEST(MultiNode, FasterNetworkDelaysCrossover) {
+  roofline::ModelResult single;
+  single.totalSeconds = 0.05;
+  roofline::HaloDecomposition halo;
+  halo.totalCells = 64000;
+  halo.fields = 4;
+  halo.stepsPerRun = 4;
+  std::vector<int> counts;
+  for (int n = 1; n <= 4096; n *= 2) counts.push_back(n);
+
+  MachineModel slow = MachineModel::bgq();
+  MachineModel fast = MachineModel::bgq();
+  fast.network.linkBandwidthGBs *= 10;
+  fast.network.linkLatencySec /= 10;
+
+  int slowCross = roofline::commDominanceCrossover(
+      roofline::projectStrongScaling(single, slow, halo, counts));
+  int fastCross = roofline::commDominanceCrossover(
+      roofline::projectStrongScaling(single, fast, halo, counts));
+  ASSERT_GT(slowCross, 0);
+  // the faster network pushes the crossover out (or past the sweep)
+  EXPECT_TRUE(fastCross == -1 || fastCross > slowCross);
+}
+
+}  // namespace
+}  // namespace skope

@@ -1,0 +1,117 @@
+// Unit tests for hot-path extraction (§V-C).
+#include <gtest/gtest.h>
+
+#include "minic/builtins.h"
+#include "bet/builder.h"
+#include "hotpath/hotpath.h"
+#include "skeleton/parser.h"
+
+namespace skope::hotpath {
+namespace {
+
+bet::Bet buildBetFrom(const char* sk, std::map<std::string, double> input = {}) {
+  return bet::buildBet(skel::parseSkeleton(sk), ParamEnv(std::move(input)));
+}
+
+hotspot::Selection selectionOf(std::initializer_list<uint32_t> origins) {
+  hotspot::Selection s;
+  for (uint32_t o : origins) s.spots.push_back({o, "", 0, 0, 0});
+  return s;
+}
+
+constexpr const char* kTwoPathSkeleton = R"(
+  params N;
+  def main() @1 {
+    loop @2 iter=N {
+      call work(N);
+      comp @3 flops=1;
+    }
+    loop @4 iter=N {
+      comp @5 flops=100 loads=10;
+    }
+    loop @6 iter=N {
+      comp @7 iops=1;
+    }
+  }
+  def work(n) @10 {
+    loop @11 iter=n { comp @12 flops=50; }
+  }
+)";
+
+TEST(HotPath, BackTraceReachesRoot) {
+  bet::Bet b = buildBetFrom(kTwoPathSkeleton, {{"N", 8}});
+  HotPath path = extractHotPath(b, selectionOf({11}));
+  ASSERT_NE(path.root, nullptr);
+  EXPECT_EQ(path.root->node->kind, bet::BetKind::Func);  // main
+  EXPECT_EQ(path.hotSpotInstances, 1u);
+  // chain: main -> loop@2 -> func work -> loop@11
+  const HotPathNode* n = path.root.get();
+  ASSERT_EQ(n->kids.size(), 1u);
+  EXPECT_EQ(n->kids[0]->node->origin, 2u);
+  ASSERT_EQ(n->kids[0]->kids.size(), 1u);
+  EXPECT_EQ(n->kids[0]->kids[0]->node->kind, bet::BetKind::Func);
+  ASSERT_EQ(n->kids[0]->kids[0]->kids.size(), 1u);
+  EXPECT_TRUE(n->kids[0]->kids[0]->kids[0]->isHotSpot);
+}
+
+TEST(HotPath, MergeSharesPrefixes) {
+  bet::Bet b = buildBetFrom(kTwoPathSkeleton, {{"N", 8}});
+  HotPath both = extractHotPath(b, selectionOf({11, 4}));
+  EXPECT_EQ(both.hotSpotInstances, 2u);
+  // root has two children: loop@2 (leading to work) and loop@4 itself
+  ASSERT_EQ(both.root->kids.size(), 2u);
+  EXPECT_EQ(both.root->kids[0]->node->origin, 2u);
+  EXPECT_EQ(both.root->kids[1]->node->origin, 4u);
+  EXPECT_TRUE(both.root->kids[1]->isHotSpot);
+  // loop@6 is not on any hot path
+  for (const auto& k : both.root->kids) EXPECT_NE(k->node->origin, 6u);
+}
+
+TEST(HotPath, ExcludesColdSiblings) {
+  bet::Bet b = buildBetFrom(kTwoPathSkeleton, {{"N", 8}});
+  HotPath path = extractHotPath(b, selectionOf({4}));
+  EXPECT_LT(path.size(), b.size());
+  ASSERT_EQ(path.root->kids.size(), 1u);
+  EXPECT_EQ(path.root->kids[0]->node->origin, 4u);
+}
+
+TEST(HotPath, MultipleInstancesOfSameSpot) {
+  const char* sk = R"(
+    def main() @1 { call f(10); call f(20); }
+    def f(n) @5 { loop @6 iter=n { comp @7 flops=1; } }
+  )";
+  bet::Bet b = buildBetFrom(sk);
+  HotPath path = extractHotPath(b, selectionOf({6}));
+  EXPECT_EQ(path.hotSpotInstances, 2u);  // both mounts back-traced
+  EXPECT_EQ(path.root->kids.size(), 2u);
+}
+
+TEST(HotPath, LibCallSpots) {
+  const char* sk = "def main() @1 { loop @2 iter=5 { libcall exp; } }";
+  bet::Bet b = buildBetFrom(sk);
+  uint32_t expOrigin = vm::libRegion(minic::findBuiltin("exp"));
+  HotPath path = extractHotPath(b, selectionOf({expOrigin}));
+  EXPECT_EQ(path.hotSpotInstances, 1u);
+  ASSERT_EQ(path.root->kids.size(), 1u);
+  EXPECT_EQ(path.root->kids[0]->node->origin, 2u);
+}
+
+TEST(HotPath, EmptySelection) {
+  bet::Bet b = buildBetFrom(kTwoPathSkeleton, {{"N", 2}});
+  HotPath path = extractHotPath(b, selectionOf({}));
+  EXPECT_EQ(path.root, nullptr);
+  EXPECT_EQ(printHotPath(path), "(empty hot path)\n");
+}
+
+TEST(HotPath, PrintAnnotations) {
+  bet::Bet b = buildBetFrom(kTwoPathSkeleton, {{"N", 8}});
+  HotPath path = extractHotPath(b, selectionOf({11}));
+  std::string text = printHotPath(path);
+  EXPECT_NE(text.find("func main"), std::string::npos);
+  EXPECT_NE(text.find("* "), std::string::npos);      // hot-spot marker
+  EXPECT_NE(text.find("x8"), std::string::npos);      // loop iteration count
+  EXPECT_NE(text.find("ctx{"), std::string::npos);    // context values shown
+}
+
+}  // namespace
+}  // namespace skope::hotpath

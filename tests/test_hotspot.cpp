@@ -1,0 +1,150 @@
+// Unit tests for hot-spot selection (§V-B) and selection quality (§VI).
+#include <gtest/gtest.h>
+
+#include "hotspot/quality.h"
+
+namespace skope::hotspot {
+namespace {
+
+Ranking makeRanking(std::initializer_list<RankedBlock> blocks) { return Ranking(blocks); }
+
+TEST(Selection, GreedyPicksTopUntilCoverage) {
+  Ranking r = makeRanking({
+      {1, "a", 5.0, 0.50, 100},
+      {2, "b", 3.0, 0.30, 100},
+      {3, "c", 1.5, 0.15, 100},
+      {4, "d", 0.5, 0.05, 100},
+  });
+  Selection s = selectHotSpots(r, 4000, {0.90, 0.10});  // budget = 400 instrs
+  ASSERT_EQ(s.spots.size(), 3u);
+  EXPECT_TRUE(s.contains(1));
+  EXPECT_TRUE(s.contains(2));
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_FALSE(s.contains(4));  // coverage already >= 0.90
+  EXPECT_NEAR(s.coverage, 0.95, 1e-12);
+  EXPECT_TRUE(s.coverageMet);
+}
+
+TEST(Selection, LeannessTakesPrecedence) {
+  Ranking r = makeRanking({
+      {1, "huge", 5.0, 0.50, 900},   // exceeds the whole budget
+      {2, "small", 3.0, 0.30, 50},
+      {3, "tiny", 1.0, 0.10, 30},
+  });
+  Selection s = selectHotSpots(r, 1000, {0.90, 0.10});  // budget = 100
+  EXPECT_FALSE(s.contains(1));
+  EXPECT_TRUE(s.contains(2));
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_FALSE(s.coverageMet);           // 0.40 < 0.90
+  EXPECT_LE(s.leanness, 0.10 + 1e-12);   // budget respected
+}
+
+TEST(Selection, SkipsBigBlockButKeepsSmallerOnes) {
+  Ranking r = makeRanking({
+      {1, "a", 5.0, 0.40, 60},
+      {2, "b", 4.0, 0.35, 60},   // would blow the budget after a
+      {3, "c", 3.0, 0.20, 30},   // but c still fits
+  });
+  Selection s = selectHotSpots(r, 1000, {0.90, 0.10});  // budget = 100
+  EXPECT_TRUE(s.contains(1));
+  EXPECT_FALSE(s.contains(2));
+  EXPECT_TRUE(s.contains(3));
+}
+
+TEST(Selection, EmptyRanking) {
+  Selection s = selectHotSpots({}, 1000, {});
+  EXPECT_TRUE(s.spots.empty());
+  EXPECT_DOUBLE_EQ(s.coverage, 0);
+  EXPECT_FALSE(s.coverageMet);
+}
+
+TEST(Selection, ZeroTotalInstrs) {
+  Ranking r = makeRanking({{1, "a", 1.0, 1.0, 10}});
+  Selection s = selectHotSpots(r, 0, {});
+  EXPECT_TRUE(s.spots.empty());  // no budget at all
+}
+
+TEST(CoverageCurve, CumulativeUnderOtherFractions) {
+  Ranking order = makeRanking({{1, "a", 0, 0.5, 0}, {2, "b", 0, 0.3, 0}, {3, "c", 0, 0.2, 0}});
+  std::map<uint32_t, double> measured{{1, 0.4}, {2, 0.1}, {3, 0.5}};
+  auto curve = coverageCurve(order, measured, 3);
+  ASSERT_EQ(curve.size(), 3u);
+  EXPECT_NEAR(curve[0], 0.4, 1e-12);
+  EXPECT_NEAR(curve[1], 0.5, 1e-12);
+  EXPECT_NEAR(curve[2], 1.0, 1e-12);
+}
+
+TEST(CoverageCurve, MissingOriginsContributeZero) {
+  Ranking order = makeRanking({{9, "x", 0, 0.5, 0}});
+  auto curve = coverageCurve(order, {{1, 0.7}}, 1);
+  EXPECT_DOUBLE_EQ(curve[0], 0.0);
+}
+
+TEST(TopNOverlap, CountsCommonOrigins) {
+  Ranking a = makeRanking({{1, "", 0, 0, 0}, {2, "", 0, 0, 0}, {3, "", 0, 0, 0}});
+  Ranking b = makeRanking({{3, "", 0, 0, 0}, {4, "", 0, 0, 0}, {1, "", 0, 0, 0}});
+  EXPECT_EQ(topNOverlap(a, b, 3), 2u);
+  EXPECT_EQ(topNOverlap(a, b, 1), 0u);
+  EXPECT_EQ(topNOverlap(a, a, 3), 3u);
+}
+
+TEST(Quality, IdenticalSelectionsAreperfect) {
+  Ranking r = makeRanking({{1, "a", 5, 0.6, 10}, {2, "b", 3, 0.4, 10}});
+  Selection s = selectHotSpots(r, 1000, {0.9, 0.5});
+  auto measured = fractionsByOrigin(r);
+  QualityResult q = selectionQuality(s, s, measured);
+  EXPECT_DOUBLE_EQ(q.quality, 1.0);
+}
+
+TEST(Quality, RatioOfMeasuredCoverages) {
+  Selection model;
+  model.spots = {{1, "a", 0, 0, 0}};
+  Selection prof;
+  prof.spots = {{2, "b", 0, 0, 0}};
+  std::map<uint32_t, double> measured{{1, 0.4}, {2, 0.8}};
+  QualityResult q = selectionQuality(model, prof, measured);
+  EXPECT_DOUBLE_EQ(q.modelCoverage, 0.4);
+  EXPECT_DOUBLE_EQ(q.profCoverage, 0.8);
+  EXPECT_DOUBLE_EQ(q.quality, 0.5);
+}
+
+TEST(Quality, BothEmptyIsPerfect) {
+  QualityResult q = selectionQuality({}, {}, {});
+  EXPECT_DOUBLE_EQ(q.quality, 1.0);
+}
+
+TEST(Quality, ModelBetterThanProfStillPenalized) {
+  // similarity is symmetric: over-covering relative to prof also counts
+  Selection model;
+  model.spots = {{1, "", 0, 0, 0}, {2, "", 0, 0, 0}};
+  Selection prof;
+  prof.spots = {{1, "", 0, 0, 0}};
+  std::map<uint32_t, double> measured{{1, 0.5}, {2, 0.4}};
+  QualityResult q = selectionQuality(model, prof, measured);
+  EXPECT_NEAR(q.quality, 0.5 / 0.9, 1e-12);
+}
+
+// Property sweep: for any fraction split the greedy selection never exceeds
+// the leanness budget and is monotone in the budget.
+class SelectionProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(SelectionProperty, BudgetRespectedAndMonotone) {
+  double lean = GetParam();
+  Ranking r;
+  for (uint32_t i = 0; i < 20; ++i) {
+    r.push_back({i + 1, "b" + std::to_string(i), 20.0 - i, (20.0 - i) / 210.0,
+                 static_cast<size_t>(10 + i * 7)});
+  }
+  const size_t total = 2000;
+  Selection s = selectHotSpots(r, total, {0.9, lean});
+  EXPECT_LE(static_cast<double>(s.instrs), lean * total + 1e-9);
+  Selection bigger = selectHotSpots(r, total, {0.99, std::min(1.0, lean * 2)});
+  EXPECT_GE(bigger.spots.size(), s.spots.size());
+  EXPECT_GE(bigger.coverage + 1e-12, s.coverage);
+}
+
+INSTANTIATE_TEST_SUITE_P(LeannessSweep, SelectionProperty,
+                         ::testing::Values(0.05, 0.1, 0.2, 0.35, 0.5, 0.8));
+
+}  // namespace
+}  // namespace skope::hotspot

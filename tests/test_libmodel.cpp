@@ -1,0 +1,70 @@
+// Unit tests for semi-analytic library function modeling (§IV-C).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "libmodel/libmodel.h"
+#include "minic/builtins.h"
+
+namespace skope::libmodel {
+namespace {
+
+TEST(LibModel, ProfilesAllKernels) {
+  LibProfile p = profileLibraryFunctions(32, 7);
+  for (const char* name : {"exp", "log", "sqrt", "sin", "cos", "pow", "rand"}) {
+    int bi = minic::findBuiltin(name);
+    ASSERT_GE(bi, 0) << name;
+    EXPECT_TRUE(p.has(bi)) << name;
+    EXPECT_EQ(p.samples.at(bi), 32u) << name;
+  }
+}
+
+TEST(LibModel, MixesAreNonTrivial) {
+  LibProfile p = profileLibraryFunctions(32, 7);
+  const auto& exp = p.mixes.at(minic::findBuiltin("exp"));
+  // polynomial core: a couple dozen flops per call on average
+  EXPECT_GT(exp.totalFlops(), 8.0);
+  EXPECT_GT(exp.iops, 2.0);
+  const auto& rand = p.mixes.at(minic::findBuiltin("rand"));
+  EXPECT_GT(rand.iops, 2.0);      // LCG is integer-dominated
+  EXPECT_LT(rand.totalFlops(), exp.totalFlops());
+}
+
+TEST(LibModel, PowIncludesExpAndLog) {
+  LibProfile p = profileLibraryFunctions(32, 7);
+  double powFlops = p.mixes.at(minic::findBuiltin("pow")).totalFlops();
+  double expFlops = p.mixes.at(minic::findBuiltin("exp")).totalFlops();
+  double logFlops = p.mixes.at(minic::findBuiltin("log")).totalFlops();
+  EXPECT_GT(powFlops, expFlops);
+  EXPECT_GT(powFlops, logFlops);
+}
+
+TEST(LibModel, DeterministicForSeed) {
+  LibProfile a = profileLibraryFunctions(16, 3);
+  LibProfile b = profileLibraryFunctions(16, 3);
+  int bi = minic::findBuiltin("exp");
+  EXPECT_DOUBLE_EQ(a.mixes.at(bi).flops, b.mixes.at(bi).flops);
+  EXPECT_DOUBLE_EQ(a.mixes.at(bi).iops, b.mixes.at(bi).iops);
+}
+
+TEST(LibModel, AveragingConvergesOverSamples) {
+  // exp's scaling loop is input-dependent; with more samples the mean mix
+  // should stabilize (§IV-C's averaging argument).
+  LibProfile small1 = profileLibraryFunctions(8, 1);
+  LibProfile small2 = profileLibraryFunctions(8, 99);
+  LibProfile big1 = profileLibraryFunctions(512, 1);
+  LibProfile big2 = profileLibraryFunctions(512, 99);
+  int bi = minic::findBuiltin("exp");
+  double smallSpread = std::fabs(small1.mixes.at(bi).totalFlops() -
+                                 small2.mixes.at(bi).totalFlops());
+  double bigSpread = std::fabs(big1.mixes.at(bi).totalFlops() -
+                               big2.mixes.at(bi).totalFlops());
+  EXPECT_LE(bigSpread, smallSpread + 1e-9);
+}
+
+TEST(LibModel, ReferenceSourceExposed) {
+  EXPECT_NE(referenceKernelSource().find("kernel_exp"), std::string_view::npos);
+}
+
+}  // namespace
+}  // namespace skope::libmodel

@@ -1,0 +1,100 @@
+// Unit tests for machine descriptions and the cache model.
+#include <gtest/gtest.h>
+
+#include "machine/cache.h"
+#include "support/diagnostics.h"
+#include "machine/machine.h"
+
+namespace skope {
+namespace {
+
+TEST(MachineModel, BgqMatchesPaperNumbers) {
+  MachineModel m = MachineModel::bgq();
+  EXPECT_DOUBLE_EQ(m.freqGHz, 1.6);
+  EXPECT_EQ(m.cores, 16);
+  EXPECT_DOUBLE_EQ(m.llc.latencyCycles, 51);   // §VI: measured 51 cycles
+  EXPECT_DOUBLE_EQ(m.memLatencyCycles, 180);   // §VI: measured 180 cycles
+  EXPECT_EQ(m.l1.sizeBytes, 16u * 1024);
+  EXPECT_EQ(m.llc.sizeBytes, 32ull * 1024 * 1024);
+}
+
+TEST(MachineModel, XeonMatchesPaperNumbers) {
+  MachineModel m = MachineModel::xeonE5_2420();
+  EXPECT_DOUBLE_EQ(m.freqGHz, 1.9);
+  EXPECT_EQ(m.cores, 12);
+  EXPECT_GT(m.autoVecQuality, MachineModel::bgq().autoVecQuality);
+}
+
+TEST(MachineModel, CyclesToSeconds) {
+  MachineModel m = MachineModel::bgq();
+  EXPECT_DOUBLE_EQ(m.cyclesToSeconds(1.6e9), 1.0);
+  EXPECT_DOUBLE_EQ(m.peakGflops(), 1.6 * 8);
+}
+
+CacheLevelDesc smallCache() { return {1024, 64, 2, 3}; }  // 8 sets x 2 ways
+
+TEST(Cache, HitAfterMiss) {
+  Cache c(smallCache());
+  EXPECT_FALSE(c.access(0x1000));
+  EXPECT_TRUE(c.access(0x1000));
+  EXPECT_TRUE(c.access(0x1038));  // same 64B line
+  EXPECT_EQ(c.accesses(), 3u);
+  EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(Cache, LruEviction) {
+  Cache c(smallCache());
+  // three lines mapping to the same set (stride = numSets * lineBytes = 512)
+  EXPECT_FALSE(c.access(0x0000));
+  EXPECT_FALSE(c.access(0x0200));
+  EXPECT_TRUE(c.access(0x0000));   // touch A so B is LRU
+  EXPECT_FALSE(c.access(0x0400));  // evicts B
+  EXPECT_TRUE(c.access(0x0000));   // A still resident
+  EXPECT_FALSE(c.access(0x0200));  // B was evicted
+}
+
+TEST(Cache, ResetClearsState) {
+  Cache c(smallCache());
+  c.access(0x1000);
+  c.reset();
+  EXPECT_EQ(c.accesses(), 0u);
+  EXPECT_FALSE(c.access(0x1000));
+}
+
+TEST(Cache, MissRateOnStreaming) {
+  Cache c(smallCache());
+  // streaming through 64 KB touches each 64B line once: all misses
+  for (uint64_t a = 0; a < 64 * 1024; a += 64) c.access(a);
+  EXPECT_DOUBLE_EQ(c.missRate(), 1.0);
+  // re-walking a working set bigger than the cache still misses (LRU)
+  for (uint64_t a = 0; a < 64 * 1024; a += 64) c.access(a);
+  EXPECT_DOUBLE_EQ(c.missRate(), 1.0);
+}
+
+TEST(Cache, SmallWorkingSetStaysResident) {
+  Cache c(smallCache());
+  for (int round = 0; round < 10; ++round) {
+    for (uint64_t a = 0; a < 512; a += 64) c.access(a);
+  }
+  // 8 lines fit in a 16-line cache: only the 8 cold misses
+  EXPECT_EQ(c.misses(), 8u);
+}
+
+TEST(Cache, RejectsBadGeometry) {
+  EXPECT_THROW(Cache({1024, 60, 2, 1}), Error);  // non-power-of-two line
+  EXPECT_THROW(Cache({64, 64, 2, 1}), Error);    // smaller than one set
+  EXPECT_THROW(Cache({1024, 64, 0, 1}), Error);  // zero associativity
+}
+
+TEST(CacheHierarchy, LevelsServeInOrder) {
+  MachineModel m = MachineModel::bgq();
+  CacheHierarchy h(m);
+  EXPECT_EQ(h.access(0x10000), CacheHierarchy::Level::Memory);  // cold
+  EXPECT_EQ(h.access(0x10000), CacheHierarchy::Level::L1);      // now hot
+  // evict from L1 by streaming 32 KB (L1 is 16 KB), then re-access: LLC hit
+  for (uint64_t a = 0x100000; a < 0x100000 + 32 * 1024; a += 64) h.access(a);
+  EXPECT_EQ(h.access(0x10000), CacheHierarchy::Level::Llc);
+}
+
+}  // namespace
+}  // namespace skope

@@ -1,0 +1,289 @@
+// Unit tests for the MiniC frontend: lexer, parser, sema, printer.
+#include <gtest/gtest.h>
+
+#include "minic/builtins.h"
+#include "minic/lexer.h"
+#include "minic/parser.h"
+#include "minic/printer.h"
+#include "minic/sema.h"
+
+namespace skope::minic {
+namespace {
+
+std::unique_ptr<Program> parseOk(std::string_view src) {
+  auto p = parseProgram(src, "test.mc");
+  analyzeOrThrow(*p);
+  return p;
+}
+
+void expectSemaError(std::string_view src, std::string_view needle) {
+  auto p = parseProgram(src, "test.mc");
+  DiagSink diags;
+  analyze(*p, diags);
+  ASSERT_TRUE(diags.hasErrors()) << "expected error containing '" << needle << "'";
+  EXPECT_NE(diags.str().find(needle), std::string::npos) << diags.str();
+}
+
+// ---------------- lexer ----------------
+
+TEST(Lexer, BasicTokens) {
+  Lexer lex("func void main() { var int x = 1; }", "t");
+  auto toks = lex.tokenize();
+  ASSERT_GE(toks.size(), 13u);
+  EXPECT_EQ(toks[0].kind, Tok::KwFunc);
+  EXPECT_EQ(toks[1].kind, Tok::KwVoid);
+  EXPECT_EQ(toks[2].kind, Tok::Ident);
+  EXPECT_EQ(toks[2].text, "main");
+  EXPECT_EQ(toks.back().kind, Tok::Eof);
+}
+
+TEST(Lexer, NumbersAndOperators) {
+  Lexer lex("1 2.5 1e3 0.5e-2 == != <= >= && || !", "t");
+  auto toks = lex.tokenize();
+  EXPECT_EQ(toks[0].kind, Tok::IntLit);
+  EXPECT_EQ(toks[1].kind, Tok::RealLit);
+  EXPECT_DOUBLE_EQ(toks[1].numValue, 2.5);
+  EXPECT_EQ(toks[2].kind, Tok::RealLit);
+  EXPECT_DOUBLE_EQ(toks[2].numValue, 1000.0);
+  EXPECT_DOUBLE_EQ(toks[3].numValue, 0.005);
+  EXPECT_EQ(toks[4].kind, Tok::EqEq);
+  EXPECT_EQ(toks[5].kind, Tok::NotEq);
+  EXPECT_EQ(toks[6].kind, Tok::Le);
+  EXPECT_EQ(toks[7].kind, Tok::Ge);
+  EXPECT_EQ(toks[8].kind, Tok::AmpAmp);
+  EXPECT_EQ(toks[9].kind, Tok::PipePipe);
+  EXPECT_EQ(toks[10].kind, Tok::Bang);
+}
+
+TEST(Lexer, Comments) {
+  Lexer lex("1 // line comment\n/* block\ncomment */ 2", "t");
+  auto toks = lex.tokenize();
+  ASSERT_EQ(toks.size(), 3u);  // 1, 2, EOF
+  EXPECT_DOUBLE_EQ(toks[1].numValue, 2.0);
+}
+
+TEST(Lexer, LocationTracking) {
+  Lexer lex("a\n  b", "t");
+  auto toks = lex.tokenize();
+  EXPECT_EQ(toks[0].loc.line, 1u);
+  EXPECT_EQ(toks[0].loc.col, 1u);
+  EXPECT_EQ(toks[1].loc.line, 2u);
+  EXPECT_EQ(toks[1].loc.col, 3u);
+}
+
+TEST(Lexer, Errors) {
+  EXPECT_THROW(Lexer("$", "t").tokenize(), Error);
+  EXPECT_THROW(Lexer("1e+", "t").tokenize(), Error);
+  EXPECT_THROW(Lexer("/* unterminated", "t").tokenize(), Error);
+  EXPECT_THROW(Lexer("a & b", "t").tokenize(), Error);
+}
+
+// ---------------- parser ----------------
+
+TEST(Parser, MinimalProgram) {
+  auto p = parseOk("func void main() { }");
+  ASSERT_EQ(p->funcs.size(), 1u);
+  EXPECT_EQ(p->funcs[0]->name, "main");
+  EXPECT_EQ(p->funcs[0]->retType, Type::Void);
+}
+
+TEST(Parser, ParamsGlobalsAndFuncs) {
+  auto p = parseOk(R"(
+    param int N = 16;
+    param real ALPHA;
+    global real a[N][N];
+    global int counter;
+    func real f(int i, real x) { return x + i; }
+    func void main() { var real y = f(1, 2.0); }
+  )");
+  ASSERT_EQ(p->params.size(), 2u);
+  EXPECT_EQ(p->params[0].name, "N");
+  ASSERT_TRUE(p->params[0].defaultValue.has_value());
+  EXPECT_DOUBLE_EQ(*p->params[0].defaultValue, 16.0);
+  EXPECT_FALSE(p->params[1].defaultValue.has_value());
+  ASSERT_EQ(p->globals.size(), 2u);
+  EXPECT_TRUE(p->globals[0].isArray());
+  EXPECT_EQ(p->globals[0].dims.size(), 2u);
+  EXPECT_FALSE(p->globals[1].isArray());
+  ASSERT_EQ(p->funcs.size(), 2u);
+  ASSERT_EQ(p->funcs[0]->params.size(), 2u);
+}
+
+TEST(Parser, ControlFlow) {
+  auto p = parseOk(R"(
+    param int N = 4;
+    global real a[N];
+    func void main() {
+      var int i;
+      for (i = 0; i < N; i = i + 1) {
+        if (a[i] > 0.5) { a[i] = 0.0; } else { continue; }
+      }
+      while (a[0] < 1.0) {
+        a[0] = a[0] + 0.25;
+        if (a[0] > 0.9) { break; }
+      }
+    }
+  )");
+  const auto& body = p->funcs[0]->body;
+  ASSERT_EQ(body.size(), 3u);
+  EXPECT_EQ(body[1]->kind, StmtKind::For);
+  EXPECT_EQ(body[2]->kind, StmtKind::While);
+  EXPECT_EQ(body[1]->body[0]->kind, StmtKind::If);
+  EXPECT_EQ(body[1]->body[0]->elseBody[0]->kind, StmtKind::Continue);
+}
+
+TEST(Parser, ElseIfChain) {
+  auto p = parseOk(R"(
+    func void main() {
+      var int x = 1;
+      if (x == 0) { x = 1; } else if (x == 1) { x = 2; } else { x = 3; }
+    }
+  )");
+  const auto& ifStmt = p->funcs[0]->body[1];
+  ASSERT_EQ(ifStmt->elseBody.size(), 1u);
+  EXPECT_EQ(ifStmt->elseBody[0]->kind, StmtKind::If);
+}
+
+TEST(Parser, NodeIdsUnique) {
+  auto p = parseOk("func void main() { var int i; for (i=0;i<3;i=i+1) { i = i; } }");
+  std::vector<NodeId> ids;
+  forEachStmt(p->funcs[0]->body, [&](const StmtNode& s) { ids.push_back(s.id); });
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end());
+}
+
+TEST(Parser, SyntaxErrors) {
+  EXPECT_THROW(parseProgram("func void main( { }"), Error);
+  EXPECT_THROW(parseProgram("func void main() { var int; }"), Error);
+  EXPECT_THROW(parseProgram("banana"), Error);
+  EXPECT_THROW(parseProgram("func void main() { for (1; 2; 3) {} }"), Error);
+  EXPECT_THROW(parseProgram("param int N = x;"), Error);
+  EXPECT_THROW(parseProgram("global real a[2][2][2][2];"), Error);
+}
+
+// ---------------- sema ----------------
+
+TEST(Sema, RequiresMain) { expectSemaError("func void notmain() { }", "no 'main'"); }
+
+TEST(Sema, MainSignature) {
+  expectSemaError("func void main(int x) { }", "must take no parameters");
+  expectSemaError("func int main() { return 1; }", "must return void");
+}
+
+TEST(Sema, UndeclaredVariable) {
+  expectSemaError("func void main() { x = 1; }", "undeclared");
+  expectSemaError("func void main() { var int y = x + 1; }", "undeclared");
+}
+
+TEST(Sema, DuplicateNames) {
+  expectSemaError("param int N; global real N[4]; func void main() { }", "redefines");
+  expectSemaError("func void main() { var int x; var real x; }", "redeclaration");
+}
+
+TEST(Sema, ParamReadOnly) {
+  expectSemaError("param int N = 1; func void main() { N = 2; }", "read-only");
+}
+
+TEST(Sema, BreakOutsideLoop) {
+  expectSemaError("func void main() { break; }", "outside of a loop");
+  expectSemaError("func void main() { continue; }", "outside of a loop");
+}
+
+TEST(Sema, ArrayChecks) {
+  expectSemaError("global real a[4]; func void main() { a[0][1] = 1.0; }", "dimension");
+  expectSemaError("global real a[4]; func void main() { var real x = a; }",
+                  "without indices");
+  expectSemaError("global real a[4]; func void main() { a = 1.0; }", "whole array");
+  expectSemaError("global real a[4]; func void main() { a[0.5] = 1.0; }", "must be int");
+}
+
+TEST(Sema, ArrayDimsReferenceParamsOnly) {
+  expectSemaError("global int x; global real a[x]; func void main() { }",
+                  "may only reference params");
+}
+
+TEST(Sema, ModRequiresInt) {
+  expectSemaError("func void main() { var real x = 1.5 % 2.0; }", "must be int");
+}
+
+TEST(Sema, CallChecks) {
+  expectSemaError("func void main() { undefined_fn(); }", "undeclared function");
+  expectSemaError("func real f(int a) { return a; } func void main() { var real x = f(); }",
+                  "expects 1 argument");
+  expectSemaError("func void main() { var real x = exp(); }", "expects 1 argument");
+}
+
+TEST(Sema, TypesInferred) {
+  auto p = parseOk(R"(
+    param int N = 2;
+    global real a[N];
+    func void main() {
+      var int i = 1;
+      var real x = a[i] * 2.0 + i;
+    }
+  )");
+  // the initializer of x is Real because one operand is Real
+  const auto& decl = p->funcs[0]->body[1];
+  EXPECT_EQ(decl->rhs->type, Type::Real);
+}
+
+TEST(Sema, ReturnTypeChecks) {
+  expectSemaError("func void f() { return 1; } func void main() { }", "returns a value");
+  expectSemaError("func int f() { return; } func void main() { }", "returns nothing");
+}
+
+TEST(Sema, LocalShadowingRejected) {
+  expectSemaError("param int N = 1; func void main() { var int N; }", "shadows");
+}
+
+// ---------------- builtins ----------------
+
+TEST(Builtins, TableLookup) {
+  EXPECT_GE(findBuiltin("exp"), 0);
+  EXPECT_GE(findBuiltin("rand"), 0);
+  EXPECT_EQ(findBuiltin("nope"), -1);
+  const auto& info = builtinTable()[static_cast<size_t>(findBuiltin("pow"))];
+  EXPECT_EQ(info.arity, 2);
+  EXPECT_TRUE(info.isLibraryCall);
+  const auto& fabsInfo = builtinTable()[static_cast<size_t>(findBuiltin("fabs"))];
+  EXPECT_FALSE(fabsInfo.isLibraryCall);
+}
+
+// ---------------- printer ----------------
+
+TEST(Printer, RoundTripParses) {
+  auto p = parseOk(R"(
+    param int N = 8;
+    global real a[N][N];
+    func real avg(int n) {
+      var real s = 0.0;
+      var int i;
+      for (i = 0; i < n; i = i + 1) {
+        var int j;
+        for (j = 0; j < n; j = j + 1) {
+          s = s + a[i][j];
+        }
+      }
+      return s / (n * n);
+    }
+    func void main() {
+      var real m = avg(N);
+      if (m > 0.5 && m < 1.0) { a[0][0] = m; } else { a[0][0] = 0.0; }
+      while (a[0][0] < 0.1) { a[0][0] = a[0][0] + 0.05; }
+    }
+  )");
+  std::string printed = printProgram(*p);
+  auto p2 = parseProgram(printed, "printed.mc");
+  EXPECT_NO_THROW(analyzeOrThrow(*p2));
+  // printing the reparsed program must be a fixed point
+  EXPECT_EQ(printProgram(*p2), printed);
+}
+
+TEST(Program, CountStatements) {
+  auto p = parseOk("func void main() { var int i; for (i=0;i<3;i=i+1) { i = i; } }");
+  // function header + vardecl + for + init + step + body assign = 6
+  EXPECT_EQ(p->countStatements(), 6u);
+}
+
+}  // namespace
+}  // namespace skope::minic

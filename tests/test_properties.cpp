@@ -1,0 +1,260 @@
+// Cross-cutting property tests.
+//
+// The deepest invariant of the whole framework: for programs whose control
+// flow the translator can resolve statically, the BET's expected operation
+// counts must equal the VM's *measured* dynamic counts — the model and the
+// ground truth agree on "what executes", and disagree only on "how long it
+// takes". Plus randomized invariants on expressions, contexts and BETs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bet/builder.h"
+#include "minic/parser.h"
+#include "minic/sema.h"
+#include "roofline/estimate.h"
+#include "skeleton/parser.h"
+#include "skeleton/printer.h"
+#include "support/rng.h"
+#include "translate/annotate.h"
+#include "translate/translate.h"
+#include "vm/compiler.h"
+#include "vm/profile.h"
+
+namespace skope {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Model-vs-measurement count agreement
+// ---------------------------------------------------------------------------
+
+struct CountCase {
+  const char* name;
+  const char* source;
+  std::map<std::string, double> params;
+};
+
+class CountAgreement : public ::testing::TestWithParam<CountCase> {};
+
+TEST_P(CountAgreement, BetExpectedOpsMatchVmMeasuredOps) {
+  const CountCase& tc = GetParam();
+  auto prog = minic::parseProgram(tc.source, tc.name);
+  minic::analyzeOrThrow(*prog);
+  vm::Module mod = vm::compile(*prog);
+
+  vm::ProfileData pd = vm::profileRun(mod, tc.params, 11);
+  auto sk = translate::translateProgram(*prog);
+  translate::annotate(sk, pd);
+  bet::Bet b = bet::buildBet(sk, ParamEnv(tc.params));
+  roofline::Roofline model(MachineModel::bgq());
+  auto result = roofline::estimate(b, model, &mod);
+
+  // total expected flops / loads / stores from the model
+  skel::SkMetrics modelTotal;
+  for (const auto& [origin, bc] : result.blocks) {
+    if (vm::isLibRegion(origin)) continue;
+    modelTotal += bc.perInvocation.scaled(bc.enr);
+  }
+  const vm::OpCounters& oc = pd.opCounters;
+  auto vmFlops = static_cast<double>(oc.classTotal(vm::OpClass::FpAdd) +
+                                     oc.classTotal(vm::OpClass::FpMul) +
+                                     oc.classTotal(vm::OpClass::FpDiv));
+  auto vmLoads = static_cast<double>(oc.classTotal(vm::OpClass::Load));
+  auto vmStores = static_cast<double>(oc.classTotal(vm::OpClass::Store));
+
+  // statistical modeling of branches introduces small error; 5% tolerance
+  EXPECT_NEAR(modelTotal.totalFlops(), vmFlops, 0.05 * vmFlops + 5) << tc.name;
+  EXPECT_NEAR(modelTotal.loads, vmLoads, 0.05 * vmLoads + 5) << tc.name;
+  EXPECT_NEAR(modelTotal.stores, vmStores, 0.05 * vmStores + 5) << tc.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Programs, CountAgreement,
+    ::testing::Values(
+        CountCase{"affine_nest", R"(
+          param int N = 50;
+          global real a[N][N];
+          func void main() {
+            var int i; var int j;
+            for (i = 0; i < N; i = i + 1) {
+              for (j = 0; j < N; j = j + 1) { a[i][j] = a[i][j] * 2.0 + 1.0; }
+            }
+          }
+        )", {{"N", 50}}},
+        CountCase{"triangular_via_profile", R"(
+          param int N = 60;
+          global real a[N];
+          func void main() {
+            var int i; var int j;
+            for (i = 0; i < N; i = i + 1) {
+              j = i;
+              while (j < N) { a[j] = a[j] + 1.0; j = j + 1; }
+            }
+          }
+        )", {{"N", 60}}},
+        CountCase{"branchy", R"(
+          param int N = 4000;
+          global real a[N];
+          global real out;
+          func void main() {
+            var int i;
+            for (i = 0; i < N; i = i + 1) { a[i] = rand(); }
+            for (i = 0; i < N; i = i + 1) {
+              if (a[i] < 0.3) { out = out + a[i] * a[i]; }
+              else { out = out - a[i]; }
+            }
+          }
+        )", {{"N", 4000}}},
+        CountCase{"calls_in_loop", R"(
+          param int N = 30;
+          global real acc[N];
+          func real work(int n) {
+            var int k;
+            var real s = 0.0;
+            for (k = 0; k < n; k = k + 1) { s = s + k * 0.5; }
+            return s;
+          }
+          func void main() {
+            var int i;
+            for (i = 0; i < N; i = i + 1) { acc[i] = work(N); }
+          }
+        )", {{"N", 30}}}),
+    [](const ::testing::TestParamInfo<CountCase>& info) { return info.param.name; });
+
+// ---------------------------------------------------------------------------
+// Randomized expression round-trip
+// ---------------------------------------------------------------------------
+
+ExprPtr randomExpr(Rng& rng, int depth) {
+  if (depth <= 0 || rng.chance(0.3)) {
+    if (rng.chance(0.5)) return constant(rng.range(1, 9));
+    return param(rng.chance(0.5) ? "N" : "M");
+  }
+  switch (rng.below(6)) {
+    case 0: return add(randomExpr(rng, depth - 1), randomExpr(rng, depth - 1));
+    case 1: return sub(randomExpr(rng, depth - 1), randomExpr(rng, depth - 1));
+    case 2: return mul(randomExpr(rng, depth - 1), randomExpr(rng, depth - 1));
+    case 3: return exprMin(randomExpr(rng, depth - 1), randomExpr(rng, depth - 1));
+    case 4: return exprMax(randomExpr(rng, depth - 1), randomExpr(rng, depth - 1));
+    default: return ceilDiv(randomExpr(rng, depth - 1), constant(rng.range(1, 4)));
+  }
+}
+
+class ExprRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExprRoundTrip, PrintParseEvalAgree) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7919 + 3);
+  ParamEnv env({{"N", 13}, {"M", 4}});
+  for (int i = 0; i < 50; ++i) {
+    ExprPtr e = randomExpr(rng, 4);
+    ExprPtr reparsed = parseExpr(e->str());
+    EXPECT_DOUBLE_EQ(e->eval(env), reparsed->eval(env)) << e->str();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExprRoundTrip, ::testing::Range(0, 8));
+
+// ---------------------------------------------------------------------------
+// Randomized BET invariants
+// ---------------------------------------------------------------------------
+
+// Generates a random (valid, resolved) skeleton program.
+skel::SkNodeUP randomBody(Rng& rng, int depth, uint32_t& nextOrigin);
+
+void fillBlock(Rng& rng, std::vector<skel::SkNodeUP>& kids, int depth,
+               uint32_t& nextOrigin) {
+  int n = static_cast<int>(rng.range(1, 3));
+  for (int i = 0; i < n; ++i) kids.push_back(randomBody(rng, depth, nextOrigin));
+}
+
+skel::SkNodeUP randomBody(Rng& rng, int depth, uint32_t& nextOrigin) {
+  uint32_t origin = nextOrigin++;
+  if (depth <= 0 || rng.chance(0.4)) {
+    return skel::makeComp({rng.uniform(0, 8), 0, rng.uniform(0, 4),
+                           rng.uniform(0, 3), rng.uniform(0, 2)}, origin);
+  }
+  if (rng.chance(0.5)) {
+    auto loop = skel::makeLoop(constant(rng.range(1, 20)), origin);
+    fillBlock(rng, loop->kids, depth - 1, nextOrigin);
+    if (rng.chance(0.3)) {
+      auto guard = skel::makeBranch(constant(rng.uniform(0, 0.3)), nextOrigin++);
+      guard->kids.push_back(skel::makeSimple(skel::SkKind::Break, nextOrigin++));
+      loop->kids.push_back(std::move(guard));
+    }
+    return loop;
+  }
+  auto branch = skel::makeBranch(constant(rng.uniform()), origin);
+  fillBlock(rng, branch->kids, depth - 1, nextOrigin);
+  if (rng.chance(0.5)) fillBlock(rng, branch->elseKids, depth - 1, nextOrigin);
+  return branch;
+}
+
+class BetInvariants : public ::testing::TestWithParam<int> {};
+
+TEST_P(BetInvariants, ProbabilitiesAndEnrWellFormed) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 104729 + 17);
+  skel::SkeletonProgram sk;
+  uint32_t nextOrigin = 100;
+  auto def = skel::makeDef("main", {}, 1);
+  fillBlock(rng, def->kids, 4, nextOrigin);
+  sk.defs.push_back(std::move(def));
+
+  bet::Bet b = bet::buildBet(sk, ParamEnv{});
+  roofline::Roofline model(MachineModel::bgq());
+  auto result = roofline::estimate(b, model);
+
+  b.root->visit([&](const bet::BetNode& n) {
+    EXPECT_GE(n.prob, 0.0);
+    EXPECT_LE(n.prob, 1.0 + 1e-9);
+    EXPECT_GE(n.numIter, 0.0);
+    EXPECT_GE(n.enr, 0.0);
+    EXPECT_FALSE(std::isnan(n.enr));
+    if (n.parent) {
+      // ENR formula holds exactly
+      EXPECT_NEAR(n.enr, n.numIter * n.prob * n.parent->enr, 1e-9 * (1 + n.enr));
+    }
+  });
+
+  double fracSum = 0;
+  for (const auto& [origin, bc] : result.blocks) {
+    EXPECT_GE(bc.seconds, 0.0);
+    fracSum += bc.fraction;
+  }
+  if (!result.blocks.empty() && result.totalSeconds > 0) {
+    EXPECT_NEAR(fracSum, 1.0, 1e-9);
+  }
+
+  // determinism: rebuilding gives an identical tree size and total
+  bet::Bet b2 = bet::buildBet(sk, ParamEnv{});
+  auto result2 = roofline::estimate(b2, model);
+  EXPECT_EQ(b.size(), b2.size());
+  EXPECT_DOUBLE_EQ(result.totalSeconds, result2.totalSeconds);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BetInvariants, ::testing::Range(0, 12));
+
+// ---------------------------------------------------------------------------
+// Skeleton print/parse round trip on random trees
+// ---------------------------------------------------------------------------
+
+class SkeletonRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(SkeletonRoundTrip, PrintParseFixedPoint) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 31337 + 5);
+  skel::SkeletonProgram sk;
+  sk.params = {"N"};
+  uint32_t nextOrigin = 10;
+  auto def = skel::makeDef("main", {}, 1);
+  fillBlock(rng, def->kids, 3, nextOrigin);
+  sk.defs.push_back(std::move(def));
+
+  std::string once = skel::printSkeleton(sk);
+  skel::SkeletonProgram reparsed = skel::parseSkeleton(once);
+  EXPECT_EQ(skel::printSkeleton(reparsed), once);
+  EXPECT_EQ(reparsed.totalNodes(), sk.totalNodes());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SkeletonRoundTrip, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace skope

@@ -1,0 +1,68 @@
+// Unit tests for the table / chart report renderers.
+#include <gtest/gtest.h>
+
+#include "report/chart.h"
+#include "report/table.h"
+#include "support/text.h"
+
+namespace skope::report {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  Table t({"name", "value"});
+  t.addRow({"x", "1"});
+  t.addRow({"longer-name", "22"});
+  std::string s = t.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer-name"), std::string::npos);
+  // all data lines align: the "value" column starts at the same offset
+  auto lines = split(s, '\n');
+  ASSERT_GE(lines.size(), 4u);
+  EXPECT_EQ(lines[1].find_first_not_of('-'), std::string::npos);  // separator
+}
+
+TEST(Table, ShortRowsPadded) {
+  Table t({"a", "b", "c"});
+  t.addRow({"1"});
+  EXPECT_EQ(t.numRows(), 1u);
+  EXPECT_NO_THROW(t.str());
+}
+
+TEST(BarChart, RendersSegmentsAndLegend) {
+  std::vector<BarSegments> bars = {
+      {"spot1", {10, 5, 2}},
+      {"spot2", {3, 8, 1}},
+  };
+  std::string s = barChart(bars, {"Tc", "Tm", "To"}, 40);
+  EXPECT_NE(s.find("legend:"), std::string::npos);
+  EXPECT_NE(s.find("#=Tc"), std::string::npos);
+  EXPECT_NE(s.find("spot1"), std::string::npos);
+  EXPECT_NE(s.find('#'), std::string::npos);
+  EXPECT_NE(s.find('='), std::string::npos);
+}
+
+TEST(BarChart, EmptyBarsHandled) {
+  EXPECT_NO_THROW(barChart({}, {"a"}));
+  std::string s = barChart({{"zero", {0, 0}}}, {"x", "y"});
+  EXPECT_NE(s.find("legend"), std::string::npos);
+}
+
+TEST(SeriesChart, RendersAllSeries) {
+  std::vector<Series> series = {
+      {"Prof", {0.3, 0.6, 0.9, 1.0}},
+      {"Modl", {0.25, 0.55, 0.85, 0.95}},
+  };
+  std::string s = seriesChart(series, 10);
+  EXPECT_NE(s.find("P=Prof"), std::string::npos);
+  EXPECT_NE(s.find("p=Modl"), std::string::npos);
+  EXPECT_NE(s.find("100%"), std::string::npos);
+  EXPECT_NE(s.find("0%"), std::string::npos);
+  EXPECT_NE(s.find("top-k hot spots"), std::string::npos);
+}
+
+TEST(SeriesChart, EmptyData) {
+  EXPECT_EQ(seriesChart({}), "(no data)\n");
+}
+
+}  // namespace
+}  // namespace skope::report

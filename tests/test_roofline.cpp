@@ -1,0 +1,189 @@
+// Unit tests for the extended roofline model and the BET estimator (§V-A).
+#include <gtest/gtest.h>
+
+#include "minic/builtins.h"
+#include "bet/builder.h"
+#include "roofline/estimate.h"
+#include "roofline/roofline.h"
+#include "skeleton/parser.h"
+
+namespace skope::roofline {
+namespace {
+
+TEST(Roofline, ComputeBoundBlock) {
+  Roofline model(MachineModel::bgq());
+  // many flops, single access: Tc dominates
+  Breakdown b = model.blockTime({1000, 0, 0, 1, 0});
+  EXPECT_GT(b.tcCycles, b.tmCycles);
+  EXPECT_GT(b.totalCycles(), 0);
+}
+
+TEST(Roofline, MemoryBoundBlock) {
+  Roofline model(MachineModel::bgq());
+  // pure data movement: Tm dominates
+  Breakdown b = model.blockTime({1, 0, 0, 500, 500});
+  EXPECT_GT(b.tmCycles, b.tcCycles);
+}
+
+TEST(Roofline, OverlapFormula) {
+  Roofline model(MachineModel::bgq());
+  Breakdown b = model.blockTime({100, 0, 0, 100, 0});
+  // δ = 1 - 1/100 → To = 0.99 min(Tc, Tm)
+  double expected = std::min(b.tcCycles, b.tmCycles) * (1.0 - 1.0 / 100.0);
+  EXPECT_NEAR(b.toCycles, expected, 1e-9);
+  EXPECT_NEAR(b.totalCycles(), b.tcCycles + b.tmCycles - b.toCycles, 1e-9);
+}
+
+TEST(Roofline, SingleFlopHasNoOverlap) {
+  Roofline model(MachineModel::bgq());
+  Breakdown b = model.blockTime({1, 0, 0, 10, 0});
+  EXPECT_DOUBLE_EQ(b.toCycles, 0.0);  // δ = 1 - 1/1 = 0
+}
+
+TEST(Roofline, TextbookModeIsMax) {
+  RooflineParams p;
+  p.modelOverlap = false;
+  Roofline model(MachineModel::bgq(), p);
+  Breakdown b = model.blockTime({100, 0, 0, 100, 0});
+  EXPECT_NEAR(b.totalCycles(), std::max(b.tcCycles, b.tmCycles), 1e-9);
+}
+
+TEST(Roofline, UniformFlopsIgnoresDivides) {
+  // This is the deliberate §VII-B modeling simplification: swapping every
+  // flop for a divide changes nothing under the default parameters...
+  Roofline uniform(MachineModel::bgq());
+  double tAdds = uniform.blockTime({100, 0, 0, 0, 0}).totalCycles();
+  double tDivs = uniform.blockTime({0, 100, 0, 0, 0}).totalCycles();
+  EXPECT_DOUBLE_EQ(tAdds, tDivs);
+
+  // ...but the ablation flag charges divides at their true latency.
+  RooflineParams p;
+  p.uniformFlops = false;
+  Roofline exact(MachineModel::bgq(), p);
+  EXPECT_GT(exact.blockTime({0, 100, 0, 0, 0}).totalCycles(), tDivs * 5);
+}
+
+TEST(Roofline, MachineDifferencesShow) {
+  skel::SkMetrics heavyCompute{200, 0, 20, 10, 10};
+  double bgq = Roofline(MachineModel::bgq()).blockTime(heavyCompute).totalCycles();
+  double xeon = Roofline(MachineModel::xeonE5_2420()).blockTime(heavyCompute).totalCycles();
+  // the wider Xeon core needs fewer cycles for the same compute block
+  EXPECT_LT(xeon, bgq);
+}
+
+TEST(Roofline, CacheHitRateSensitivity) {
+  RooflineParams good;
+  good.cacheHitRate = 0.99;
+  RooflineParams bad;
+  bad.cacheHitRate = 0.5;
+  skel::SkMetrics mem{1, 0, 0, 100, 100};
+  double tGood = Roofline(MachineModel::bgq(), good).blockTime(mem).tmCycles;
+  double tBad = Roofline(MachineModel::bgq(), bad).blockTime(mem).tmCycles;
+  EXPECT_GT(tBad, tGood * 5);
+}
+
+// ---------------- estimator ----------------
+
+struct Estimated {
+  bet::Bet bet;
+  ModelResult result;
+};
+
+Estimated estimateFrom(std::string_view sk, std::map<std::string, double> input,
+                       const MachineModel& m = MachineModel::bgq()) {
+  Estimated e{bet::buildBet(skel::parseSkeleton(sk), ParamEnv(std::move(input))), {}};
+  Roofline model(m);
+  e.result = estimate(e.bet, model);
+  return e;
+}
+
+TEST(Estimate, EnrFollowsPaperFormula) {
+  auto e = estimateFrom(R"(
+    params N;
+    def main() @1 {
+      loop @2 iter=N {
+        branch @3 p=0.5 {
+          loop @4 iter=10 { comp @5 flops=1; }
+        }
+      }
+    }
+  )", {{"N", 100}});
+  // ENR(inner loop) = 10 (its iters) × 0.5 (branch) × 100 (outer) = 500
+  const bet::BetNode* inner = nullptr;
+  e.bet.root->visit([&](const bet::BetNode& n) {
+    if (n.kind == bet::BetKind::Loop && n.origin == 4) inner = &n;
+  });
+  ASSERT_NE(inner, nullptr);
+  EXPECT_DOUBLE_EQ(inner->enr, 500.0);
+}
+
+TEST(Estimate, BlockTimesScaleWithEnr) {
+  auto small = estimateFrom("params N; def main() @1 { loop @2 iter=N { comp flops=8 loads=2; } }",
+                            {{"N", 100}});
+  auto big = estimateFrom("params N; def main() @1 { loop @2 iter=N { comp flops=8 loads=2; } }",
+                          {{"N", 10000}});
+  double tSmall = small.result.blocks.at(2).seconds;
+  double tBig = big.result.blocks.at(2).seconds;
+  EXPECT_NEAR(tBig / tSmall, 100.0, 1e-6);
+}
+
+TEST(Estimate, BranchArmsFoldIntoEnclosingBlock) {
+  auto e = estimateFrom(R"(
+    def main() @1 {
+      loop @2 iter=100 {
+        branch @3 p=0.25 { comp flops=40; } else { comp flops=8; }
+      }
+    }
+  )", {});
+  // per-invocation mix of loop block = 0.25*40 + 0.75*8 = 16 flops
+  const BlockCost& loop = e.result.blocks.at(2);
+  EXPECT_NEAR(loop.perInvocation.flops, 16.0, 1e-9);
+  // branch arms are NOT separate blocks
+  EXPECT_EQ(e.result.blocks.count(3), 0u);
+}
+
+TEST(Estimate, MultipleMountsAggregateByOrigin) {
+  auto e = estimateFrom(R"(
+    def main() @1 { call foo(100); call foo(300); }
+    def foo(n) @7 { loop @8 iter=n { comp flops=1; } }
+  )", {});
+  const BlockCost& loop = e.result.blocks.at(8);
+  EXPECT_DOUBLE_EQ(loop.enr, 400.0);  // 100 + 300 iterations across mounts
+}
+
+TEST(Estimate, LibCallsGetPseudoOrigins) {
+  auto e = estimateFrom("def main() @1 { loop @2 iter=50 { libcall exp; } }", {});
+  uint32_t expRegion = vm::libRegion(minic::findBuiltin("exp"));
+  ASSERT_EQ(e.result.blocks.count(expRegion), 1u);
+  EXPECT_DOUBLE_EQ(e.result.blocks.at(expRegion).enr, 50.0);
+  EXPECT_EQ(e.result.blocks.at(expRegion).label, "lib:exp");
+}
+
+TEST(Estimate, FractionsSumToOne) {
+  auto e = estimateFrom(R"(
+    def main() @1 {
+      loop @2 iter=100 { comp flops=5 loads=2; }
+      loop @3 iter=200 { comp flops=1 loads=8 stores=4; }
+      libcall rand count=30;
+    }
+  )", {});
+  double total = 0;
+  for (const auto& [origin, bc] : e.result.blocks) total += bc.fraction;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_GT(e.result.totalSeconds, 0);
+}
+
+TEST(Estimate, EmpiricalLibMixOverridesStatic) {
+  bet::Bet b = bet::buildBet(skel::parseSkeleton("def main() @1 { libcall exp count=1000; }"),
+                             ParamEnv{});
+  Roofline model(MachineModel::bgq());
+  ModelResult plain = estimate(b, model);
+  LibMixes mixes;
+  mixes[minic::findBuiltin("exp")] = skel::SkMetrics{500, 0, 100, 0, 0};  // huge mix
+  ModelResult boosted = estimate(b, model, nullptr, &mixes);
+  uint32_t r = vm::libRegion(minic::findBuiltin("exp"));
+  EXPECT_GT(boosted.blocks.at(r).seconds, plain.blocks.at(r).seconds * 3);
+}
+
+}  // namespace
+}  // namespace skope::roofline

@@ -1,0 +1,293 @@
+// Unit tests for the ground-truth timing simulator, the cost model, the
+// vectorization model and the profiler report.
+#include <gtest/gtest.h>
+
+#include "minic/builtins.h"
+#include "minic/parser.h"
+#include "minic/sema.h"
+#include "sim/profile_report.h"
+#include "sim/simulator.h"
+#include "sim/vectorize.h"
+#include "vm/compiler.h"
+
+namespace skope::sim {
+namespace {
+
+struct Compiled {
+  std::unique_ptr<minic::Program> prog;
+  vm::Module mod;
+};
+
+Compiled compileSrc(std::string_view src) {
+  Compiled c;
+  c.prog = minic::parseProgram(src, "t.mc");
+  minic::analyzeOrThrow(*c.prog);
+  c.mod = vm::compile(*c.prog);
+  return c;
+}
+
+TEST(CostModel, DividesCostMore) {
+  CostModel cm(MachineModel::bgq());
+  EXPECT_GT(cm.opCycles(vm::OpClass::FpDiv), cm.opCycles(vm::OpClass::FpMul) * 10);
+  EXPECT_GT(cm.opCycles(vm::OpClass::IntDiv), cm.opCycles(vm::OpClass::IntAlu) * 10);
+}
+
+TEST(CostModel, VectorizationSpeedsUpCompute) {
+  CostModel cm(MachineModel::xeonE5_2420());
+  EXPECT_LT(cm.opCyclesVectorized(vm::OpClass::FpAdd), cm.opCycles(vm::OpClass::FpAdd));
+  // branches are not narrowed by SIMD
+  EXPECT_DOUBLE_EQ(cm.opCyclesVectorized(vm::OpClass::Branch),
+                   cm.opCycles(vm::OpClass::Branch));
+}
+
+TEST(CostModel, MemPenaltiesOrdered) {
+  CostModel cm(MachineModel::bgq());
+  EXPECT_DOUBLE_EQ(cm.memPenalty(CacheHierarchy::Level::L1), 0.0);
+  EXPECT_GT(cm.memPenalty(CacheHierarchy::Level::Llc), 0.0);
+  EXPECT_GT(cm.memPenalty(CacheHierarchy::Level::Memory),
+            cm.memPenalty(CacheHierarchy::Level::Llc));
+}
+
+TEST(CostModel, BuiltinCyclesPositive) {
+  CostModel cm(MachineModel::bgq());
+  EXPECT_GT(cm.builtinCycles(minic::findBuiltin("exp")), 5.0);
+  skel::SkMetrics divHeavy{0, 4, 0, 0, 0};
+  EXPECT_GT(cm.builtinCycles(divHeavy), 100.0);  // 4 divides at 44 cycles
+}
+
+constexpr const char* kVecSource = R"(
+  param int N = 64;
+  global real a[N];
+  global real b[N][N];
+  global real out;
+  func void main() {
+    var int i; var int j;
+    for (i = 0; i < N; i = i + 1) { a[i] = a[i] * 2.0; }        // simple: score 1
+    for (i = 0; i < N; i = i + 1) {                              // has branch
+      if (a[i] > 0.5) { a[i] = 0.0; }
+    }
+    for (i = 0; i < N; i = i + 1) {                              // strided (not unit)
+      b[i][0] = a[i];
+    }
+    for (i = 0; i < N; i = i + 1) {
+      for (j = 0; j < N; j = j + 1) {                            // long body
+        var real t1 = b[i][j] * 2.0;
+        var real t2 = t1 + 1.0;
+        var real t3 = t2 * t2;
+        var real t4 = t3 - b[i][j];
+        var real t5 = t4 * 0.5;
+        var real t6 = t5 + t1;
+        b[i][j] = t6;
+      }
+    }
+    out = a[0];
+  }
+)";
+
+TEST(Vectorize, StructuralRules) {
+  auto c = compileSrc(kVecSource);
+  auto scores = vectorizableLoops(*c.prog);
+  // collect loop regions by line for identification
+  std::map<uint32_t, double> byLine;
+  for (const auto& [id, score] : scores) {
+    byLine[c.mod.regions.at(id).line] = score;
+  }
+  ASSERT_GE(byLine.size(), 2u);
+  // the 1-statement loop scores 1.0
+  double best = 0;
+  for (auto& [line, s] : byLine) best = std::max(best, s);
+  EXPECT_DOUBLE_EQ(best, 1.0);
+  // branchy loop and outer loops are not in the map at all:
+  // count loops in module vs vectorizable ones
+  size_t loops = 0;
+  for (const auto& [id, info] : c.mod.regions) {
+    if (info.kind == vm::RegionKind::Loop) ++loops;
+  }
+  EXPECT_GT(loops, scores.size());
+}
+
+TEST(Vectorize, MachineQualityGates) {
+  auto c = compileSrc(kVecSource);
+  auto bgq = vectorizedLoops(*c.prog, MachineModel::bgq());
+  auto xeon = vectorizedLoops(*c.prog, MachineModel::xeonE5_2420());
+  size_t bgqCount = 0, xeonCount = 0;
+  for (auto& [id, v] : bgq) bgqCount += v;
+  for (auto& [id, v] : xeon) xeonCount += v;
+  EXPECT_GT(xeonCount, bgqCount);  // GFortran vectorizes more than XL
+}
+
+TEST(Simulator, AttributesTimeToRegions) {
+  auto c = compileSrc(R"(
+    param int N = 1000;
+    global real a[N];
+    global real out;
+    func void main() {
+      var int i;
+      for (i = 0; i < N; i = i + 1) { a[i] = a[i] * 2.0 + 1.0; }
+      out = a[5];
+    }
+  )");
+  Simulator simulator(*c.prog, c.mod, MachineModel::bgq());
+  SimResult r = simulator.run({});
+  EXPECT_GT(r.totalCycles(), 0);
+  EXPECT_GT(r.seconds(), 0);
+  EXPECT_GT(r.dynamicInstrs, 4000u);
+  // the loop region dominates
+  uint32_t loopRegion = 0;
+  for (const auto& [id, info] : c.mod.regions) {
+    if (info.kind == vm::RegionKind::Loop) loopRegion = id;
+  }
+  EXPECT_GT(r.regionSeconds(loopRegion) / r.seconds(), 0.5);
+}
+
+TEST(Simulator, ColdMissesCharged) {
+  auto c = compileSrc(R"(
+    param int N = 100000;
+    global real a[N];
+    func void main() {
+      var int i;
+      for (i = 0; i < N; i = i + 1) { a[i] = 1.0; }
+    }
+  )");
+  Simulator simulator(*c.prog, c.mod, MachineModel::bgq());
+  SimResult r = simulator.run({});
+  uint32_t loopRegion = 0;
+  for (const auto& [id, info] : c.mod.regions) {
+    if (info.kind == vm::RegionKind::Loop) loopRegion = id;
+  }
+  const RegionCost& rc = r.regions.at(loopRegion);
+  // streaming 800 KB: every 8th store misses the 64B line
+  EXPECT_NEAR(static_cast<double>(rc.l1Misses), 100000.0 / 8, 2000);
+  EXPECT_GT(rc.memCycles, 0);
+}
+
+TEST(Simulator, DivLoopsCostMoreOnBgq) {
+  const char* src = R"(
+    param int N = 20000;
+    global real a[N];
+    global real out;
+    func void main() {
+      var int i;
+      for (i = 0; i < N; i = i + 1) { a[i] = 1.0 / (a[i] + 1.5); }
+      out = a[7];
+    }
+  )";
+  auto c = compileSrc(src);
+  SimResult bgq = Simulator(*c.prog, c.mod, MachineModel::bgq()).run({});
+  SimResult xeon = Simulator(*c.prog, c.mod, MachineModel::xeonE5_2420()).run({});
+  // BG/Q's expanded divide sequence costs about twice Xeon's per op
+  EXPECT_GT(bgq.totalCycles(), xeon.totalCycles() * 1.3);
+}
+
+TEST(Simulator, VectorizationChangesMachineBalance) {
+  // a simple unit-stride loop is vectorized on Xeon but not BG/Q
+  const char* src = R"(
+    param int N = 3000;
+    global real a[N];
+    global real out;
+    func void main() {
+      var int i; var int t;
+      for (t = 0; t < 10; t = t + 1) {
+        for (i = 0; i < N; i = i + 1) {
+          var real x1 = a[i] * 1.01;
+          var real x2 = x1 + 0.5;
+          var real x3 = x2 * x2;
+          a[i] = x3 - x1;
+        }
+      }
+      out = a[3];
+    }
+  )";
+  auto c = compileSrc(src);
+  Simulator bgqSim(*c.prog, c.mod, MachineModel::bgq());
+  Simulator xeonSim(*c.prog, c.mod, MachineModel::xeonE5_2420());
+  uint32_t innerLoop = 0;
+  for (const auto& [id, info] : c.mod.regions) {
+    if (info.kind == vm::RegionKind::Loop && info.depth == 2) innerLoop = id;
+  }
+  ASSERT_NE(innerLoop, 0u);
+  EXPECT_FALSE(bgqSim.isVectorized(innerLoop));  // 4-stmt body, XL declines
+  EXPECT_TRUE(xeonSim.isVectorized(innerLoop));
+}
+
+TEST(Simulator, LibCallsGoToPseudoRegions) {
+  auto c = compileSrc(R"(
+    param int N = 500;
+    global real a[N];
+    func void main() {
+      var int i;
+      for (i = 0; i < N; i = i + 1) { a[i] = exp(0.001 * i); }
+    }
+  )");
+  SimResult r = Simulator(*c.prog, c.mod, MachineModel::bgq()).run({});
+  uint32_t expRegion = libRegion(minic::findBuiltin("exp"));
+  ASSERT_EQ(r.regions.count(expRegion), 1u);
+  EXPECT_GT(r.regions.at(expRegion).libCycles, 0);
+  EXPECT_EQ(regionLabel(c.mod, expRegion), "lib:exp");
+}
+
+TEST(Simulator, EmpiricalLibMixChangesCost) {
+  auto c = compileSrc(R"(
+    global real out;
+    func void main() {
+      var int i;
+      for (i = 0; i < 100; i = i + 1) { out = out + exp(0.01); }
+    }
+  )");
+  LibMixMap mixes;
+  mixes[minic::findBuiltin("exp")] = skel::SkMetrics{1000, 0, 0, 0, 0};
+  SimResult plain = Simulator(*c.prog, c.mod, MachineModel::bgq()).run({});
+  SimResult heavy = Simulator(*c.prog, c.mod, MachineModel::bgq(), &mixes).run({});
+  uint32_t expRegion = libRegion(minic::findBuiltin("exp"));
+  EXPECT_GT(heavy.regions.at(expRegion).libCycles,
+            plain.regions.at(expRegion).libCycles * 5);
+}
+
+TEST(Simulator, DeterministicForSeed) {
+  auto c = compileSrc(R"(
+    param int N = 1000;
+    global real a[N];
+    func void main() {
+      var int i;
+      for (i = 0; i < N; i = i + 1) { a[i] = rand(); }
+    }
+  )");
+  Simulator s1(*c.prog, c.mod, MachineModel::bgq());
+  Simulator s2(*c.prog, c.mod, MachineModel::bgq());
+  EXPECT_DOUBLE_EQ(s1.run({}, 42).totalCycles(), s2.run({}, 42).totalCycles());
+}
+
+TEST(ProfileReport, RankedAndCoverage) {
+  auto c = compileSrc(R"(
+    param int N = 2000;
+    global real a[N];
+    global real out;
+    func void main() {
+      var int i; var int j;
+      for (i = 0; i < N; i = i + 1) {
+        a[i] = a[i] * 3.0 + 1.0;
+        a[i] = a[i] * a[i] + 2.0;
+      }
+      for (j = 0; j < 10; j = j + 1) { out = out + a[j]; }
+    }
+  )");
+  SimResult r = Simulator(*c.prog, c.mod, MachineModel::bgq()).run({});
+  ProfileReport rep = makeReport(r, c.mod);
+  ASSERT_GE(rep.ranked.size(), 2u);
+  // descending order
+  for (size_t i = 1; i < rep.ranked.size(); ++i) {
+    EXPECT_GE(rep.ranked[i - 1].seconds, rep.ranked[i].seconds);
+  }
+  // fractions sum to ~1
+  double total = 0;
+  for (const auto& e : rep.ranked) total += e.fraction;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_NEAR(rep.coverageOfTop(rep.ranked.size()), 1.0, 1e-9);
+  EXPECT_EQ(rep.rankOf(rep.ranked[0].region), 0);
+  EXPECT_EQ(rep.rankOf(99999), -1);
+  // the big loop is rank 0
+  EXPECT_NE(formatReport(rep, 5).find("main@L"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace skope::sim

@@ -1,0 +1,127 @@
+// Unit tests for the skeleton language: tree construction, parser, printer.
+#include <gtest/gtest.h>
+
+#include "minic/builtins.h"
+#include "skeleton/parser.h"
+#include "skeleton/printer.h"
+#include "skeleton/skeleton.h"
+
+namespace skope::skel {
+namespace {
+
+TEST(SkMetrics, ArithmeticHelpers) {
+  SkMetrics a{1, 2, 3, 4, 5};
+  SkMetrics b{10, 0, 0, 1, 0};
+  a += b;
+  EXPECT_DOUBLE_EQ(a.flops, 11);
+  EXPECT_DOUBLE_EQ(a.fpdivs, 2);
+  EXPECT_DOUBLE_EQ(a.loads, 5);
+  EXPECT_DOUBLE_EQ(a.totalFlops(), 13);
+  EXPECT_DOUBLE_EQ(a.accesses(), 10);
+  EXPECT_DOUBLE_EQ(a.bytes(), 80);
+  SkMetrics s = a.scaled(2.0);
+  EXPECT_DOUBLE_EQ(s.flops, 22);
+  EXPECT_TRUE(SkMetrics{}.empty());
+  EXPECT_FALSE(a.empty());
+}
+
+TEST(Skeleton, BuildAndQuery) {
+  SkeletonProgram prog;
+  prog.params = {"N"};
+  auto def = makeDef("main", {}, 1);
+  auto loop = makeLoop(param("N"), 2);
+  loop->kids.push_back(makeComp({4, 0, 2, 3, 1}, 3));
+  def->kids.push_back(std::move(loop));
+  prog.defs.push_back(std::move(def));
+
+  EXPECT_NE(prog.findDef("main"), nullptr);
+  EXPECT_EQ(prog.findDef("nope"), nullptr);
+  EXPECT_EQ(prog.totalNodes(), 3u);
+  EXPECT_EQ(prog.defs[0]->subtreeSize(), 3u);
+}
+
+TEST(SkeletonParser, FullRoundTrip) {
+  const char* text = R"(
+params N, M;
+
+def main() @1 {
+  set half = N/2;
+  loop @2 iter=N*M {
+    comp @3 flops=4 iops=2 loads=3 stores=1;
+    branch @4 p=0.25 {
+      call foo(half);
+      break;
+    } else {
+      libcall exp;
+    }
+  }
+  return;
+}
+
+def foo(n) @5 {
+  loop @6 iter=n {
+    comp @7 flops=1 fpdivs=1 loads=2;
+    continue;
+  }
+}
+)";
+  SkeletonProgram prog = parseSkeleton(text);
+  ASSERT_EQ(prog.params.size(), 2u);
+  ASSERT_EQ(prog.defs.size(), 2u);
+
+  const SkNode* main = prog.findDef("main");
+  ASSERT_NE(main, nullptr);
+  EXPECT_EQ(main->origin, 1u);
+  ASSERT_EQ(main->kids.size(), 3u);  // set, loop, return
+  EXPECT_EQ(main->kids[0]->kind, SkKind::Set);
+  const SkNode& loop = *main->kids[1];
+  EXPECT_EQ(loop.kind, SkKind::Loop);
+  EXPECT_EQ(loop.iter->str(), "N*M");
+  ASSERT_EQ(loop.kids.size(), 2u);
+  const SkNode& branch = *loop.kids[1];
+  EXPECT_EQ(branch.kind, SkKind::Branch);
+  ASSERT_EQ(branch.kids.size(), 2u);
+  EXPECT_EQ(branch.kids[0]->kind, SkKind::Call);
+  EXPECT_EQ(branch.kids[0]->args.size(), 1u);
+  EXPECT_EQ(branch.kids[1]->kind, SkKind::Break);
+  ASSERT_EQ(branch.elseKids.size(), 1u);
+  EXPECT_EQ(branch.elseKids[0]->kind, SkKind::LibCall);
+  EXPECT_EQ(branch.elseKids[0]->builtinIndex, minic::findBuiltin("exp"));
+
+  const SkNode* foo = prog.findDef("foo");
+  ASSERT_NE(foo, nullptr);
+  ASSERT_EQ(foo->formals.size(), 1u);
+  EXPECT_EQ(foo->formals[0], "n");
+  EXPECT_DOUBLE_EQ(foo->kids[0]->kids[0]->metrics.fpdivs, 1.0);
+
+  // print -> reparse -> print must be a fixed point
+  std::string printed = printSkeleton(prog);
+  SkeletonProgram again = parseSkeleton(printed);
+  EXPECT_EQ(printSkeleton(again), printed);
+  EXPECT_EQ(again.totalNodes(), prog.totalNodes());
+}
+
+TEST(SkeletonParser, Comments) {
+  SkeletonProgram prog = parseSkeleton("# header\ndef main() { comp flops=1; # tail\n }");
+  EXPECT_EQ(prog.defs.size(), 1u);
+}
+
+TEST(SkeletonParser, Errors) {
+  EXPECT_THROW(parseSkeleton("def main() { bogus; }"), Error);
+  EXPECT_THROW(parseSkeleton("def main() { loop iter=N "), Error);
+  EXPECT_THROW(parseSkeleton("def main() { libcall nosuchfn; }"), Error);
+  EXPECT_THROW(parseSkeleton("def main() { comp zap=1; }"), Error);
+  EXPECT_THROW(parseSkeleton("def main() { branch p=; }"), Error);
+}
+
+TEST(SkeletonParser, ErrorsCarryLineNumbers) {
+  try {
+    parseSkeleton("def main() {\n  comp flops=1;\n  bogus;\n}");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("skeleton:3"), std::string::npos) << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace skope::skel

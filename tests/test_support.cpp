@@ -1,0 +1,161 @@
+// Unit tests for src/support: text utilities, RNG determinism, diagnostics.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/diagnostics.h"
+#include "support/rng.h"
+#include "support/text.h"
+
+namespace skope {
+namespace {
+
+TEST(Text, SplitKeepsEmptyFields) {
+  auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Text, SplitSingleField) {
+  auto parts = split("hello", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "hello");
+}
+
+TEST(Text, TrimBothEnds) {
+  EXPECT_EQ(trim("  x y\t\n"), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t "), "");
+  EXPECT_EQ(trim("abc"), "abc");
+}
+
+TEST(Text, StartsWith) {
+  EXPECT_TRUE(startsWith("prefix_rest", "prefix"));
+  EXPECT_FALSE(startsWith("pre", "prefix"));
+  EXPECT_TRUE(startsWith("anything", ""));
+}
+
+TEST(Text, Format) {
+  EXPECT_EQ(format("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(format("%.2f", 3.14159), "3.14");
+}
+
+TEST(Text, JoinAndPad) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(padRight("ab", 4), "ab  ");
+  EXPECT_EQ(padLeft("ab", 4), "  ab");
+  EXPECT_EQ(padRight("abcdef", 3), "abc");
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    double v = r.uniform();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    double v = r.uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng r(99);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng r(5);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = r.range(-1, 1);
+    EXPECT_GE(v, -1);
+    EXPECT_LE(v, 1);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng r(17);
+  double sum = 0, sum2 = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    double g = r.gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(Rng, ChanceRespectsProbability) {
+  Rng r(31);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (r.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Diagnostics, LocFormatting) {
+  SourceLoc loc{"f.mc", 3, 7};
+  EXPECT_EQ(loc.str(), "f.mc:3:7");
+  EXPECT_TRUE(loc.valid());
+  EXPECT_FALSE(SourceLoc{}.valid());
+}
+
+TEST(Diagnostics, SinkCollectsAndCounts) {
+  DiagSink sink;
+  sink.note(SourceLoc{"f", 1, 1}, "n");
+  sink.warning(SourceLoc{"f", 2, 1}, "w");
+  EXPECT_FALSE(sink.hasErrors());
+  sink.error(SourceLoc{"f", 3, 1}, "e");
+  EXPECT_TRUE(sink.hasErrors());
+  EXPECT_EQ(sink.errorCount(), 1u);
+  EXPECT_EQ(sink.all().size(), 3u);
+  EXPECT_NE(sink.str().find("f:3:1: error: e"), std::string::npos);
+}
+
+TEST(Diagnostics, ThrowIfErrors) {
+  DiagSink ok;
+  EXPECT_NO_THROW(ok.throwIfErrors());
+  DiagSink bad;
+  bad.error(SourceLoc{"g", 1, 2}, "boom");
+  EXPECT_THROW(bad.throwIfErrors(), Error);
+}
+
+TEST(Diagnostics, ErrorCarriesLocation) {
+  try {
+    throw Error(SourceLoc{"h.mc", 9, 4}, "bad thing");
+  } catch (const Error& e) {
+    EXPECT_EQ(std::string(e.what()), "h.mc:9:4: bad thing");
+  }
+}
+
+}  // namespace
+}  // namespace skope

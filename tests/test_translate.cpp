@@ -1,0 +1,316 @@
+// Unit tests for the source-to-skeleton translator and the profile annotator.
+#include <gtest/gtest.h>
+
+#include "minic/parser.h"
+#include "minic/sema.h"
+#include "skeleton/printer.h"
+#include "translate/annotate.h"
+#include "translate/translate.h"
+#include "vm/compiler.h"
+#include "vm/profile.h"
+
+namespace skope::translate {
+namespace {
+
+using skel::SkKind;
+using skel::SkNode;
+
+struct Ctx {
+  std::unique_ptr<minic::Program> prog;
+  skel::SkeletonProgram sk;
+};
+
+Ctx translateSrc(std::string_view src) {
+  Ctx c;
+  c.prog = minic::parseProgram(src, "t.mc");
+  minic::analyzeOrThrow(*c.prog);
+  c.sk = translateProgram(*c.prog);
+  return c;
+}
+
+const SkNode* firstOfKind(const SkNode& n, SkKind k) {
+  if (n.kind == k) return &n;
+  for (const auto& c : n.kids) {
+    if (const SkNode* f = firstOfKind(*c, k)) return f;
+  }
+  for (const auto& c : n.elseKids) {
+    if (const SkNode* f = firstOfKind(*c, k)) return f;
+  }
+  return nullptr;
+}
+
+TEST(Translate, AffineLoopBoundsDerivedStatically) {
+  auto c = translateSrc(R"(
+    param int N = 8;
+    global real a[N];
+    func void main() {
+      var int i;
+      for (i = 0; i < N; i = i + 1) { a[i] = 1.0; }
+    }
+  )");
+  const SkNode* loop = firstOfKind(*c.sk.defs[0], SkKind::Loop);
+  ASSERT_NE(loop, nullptr);
+  ASSERT_NE(loop->iter, nullptr) << "affine bound should not need profiling";
+  ParamEnv env({{"N", 8}});
+  EXPECT_DOUBLE_EQ(loop->iter->eval(env), 8.0);
+}
+
+TEST(Translate, BoundShapes) {
+  struct Case {
+    const char* loop;
+    double expect;  // with N = 10
+  };
+  const Case cases[] = {
+      {"for (i = 0; i < N; i = i + 1)", 10},
+      {"for (i = 0; i <= N; i = i + 1)", 11},
+      {"for (i = 2; i < N; i = i + 2)", 4},
+      {"for (i = N; i > 0; i = i - 1)", 10},
+      {"for (i = N - 1; i >= 0; i = i - 1)", 10},
+      {"for (i = 0; N > i; i = i + 1)", 10},
+  };
+  for (const Case& tc : cases) {
+    std::string src = std::string("param int N = 10; global real a[N + 3];\n"
+                                  "func void main() { var int i; ") +
+                      tc.loop + " { a[i] = 1.0; } }";
+    auto c = translateSrc(src);
+    const SkNode* loop = firstOfKind(*c.sk.defs[0], SkKind::Loop);
+    ASSERT_NE(loop, nullptr) << tc.loop;
+    ASSERT_NE(loop->iter, nullptr) << tc.loop;
+    EXPECT_DOUBLE_EQ(loop->iter->eval(ParamEnv({{"N", 10}})), tc.expect) << tc.loop;
+  }
+}
+
+TEST(Translate, DataDependentLoopLeftUnresolved) {
+  auto c = translateSrc(R"(
+    global real x;
+    func void main() {
+      while (x < 10.0) { x = x + 1.0; }
+    }
+  )");
+  const SkNode* loop = firstOfKind(*c.sk.defs[0], SkKind::Loop);
+  ASSERT_NE(loop, nullptr);
+  EXPECT_EQ(loop->iter, nullptr);
+  EXPECT_EQ(unresolvedSites(c.sk).size(), 1u);
+}
+
+TEST(Translate, BranchProbLeftForProfiler) {
+  auto c = translateSrc(R"(
+    global real a[4];
+    func void main() {
+      if (a[0] > 0.5) { a[1] = 1.0; } else { a[2] = 2.0; }
+    }
+  )");
+  const SkNode* branch = firstOfKind(*c.sk.defs[0], SkKind::Branch);
+  ASSERT_NE(branch, nullptr);
+  EXPECT_EQ(branch->prob, nullptr);
+}
+
+TEST(Translate, MixCharacterization) {
+  auto c = translateSrc(R"(
+    param int N = 4;
+    global real a[N];
+    func void main() {
+      var int i;
+      for (i = 0; i < N; i = i + 1) {
+        a[i] = a[i] * 2.0 + 1.0 / a[i];
+      }
+    }
+  )");
+  const SkNode* loop = firstOfKind(*c.sk.defs[0], SkKind::Loop);
+  ASSERT_NE(loop, nullptr);
+  skel::SkMetrics total;
+  for (const auto& k : loop->kids) {
+    if (k->kind == SkKind::Comp) total += k->metrics;
+  }
+  EXPECT_DOUBLE_EQ(total.fpdivs, 1);   // the divide
+  EXPECT_DOUBLE_EQ(total.flops, 2);    // mul + add
+  EXPECT_DOUBLE_EQ(total.loads, 2);    // two reads of a[i]
+  EXPECT_DOUBLE_EQ(total.stores, 1);
+  EXPECT_GE(total.iops, 2);            // loop cond + step + branch
+}
+
+TEST(Translate, LibCallsBecomeNodes) {
+  auto c = translateSrc(R"(
+    global real x;
+    func void main() { x = exp(x) + fabs(x); }
+  )");
+  const SkNode* lib = firstOfKind(*c.sk.defs[0], SkKind::LibCall);
+  ASSERT_NE(lib, nullptr);  // exp is a library call
+  // fabs is a cheap intrinsic: folded into comp, so exactly one LibCall node
+  size_t libCount = 0;
+  std::function<void(const SkNode&)> walk = [&](const SkNode& n) {
+    if (n.kind == SkKind::LibCall) ++libCount;
+    for (const auto& k : n.kids) walk(*k);
+    for (const auto& k : n.elseKids) walk(*k);
+  };
+  walk(*c.sk.defs[0]);
+  EXPECT_EQ(libCount, 1u);
+}
+
+TEST(Translate, UserCallsWithSymbolicArgs) {
+  auto c = translateSrc(R"(
+    param int N = 8;
+    global real out;
+    func real f(int n) { return n * 2.0; }
+    func void main() { out = f(N / 2); }
+  )");
+  const SkNode* call = firstOfKind(*c.sk.findDef("main"), SkKind::Call);
+  ASSERT_NE(call, nullptr);
+  EXPECT_EQ(call->name, "f");
+  ASSERT_EQ(call->args.size(), 1u);
+  EXPECT_DOUBLE_EQ(call->args[0]->eval(ParamEnv({{"N", 8}})), 4.0);
+}
+
+TEST(Translate, SetEmittedForTrackableLocals) {
+  auto c = translateSrc(R"(
+    param int N = 8;
+    global real a[N];
+    func void main() {
+      var int half = N / 2;
+      var int i;
+      for (i = 0; i < half; i = i + 1) { a[i] = 1.0; }
+    }
+  )");
+  const SkNode* set = firstOfKind(*c.sk.defs[0], SkKind::Set);
+  ASSERT_NE(set, nullptr);
+  EXPECT_EQ(set->name, "half");
+  const SkNode* loop = firstOfKind(*c.sk.defs[0], SkKind::Loop);
+  ASSERT_NE(loop->iter, nullptr);
+  // bound references the tracked variable
+  EXPECT_DOUBLE_EQ(loop->iter->eval(ParamEnv({{"half", 4}})), 4.0);
+}
+
+TEST(Annotate, FillsFromProfile) {
+  auto prog = minic::parseProgram(R"(
+    param int N = 1000;
+    global real a[N];
+    global real out;
+    func void main() {
+      var int i;
+      for (i = 0; i < N; i = i + 1) { a[i] = rand(); }
+      var int j = 0;
+      while (a[j] < 0.9) { j = j + 1; }
+      for (i = 0; i < N; i = i + 1) {
+        if (a[i] < 0.5) { out = out + a[i]; }
+      }
+    }
+  )", "t.mc");
+  minic::analyzeOrThrow(*prog);
+  auto sk = translateProgram(*prog);
+  EXPECT_FALSE(unresolvedSites(sk).empty());
+
+  vm::Module mod = vm::compile(*prog);
+  vm::ProfileData pd = vm::profileRun(mod, {}, 99);
+  annotate(sk, pd);
+  EXPECT_TRUE(unresolvedSites(sk).empty());
+
+  // the annotated if-branch probability should be near 0.5
+  std::function<const SkNode*(const SkNode&)> findIf = [&](const SkNode& n) -> const SkNode* {
+    if (n.kind == SkKind::Branch) return &n;
+    for (const auto& k : n.kids) {
+      if (const SkNode* f = findIf(*k)) return f;
+    }
+    return nullptr;
+  };
+  // the branch lives inside the last loop of main
+  const SkNode* main = sk.findDef("main");
+  const SkNode* branch = findIf(*main);
+  ASSERT_NE(branch, nullptr);
+  EXPECT_NEAR(branch->prob->eval({}), 0.5, 0.1);
+}
+
+TEST(Annotate, UnreachedSitesBecomeDead) {
+  auto prog = minic::parseProgram(R"(
+    global real x;
+    func void main() {
+      if (0) { while (x < 1.0) { x = x + 1.0; } }
+    }
+  )", "t.mc");
+  minic::analyzeOrThrow(*prog);
+  auto sk = translateProgram(*prog);
+  vm::Module mod = vm::compile(*prog);
+  vm::ProfileData pd = vm::profileRun(mod, {});
+  annotate(sk, pd);
+  const SkNode* loop = firstOfKind(*sk.defs[0], SkKind::Loop);
+  ASSERT_NE(loop, nullptr);
+  EXPECT_DOUBLE_EQ(loop->iter->eval({}), 0.0);
+}
+
+TEST(Annotate, DeveloperHintsOverride) {
+  auto prog = minic::parseProgram(R"(
+    param int N = 100;
+    global real a[N];
+    global real out;
+    func void main() {
+      var int i;
+      for (i = 0; i < N; i = i + 1) { a[i] = rand(); }
+      var int k = 0;
+      while (a[k] < 2.0) {
+        k = k + 1;
+        if (k >= N - 1) { break; }
+        if (a[k] > 0.5) { out = out + 1.0; }
+      }
+    }
+  )", "t.mc");
+  minic::analyzeOrThrow(*prog);
+  auto sk = translateProgram(*prog);
+  vm::Module mod = vm::compile(*prog);
+  annotate(sk, vm::profileRun(mod, {}, 5));
+
+  // locate the data-dependent if and the while loop in the AST
+  uint32_t ifSite = 0, whileSite = 0;
+  minic::forEachStmt(prog->funcs[0]->body, [&](const minic::StmtNode& s) {
+    if (s.kind == minic::StmtKind::If && s.cond->kind == minic::ExprKind::Binary &&
+        s.cond->bin == minic::BinOp::Gt) {
+      ifSite = s.id;
+    }
+    if (s.kind == minic::StmtKind::While) whileSite = s.id;
+  });
+  ASSERT_NE(ifSite, 0u);
+  ASSERT_NE(whileSite, 0u);
+
+  // a developer who knows the production input skews the branch to 0.9
+  size_t n = applyHints(sk, {{ifSite, 0.9}}, {{whileSite, 250.0}});
+  EXPECT_EQ(n, 2u);
+
+  const SkNode* branch = nullptr;
+  const SkNode* loop = nullptr;
+  std::function<void(const SkNode&)> walk = [&](const SkNode& node) {
+    if (node.kind == SkKind::Branch && node.origin == ifSite) branch = &node;
+    if (node.kind == SkKind::Loop && node.origin == whileSite) loop = &node;
+    for (const auto& k : node.kids) walk(*k);
+    for (const auto& k : node.elseKids) walk(*k);
+  };
+  walk(*sk.findDef("main"));
+  ASSERT_NE(branch, nullptr);
+  ASSERT_NE(loop, nullptr);
+  EXPECT_DOUBLE_EQ(branch->prob->eval({}), 0.9);
+  EXPECT_DOUBLE_EQ(loop->iter->eval({}), 250.0);
+
+  // probabilities are clamped, trips floored at zero
+  applyHints(sk, {{ifSite, 7.0}}, {{whileSite, -3.0}});
+  EXPECT_DOUBLE_EQ(branch->prob->eval({}), 1.0);
+  EXPECT_DOUBLE_EQ(loop->iter->eval({}), 0.0);
+
+  // unknown origins apply nothing
+  EXPECT_EQ(applyHints(sk, {{999999u, 0.5}}), 0u);
+}
+
+TEST(Translate, SkeletonPrintsAndSizes) {
+  auto c = translateSrc(R"(
+    param int N = 4;
+    global real a[N];
+    func void main() {
+      var int i;
+      for (i = 0; i < N; i = i + 1) { a[i] = exp(a[i]); }
+    }
+  )");
+  std::string text = skel::printSkeleton(c.sk);
+  EXPECT_NE(text.find("def main()"), std::string::npos);
+  EXPECT_NE(text.find("loop"), std::string::npos);
+  EXPECT_NE(text.find("libcall"), std::string::npos);
+  EXPECT_NE(text.find(" exp;"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace skope::translate

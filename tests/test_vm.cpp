@@ -1,0 +1,376 @@
+// Unit tests for the bytecode compiler and VM: execution semantics, op-mix
+// counters, branch profiling, and the flat address space used by the cache
+// simulator.
+#include <gtest/gtest.h>
+
+#include "minic/builtins.h"
+#include "minic/parser.h"
+#include "minic/sema.h"
+#include "vm/compiler.h"
+#include "vm/interp.h"
+#include "vm/profile.h"
+
+namespace skope::vm {
+namespace {
+
+struct Compiled {
+  std::unique_ptr<minic::Program> prog;
+  Module mod;
+};
+
+Compiled compileSrc(std::string_view src) {
+  Compiled c;
+  c.prog = minic::parseProgram(src, "test.mc");
+  minic::analyzeOrThrow(*c.prog);
+  c.mod = compile(*c.prog);
+  return c;
+}
+
+// Runs and returns the value of global scalar `out`.
+double runAndRead(std::string_view src, const std::map<std::string, double>& params = {}) {
+  auto c = compileSrc(src);
+  Vm vm(c.mod);
+  vm.bindParams(params);
+  vm.run();
+  return vm.scalar("out");
+}
+
+TEST(Vm, ArithmeticAndAssignment) {
+  EXPECT_DOUBLE_EQ(runAndRead("global real out; func void main() { out = 2.0 * 3.0 + 4.0; }"),
+                   10.0);
+  EXPECT_DOUBLE_EQ(runAndRead("global real out; func void main() { out = 7 / 2; }"), 3.0);
+  EXPECT_DOUBLE_EQ(runAndRead("global real out; func void main() { out = 7.0 / 2.0; }"), 3.5);
+  EXPECT_DOUBLE_EQ(runAndRead("global real out; func void main() { out = 7 % 3; }"), 1.0);
+  EXPECT_DOUBLE_EQ(runAndRead("global real out; func void main() { out = -(3) + 1; }"), -2.0);
+}
+
+TEST(Vm, IntRealConversions) {
+  // int = real truncates
+  EXPECT_DOUBLE_EQ(
+      runAndRead("global real out; func void main() { var int i = 0; i = 2.9; out = i; }"),
+      2.0);
+  // mixed arithmetic promotes
+  EXPECT_DOUBLE_EQ(runAndRead("global real out; func void main() { out = 1 + 0.5; }"), 1.5);
+}
+
+TEST(Vm, ComparisonsAndLogic) {
+  EXPECT_DOUBLE_EQ(runAndRead("global real out; func void main() { out = 3 < 5; }"), 1.0);
+  EXPECT_DOUBLE_EQ(runAndRead("global real out; func void main() { out = 3.0 >= 5.0; }"), 0.0);
+  EXPECT_DOUBLE_EQ(
+      runAndRead("global real out; func void main() { out = (1 < 2) && (3 > 4); }"), 0.0);
+  EXPECT_DOUBLE_EQ(
+      runAndRead("global real out; func void main() { out = (1 < 2) || (3 > 4); }"), 1.0);
+  EXPECT_DOUBLE_EQ(runAndRead("global real out; func void main() { out = !(0); }"), 1.0);
+}
+
+TEST(Vm, ForLoopSum) {
+  double v = runAndRead(R"(
+    global real out;
+    func void main() {
+      var int i;
+      var real s = 0.0;
+      for (i = 1; i <= 100; i = i + 1) { s = s + i; }
+      out = s;
+    }
+  )");
+  EXPECT_DOUBLE_EQ(v, 5050.0);
+}
+
+TEST(Vm, WhileBreakContinue) {
+  double v = runAndRead(R"(
+    global real out;
+    func void main() {
+      var int i = 0;
+      var real s = 0.0;
+      while (1) {
+        i = i + 1;
+        if (i > 10) { break; }
+        if (i % 2 == 0) { continue; }
+        s = s + i;
+      }
+      out = s;  // 1+3+5+7+9 = 25
+    }
+  )");
+  EXPECT_DOUBLE_EQ(v, 25.0);
+}
+
+TEST(Vm, NestedLoopsWithBreak) {
+  double v = runAndRead(R"(
+    global real out;
+    func void main() {
+      var int i; var int j;
+      var real c = 0.0;
+      for (i = 0; i < 4; i = i + 1) {
+        for (j = 0; j < 10; j = j + 1) {
+          if (j == 2) { break; }
+          c = c + 1.0;
+        }
+      }
+      out = c;  // inner loop counts 2 per outer iter
+    }
+  )");
+  EXPECT_DOUBLE_EQ(v, 8.0);
+}
+
+TEST(Vm, FunctionsAndRecursion) {
+  double v = runAndRead(R"(
+    global real out;
+    func int fib(int n) {
+      if (n < 2) { return n; }
+      return fib(n - 1) + fib(n - 2);
+    }
+    func void main() { out = fib(12); }
+  )");
+  EXPECT_DOUBLE_EQ(v, 144.0);
+}
+
+TEST(Vm, ArraysMultiDim) {
+  double v = runAndRead(R"(
+    param int N = 3;
+    global real m[N][N][2];
+    global real out;
+    func void main() {
+      var int i; var int j; var int k;
+      for (i = 0; i < N; i = i + 1) {
+        for (j = 0; j < N; j = j + 1) {
+          for (k = 0; k < 2; k = k + 1) { m[i][j][k] = i * 100 + j * 10 + k; }
+        }
+      }
+      out = m[2][1][1];
+    }
+  )");
+  EXPECT_DOUBLE_EQ(v, 211.0);
+}
+
+TEST(Vm, ParamBindingOverridesDefault) {
+  const char* src = R"(
+    param int N = 4;
+    global real out;
+    func void main() { out = N; }
+  )";
+  EXPECT_DOUBLE_EQ(runAndRead(src), 4.0);
+  EXPECT_DOUBLE_EQ(runAndRead(src, {{"N", 9}}), 9.0);
+}
+
+TEST(Vm, UnboundParamThrows) {
+  auto c = compileSrc("param int N; global real out; func void main() { out = N; }");
+  Vm vm(c.mod);
+  EXPECT_THROW(vm.run(), Error);
+}
+
+TEST(Vm, OutOfBoundsThrows) {
+  auto c = compileSrc(R"(
+    param int N = 2;
+    global real a[N];
+    func void main() { a[5] = 1.0; }
+  )");
+  Vm vm(c.mod);
+  EXPECT_THROW(vm.run(), Error);
+}
+
+TEST(Vm, MaxOpsGuard) {
+  auto c = compileSrc("func void main() { while (1) { } }");
+  Vm vm(c.mod);
+  vm.setMaxOps(10000);
+  EXPECT_THROW(vm.run(), Error);
+}
+
+TEST(Vm, BuiltinsWork) {
+  EXPECT_NEAR(runAndRead("global real out; func void main() { out = exp(1.0); }"), 2.71828,
+              1e-4);
+  EXPECT_NEAR(runAndRead("global real out; func void main() { out = sqrt(2.0); }"), 1.41421,
+              1e-4);
+  EXPECT_DOUBLE_EQ(runAndRead("global real out; func void main() { out = fmax(1.0, 2.5); }"),
+                   2.5);
+  EXPECT_DOUBLE_EQ(runAndRead("global real out; func void main() { out = floor(2.9); }"),
+                   2.0);
+  EXPECT_NEAR(runAndRead("global real out; func void main() { out = pow(2.0, 10.0); }"),
+              1024.0, 1e-9);
+}
+
+TEST(Vm, RandDeterministicPerSeed) {
+  auto c = compileSrc("global real out; func void main() { out = rand(); }");
+  Vm vm1(c.mod), vm2(c.mod), vm3(c.mod);
+  vm1.setSeed(42);
+  vm2.setSeed(42);
+  vm3.setSeed(43);
+  vm1.run();
+  vm2.run();
+  vm3.run();
+  EXPECT_DOUBLE_EQ(vm1.scalar("out"), vm2.scalar("out"));
+  EXPECT_NE(vm1.scalar("out"), vm3.scalar("out"));
+}
+
+TEST(Vm, OpCountersClassifyMix) {
+  auto c = compileSrc(R"(
+    param int N = 10;
+    global real a[N];
+    global real out;
+    func void main() {
+      var int i;
+      for (i = 0; i < N; i = i + 1) { a[i] = a[i] * 2.0 + 1.0; }
+      out = a[3];
+    }
+  )");
+  Vm vm(c.mod);
+  vm.run();
+  const OpCounters& oc = vm.counters();
+  // loop body: per iteration one load, one store, one FpMul, one FpAdd
+  uint32_t loopRegion = 0;
+  for (const auto& [id, info] : c.mod.regions) {
+    if (info.kind == RegionKind::Loop) loopRegion = id;
+  }
+  ASSERT_NE(loopRegion, 0u);
+  EXPECT_EQ(oc.get(loopRegion, OpClass::Load), 10u);
+  EXPECT_EQ(oc.get(loopRegion, OpClass::Store), 10u);
+  EXPECT_EQ(oc.get(loopRegion, OpClass::FpMul), 10u);
+  EXPECT_EQ(oc.get(loopRegion, OpClass::FpAdd), 10u);
+  EXPECT_EQ(oc.get(loopRegion, OpClass::Branch), 11u);  // 10 taken + 1 exit
+  // the final read of a[3] happens in the function region
+  uint32_t funcRegion = c.mod.funcs[static_cast<size_t>(c.mod.mainIndex)].regionId;
+  EXPECT_EQ(oc.get(funcRegion, OpClass::Load), 1u);
+}
+
+TEST(Vm, RegionsTrackNestingAndStaticCounts) {
+  auto c = compileSrc(R"(
+    func void main() {
+      var int i; var int j;
+      for (i = 0; i < 2; i = i + 1) {
+        for (j = 0; j < 2; j = j + 1) { j = j; }
+      }
+    }
+  )");
+  int loops = 0;
+  uint32_t outer = 0, inner = 0;
+  for (const auto& [id, info] : c.mod.regions) {
+    if (info.kind == RegionKind::Loop) {
+      ++loops;
+      if (info.depth == 1) outer = id;
+      if (info.depth == 2) inner = id;
+    }
+  }
+  EXPECT_EQ(loops, 2);
+  ASSERT_NE(outer, 0u);
+  ASSERT_NE(inner, 0u);
+  EXPECT_EQ(c.mod.regions.at(inner).parent, outer);
+  EXPECT_GT(c.mod.totalStaticInstrs(), 0u);
+}
+
+TEST(Vm, ArrayAddressesDisjointAndAligned) {
+  auto c = compileSrc(R"(
+    param int N = 100;
+    global real a[N];
+    global real b[N][2];
+    func void main() { a[0] = 1.0; b[0][0] = 2.0; }
+  )");
+  Vm vm(c.mod);
+  vm.run();
+  const ArrayInfo& a = vm.arrayInfo("a");
+  const ArrayInfo& b = vm.arrayInfo("b");
+  EXPECT_EQ(a.baseAddr % 4096, 0u);
+  EXPECT_EQ(b.baseAddr % 4096, 0u);
+  EXPECT_GE(b.baseAddr, a.baseAddr + 100 * 8);
+  EXPECT_EQ(b.totalElems, 200);
+}
+
+TEST(Profile, BranchProbabilities) {
+  auto c = compileSrc(R"(
+    param int N = 1000;
+    global real a[N];
+    global real out;
+    func void main() {
+      var int i;
+      for (i = 0; i < N; i = i + 1) { a[i] = rand(); }
+      for (i = 0; i < N; i = i + 1) {
+        if (a[i] < 0.25) { out = out + 1.0; }
+      }
+    }
+  )");
+  ProfileData pd = profileRun(c.mod, {}, 7);
+  // find the if site: it is the only branch site that is not a loop
+  const minic::Program& prog = *c.prog;
+  uint32_t ifSite = 0;
+  minic::forEachStmt(prog.funcs[0]->body, [&](const minic::StmtNode& s) {
+    if (s.kind == minic::StmtKind::If) ifSite = s.id;
+  });
+  ASSERT_NE(ifSite, 0u);
+  const BranchSiteStats* st = pd.site(ifSite);
+  ASSERT_NE(st, nullptr);
+  EXPECT_EQ(st->total, 1000u);
+  EXPECT_NEAR(st->pTrue(), 0.25, 0.05);
+}
+
+TEST(Profile, LoopTripCounts) {
+  auto c = compileSrc(R"(
+    param int N = 50;
+    global real out;
+    func void main() {
+      var int i; var int j;
+      for (i = 0; i < 10; i = i + 1) {
+        for (j = 0; j < N; j = j + 1) { out = out + 1.0; }
+      }
+    }
+  )");
+  ProfileData pd = profileRun(c.mod, {}, 1);
+  uint32_t innerLoop = 0;
+  for (const auto& [id, info] : c.mod.regions) {
+    if (info.kind == RegionKind::Loop && info.depth == 2) innerLoop = id;
+  }
+  const BranchSiteStats* st = pd.site(innerLoop);
+  ASSERT_NE(st, nullptr);
+  EXPECT_DOUBLE_EQ(st->meanTrips(), 50.0);
+}
+
+TEST(Profile, LibCallsAttributedToRegions) {
+  auto c = compileSrc(R"(
+    param int N = 20;
+    global real a[N];
+    func void main() {
+      var int i;
+      for (i = 0; i < N; i = i + 1) { a[i] = exp(rand()); }
+    }
+  )");
+  ProfileData pd = profileRun(c.mod, {});
+  uint64_t expCalls = 0, randCalls = 0;
+  for (const auto& [key, count] : pd.libCalls) {
+    if (key.second == minic::findBuiltin("exp")) expCalls += count;
+    if (key.second == minic::findBuiltin("rand")) randCalls += count;
+  }
+  EXPECT_EQ(expCalls, 20u);
+  EXPECT_EQ(randCalls, 20u);
+}
+
+TEST(Profile, CallCounts) {
+  auto c = compileSrc(R"(
+    global real out;
+    func real g(real x) { return x * 2.0; }
+    func void main() {
+      var int i;
+      for (i = 0; i < 5; i = i + 1) { out = g(out) + 1.0; }
+    }
+  )");
+  ProfileData pd = profileRun(c.mod, {});
+  int gIndex = c.mod.funcIndexOf("g");
+  uint64_t calls = 0;
+  for (const auto& [key, count] : pd.calls) {
+    if (key.second == gIndex) calls += count;
+  }
+  EXPECT_EQ(calls, 5u);
+}
+
+TEST(Vm, DivisionByZeroInt) {
+  auto c = compileSrc("global real out; func void main() { var int z = 0; out = 1 / z; }");
+  Vm vm(c.mod);
+  EXPECT_THROW(vm.run(), Error);
+}
+
+TEST(Vm, Disassemble) {
+  auto c = compileSrc("global real out; func void main() { out = 1.0 + 2.0; }");
+  std::string d = disassemble(c.mod, c.mod.funcs[0]);
+  EXPECT_NE(d.find("PushConst"), std::string::npos);
+  EXPECT_NE(d.find("AddR"), std::string::npos);
+  EXPECT_NE(d.find("StoreGlobal"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace skope::vm

@@ -1,0 +1,94 @@
+// Integration tests over the five benchmark workloads: each parses, checks,
+// compiles, executes, profiles and translates cleanly, and basic structural
+// facts from the paper's §VI descriptions hold.
+#include <gtest/gtest.h>
+
+#include "minic/parser.h"
+#include "minic/sema.h"
+#include "translate/annotate.h"
+#include "translate/translate.h"
+#include "vm/compiler.h"
+#include "vm/profile.h"
+#include "workloads/workloads.h"
+
+namespace skope::workloads {
+namespace {
+
+class WorkloadSuite : public ::testing::TestWithParam<const Workload*> {};
+
+TEST_P(WorkloadSuite, ParsesAndChecks) {
+  const Workload& w = *GetParam();
+  auto prog = minic::parseProgram(w.source, w.name);
+  EXPECT_NO_THROW(minic::analyzeOrThrow(*prog));
+  EXPECT_GT(prog->funcs.size(), 2u);
+  EXPECT_NE(prog->findFunc("main"), nullptr);
+}
+
+TEST_P(WorkloadSuite, ExecutesWithinBudget) {
+  const Workload& w = *GetParam();
+  auto prog = minic::parseProgram(w.source, w.name);
+  minic::analyzeOrThrow(*prog);
+  vm::Module mod = vm::compile(*prog);
+  vm::Vm machine(mod);
+  machine.bindParams(w.params);
+  machine.setSeed(w.seed);
+  machine.setMaxOps(600'000'000ULL);
+  EXPECT_NO_THROW(machine.run());
+  EXPECT_GT(machine.dynamicInstrs(), 100'000u) << "workload suspiciously small";
+}
+
+TEST_P(WorkloadSuite, ProfilesAndAnnotatesFully) {
+  const Workload& w = *GetParam();
+  auto prog = minic::parseProgram(w.source, w.name);
+  minic::analyzeOrThrow(*prog);
+  vm::Module mod = vm::compile(*prog);
+  auto sk = translate::translateProgram(*prog);
+  vm::ProfileData pd = vm::profileRun(mod, w.params, w.seed);
+  translate::annotate(sk, pd);
+  EXPECT_TRUE(translate::unresolvedSites(sk).empty());
+  EXPECT_GT(sk.totalNodes(), 20u);
+}
+
+TEST_P(WorkloadSuite, DeterministicAcrossRuns) {
+  const Workload& w = *GetParam();
+  auto prog = minic::parseProgram(w.source, w.name);
+  minic::analyzeOrThrow(*prog);
+  vm::Module mod = vm::compile(*prog);
+  vm::ProfileData a = vm::profileRun(mod, w.params, w.seed);
+  vm::ProfileData b = vm::profileRun(mod, w.params, w.seed);
+  EXPECT_EQ(a.opCounters.grandTotal(), b.opCounters.grandTotal());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFive, WorkloadSuite, ::testing::ValuesIn(allWorkloads()),
+                         [](const ::testing::TestParamInfo<const Workload*>& info) {
+                           return info.param->name;
+                         });
+
+TEST(Workloads, FiveDistinctWorkloads) {
+  auto all = allWorkloads();
+  ASSERT_EQ(all.size(), 5u);
+  std::set<std::string> names;
+  for (const auto* w : all) names.insert(w->name);
+  EXPECT_EQ(names.size(), 5u);
+}
+
+TEST(Workloads, SradUsesLibraryHotSpots) {
+  // SRAD's measured hot spots include exp and rand (§VII-B)
+  EXPECT_NE(srad().source.find("exp("), std::string::npos);
+  EXPECT_NE(srad().source.find("rand()"), std::string::npos);
+}
+
+TEST(Workloads, StassuijHasTwoPhases) {
+  EXPECT_NE(stassuij().source.find("sparse_apply"), std::string::npos);
+  EXPECT_NE(stassuij().source.find("butterfly_exchange"), std::string::npos);
+}
+
+TEST(Workloads, ChargeiHasEightLoopFunctions) {
+  // the paper: "contains eight loop structures"
+  auto prog = minic::parseProgram(chargei().source, "chargei");
+  minic::analyzeOrThrow(*prog);
+  EXPECT_GE(prog->funcs.size(), 8u);
+}
+
+}  // namespace
+}  // namespace skope::workloads

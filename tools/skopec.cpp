@@ -1,0 +1,142 @@
+// skopec — command-line driver for the co-design framework.
+//
+// Analyze one of the bundled benchmark workloads, or any MiniC file, on a
+// chosen machine model:
+//
+//   skopec sord --machine=bgq                    # bundled workload
+//   skopec app.mc --params N=128,STEPS=10        # your own program
+//   skopec srad --machine=xeon --hotpath         # print the hot path
+//   skopec cfd --skeleton                        # dump the annotated skeleton
+//   skopec sord --compare                        # model vs ground truth
+//   skopec sord --scaling --cells 64000 --steps 4  # multi-node projection
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/framework.h"
+#include "report/table.h"
+#include "roofline/multinode.h"
+#include "skeleton/printer.h"
+#include "support/argparse.h"
+#include "support/text.h"
+
+using namespace skope;
+
+namespace {
+
+std::unique_ptr<core::CodesignFramework> load(const std::string& target,
+                                              const std::string& paramSpec,
+                                              const std::string& hintPath) {
+  std::map<std::string, double> overrides;
+  if (!hintPath.empty()) overrides = core::loadHintFile(hintPath);
+  for (const auto& [k, v] : core::parseParamSpec(paramSpec)) overrides[k] = v;
+
+  for (const auto* w : workloads::allWorkloads()) {
+    std::string lower;
+    for (char c : w->name) lower += static_cast<char>(std::tolower(c));
+    if (target == lower || target == w->name) {
+      auto params = w->params;
+      for (const auto& [k, v] : overrides) params[k] = v;
+      return std::make_unique<core::CodesignFramework>(w->name, w->source, params, w->seed);
+    }
+  }
+  std::ifstream in(target);
+  if (!in) throw Error("no bundled workload or readable file named '" + target + "'");
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return std::make_unique<core::CodesignFramework>(target, ss.str(), overrides);
+}
+
+int run(int argc, char** argv) {
+  ArgParser args("skopec",
+                 "analytic hot-region analysis for software-hardware co-design");
+  args.addPositional("workload", "bundled workload name (sord, chargei, srad, cfd, "
+                                 "stassuij) or a MiniC file path");
+  args.addFlag("machine", "target machine: bgq, xeon, knl, arm", "bgq");
+  args.addFlag("params", "override workload params, e.g. N=128,STEPS=10");
+  args.addFlag("hints", "hint file with one 'name = value' binding per line");
+  args.addFlag("coverage", "hot-spot time-coverage criterion", "0.90");
+  args.addFlag("leanness", "hot-spot code-leanness criterion", "0.45");
+  args.addFlag("top", "rows to print in rankings", "10");
+  args.addBool("compare", "also run the ground-truth simulator (Prof vs Modl)");
+  args.addBool("hotpath", "print the hot path for the selection");
+  args.addBool("skeleton", "dump the annotated code skeleton and exit");
+  args.addBool("bet", "dump the Bayesian Execution Tree and exit");
+  args.addFlag("scaling", "multi-node strong-scaling projection up to this node count");
+  args.addFlag("cells", "total grid cells for the halo model (with --scaling)", "64000");
+  args.addFlag("steps", "halo exchanges per run (with --scaling)", "4");
+  if (!args.parse(argc, argv)) return 0;
+
+  auto fw = load(args.get("workload"), args.get("params"), args.get("hints"));
+  MachineModel machine = core::machineByName(args.get("machine"));
+  hotspot::SelectionCriteria criteria{args.getDouble("coverage"),
+                                      args.getDouble("leanness")};
+  auto topN = static_cast<size_t>(args.getDouble("top"));
+
+  if (args.getBool("skeleton")) {
+    std::fputs(skel::printSkeleton(fw->skeleton()).c_str(), stdout);
+    return 0;
+  }
+  if (args.getBool("bet")) {
+    std::fputs(bet::printBet(fw->bet()).c_str(), stdout);
+    return 0;
+  }
+
+  if (args.getBool("compare")) {
+    auto analysis = fw->analyze(machine, criteria);
+    std::fputs(analysis.summary(topN).c_str(), stdout);
+  } else {
+    auto model = fw->project(machine);
+    auto ranking = hotspot::rankingFromModel(model);
+    std::printf("projected hot spots on %s (total %.4f s, no simulation run):\n",
+                machine.name.c_str(), model.totalSeconds);
+    report::Table t({"#", "block", "time%", "ENR", "bound"});
+    for (size_t i = 0; i < topN && i < ranking.size(); ++i) {
+      const auto& bc = model.blocks.at(ranking[i].origin);
+      t.addRow({std::to_string(i + 1), bc.label, format("%.2f%%", bc.fraction * 100),
+                format("%.4g", bc.enr),
+                bc.tmSeconds > bc.tcSeconds ? "memory" : "compute"});
+    }
+    std::fputs(t.str().c_str(), stdout);
+  }
+
+  if (args.getBool("hotpath")) {
+    std::fputs(fw->hotPathReport(machine, criteria).c_str(), stdout);
+  }
+
+  if (!args.get("scaling").empty()) {
+    int maxNodes = static_cast<int>(args.getDouble("scaling"));
+    roofline::HaloDecomposition halo;
+    halo.totalCells = args.getDouble("cells");
+    halo.stepsPerRun = static_cast<int>(args.getDouble("steps"));
+    halo.fields = 4;
+    std::vector<int> counts;
+    for (int n = 1; n <= maxNodes; n *= 2) counts.push_back(n);
+    auto model = fw->project(machine);
+    auto scaling = roofline::projectStrongScaling(model, machine, halo, counts);
+    std::printf("\nstrong-scaling projection (%s network):\n", machine.name.c_str());
+    report::Table t({"nodes", "compute s", "comm s", "total s", "speedup", "efficiency"});
+    for (const auto& p : scaling) {
+      t.addRow({std::to_string(p.nodes), format("%.5f", p.computeSeconds),
+                format("%.5f", p.commSeconds), format("%.5f", p.totalSeconds),
+                format("%.1fx", p.speedup), format("%.0f%%", p.parallelEfficiency * 100)});
+    }
+    std::fputs(t.str().c_str(), stdout);
+    int crossover = roofline::commDominanceCrossover(scaling);
+    if (crossover > 0) {
+      std::printf("communication dominates from %d nodes on.\n", crossover);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "skopec: %s\n", e.what());
+    return 1;
+  }
+}
