@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bet_size.dir/bench_bet_size.cpp.o"
+  "CMakeFiles/bench_bet_size.dir/bench_bet_size.cpp.o.d"
+  "bench_bet_size"
+  "bench_bet_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bet_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

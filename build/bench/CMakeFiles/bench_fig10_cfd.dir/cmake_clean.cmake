@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_cfd.dir/bench_fig10_cfd.cpp.o"
+  "CMakeFiles/bench_fig10_cfd.dir/bench_fig10_cfd.cpp.o.d"
+  "bench_fig10_cfd"
+  "bench_fig10_cfd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_cfd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_srad.dir/bench_fig11_srad.cpp.o"
+  "CMakeFiles/bench_fig11_srad.dir/bench_fig11_srad.cpp.o.d"
+  "bench_fig11_srad"
+  "bench_fig11_srad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_srad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_chargei.dir/bench_fig12_chargei.cpp.o"
+  "CMakeFiles/bench_fig12_chargei.dir/bench_fig12_chargei.cpp.o.d"
+  "bench_fig12_chargei"
+  "bench_fig12_chargei.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_chargei.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

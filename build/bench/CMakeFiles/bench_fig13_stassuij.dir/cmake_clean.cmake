@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_stassuij.dir/bench_fig13_stassuij.cpp.o"
+  "CMakeFiles/bench_fig13_stassuij.dir/bench_fig13_stassuij.cpp.o.d"
+  "bench_fig13_stassuij"
+  "bench_fig13_stassuij.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_stassuij.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_sord_hotpath.dir/bench_fig9_sord_hotpath.cpp.o"
+  "CMakeFiles/bench_fig9_sord_hotpath.dir/bench_fig9_sord_hotpath.cpp.o.d"
+  "bench_fig9_sord_hotpath"
+  "bench_fig9_sord_hotpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_sord_hotpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_summary_quality.dir/bench_summary_quality.cpp.o"
+  "CMakeFiles/bench_summary_quality.dir/bench_summary_quality.cpp.o.d"
+  "bench_summary_quality"
+  "bench_summary_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_summary_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codesign_sweep.dir/codesign_sweep.cpp.o"
+  "CMakeFiles/codesign_sweep.dir/codesign_sweep.cpp.o.d"
+  "codesign_sweep"
+  "codesign_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codesign_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

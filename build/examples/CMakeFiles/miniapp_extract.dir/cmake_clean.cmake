@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miniapp_extract.dir/miniapp_extract.cpp.o"
+  "CMakeFiles/miniapp_extract.dir/miniapp_extract.cpp.o.d"
+  "miniapp_extract"
+  "miniapp_extract.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miniapp_extract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skeleton_lab.dir/skeleton_lab.cpp.o"
+  "CMakeFiles/skeleton_lab.dir/skeleton_lab.cpp.o.d"
+  "skeleton_lab"
+  "skeleton_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skeleton_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

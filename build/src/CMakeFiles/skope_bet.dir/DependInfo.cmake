@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bet/bet.cpp" "src/CMakeFiles/skope_bet.dir/bet/bet.cpp.o" "gcc" "src/CMakeFiles/skope_bet.dir/bet/bet.cpp.o.d"
+  "/root/repo/src/bet/builder.cpp" "src/CMakeFiles/skope_bet.dir/bet/builder.cpp.o" "gcc" "src/CMakeFiles/skope_bet.dir/bet/builder.cpp.o.d"
+  "/root/repo/src/bet/context.cpp" "src/CMakeFiles/skope_bet.dir/bet/context.cpp.o" "gcc" "src/CMakeFiles/skope_bet.dir/bet/context.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/skope_skeleton.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skope_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skope_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skope_bet.dir/bet/bet.cpp.o"
+  "CMakeFiles/skope_bet.dir/bet/bet.cpp.o.d"
+  "CMakeFiles/skope_bet.dir/bet/builder.cpp.o"
+  "CMakeFiles/skope_bet.dir/bet/builder.cpp.o.d"
+  "CMakeFiles/skope_bet.dir/bet/context.cpp.o"
+  "CMakeFiles/skope_bet.dir/bet/context.cpp.o.d"
+  "libskope_bet.a"
+  "libskope_bet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skope_bet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for skope_bet.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skope_core.dir/core/framework.cpp.o"
+  "CMakeFiles/skope_core.dir/core/framework.cpp.o.d"
+  "libskope_core.a"
+  "libskope_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skope_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skope_expr.dir/expr/expr.cpp.o"
+  "CMakeFiles/skope_expr.dir/expr/expr.cpp.o.d"
+  "libskope_expr.a"
+  "libskope_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skope_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

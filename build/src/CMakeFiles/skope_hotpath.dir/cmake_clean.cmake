@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skope_hotpath.dir/hotpath/hotpath.cpp.o"
+  "CMakeFiles/skope_hotpath.dir/hotpath/hotpath.cpp.o.d"
+  "libskope_hotpath.a"
+  "libskope_hotpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skope_hotpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hotspot/hotspot.cpp" "src/CMakeFiles/skope_hotspot.dir/hotspot/hotspot.cpp.o" "gcc" "src/CMakeFiles/skope_hotspot.dir/hotspot/hotspot.cpp.o.d"
+  "/root/repo/src/hotspot/quality.cpp" "src/CMakeFiles/skope_hotspot.dir/hotspot/quality.cpp.o" "gcc" "src/CMakeFiles/skope_hotspot.dir/hotspot/quality.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/skope_roofline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skope_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skope_bet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skope_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skope_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skope_minic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skope_skeleton.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skope_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skope_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skope_hotspot.dir/hotspot/hotspot.cpp.o"
+  "CMakeFiles/skope_hotspot.dir/hotspot/hotspot.cpp.o.d"
+  "CMakeFiles/skope_hotspot.dir/hotspot/quality.cpp.o"
+  "CMakeFiles/skope_hotspot.dir/hotspot/quality.cpp.o.d"
+  "libskope_hotspot.a"
+  "libskope_hotspot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skope_hotspot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libskope_hotspot.a"
+)

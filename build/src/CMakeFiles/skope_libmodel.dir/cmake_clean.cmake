@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skope_libmodel.dir/libmodel/libmodel.cpp.o"
+  "CMakeFiles/skope_libmodel.dir/libmodel/libmodel.cpp.o.d"
+  "libskope_libmodel.a"
+  "libskope_libmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skope_libmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

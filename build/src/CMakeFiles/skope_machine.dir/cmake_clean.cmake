@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skope_machine.dir/machine/cache.cpp.o"
+  "CMakeFiles/skope_machine.dir/machine/cache.cpp.o.d"
+  "CMakeFiles/skope_machine.dir/machine/machine.cpp.o"
+  "CMakeFiles/skope_machine.dir/machine/machine.cpp.o.d"
+  "libskope_machine.a"
+  "libskope_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skope_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minic/ast.cpp" "src/CMakeFiles/skope_minic.dir/minic/ast.cpp.o" "gcc" "src/CMakeFiles/skope_minic.dir/minic/ast.cpp.o.d"
+  "/root/repo/src/minic/builtins.cpp" "src/CMakeFiles/skope_minic.dir/minic/builtins.cpp.o" "gcc" "src/CMakeFiles/skope_minic.dir/minic/builtins.cpp.o.d"
+  "/root/repo/src/minic/lexer.cpp" "src/CMakeFiles/skope_minic.dir/minic/lexer.cpp.o" "gcc" "src/CMakeFiles/skope_minic.dir/minic/lexer.cpp.o.d"
+  "/root/repo/src/minic/parser.cpp" "src/CMakeFiles/skope_minic.dir/minic/parser.cpp.o" "gcc" "src/CMakeFiles/skope_minic.dir/minic/parser.cpp.o.d"
+  "/root/repo/src/minic/printer.cpp" "src/CMakeFiles/skope_minic.dir/minic/printer.cpp.o" "gcc" "src/CMakeFiles/skope_minic.dir/minic/printer.cpp.o.d"
+  "/root/repo/src/minic/sema.cpp" "src/CMakeFiles/skope_minic.dir/minic/sema.cpp.o" "gcc" "src/CMakeFiles/skope_minic.dir/minic/sema.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/skope_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

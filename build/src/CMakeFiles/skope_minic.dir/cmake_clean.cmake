@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skope_minic.dir/minic/ast.cpp.o"
+  "CMakeFiles/skope_minic.dir/minic/ast.cpp.o.d"
+  "CMakeFiles/skope_minic.dir/minic/builtins.cpp.o"
+  "CMakeFiles/skope_minic.dir/minic/builtins.cpp.o.d"
+  "CMakeFiles/skope_minic.dir/minic/lexer.cpp.o"
+  "CMakeFiles/skope_minic.dir/minic/lexer.cpp.o.d"
+  "CMakeFiles/skope_minic.dir/minic/parser.cpp.o"
+  "CMakeFiles/skope_minic.dir/minic/parser.cpp.o.d"
+  "CMakeFiles/skope_minic.dir/minic/printer.cpp.o"
+  "CMakeFiles/skope_minic.dir/minic/printer.cpp.o.d"
+  "CMakeFiles/skope_minic.dir/minic/sema.cpp.o"
+  "CMakeFiles/skope_minic.dir/minic/sema.cpp.o.d"
+  "libskope_minic.a"
+  "libskope_minic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skope_minic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skope_report.dir/report/chart.cpp.o"
+  "CMakeFiles/skope_report.dir/report/chart.cpp.o.d"
+  "CMakeFiles/skope_report.dir/report/table.cpp.o"
+  "CMakeFiles/skope_report.dir/report/table.cpp.o.d"
+  "libskope_report.a"
+  "libskope_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skope_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skope_roofline.dir/roofline/estimate.cpp.o"
+  "CMakeFiles/skope_roofline.dir/roofline/estimate.cpp.o.d"
+  "CMakeFiles/skope_roofline.dir/roofline/multinode.cpp.o"
+  "CMakeFiles/skope_roofline.dir/roofline/multinode.cpp.o.d"
+  "CMakeFiles/skope_roofline.dir/roofline/roofline.cpp.o"
+  "CMakeFiles/skope_roofline.dir/roofline/roofline.cpp.o.d"
+  "libskope_roofline.a"
+  "libskope_roofline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skope_roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skope_sim.dir/sim/cost_model.cpp.o"
+  "CMakeFiles/skope_sim.dir/sim/cost_model.cpp.o.d"
+  "CMakeFiles/skope_sim.dir/sim/profile_report.cpp.o"
+  "CMakeFiles/skope_sim.dir/sim/profile_report.cpp.o.d"
+  "CMakeFiles/skope_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/skope_sim.dir/sim/simulator.cpp.o.d"
+  "CMakeFiles/skope_sim.dir/sim/vectorize.cpp.o"
+  "CMakeFiles/skope_sim.dir/sim/vectorize.cpp.o.d"
+  "libskope_sim.a"
+  "libskope_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skope_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skope_skeleton.dir/skeleton/parser.cpp.o"
+  "CMakeFiles/skope_skeleton.dir/skeleton/parser.cpp.o.d"
+  "CMakeFiles/skope_skeleton.dir/skeleton/printer.cpp.o"
+  "CMakeFiles/skope_skeleton.dir/skeleton/printer.cpp.o.d"
+  "CMakeFiles/skope_skeleton.dir/skeleton/skeleton.cpp.o"
+  "CMakeFiles/skope_skeleton.dir/skeleton/skeleton.cpp.o.d"
+  "libskope_skeleton.a"
+  "libskope_skeleton.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skope_skeleton.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skope_support.dir/support/argparse.cpp.o"
+  "CMakeFiles/skope_support.dir/support/argparse.cpp.o.d"
+  "CMakeFiles/skope_support.dir/support/diagnostics.cpp.o"
+  "CMakeFiles/skope_support.dir/support/diagnostics.cpp.o.d"
+  "CMakeFiles/skope_support.dir/support/rng.cpp.o"
+  "CMakeFiles/skope_support.dir/support/rng.cpp.o.d"
+  "CMakeFiles/skope_support.dir/support/text.cpp.o"
+  "CMakeFiles/skope_support.dir/support/text.cpp.o.d"
+  "libskope_support.a"
+  "libskope_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skope_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

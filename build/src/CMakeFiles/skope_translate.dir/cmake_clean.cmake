@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skope_translate.dir/translate/annotate.cpp.o"
+  "CMakeFiles/skope_translate.dir/translate/annotate.cpp.o.d"
+  "CMakeFiles/skope_translate.dir/translate/translate.cpp.o"
+  "CMakeFiles/skope_translate.dir/translate/translate.cpp.o.d"
+  "libskope_translate.a"
+  "libskope_translate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skope_translate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

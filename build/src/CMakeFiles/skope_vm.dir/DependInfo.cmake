@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/builtins.cpp" "src/CMakeFiles/skope_vm.dir/vm/builtins.cpp.o" "gcc" "src/CMakeFiles/skope_vm.dir/vm/builtins.cpp.o.d"
+  "/root/repo/src/vm/bytecode.cpp" "src/CMakeFiles/skope_vm.dir/vm/bytecode.cpp.o" "gcc" "src/CMakeFiles/skope_vm.dir/vm/bytecode.cpp.o.d"
+  "/root/repo/src/vm/compiler.cpp" "src/CMakeFiles/skope_vm.dir/vm/compiler.cpp.o" "gcc" "src/CMakeFiles/skope_vm.dir/vm/compiler.cpp.o.d"
+  "/root/repo/src/vm/interp.cpp" "src/CMakeFiles/skope_vm.dir/vm/interp.cpp.o" "gcc" "src/CMakeFiles/skope_vm.dir/vm/interp.cpp.o.d"
+  "/root/repo/src/vm/profile.cpp" "src/CMakeFiles/skope_vm.dir/vm/profile.cpp.o" "gcc" "src/CMakeFiles/skope_vm.dir/vm/profile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/skope_minic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skope_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skope_vm.dir/vm/builtins.cpp.o"
+  "CMakeFiles/skope_vm.dir/vm/builtins.cpp.o.d"
+  "CMakeFiles/skope_vm.dir/vm/bytecode.cpp.o"
+  "CMakeFiles/skope_vm.dir/vm/bytecode.cpp.o.d"
+  "CMakeFiles/skope_vm.dir/vm/compiler.cpp.o"
+  "CMakeFiles/skope_vm.dir/vm/compiler.cpp.o.d"
+  "CMakeFiles/skope_vm.dir/vm/interp.cpp.o"
+  "CMakeFiles/skope_vm.dir/vm/interp.cpp.o.d"
+  "CMakeFiles/skope_vm.dir/vm/profile.cpp.o"
+  "CMakeFiles/skope_vm.dir/vm/profile.cpp.o.d"
+  "libskope_vm.a"
+  "libskope_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skope_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

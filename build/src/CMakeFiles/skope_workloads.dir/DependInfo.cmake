@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/cfd.cpp" "src/CMakeFiles/skope_workloads.dir/workloads/cfd.cpp.o" "gcc" "src/CMakeFiles/skope_workloads.dir/workloads/cfd.cpp.o.d"
+  "/root/repo/src/workloads/chargei.cpp" "src/CMakeFiles/skope_workloads.dir/workloads/chargei.cpp.o" "gcc" "src/CMakeFiles/skope_workloads.dir/workloads/chargei.cpp.o.d"
+  "/root/repo/src/workloads/sord.cpp" "src/CMakeFiles/skope_workloads.dir/workloads/sord.cpp.o" "gcc" "src/CMakeFiles/skope_workloads.dir/workloads/sord.cpp.o.d"
+  "/root/repo/src/workloads/srad.cpp" "src/CMakeFiles/skope_workloads.dir/workloads/srad.cpp.o" "gcc" "src/CMakeFiles/skope_workloads.dir/workloads/srad.cpp.o.d"
+  "/root/repo/src/workloads/stassuij.cpp" "src/CMakeFiles/skope_workloads.dir/workloads/stassuij.cpp.o" "gcc" "src/CMakeFiles/skope_workloads.dir/workloads/stassuij.cpp.o.d"
+  "/root/repo/src/workloads/workloads.cpp" "src/CMakeFiles/skope_workloads.dir/workloads/workloads.cpp.o" "gcc" "src/CMakeFiles/skope_workloads.dir/workloads/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/skope_minic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skope_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skope_workloads.dir/workloads/cfd.cpp.o"
+  "CMakeFiles/skope_workloads.dir/workloads/cfd.cpp.o.d"
+  "CMakeFiles/skope_workloads.dir/workloads/chargei.cpp.o"
+  "CMakeFiles/skope_workloads.dir/workloads/chargei.cpp.o.d"
+  "CMakeFiles/skope_workloads.dir/workloads/sord.cpp.o"
+  "CMakeFiles/skope_workloads.dir/workloads/sord.cpp.o.d"
+  "CMakeFiles/skope_workloads.dir/workloads/srad.cpp.o"
+  "CMakeFiles/skope_workloads.dir/workloads/srad.cpp.o.d"
+  "CMakeFiles/skope_workloads.dir/workloads/stassuij.cpp.o"
+  "CMakeFiles/skope_workloads.dir/workloads/stassuij.cpp.o.d"
+  "CMakeFiles/skope_workloads.dir/workloads/workloads.cpp.o"
+  "CMakeFiles/skope_workloads.dir/workloads/workloads.cpp.o.d"
+  "libskope_workloads.a"
+  "libskope_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skope_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

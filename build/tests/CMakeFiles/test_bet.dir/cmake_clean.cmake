@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bet.dir/test_bet.cpp.o"
+  "CMakeFiles/test_bet.dir/test_bet.cpp.o.d"
+  "test_bet"
+  "test_bet.pdb"
+  "test_bet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

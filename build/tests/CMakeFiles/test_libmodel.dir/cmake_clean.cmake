@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_libmodel.dir/test_libmodel.cpp.o"
+  "CMakeFiles/test_libmodel.dir/test_libmodel.cpp.o.d"
+  "test_libmodel"
+  "test_libmodel.pdb"
+  "test_libmodel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_libmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skopec.dir/skopec.cpp.o"
+  "CMakeFiles/skopec.dir/skopec.cpp.o.d"
+  "skopec"
+  "skopec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skopec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
