@@ -1,0 +1,40 @@
+#include "core/backend.h"
+
+#include "sim/simulator.h"
+
+namespace skope::core {
+
+MachineEvaluation evaluateMachine(const WorkloadFrontend& frontend,
+                                  const MachineModel& machine,
+                                  const BackendOptions& options) {
+  MachineEvaluation ev;
+  ev.machineName = machine.name;
+
+  roofline::Roofline model(machine, options.rparams);
+  ev.model = roofline::estimate(frontend.bet(), model, &frontend.module(),
+                                &WorkloadFrontend::libProfile().mixes, &ev.annotations);
+  ev.ranking = hotspot::rankingFromModel(ev.model);
+  size_t totalInstrs = frontend.module().totalStaticInstrs();
+  ev.selection = hotspot::selectHotSpots(ev.ranking, totalInstrs, options.criteria);
+
+  if (options.wantHotPath) {
+    auto path = hotpath::extractHotPath(frontend.bet(), ev.selection);
+    ev.hotPathNodes = path.size();
+    ev.hotSpotInstances = path.hotSpotInstances;
+    ev.hotPathText = hotpath::printHotPath(path, &frontend.module(), &ev.annotations);
+  }
+
+  if (options.groundTruth) {
+    sim::Simulator simulator(frontend.program(), frontend.module(), machine,
+                             &WorkloadFrontend::libProfile().mixes);
+    auto sim = simulator.run(frontend.params(), frontend.seed());
+    ev.prof = sim::makeReport(sim, frontend.module());
+    ev.profRanking = hotspot::rankingFromProfile(*ev.prof);
+    ev.profSelection = hotspot::selectHotSpots(*ev.profRanking, totalInstrs, options.criteria);
+    auto measured = hotspot::fractionsByOrigin(*ev.profRanking);
+    ev.quality = hotspot::selectionQuality(ev.selection, *ev.profSelection, measured);
+  }
+  return ev;
+}
+
+}  // namespace skope::core

@@ -1,0 +1,60 @@
+// The machine-dependent half of the Figure-1 pipeline, as a pure function.
+//
+// evaluateMachine() runs the roofline projection, hot-spot selection and
+// (optionally) hot-path extraction and the ground-truth simulator for ONE
+// machine against a shared WorkloadFrontend. It writes nothing shared: the
+// BET is read through the const estimator with a private side table, the
+// simulator gets its own instance over the shared program/module. The sweep
+// engine (src/sweep) calls this from many threads at once; single-shot
+// callers can use it directly as a stateless alternative to the facade.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/frontend.h"
+#include "hotpath/hotpath.h"
+#include "hotspot/quality.h"
+#include "roofline/estimate.h"
+#include "sim/profile_report.h"
+
+namespace skope::core {
+
+struct BackendOptions {
+  roofline::RooflineParams rparams{};
+  hotspot::SelectionCriteria criteria{};
+  /// Extract the hot path and render it (fills MachineEvaluation::hotPathText).
+  bool wantHotPath = false;
+  /// Run the ground-truth timing simulator for this machine too, rank its
+  /// profile and score the model selection against it (the paper's Prof
+  /// columns and selection quality). Orders of magnitude more expensive than
+  /// the analytic projection — its cost scales with the input data size.
+  bool groundTruth = false;
+};
+
+/// Everything the back-end produces for one (workload, machine) pair.
+struct MachineEvaluation {
+  std::string machineName;
+
+  roofline::ModelResult model;          ///< analytic projection ("Modl")
+  roofline::BetAnnotations annotations; ///< per-BET-node costs for this machine
+  hotspot::Ranking ranking;             ///< model blocks by projected time
+  hotspot::Selection selection;         ///< greedy knapsack under the criteria
+
+  std::string hotPathText;              ///< rendered hot path (wantHotPath)
+  size_t hotPathNodes = 0;              ///< nodes on the merged hot path
+  size_t hotSpotInstances = 0;          ///< BET instances of selected spots
+
+  // Filled only when BackendOptions::groundTruth is set.
+  std::optional<sim::ProfileReport> prof;
+  std::optional<hotspot::Ranking> profRanking;
+  std::optional<hotspot::Selection> profSelection;
+  std::optional<hotspot::QualityResult> quality;
+};
+
+/// Thread-safe per-machine evaluation over a shared front-end.
+MachineEvaluation evaluateMachine(const WorkloadFrontend& frontend,
+                                  const MachineModel& machine,
+                                  const BackendOptions& options = {});
+
+}  // namespace skope::core

@@ -3,21 +3,15 @@
 #include <fstream>
 #include <sstream>
 
-#include "minic/parser.h"
-#include "minic/sema.h"
+#include "machine/machine.h"
 #include "report/table.h"
 #include "sim/simulator.h"
 #include "support/text.h"
-#include "vm/compiler.h"
 
 namespace skope::core {
 
 MachineModel machineByName(std::string_view name) {
-  if (name == "bgq") return MachineModel::bgq();
-  if (name == "xeon") return MachineModel::xeonE5_2420();
-  if (name == "knl") return MachineModel::manycoreKnl();
-  if (name == "arm") return MachineModel::armServer();
-  throw Error("unknown machine '" + std::string(name) + "' (bgq, xeon, knl, arm)");
+  return skope::machineByName(name);  // canonical resolver lives in src/machine
 }
 
 std::map<std::string, double> parseParamSpec(std::string_view spec) {
@@ -98,67 +92,46 @@ std::string Analysis::summary(size_t topN) const {
 }
 
 CodesignFramework::CodesignFramework(const workloads::Workload& workload)
-    : name_(workload.name), params_(workload.params), seed_(workload.seed) {
-  buildFrontend(workload.source);
-}
+    : frontend_(std::make_shared<const WorkloadFrontend>(workload)) {}
 
 CodesignFramework::CodesignFramework(std::string name, std::string source,
                                      std::map<std::string, double> params, uint64_t seed)
-    : name_(std::move(name)), params_(std::move(params)), seed_(seed) {
-  buildFrontend(source);
+    : frontend_(std::make_shared<const WorkloadFrontend>(std::move(name), std::move(source),
+                                                         std::move(params), seed)) {}
+
+CodesignFramework::CodesignFramework(std::shared_ptr<const WorkloadFrontend> frontend)
+    : frontend_(std::move(frontend)) {
+  if (!frontend_) throw Error("CodesignFramework: null frontend");
 }
 
-void CodesignFramework::buildFrontend(std::string_view source) {
-  prog_ = minic::parseProgram(source, name_);
-  minic::analyzeOrThrow(*prog_);
-  mod_ = vm::compile(*prog_);
-}
+const vm::ProfileData& CodesignFramework::profileData() { return frontend_->profile(); }
 
-const vm::ProfileData& CodesignFramework::profileData() {
-  if (!profile_) {
-    profile_ = vm::profileRun(mod_, params_, seed_);
-  }
-  return *profile_;
-}
-
-const skel::SkeletonProgram& CodesignFramework::skeleton() {
-  if (!skeleton_) {
-    skeleton_ = translate::translateProgram(*prog_);
-    translate::annotate(*skeleton_, profileData());
-    auto unresolved = translate::unresolvedSites(*skeleton_);
-    if (!unresolved.empty()) {
-      throw Error(format("workload %s: %zu control-flow sites left unresolved after "
-                         "profiling",
-                         name_.c_str(), unresolved.size()));
-    }
-  }
-  return *skeleton_;
-}
+const skel::SkeletonProgram& CodesignFramework::skeleton() { return frontend_->skeleton(); }
 
 bet::Bet& CodesignFramework::bet() {
   if (!bet_) {
-    ParamEnv input(params_);
-    bet_ = bet::buildBet(skeleton(), input);
+    bet_ = frontend_->buildPrivateBet();
   }
   return *bet_;
 }
 
 const libmodel::LibProfile& CodesignFramework::libProfile() {
-  static const libmodel::LibProfile profile = libmodel::profileLibraryFunctions();
-  return profile;
+  return WorkloadFrontend::libProfile();
 }
 
 roofline::ModelResult CodesignFramework::project(const MachineModel& machine,
                                                  roofline::RooflineParams rparams) {
   roofline::Roofline model(machine, rparams);
-  return roofline::estimate(bet(), model, &mod_, &libProfile().mixes);
+  return roofline::estimate(bet(), model, &frontend_->module(), &libProfile().mixes);
 }
 
 const sim::SimResult& CodesignFramework::simResultOn(const MachineModel& machine) {
   auto it = simCache_.find(machine.name);
   if (it == simCache_.end()) {
-    sim::Simulator simulator(*prog_, mod_, machine, &libProfile().mixes);
-    it = simCache_.emplace(machine.name, simulator.run(params_, seed_)).first;
+    sim::Simulator simulator(frontend_->program(), frontend_->module(), machine,
+                             &libProfile().mixes);
+    it = simCache_.emplace(machine.name, simulator.run(frontend_->params(), frontend_->seed()))
+             .first;
   }
   return it->second;
 }
@@ -166,7 +139,9 @@ const sim::SimResult& CodesignFramework::simResultOn(const MachineModel& machine
 const sim::ProfileReport& CodesignFramework::profileOn(const MachineModel& machine) {
   auto it = reportCache_.find(machine.name);
   if (it == reportCache_.end()) {
-    it = reportCache_.emplace(machine.name, sim::makeReport(simResultOn(machine), mod_)).first;
+    it = reportCache_
+             .emplace(machine.name, sim::makeReport(simResultOn(machine), frontend_->module()))
+             .first;
   }
   return it->second;
 }
@@ -174,14 +149,14 @@ const sim::ProfileReport& CodesignFramework::profileOn(const MachineModel& machi
 Analysis CodesignFramework::analyze(const MachineModel& machine,
                                     const hotspot::SelectionCriteria& criteria) {
   Analysis a;
-  a.workloadName = name_;
+  a.workloadName = frontend_->name();
   a.machineName = machine.name;
   a.prof = profileOn(machine);
   a.model = project(machine);
   a.profRanking = hotspot::rankingFromProfile(a.prof);
   a.modelRanking = hotspot::rankingFromModel(a.model);
 
-  size_t totalInstrs = mod_.totalStaticInstrs();
+  size_t totalInstrs = frontend_->module().totalStaticInstrs();
   a.profSelection = hotspot::selectHotSpots(a.profRanking, totalInstrs, criteria);
   a.modelSelection = hotspot::selectHotSpots(a.modelRanking, totalInstrs, criteria);
 
@@ -192,13 +167,15 @@ Analysis CodesignFramework::analyze(const MachineModel& machine,
 
 std::string CodesignFramework::hotPathReport(const MachineModel& machine,
                                              const hotspot::SelectionCriteria& criteria) {
-  auto model = project(machine);  // annotates the BET nodes for this machine
+  auto model = project(machine);  // annotates the private BET copy for this machine
   auto ranking = hotspot::rankingFromModel(model);
-  auto selection = hotspot::selectHotSpots(ranking, mod_.totalStaticInstrs(), criteria);
+  auto selection =
+      hotspot::selectHotSpots(ranking, frontend_->module().totalStaticInstrs(), criteria);
   auto path = hotpath::extractHotPath(bet(), selection);
-  std::string out = format("Hot path of %s on %s (%zu hot spot instances)\n", name_.c_str(),
-                           machine.name.c_str(), path.hotSpotInstances);
-  out += hotpath::printHotPath(path, &mod_);
+  std::string out =
+      format("Hot path of %s on %s (%zu hot spot instances)\n", frontend_->name().c_str(),
+             machine.name.c_str(), path.hotSpotInstances);
+  out += hotpath::printHotPath(path, &frontend_->module());
   return out;
 }
 

@@ -21,6 +21,7 @@
 #include <optional>
 
 #include "bet/builder.h"
+#include "core/frontend.h"
 #include "hotpath/hotpath.h"
 #include "hotspot/quality.h"
 #include "libmodel/libmodel.h"
@@ -35,7 +36,8 @@
 namespace skope::core {
 
 /// Resolves a machine by short name: "bgq", "xeon", "knl", "arm".
-/// Throws Error for unknown names (the message lists the valid ones).
+/// Deprecated spelling — the canonical resolver is skope::machineByName
+/// (src/machine/machine.h); kept for source compatibility.
 MachineModel machineByName(std::string_view name);
 
 /// Parses a "N=64,STEPS=10"-style parameter binding (the inline form of the
@@ -77,18 +79,31 @@ class CodesignFramework {
   CodesignFramework(std::string name, std::string source,
                     std::map<std::string, double> params, uint64_t seed = 0x5eed);
 
-  // --- stage accessors ---
-  [[nodiscard]] const minic::Program& program() const { return *prog_; }
-  [[nodiscard]] const vm::Module& module() const { return mod_; }
-  [[nodiscard]] const std::map<std::string, double>& params() const { return params_; }
+  /// Wraps an already-built (possibly shared) front-end. The facade only
+  /// adds per-instance caches on top; the front-end stays immutable.
+  explicit CodesignFramework(std::shared_ptr<const WorkloadFrontend> frontend);
 
-  /// The annotated code skeleton (local profiling happens on first use and
-  /// is cached — the paper's "profile once, project everywhere").
+  // --- stage accessors ---
+  [[nodiscard]] const minic::Program& program() const { return frontend_->program(); }
+  [[nodiscard]] const vm::Module& module() const { return frontend_->module(); }
+  [[nodiscard]] const std::map<std::string, double>& params() const {
+    return frontend_->params();
+  }
+
+  /// The shared machine-independent front-end artifact (skeleton + profile +
+  /// BET), e.g. to hand to the sweep engine without rebuilding it.
+  [[nodiscard]] const std::shared_ptr<const WorkloadFrontend>& frontend() const {
+    return frontend_;
+  }
+
+  /// The annotated code skeleton (built once in the front-end — the paper's
+  /// "profile once, project everywhere").
   const skel::SkeletonProgram& skeleton();
   const vm::ProfileData& profileData();
 
-  /// Machine-independent BET for the bound input (rebuilt on demand; the
-  /// per-node time annotations reflect the most recent project() call).
+  /// This facade's private mutable BET copy (the front-end's shared BET is
+  /// read-only); the per-node time annotations reflect the most recent
+  /// project() call.
   bet::Bet& bet();
 
   /// Analytic projection for a machine (paper's Modl).
@@ -114,15 +129,7 @@ class CodesignFramework {
   static const libmodel::LibProfile& libProfile();
 
  private:
-  void buildFrontend(std::string_view source);
-
-  std::string name_;
-  std::map<std::string, double> params_;
-  uint64_t seed_;
-  std::unique_ptr<minic::Program> prog_;
-  vm::Module mod_;
-  std::optional<skel::SkeletonProgram> skeleton_;
-  std::optional<vm::ProfileData> profile_;
+  std::shared_ptr<const WorkloadFrontend> frontend_;
   std::optional<bet::Bet> bet_;
   std::map<std::string, sim::SimResult> simCache_;
   std::map<std::string, sim::ProfileReport> reportCache_;

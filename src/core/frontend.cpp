@@ -1,0 +1,80 @@
+#include "core/frontend.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "bet/builder.h"
+#include "core/framework.h"
+#include "minic/parser.h"
+#include "minic/sema.h"
+#include "support/text.h"
+#include "translate/annotate.h"
+#include "translate/translate.h"
+#include "vm/compiler.h"
+
+namespace skope::core {
+
+WorkloadFrontend::WorkloadFrontend(std::string name, std::string source,
+                                   std::map<std::string, double> params, uint64_t seed)
+    : name_(std::move(name)), params_(std::move(params)), seed_(seed) {
+  prog_ = minic::parseProgram(source, name_);
+  minic::analyzeOrThrow(*prog_);
+  mod_ = vm::compile(*prog_);
+
+  profile_ = vm::profileRun(mod_, params_, seed_);
+
+  skeleton_ = translate::translateProgram(*prog_);
+  translate::annotate(skeleton_, profile_);
+  auto unresolved = translate::unresolvedSites(skeleton_);
+  if (!unresolved.empty()) {
+    throw Error(format("workload %s: %zu control-flow sites left unresolved after "
+                       "profiling",
+                       name_.c_str(), unresolved.size()));
+  }
+
+  ParamEnv input(params_);
+  bet_ = bet::buildBet(skeleton_, input);
+
+  // Force the process-wide library profile here, before any sweep threads
+  // exist, so concurrent evaluators only ever read it.
+  (void)libProfile();
+}
+
+WorkloadFrontend::WorkloadFrontend(const workloads::Workload& workload)
+    : WorkloadFrontend(workload.name, workload.source, workload.params, workload.seed) {}
+
+bet::Bet WorkloadFrontend::buildPrivateBet() const {
+  ParamEnv input(params_);
+  return bet::buildBet(skeleton_, input);
+}
+
+const libmodel::LibProfile& WorkloadFrontend::libProfile() {
+  static const libmodel::LibProfile profile = libmodel::profileLibraryFunctions();
+  return profile;
+}
+
+std::shared_ptr<const WorkloadFrontend> loadFrontend(const std::string& target,
+                                                     const std::string& paramSpec,
+                                                     const std::string& hintPath) {
+  std::map<std::string, double> overrides;
+  if (!hintPath.empty()) overrides = loadHintFile(hintPath);
+  for (const auto& [k, v] : parseParamSpec(paramSpec)) overrides[k] = v;
+
+  for (const auto* w : workloads::allWorkloads()) {
+    std::string lower;
+    for (char c : w->name) lower += static_cast<char>(std::tolower(c));
+    if (target == lower || target == w->name) {
+      auto params = w->params;
+      for (const auto& [k, v] : overrides) params[k] = v;
+      return std::make_shared<const WorkloadFrontend>(w->name, w->source, params, w->seed);
+    }
+  }
+  std::ifstream in(target);
+  if (!in) throw Error("no bundled workload or readable file named '" + target + "'");
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return std::make_shared<const WorkloadFrontend>(target, ss.str(), overrides);
+}
+
+}  // namespace skope::core

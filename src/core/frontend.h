@@ -1,0 +1,82 @@
+// WorkloadFrontend — the machine-independent half of the Figure-1 pipeline,
+// built once and then shared read-only.
+//
+// The facade (CodesignFramework) historically rebuilt parse → sema → compile
+// → translate → profile → BET lazily per instance, which made every
+// (workload, machine) query pay the front-end again. For co-design sweeps —
+// one workload projected onto hundreds of candidate machines — the front-end
+// is invariant: only the roofline / hot-spot / hot-path stages depend on the
+// machine. This class materializes that invariant as an immutable artifact:
+//
+//   * everything is built eagerly in the constructor,
+//   * all accessors are const and the object is never written afterwards,
+//   * any number of threads may evaluate machines against it concurrently
+//     (see roofline::estimate's const overload and core::evaluateMachine).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "bet/bet.h"
+#include "libmodel/libmodel.h"
+#include "minic/ast.h"
+#include "skeleton/skeleton.h"
+#include "vm/bytecode.h"
+#include "vm/profile.h"
+#include "workloads/workloads.h"
+
+namespace skope::core {
+
+class WorkloadFrontend {
+ public:
+  /// Parses, checks, compiles, translates, profiles, annotates and builds
+  /// the BET for `source`. Throws Error on any frontend failure.
+  WorkloadFrontend(std::string name, std::string source,
+                   std::map<std::string, double> params, uint64_t seed = 0x5eed);
+
+  explicit WorkloadFrontend(const workloads::Workload& workload);
+
+  WorkloadFrontend(const WorkloadFrontend&) = delete;
+  WorkloadFrontend& operator=(const WorkloadFrontend&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::map<std::string, double>& params() const { return params_; }
+  [[nodiscard]] uint64_t seed() const { return seed_; }
+  [[nodiscard]] const minic::Program& program() const { return *prog_; }
+  [[nodiscard]] const vm::Module& module() const { return mod_; }
+  [[nodiscard]] const skel::SkeletonProgram& skeleton() const { return skeleton_; }
+  [[nodiscard]] const vm::ProfileData& profile() const { return profile_; }
+
+  /// The shared, immutable BET. Per-machine estimator outputs live in side
+  /// tables (roofline::BetAnnotations), never in these nodes.
+  [[nodiscard]] const bet::Bet& bet() const { return bet_; }
+
+  /// Builds a private mutable copy of the BET (same skeleton, same input
+  /// binding) for callers that use the in-place annotating estimator.
+  [[nodiscard]] bet::Bet buildPrivateBet() const;
+
+  /// The shared empirical library-function profile (§IV-C), computed once
+  /// per process (thread-safe magic-static initialization).
+  static const libmodel::LibProfile& libProfile();
+
+ private:
+  std::string name_;
+  std::map<std::string, double> params_;
+  uint64_t seed_;
+  std::unique_ptr<minic::Program> prog_;
+  vm::Module mod_;
+  skel::SkeletonProgram skeleton_;
+  vm::ProfileData profile_;
+  bet::Bet bet_;
+};
+
+/// Resolves `target` as a bundled workload name (case-insensitive) or a
+/// MiniC file path, applies hint-file and inline parameter overrides, and
+/// builds the front-end. This is the loader shared by the skopec and sweep
+/// CLIs. Throws Error when the target is neither.
+std::shared_ptr<const WorkloadFrontend> loadFrontend(const std::string& target,
+                                                     const std::string& paramSpec = "",
+                                                     const std::string& hintPath = "");
+
+}  // namespace skope::core

@@ -47,8 +47,17 @@ std::unique_ptr<HotPathNode> cloneMarked(const BetNode& n,
   return out;
 }
 
-void printNode(const HotPathNode& hp, int depth, const vm::Module* mod, std::string& out) {
+void printNode(const HotPathNode& hp, int depth, const vm::Module* mod,
+               const roofline::BetAnnotations* ann, std::string& out) {
   const BetNode& n = *hp.node;
+  double enr = n.enr;
+  double totalSeconds = n.totalSeconds;
+  if (ann) {
+    if (auto it = ann->find(&n); it != ann->end()) {
+      enr = it->second.enr;
+      totalSeconds = it->second.totalSeconds;
+    }
+  }
   for (int i = 0; i < depth; ++i) out += "| ";
   if (hp.isHotSpot) out += "* ";
   switch (n.kind) {
@@ -76,8 +85,8 @@ void printNode(const HotPathNode& hp, int depth, const vm::Module* mod, std::str
       break;
   }
   if (n.prob < 1.0) out += format(" p=%.4g", n.prob);
-  out += format(" enr=%.6g", n.enr);
-  if (n.totalSeconds > 0) out += format(" t=%.3gs", n.totalSeconds);
+  out += format(" enr=%.6g", enr);
+  if (totalSeconds > 0) out += format(" t=%.3gs", totalSeconds);
   if (hp.isHotSpot && !n.context.empty()) {
     out += " ctx{";
     bool first = true;
@@ -89,7 +98,7 @@ void printNode(const HotPathNode& hp, int depth, const vm::Module* mod, std::str
     out += "}";
   }
   out += "\n";
-  for (const auto& k : hp.kids) printNode(*k, depth + 1, mod, out);
+  for (const auto& k : hp.kids) printNode(*k, depth + 1, mod, ann, out);
 }
 
 }  // namespace
@@ -104,10 +113,11 @@ HotPath extractHotPath(const bet::Bet& bet, const hotspot::Selection& selection)
   return path;
 }
 
-std::string printHotPath(const HotPath& path, const vm::Module* mod) {
+std::string printHotPath(const HotPath& path, const vm::Module* mod,
+                         const roofline::BetAnnotations* ann) {
   std::string out;
   if (!path.root) return "(empty hot path)\n";
-  printNode(*path.root, 0, mod, out);
+  printNode(*path.root, 0, mod, ann, out);
   return out;
 }
 

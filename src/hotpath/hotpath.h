@@ -38,6 +38,10 @@ HotPath extractHotPath(const bet::Bet& bet, const hotspot::Selection& selection)
 
 /// Renders the hot path as an indented tree with per-node annotations
 /// (probability, expected iterations, ENR, context values for hot spots).
-std::string printHotPath(const HotPath& path, const vm::Module* mod = nullptr);
+/// ENR and time default to the estimator-filled fields inside the BET nodes;
+/// pass `ann` (a side table from the const roofline::estimate overload) to
+/// print a shared read-only BET that was never annotated in place.
+std::string printHotPath(const HotPath& path, const vm::Module* mod = nullptr,
+                         const roofline::BetAnnotations* ann = nullptr);
 
 }  // namespace skope::hotpath

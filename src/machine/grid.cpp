@@ -1,0 +1,224 @@
+#include "machine/grid.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "support/diagnostics.h"
+#include "support/text.h"
+
+namespace skope {
+
+namespace {
+
+// Field registry. Sizes are spec'd in natural units (KB / MB) and stored in
+// bytes; everything else maps 1:1 onto a MachineModel member.
+const std::vector<GridField>& registry() {
+  static const std::vector<GridField> fields = {
+      {"freq", "GHz", "core clock frequency",
+       [](MachineModel& m, double v) { m.freqGHz = v; },
+       [](const MachineModel& m) { return m.freqGHz; }},
+      {"cores", "", "cores per node (parallel-loop spreading)",
+       [](MachineModel& m, double v) { m.cores = static_cast<int>(v); },
+       [](const MachineModel& m) { return static_cast<double>(m.cores); }},
+      {"issuewidth", "instr/cycle", "sustained issue width",
+       [](MachineModel& m, double v) { m.issueWidth = static_cast<int>(v); },
+       [](const MachineModel& m) { return static_cast<double>(m.issueWidth); }},
+      {"peakflops", "flop/cycle/core", "peak FP throughput (FMA x SIMD width)",
+       [](MachineModel& m, double v) { m.peakFlopsPerCyclePerCore = v; },
+       [](const MachineModel& m) { return m.peakFlopsPerCyclePerCore; }},
+      {"membw", "GB/s", "DRAM bandwidth per node",
+       [](MachineModel& m, double v) { m.memBandwidthGBs = v; },
+       [](const MachineModel& m) { return m.memBandwidthGBs; }},
+      {"memlat", "cycles", "DRAM access latency",
+       [](MachineModel& m, double v) { m.memLatencyCycles = v; },
+       [](const MachineModel& m) { return m.memLatencyCycles; }},
+      {"mlp", "misses", "sustained outstanding misses (memory parallelism)",
+       [](MachineModel& m, double v) { m.mlp = v; },
+       [](const MachineModel& m) { return m.mlp; }},
+      {"l1kb", "KB", "L1 data cache size",
+       [](MachineModel& m, double v) { m.l1.sizeBytes = static_cast<uint64_t>(v * 1024); },
+       [](const MachineModel& m) { return static_cast<double>(m.l1.sizeBytes) / 1024; }},
+      {"l1lat", "cycles", "L1 hit latency",
+       [](MachineModel& m, double v) { m.l1.latencyCycles = v; },
+       [](const MachineModel& m) { return m.l1.latencyCycles; }},
+      {"llcmb", "MB", "last-level cache size",
+       [](MachineModel& m, double v) {
+         m.llc.sizeBytes = static_cast<uint64_t>(v * 1024 * 1024);
+       },
+       [](const MachineModel& m) {
+         return static_cast<double>(m.llc.sizeBytes) / (1024 * 1024);
+       }},
+      {"llclat", "cycles", "last-level cache hit latency",
+       [](MachineModel& m, double v) { m.llc.latencyCycles = v; },
+       [](const MachineModel& m) { return m.llc.latencyCycles; }},
+      {"fpdivlat", "cycles", "FP divide latency (simulator only, paper §VII-B)",
+       [](MachineModel& m, double v) { m.fpDivLat = v; },
+       [](const MachineModel& m) { return m.fpDivLat; }},
+      {"autovec", "[0,1]", "compiler auto-vectorization quality (simulator only)",
+       [](MachineModel& m, double v) { m.autoVecQuality = v; },
+       [](const MachineModel& m) { return m.autoVecQuality; }},
+      {"linklat", "us", "network per-message latency (multi-node extension)",
+       [](MachineModel& m, double v) { m.network.linkLatencySec = v * 1e-6; },
+       [](const MachineModel& m) { return m.network.linkLatencySec * 1e6; }},
+      {"linkbw", "GB/s", "network per-link bandwidth (multi-node extension)",
+       [](MachineModel& m, double v) { m.network.linkBandwidthGBs = v; },
+       [](const MachineModel& m) { return m.network.linkBandwidthGBs; }},
+  };
+  return fields;
+}
+
+double parseNumber(std::string_view tok, std::string_view what) {
+  try {
+    size_t pos = 0;
+    std::string s(trim(tok));
+    double v = std::stod(s, &pos);
+    if (pos != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    throw Error("grid spec: non-numeric " + std::string(what) + " '" +
+                std::string(trim(tok)) + "'");
+  }
+}
+
+/// Expands one comma-separated element: a plain number, or lo:hi:step
+/// (inclusive of hi up to a half-step of rounding slack).
+void expandElement(std::string_view elem, std::vector<double>& out) {
+  auto parts = split(elem, ':');
+  if (parts.size() == 1) {
+    out.push_back(parseNumber(parts[0], "axis value"));
+    return;
+  }
+  if (parts.size() != 3) {
+    throw Error("grid spec: bad range '" + std::string(trim(elem)) +
+                "' (expected lo:hi:step)");
+  }
+  double lo = parseNumber(parts[0], "range bound");
+  double hi = parseNumber(parts[1], "range bound");
+  double step = parseNumber(parts[2], "range step");
+  if (step <= 0 || hi < lo) {
+    throw Error("grid spec: bad range '" + std::string(trim(elem)) +
+                "' (need lo <= hi and step > 0)");
+  }
+  for (double v = lo; v <= hi + step * 1e-9; v += step) out.push_back(v);
+}
+
+}  // namespace
+
+const std::vector<GridField>& gridFields() { return registry(); }
+
+const GridField* findGridField(std::string_view name) {
+  for (const auto& f : registry()) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+size_t MachineGrid::configCount() const {
+  size_t n = 1;
+  for (const auto& axis : axes) n *= axis.values.size();
+  return n;
+}
+
+std::vector<MachineConfig> MachineGrid::expand() const {
+  std::vector<MachineConfig> out;
+  size_t total = configCount();
+  out.reserve(total);
+  for (size_t idx = 0; idx < total; ++idx) {
+    MachineConfig cfg;
+    cfg.machine = base;
+    // Decode idx row-major: the last axis varies fastest.
+    size_t rem = idx;
+    std::vector<size_t> pick(axes.size());
+    for (size_t a = axes.size(); a-- > 0;) {
+      pick[a] = rem % axes[a].values.size();
+      rem /= axes[a].values.size();
+    }
+    std::string suffix;
+    for (size_t a = 0; a < axes.size(); ++a) {
+      const GridField* f = findGridField(axes[a].field);
+      double v = axes[a].values[pick[a]];
+      f->apply(cfg.machine, v);
+      if (!suffix.empty()) suffix += ",";
+      suffix += format("%s=%s", axes[a].field.c_str(), humanDouble(v, 6).c_str());
+    }
+    cfg.name = suffix.empty() ? base.name : base.name + "{" + suffix + "}";
+    cfg.machine.name = cfg.name;
+    out.push_back(std::move(cfg));
+  }
+  return out;
+}
+
+MachineGrid parseGridSpec(std::string_view text) {
+  MachineGrid grid;
+  grid.base = MachineModel::bgq();
+  bool baseSeen = false;
+
+  // Normalize ';' to newlines so inline and file specs share one path.
+  std::string normalized(text);
+  for (char& c : normalized) {
+    if (c == ';') c = '\n';
+  }
+
+  for (std::string_view line : split(normalized, '\n')) {
+    size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+
+    auto kv = split(line, '=');
+    if (kv.size() != 2 || trim(kv[0]).empty() || trim(kv[1]).empty()) {
+      throw Error("grid spec: expected 'field = values', got '" + std::string(line) + "'");
+    }
+    std::string key(trim(kv[0]));
+    std::string_view value = trim(kv[1]);
+
+    if (key == "base") {
+      if (baseSeen) throw Error("grid spec: duplicate 'base' directive");
+      grid.base = machineByName(value);
+      baseSeen = true;
+      continue;
+    }
+
+    if (!findGridField(key)) {
+      std::string known;
+      for (const auto& f : registry()) {
+        if (!known.empty()) known += ", ";
+        known += f.name;
+      }
+      throw Error("grid spec: unknown field '" + key + "' (known: " + known + ")");
+    }
+    for (const auto& axis : grid.axes) {
+      if (axis.field == key) throw Error("grid spec: duplicate axis '" + key + "'");
+    }
+
+    GridAxis axis;
+    axis.field = key;
+    for (std::string_view elem : split(value, ',')) expandElement(elem, axis.values);
+    if (axis.values.empty()) throw Error("grid spec: axis '" + key + "' has no values");
+    grid.axes.push_back(std::move(axis));
+  }
+  return grid;
+}
+
+MachineGrid loadGridFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot read grid spec '" + path + "'");
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return parseGridSpec(ss.str());
+}
+
+std::string gridFieldHelp() {
+  std::string out = "sweepable machine fields (base values in parentheses are BG/Q):\n";
+  MachineModel bgq = MachineModel::bgq();
+  for (const auto& f : registry()) {
+    std::string unit = f.unit.empty() ? "" : " [" + std::string(f.unit) + "]";
+    out += format("  %-12s %s%s (%s)\n", std::string(f.name).c_str(),
+                  std::string(f.help).c_str(), unit.c_str(),
+                  humanDouble(f.get(bgq), 6).c_str());
+  }
+  return out;
+}
+
+}  // namespace skope

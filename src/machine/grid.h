@@ -1,0 +1,80 @@
+// Machine configuration grids for co-design sweeps.
+//
+// A grid is a base machine plus a set of axes, each varying one hardware
+// field over a list of values; expanding the grid yields the full cross
+// product as named MachineModel configs. This is the "one model, many
+// machine configurations" input of the sweep engine (src/sweep): the paper's
+// analytic projection is cheap enough to evaluate hundreds of candidate
+// machines from one profiled workload model.
+//
+// Spec format (one directive per line in a file, or ';'-separated inline):
+//
+//   base = bgq                 # starting machine: bgq, xeon, knl, arm
+//   membw = 15, 30, 60         # axis: explicit value list (GB/s)
+//   peakflops = 2:16:2         # axis: inclusive range lo:hi:step
+//   memlat = 90, 120:240:60    # lists and ranges mix freely
+//
+// Axes expand row-major in spec order (the last axis varies fastest), so a
+// grid always enumerates in the same deterministic order regardless of how
+// it is later evaluated. Field names are listed by gridFields().
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "machine/machine.h"
+
+namespace skope {
+
+/// One sweepable hardware field of MachineModel.
+struct GridField {
+  std::string_view name;  ///< spec keyword, e.g. "membw"
+  std::string_view unit;  ///< for help text / reports, e.g. "GB/s"
+  std::string_view help;
+  void (*apply)(MachineModel&, double);
+  double (*get)(const MachineModel&);
+};
+
+/// All sweepable fields, in documentation order.
+const std::vector<GridField>& gridFields();
+
+/// Looks up a field by spec keyword; nullptr when unknown.
+const GridField* findGridField(std::string_view name);
+
+/// One axis of a grid: a field and the values it takes.
+struct GridAxis {
+  std::string field;
+  std::vector<double> values;
+};
+
+/// A named, fully-bound machine configuration produced by grid expansion.
+struct MachineConfig {
+  std::string name;      ///< base name + the axis bindings, e.g. "BG/Q{membw=30}"
+  MachineModel machine;
+};
+
+struct MachineGrid {
+  MachineModel base;
+  std::vector<GridAxis> axes;
+
+  /// Number of configs the cross product expands to (1 for no axes).
+  [[nodiscard]] size_t configCount() const;
+
+  /// Expands the cross product, row-major in axis order: the first config
+  /// binds every axis to its first value, the last axis varies fastest.
+  [[nodiscard]] std::vector<MachineConfig> expand() const;
+};
+
+/// Parses a grid spec (see the file header for the format). Newlines and
+/// ';' both terminate directives; '#' starts a comment. Throws Error on
+/// unknown fields, malformed values, or empty axes.
+MachineGrid parseGridSpec(std::string_view text);
+
+/// Reads and parses a grid spec file from disk. Throws Error if unreadable.
+MachineGrid loadGridFile(const std::string& path);
+
+/// Human-readable table of all sweepable fields with units and help text.
+std::string gridFieldHelp();
+
+}  // namespace skope

@@ -1,6 +1,16 @@
 #include "machine/machine.h"
 
+#include "support/diagnostics.h"
+
 namespace skope {
+
+MachineModel machineByName(std::string_view name) {
+  if (name == "bgq") return MachineModel::bgq();
+  if (name == "xeon") return MachineModel::xeonE5_2420();
+  if (name == "knl") return MachineModel::manycoreKnl();
+  if (name == "arm") return MachineModel::armServer();
+  throw Error("unknown machine '" + std::string(name) + "' (bgq, xeon, knl, arm)");
+}
 
 MachineModel MachineModel::bgq() {
   MachineModel m;

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 namespace skope {
 
@@ -100,5 +101,9 @@ struct MachineModel {
   /// modest bandwidth — a contrast point for compute-bound codes.
   static MachineModel armServer();
 };
+
+/// Resolves a machine by short name: "bgq", "xeon", "knl", "arm".
+/// Throws Error for unknown names (the message lists the valid ones).
+MachineModel machineByName(std::string_view name);
 
 }  // namespace skope

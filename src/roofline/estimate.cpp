@@ -41,26 +41,21 @@ skel::SkMetrics builtinMix(int builtinIndex, const LibMixes* libMixes) {
   return skel::SkMetrics{m.flops, 0, m.iops, m.loads, m.stores};
 }
 
-}  // namespace
+/// One preorder walk computing ENR top-down and projecting each block as it
+/// is reached — reads the BET, writes only `result` / `ann`. Keeping the
+/// visit order identical to the historical two-pass visitMut implementation
+/// means the floating-point aggregation order (and hence the bits of every
+/// sum) is unchanged, which the sweep determinism tests rely on.
+void walkConst(const BetNode& n, double parentEnr, const Roofline& model,
+               const LibMixes* libMixes, ModelResult& result, BetAnnotations* ann) {
+  double enr = n.numIter * n.prob * parentEnr;
+  NodeCost nc;
+  nc.enr = enr;
 
-ModelResult estimate(bet::Bet& bet, const Roofline& model, const vm::Module* mod,
-                     const LibMixes* libMixes) {
-  ModelResult result;
-  result.machineName = model.machine().name;
-  if (!bet.root) return result;
-
-  // Pass 1: ENR, top-down.
-  bet.root->visitMut([](BetNode& n) {
-    double parentEnr = n.parent ? n.parent->enr : 1.0;
-    n.enr = n.numIter * n.prob * parentEnr;
-  });
-
-  // Pass 2: per-block roofline projection.
-  bet.root->visitMut([&](BetNode& n) {
-    if (!n.isBlock()) return;
+  if (n.isBlock()) {
     Breakdown b;
     skel::SkMetrics mix;
-    double invocations = n.enr;
+    double invocations = enr;
     if (n.kind == BetKind::LibCall) {
       mix = builtinMix(n.builtinIndex, libMixes);
       b = model.libCallTime(mix);
@@ -81,10 +76,10 @@ ModelResult estimate(bet::Bet& bet, const Roofline& model, const vm::Module* mod
       }
       b = model.blockTime(mix, ways);
     }
-    n.tcCycles = b.tcCycles;
-    n.tmCycles = b.tmCycles;
-    n.toCycles = b.toCycles;
-    n.totalSeconds = model.machine().cyclesToSeconds(b.totalCycles() * invocations);
+    nc.tcCycles = b.tcCycles;
+    nc.tmCycles = b.tmCycles;
+    nc.toCycles = b.toCycles;
+    nc.totalSeconds = model.machine().cyclesToSeconds(b.totalCycles() * invocations);
 
     uint32_t origin = n.kind == BetKind::LibCall
                           ? vm::libRegion(n.builtinIndex)
@@ -101,8 +96,24 @@ ModelResult estimate(bet::Bet& bet, const Roofline& model, const vm::Module* mod
     bc.tcSeconds += model.machine().cyclesToSeconds(b.tcCycles * w);
     bc.tmSeconds += model.machine().cyclesToSeconds(b.tmCycles * w);
     bc.toSeconds += model.machine().cyclesToSeconds(b.toCycles * w);
-    bc.seconds += n.totalSeconds;
-  });
+    bc.seconds += nc.totalSeconds;
+  }
+
+  if (ann) (*ann)[&n] = nc;
+  for (const auto& kid : n.kids) {
+    walkConst(*kid, enr, model, libMixes, result, ann);
+  }
+}
+
+}  // namespace
+
+ModelResult estimate(const bet::Bet& bet, const Roofline& model, const vm::Module* mod,
+                     const LibMixes* libMixes, BetAnnotations* annotations) {
+  ModelResult result;
+  result.machineName = model.machine().name;
+  if (!bet.root) return result;
+
+  walkConst(*bet.root, 1.0, model, libMixes, result, annotations);
 
   // Pass 3: normalize aggregates, attach labels, compute fractions.
   for (auto& [origin, bc] : result.blocks) {
@@ -132,6 +143,24 @@ ModelResult estimate(bet::Bet& bet, const Roofline& model, const vm::Module* mod
   }
   for (auto& [origin, bc] : result.blocks) {
     bc.fraction = result.totalSeconds > 0 ? bc.seconds / result.totalSeconds : 0;
+  }
+  return result;
+}
+
+ModelResult estimate(bet::Bet& bet, const Roofline& model, const vm::Module* mod,
+                     const LibMixes* libMixes) {
+  BetAnnotations ann;
+  const bet::Bet& shared = bet;
+  ModelResult result = estimate(shared, model, mod, libMixes, &ann);
+  if (bet.root) {
+    bet.root->visitMut([&](BetNode& n) {
+      const NodeCost& nc = ann.at(&n);
+      n.enr = nc.enr;
+      n.tcCycles = nc.tcCycles;
+      n.tmCycles = nc.tmCycles;
+      n.toCycles = nc.toCycles;
+      n.totalSeconds = nc.totalSeconds;
+    });
   }
   return result;
 }

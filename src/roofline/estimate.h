@@ -12,6 +12,7 @@
 
 #include <map>
 #include <string>
+#include <unordered_map>
 
 #include "bet/bet.h"
 #include "roofline/roofline.h"
@@ -47,9 +48,34 @@ struct ModelResult {
 /// back to the static mix in minic::builtinTable().
 using LibMixes = std::map<int, skel::SkMetrics>;
 
+/// Per-node estimator outputs for one machine, kept *outside* the BET so the
+/// tree itself can be shared read-only between threads (one sweep worker per
+/// machine config). Mirrors the estimator-filled fields of bet::BetNode.
+struct NodeCost {
+  double enr = 0;           ///< expected number of repetitions (§V-A)
+  double tcCycles = 0;      ///< per-invocation compute time (blocks only)
+  double tmCycles = 0;      ///< per-invocation memory time
+  double toCycles = 0;      ///< per-invocation overlapped time
+  double totalSeconds = 0;  ///< ENR × per-invocation time
+};
+
+/// Side table of per-node costs for one (BET, machine) evaluation. Keys are
+/// borrowed BET node pointers; the BET must outlive the table.
+using BetAnnotations = std::unordered_map<const bet::BetNode*, NodeCost>;
+
+/// Thread-safe estimation over a *shared, immutable* BET: identical math to
+/// the mutating overload, but all per-node outputs go to `annotations`
+/// (optional) instead of into the tree. Any number of threads may run this
+/// concurrently over the same BET / Module / LibMixes with distinct Roofline
+/// models — nothing shared is written.
+ModelResult estimate(const bet::Bet& bet, const Roofline& model,
+                     const vm::Module* mod, const LibMixes* libMixes,
+                     BetAnnotations* annotations);
+
 /// Estimates every block in `bet`, filling the per-node enr / time fields in
 /// place and returning the per-origin aggregation. `mod` (optional) supplies
-/// block labels and static instruction counts.
+/// block labels and static instruction counts. Single-threaded use only (the
+/// BET is written); sweeps use the const overload above.
 ModelResult estimate(bet::Bet& bet, const Roofline& model,
                      const vm::Module* mod = nullptr, const LibMixes* libMixes = nullptr);
 

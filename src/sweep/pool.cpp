@@ -1,0 +1,111 @@
+#include "sweep/pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace skope::sweep {
+
+namespace {
+
+/// One worker's mutex-guarded task deque.
+struct WorkerQueue {
+  std::mutex mu;
+  std::deque<size_t> tasks;
+
+  bool popBack(size_t& out) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (tasks.empty()) return false;
+    out = tasks.back();
+    tasks.pop_back();
+    return true;
+  }
+
+  bool stealFront(size_t& out) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (tasks.empty()) return false;
+    out = tasks.front();
+    tasks.pop_front();
+    return true;
+  }
+};
+
+struct BatchState {
+  std::vector<WorkerQueue> queues;
+  const std::function<void(size_t)>* task = nullptr;
+  std::atomic<bool> abort{false};
+  std::mutex errorMu;
+  std::exception_ptr error;
+
+  explicit BatchState(size_t workers) : queues(workers) {}
+
+  void recordError() {
+    std::lock_guard<std::mutex> lock(errorMu);
+    if (!error) error = std::current_exception();
+    abort.store(true, std::memory_order_relaxed);
+  }
+
+  void workerLoop(size_t self) {
+    size_t idx;
+    while (!abort.load(std::memory_order_relaxed)) {
+      if (!queues[self].popBack(idx)) {
+        // Own deque drained: steal the oldest task from the first victim
+        // that has one (scan order starts just after us to spread pressure).
+        bool stole = false;
+        for (size_t off = 1; off < queues.size() && !stole; ++off) {
+          stole = queues[(self + off) % queues.size()].stealFront(idx);
+        }
+        if (!stole) return;  // batch drained
+      }
+      try {
+        (*task)(idx);
+      } catch (...) {
+        recordError();
+        return;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+WorkStealingPool::WorkStealingPool(int threads) {
+  if (threads <= 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    threads = hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  threads_ = threads;
+}
+
+void WorkStealingPool::run(size_t numTasks, const std::function<void(size_t)>& task) const {
+  if (numTasks == 0) return;
+  size_t workers = std::min<size_t>(static_cast<size_t>(threads_), numTasks);
+  if (workers <= 1) {
+    for (size_t i = 0; i < numTasks; ++i) task(i);
+    return;
+  }
+
+  BatchState state(workers);
+  state.task = &task;
+  // Deal the batch round-robin; deques are popped from the back, so push
+  // order keeps low indices (often the cheap baseline configs) early.
+  for (size_t i = 0; i < numTasks; ++i) {
+    state.queues[i % workers].tasks.push_front(i);
+  }
+
+  std::vector<std::thread> crew;
+  crew.reserve(workers - 1);
+  for (size_t w = 1; w < workers; ++w) {
+    crew.emplace_back([&state, w] { state.workerLoop(w); });
+  }
+  state.workerLoop(0);  // the calling thread is worker 0
+  for (auto& t : crew) t.join();
+
+  if (state.error) std::rethrow_exception(state.error);
+}
+
+}  // namespace skope::sweep

@@ -1,0 +1,88 @@
+#include "sweep/report.h"
+
+#include "support/text.h"
+
+namespace skope::sweep {
+
+namespace {
+
+/// CSV-escapes a field (config names contain commas from multi-axis grids).
+std::string csvField(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string toCsv(const SweepResult& result) {
+  bool gt = result.groundTruth;
+  bool hp = result.hotPaths;
+
+  std::string out = "rank,config,projected_s,speedup_vs_base,bound,coverage,leanness,"
+                    "spots,top_spot";
+  if (gt) out += ",measured_s,quality";
+  if (hp) out += ",hotpath_nodes,hotspot_instances";
+  out += "\n";
+
+  size_t rank = 0;
+  for (size_t idx : result.ranked()) {
+    const ConfigOutcome& c = result.outcomes[idx];
+    ++rank;
+    out += format("%zu,%s,%.6e,%.3f,%s,%.4f,%.4f,%zu,%s", rank,
+                  csvField(c.config).c_str(), c.projectedSeconds, c.speedupVsBase,
+                  c.topBound.c_str(), c.coverage, c.leanness, c.spotCount,
+                  csvField(c.topSpots.empty() ? "" : c.topSpots.front()).c_str());
+    if (gt) {
+      out += format(",%.6e,%.4f", c.measuredSeconds.value_or(0.0),
+                    c.quality.value_or(0.0));
+    }
+    if (hp) out += format(",%zu,%zu", c.hotPathNodes, c.hotSpotInstances);
+    out += "\n";
+  }
+  return out;
+}
+
+std::string toMarkdown(const SweepResult& result, size_t topN) {
+  bool gt = result.groundTruth;
+  std::string out;
+  out += format("# Co-design sweep: %s\n\n", result.workload.c_str());
+  out += format("base machine: %s (projected %.4e s) — %zu configs, ranked by "
+                "projected time\n\n",
+                result.baseMachine.c_str(), result.baseProjectedSeconds,
+                result.outcomes.size());
+
+  out += "| rank | config | projected | speedup | bound | top hot spot | coverage |";
+  if (gt) out += " measured | quality |";
+  out += "\n";
+  out += "|---:|---|---:|---:|---|---|---:|";
+  if (gt) out += "---:|---:|";
+  out += "\n";
+
+  size_t rank = 0;
+  for (size_t idx : result.ranked()) {
+    const ConfigOutcome& c = result.outcomes[idx];
+    ++rank;
+    if (topN != 0 && rank > topN) break;
+    out += format("| %zu | %s | %.4e s | %.2fx | %s | %s | %.1f%% |", rank,
+                  c.config.c_str(), c.projectedSeconds, c.speedupVsBase,
+                  c.topBound.c_str(), c.topSpots.empty() ? "-" : c.topSpots.front().c_str(),
+                  c.coverage * 100);
+    if (gt) {
+      out += format(" %.4e s | %.1f%% |", c.measuredSeconds.value_or(0.0),
+                    c.quality.value_or(0.0) * 100);
+    }
+    out += "\n";
+  }
+  if (topN != 0 && result.outcomes.size() > topN) {
+    out += format("\n(%zu further configs omitted)\n", result.outcomes.size() - topN);
+  }
+  return out;
+}
+
+}  // namespace skope::sweep

@@ -1,0 +1,27 @@
+// Deterministic report rendering for sweep results.
+//
+// Both writers print the outcomes ranked by projected time (fastest design
+// first) and are pure functions of the SweepResult's outcome data — no
+// timestamps, thread counts or wall-clock numbers — so a 1-thread and an
+// N-thread sweep over the same grid render byte-identical reports (the
+// determinism contract tests/test_sweep.cpp pins down).
+#pragma once
+
+#include <string>
+
+#include "sweep/sweep.h"
+
+namespace skope::sweep {
+
+/// CSV, one row per config:
+///   rank,config,projected_s,speedup_vs_base,bound,coverage,leanness,
+///   spots,top_spot[,measured_s,quality][,hotpath_nodes,hotspot_instances]
+/// The optional column groups appear only when the sweep ran with
+/// groundTruth / hotPaths respectively.
+std::string toCsv(const SweepResult& result);
+
+/// Markdown: a header block (workload, base machine, grid size) and a ranked
+/// table. `topN` == 0 prints every config.
+std::string toMarkdown(const SweepResult& result, size_t topN = 0);
+
+}  // namespace skope::sweep

@@ -1,0 +1,107 @@
+#include "sweep/sweep.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "support/text.h"
+#include "sweep/pool.h"
+
+namespace skope::sweep {
+
+namespace {
+
+ConfigOutcome digest(const core::MachineEvaluation& ev, size_t index,
+                     const MachineConfig& cfg, double baseSeconds,
+                     const SweepOptions& options) {
+  ConfigOutcome out;
+  out.index = index;
+  out.config = cfg.name;
+  out.projectedSeconds = ev.model.totalSeconds;
+  out.speedupVsBase =
+      ev.model.totalSeconds > 0 ? baseSeconds / ev.model.totalSeconds : 0;
+  out.coverage = ev.selection.coverage;
+  out.leanness = ev.selection.leanness;
+  out.spotCount = ev.selection.spots.size();
+  for (size_t i = 0; i < options.topSpots && i < ev.ranking.size(); ++i) {
+    out.topSpots.push_back(format("%s (%.1f%%)", ev.ranking[i].label.c_str(),
+                                  ev.ranking[i].fraction * 100));
+  }
+  if (!ev.ranking.empty()) {
+    const auto& top = ev.model.blocks.at(ev.ranking.front().origin);
+    out.topBound = top.tmSeconds > top.tcSeconds ? "memory" : "compute";
+  }
+  out.hotPathNodes = ev.hotPathNodes;
+  out.hotSpotInstances = ev.hotSpotInstances;
+  if (ev.prof) out.measuredSeconds = ev.prof->totalSeconds;
+  if (ev.quality) out.quality = ev.quality->quality;
+  return out;
+}
+
+}  // namespace
+
+std::vector<size_t> SweepResult::ranked() const {
+  std::vector<size_t> order(outcomes.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return outcomes[a].projectedSeconds < outcomes[b].projectedSeconds;
+  });
+  return order;
+}
+
+SweepResult runSweep(const core::WorkloadFrontend& frontend,
+                     const std::vector<MachineConfig>& configs,
+                     const SweepOptions& options) {
+  SweepResult result;
+  result.workload = frontend.name();
+  result.groundTruth = options.groundTruth;
+  result.hotPaths = options.hotPaths;
+
+  core::BackendOptions backendOpts;
+  backendOpts.rparams = options.rparams;
+  backendOpts.criteria = options.criteria;
+  backendOpts.wantHotPath = options.hotPaths;
+  backendOpts.groundTruth = options.groundTruth;
+
+  // The speedup baseline: the front-end's projection is cheap enough that
+  // one extra evaluation beats requiring the base point to be on the grid.
+  MachineModel base;
+  if (options.baseline) {
+    base = *options.baseline;
+  } else if (!configs.empty()) {
+    base = configs.front().machine;
+  } else {
+    base = MachineModel::bgq();
+  }
+  result.baseMachine = base.name;
+  {
+    core::BackendOptions cheap;
+    cheap.rparams = options.rparams;
+    cheap.criteria = options.criteria;
+    result.baseProjectedSeconds =
+        core::evaluateMachine(frontend, base, cheap).model.totalSeconds;
+  }
+
+  WorkStealingPool pool(options.threads);
+  result.threadsUsed = static_cast<int>(
+      std::min<size_t>(static_cast<size_t>(pool.threadCount()), std::max<size_t>(configs.size(), 1)));
+
+  result.outcomes.resize(configs.size());
+  auto t0 = std::chrono::steady_clock::now();
+  pool.run(configs.size(), [&](size_t i) {
+    auto ev = core::evaluateMachine(frontend, configs[i].machine, backendOpts);
+    result.outcomes[i] =
+        digest(ev, i, configs[i], result.baseProjectedSeconds, options);
+  });
+  result.sweepSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return result;
+}
+
+SweepResult runSweep(const core::WorkloadFrontend& frontend, const MachineGrid& grid,
+                     const SweepOptions& options) {
+  SweepOptions opts = options;
+  if (!opts.baseline) opts.baseline = grid.base;
+  return runSweep(frontend, grid.expand(), opts);
+}
+
+}  // namespace skope::sweep

@@ -1,0 +1,88 @@
+// Parallel co-design sweep engine.
+//
+// Evaluates one workload against a whole grid of candidate machines — the
+// batch version of the paper's co-design question ("which of these designs
+// should we build?"). The machine-independent front-end (parse → compile →
+// profile → skeleton → BET) is built ONCE as a shared immutable
+// WorkloadFrontend; only the machine-dependent back-end (roofline → hot
+// spots → hot path → optional ground-truth simulation) runs per config, fanned
+// out over a work-stealing thread pool. Outcomes land in grid order, so a
+// sweep's report is byte-identical for any thread count.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/backend.h"
+#include "machine/grid.h"
+
+namespace skope::sweep {
+
+struct SweepOptions {
+  /// Worker threads; <= 0 selects hardware concurrency, 1 is serial.
+  int threads = 1;
+  hotspot::SelectionCriteria criteria{};
+  roofline::RooflineParams rparams{};
+  /// Run the ground-truth timing simulator per config too (Prof ranking +
+  /// selection quality). Costly: simulation scales with the input data size
+  /// while the analytic projection does not — but it parallelizes across
+  /// configs just the same.
+  bool groundTruth = false;
+  /// Extract each config's hot path and record its size/instances.
+  bool hotPaths = false;
+  /// How many top hot-spot labels to record per config.
+  size_t topSpots = 3;
+  /// Speedup baseline. Defaults to the grid's unmodified base machine (grid
+  /// overload) or the first config's machine (config-vector overload).
+  std::optional<MachineModel> baseline;
+};
+
+/// What the sweep keeps per machine config (a deliberately flat, printable
+/// digest of core::MachineEvaluation — full evaluations for a big grid would
+/// hold the whole per-node cost tables alive).
+struct ConfigOutcome {
+  size_t index = 0;            ///< position in grid order
+  std::string config;          ///< config name from grid expansion
+  double projectedSeconds = 0; ///< analytic total ("Modl")
+  double speedupVsBase = 0;    ///< base projected / this projected
+  double coverage = 0;         ///< selection time coverage (projected)
+  double leanness = 0;         ///< selection static-instruction share
+  size_t spotCount = 0;        ///< hot spots selected
+  std::vector<std::string> topSpots;  ///< "label (share%)", rank order
+  std::string topBound;        ///< "memory" or "compute" for the top spot
+  size_t hotPathNodes = 0;     ///< (hotPaths) merged hot-path size
+  size_t hotSpotInstances = 0; ///< (hotPaths) BET instances on the path
+  std::optional<double> measuredSeconds;  ///< (groundTruth) simulated total
+  std::optional<double> quality;          ///< (groundTruth) selection quality
+};
+
+struct SweepResult {
+  std::string workload;
+  std::string baseMachine;
+  double baseProjectedSeconds = 0;  ///< the unmodified base machine's projection
+  std::vector<ConfigOutcome> outcomes;  ///< in grid order
+  bool groundTruth = false;  ///< outcomes carry measuredSeconds / quality
+  bool hotPaths = false;     ///< outcomes carry hot-path sizes
+
+  // Run metadata (not part of the deterministic report surface).
+  int threadsUsed = 1;
+  double sweepSeconds = 0;  ///< wall-clock of the per-config fan-out
+
+  /// Outcome indices ranked by projected time, fastest first; ties break by
+  /// grid order. This is the order the reports print in.
+  [[nodiscard]] std::vector<size_t> ranked() const;
+};
+
+/// Evaluates every config against the shared front-end. Deterministic: the
+/// outcome vector (and everything derived from it) is identical for any
+/// `threads` value. Exceptions from any config abort the sweep and rethrow.
+SweepResult runSweep(const core::WorkloadFrontend& frontend,
+                     const std::vector<MachineConfig>& configs,
+                     const SweepOptions& options = {});
+
+/// Convenience: expand a grid and sweep it.
+SweepResult runSweep(const core::WorkloadFrontend& frontend, const MachineGrid& grid,
+                     const SweepOptions& options = {});
+
+}  // namespace skope::sweep

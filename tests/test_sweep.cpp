@@ -1,0 +1,259 @@
+// Sweep engine contracts: grid parsing, the work-stealing pool, and the two
+// properties the subsystem exists for —
+//   1. determinism: a 1-thread and an N-thread sweep over the same grid
+//      render byte-identical reports (results land by grid index; nothing
+//      about scheduling leaks into the output), and
+//   2. front-end sharing is lossless: evaluating a machine against the
+//      shared immutable front-end gives exactly the projection, hot-spot
+//      selection, hot path and quality the single-shot CodesignFramework
+//      facade computes when it rebuilds everything itself.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "core/backend.h"
+#include "core/framework.h"
+#include "machine/grid.h"
+#include "sweep/pool.h"
+#include "sweep/report.h"
+#include "sweep/sweep.h"
+
+namespace skope::sweep {
+namespace {
+
+hotspot::SelectionCriteria scaledCriteria() { return {0.90, 0.45}; }
+
+/// One shared SORD front-end for the whole binary (profiling once is the
+/// point of the artifact; tests exercise concurrent reads of it).
+const core::WorkloadFrontend& sordFrontend() {
+  static std::shared_ptr<const core::WorkloadFrontend> fe = core::loadFrontend("sord");
+  return *fe;
+}
+
+MachineGrid smallGrid() {
+  return parseGridSpec("base=bgq; membw=15,30,60; peakflops=4,8; memlat=120,240");
+}
+
+// ---------------------------------------------------------------- grid spec
+
+TEST(Grid, ParsesListsRangesAndBase) {
+  auto grid = parseGridSpec("base = xeon\nmembw = 20, 40\npeakflops = 2:8:2\n");
+  EXPECT_EQ(grid.base.name, MachineModel::xeonE5_2420().name);
+  ASSERT_EQ(grid.axes.size(), 2u);
+  EXPECT_EQ(grid.axes[0].field, "membw");
+  EXPECT_EQ(grid.axes[0].values, (std::vector<double>{20, 40}));
+  EXPECT_EQ(grid.axes[1].values, (std::vector<double>{2, 4, 6, 8}));
+  EXPECT_EQ(grid.configCount(), 8u);
+}
+
+TEST(Grid, InlineSemicolonsAndComments) {
+  auto grid = parseGridSpec("membw=15:60:15; memlat=90 # tail comment");
+  EXPECT_EQ(grid.base.name, MachineModel::bgq().name);  // default base
+  EXPECT_EQ(grid.configCount(), 4u);
+  EXPECT_EQ(grid.axes[1].values, (std::vector<double>{90}));
+}
+
+TEST(Grid, ExpandsRowMajorWithLastAxisFastest) {
+  auto grid = parseGridSpec("membw=15,30; memlat=90,180");
+  auto configs = grid.expand();
+  ASSERT_EQ(configs.size(), 4u);
+  EXPECT_EQ(configs[0].name, "BG/Q{membw=15,memlat=90}");
+  EXPECT_EQ(configs[1].name, "BG/Q{membw=15,memlat=180}");
+  EXPECT_EQ(configs[2].name, "BG/Q{membw=30,memlat=90}");
+  EXPECT_DOUBLE_EQ(configs[3].machine.memBandwidthGBs, 30);
+  EXPECT_DOUBLE_EQ(configs[3].machine.memLatencyCycles, 180);
+  // untouched fields keep the base's values
+  EXPECT_EQ(configs[3].machine.cores, MachineModel::bgq().cores);
+}
+
+TEST(Grid, AppliesUnitScaledFields) {
+  auto configs = parseGridSpec("l1kb=64; llcmb=8").expand();
+  ASSERT_EQ(configs.size(), 1u);
+  EXPECT_EQ(configs[0].machine.l1.sizeBytes, 64u * 1024);
+  EXPECT_EQ(configs[0].machine.llc.sizeBytes, 8u * 1024 * 1024);
+}
+
+TEST(Grid, RejectsMalformedSpecs) {
+  EXPECT_THROW(parseGridSpec("nonsense=1"), Error);          // unknown field
+  EXPECT_THROW(parseGridSpec("membw=1:0:1"), Error);         // hi < lo
+  EXPECT_THROW(parseGridSpec("membw=1:9:0"), Error);         // step 0
+  EXPECT_THROW(parseGridSpec("membw=abc"), Error);           // non-numeric
+  EXPECT_THROW(parseGridSpec("membw=1; membw=2"), Error);    // duplicate axis
+  EXPECT_THROW(parseGridSpec("base=bgq; base=xeon"), Error); // duplicate base
+  EXPECT_THROW(parseGridSpec("base=vax"), Error);            // unknown machine
+  EXPECT_THROW(parseGridSpec("membw"), Error);               // no '='
+}
+
+TEST(Grid, FieldHelpListsEveryField) {
+  std::string help = gridFieldHelp();
+  for (const auto& f : gridFields()) {
+    EXPECT_NE(help.find(std::string(f.name)), std::string::npos) << f.name;
+  }
+}
+
+// --------------------------------------------------------------- thread pool
+
+TEST(Pool, RunsEveryTaskExactlyOnce) {
+  WorkStealingPool pool(4);
+  constexpr size_t kTasks = 500;
+  std::vector<std::atomic<int>> hits(kTasks);
+  pool.run(kTasks, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "task " << i;
+  }
+}
+
+TEST(Pool, SerialPoolRunsInline) {
+  WorkStealingPool pool(1);
+  std::vector<size_t> order;
+  pool.run(5, [&](size_t i) { order.push_back(i); });  // single-threaded: safe
+  EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(Pool, PropagatesTaskExceptions) {
+  WorkStealingPool pool(3);
+  EXPECT_THROW(pool.run(64,
+                        [&](size_t i) {
+                          if (i == 17) throw Error("boom");
+                        }),
+               Error);
+}
+
+TEST(Pool, AutoThreadCountIsPositive) {
+  EXPECT_GE(WorkStealingPool(0).threadCount(), 1);
+  EXPECT_EQ(WorkStealingPool(7).threadCount(), 7);
+}
+
+// -------------------------------------------------------------- determinism
+
+TEST(Sweep, ReportsAreByteIdenticalAcrossThreadCounts) {
+  SweepOptions opts;
+  opts.criteria = scaledCriteria();
+  opts.hotPaths = true;
+
+  opts.threads = 1;
+  auto serial = runSweep(sordFrontend(), smallGrid(), opts);
+  ASSERT_EQ(serial.outcomes.size(), 12u);
+
+  for (int threads : {2, 4, 8}) {
+    opts.threads = threads;
+    auto parallel = runSweep(sordFrontend(), smallGrid(), opts);
+    EXPECT_EQ(toCsv(serial), toCsv(parallel)) << threads << " threads";
+    EXPECT_EQ(toMarkdown(serial), toMarkdown(parallel)) << threads << " threads";
+  }
+}
+
+TEST(Sweep, OutcomesLandInGridOrder) {
+  SweepOptions opts;
+  opts.threads = 4;
+  opts.criteria = scaledCriteria();
+  auto result = runSweep(sordFrontend(), smallGrid(), opts);
+  auto configs = smallGrid().expand();
+  ASSERT_EQ(result.outcomes.size(), configs.size());
+  for (size_t i = 0; i < configs.size(); ++i) {
+    EXPECT_EQ(result.outcomes[i].index, i);
+    EXPECT_EQ(result.outcomes[i].config, configs[i].name);
+  }
+}
+
+TEST(Sweep, RankedOrdersByProjectedTime) {
+  SweepOptions opts;
+  opts.criteria = scaledCriteria();
+  auto result = runSweep(sordFrontend(), smallGrid(), opts);
+  auto order = result.ranked();
+  for (size_t i = 1; i < order.size(); ++i) {
+    EXPECT_LE(result.outcomes[order[i - 1]].projectedSeconds,
+              result.outcomes[order[i]].projectedSeconds);
+  }
+  // the base machine's own point is on this grid (membw=30, peakflops=8,
+  // memlat=180 is not; but speedups must still be finite and positive)
+  for (const auto& c : result.outcomes) {
+    EXPECT_GT(c.speedupVsBase, 0);
+    EXPECT_GT(c.projectedSeconds, 0);
+  }
+}
+
+// ------------------------------------- shared front-end == single-shot facade
+
+TEST(Sweep, SharedFrontendMatchesSingleShotFacade) {
+  // The facade rebuilds its own front-end from scratch; the sweep evaluates
+  // against the shared one. Identical inputs must give identical models.
+  core::CodesignFramework fw(workloads::sord());
+  MachineModel machine = machineByName("xeon");
+  auto facadeModel = fw.project(machine);
+
+  auto ev = core::evaluateMachine(sordFrontend(), machine,
+                                  {.criteria = scaledCriteria()});
+  EXPECT_DOUBLE_EQ(ev.model.totalSeconds, facadeModel.totalSeconds);
+  ASSERT_EQ(ev.model.blocks.size(), facadeModel.blocks.size());
+  for (const auto& [origin, bc] : facadeModel.blocks) {
+    const auto& sb = ev.model.blocks.at(origin);
+    EXPECT_DOUBLE_EQ(sb.seconds, bc.seconds) << bc.label;
+    EXPECT_DOUBLE_EQ(sb.enr, bc.enr) << bc.label;
+    EXPECT_EQ(sb.label, bc.label);
+  }
+}
+
+TEST(Sweep, ConstHotPathMatchesFacadeHotPath) {
+  MachineModel machine = machineByName("bgq");
+  core::BackendOptions opts;
+  opts.criteria = scaledCriteria();
+  opts.wantHotPath = true;
+  auto ev = core::evaluateMachine(sordFrontend(), machine, opts);
+  ASSERT_FALSE(ev.hotPathText.empty());
+
+  core::CodesignFramework fw(workloads::sord());
+  std::string facade = fw.hotPathReport(machine, scaledCriteria());
+  // The facade prepends one header line; the tree underneath (including the
+  // ENR / time annotations, which the sweep reads from its side table rather
+  // than from mutated BET nodes) must match byte for byte.
+  auto body = facade.substr(facade.find('\n') + 1);
+  EXPECT_EQ(ev.hotPathText, body);
+}
+
+TEST(Sweep, GroundTruthQualityMatchesFacadeAnalyze) {
+  MachineModel machine = machineByName("bgq");
+  core::BackendOptions opts;
+  opts.criteria = scaledCriteria();
+  opts.groundTruth = true;
+  auto ev = core::evaluateMachine(sordFrontend(), machine, opts);
+  ASSERT_TRUE(ev.quality.has_value());
+
+  core::CodesignFramework fw(workloads::sord());
+  auto analysis = fw.analyze(machine, scaledCriteria());
+  EXPECT_DOUBLE_EQ(ev.quality->quality, analysis.quality.quality);
+  EXPECT_DOUBLE_EQ(ev.quality->modelCoverage, analysis.quality.modelCoverage);
+  EXPECT_DOUBLE_EQ(ev.prof->totalSeconds, analysis.prof.totalSeconds);
+  ASSERT_TRUE(ev.profSelection.has_value());
+  ASSERT_EQ(ev.profSelection->spots.size(), analysis.profSelection.spots.size());
+}
+
+TEST(Sweep, FrontendSharedAcrossFacadesGivesSameBet) {
+  auto fe = core::loadFrontend("srad");
+  core::CodesignFramework a(fe);
+  core::CodesignFramework b(fe);
+  EXPECT_EQ(&a.frontend()->bet(), &b.frontend()->bet());  // genuinely shared
+  EXPECT_EQ(bet::printBet(a.bet()), bet::printBet(fe->bet()));
+}
+
+TEST(Sweep, GroundTruthSweepCarriesQualityColumns) {
+  // 2 configs only — each runs a full simulation.
+  auto grid = parseGridSpec("base=bgq; membw=30,60");
+  SweepOptions opts;
+  opts.threads = 2;
+  opts.criteria = scaledCriteria();
+  opts.groundTruth = true;
+  auto result = runSweep(sordFrontend(), grid, opts);
+  ASSERT_EQ(result.outcomes.size(), 2u);
+  for (const auto& c : result.outcomes) {
+    ASSERT_TRUE(c.measuredSeconds.has_value());
+    ASSERT_TRUE(c.quality.has_value());
+    EXPECT_GT(*c.measuredSeconds, 0);
+    EXPECT_GT(*c.quality, 0);
+  }
+  EXPECT_NE(toCsv(result).find("measured_s,quality"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace skope::sweep

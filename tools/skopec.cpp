@@ -10,8 +10,6 @@
 //   skopec sord --compare                        # model vs ground truth
 //   skopec sord --scaling --cells 64000 --steps 4  # multi-node projection
 #include <cstdio>
-#include <fstream>
-#include <sstream>
 
 #include "core/framework.h"
 #include "report/table.h"
@@ -27,24 +25,8 @@ namespace {
 std::unique_ptr<core::CodesignFramework> load(const std::string& target,
                                               const std::string& paramSpec,
                                               const std::string& hintPath) {
-  std::map<std::string, double> overrides;
-  if (!hintPath.empty()) overrides = core::loadHintFile(hintPath);
-  for (const auto& [k, v] : core::parseParamSpec(paramSpec)) overrides[k] = v;
-
-  for (const auto* w : workloads::allWorkloads()) {
-    std::string lower;
-    for (char c : w->name) lower += static_cast<char>(std::tolower(c));
-    if (target == lower || target == w->name) {
-      auto params = w->params;
-      for (const auto& [k, v] : overrides) params[k] = v;
-      return std::make_unique<core::CodesignFramework>(w->name, w->source, params, w->seed);
-    }
-  }
-  std::ifstream in(target);
-  if (!in) throw Error("no bundled workload or readable file named '" + target + "'");
-  std::stringstream ss;
-  ss << in.rdbuf();
-  return std::make_unique<core::CodesignFramework>(target, ss.str(), overrides);
+  return std::make_unique<core::CodesignFramework>(
+      core::loadFrontend(target, paramSpec, hintPath));
 }
 
 int run(int argc, char** argv) {

@@ -1,0 +1,131 @@
+// sweep — batch co-design: one workload, a whole grid of candidate machines.
+//
+// The front-end (parse, compile, one profiling run, BET build) runs once;
+// every machine config in the grid is then projected concurrently against the
+// shared model and the results come back as a ranked report. Examples:
+//
+//   sweep sord --grid "membw=15:60:15; peakflops=2,4,8,16"
+//   sweep sord --grid grid.spec --threads 8 --format csv --out sord.csv
+//   sweep srad --grid "base=xeon; llcmb=5,15,30" --quality
+//   sweep --list-fields                          # sweepable hardware knobs
+//
+// See docs/SWEEP.md for the grid-spec format and the output schema.
+#include <cstdio>
+#include <fstream>
+
+#include "core/backend.h"
+#include "core/framework.h"
+#include "machine/grid.h"
+#include "support/argparse.h"
+#include "support/text.h"
+#include "sweep/report.h"
+#include "sweep/sweep.h"
+
+using namespace skope;
+
+namespace {
+
+MachineGrid loadGrid(const std::string& spec, const std::string& baseFlag) {
+  MachineGrid grid;
+  // A spec containing '=' is inline; anything else is a file path.
+  if (spec.find('=') != std::string::npos) {
+    grid = parseGridSpec(spec);
+  } else {
+    grid = loadGridFile(spec);
+  }
+  // --base applies only when the spec itself didn't pick one.
+  if (spec.find("base") == std::string::npos && !baseFlag.empty()) {
+    grid.base = machineByName(baseFlag);
+  }
+  return grid;
+}
+
+int run(int argc, char** argv) {
+  ArgParser args("sweep", "evaluate a workload across a grid of machine configs "
+                          "(shared front-end, parallel back-end)");
+  args.addPositional("workload", "bundled workload name (sord, chargei, srad, cfd, "
+                                 "stassuij) or a MiniC file path", /*required=*/false);
+  args.addFlag("grid", "grid spec: a file path, or inline directives like "
+                       "\"membw=15:60:15; peakflops=2,4,8\"");
+  args.addFlag("base", "base machine when the spec has no 'base =' line: "
+                       "bgq, xeon, knl, arm", "bgq");
+  args.addFlag("threads", "worker threads (0 = all hardware threads)", "0");
+  args.addFlag("coverage", "hot-spot time-coverage criterion", "0.90");
+  args.addFlag("leanness", "hot-spot code-leanness criterion", "0.45");
+  args.addFlag("format", "report format: md, csv, or both", "md");
+  args.addFlag("out", "write the report here instead of stdout");
+  args.addFlag("top", "rows in the markdown table (0 = all)", "0");
+  args.addFlag("params", "override workload params, e.g. N=128,STEPS=10");
+  args.addFlag("hints", "hint file with one 'name = value' binding per line");
+  args.addBool("quality", "also run the ground-truth simulator per config "
+                          "(measured time + selection quality; much slower)");
+  args.addBool("hotpath", "extract each config's hot path (adds size columns)");
+  args.addBool("list-fields", "print the sweepable machine fields and exit");
+  if (!args.parse(argc, argv)) return 0;
+
+  if (args.getBool("list-fields")) {
+    std::fputs(gridFieldHelp().c_str(), stdout);
+    return 0;
+  }
+  if (args.get("workload").empty()) {
+    throw Error("missing workload (or use --list-fields)");
+  }
+  if (args.get("grid").empty()) {
+    throw Error("missing --grid (a spec file or inline directives; "
+                "see --list-fields for the axes)");
+  }
+
+  MachineGrid grid = loadGrid(args.get("grid"), args.get("base"));
+  if (grid.axes.empty()) {
+    throw Error("grid has no axes — nothing to sweep (see --list-fields)");
+  }
+
+  auto frontend = core::loadFrontend(args.get("workload"), args.get("params"),
+                                     args.get("hints"));
+
+  sweep::SweepOptions opts;
+  opts.threads = static_cast<int>(args.getDouble("threads"));
+  opts.criteria = {args.getDouble("coverage"), args.getDouble("leanness")};
+  opts.groundTruth = args.getBool("quality");
+  opts.hotPaths = args.getBool("hotpath");
+
+  auto result = sweep::runSweep(*frontend, grid, opts);
+
+  std::string format = args.get("format");
+  std::string report;
+  if (format == "md" || format == "both") {
+    report += sweep::toMarkdown(result, static_cast<size_t>(args.getDouble("top")));
+  }
+  if (format == "csv" || format == "both") {
+    if (!report.empty()) report += "\n";
+    report += sweep::toCsv(result);
+  }
+  if (report.empty()) {
+    throw Error("unknown --format '" + format + "' (md, csv, both)");
+  }
+
+  if (!args.get("out").empty()) {
+    std::ofstream out(args.get("out"));
+    if (!out) throw Error("cannot write '" + args.get("out") + "'");
+    out << report;
+    std::fprintf(stderr, "sweep: %zu configs -> %s (%d threads, %.3f s)\n",
+                 result.outcomes.size(), args.get("out").c_str(), result.threadsUsed,
+                 result.sweepSeconds);
+  } else {
+    std::fputs(report.c_str(), stdout);
+    std::fprintf(stderr, "sweep: %zu configs, %d threads, %.3f s back-end\n",
+                 result.outcomes.size(), result.threadsUsed, result.sweepSeconds);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sweep: %s\n", e.what());
+    return 1;
+  }
+}
