@@ -1,0 +1,175 @@
+// Trace-once / replay-many economics and accuracy — the headline numbers of
+// the reuse-distance cache-modeling layer (docs/TRACE.md):
+//
+//   1. Accuracy: for all five bundled workloads, the analytic CacheModel's
+//      predicted L1 / LLC miss rates vs the set-associative LRU simulator on
+//      the recorded reference stream (target: within 2% absolute).
+//   2. Speedup: a 64-config cache-axis sweep of SORD with ground truth per
+//      config, --cache-model=simulate (re-simulate each config) vs
+//      --cache-model=reuse-dist (histogram replay). Target: >= 10x.
+//   3. Determinism: both modes render byte-identical reports for 1 vs N
+//      threads.
+//
+// Writes a machine-readable summary (BENCH_trace.json) for CI when a path is
+// given as argv[1].
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "common.h"
+#include "machine/cache.h"
+#include "machine/grid.h"
+#include "sweep/report.h"
+#include "sweep/sweep.h"
+#include "trace/cache_model.h"
+
+using namespace skope;
+
+namespace {
+
+double now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct AccuracyRow {
+  std::string workload;
+  uint64_t refs = 0;
+  double simL1 = 0, predL1 = 0, simLlc = 0, predLlc = 0;
+
+  [[nodiscard]] double worstError() const {
+    return std::max(std::abs(predL1 - simL1), std::abs(predLlc - simLlc));
+  }
+};
+
+// 4 x 2 x 4 x 2 = 64 configs across the cache axes (the sweep the analytic
+// model exists for: geometry changes that force per-config re-simulation).
+MachineGrid cacheGrid64() {
+  return parseGridSpec("base=bgq;"
+                       "l1kb=4,8,16,32;"
+                       "l1assoc=2,8;"
+                       "llcmb=4,8,16,32;"
+                       "llcassoc=8,16");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::banner("trace-once / replay-many: accuracy + sweep speedup");
+
+  // --- 1. miss-rate accuracy on all five workloads (bgq geometry) ---
+  MachineModel machine = MachineModel::bgq();
+  std::vector<AccuracyRow> rows;
+  double worst = 0;
+  for (const char* name : {"sord", "chargei", "srad", "cfd", "stassuij"}) {
+    auto fe = core::loadFrontend(name);
+    const trace::MemoryTrace& mt = fe->memoryTrace();
+    if (!mt.usable()) {
+      std::printf("FAIL: %s trace unusable (truncated=%d refs=%llu)\n", name,
+                  mt.truncated, static_cast<unsigned long long>(mt.numRefs));
+      return 1;
+    }
+    AccuracyRow row;
+    row.workload = name;
+    row.refs = mt.recordedRefs;
+    CacheHierarchy sim(machine);
+    mt.forEachRef([&](uint32_t, uint64_t word) { sim.access(word * 8); });
+    row.simL1 = sim.l1().missRate();
+    row.simLlc = sim.llc().missRate();
+    trace::CacheModel model(mt);
+    trace::CachePrediction pred = model.evaluate(machine);
+    row.predL1 = pred.l1MissRate;
+    row.predLlc = pred.llcMissRate;
+    worst = std::max(worst, row.worstError());
+    rows.push_back(row);
+  }
+
+  report::Table acc({"workload", "refs", "L1 sim", "L1 model", "LLC sim", "LLC model",
+                     "max |err|"});
+  for (const auto& r : rows) {
+    acc.addRow({r.workload, format("%llu", static_cast<unsigned long long>(r.refs)),
+                format("%.4f", r.simL1), format("%.4f", r.predL1),
+                format("%.4f", r.simLlc), format("%.4f", r.predLlc),
+                format("%.4f", r.worstError())});
+  }
+  std::printf("miss-rate accuracy, %s geometry (simulated stream vs analytic model):\n%s\n",
+              machine.name.c_str(), acc.str().c_str());
+
+  // --- 2. the 64-config cache-axis sweep, both ground-truth engines ---
+  auto frontend = core::loadFrontend("sord");
+  auto grid = cacheGrid64();
+  std::printf("cache-axis sweep: %zu configs, SORD, ground truth per config\n",
+              grid.configCount());
+
+  sweep::SweepOptions opts;
+  opts.criteria = bench::scaledCriteria();
+  opts.groundTruth = true;
+  opts.threads = 1;
+
+  opts.cacheModel = sweep::CacheModelMode::Simulate;
+  double t0 = now();
+  auto simulateSerial = sweep::runSweep(*frontend, grid, opts);
+  double simulateSec = now() - t0;
+
+  opts.cacheModel = sweep::CacheModelMode::ReuseDist;
+  t0 = now();
+  auto replaySerial = sweep::runSweep(*frontend, grid, opts);
+  double replaySec = now() - t0;
+  double speedup = simulateSec / replaySec;
+
+  report::Table sw({"ground-truth engine", "wall-clock (1 thread)", "speedup"});
+  sw.addRow({"simulate (per-config cache simulation)", format("%.3f s", simulateSec),
+             "1.0x"});
+  sw.addRow({"reuse-dist (trace replay)", format("%.3f s", replaySec),
+             format("%.0fx", speedup)});
+  std::printf("%s\n", sw.str().c_str());
+
+  // --- 3. determinism across thread counts, both modes ---
+  bool identical = true;
+  for (auto mode : {sweep::CacheModelMode::Simulate, sweep::CacheModelMode::ReuseDist}) {
+    opts.cacheModel = mode;
+    opts.threads = 1;
+    auto serial = mode == sweep::CacheModelMode::Simulate ? simulateSerial : replaySerial;
+    opts.threads = 0;
+    auto parallel = sweep::runSweep(*frontend, grid, opts);
+    bool same = sweep::toCsv(serial) == sweep::toCsv(parallel) &&
+                sweep::toMarkdown(serial) == sweep::toMarkdown(parallel);
+    std::printf("%s mode: 1-thread vs %d-thread reports byte-identical: %s\n",
+                mode == sweep::CacheModelMode::Simulate ? "simulate" : "reuse-dist",
+                parallel.threadsUsed, same ? "yes" : "NO — BUG");
+    identical = identical && same;
+  }
+  std::printf("\n");
+
+  bool accuracyOk = worst <= 0.02;
+  bool speedupOk = speedup >= 10.0;
+
+  if (argc > 1) {
+    std::ofstream out(argv[1]);
+    out << "{\n"
+        << format("  \"configs\": %zu,\n", grid.configCount())
+        << format("  \"simulate_seconds\": %.4f,\n", simulateSec)
+        << format("  \"replay_seconds\": %.4f,\n", replaySec)
+        << format("  \"speedup\": %.1f,\n", speedup)
+        << format("  \"worst_missrate_abs_error\": %.5f,\n", worst)
+        << format("  \"deterministic\": %s,\n", identical ? "true" : "false")
+        << format("  \"accuracy_ok\": %s,\n", accuracyOk ? "true" : "false")
+        << format("  \"speedup_ok\": %s\n", speedupOk ? "true" : "false")
+        << "}\n";
+    std::printf("wrote %s\n", argv[1]);
+  }
+
+  if (!accuracyOk) {
+    std::printf("FAIL: worst miss-rate error %.4f exceeds 0.02\n", worst);
+    return 1;
+  }
+  if (!speedupOk) {
+    std::printf("FAIL: replay speedup %.1fx below 10x\n", speedup);
+    return 1;
+  }
+  if (!identical) return 1;
+  std::printf("PASS: accuracy <= 2%% abs, replay %.0fx faster, deterministic\n", speedup);
+  return 0;
+}

@@ -1,6 +1,7 @@
 #include "core/backend.h"
 
 #include "sim/simulator.h"
+#include "trace/replay.h"
 
 namespace skope::core {
 
@@ -10,7 +11,13 @@ MachineEvaluation evaluateMachine(const WorkloadFrontend& frontend,
   MachineEvaluation ev;
   ev.machineName = machine.name;
 
-  roofline::Roofline model(machine, options.rparams);
+  roofline::RooflineParams rparams = options.rparams;
+  if (options.traceInformedRoofline && options.cacheModel != nullptr) {
+    trace::CachePrediction pred = options.cacheModel->evaluate(machine);
+    rparams.l1MissRatio = pred.l1MissRate;
+    rparams.dramMissRatio = pred.l1MissRate * pred.llcMissRate;
+  }
+  roofline::Roofline model(machine, rparams);
   ev.model = roofline::estimate(frontend.bet(), model, &frontend.module(),
                                 &WorkloadFrontend::libProfile().mixes, &ev.annotations);
   ev.ranking = hotspot::rankingFromModel(ev.model);
@@ -25,9 +32,17 @@ MachineEvaluation evaluateMachine(const WorkloadFrontend& frontend,
   }
 
   if (options.groundTruth) {
-    sim::Simulator simulator(frontend.program(), frontend.module(), machine,
-                             &WorkloadFrontend::libProfile().mixes);
-    auto sim = simulator.run(frontend.params(), frontend.seed());
+    sim::SimResult sim;
+    if (options.cacheModel != nullptr) {
+      trace::ReplayInputs inputs{frontend.memoryTrace(), *options.cacheModel,
+                                 frontend.profile(), &WorkloadFrontend::libProfile().mixes};
+      sim = trace::replaySimulate(frontend.program(), machine, inputs);
+    } else {
+      sim::Simulator simulator(frontend.program(), frontend.module(), machine,
+                               &WorkloadFrontend::libProfile().mixes);
+      if (options.maxOps != 0) simulator.setMaxOps(options.maxOps);
+      sim = simulator.run(frontend.params(), frontend.seed());
+    }
     ev.prof = sim::makeReport(sim, frontend.module());
     ev.profRanking = hotspot::rankingFromProfile(*ev.prof);
     ev.profSelection = hotspot::selectHotSpots(*ev.profRanking, totalInstrs, options.criteria);

@@ -17,6 +17,7 @@
 #include "hotspot/quality.h"
 #include "roofline/estimate.h"
 #include "sim/profile_report.h"
+#include "trace/cache_model.h"
 
 namespace skope::core {
 
@@ -30,6 +31,17 @@ struct BackendOptions {
   /// columns and selection quality). Orders of magnitude more expensive than
   /// the analytic projection — its cost scales with the input data size.
   bool groundTruth = false;
+  /// When set together with groundTruth, the "Prof" side is produced by
+  /// trace replay against this model instead of re-running the simulator
+  /// (--cache-model=reuse-dist). The model must be built from the
+  /// front-end's own trace; prepare() it before concurrent evaluation.
+  const trace::CacheModel* cacheModel = nullptr;
+  /// When set together with cacheModel, the roofline's constant miss ratios
+  /// are replaced per machine by the trace-predicted ones
+  /// (--trace-roofline).
+  bool traceInformedRoofline = false;
+  /// Dynamic instruction budget for the simulated run; 0 keeps the default.
+  uint64_t maxOps = 0;
 };
 
 /// Everything the back-end produces for one (workload, machine) pair.

@@ -16,13 +16,23 @@
 namespace skope::core {
 
 WorkloadFrontend::WorkloadFrontend(std::string name, std::string source,
-                                   std::map<std::string, double> params, uint64_t seed)
+                                   std::map<std::string, double> params, uint64_t seed,
+                                   const FrontendOptions& options)
     : name_(std::move(name)), params_(std::move(params)), seed_(seed) {
   prog_ = minic::parseProgram(source, name_);
   minic::analyzeOrThrow(*prog_);
   mod_ = vm::compile(*prog_);
 
-  profile_ = vm::profileRun(mod_, params_, seed_);
+  // The one profiling run. When trace recording is on, the TraceRecorder
+  // rides along on the same run via TeeTracer — the sweep's replay fast
+  // path costs no extra execution here.
+  if (options.recordTrace) {
+    trace::TraceRecorder recorder(options.traceMaxRefs);
+    profile_ = vm::profileRun(mod_, params_, seed_, &recorder, options.maxOps,
+                              [&](const vm::Vm& vm) { trace_ = recorder.finish(vm); });
+  } else {
+    profile_ = vm::profileRun(mod_, params_, seed_, nullptr, options.maxOps);
+  }
 
   skeleton_ = translate::translateProgram(*prog_);
   translate::annotate(skeleton_, profile_);
@@ -41,8 +51,10 @@ WorkloadFrontend::WorkloadFrontend(std::string name, std::string source,
   (void)libProfile();
 }
 
-WorkloadFrontend::WorkloadFrontend(const workloads::Workload& workload)
-    : WorkloadFrontend(workload.name, workload.source, workload.params, workload.seed) {}
+WorkloadFrontend::WorkloadFrontend(const workloads::Workload& workload,
+                                   const FrontendOptions& options)
+    : WorkloadFrontend(workload.name, workload.source, workload.params, workload.seed,
+                       options) {}
 
 bet::Bet WorkloadFrontend::buildPrivateBet() const {
   ParamEnv input(params_);
@@ -56,7 +68,8 @@ const libmodel::LibProfile& WorkloadFrontend::libProfile() {
 
 std::shared_ptr<const WorkloadFrontend> loadFrontend(const std::string& target,
                                                      const std::string& paramSpec,
-                                                     const std::string& hintPath) {
+                                                     const std::string& hintPath,
+                                                     const FrontendOptions& options) {
   std::map<std::string, double> overrides;
   if (!hintPath.empty()) overrides = loadHintFile(hintPath);
   for (const auto& [k, v] : parseParamSpec(paramSpec)) overrides[k] = v;
@@ -67,14 +80,16 @@ std::shared_ptr<const WorkloadFrontend> loadFrontend(const std::string& target,
     if (target == lower || target == w->name) {
       auto params = w->params;
       for (const auto& [k, v] : overrides) params[k] = v;
-      return std::make_shared<const WorkloadFrontend>(w->name, w->source, params, w->seed);
+      return std::make_shared<const WorkloadFrontend>(w->name, w->source, params, w->seed,
+                                                      options);
     }
   }
   std::ifstream in(target);
   if (!in) throw Error("no bundled workload or readable file named '" + target + "'");
   std::stringstream ss;
   ss << in.rdbuf();
-  return std::make_shared<const WorkloadFrontend>(target, ss.str(), overrides);
+  return std::make_shared<const WorkloadFrontend>(target, ss.str(), overrides, 0x5eed,
+                                                  options);
 }
 
 }  // namespace skope::core

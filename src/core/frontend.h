@@ -22,20 +22,37 @@
 #include "libmodel/libmodel.h"
 #include "minic/ast.h"
 #include "skeleton/skeleton.h"
+#include "trace/trace.h"
 #include "vm/bytecode.h"
 #include "vm/profile.h"
 #include "workloads/workloads.h"
 
 namespace skope::core {
 
+/// Knobs for the front-end's single profiling run.
+struct FrontendOptions {
+  /// Dynamic instruction budget for the profiling run; 0 keeps the Vm
+  /// default (the skopec / sweep CLIs expose this as --max-ops).
+  uint64_t maxOps = 0;
+  /// Capture the memory-reference trace during the profiling run (cheap:
+  /// one extra tracer on the run that happens anyway). The trace feeds the
+  /// reuse-distance cache model (--cache-model=reuse-dist).
+  bool recordTrace = true;
+  /// Reference cap for the trace recorder; beyond it the trace is marked
+  /// truncated and trace consumers fall back to simulation.
+  uint64_t traceMaxRefs = trace::kDefaultMaxRefs;
+};
+
 class WorkloadFrontend {
  public:
   /// Parses, checks, compiles, translates, profiles, annotates and builds
   /// the BET for `source`. Throws Error on any frontend failure.
   WorkloadFrontend(std::string name, std::string source,
-                   std::map<std::string, double> params, uint64_t seed = 0x5eed);
+                   std::map<std::string, double> params, uint64_t seed = 0x5eed,
+                   const FrontendOptions& options = {});
 
-  explicit WorkloadFrontend(const workloads::Workload& workload);
+  explicit WorkloadFrontend(const workloads::Workload& workload,
+                            const FrontendOptions& options = {});
 
   WorkloadFrontend(const WorkloadFrontend&) = delete;
   WorkloadFrontend& operator=(const WorkloadFrontend&) = delete;
@@ -47,6 +64,12 @@ class WorkloadFrontend {
   [[nodiscard]] const vm::Module& module() const { return mod_; }
   [[nodiscard]] const skel::SkeletonProgram& skeleton() const { return skeleton_; }
   [[nodiscard]] const vm::ProfileData& profile() const { return profile_; }
+
+  /// The memory trace captured during the profiling run. Check usable()
+  /// before building trace consumers: it is empty when the front-end was
+  /// built with recordTrace == false, and truncated when the run exceeded
+  /// traceMaxRefs.
+  [[nodiscard]] const trace::MemoryTrace& memoryTrace() const { return trace_; }
 
   /// The shared, immutable BET. Per-machine estimator outputs live in side
   /// tables (roofline::BetAnnotations), never in these nodes.
@@ -68,6 +91,7 @@ class WorkloadFrontend {
   vm::Module mod_;
   skel::SkeletonProgram skeleton_;
   vm::ProfileData profile_;
+  trace::MemoryTrace trace_;
   bet::Bet bet_;
 };
 
@@ -77,6 +101,7 @@ class WorkloadFrontend {
 /// CLIs. Throws Error when the target is neither.
 std::shared_ptr<const WorkloadFrontend> loadFrontend(const std::string& target,
                                                      const std::string& paramSpec = "",
-                                                     const std::string& hintPath = "");
+                                                     const std::string& hintPath = "",
+                                                     const FrontendOptions& options = {});
 
 }  // namespace skope::core

@@ -17,19 +17,28 @@ uint32_t log2u(uint64_t v) {
 
 }  // namespace
 
-Cache::Cache(const CacheLevelDesc& desc) : desc_(desc) {
+CacheGeometry cacheGeometry(const CacheLevelDesc& desc) {
   if (desc.lineBytes == 0 || (desc.lineBytes & (desc.lineBytes - 1)) != 0) {
     throw Error("cache line size must be a power of two");
   }
   if (desc.assoc == 0) throw Error("cache associativity must be positive");
   uint64_t lines = desc.sizeBytes / desc.lineBytes;
   if (lines < desc.assoc) throw Error("cache smaller than one set");
-  numSets_ = static_cast<uint32_t>(lines / desc.assoc);
-  if ((numSets_ & (numSets_ - 1)) != 0) {
+  CacheGeometry geo;
+  geo.numSets = static_cast<uint32_t>(lines / desc.assoc);
+  if ((geo.numSets & (geo.numSets - 1)) != 0) {
     // round down to a power of two so the set index is a simple mask
-    numSets_ = 1u << log2u(numSets_);
+    geo.numSets = 1u << log2u(geo.numSets);
   }
-  lineShift_ = log2u(desc.lineBytes);
+  geo.lineShift = log2u(desc.lineBytes);
+  geo.capacityLines = static_cast<uint64_t>(geo.numSets) * desc.assoc;
+  return geo;
+}
+
+Cache::Cache(const CacheLevelDesc& desc) : desc_(desc) {
+  CacheGeometry geo = cacheGeometry(desc);
+  numSets_ = geo.numSets;
+  lineShift_ = geo.lineShift;
   ways_.assign(static_cast<size_t>(numSets_) * desc.assoc, Way{});
 }
 
@@ -50,15 +59,17 @@ bool Cache::access(uint64_t addr) {
 
   Way* victim = row;
   for (uint32_t w = 0; w < desc_.assoc; ++w) {
-    if (row[w].tag == tag) {
+    if (row[w].valid && row[w].tag == tag) {
       row[w].lastUse = clock_;
       return true;
     }
+    // Invalid ways fill first (lastUse 0 makes them the LRU choice).
     if (row[w].lastUse < victim->lastUse) victim = &row[w];
   }
   ++misses_;
   victim->tag = tag;
   victim->lastUse = clock_;
+  victim->valid = true;
   return false;
 }
 

@@ -8,6 +8,20 @@
 
 namespace skope {
 
+/// Derived geometry of a cache level: what the simulator's Cache and the
+/// analytic trace::CacheModel must agree on. Set counts that are not powers
+/// of two round down so the set index stays a mask.
+struct CacheGeometry {
+  uint32_t numSets = 1;
+  uint32_t lineShift = 6;
+  uint64_t capacityLines = 1;  ///< numSets × assoc
+};
+
+/// Validates `desc` and computes its geometry. Throws Error on a
+/// non-power-of-two line size, zero associativity, or a cache smaller than
+/// one set.
+CacheGeometry cacheGeometry(const CacheLevelDesc& desc);
+
 /// A single cache level with true-LRU replacement. Addresses are byte
 /// addresses in the VM's flat virtual address space.
 class Cache {
@@ -29,8 +43,9 @@ class Cache {
 
  private:
   struct Way {
-    uint64_t tag = ~0ULL;
+    uint64_t tag = 0;
     uint64_t lastUse = 0;
+    bool valid = false;  ///< tags are not sentinels: any value is a real tag
   };
 
   CacheLevelDesc desc_;

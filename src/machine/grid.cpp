@@ -42,6 +42,9 @@ const std::vector<GridField>& registry() {
       {"l1lat", "cycles", "L1 hit latency",
        [](MachineModel& m, double v) { m.l1.latencyCycles = v; },
        [](const MachineModel& m) { return m.l1.latencyCycles; }},
+      {"l1assoc", "ways", "L1 set associativity",
+       [](MachineModel& m, double v) { m.l1.assoc = static_cast<uint32_t>(v); },
+       [](const MachineModel& m) { return static_cast<double>(m.l1.assoc); }},
       {"llcmb", "MB", "last-level cache size",
        [](MachineModel& m, double v) {
          m.llc.sizeBytes = static_cast<uint64_t>(v * 1024 * 1024);
@@ -52,6 +55,9 @@ const std::vector<GridField>& registry() {
       {"llclat", "cycles", "last-level cache hit latency",
        [](MachineModel& m, double v) { m.llc.latencyCycles = v; },
        [](const MachineModel& m) { return m.llc.latencyCycles; }},
+      {"llcassoc", "ways", "last-level cache set associativity",
+       [](MachineModel& m, double v) { m.llc.assoc = static_cast<uint32_t>(v); },
+       [](const MachineModel& m) { return static_cast<double>(m.llc.assoc); }},
       {"fpdivlat", "cycles", "FP divide latency (simulator only, paper §VII-B)",
        [](MachineModel& m, double v) { m.fpDivLat = v; },
        [](const MachineModel& m) { return m.fpDivLat; }},

@@ -17,10 +17,13 @@ Roofline::Roofline(const MachineModel& machine, RooflineParams params)
   iopCost_ = 1.0 / issue;
   accessIssueCost_ = 1.0 / issue;
 
+  // Constant-ratio defaults (paper footnote 1); trace-informed ratios
+  // override them when set (>= 0).
   double miss = 1.0 - params.cacheHitRate;
-  memPerAccess_ =
-      miss * (machine.llc.latencyCycles / machine.mlp +
-              miss * (machine.memLatencyCycles / machine.mlp));
+  double beyondL1 = params.l1MissRatio >= 0 ? params.l1MissRatio : miss;
+  dramRatio_ = params.dramMissRatio >= 0 ? params.dramMissRatio : miss * miss;
+  memPerAccess_ = beyondL1 * (machine.llc.latencyCycles / machine.mlp) +
+                  dramRatio_ * (machine.memLatencyCycles / machine.mlp);
   bytesPerCycle_ = machine.memBandwidthGBs / (machine.freqGHz * machine.cores);
 }
 
@@ -36,8 +39,7 @@ Breakdown Roofline::blockTime(const skel::SkMetrics& m, int parallelWays) const 
   b.tcCycles += m.iops * iopCost_ + m.accesses() * accessIssueCost_;
   b.tcCycles /= ways;
 
-  double miss = 1.0 - params_.cacheHitRate;
-  double dramBytes = m.bytes() * miss * miss;
+  double dramBytes = m.bytes() * dramRatio_;
   // latency-bound misses parallelize across cores; the bandwidth floor only
   // grows to the node aggregate (bytesPerCycle_ is a single core's share)
   b.tmCycles = std::max(m.accesses() * memPerAccess_ / ways,

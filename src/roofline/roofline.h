@@ -21,6 +21,13 @@ namespace skope::roofline {
 struct RooflineParams {
   /// Constant per-level cache hit ratio assumed by the analytic model.
   double cacheHitRate = 0.85;
+  /// Trace-informed miss ratios (--trace-roofline): the fraction of accesses
+  /// served beyond L1 and the fraction reaching DRAM, as predicted by the
+  /// reuse-distance cache model for this machine. Negative (the default)
+  /// keeps the paper's constant-ratio behavior: beyond-L1 = 1 - cacheHitRate
+  /// and DRAM = (1 - cacheHitRate)^2.
+  double l1MissRatio = -1;
+  double dramMissRatio = -1;
   /// Disable to get the textbook roofline max(Tc, Tm) instead of the paper's
   /// partial-overlap extension (used by the ablation bench).
   bool modelOverlap = true;
@@ -63,6 +70,7 @@ class Roofline {
   double iopCost_ = 1;
   double accessIssueCost_ = 1;
   double memPerAccess_ = 0;   ///< expected miss-penalty cycles per access
+  double dramRatio_ = 0;      ///< fraction of accessed bytes that hit DRAM
   double bytesPerCycle_ = 1;  ///< DRAM bandwidth in bytes per core-cycle
 };
 

@@ -52,19 +52,7 @@ class SimTracer : public vm::Tracer {
 
   void onLibCall(uint32_t region, int builtin) override {
     (void)region;
-    RegionCost& rc = out_.regions[libRegion(builtin)];
-    if (libMixes_) {
-      auto it = libMixes_->find(builtin);
-      if (it != libMixes_->end()) {
-        rc.libCycles += costs_.builtinCycles(it->second);
-        rc.instrs += static_cast<uint64_t>(it->second.totalFlops() + it->second.iops +
-                                           it->second.accesses());
-        return;
-      }
-    }
-    rc.libCycles += costs_.builtinCycles(builtin);
-    const auto& mix = minic::builtinTable()[static_cast<size_t>(builtin)].mix;
-    rc.instrs += static_cast<uint64_t>(mix.flops + mix.iops + mix.loads + mix.stores);
+    chargeLibCalls(builtin, 1, costs_, libMixes_, out_);
   }
 
   void finish() {
@@ -93,6 +81,47 @@ class SimTracer : public vm::Tracer {
 
 }  // namespace
 
+void addComputeCycles(const vm::OpCounters& oc, const CostModel& costs,
+                      const std::function<bool(uint32_t)>& isVectorized, SimResult& out) {
+  for (uint32_t region = 0; region < oc.numRegions(); ++region) {
+    const uint64_t* row = oc.row(region);
+    double cycles = 0;
+    uint64_t instrs = 0;
+    bool vec = isVectorized(region);
+    for (size_t c = 0; c < vm::kNumOpClasses; ++c) {
+      uint64_t n = row[c];
+      if (n == 0) continue;
+      instrs += n;
+      double per = vec ? costs.opCyclesVectorized(static_cast<vm::OpClass>(c))
+                       : costs.opCycles(static_cast<vm::OpClass>(c));
+      cycles += static_cast<double>(n) * per;
+    }
+    if (instrs == 0) continue;
+    RegionCost& rc = out.regions[region];
+    rc.computeCycles += cycles;
+    rc.instrs += instrs;
+  }
+}
+
+void chargeLibCalls(int builtin, uint64_t calls, const CostModel& costs,
+                    const LibMixMap* libMixes, SimResult& out) {
+  if (calls == 0) return;
+  auto n = static_cast<double>(calls);
+  RegionCost& rc = out.regions[libRegion(builtin)];
+  if (libMixes) {
+    auto it = libMixes->find(builtin);
+    if (it != libMixes->end()) {
+      rc.libCycles += n * costs.builtinCycles(it->second);
+      rc.instrs += calls * static_cast<uint64_t>(it->second.totalFlops() + it->second.iops +
+                                                 it->second.accesses());
+      return;
+    }
+  }
+  rc.libCycles += n * costs.builtinCycles(builtin);
+  const auto& mix = minic::builtinTable()[static_cast<size_t>(builtin)].mix;
+  rc.instrs += calls * static_cast<uint64_t>(mix.flops + mix.iops + mix.loads + mix.stores);
+}
+
 Simulator::Simulator(const minic::Program& prog, const vm::Module& mod,
                      const MachineModel& machine, const LibMixMap* libMixes)
     : prog_(prog), mod_(mod), machine_(machine), costs_(machine),
@@ -106,6 +135,7 @@ SimResult Simulator::run(const std::map<std::string, double>& params, uint64_t s
   vm::Vm vmachine(mod_);
   vmachine.bindParams(params);
   vmachine.setSeed(seed);
+  if (maxOps_ != 0) vmachine.setMaxOps(maxOps_);
   SimTracer tracer(costs_, machine_, result, libMixes_);
   vmachine.run(&tracer);
   tracer.finish();
@@ -113,25 +143,8 @@ SimResult Simulator::run(const std::map<std::string, double>& params, uint64_t s
 
   // Convert the VM's per-region op counts into compute cycles, honoring the
   // per-machine vectorization decision for each loop region.
-  const vm::OpCounters& oc = vmachine.counters();
-  for (uint32_t region = 0; region < oc.byRegion.size(); ++region) {
-    const auto& row = oc.byRegion[region];
-    double cycles = 0;
-    uint64_t instrs = 0;
-    bool vec = isVectorized(region);
-    for (size_t c = 0; c < vm::kNumOpClasses; ++c) {
-      uint64_t n = row[c];
-      if (n == 0) continue;
-      instrs += n;
-      double per = vec ? costs_.opCyclesVectorized(static_cast<vm::OpClass>(c))
-                       : costs_.opCycles(static_cast<vm::OpClass>(c));
-      cycles += static_cast<double>(n) * per;
-    }
-    if (instrs == 0) continue;
-    RegionCost& rc = result.regions[region];
-    rc.computeCycles += cycles;
-    rc.instrs += instrs;
-  }
+  addComputeCycles(vmachine.counters(), costs_,
+                   [this](uint32_t region) { return isVectorized(region); }, result);
   return result;
 }
 

@@ -7,6 +7,7 @@
 // role of the paper's `Prof` baseline.
 #pragma once
 
+#include <functional>
 #include <map>
 
 #include "machine/cache.h"
@@ -67,6 +68,20 @@ struct SimResult {
 /// Per-builtin instruction mixes (see roofline::LibMixes / src/libmodel).
 using LibMixMap = std::map<int, skel::SkMetrics>;
 
+/// Converts per-region op counts into compute cycles + instruction counts,
+/// honoring per-region vectorization. Shared by Simulator::run and the
+/// trace-replay fast path (src/trace/replay.cpp) so both attribute compute
+/// cost identically, term for term.
+void addComputeCycles(const vm::OpCounters& oc, const CostModel& costs,
+                      const std::function<bool(uint32_t)>& isVectorized, SimResult& out);
+
+/// Charges `calls` invocations of `builtin` to its library pseudo-region,
+/// using `libMixes` when it covers the builtin and the static table mix
+/// otherwise. Shared by the simulator (calls == 1 per event) and replay
+/// (one bulk charge per builtin).
+void chargeLibCalls(int builtin, uint64_t calls, const CostModel& costs,
+                    const LibMixMap* libMixes, SimResult& out);
+
 /// One simulator instance per (program, machine) pair.
 class Simulator {
  public:
@@ -79,6 +94,9 @@ class Simulator {
 
   /// Simulates one full run of main with the given workload parameters.
   SimResult run(const std::map<std::string, double>& params, uint64_t seed = 0x5eed);
+
+  /// Dynamic instruction budget for the simulated run (see Vm::setMaxOps).
+  void setMaxOps(uint64_t maxOps) { maxOps_ = maxOps; }
 
   /// True when this machine's compiler model vectorizes the given loop.
   [[nodiscard]] bool isVectorized(uint32_t region) const {
@@ -93,6 +111,7 @@ class Simulator {
   CostModel costs_;
   std::map<minic::NodeId, bool> vectorized_;
   const LibMixMap* libMixes_ = nullptr;
+  uint64_t maxOps_ = 0;  ///< 0 = keep the Vm default
 };
 
 }  // namespace skope::sim

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "support/diagnostics.h"
 #include "support/text.h"
 #include "sweep/pool.h"
 
@@ -61,6 +62,30 @@ SweepResult runSweep(const core::WorkloadFrontend& frontend,
   backendOpts.criteria = options.criteria;
   backendOpts.wantHotPath = options.hotPaths;
   backendOpts.groundTruth = options.groundTruth;
+  backendOpts.maxOps = options.maxOps;
+
+  // Trace-once / replay-many: one CacheModel over the front-end's recorded
+  // trace serves every config. Histograms for every line size on the grid
+  // are computed here, before the fan-out, so workers never contend on the
+  // analyzer's lazy cache.
+  bool wantReuseDist = options.cacheModel == CacheModelMode::ReuseDist &&
+                       (options.groundTruth || options.traceInformedRoofline);
+  std::optional<trace::CacheModel> cacheModel;
+  if (wantReuseDist) {
+    const trace::MemoryTrace& mt = frontend.memoryTrace();
+    if (!mt.usable()) {
+      throw Error(
+          "cache-model=reuse-dist needs a usable memory trace, but the front-end's "
+          "trace is " +
+          std::string(mt.truncated ? "truncated (raise the trace cap or use "
+                                     "--cache-model=simulate)"
+                                   : "empty (front-end built with recordTrace off)"));
+    }
+    cacheModel.emplace(mt);
+    cacheModel->prepare(configs);
+    backendOpts.cacheModel = &*cacheModel;
+    backendOpts.traceInformedRoofline = options.traceInformedRoofline;
+  }
 
   // The speedup baseline: the front-end's projection is cheap enough that
   // one extra evaluation beats requiring the base point to be on the grid.

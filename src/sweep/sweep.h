@@ -19,6 +19,18 @@
 
 namespace skope::sweep {
 
+/// How the per-config ground-truth side is produced.
+enum class CacheModelMode {
+  /// Re-run the cycle-level simulator for every config (the historical
+  /// behavior; cost scales with configs × input size).
+  Simulate,
+  /// Trace-once / replay-many: evaluate each config's cache geometry
+  /// analytically from the front-end's reuse-distance histograms and
+  /// replay the recorded run (microseconds per config). Requires a usable
+  /// front-end trace (recordTrace on, not truncated).
+  ReuseDist,
+};
+
 struct SweepOptions {
   /// Worker threads; <= 0 selects hardware concurrency, 1 is serial.
   int threads = 1;
@@ -29,6 +41,13 @@ struct SweepOptions {
   /// while the analytic projection does not — but it parallelizes across
   /// configs just the same.
   bool groundTruth = false;
+  /// Ground-truth engine when groundTruth is set (--cache-model).
+  CacheModelMode cacheModel = CacheModelMode::Simulate;
+  /// Feed the replayed cache predictions into the roofline's miss ratios as
+  /// well (--trace-roofline; requires CacheModelMode::ReuseDist).
+  bool traceInformedRoofline = false;
+  /// Dynamic instruction budget per simulated run; 0 keeps the default.
+  uint64_t maxOps = 0;
   /// Extract each config's hot path and record its size/instances.
   bool hotPaths = false;
   /// How many top hot-spot labels to record per config.

@@ -1,0 +1,188 @@
+#include "trace/cache_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace skope::trace {
+
+double setAssocHitProbability(uint64_t d, uint32_t sets, uint32_t assoc) {
+  if (d < assoc) return 1.0;       // even an adversarial mapping cannot evict
+  if (sets <= 1) return 0.0;       // fully associative: exact LRU step
+  // Binomial(d, 1/sets) lower tail via the multiplicative term recurrence;
+  // the first term is computed in log space so deep distances underflow to
+  // the correct limit (certain miss) instead of NaN.
+  double p = 1.0 / sets;
+  double q = 1.0 - p;
+  double term = std::exp(static_cast<double>(d) * std::log(q));
+  double sum = term;
+  for (uint32_t k = 0; k + 1 < assoc; ++k) {
+    term *= (static_cast<double>(d) - k) / (k + 1.0) * (p / q);
+    sum += term;
+  }
+  return std::min(1.0, sum);
+}
+
+namespace {
+
+/// Expected misses of one region's histogram in a (sets, assoc) cache.
+double expectedMisses(const RegionHistogram& rh, uint32_t sets, uint32_t assoc) {
+  double misses = static_cast<double>(rh.coldRefs);
+  for (const auto& [d, count] : rh.dist) {
+    misses += static_cast<double>(count) * (1.0 - setAssocHitProbability(d, sets, assoc));
+  }
+  return misses;
+}
+
+}  // namespace
+
+CacheModel::CacheModel(const MemoryTrace& trace) : analyzer_(trace) {}
+
+bool CacheModel::usesExactReplay(const CacheLevelDesc& level) {
+  return cacheGeometry(level).numSets <= kExactSetLimit;
+}
+
+void CacheModel::ensureExact(const std::vector<CacheLevelDesc>& levels) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<LevelKey, CacheLevelDesc>> missing;
+  for (const CacheLevelDesc& lvl : levels) {
+    LevelKey key{lvl.sizeBytes, lvl.lineBytes, lvl.assoc};
+    if (exact_.count(key)) continue;
+    bool queued = false;
+    for (const auto& m : missing) queued = queued || m.first == key;
+    if (!queued) missing.emplace_back(key, lvl);
+  }
+  if (missing.empty()) return;
+
+  // One decode pass feeds every missing geometry (and, the first time
+  // through, the per-region reference counts exact evaluations need).
+  std::vector<Cache> caches;
+  caches.reserve(missing.size());
+  for (const auto& [key, lvl] : missing) caches.emplace_back(lvl);
+  std::vector<std::vector<double>> misses(missing.size());
+  const bool countRefs = refsByRegion_.empty();
+  std::vector<uint64_t> refs;
+  uint64_t total = 0;
+  analyzer_.trace().forEachRef([&](uint32_t region, uint64_t word) {
+    uint64_t addr = word * 8;  // traces are word (8-byte) granular
+    if (countRefs) {
+      if (region >= refs.size()) refs.resize(region + 1, 0);
+      ++refs[region];
+      ++total;
+    }
+    for (size_t i = 0; i < caches.size(); ++i) {
+      if (!caches[i].access(addr)) {
+        if (region >= misses[i].size()) misses[i].resize(region + 1, 0);
+        ++misses[i][region];
+      }
+    }
+  });
+  if (countRefs) {
+    refsByRegion_ = std::move(refs);
+    refsTotal_ = total;
+  }
+  for (size_t i = 0; i < missing.size(); ++i) {
+    ExactLevel level;
+    level.regionMisses = std::move(misses[i]);
+    for (double m : level.regionMisses) level.misses += m;
+    exact_.emplace(missing[i].first, std::move(level));
+  }
+}
+
+const CacheModel::ExactLevel& CacheModel::exactLevel(const CacheLevelDesc& level) const {
+  ensureExact({level});
+  std::lock_guard<std::mutex> lock(mu_);
+  return exact_.at(LevelKey{level.sizeBytes, level.lineBytes, level.assoc});
+}
+
+void CacheModel::prepare(const MachineModel& machine) const {
+  std::vector<CacheLevelDesc> exact;
+  for (const CacheLevelDesc* lvl : {&machine.l1, &machine.llc}) {
+    if (usesExactReplay(*lvl)) {
+      exact.push_back(*lvl);
+    } else {
+      (void)analyzer_.histograms(lvl->lineBytes);
+    }
+  }
+  if (!exact.empty()) ensureExact(exact);
+}
+
+void CacheModel::prepare(const std::vector<MachineConfig>& configs) const {
+  // Batch every distinct small-set geometry of the whole grid into one
+  // replay pass; a cache-axis sweep shares a handful of L1 geometries
+  // across all of its configs.
+  std::vector<CacheLevelDesc> exact;
+  for (const auto& cfg : configs) {
+    for (const CacheLevelDesc* lvl : {&cfg.machine.l1, &cfg.machine.llc}) {
+      if (usesExactReplay(*lvl)) {
+        exact.push_back(*lvl);
+      } else {
+        (void)analyzer_.histograms(lvl->lineBytes);
+      }
+    }
+  }
+  if (!exact.empty()) ensureExact(exact);
+}
+
+CachePrediction CacheModel::evaluate(const MachineModel& machine) const {
+  prepare(machine);  // memoized: a no-op after the first call per geometry
+
+  CachePrediction out;
+  // Each level takes whichever tier models it (exact replay for small set
+  // counts, histogram + binomial otherwise); both enumerate the same region
+  // set (every region that issued an access).
+  if (usesExactReplay(machine.l1)) {
+    const ExactLevel& e = exactLevel(machine.l1);
+    std::vector<uint64_t> refs;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      refs = refsByRegion_;
+      out.accesses = refsTotal_;
+    }
+    for (uint32_t r = 0; r < refs.size(); ++r) {
+      if (refs[r] == 0) continue;
+      auto& region = out.regions[r];
+      region.accesses = refs[r];
+      region.l1Misses = r < e.regionMisses.size() ? e.regionMisses[r] : 0;
+    }
+  } else {
+    CacheGeometry l1 = cacheGeometry(machine.l1);
+    const ReuseHistograms& h1 = analyzer_.histograms(machine.l1.lineBytes);
+    out.accesses = h1.totalRefs;
+    for (const RegionHistogram& rh : h1.regions) {
+      auto& region = out.regions[rh.region];
+      region.accesses = rh.totalRefs;
+      region.l1Misses = expectedMisses(rh, l1.numSets, machine.l1.assoc);
+    }
+  }
+
+  // The global-stack approximation can only be served closer, never
+  // further, than the smaller level predicts — hence the per-region clamp.
+  if (usesExactReplay(machine.llc)) {
+    const ExactLevel& e = exactLevel(machine.llc);
+    for (auto& [id, region] : out.regions) {
+      double m = id < e.regionMisses.size() ? e.regionMisses[id] : 0;
+      region.llcMisses = std::min(m, region.l1Misses);
+    }
+  } else {
+    CacheGeometry llc = cacheGeometry(machine.llc);
+    const ReuseHistograms& h2 = analyzer_.histograms(machine.llc.lineBytes);
+    for (const RegionHistogram& rh : h2.regions) {
+      auto& region = out.regions[rh.region];
+      region.llcMisses = std::min(expectedMisses(rh, llc.numSets, machine.llc.assoc),
+                                  region.l1Misses);
+    }
+  }
+
+  for (const auto& [id, region] : out.regions) {
+    out.l1Misses += region.l1Misses;
+    out.llcMisses += region.llcMisses;
+  }
+  if (out.accesses > 0) {
+    out.l1MissRate = out.l1Misses / static_cast<double>(out.accesses);
+  }
+  if (out.l1Misses > 0) out.llcMissRate = out.llcMisses / out.l1Misses;
+  return out;
+}
+
+}  // namespace skope::trace

@@ -1,0 +1,120 @@
+// Analytic cache-hierarchy evaluation from reuse-distance histograms
+// (tentpole layer 3).
+//
+// Given the per-region stack-distance histograms of one trace, predicts the
+// L1 / LLC hit behavior of ANY CacheLevelDesc geometry in microseconds:
+//
+//   * Fully-associative-equivalent capacity: by the stack property, a
+//     reference of distance d hits an LRU cache of C lines iff d < C.
+//   * Set associativity (S sets, A ways), large S: Smith's classic
+//     correction — the d intervening distinct lines spread over the sets;
+//     the reference hits iff fewer than A of them land in its own set.
+//     Under the uniform-mapping assumption the count is Binomial(d, 1/S), so
+//       pHit(d) = P[Binomial(d, 1/S) <= A - 1].
+//   * Set associativity, small S (<= kExactSetLimit, i.e. L1-class levels
+//     and fully-associative caches): the uniform-mapping assumption breaks
+//     down badly. The VM lays arrays out page-aligned, and an L1's index
+//     bits sit inside the page offset, so element i of EVERY array maps to
+//     the same set — lockstep conflict misses with uniform set popularity
+//     but perfectly correlated timing, invisible to any binomial (CFD on
+//     BG/Q: 4% absolute L1 error). Because an A-way LRU set is just an
+//     A-deep LRU stack, the per-set stack distances ARE a capped LRU replay:
+//     one pass with a Cache per distinct small geometry gives the exact
+//     per-region miss counts. Results are memoized per (size, line, assoc),
+//     and prepare() batches every distinct geometry of a sweep into a single
+//     decode pass — a cache-axis grid shares a handful of L1 geometries
+//     across all of its configs.
+//   * Hierarchy: both levels are evaluated against the same global stream
+//     (an inclusive-LRU approximation of the simulator's L1-filtered LLC;
+//     the discrepancy is part of the documented accuracy envelope, see
+//     docs/TRACE.md).
+//
+// Predictions are expected values, so per-region miss counts are fractional
+// on the histogram tier (exact integers on the replay tier); consumers round
+// when they need integers. Everything here is const and deterministic —
+// sweep workers share one CacheModel across threads; memoization is guarded
+// by a mutex, and prepare() before fan-out removes all contention.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <tuple>
+#include <vector>
+
+#include "machine/cache.h"
+#include "machine/grid.h"
+#include "trace/reuse.h"
+
+namespace skope::trace {
+
+/// Predicted cache behavior of one machine's hierarchy on the traced run.
+struct CachePrediction {
+  struct Region {
+    uint64_t accesses = 0;  ///< references issued by this region
+    double l1Misses = 0;    ///< expected L1 misses (cold included)
+    double llcMisses = 0;   ///< expected misses of BOTH levels (to DRAM)
+  };
+  std::map<uint32_t, Region> regions;
+
+  uint64_t accesses = 0;   ///< total traced references
+  double l1Misses = 0;
+  double llcMisses = 0;
+  double l1MissRate = 0;   ///< l1Misses / accesses
+  double llcMissRate = 0;  ///< llcMisses / L1 misses (= LLC accesses), as
+                           ///< the simulator reports it
+};
+
+/// One CacheModel per trace; evaluate() per candidate machine.
+class CacheModel {
+ public:
+  /// `trace` must outlive the model and be usable() (throws Error otherwise,
+  /// via ReuseDistanceAnalyzer).
+  explicit CacheModel(const MemoryTrace& trace);
+
+  /// Predicts hit rates for `machine`'s L1 + LLC geometry. The first call
+  /// for a new line size pays the O(N log N) histogram pass; further calls
+  /// are pure histogram arithmetic (microseconds).
+  [[nodiscard]] CachePrediction evaluate(const MachineModel& machine) const;
+
+  /// Precomputes everything a set of machines will need — histograms per
+  /// line size, plus ONE decode pass covering every distinct small-set
+  /// geometry — so concurrent evaluate() calls never contend on a mutex.
+  void prepare(const std::vector<MachineConfig>& configs) const;
+  void prepare(const MachineModel& machine) const;
+
+  /// Levels with at most this many sets are evaluated by exact per-set LRU
+  /// replay instead of the binomial correction (see file comment).
+  static constexpr uint32_t kExactSetLimit = 512;
+
+  /// True when `level` takes the exact-replay tier rather than the
+  /// histogram + binomial tier.
+  [[nodiscard]] static bool usesExactReplay(const CacheLevelDesc& level);
+
+  [[nodiscard]] const ReuseDistanceAnalyzer& analyzer() const { return analyzer_; }
+
+ private:
+  /// Exact per-region miss counts of one replayed level geometry.
+  struct ExactLevel {
+    std::vector<double> regionMisses;  ///< indexed by region id
+    double misses = 0;
+  };
+  using LevelKey = std::tuple<uint64_t, uint32_t, uint32_t>;  // size, line, assoc
+
+  /// Replays the trace once for every listed geometry not yet memoized.
+  void ensureExact(const std::vector<CacheLevelDesc>& levels) const;
+  const ExactLevel& exactLevel(const CacheLevelDesc& level) const;
+
+  ReuseDistanceAnalyzer analyzer_;
+  mutable std::mutex mu_;
+  mutable std::map<LevelKey, ExactLevel> exact_;
+  mutable std::vector<uint64_t> refsByRegion_;  ///< filled by the first replay pass
+  mutable uint64_t refsTotal_ = 0;
+};
+
+/// P[Binomial(d, 1/sets) <= assoc - 1] — the probability that a reference at
+/// stack distance `d` hits a cache with `sets` sets of `assoc` ways.
+/// Exposed for tests; exact step function when sets == 1.
+double setAssocHitProbability(uint64_t d, uint32_t sets, uint32_t assoc);
+
+}  // namespace skope::trace

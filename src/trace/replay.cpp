@@ -1,0 +1,57 @@
+#include "trace/replay.h"
+
+#include <cmath>
+
+#include "sim/vectorize.h"
+
+namespace skope::trace {
+
+sim::SimResult replaySimulate(const minic::Program& prog, const MachineModel& machine,
+                              const ReplayInputs& in) {
+  sim::SimResult result;
+  result.machineName = machine.name;
+  result.freqGHz = machine.freqGHz;
+  result.dynamicInstrs = in.trace.dynamicInstrs;
+
+  sim::CostModel costs(machine);
+  auto vectorized = sim::vectorizedLoops(prog, machine);
+
+  sim::addComputeCycles(
+      in.profile.opCounters, costs,
+      [&vectorized](uint32_t region) {
+        auto it = vectorized.find(region);
+        return it != vectorized.end() && it->second;
+      },
+      result);
+
+  for (const auto& [region, n] : in.trace.mispredictsByRegion) {
+    result.regions[region].branchCycles +=
+        static_cast<double>(n) * machine.mispredictPenalty;
+  }
+
+  CachePrediction pred = in.cacheModel.evaluate(machine);
+  double penLlc = costs.memPenalty(CacheHierarchy::Level::Llc);
+  double penMem = costs.memPenalty(CacheHierarchy::Level::Memory);
+  for (const auto& [region, p] : pred.regions) {
+    sim::RegionCost& rc = result.regions[region];
+    rc.memCycles += (p.l1Misses - p.llcMisses) * penLlc + p.llcMisses * penMem;
+    rc.l1Misses = static_cast<uint64_t>(std::llround(p.l1Misses));
+    rc.llcMisses = static_cast<uint64_t>(std::llround(p.llcMisses));
+    rc.loads = in.profile.opCounters.get(region, vm::OpClass::Load);
+    rc.stores = in.profile.opCounters.get(region, vm::OpClass::Store);
+  }
+  result.l1MissRate = pred.l1MissRate;
+  result.llcMissRate = pred.llcMissRate;
+
+  // One bulk charge per builtin (the simulator charges per event; the sums
+  // agree up to floating-point accumulation order).
+  std::map<int, uint64_t> callsByBuiltin;
+  for (const auto& [key, n] : in.profile.libCalls) callsByBuiltin[key.second] += n;
+  for (const auto& [builtin, n] : callsByBuiltin) {
+    sim::chargeLibCalls(builtin, n, costs, in.libMixes, result);
+  }
+
+  return result;
+}
+
+}  // namespace skope::trace

@@ -1,0 +1,42 @@
+// Trace replay: reconstructs a ground-truth-equivalent sim::SimResult for any
+// machine WITHOUT re-running the VM (the sweep fast path).
+//
+// Everything the simulator derives from program execution is machine
+// independent and captured once by the profiling run:
+//   * per-region op counts            (vm::ProfileData::opCounters)
+//   * per-builtin library call counts (vm::ProfileData::libCalls)
+//   * branch mispredictions           (MemoryTrace::mispredictsByRegion —
+//                                      the 2-bit predictor sees only the
+//                                      branch stream)
+//   * the memory-reference stream     (MemoryTrace — distilled to reuse
+//                                      histograms by CacheModel)
+// Per machine, replay combines those with the machine's CostModel,
+// vectorization decisions and the analytic cache prediction. Compute and
+// branch cycles match the simulator exactly (same helper, same penalties);
+// memory cycles use the CacheModel's expected miss counts, which track the
+// simulated hierarchy within the accuracy envelope documented in
+// docs/TRACE.md.
+#pragma once
+
+#include "sim/simulator.h"
+#include "trace/cache_model.h"
+#include "vm/profile.h"
+
+namespace skope::trace {
+
+/// Machine-independent inputs shared by every replay of one workload. All
+/// referenced objects must outlive the calls.
+struct ReplayInputs {
+  const MemoryTrace& trace;
+  const CacheModel& cacheModel;
+  const vm::ProfileData& profile;
+  const sim::LibMixMap* libMixes = nullptr;
+};
+
+/// Predicts the simulator's result for `machine` from the recorded run.
+/// Pure and thread-safe once `cacheModel` has been prepare()d for the
+/// machine's line sizes.
+sim::SimResult replaySimulate(const minic::Program& prog, const MachineModel& machine,
+                              const ReplayInputs& in);
+
+}  // namespace skope::trace

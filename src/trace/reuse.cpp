@@ -1,0 +1,107 @@
+#include "trace/reuse.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "support/diagnostics.h"
+
+namespace skope::trace {
+
+namespace {
+
+/// Fenwick tree counting set positions — the implicit order-statistic tree.
+class Fenwick {
+ public:
+  explicit Fenwick(size_t n) : tree_(n + 1, 0) {}
+
+  void add(size_t i, int delta) {
+    for (++i; i < tree_.size(); i += i & (~i + 1)) {
+      tree_[i] += delta;
+    }
+  }
+
+  /// Sum of positions [0, i).
+  [[nodiscard]] int64_t prefix(size_t i) const {
+    int64_t s = 0;
+    for (; i > 0; i -= i & (~i + 1)) s += tree_[i];
+    return s;
+  }
+
+ private:
+  std::vector<int64_t> tree_;
+};
+
+}  // namespace
+
+ReuseDistanceAnalyzer::ReuseDistanceAnalyzer(const MemoryTrace& trace) : trace_(trace) {
+  if (!trace.usable()) {
+    throw Error(trace.truncated
+                    ? "reuse-distance analysis needs a complete trace, but this one "
+                      "was truncated at its reference cap — raise the cap or fall "
+                      "back to per-config simulation"
+                    : "reuse-distance analysis: the trace recorded no references");
+  }
+}
+
+const ReuseHistograms& ReuseDistanceAnalyzer::histograms(uint32_t lineBytes) const {
+  if (lineBytes < 8 || (lineBytes & (lineBytes - 1)) != 0) {
+    throw Error("reuse-distance histograms need a power-of-two line size >= 8 bytes");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cache_.find(lineBytes);
+  if (it != cache_.end()) return *it->second;
+
+  uint32_t wordShift = 0;
+  for (uint32_t v = lineBytes / 8; v > 1; v >>= 1) ++wordShift;
+
+  auto out = std::make_unique<ReuseHistograms>();
+  out->lineBytes = lineBytes;
+  out->totalRefs = trace_.recordedRefs;
+
+  size_t n = static_cast<size_t>(trace_.recordedRefs);
+  Fenwick lastTouches(n);
+  std::unordered_map<uint64_t, size_t> lastPos;  // line -> position of last touch
+  lastPos.reserve(n / 4 + 16);
+  // Per-region accumulation: distance -> count. Region ids are sparse AST
+  // node ids, so gather in a map keyed by region first.
+  std::map<uint32_t, std::unordered_map<uint64_t, uint64_t>> hist;
+  std::map<uint32_t, RegionHistogram> partial;
+
+  size_t t = 0;
+  trace_.forEachRef([&](uint32_t region, uint64_t wordAddr) {
+    uint64_t line = wordAddr >> wordShift;
+    RegionHistogram& rh = partial[region];
+    rh.region = region;
+    ++rh.totalRefs;
+    auto prev = lastPos.find(line);
+    if (prev == lastPos.end()) {
+      ++rh.coldRefs;
+      ++out->totalCold;
+    } else {
+      // Distinct lines touched strictly after the previous reference: the
+      // set positions in (prev, t).
+      auto d = static_cast<uint64_t>(lastTouches.prefix(t) -
+                                     lastTouches.prefix(prev->second + 1));
+      ++hist[region][d];
+      lastTouches.add(prev->second, -1);
+    }
+    lastTouches.add(t, +1);
+    lastPos[line] = t;
+    ++t;
+  });
+
+  for (auto& [region, rh] : partial) {
+    auto hit = hist.find(region);
+    if (hit != hist.end()) {
+      rh.dist.assign(hit->second.begin(), hit->second.end());
+      std::sort(rh.dist.begin(), rh.dist.end());
+    }
+    out->regions.push_back(std::move(rh));
+  }
+
+  const ReuseHistograms& ref = *out;
+  cache_.emplace(lineBytes, std::move(out));
+  return ref;
+}
+
+}  // namespace skope::trace

@@ -1,0 +1,74 @@
+// Exact LRU stack-distance (reuse-distance) analysis (tentpole layer 2).
+//
+// For every reference in a recorded trace, the stack distance is the number
+// of DISTINCT cache lines touched since the previous reference to the same
+// line (first touches are "cold", distance infinity). Mattson's stack
+// property makes this the universal cache characterization: a fully
+// associative LRU cache of C lines hits a reference iff its distance d < C,
+// for EVERY C at once. One O(N log N) pass therefore answers "how does this
+// trace behave?" for all cache capacities simultaneously — the key that
+// turns a per-config cache simulation sweep into histogram lookups.
+//
+// The classic Bennett–Kruskal algorithm: walk the trace keeping, for each
+// line, the position of its most recent reference, and an order-statistic
+// tree (implemented as a Fenwick tree, the implicit form) over positions
+// with a 1 at every position that is currently some line's last touch. The
+// distance of a reference is the number of set positions strictly between
+// its line's previous touch and now. Each reference does O(log N) tree work.
+//
+// Histograms are kept per REGION (the region issuing each reference) over
+// the GLOBAL interleaved stream — caches are shared across regions, so a
+// reference's distance must see every region's intervening lines, while
+// attribution of the resulting miss stays with the issuing region.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace skope::trace {
+
+/// Stack-distance histogram of one region's references.
+struct RegionHistogram {
+  uint32_t region = 0;
+  /// (distance, count) pairs, ascending by distance. Distances count
+  /// distinct intervening lines, so 0 means an immediate same-line reuse.
+  std::vector<std::pair<uint64_t, uint64_t>> dist;
+  uint64_t coldRefs = 0;   ///< first touches (infinite distance)
+  uint64_t totalRefs = 0;  ///< all references issued by this region
+};
+
+/// All regions' histograms at one line granularity.
+struct ReuseHistograms {
+  uint32_t lineBytes = 64;
+  std::vector<RegionHistogram> regions;  ///< ascending by region id
+  uint64_t totalRefs = 0;
+  uint64_t totalCold = 0;                ///< distinct lines touched
+};
+
+/// Computes exact per-region stack-distance histograms from a recorded
+/// trace. Histograms depend only on the line granularity, so they are
+/// computed once per distinct line size and cached; the cache is guarded by
+/// a mutex, making concurrent sweep workers safe.
+class ReuseDistanceAnalyzer {
+ public:
+  /// `trace` must outlive the analyzer and be usable() — throws Error
+  /// otherwise (a truncated trace would silently underestimate distances).
+  explicit ReuseDistanceAnalyzer(const MemoryTrace& trace);
+
+  /// Histograms at `lineBytes` granularity (power of two, >= 8).
+  const ReuseHistograms& histograms(uint32_t lineBytes) const;
+
+  [[nodiscard]] const MemoryTrace& trace() const { return trace_; }
+
+ private:
+  const MemoryTrace& trace_;
+  mutable std::mutex mu_;
+  mutable std::map<uint32_t, std::unique_ptr<ReuseHistograms>> cache_;
+};
+
+}  // namespace skope::trace

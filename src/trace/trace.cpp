@@ -1,0 +1,95 @@
+#include "trace/trace.h"
+
+namespace skope::trace {
+
+namespace {
+
+inline uint64_t zigzag(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+
+inline int64_t unzigzag(uint64_t v) {
+  return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+inline void putVarint(std::vector<uint8_t>& out, uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<uint8_t>(v));
+}
+
+inline uint64_t getVarint(const uint8_t*& p) {
+  uint64_t v = 0;
+  int shift = 0;
+  while (*p & 0x80) {
+    v |= static_cast<uint64_t>(*p++ & 0x7f) << shift;
+    shift += 7;
+  }
+  v |= static_cast<uint64_t>(*p++) << shift;
+  return v;
+}
+
+}  // namespace
+
+void MemoryTrace::forEachRef(const std::function<void(uint32_t, uint64_t)>& fn) const {
+  // Decoding mirrors the recorder: per-region previous word addresses seed
+  // the deltas, regions start at "none" so the first record always carries
+  // its region id explicitly.
+  std::map<uint32_t, uint64_t> lastWordByRegion;
+  uint32_t region = ~0u;
+  const uint8_t* p = stream.data();
+  const uint8_t* end = p + stream.size();
+  while (p < end) {
+    uint64_t header = getVarint(p);
+    if (header & 1) region = static_cast<uint32_t>(getVarint(p));
+    int64_t delta = unzigzag(header >> 1);
+    uint64_t& last = lastWordByRegion[region];
+    uint64_t word = last + static_cast<uint64_t>(delta);
+    last = word;
+    fn(region, word);
+  }
+}
+
+TraceRecorder::TraceRecorder(uint64_t maxRefs) : maxRefs_(maxRefs) {
+  // Streaming sweeps encode to ~1 byte/ref; reserve modestly and grow.
+  trace_.stream.reserve(1 << 16);
+}
+
+void TraceRecorder::record(uint32_t region, uint64_t addr) {
+  ++trace_.numRefs;
+  if (trace_.recordedRefs >= maxRefs_) {
+    trace_.truncated = true;
+    return;
+  }
+  ++trace_.recordedRefs;
+  uint64_t word = addr >> 3;
+  uint64_t& last = lastWordByRegion_[region];
+  int64_t delta = static_cast<int64_t>(word - last);
+  last = word;
+  uint64_t header = (zigzag(delta) << 1) | (region != lastRegion_ ? 1u : 0u);
+  putVarint(trace_.stream, header);
+  if (region != lastRegion_) {
+    putVarint(trace_.stream, region);
+    lastRegion_ = region;
+  }
+}
+
+void TraceRecorder::onBranch(uint32_t region, uint32_t site, bool taken) {
+  // Same 2-bit saturating counter the ground-truth simulator uses: states
+  // 0,1 predict not-taken, 2,3 predict taken.
+  uint8_t& state = predictorStates_[site];
+  bool predictTaken = state >= 2;
+  if (taken && state < 3) ++state;
+  if (!taken && state > 0) --state;
+  if (predictTaken != taken) ++trace_.mispredictsByRegion[region];
+}
+
+MemoryTrace TraceRecorder::finish(const vm::Vm& vm) {
+  trace_.dynamicInstrs = vm.dynamicInstrs();
+  trace_.stream.shrink_to_fit();
+  return std::move(trace_);
+}
+
+}  // namespace skope::trace

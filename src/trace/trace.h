@@ -1,0 +1,87 @@
+// Trace-once / replay-many: memory-reference capture (tentpole layer 1).
+//
+// A TraceRecorder subscribes to the VM's load/store events during the ONE
+// profiling run the front-end already performs, and stores the per-region
+// memory-reference stream in a compact delta-encoded byte stream. The stream
+// is machine independent: the reuse-distance analyzer (src/trace/reuse.h)
+// turns it into LRU stack-distance histograms, from which the analytic cache
+// model (src/trace/cache_model.h) predicts hit rates for ANY cache geometry
+// in microseconds — no per-config re-simulation.
+//
+// Encoding. The VM touches 8-byte elements in a flat virtual address space,
+// so references are stored at word (8-byte) granularity; any line size >= 8
+// bytes can be derived later. Each reference is one varint header
+//
+//   header = (zigzag(wordDelta) << 1) | regionChangedBit
+//
+// where wordDelta is relative to the PREVIOUS reference of the SAME region
+// (inner loops stream with small strides, so same-region deltas compress far
+// better than global ones). When regionChangedBit is set, a second varint
+// carries the new region id. Sequential sweeps cost ~1 byte per reference.
+//
+// The recorder also captures the two remaining machine-independent inputs a
+// ground-truth replay needs: per-region branch mispredictions under the
+// simulator's 2-bit predictor (the predictor state machine depends only on
+// the branch stream, never on the machine), and the total dynamic
+// instruction count.
+//
+// Capture is capped (`maxRefs`): a run longer than the cap keeps recording
+// counters but stops appending to the stream and marks the trace truncated,
+// in which case consumers must fall back to full per-config simulation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "vm/interp.h"
+
+namespace skope::trace {
+
+/// Default reference cap: 64 Mi references (~2-4 bytes each once encoded).
+constexpr uint64_t kDefaultMaxRefs = 64ull << 20;
+
+/// The captured characterization of one profiling run.
+struct MemoryTrace {
+  std::vector<uint8_t> stream;   ///< delta-encoded reference records
+  uint64_t numRefs = 0;          ///< references observed (loads + stores)
+  uint64_t recordedRefs = 0;     ///< references actually in `stream`
+  bool truncated = false;        ///< numRefs exceeded the recorder's cap
+
+  /// Branch mispredictions per region under a 2-bit per-site predictor
+  /// (identical to the ground-truth simulator's; machine independent).
+  std::map<uint32_t, uint64_t> mispredictsByRegion;
+  uint64_t dynamicInstrs = 0;    ///< VM instructions executed by the run
+
+  [[nodiscard]] bool usable() const { return !truncated && recordedRefs > 0; }
+
+  /// Decodes the stream in recording order. `fn(region, wordAddr)` receives
+  /// the issuing region id and the 8-byte-granular address.
+  void forEachRef(const std::function<void(uint32_t, uint64_t)>& fn) const;
+};
+
+/// VM tracer that fills a MemoryTrace. Attach to a profiling run (possibly
+/// chained with a ProfileTracer via vm::TeeTracer), then call finish().
+class TraceRecorder : public vm::Tracer {
+ public:
+  explicit TraceRecorder(uint64_t maxRefs = kDefaultMaxRefs);
+
+  void onLoad(uint32_t region, uint64_t addr) override { record(region, addr); }
+  void onStore(uint32_t region, uint64_t addr) override { record(region, addr); }
+  void onBranch(uint32_t region, uint32_t site, bool taken) override;
+
+  /// Moves the trace out; snapshots `vm`'s dynamic instruction count.
+  [[nodiscard]] MemoryTrace finish(const vm::Vm& vm);
+
+ private:
+  void record(uint32_t region, uint64_t addr);
+
+  MemoryTrace trace_;
+  uint64_t maxRefs_;
+  uint32_t lastRegion_ = ~0u;
+  std::map<uint32_t, uint64_t> lastWordByRegion_;
+  std::map<uint32_t, uint8_t> predictorStates_;  ///< 2-bit counters by site
+};
+
+}  // namespace skope::trace

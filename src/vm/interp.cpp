@@ -9,23 +9,24 @@
 namespace skope::vm {
 
 uint64_t OpCounters::regionTotal(uint32_t region) const {
-  if (region >= byRegion.size()) return 0;
+  if (region >= numRegions()) return 0;
+  const uint64_t* r = row(region);
   uint64_t n = 0;
-  for (uint64_t v : byRegion[region]) n += v;
+  for (size_t c = 0; c < kNumOpClasses; ++c) n += r[c];
   return n;
 }
 
 uint64_t OpCounters::classTotal(OpClass c) const {
   uint64_t n = 0;
-  for (const auto& row : byRegion) n += row[static_cast<size_t>(c)];
+  for (size_t i = static_cast<size_t>(c); i < flat.size(); i += kNumOpClasses) {
+    n += flat[i];
+  }
   return n;
 }
 
 uint64_t OpCounters::grandTotal() const {
   uint64_t n = 0;
-  for (const auto& row : byRegion) {
-    for (uint64_t v : row) n += v;
-  }
+  for (uint64_t v : flat) n += v;
   return n;
 }
 
@@ -38,17 +39,30 @@ Vm::Vm(const Module& mod) : mod_(mod) {
       paramBound_[i] = true;
     }
   }
+  for (size_t i = 0; i < mod.paramNames.size(); ++i) paramIndex_[mod.paramNames[i]] = i;
+  for (size_t i = 0; i < mod.globalScalarNames.size(); ++i) {
+    scalarIndex_[mod.globalScalarNames[i]] = i;
+  }
+  for (size_t i = 0; i < mod.arrayNames.size(); ++i) arrayIndex_[mod.arrayNames[i]] = i;
+}
+
+size_t Vm::lookup(const std::unordered_map<std::string, size_t>& index,
+                  const std::string& name, const char* what) const {
+  auto it = index.find(name);
+  if (it == index.end()) {
+    throw Error(std::string(what) + ": no " +
+                (&index == &paramIndex_   ? "param"
+                 : &index == &scalarIndex_ ? "global scalar"
+                                           : "array") +
+                " named '" + name + "'");
+  }
+  return it->second;
 }
 
 void Vm::bindParam(const std::string& name, double value) {
-  for (size_t i = 0; i < mod_.paramNames.size(); ++i) {
-    if (mod_.paramNames[i] == name) {
-      paramValues_[i] = value;
-      paramBound_[i] = true;
-      return;
-    }
-  }
-  throw Error("bindParam: no param named '" + name + "'");
+  size_t i = lookup(paramIndex_, name, "bindParam");
+  paramValues_[i] = value;
+  paramBound_[i] = true;
 }
 
 void Vm::bindParams(const std::map<std::string, double>& values) {
@@ -56,31 +70,19 @@ void Vm::bindParams(const std::map<std::string, double>& values) {
 }
 
 double Vm::paramValue(const std::string& name) const {
-  for (size_t i = 0; i < mod_.paramNames.size(); ++i) {
-    if (mod_.paramNames[i] == name) return paramValues_[i];
-  }
-  throw Error("paramValue: no param named '" + name + "'");
+  return paramValues_[lookup(paramIndex_, name, "paramValue")];
 }
 
 double Vm::scalar(const std::string& name) const {
-  for (size_t i = 0; i < mod_.globalScalarNames.size(); ++i) {
-    if (mod_.globalScalarNames[i] == name) return globalScalars_[i];
-  }
-  throw Error("scalar: no global scalar named '" + name + "'");
+  return globalScalars_[lookup(scalarIndex_, name, "scalar")];
 }
 
 const std::vector<double>& Vm::arrayData(const std::string& name) const {
-  for (size_t i = 0; i < mod_.arrayNames.size(); ++i) {
-    if (mod_.arrayNames[i] == name) return arrays_[i];
-  }
-  throw Error("arrayData: no array named '" + name + "'");
+  return arrays_[lookup(arrayIndex_, name, "arrayData")];
 }
 
 const ArrayInfo& Vm::arrayInfo(const std::string& name) const {
-  for (size_t i = 0; i < arrayInfos_.size(); ++i) {
-    if (arrayInfos_[i].name == name) return arrayInfos_[i];
-  }
-  throw Error("arrayInfo: no array named '" + name + "'");
+  return arrayInfos_[lookup(arrayIndex_, name, "arrayInfo")];
 }
 
 double Vm::evalDimExpr(const minic::ExprNode& e) const {
@@ -157,18 +159,22 @@ void Vm::fail(const Instr& in, const std::string& msg) const {
 void Vm::run(Tracer* tracer) {
   allocate();
   tracer_ = tracer;
-  counters_.byRegion.clear();
   uint32_t maxRegion = 0;
   for (const auto& [id, info] : mod_.regions) maxRegion = std::max(maxRegion, id);
-  counters_.byRegion.assign(maxRegion + 1, {});
+  counters_.reset(maxRegion + 1);
   executed_ = 0;
   callDepth_ = 0;
   stack_.clear();
   stack_.reserve(4096);
-  execFunc(mod_.mainIndex);
+  if (tracer_ != nullptr) {
+    execFunc<true>(mod_.mainIndex);
+  } else {
+    execFunc<false>(mod_.mainIndex);
+  }
   tracer_ = nullptr;
 }
 
+template <bool Traced>
 double Vm::execFunc(int funcIndex) {
   if (++callDepth_ > 512) throw Error("vm: call depth exceeded 512 (runaway recursion?)");
   const FuncCode& fn = mod_.funcs[static_cast<size_t>(funcIndex)];
@@ -180,8 +186,11 @@ double Vm::execFunc(int funcIndex) {
     stack_.pop_back();
   }
 
+  // Flat counter base: one indexed add per counted op, no per-region row
+  // lookup. Stable for the whole run (sized in run()).
+  uint64_t* const counts = counters_.flat.data();
   auto count = [&](uint32_t region, OpClass c) {
-    counters_.byRegion[region][static_cast<size_t>(c)] += 1;
+    counts[static_cast<size_t>(region) * kNumOpClasses + static_cast<size_t>(c)] += 1;
   };
 
   const Instr* code = fn.code.data();
@@ -197,7 +206,9 @@ double Vm::execFunc(int funcIndex) {
   while (true) {
     const Instr& in = code[pc];
     if (++executed_ > maxOps_) {
-      fail(in, "dynamic instruction budget exceeded (" + std::to_string(maxOps_) + ")");
+      fail(in, format("dynamic instruction budget exceeded (%llu ops; raise it with "
+                      "--max-ops or Vm::setMaxOps)",
+                      static_cast<unsigned long long>(maxOps_)));
     }
     switch (in.op) {
       case Op::PushConst: stack_.push_back(in.imm); break;
@@ -232,11 +243,11 @@ double Vm::execFunc(int funcIndex) {
         if (in.op == Op::LoadElem) {
           stack_.push_back(data[static_cast<size_t>(flat)]);
           count(in.region, OpClass::Load);
-          if (tracer_) tracer_->onLoad(in.region, addr);
+          if constexpr (Traced) tracer_->onLoad(in.region, addr);
         } else {
           data[static_cast<size_t>(flat)] = value;
           count(in.region, OpClass::Store);
-          if (tracer_) tracer_->onStore(in.region, addr);
+          if constexpr (Traced) tracer_->onStore(in.region, addr);
         }
         break;
       }
@@ -287,7 +298,7 @@ double Vm::execFunc(int funcIndex) {
       case Op::JumpIfZero: {
         bool taken = pop() != 0.0;  // taken == condition true == fall through
         count(in.region, OpClass::Branch);
-        if (tracer_) tracer_->onBranch(in.region, static_cast<uint32_t>(in.b), taken);
+        if constexpr (Traced) tracer_->onBranch(in.region, static_cast<uint32_t>(in.b), taken);
         if (!taken) {
           pc = static_cast<size_t>(in.a);
           continue;
@@ -297,8 +308,8 @@ double Vm::execFunc(int funcIndex) {
 
       case Op::CallFn: {
         count(in.region, OpClass::Call);
-        if (tracer_) tracer_->onCall(in.region, in.a);
-        double r = execFunc(in.a);
+        if constexpr (Traced) tracer_->onCall(in.region, in.a);
+        double r = execFunc<Traced>(in.a);
         // execFunc consumed the args; Ret with a=1 signals a return value.
         if (retHasValue_) stack_.push_back(r);
         break;
@@ -306,7 +317,7 @@ double Vm::execFunc(int funcIndex) {
 
       case Op::CallBuiltin: {
         count(in.region, OpClass::LibCall);
-        if (tracer_) tracer_->onLibCall(in.region, in.a);
+        if constexpr (Traced) tracer_->onLibCall(in.region, in.a);
         int nargs = in.b;
         double args[4] = {0, 0, 0, 0};
         for (int i = nargs - 1; i >= 0; --i) args[i] = pop();
@@ -334,5 +345,8 @@ double Vm::execFunc(int funcIndex) {
     ++pc;
   }
 }
+
+template double Vm::execFunc<true>(int funcIndex);
+template double Vm::execFunc<false>(int funcIndex);
 
 }  // namespace skope::vm

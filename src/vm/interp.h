@@ -2,13 +2,16 @@
 //
 // Executes a compiled Module with optional event tracing. The VM natively
 // accumulates per-region operation-mix counters (cheap array increments);
-// heavier analyses (cache simulation, branch statistics) subscribe through
-// the Tracer interface and receive only memory / branch / call events.
+// heavier analyses (cache simulation, branch statistics, memory tracing)
+// subscribe through the Tracer interface and receive only memory / branch /
+// call events. The interpreter is compiled twice — a traced and an untraced
+// loop — so the common untraced run never tests the tracer pointer per
+// instruction.
 #pragma once
 
-#include <array>
 #include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "support/rng.h"
@@ -37,14 +40,55 @@ class Tracer {
   }
 };
 
-/// Per-region dynamic operation counts gathered by every run.
-struct OpCounters {
-  /// Indexed by region id; empty rows for ids that are not regions.
-  std::vector<std::array<uint64_t, kNumOpClasses>> byRegion;
+/// Fans one event stream out to two subscribers (e.g. the branch profiler
+/// and the memory-trace recorder sharing a single profiling run).
+class TeeTracer : public Tracer {
+ public:
+  TeeTracer(Tracer* a, Tracer* b) : a_(a), b_(b) {}
 
+  void onLoad(uint32_t region, uint64_t addr) override {
+    a_->onLoad(region, addr);
+    b_->onLoad(region, addr);
+  }
+  void onStore(uint32_t region, uint64_t addr) override {
+    a_->onStore(region, addr);
+    b_->onStore(region, addr);
+  }
+  void onBranch(uint32_t region, uint32_t site, bool taken) override {
+    a_->onBranch(region, site, taken);
+    b_->onBranch(region, site, taken);
+  }
+  void onLibCall(uint32_t region, int builtin) override {
+    a_->onLibCall(region, builtin);
+    b_->onLibCall(region, builtin);
+  }
+  void onCall(uint32_t callerRegion, int calleeFunc) override {
+    a_->onCall(callerRegion, calleeFunc);
+    b_->onCall(callerRegion, calleeFunc);
+  }
+
+ private:
+  Tracer* a_;
+  Tracer* b_;
+};
+
+/// Per-region dynamic operation counts gathered by every run. Stored as one
+/// flat row-major array (region × op class) so the interpreter's hot loop
+/// bumps a counter with a single indexed add.
+struct OpCounters {
+  /// numRegions() × kNumOpClasses, row-major; empty rows for ids that are
+  /// not regions.
+  std::vector<uint64_t> flat;
+
+  void reset(size_t numRegions) { flat.assign(numRegions * kNumOpClasses, 0); }
+
+  [[nodiscard]] size_t numRegions() const { return flat.size() / kNumOpClasses; }
+  [[nodiscard]] const uint64_t* row(uint32_t region) const {
+    return flat.data() + static_cast<size_t>(region) * kNumOpClasses;
+  }
   [[nodiscard]] uint64_t get(uint32_t region, OpClass c) const {
-    if (region >= byRegion.size()) return 0;
-    return byRegion[region][static_cast<size_t>(c)];
+    if (region >= numRegions()) return 0;
+    return row(region)[static_cast<size_t>(c)];
   }
   [[nodiscard]] uint64_t regionTotal(uint32_t region) const;
   [[nodiscard]] uint64_t classTotal(OpClass c) const;
@@ -69,7 +113,8 @@ class Vm {
   void setSeed(uint64_t seed) { rng_ = Rng(seed); }
 
   /// Aborts the run with Error after this many dynamic instructions
-  /// (guards against runaway loops in user programs). Default 4e9.
+  /// (guards against runaway loops in user programs). Default 4e9; the
+  /// skopec / sweep CLIs expose it as --max-ops.
   void setMaxOps(uint64_t maxOps) { maxOps_ = maxOps; }
 
   /// Executes main. Storage is (re)allocated and zeroed on each call.
@@ -87,10 +132,18 @@ class Vm {
  private:
   void allocate();
   double evalDimExpr(const minic::ExprNode& e) const;
+  /// The interpreter loop, instantiated with and without tracer dispatch so
+  /// untraced runs pay no per-event null checks.
+  template <bool Traced>
   double execFunc(int funcIndex);
+  [[nodiscard]] size_t lookup(const std::unordered_map<std::string, size_t>& index,
+                              const std::string& name, const char* what) const;
   [[noreturn]] void fail(const Instr& in, const std::string& msg) const;
 
   const Module& mod_;
+  std::unordered_map<std::string, size_t> paramIndex_;
+  std::unordered_map<std::string, size_t> scalarIndex_;
+  std::unordered_map<std::string, size_t> arrayIndex_;
   std::vector<double> paramValues_;
   std::vector<bool> paramBound_;
   std::vector<double> globalScalars_;

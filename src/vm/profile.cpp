@@ -24,11 +24,24 @@ ProfileData ProfileTracer::finish(const Vm& vm) {
 
 ProfileData profileRun(const Module& mod, const std::map<std::string, double>& params,
                        uint64_t seed) {
+  return profileRun(mod, params, seed, nullptr, 0);
+}
+
+ProfileData profileRun(const Module& mod, const std::map<std::string, double>& params,
+                       uint64_t seed, Tracer* extra, uint64_t maxOps,
+                       const std::function<void(const Vm&)>& vmOut) {
   Vm vm(mod);
   vm.bindParams(params);
   vm.setSeed(seed);
+  if (maxOps != 0) vm.setMaxOps(maxOps);
   ProfileTracer tracer;
-  vm.run(&tracer);
+  if (extra != nullptr) {
+    TeeTracer tee(&tracer, extra);
+    vm.run(&tee);
+  } else {
+    vm.run(&tracer);
+  }
+  if (vmOut) vmOut(vm);
   return tracer.finish(vm);
 }
 

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 
 #include "vm/interp.h"
@@ -62,5 +63,13 @@ class ProfileTracer : public Tracer {
 /// Convenience: runs `main` once under a ProfileTracer with the given params.
 ProfileData profileRun(const Module& mod, const std::map<std::string, double>& params,
                        uint64_t seed = 0x5eed);
+
+/// Same run, but also fans the event stream out to `extra` (e.g. a
+/// trace::TraceRecorder) via TeeTracer, and honors a dynamic instruction
+/// budget (`maxOps` == 0 keeps the Vm default). `vmOut`, when non-null,
+/// receives the Vm so the caller can snapshot run state (dynamicInstrs).
+ProfileData profileRun(const Module& mod, const std::map<std::string, double>& params,
+                       uint64_t seed, Tracer* extra, uint64_t maxOps,
+                       const std::function<void(const Vm&)>& vmOut = nullptr);
 
 }  // namespace skope::vm

@@ -80,6 +80,29 @@ TEST(Cache, SmallWorkingSetStaysResident) {
   EXPECT_EQ(c.misses(), 8u);
 }
 
+TEST(Cache, FirstTouchAlwaysMisses) {
+  // Valid-bit regression: a fresh cache must miss on EVERY first touch, even
+  // when an address's tag collides with whatever an uninitialized way holds.
+  // With a 4-byte fully-associative cache of 1-byte lines, addr ~0ULL maps to
+  // tag ~0ULL — exactly the value a tag-sentinel scheme would have treated as
+  // "empty way", turning this first touch into a phantom hit.
+  Cache tiny({4, 1, 4, 1});
+  EXPECT_FALSE(tiny.access(~0ULL));
+  EXPECT_TRUE(tiny.access(~0ULL));
+
+  Cache c(smallCache());
+  for (uint64_t a = 0; a < 1024; a += 64) EXPECT_FALSE(c.access(a));
+  EXPECT_EQ(c.misses(), c.accesses());
+}
+
+TEST(Cache, GeometryHelperAgreesWithCache) {
+  CacheGeometry geo = cacheGeometry(smallCache());
+  EXPECT_EQ(geo.numSets, 8u);
+  EXPECT_EQ(geo.lineShift, 6u);
+  EXPECT_EQ(geo.capacityLines, 16u);
+  EXPECT_EQ(Cache(smallCache()).numSets(), geo.numSets);
+}
+
 TEST(Cache, RejectsBadGeometry) {
   EXPECT_THROW(Cache({1024, 60, 2, 1}), Error);  // non-power-of-two line
   EXPECT_THROW(Cache({64, 64, 2, 1}), Error);    // smaller than one set

@@ -1,0 +1,363 @@
+// Trace-once / replay-many contracts:
+//   1. the delta-encoded trace round-trips exactly (recorder -> forEachRef),
+//   2. the O(N log N) reuse-distance analyzer matches a naive O(N^2) LRU
+//      stack simulation distance for distance,
+//   3. the analytic CacheModel is EXACT for fully-associative geometries and
+//      within 2% absolute miss rate of the set-associative simulator on real
+//      workloads (SORD, SRAD),
+//   4. replay reconstructs the simulator's result: compute and branch cycles
+//      exactly, totals within the documented envelope,
+//   5. a reuse-dist sweep is byte-identical across thread counts,
+//   6. the --max-ops diagnostic names the flag.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "core/backend.h"
+#include "machine/cache.h"
+#include "sim/simulator.h"
+#include "support/diagnostics.h"
+#include "support/rng.h"
+#include "sweep/report.h"
+#include "sweep/sweep.h"
+#include "trace/cache_model.h"
+#include "trace/replay.h"
+#include "trace/reuse.h"
+#include "trace/trace.h"
+
+namespace skope::trace {
+namespace {
+
+/// One shared front-end per workload for the whole binary.
+const core::WorkloadFrontend& frontendFor(const std::string& name) {
+  static std::map<std::string, std::shared_ptr<const core::WorkloadFrontend>> cache;
+  auto it = cache.find(name);
+  if (it == cache.end()) it = cache.emplace(name, core::loadFrontend(name)).first;
+  return *it->second;
+}
+
+/// Builds a MemoryTrace from an explicit (region, byte address) sequence.
+MemoryTrace makeTrace(const std::vector<std::pair<uint32_t, uint64_t>>& refs,
+                      uint64_t maxRefs = kDefaultMaxRefs) {
+  TraceRecorder rec(maxRefs);
+  for (const auto& [region, addr] : refs) rec.onLoad(region, addr);
+  vm::Module empty;
+  vm::Vm vm(empty);
+  return rec.finish(vm);
+}
+
+/// Naive exact stack-distance oracle: an explicit LRU stack of lines. A
+/// reference's distance is its line's depth in the stack (distinct more
+/// recently used lines); first touches are cold.
+struct NaiveHistogram {
+  std::map<uint32_t, std::map<uint64_t, uint64_t>> dist;  // region -> d -> n
+  std::map<uint32_t, uint64_t> cold;
+};
+
+NaiveHistogram naiveDistances(const std::vector<std::pair<uint32_t, uint64_t>>& refs,
+                              uint32_t lineBytes) {
+  NaiveHistogram out;
+  std::vector<uint64_t> stack;  // front = most recently used line
+  for (const auto& [region, addr] : refs) {
+    uint64_t line = addr / lineBytes;
+    auto it = std::find(stack.begin(), stack.end(), line);
+    if (it == stack.end()) {
+      ++out.cold[region];
+    } else {
+      ++out.dist[region][static_cast<uint64_t>(it - stack.begin())];
+      stack.erase(it);
+    }
+    stack.insert(stack.begin(), line);
+  }
+  return out;
+}
+
+std::vector<std::pair<uint32_t, uint64_t>> randomRefs(size_t n, uint64_t lines,
+                                                      uint32_t regions, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<uint32_t, uint64_t>> refs;
+  refs.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    refs.emplace_back(static_cast<uint32_t>(rng.below(regions)), rng.below(lines) * 8);
+  }
+  return refs;
+}
+
+// ----------------------------------------------------------- trace encoding
+
+TEST(TraceRecorder, RoundTripsInterleavedRegions) {
+  std::vector<std::pair<uint32_t, uint64_t>> refs = {
+      {7, 4096}, {7, 4104}, {42, 1 << 20}, {7, 4112}, {42, (1 << 20) + 8},
+      {7, 64},   {3, 0},    {3, 4096},     {42, 8},   {7, 4096},
+  };
+  MemoryTrace trace = makeTrace(refs);
+  EXPECT_EQ(trace.numRefs, refs.size());
+  EXPECT_EQ(trace.recordedRefs, refs.size());
+  EXPECT_TRUE(trace.usable());
+
+  std::vector<std::pair<uint32_t, uint64_t>> decoded;
+  trace.forEachRef([&](uint32_t region, uint64_t word) {
+    decoded.emplace_back(region, word * 8);  // word granularity -> bytes
+  });
+  EXPECT_EQ(decoded, refs);
+}
+
+TEST(TraceRecorder, SequentialSweepEncodesCompactly) {
+  std::vector<std::pair<uint32_t, uint64_t>> refs;
+  for (uint64_t i = 0; i < 10000; ++i) refs.emplace_back(5, 4096 + i * 8);
+  MemoryTrace trace = makeTrace(refs);
+  // unit stride, one region: ~1 byte per reference
+  EXPECT_LE(trace.stream.size(), refs.size() + 16);
+}
+
+TEST(TraceRecorder, TruncationDisablesUse) {
+  auto refs = randomRefs(64, 1024, 3, 1);
+  MemoryTrace trace = makeTrace(refs, /*maxRefs=*/16);
+  EXPECT_TRUE(trace.truncated);
+  EXPECT_EQ(trace.numRefs, 64u);
+  EXPECT_EQ(trace.recordedRefs, 16u);
+  EXPECT_FALSE(trace.usable());
+  EXPECT_THROW(ReuseDistanceAnalyzer{trace}, Error);
+}
+
+// --------------------------------------------------- reuse-distance analysis
+
+TEST(ReuseDistance, MatchesNaiveStackOnRandomTraces) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    auto refs = randomRefs(2000, 64, 4, seed);
+    MemoryTrace trace = makeTrace(refs);
+    ReuseDistanceAnalyzer analyzer(trace);
+    for (uint32_t lineBytes : {8u, 64u}) {
+      const ReuseHistograms& got = analyzer.histograms(lineBytes);
+      NaiveHistogram want = naiveDistances(refs, lineBytes);
+      for (const RegionHistogram& rh : got.regions) {
+        EXPECT_EQ(rh.coldRefs, want.cold[rh.region]) << "region " << rh.region;
+        std::map<uint64_t, uint64_t> gotDist(rh.dist.begin(), rh.dist.end());
+        EXPECT_EQ(gotDist, want.dist[rh.region])
+            << "region " << rh.region << " line " << lineBytes << " seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(ReuseDistance, SequentialStreamIsAllCold) {
+  std::vector<std::pair<uint32_t, uint64_t>> refs;
+  for (uint64_t i = 0; i < 512; ++i) refs.emplace_back(1, i * 64);
+  MemoryTrace trace = makeTrace(refs);
+  ReuseDistanceAnalyzer analyzer(trace);
+  const ReuseHistograms& h = analyzer.histograms(64);
+  ASSERT_EQ(h.regions.size(), 1u);
+  EXPECT_EQ(h.regions[0].coldRefs, 512u);
+  EXPECT_TRUE(h.regions[0].dist.empty());
+}
+
+TEST(ReuseDistance, RepeatedLineHasDistanceZero) {
+  MemoryTrace trace = makeTrace({{1, 0}, {1, 8}, {1, 16}});  // same 64B line
+  ReuseDistanceAnalyzer analyzer(trace);
+  const ReuseHistograms& h = analyzer.histograms(64);
+  ASSERT_EQ(h.regions.size(), 1u);
+  EXPECT_EQ(h.regions[0].coldRefs, 1u);
+  ASSERT_EQ(h.regions[0].dist.size(), 1u);
+  EXPECT_EQ(h.regions[0].dist[0], (std::pair<uint64_t, uint64_t>{0, 2}));
+}
+
+// ------------------------------------------------------ analytic cache model
+
+TEST(CacheModel, ExactForFullyAssociativeCaches) {
+  // One set => the stack property is exact: predicted misses equal the
+  // simulated LRU cache's, integer for integer.
+  auto refs = randomRefs(5000, 96, 3, 11);
+  MemoryTrace trace = makeTrace(refs);
+  ReuseDistanceAnalyzer analyzer(trace);
+  for (uint32_t capacityLines : {4u, 16u, 64u}) {
+    CacheLevelDesc desc{static_cast<uint64_t>(capacityLines) * 64, 64, capacityLines, 1};
+    ASSERT_EQ(cacheGeometry(desc).numSets, 1u);
+    Cache sim(desc);
+    for (const auto& [region, addr] : refs) sim.access(addr);
+
+    const ReuseHistograms& h = analyzer.histograms(64);
+    double predicted = 0;
+    for (const RegionHistogram& rh : h.regions) {
+      predicted += static_cast<double>(rh.coldRefs);
+      for (const auto& [d, count] : rh.dist) {
+        predicted += static_cast<double>(count) *
+                     (1.0 - setAssocHitProbability(d, 1, capacityLines));
+      }
+    }
+    EXPECT_DOUBLE_EQ(predicted, static_cast<double>(sim.misses()))
+        << capacityLines << " lines";
+  }
+}
+
+TEST(CacheModel, SetAssocHitProbabilityIsSane) {
+  EXPECT_DOUBLE_EQ(setAssocHitProbability(0, 64, 8), 1.0);
+  EXPECT_DOUBLE_EQ(setAssocHitProbability(7, 64, 8), 1.0);   // d < assoc
+  EXPECT_DOUBLE_EQ(setAssocHitProbability(100, 1, 8), 0.0);  // fully assoc miss
+  double p = setAssocHitProbability(64, 64, 8);
+  EXPECT_GT(p, 0.99);  // 64 lines over 64 sets: ~1 per set, 8 ways
+  // monotone in distance
+  double prev = 1.0;
+  for (uint64_t d = 8; d < 4096; d *= 2) {
+    double cur = setAssocHitProbability(d, 64, 8);
+    EXPECT_LE(cur, prev + 1e-12) << d;
+    prev = cur;
+  }
+  EXPECT_LT(prev, 1e-6);  // deep distances converge to certain miss
+}
+
+/// Simulated vs predicted miss rates for one workload's recorded trace on
+/// one machine; returns (simL1, predL1, simLlc, predLlc) rates.
+struct MissRates {
+  double simL1, predL1, simLlc, predLlc;
+};
+
+MissRates missRates(const core::WorkloadFrontend& fe, const MachineModel& machine) {
+  const MemoryTrace& trace = fe.memoryTrace();
+  CacheHierarchy sim(machine);
+  trace.forEachRef([&](uint32_t, uint64_t word) { sim.access(word * 8); });
+
+  CacheModel model(trace);
+  CachePrediction pred = model.evaluate(machine);
+  return {sim.l1().missRate(), pred.l1MissRate, sim.llc().missRate(), pred.llcMissRate};
+}
+
+TEST(CacheModel, WithinTwoPercentOfSimulatorOnSord) {
+  for (const char* m : {"bgq", "xeon"}) {
+    MissRates r = missRates(frontendFor("sord"), machineByName(m));
+    EXPECT_NEAR(r.predL1, r.simL1, 0.02) << m;
+    EXPECT_NEAR(r.predLlc, r.simLlc, 0.02) << m;
+  }
+}
+
+TEST(CacheModel, WithinTwoPercentOfSimulatorOnSrad) {
+  for (const char* m : {"bgq", "xeon"}) {
+    MissRates r = missRates(frontendFor("srad"), machineByName(m));
+    EXPECT_NEAR(r.predL1, r.simL1, 0.02) << m;
+    EXPECT_NEAR(r.predLlc, r.simLlc, 0.02) << m;
+  }
+}
+
+// ------------------------------------------------------------------- replay
+
+TEST(Replay, ReconstructsSimulatorResult) {
+  const core::WorkloadFrontend& fe = frontendFor("sord");
+  MachineModel machine = machineByName("bgq");
+
+  sim::Simulator simulator(fe.program(), fe.module(), machine,
+                           &core::WorkloadFrontend::libProfile().mixes);
+  sim::SimResult sim = simulator.run(fe.params(), fe.seed());
+
+  CacheModel model(fe.memoryTrace());
+  ReplayInputs inputs{fe.memoryTrace(), model, fe.profile(),
+                      &core::WorkloadFrontend::libProfile().mixes};
+  sim::SimResult rep = replaySimulate(fe.program(), machine, inputs);
+
+  EXPECT_EQ(rep.dynamicInstrs, sim.dynamicInstrs);
+  // Compute and branch attribution are machine-independent counts times
+  // per-machine costs: identical term for term.
+  for (const auto& [region, rc] : sim.regions) {
+    const auto& rr = rep.regions.at(region);
+    EXPECT_DOUBLE_EQ(rr.computeCycles, rc.computeCycles) << "region " << region;
+    EXPECT_DOUBLE_EQ(rr.branchCycles, rc.branchCycles) << "region " << region;
+    EXPECT_EQ(rr.instrs, rc.instrs) << "region " << region;
+    EXPECT_EQ(rr.loads, rc.loads) << "region " << region;
+    EXPECT_EQ(rr.stores, rc.stores) << "region " << region;
+    EXPECT_NEAR(rr.libCycles, rc.libCycles, 1e-6 * (1 + rc.libCycles))
+        << "region " << region;
+  }
+  // Memory cycles come from the analytic prediction: hold them to the same
+  // envelope as the miss rates (2% absolute on the rates themselves).
+  EXPECT_NEAR(rep.l1MissRate, sim.l1MissRate, 0.02);
+  EXPECT_NEAR(rep.llcMissRate, sim.llcMissRate, 0.02);
+  EXPECT_NEAR(rep.totalCycles(), sim.totalCycles(), 0.05 * sim.totalCycles());
+}
+
+// -------------------------------------------------------------------- sweep
+
+TEST(ReuseDistSweep, ByteIdenticalAcrossThreadCounts) {
+  auto grid = parseGridSpec(
+      "base=bgq; l1kb=8,16,32; l1assoc=2,8; llcmb=4,32");
+  sweep::SweepOptions opts;
+  opts.criteria = {0.90, 0.45};
+  opts.groundTruth = true;
+  opts.cacheModel = sweep::CacheModelMode::ReuseDist;
+
+  opts.threads = 1;
+  auto serial = sweep::runSweep(frontendFor("sord"), grid, opts);
+  ASSERT_EQ(serial.outcomes.size(), 12u);
+  for (const auto& c : serial.outcomes) {
+    ASSERT_TRUE(c.measuredSeconds.has_value());
+    EXPECT_GT(*c.measuredSeconds, 0);
+  }
+
+  for (int threads : {2, 8}) {
+    opts.threads = threads;
+    auto parallel = sweep::runSweep(frontendFor("sord"), grid, opts);
+    EXPECT_EQ(sweep::toCsv(serial), sweep::toCsv(parallel)) << threads << " threads";
+    EXPECT_EQ(sweep::toMarkdown(serial), sweep::toMarkdown(parallel))
+        << threads << " threads";
+  }
+}
+
+TEST(ReuseDistSweep, CacheAxesChangeMeasuredTime) {
+  // Shrinking L1 and LLC must cost simulated-memory time in replay mode —
+  // i.e. the analytic model actually responds to the swept geometry.
+  auto grid = parseGridSpec("base=bgq; l1kb=1,16; llcmb=1,32");
+  sweep::SweepOptions opts;
+  opts.threads = 2;
+  opts.groundTruth = true;
+  opts.cacheModel = sweep::CacheModelMode::ReuseDist;
+  auto result = sweep::runSweep(frontendFor("srad"), grid, opts);
+  ASSERT_EQ(result.outcomes.size(), 4u);
+  double tiny = *result.outcomes[0].measuredSeconds;   // l1=1KB, llc=1MB
+  double large = *result.outcomes[3].measuredSeconds;  // l1=16KB, llc=32MB
+  EXPECT_GT(tiny, large);
+}
+
+TEST(ReuseDistSweep, TraceInformedRooflineRespondsToCacheSize) {
+  auto grid = parseGridSpec("base=bgq; l1kb=1,16");
+  sweep::SweepOptions opts;
+  opts.threads = 1;
+  opts.traceInformedRoofline = true;
+  opts.cacheModel = sweep::CacheModelMode::ReuseDist;
+  auto result = sweep::runSweep(frontendFor("sord"), grid, opts);
+  ASSERT_EQ(result.outcomes.size(), 2u);
+  // A 1 KB L1 misses more, so the trace-informed projection must be slower.
+  EXPECT_GT(result.outcomes[0].projectedSeconds, result.outcomes[1].projectedSeconds);
+}
+
+TEST(ReuseDistSweep, RefusesUnusableTrace) {
+  core::FrontendOptions fopts;
+  fopts.recordTrace = false;
+  auto fe = core::loadFrontend("sord", "", "", fopts);
+  EXPECT_FALSE(fe->memoryTrace().usable());
+
+  sweep::SweepOptions opts;
+  opts.groundTruth = true;
+  opts.cacheModel = sweep::CacheModelMode::ReuseDist;
+  auto grid = parseGridSpec("base=bgq; membw=30,60");
+  try {
+    sweep::runSweep(*fe, grid, opts);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("reuse-dist"), std::string::npos);
+  }
+}
+
+// ----------------------------------------------------------------- max-ops
+
+TEST(MaxOps, DiagnosticNamesTheFlag) {
+  core::FrontendOptions fopts;
+  fopts.maxOps = 1000;  // SORD's profiling run needs far more
+  try {
+    core::loadFrontend("sord", "", "", fopts);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("--max-ops"), std::string::npos) << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace skope::trace

@@ -24,9 +24,12 @@ namespace {
 
 std::unique_ptr<core::CodesignFramework> load(const std::string& target,
                                               const std::string& paramSpec,
-                                              const std::string& hintPath) {
+                                              const std::string& hintPath,
+                                              uint64_t maxOps) {
+  core::FrontendOptions fopts;
+  fopts.maxOps = maxOps;
   return std::make_unique<core::CodesignFramework>(
-      core::loadFrontend(target, paramSpec, hintPath));
+      core::loadFrontend(target, paramSpec, hintPath, fopts));
 }
 
 int run(int argc, char** argv) {
@@ -47,9 +50,12 @@ int run(int argc, char** argv) {
   args.addFlag("scaling", "multi-node strong-scaling projection up to this node count");
   args.addFlag("cells", "total grid cells for the halo model (with --scaling)", "64000");
   args.addFlag("steps", "halo exchanges per run (with --scaling)", "4");
+  args.addFlag("max-ops", "dynamic instruction budget per VM run "
+                          "(0 = default 4e9)", "0");
   if (!args.parse(argc, argv)) return 0;
 
-  auto fw = load(args.get("workload"), args.get("params"), args.get("hints"));
+  auto fw = load(args.get("workload"), args.get("params"), args.get("hints"),
+                 static_cast<uint64_t>(args.getDouble("max-ops")));
   MachineModel machine = core::machineByName(args.get("machine"));
   hotspot::SelectionCriteria criteria{args.getDouble("coverage"),
                                       args.getDouble("leanness")};

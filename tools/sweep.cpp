@@ -59,6 +59,16 @@ int run(int argc, char** argv) {
   args.addFlag("hints", "hint file with one 'name = value' binding per line");
   args.addBool("quality", "also run the ground-truth simulator per config "
                           "(measured time + selection quality; much slower)");
+  args.addFlag("cache-model", "ground-truth engine for --quality: 'simulate' "
+                              "re-runs the simulator per config, 'reuse-dist' "
+                              "replays the recorded trace through the analytic "
+                              "reuse-distance cache model (orders of magnitude "
+                              "faster; see docs/TRACE.md)", "simulate");
+  args.addBool("trace-roofline", "feed trace-predicted miss ratios into the "
+                                 "roofline instead of the constant 0.85 hit rate "
+                                 "(implies building the reuse-distance model)");
+  args.addFlag("max-ops", "dynamic instruction budget per VM run "
+                          "(0 = default 4e9)", "0");
   args.addBool("hotpath", "extract each config's hot path (adds size columns)");
   args.addBool("list-fields", "print the sweepable machine fields and exit");
   if (!args.parse(argc, argv)) return 0;
@@ -80,14 +90,27 @@ int run(int argc, char** argv) {
     throw Error("grid has no axes — nothing to sweep (see --list-fields)");
   }
 
-  auto frontend = core::loadFrontend(args.get("workload"), args.get("params"),
-                                     args.get("hints"));
-
   sweep::SweepOptions opts;
   opts.threads = static_cast<int>(args.getDouble("threads"));
   opts.criteria = {args.getDouble("coverage"), args.getDouble("leanness")};
   opts.groundTruth = args.getBool("quality");
   opts.hotPaths = args.getBool("hotpath");
+  opts.traceInformedRoofline = args.getBool("trace-roofline");
+  opts.maxOps = static_cast<uint64_t>(args.getDouble("max-ops"));
+
+  std::string cacheModel = args.get("cache-model");
+  if (cacheModel == "reuse-dist" || opts.traceInformedRoofline) {
+    opts.cacheModel = sweep::CacheModelMode::ReuseDist;
+  } else if (cacheModel != "simulate") {
+    throw Error("unknown --cache-model '" + cacheModel + "' (simulate, reuse-dist)");
+  }
+
+  core::FrontendOptions fopts;
+  fopts.maxOps = opts.maxOps;
+  // The trace rides along on the profiling run either way; it is only
+  // *required* in reuse-dist mode.
+  auto frontend = core::loadFrontend(args.get("workload"), args.get("params"),
+                                     args.get("hints"), fopts);
 
   auto result = sweep::runSweep(*frontend, grid, opts);
 
