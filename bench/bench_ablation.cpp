@@ -32,7 +32,8 @@ double meanQuality(roofline::RooflineParams params) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchMetrics metrics("bench_ablation", argc, argv);
   bench::banner("Ablation: roofline model variants vs selection quality");
 
   report::Table t({"variant", "mean selection quality"});

@@ -5,7 +5,8 @@
 
 using namespace skope;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchMetrics metrics("bench_bet_size", argc, argv);
   bench::banner("BET size vs source statements (paper §IV-B)");
 
   report::Table t({"workload", "source stmts", "BET nodes", "ratio", "BET @ 4x input"});

@@ -9,7 +9,8 @@
 
 using namespace skope;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchMetrics metrics("bench_fig10_cfd", argc, argv);
   bench::banner("Figure 10 / Table II: CFD hot spots on BG/Q");
 
   core::CodesignFramework fw(workloads::cfd());

@@ -7,7 +7,8 @@
 
 using namespace skope;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchMetrics metrics("bench_fig11_srad", argc, argv);
   bench::banner("Figure 11: SRAD hot spots on BG/Q");
 
   core::CodesignFramework fw(workloads::srad());

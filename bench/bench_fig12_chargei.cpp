@@ -6,7 +6,8 @@
 
 using namespace skope;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchMetrics metrics("bench_fig12_chargei", argc, argv);
   bench::banner("Figure 12: CHARGEI hot spots on BG/Q");
 
   core::CodesignFramework fw(workloads::chargei());

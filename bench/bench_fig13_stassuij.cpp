@@ -8,7 +8,8 @@
 
 using namespace skope;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchMetrics metrics("bench_fig13_stassuij", argc, argv);
   bench::banner("Figure 13: STASSUIJ hot spots on BG/Q");
 
   core::CodesignFramework fw(workloads::stassuij());

@@ -7,7 +7,8 @@
 
 using namespace skope;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchMetrics metrics("bench_fig4_sord_quality", argc, argv);
   bench::banner("Figure 4: SORD selection quality and cross-machine portability");
 
   core::CodesignFramework fw(workloads::sord());

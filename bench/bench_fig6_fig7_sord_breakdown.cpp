@@ -36,7 +36,8 @@ void breakdownFor(core::CodesignFramework& fw, const MachineModel& machine) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchMetrics metrics("bench_fig6_fig7_sord_breakdown", argc, argv);
   bench::banner("Figures 6 & 7: SORD per-hot-spot Tc/Tm/To breakdown");
   core::CodesignFramework fw(workloads::sord());
   breakdownFor(fw, MachineModel::bgq());

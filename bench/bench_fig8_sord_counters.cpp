@@ -7,7 +7,8 @@
 
 using namespace skope;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchMetrics metrics("bench_fig8_sord_counters", argc, argv);
   bench::banner("Figure 8: SORD profiled issue rate and instructions per L1 miss (BG/Q)");
 
   core::CodesignFramework fw(workloads::sord());

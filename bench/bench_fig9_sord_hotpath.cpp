@@ -6,7 +6,8 @@
 
 using namespace skope;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchMetrics metrics("bench_fig9_sord_hotpath", argc, argv);
   bench::banner("Figure 9: SORD hot path on BG/Q");
   core::CodesignFramework fw(workloads::sord());
   std::printf("%s\n", fw.hotPathReport(MachineModel::bgq(), bench::scaledCriteria()).c_str());

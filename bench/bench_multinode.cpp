@@ -37,7 +37,8 @@ void scalingFor(const roofline::ModelResult& single, const MachineModel& machine
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchMetrics metrics("bench_multinode", argc, argv);
   bench::banner("Extension: SORD multi-node strong-scaling projection (§VIII)");
 
   core::CodesignFramework fw(workloads::sord());

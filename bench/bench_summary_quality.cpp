@@ -5,7 +5,8 @@
 
 using namespace skope;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchMetrics metrics("bench_summary_quality", argc, argv);
   bench::banner("Summary: selection quality over all workloads and machines (§VIII)");
 
   report::Table t({"workload", "machine", "prof cov", "model cov", "quality"});

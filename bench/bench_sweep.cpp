@@ -43,7 +43,8 @@ MachineGrid grid64() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchMetrics metrics("bench_sweep", argc, argv);
   bench::banner("sweep engine: front-end sharing + thread scaling (SORD, 64 configs)");
 
   auto grid = grid64();
@@ -97,6 +98,12 @@ int main() {
 
   std::printf("top designs (projected):\n%s",
               sweep::toMarkdown(parallel, 5).c_str());
+
+  metrics.gauge("sweep/naive_total_s", naiveTotal);
+  metrics.gauge("sweep/serial_s", serial.sweepSeconds);
+  metrics.gauge("sweep/parallel_s", parallel.sweepSeconds);
+  metrics.gauge("sweep/threads", parallel.threadsUsed);
+  metrics.gauge("sweep/deterministic", identical ? 1 : 0);
 
   if (!identical) return 1;
   // The amortization claim: sharing must beat redoing the front-end by >= 3x

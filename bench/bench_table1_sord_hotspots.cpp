@@ -7,7 +7,8 @@
 
 using namespace skope;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchMetrics metrics("bench_table1_sord_hotspots", argc, argv);
   bench::banner("Table I: SORD top-10 hot spots across machines");
 
   core::CodesignFramework fw(workloads::sord());

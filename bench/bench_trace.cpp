@@ -11,10 +11,10 @@
 //      threads.
 //
 // Writes a machine-readable summary (BENCH_trace.json) for CI when a path is
-// given as argv[1].
+// given as argv[1] — in the shared "skope-metrics-v1" schema (the headline
+// figures are gauges; bench::BenchMetrics owns the file).
 #include <chrono>
 #include <cstdio>
-#include <fstream>
 #include <vector>
 
 #include "common.h"
@@ -57,6 +57,7 @@ MachineGrid cacheGrid64() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::BenchMetrics metrics("bench_trace", argc, argv);
   bench::banner("trace-once / replay-many: accuracy + sweep speedup");
 
   // --- 1. miss-rate accuracy on all five workloads (bgq geometry) ---
@@ -146,20 +147,14 @@ int main(int argc, char** argv) {
   bool accuracyOk = worst <= 0.02;
   bool speedupOk = speedup >= 10.0;
 
-  if (argc > 1) {
-    std::ofstream out(argv[1]);
-    out << "{\n"
-        << format("  \"configs\": %zu,\n", grid.configCount())
-        << format("  \"simulate_seconds\": %.4f,\n", simulateSec)
-        << format("  \"replay_seconds\": %.4f,\n", replaySec)
-        << format("  \"speedup\": %.1f,\n", speedup)
-        << format("  \"worst_missrate_abs_error\": %.5f,\n", worst)
-        << format("  \"deterministic\": %s,\n", identical ? "true" : "false")
-        << format("  \"accuracy_ok\": %s,\n", accuracyOk ? "true" : "false")
-        << format("  \"speedup_ok\": %s\n", speedupOk ? "true" : "false")
-        << "}\n";
-    std::printf("wrote %s\n", argv[1]);
-  }
+  metrics.gauge("trace/configs", static_cast<double>(grid.configCount()));
+  metrics.gauge("trace/simulate_seconds", simulateSec);
+  metrics.gauge("trace/replay_seconds", replaySec);
+  metrics.gauge("trace/speedup", speedup);
+  metrics.gauge("trace/worst_missrate_abs_error", worst);
+  metrics.gauge("trace/deterministic", identical ? 1 : 0);
+  metrics.gauge("trace/accuracy_ok", accuracyOk ? 1 : 0);
+  metrics.gauge("trace/speedup_ok", speedupOk ? 1 : 0);
 
   if (!accuracyOk) {
     std::printf("FAIL: worst miss-rate error %.4f exceeds 0.02\n", worst);

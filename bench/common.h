@@ -1,15 +1,74 @@
 // Shared helpers for the experiment binaries (one per paper table/figure).
 #pragma once
 
+#include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <string>
 
 #include "core/framework.h"
 #include "report/chart.h"
 #include "report/table.h"
 #include "support/text.h"
+#include "telemetry/export.h"
+#include "telemetry/telemetry.h"
 
 namespace skope::bench {
+
+/// Uniform metrics emission for every bench binary: construct one at the top
+/// of main and every BENCH_*.json file comes out in the shared
+/// "skope-metrics-v1" schema (telemetry counters/gauges/histograms/stages
+/// plus the bench name and a top-level wall_ms).
+///
+/// The output path comes from the command line: `--metrics-json=PATH` or a
+/// bare argument ending in ".json" (the historical bench_trace convention).
+/// No path means no file — the bench still prints its stdout report.
+class BenchMetrics {
+ public:
+  BenchMetrics(std::string name, int argc, char** argv)
+      : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {
+    for (int i = 1; i < argc; ++i) {
+      const char* a = argv[i];
+      if (std::strncmp(a, "--metrics-json=", 15) == 0) {
+        path_ = a + 15;
+      } else if (std::strlen(a) > 5 &&
+                 std::strcmp(a + std::strlen(a) - 5, ".json") == 0 &&
+                 a[0] != '-') {
+        path_ = a;
+      }
+    }
+    // Spans/counters only cost anything when someone will read them.
+    if (!path_.empty()) telemetry::Registry::global().setEnabled(true);
+  }
+
+  BenchMetrics(const BenchMetrics&) = delete;
+  BenchMetrics& operator=(const BenchMetrics&) = delete;
+
+  /// Records a headline figure (e.g. "trace/speedup") into the metrics dump.
+  void gauge(const std::string& name, double v) {
+    if (!path_.empty()) telemetry::Registry::global().gauge(name).set(v);
+  }
+
+  ~BenchMetrics() {
+    if (path_.empty()) return;
+    double wallMs = std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+    std::ofstream out(path_);
+    if (!out) {
+      std::fprintf(stderr, "%s: cannot write %s\n", name_.c_str(), path_.c_str());
+      return;
+    }
+    out << telemetry::toMetricsJson(telemetry::Registry::global(), name_, wallMs);
+    std::printf("wrote %s\n", path_.c_str());
+  }
+
+ private:
+  std::string name_;
+  std::string path_;
+  std::chrono::steady_clock::time_point start_;
+};
 
 /// The paper's criteria are {coverage >= 90%, leanness <= 10%} on production
 /// codes. Our workload ports are ~20x smaller, so a single hot loop is a much

@@ -1,6 +1,7 @@
 #include "core/backend.h"
 
 #include "sim/simulator.h"
+#include "telemetry/telemetry.h"
 #include "trace/replay.h"
 
 namespace skope::core {
@@ -11,20 +12,28 @@ MachineEvaluation evaluateMachine(const WorkloadFrontend& frontend,
   MachineEvaluation ev;
   ev.machineName = machine.name;
 
-  roofline::RooflineParams rparams = options.rparams;
-  if (options.traceInformedRoofline && options.cacheModel != nullptr) {
-    trace::CachePrediction pred = options.cacheModel->evaluate(machine);
-    rparams.l1MissRatio = pred.l1MissRate;
-    rparams.dramMissRatio = pred.l1MissRate * pred.llcMissRate;
+  size_t totalInstrs = 0;
+  {
+    SKOPE_SPAN("backend/roofline");
+    roofline::RooflineParams rparams = options.rparams;
+    if (options.traceInformedRoofline && options.cacheModel != nullptr) {
+      trace::CachePrediction pred = options.cacheModel->evaluate(machine);
+      rparams.l1MissRatio = pred.l1MissRate;
+      rparams.dramMissRatio = pred.l1MissRate * pred.llcMissRate;
+    }
+    roofline::Roofline model(machine, rparams);
+    ev.model = roofline::estimate(frontend.bet(), model, &frontend.module(),
+                                  &WorkloadFrontend::libProfile().mixes, &ev.annotations);
   }
-  roofline::Roofline model(machine, rparams);
-  ev.model = roofline::estimate(frontend.bet(), model, &frontend.module(),
-                                &WorkloadFrontend::libProfile().mixes, &ev.annotations);
-  ev.ranking = hotspot::rankingFromModel(ev.model);
-  size_t totalInstrs = frontend.module().totalStaticInstrs();
-  ev.selection = hotspot::selectHotSpots(ev.ranking, totalInstrs, options.criteria);
+  {
+    SKOPE_SPAN("backend/hotspot");
+    ev.ranking = hotspot::rankingFromModel(ev.model);
+    totalInstrs = frontend.module().totalStaticInstrs();
+    ev.selection = hotspot::selectHotSpots(ev.ranking, totalInstrs, options.criteria);
+  }
 
   if (options.wantHotPath) {
+    SKOPE_SPAN("backend/hotpath");
     auto path = hotpath::extractHotPath(frontend.bet(), ev.selection);
     ev.hotPathNodes = path.size();
     ev.hotSpotInstances = path.hotSpotInstances;
@@ -32,6 +41,7 @@ MachineEvaluation evaluateMachine(const WorkloadFrontend& frontend,
   }
 
   if (options.groundTruth) {
+    SKOPE_SPAN("backend/ground-truth");
     sim::SimResult sim;
     if (options.cacheModel != nullptr) {
       trace::ReplayInputs inputs{frontend.memoryTrace(), *options.cacheModel,

@@ -8,7 +8,9 @@
 #include "core/framework.h"
 #include "minic/parser.h"
 #include "minic/sema.h"
+#include "support/log.h"
 #include "support/text.h"
+#include "telemetry/telemetry.h"
 #include "translate/annotate.h"
 #include "translate/translate.h"
 #include "vm/compiler.h"
@@ -19,36 +21,63 @@ WorkloadFrontend::WorkloadFrontend(std::string name, std::string source,
                                    std::map<std::string, double> params, uint64_t seed,
                                    const FrontendOptions& options)
     : name_(std::move(name)), params_(std::move(params)), seed_(seed) {
-  prog_ = minic::parseProgram(source, name_);
-  minic::analyzeOrThrow(*prog_);
-  mod_ = vm::compile(*prog_);
+  SKOPE_SPAN("frontend/build");
+  {
+    SKOPE_SPAN("frontend/parse");
+    prog_ = minic::parseProgram(source, name_);
+  }
+  {
+    SKOPE_SPAN("frontend/sema");
+    // The sink follows the global --log-level: notes/warnings stream to
+    // stderr per the threshold; errors still throw below.
+    DiagSink diags;
+    logging::configureSink(diags);
+    minic::analyze(*prog_, diags);
+    diags.throwIfErrors();
+  }
+  {
+    SKOPE_SPAN("frontend/compile");
+    mod_ = vm::compile(*prog_);
+  }
 
   // The one profiling run. When trace recording is on, the TraceRecorder
   // rides along on the same run via TeeTracer — the sweep's replay fast
   // path costs no extra execution here.
-  if (options.recordTrace) {
-    trace::TraceRecorder recorder(options.traceMaxRefs);
-    profile_ = vm::profileRun(mod_, params_, seed_, &recorder, options.maxOps,
-                              [&](const vm::Vm& vm) { trace_ = recorder.finish(vm); });
-  } else {
-    profile_ = vm::profileRun(mod_, params_, seed_, nullptr, options.maxOps);
+  {
+    SKOPE_SPAN("frontend/profile");
+    if (options.recordTrace) {
+      trace::TraceRecorder recorder(options.traceMaxRefs);
+      profile_ = vm::profileRun(mod_, params_, seed_, &recorder, options.maxOps,
+                                [&](const vm::Vm& vm) { trace_ = recorder.finish(vm); });
+    } else {
+      profile_ = vm::profileRun(mod_, params_, seed_, nullptr, options.maxOps);
+    }
   }
 
-  skeleton_ = translate::translateProgram(*prog_);
-  translate::annotate(skeleton_, profile_);
-  auto unresolved = translate::unresolvedSites(skeleton_);
-  if (!unresolved.empty()) {
-    throw Error(format("workload %s: %zu control-flow sites left unresolved after "
-                       "profiling",
-                       name_.c_str(), unresolved.size()));
+  {
+    SKOPE_SPAN("frontend/skeleton");
+    skeleton_ = translate::translateProgram(*prog_);
+    translate::annotate(skeleton_, profile_);
+    auto unresolved = translate::unresolvedSites(skeleton_);
+    if (!unresolved.empty()) {
+      throw Error(format("workload %s: %zu control-flow sites left unresolved after "
+                         "profiling",
+                         name_.c_str(), unresolved.size()));
+    }
   }
 
-  ParamEnv input(params_);
-  bet_ = bet::buildBet(skeleton_, input);
+  {
+    SKOPE_SPAN("frontend/bet");
+    ParamEnv input(params_);
+    bet_ = bet::buildBet(skeleton_, input);
+  }
 
   // Force the process-wide library profile here, before any sweep threads
   // exist, so concurrent evaluators only ever read it.
-  (void)libProfile();
+  {
+    SKOPE_SPAN("frontend/lib-profile");
+    (void)libProfile();
+  }
 }
 
 WorkloadFrontend::WorkloadFrontend(const workloads::Workload& workload,

@@ -4,6 +4,7 @@
 
 #include "minic/builtins.h"
 #include "support/text.h"
+#include "telemetry/telemetry.h"
 
 namespace skope::roofline {
 
@@ -109,6 +110,7 @@ void walkConst(const BetNode& n, double parentEnr, const Roofline& model,
 
 ModelResult estimate(const bet::Bet& bet, const Roofline& model, const vm::Module* mod,
                      const LibMixes* libMixes, BetAnnotations* annotations) {
+  SKOPE_SPAN("roofline/estimate");
   ModelResult result;
   result.machineName = model.machine().name;
   if (!bet.root) return result;

@@ -3,6 +3,7 @@
 #include "minic/builtins.h"
 #include "sim/vectorize.h"
 #include "support/text.h"
+#include "telemetry/telemetry.h"
 
 namespace skope::sim {
 
@@ -128,6 +129,7 @@ Simulator::Simulator(const minic::Program& prog, const vm::Module& mod,
       vectorized_(vectorizedLoops(prog, machine)), libMixes_(libMixes) {}
 
 SimResult Simulator::run(const std::map<std::string, double>& params, uint64_t seed) {
+  SKOPE_SPAN("sim/run");
   SimResult result;
   result.machineName = machine_.name;
   result.freqGHz = machine_.freqGHz;
@@ -140,6 +142,9 @@ SimResult Simulator::run(const std::map<std::string, double>& params, uint64_t s
   vmachine.run(&tracer);
   tracer.finish();
   result.dynamicInstrs = vmachine.dynamicInstrs();
+  if (telemetry::enabled()) {
+    telemetry::Registry::global().counter("sim/ops").add(vmachine.dynamicInstrs());
+  }
 
   // Convert the VM's per-region op counts into compute cycles, honoring the
   // per-machine vectorization decision for each loop region.

@@ -1,5 +1,6 @@
 #include "support/argparse.h"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "support/text.h"
@@ -30,6 +31,22 @@ const ArgParser::FlagSpec* ArgParser::findFlag(const std::string& name) const {
   return nullptr;
 }
 
+std::string ArgParser::nearestFlag(const std::string& name) const {
+  std::string best;
+  size_t bestDist = ~size_t{0};
+  for (const auto& f : flags_) {
+    size_t d = editDistance(name, f.name);
+    if (d < bestDist) {
+      bestDist = d;
+      best = f.name;
+    }
+  }
+  // Only suggest when the typo is plausibly the known flag: a third of the
+  // name's length in edits, but always allow a couple for short names.
+  if (bestDist <= std::max<size_t>(2, name.size() / 3)) return best;
+  return "";
+}
+
 bool ArgParser::parse(int argc, const char* const* argv) {
   size_t posIndex = 0;
   for (int i = 1; i < argc; ++i) {
@@ -49,7 +66,13 @@ bool ArgParser::parse(int argc, const char* const* argv) {
         hasValue = true;
       }
       const FlagSpec* spec = findFlag(name);
-      if (!spec) throw Error("unknown flag --" + name + " (see --help)");
+      if (!spec) {
+        std::string near = nearestFlag(name);
+        if (!near.empty()) {
+          throw Error("unknown flag --" + name + " (did you mean --" + near + "?)");
+        }
+        throw Error("unknown flag --" + name + " (see --help)");
+      }
       if (spec->boolean) {
         if (hasValue) throw Error("--" + name + " is a boolean flag, no value expected");
         bools_[name] = true;

@@ -56,6 +56,9 @@ class ArgParser {
   };
 
   const FlagSpec* findFlag(const std::string& name) const;
+  /// The closest registered flag name by edit distance, or "" when nothing
+  /// is near enough to suggest ("did you mean --…?" on unknown flags).
+  [[nodiscard]] std::string nearestFlag(const std::string& name) const;
 
   std::string program_;
   std::string description_;

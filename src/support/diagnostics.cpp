@@ -1,5 +1,6 @@
 #include "support/diagnostics.h"
 
+#include <cstdio>
 #include <sstream>
 
 namespace skope {
@@ -22,16 +23,22 @@ std::string Diagnostic::str() const {
   return out;
 }
 
+void DiagSink::record(Severity severity, const SourceLoc& loc, std::string msg) {
+  if (severity < threshold_ && severity != Severity::Error) return;
+  diags_.push_back({severity, loc, std::move(msg)});
+  if (stream_) std::fprintf(stderr, "%s\n", diags_.back().str().c_str());
+}
+
 void DiagSink::note(const SourceLoc& loc, std::string msg) {
-  diags_.push_back({Severity::Note, loc, std::move(msg)});
+  record(Severity::Note, loc, std::move(msg));
 }
 
 void DiagSink::warning(const SourceLoc& loc, std::string msg) {
-  diags_.push_back({Severity::Warning, loc, std::move(msg)});
+  record(Severity::Warning, loc, std::move(msg));
 }
 
 void DiagSink::error(const SourceLoc& loc, std::string msg) {
-  diags_.push_back({Severity::Error, loc, std::move(msg)});
+  record(Severity::Error, loc, std::move(msg));
   ++errorCount_;
 }
 

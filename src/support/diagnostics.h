@@ -44,11 +44,24 @@ struct Diagnostic {
 
 /// Collects diagnostics during a pass. Passes that can recover (e.g. sema)
 /// accumulate here instead of throwing; callers check hasErrors() afterwards.
+///
+/// By default everything is buffered and nothing is printed. A severity
+/// threshold drops notes/warnings at record time (--log-level's filter), and
+/// streaming mode additionally prints every kept diagnostic to stderr as it
+/// is recorded, so long passes surface problems live instead of at the end.
 class DiagSink {
  public:
   void note(const SourceLoc& loc, std::string msg);
   void warning(const SourceLoc& loc, std::string msg);
   void error(const SourceLoc& loc, std::string msg);
+
+  /// Diagnostics below `min` are dropped at record time. Errors are always
+  /// kept (Severity::Error is the maximum). Default keeps everything.
+  void setThreshold(Severity min) { threshold_ = min; }
+  [[nodiscard]] Severity threshold() const { return threshold_; }
+
+  /// When on, every kept diagnostic is also printed to stderr immediately.
+  void setStreamToStderr(bool on) { stream_ = on; }
 
   [[nodiscard]] bool hasErrors() const { return errorCount_ > 0; }
   [[nodiscard]] size_t errorCount() const { return errorCount_; }
@@ -61,8 +74,12 @@ class DiagSink {
   void throwIfErrors() const;
 
  private:
+  void record(Severity severity, const SourceLoc& loc, std::string msg);
+
   std::vector<Diagnostic> diags_;
   size_t errorCount_ = 0;
+  Severity threshold_ = Severity::Note;
+  bool stream_ = false;
 };
 
 }  // namespace skope

@@ -1,0 +1,65 @@
+#include "support/log.h"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+
+namespace skope::logging {
+
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(Level::Info)};
+
+void vlogTo(const char* fmt, va_list ap) {
+  std::vfprintf(stderr, fmt, ap);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace
+
+void setLevel(Level level) { g_level.store(static_cast<int>(level), std::memory_order_relaxed); }
+
+Level level() { return static_cast<Level>(g_level.load(std::memory_order_relaxed)); }
+
+bool infoEnabled() { return level() >= Level::Info; }
+
+bool debugEnabled() { return level() >= Level::Debug; }
+
+Level parseLevel(const std::string& s) {
+  if (s == "quiet") return Level::Quiet;
+  if (s == "info") return Level::Info;
+  if (s == "debug") return Level::Debug;
+  throw Error("unknown log level '" + s + "' (quiet, info, debug)");
+}
+
+Severity severityThreshold() {
+  switch (level()) {
+    case Level::Quiet: return Severity::Error;
+    case Level::Info: return Severity::Warning;
+    case Level::Debug: return Severity::Note;
+  }
+  return Severity::Warning;
+}
+
+void configureSink(DiagSink& sink) {
+  sink.setThreshold(severityThreshold());
+  sink.setStreamToStderr(true);
+}
+
+void info(const char* fmt, ...) {
+  if (!infoEnabled()) return;
+  va_list ap;
+  va_start(ap, fmt);
+  vlogTo(fmt, ap);
+  va_end(ap);
+}
+
+void debug(const char* fmt, ...) {
+  if (!debugEnabled()) return;
+  va_list ap;
+  va_start(ap, fmt);
+  vlogTo(fmt, ap);
+  va_end(ap);
+}
+
+}  // namespace skope::logging

@@ -1,0 +1,40 @@
+// Process-wide stderr logging for the CLIs and benches, built on the
+// DiagSink severity ladder: --log-level={quiet,info,debug} picks one Level,
+// and configureSink() maps it onto a DiagSink threshold (+ streaming) so
+// pass diagnostics (sema notes/warnings) and CLI chatter filter identically
+// in both tools.
+//
+//   quiet  -> errors only           (sink threshold Severity::Error)
+//   info   -> + warnings, progress  (sink threshold Severity::Warning)
+//   debug  -> + notes, stage tables (sink threshold Severity::Note)
+#pragma once
+
+#include <string>
+
+#include "support/diagnostics.h"
+
+namespace skope::logging {
+
+enum class Level { Quiet = 0, Info = 1, Debug = 2 };
+
+void setLevel(Level level);
+[[nodiscard]] Level level();
+[[nodiscard]] bool infoEnabled();
+[[nodiscard]] bool debugEnabled();
+
+/// Parses "quiet" / "info" / "debug"; throws Error otherwise.
+Level parseLevel(const std::string& s);
+
+/// The DiagSink severity threshold equivalent of the current level.
+[[nodiscard]] Severity severityThreshold();
+
+/// Applies the current level to `sink`: severity threshold plus streaming to
+/// stderr, so kept diagnostics surface as they are recorded.
+void configureSink(DiagSink& sink);
+
+/// printf-style lines to stderr, gated on the level (no prefix is added —
+/// callers keep their "tool: ..." conventions).
+void info(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+void debug(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace skope::logging

@@ -1,5 +1,6 @@
 #include "support/text.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdarg>
 #include <cstdio>
@@ -72,6 +73,23 @@ std::string humanDouble(double v, int prec) {
   os.precision(prec);
   os << v;
   return os.str();
+}
+
+size_t editDistance(std::string_view a, std::string_view b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  // Two-row DP; `prev[j]` is the distance between a's processed prefix and
+  // b's first j characters.
+  std::vector<size_t> prev(b.size() + 1), cur(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({sub, prev[j] + 1, cur[j - 1] + 1});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
 }
 
 }  // namespace skope

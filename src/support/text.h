@@ -29,4 +29,8 @@ std::string padLeft(std::string_view s, size_t width);
 /// Renders `v` with `prec` significant digits, trimming trailing zeros.
 std::string humanDouble(double v, int prec = 4);
 
+/// Levenshtein edit distance (insert / delete / substitute, unit costs).
+/// Drives the CLI's "did you mean --…?" suggestions for unknown flags.
+size_t editDistance(std::string_view a, std::string_view b);
+
 }  // namespace skope

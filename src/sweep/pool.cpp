@@ -8,6 +8,9 @@
 #include <thread>
 #include <vector>
 
+#include "support/text.h"
+#include "telemetry/telemetry.h"
+
 namespace skope::sweep {
 
 namespace {
@@ -37,6 +40,9 @@ struct WorkerQueue {
 struct BatchState {
   std::vector<WorkerQueue> queues;
   const std::function<void(size_t)>* task = nullptr;
+  const WorkStealingPool::DoneFn* onDone = nullptr;
+  size_t total = 0;
+  std::atomic<size_t> done{0};
   std::atomic<bool> abort{false};
   std::mutex errorMu;
   std::exception_ptr error;
@@ -50,6 +56,15 @@ struct BatchState {
   }
 
   void workerLoop(size_t self) {
+    // Telemetry rides along only when enabled: the worker tallies its own
+    // steals and the wall time NOT spent inside tasks (scheduling + queue
+    // contention, i.e. idle/overhead) and flushes once at exit.
+    const bool tel = telemetry::enabled();
+    uint64_t steals = 0;
+    uint64_t tasksRun = 0;
+    auto loopStart = telemetry::Clock::now();
+    telemetry::Clock::duration busy{0};
+
     size_t idx;
     while (!abort.load(std::memory_order_relaxed)) {
       if (!queues[self].popBack(idx)) {
@@ -59,14 +74,37 @@ struct BatchState {
         for (size_t off = 1; off < queues.size() && !stole; ++off) {
           stole = queues[(self + off) % queues.size()].stealFront(idx);
         }
-        if (!stole) return;  // batch drained
+        if (!stole) break;  // batch drained
+        ++steals;
       }
       try {
-        (*task)(idx);
+        if (tel) {
+          auto t0 = telemetry::Clock::now();
+          (*task)(idx);
+          busy += telemetry::Clock::now() - t0;
+        } else {
+          (*task)(idx);
+        }
+        ++tasksRun;
+        if (onDone != nullptr && *onDone) {
+          (*onDone)(done.fetch_add(1, std::memory_order_relaxed) + 1, total);
+        }
       } catch (...) {
         recordError();
-        return;
+        break;
       }
+    }
+
+    if (tel) {
+      auto idle = (telemetry::Clock::now() - loopStart) - busy;
+      auto idleNs =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(idle).count();
+      auto& reg = telemetry::Registry::global();
+      reg.counter("sweep/pool/tasks").add(tasksRun);
+      reg.counter("sweep/pool/steals").add(steals);
+      reg.counter("sweep/pool/idle_ns").add(static_cast<uint64_t>(idleNs));
+      reg.histogram("sweep/pool/worker_idle_ms", {0.01, 0.1, 1, 10, 100, 1000})
+          .observe(static_cast<double>(idleNs) / 1e6);
     }
   }
 };
@@ -81,16 +119,22 @@ WorkStealingPool::WorkStealingPool(int threads) {
   threads_ = threads;
 }
 
-void WorkStealingPool::run(size_t numTasks, const std::function<void(size_t)>& task) const {
+void WorkStealingPool::run(size_t numTasks, const std::function<void(size_t)>& task,
+                           const DoneFn& onTaskDone) const {
   if (numTasks == 0) return;
   size_t workers = std::min<size_t>(static_cast<size_t>(threads_), numTasks);
   if (workers <= 1) {
-    for (size_t i = 0; i < numTasks; ++i) task(i);
+    for (size_t i = 0; i < numTasks; ++i) {
+      task(i);
+      if (onTaskDone) onTaskDone(i + 1, numTasks);
+    }
     return;
   }
 
   BatchState state(workers);
   state.task = &task;
+  state.onDone = &onTaskDone;
+  state.total = numTasks;
   // Deal the batch round-robin; deques are popped from the back, so push
   // order keeps low indices (often the cheap baseline configs) early.
   for (size_t i = 0; i < numTasks; ++i) {
@@ -100,7 +144,10 @@ void WorkStealingPool::run(size_t numTasks, const std::function<void(size_t)>& t
   std::vector<std::thread> crew;
   crew.reserve(workers - 1);
   for (size_t w = 1; w < workers; ++w) {
-    crew.emplace_back([&state, w] { state.workerLoop(w); });
+    crew.emplace_back([&state, w] {
+      telemetry::setThreadName(format("pool-worker-%zu", w));
+      state.workerLoop(w);
+    });
   }
   state.workerLoop(0);  // the calling thread is worker 0
   for (auto& t : crew) t.join();

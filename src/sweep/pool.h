@@ -25,6 +25,12 @@ namespace skope::sweep {
 
 class WorkStealingPool {
  public:
+  /// Completion callback: onTaskDone(done, total) fires after each task
+  /// finishes, from whichever worker ran it — so it MUST be thread-safe.
+  /// `done` values 1..total are each delivered exactly once (not necessarily
+  /// in order). Drives the sweep CLI's live progress/ETA line.
+  using DoneFn = std::function<void(size_t done, size_t total)>;
+
   /// `threads` <= 0 selects std::thread::hardware_concurrency().
   explicit WorkStealingPool(int threads = 0);
 
@@ -35,7 +41,13 @@ class WorkStealingPool {
   /// calling thread in index order (the deterministic serial baseline).
   /// Otherwise threadCount() workers are spawned for the batch (the calling
   /// thread is worker 0).
-  void run(size_t numTasks, const std::function<void(size_t)>& task) const;
+  ///
+  /// When telemetry is enabled the batch reports itself: counters
+  /// "sweep/pool/tasks", "sweep/pool/steals" and "sweep/pool/idle_ns"
+  /// (scheduling overhead summed over workers), the per-worker histogram
+  /// "sweep/pool/worker_idle_ms", and a named span track per spawned worker.
+  void run(size_t numTasks, const std::function<void(size_t)>& task,
+           const DoneFn& onTaskDone = {}) const;
 
  private:
   int threads_ = 1;

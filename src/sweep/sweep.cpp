@@ -6,6 +6,7 @@
 #include "support/diagnostics.h"
 #include "support/text.h"
 #include "sweep/pool.h"
+#include "telemetry/telemetry.h"
 
 namespace skope::sweep {
 
@@ -72,6 +73,7 @@ SweepResult runSweep(const core::WorkloadFrontend& frontend,
                        (options.groundTruth || options.traceInformedRoofline);
   std::optional<trace::CacheModel> cacheModel;
   if (wantReuseDist) {
+    SKOPE_SPAN("sweep/prepare-cache-model");
     const trace::MemoryTrace& mt = frontend.memoryTrace();
     if (!mt.usable()) {
       throw Error(
@@ -99,6 +101,7 @@ SweepResult runSweep(const core::WorkloadFrontend& frontend,
   }
   result.baseMachine = base.name;
   {
+    SKOPE_SPAN("sweep/base-eval");
     core::BackendOptions cheap;
     cheap.rparams = options.rparams;
     cheap.criteria = options.criteria;
@@ -112,11 +115,19 @@ SweepResult runSweep(const core::WorkloadFrontend& frontend,
 
   result.outcomes.resize(configs.size());
   auto t0 = std::chrono::steady_clock::now();
-  pool.run(configs.size(), [&](size_t i) {
-    auto ev = core::evaluateMachine(frontend, configs[i].machine, backendOpts);
-    result.outcomes[i] =
-        digest(ev, i, configs[i], result.baseProjectedSeconds, options);
-  });
+  {
+    SKOPE_SPAN("sweep/fan-out");
+    pool.run(
+        configs.size(),
+        [&](size_t i) {
+          // One span per config on whichever worker track ran it.
+          telemetry::Span span("config/", configs[i].name);
+          auto ev = core::evaluateMachine(frontend, configs[i].machine, backendOpts);
+          result.outcomes[i] =
+              digest(ev, i, configs[i], result.baseProjectedSeconds, options);
+        },
+        options.progress);
+  }
   result.sweepSeconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   return result;

@@ -10,6 +10,7 @@
 // sweep's report is byte-identical for any thread count.
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -55,6 +56,11 @@ struct SweepOptions {
   /// Speedup baseline. Defaults to the grid's unmodified base machine (grid
   /// overload) or the first config's machine (config-vector overload).
   std::optional<MachineModel> baseline;
+  /// Invoked after each config completes as progress(done, total), from
+  /// whichever pool worker finished it — the callback must be thread-safe.
+  /// `done` values 1..total are each delivered exactly once (not necessarily
+  /// in order). The sweep CLI uses this for its live progress/ETA line.
+  std::function<void(size_t done, size_t total)> progress;
 };
 
 /// What the sweep keeps per machine config (a deliberately flat, printable

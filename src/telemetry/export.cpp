@@ -1,0 +1,234 @@
+#include "telemetry/export.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <map>
+
+#include "report/table.h"
+#include "support/diagnostics.h"
+#include "support/text.h"
+
+namespace skope::telemetry {
+
+namespace {
+
+std::string jsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += format("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string jsonNumber(double v) {
+  if (!std::isfinite(v)) return "0";
+  return format("%.6g", v);
+}
+
+/// Assigns each span's direct-child time to its parent so selfMs can be
+/// computed per event. Events within one track are sorted by start time
+/// (parents first on ties, via depth) and scanned with an interval stack.
+std::vector<double> childNsPerEvent(const std::vector<SpanEvent>& events) {
+  std::vector<size_t> order(events.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (events[a].startNs != events[b].startNs)
+      return events[a].startNs < events[b].startNs;
+    return events[a].depth < events[b].depth;
+  });
+  std::vector<double> childNs(events.size(), 0);
+  std::vector<size_t> stack;  // indices of open ancestors
+  for (size_t idx : order) {
+    const SpanEvent& ev = events[idx];
+    while (!stack.empty()) {
+      const SpanEvent& top = events[stack.back()];
+      if (top.startNs + top.durNs <= ev.startNs) {
+        stack.pop_back();
+      } else {
+        break;
+      }
+    }
+    if (!stack.empty()) childNs[stack.back()] += static_cast<double>(ev.durNs);
+    stack.push_back(idx);
+  }
+  return childNs;
+}
+
+}  // namespace
+
+std::vector<StageStat> aggregateStages(const Registry& reg) {
+  std::map<std::string, StageStat, std::less<>> byName;
+  for (const ThreadTrack& track : reg.spanTracks()) {
+    std::vector<double> childNs = childNsPerEvent(track.events);
+    for (size_t i = 0; i < track.events.size(); ++i) {
+      const SpanEvent& ev = track.events[i];
+      auto it = byName.find(ev.name());
+      if (it == byName.end()) {
+        it = byName.emplace(std::string(ev.name()), StageStat{}).first;
+        it->second.name = ev.name();
+      }
+      StageStat& s = it->second;
+      s.count += 1;
+      s.totalMs += static_cast<double>(ev.durNs) / 1e6;
+      s.selfMs += std::max(0.0, (static_cast<double>(ev.durNs) - childNs[i]) / 1e6);
+    }
+  }
+  std::vector<StageStat> out;
+  out.reserve(byName.size());
+  for (auto& [name, stat] : byName) out.push_back(std::move(stat));
+  std::stable_sort(out.begin(), out.end(), [](const StageStat& a, const StageStat& b) {
+    if (a.selfMs != b.selfMs) return a.selfMs > b.selfMs;
+    return a.name < b.name;
+  });
+  return out;
+}
+
+std::string toChromeTrace(const Registry& reg) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  out +=
+      "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
+      "\"args\":{\"name\":\"skope\"}}";
+  for (const ThreadTrack& track : reg.spanTracks()) {
+    std::string label =
+        track.name.empty() ? format("thread %u", track.tid) : track.name;
+    out += format(
+        ",\n{\"ph\":\"M\",\"pid\":1,\"tid\":%u,\"name\":\"thread_name\","
+        "\"args\":{\"name\":\"%s\"}}",
+        track.tid, jsonEscape(label).c_str());
+    for (const SpanEvent& ev : track.events) {
+      out += format(
+          ",\n{\"ph\":\"X\",\"pid\":1,\"tid\":%u,\"cat\":\"skope\","
+          "\"name\":\"%s\",\"ts\":%.3f,\"dur\":%.3f}",
+          track.tid, jsonEscape(ev.name()).c_str(),
+          static_cast<double>(ev.startNs) / 1e3, static_cast<double>(ev.durNs) / 1e3);
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::string toMetricsJson(const Registry& reg, const std::string& benchName,
+                          double wallMs) {
+  MetricsSnapshot snap = reg.metrics();
+  std::string out = "{\n  \"schema\": \"skope-metrics-v1\"";
+  if (!benchName.empty()) {
+    out += format(",\n  \"bench\": \"%s\"", jsonEscape(benchName).c_str());
+  }
+  if (wallMs >= 0) out += format(",\n  \"wall_ms\": %s", jsonNumber(wallMs).c_str());
+
+  out += ",\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : snap.counters) {
+    out += format("%s\n    \"%s\": %llu", first ? "" : ",",
+                  jsonEscape(name).c_str(), static_cast<unsigned long long>(v));
+    first = false;
+  }
+  out += first ? "}" : "\n  }";
+
+  out += ",\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : snap.gauges) {
+    out += format("%s\n    \"%s\": %s", first ? "" : ",", jsonEscape(name).c_str(),
+                  jsonNumber(v).c_str());
+    first = false;
+  }
+  out += first ? "}" : "\n  }";
+
+  out += ",\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    std::vector<std::string> edges, counts;
+    for (double e : h.edges) edges.push_back(jsonNumber(e));
+    for (uint64_t c : h.counts)
+      counts.push_back(format("%llu", static_cast<unsigned long long>(c)));
+    out += format(
+        "%s\n    \"%s\": {\"edges\": [%s], \"counts\": [%s], "
+        "\"total\": %llu, \"sum\": %s}",
+        first ? "" : ",", jsonEscape(name).c_str(), join(edges, ", ").c_str(),
+        join(counts, ", ").c_str(), static_cast<unsigned long long>(h.total),
+        jsonNumber(h.sum).c_str());
+    first = false;
+  }
+  out += first ? "}" : "\n  }";
+
+  out += ",\n  \"stages\": [";
+  first = true;
+  for (const StageStat& s : aggregateStages(reg)) {
+    out += format(
+        "%s\n    {\"name\": \"%s\", \"count\": %llu, \"total_ms\": %s, "
+        "\"self_ms\": %s}",
+        first ? "" : ",", jsonEscape(s.name).c_str(),
+        static_cast<unsigned long long>(s.count), jsonNumber(s.totalMs).c_str(),
+        jsonNumber(s.selfMs).c_str());
+    first = false;
+  }
+  out += first ? "]" : "\n  ]";
+  out += "\n}\n";
+  return out;
+}
+
+std::string selfHotSpotTable(const Registry& reg) {
+  std::vector<StageStat> stages = aggregateStages(reg);
+  double totalSelf = 0;
+  for (const StageStat& s : stages) totalSelf += s.selfMs;
+  report::Table t({"#", "stage", "calls", "total ms", "self ms", "self %", "cum %"});
+  double cum = 0;
+  for (size_t i = 0; i < stages.size(); ++i) {
+    const StageStat& s = stages[i];
+    double share = totalSelf > 0 ? s.selfMs / totalSelf : 0;
+    cum += share;
+    t.addRow({std::to_string(i + 1), s.name, format("%llu", static_cast<unsigned long long>(s.count)),
+              format("%.3f", s.totalMs), format("%.3f", s.selfMs),
+              format("%.1f%%", share * 100), format("%.1f%%", cum * 100)});
+  }
+  std::string out = "self hot spots (framework pipeline stages by exclusive time):\n";
+  out += t.str();
+  return out;
+}
+
+std::string selfHotSpotMarkdown(const Registry& reg) {
+  std::vector<StageStat> stages = aggregateStages(reg);
+  double totalSelf = 0;
+  for (const StageStat& s : stages) totalSelf += s.selfMs;
+  std::string out = "### Self hot spots (pipeline stages by exclusive time)\n\n";
+  out += "| # | stage | calls | total ms | self ms | self % | cum % |\n";
+  out += "|--:|:------|------:|---------:|--------:|-------:|------:|\n";
+  double cum = 0;
+  for (size_t i = 0; i < stages.size(); ++i) {
+    const StageStat& s = stages[i];
+    double share = totalSelf > 0 ? s.selfMs / totalSelf : 0;
+    cum += share;
+    out += format("| %zu | %s | %llu | %.3f | %.3f | %.1f%% | %.1f%% |\n", i + 1,
+                  s.name.c_str(), static_cast<unsigned long long>(s.count), s.totalMs,
+                  s.selfMs, share * 100, cum * 100);
+  }
+  return out;
+}
+
+void writeExports(const Registry& reg, const std::string& tracePath,
+                  const std::string& metricsPath, const std::string& selfReportPath) {
+  auto write = [](const std::string& path, const std::string& content) {
+    std::ofstream out(path);
+    if (!out) throw Error("cannot write '" + path + "'");
+    out << content;
+  };
+  if (!tracePath.empty()) write(tracePath, toChromeTrace(reg));
+  if (!metricsPath.empty()) write(metricsPath, toMetricsJson(reg));
+  if (!selfReportPath.empty()) write(selfReportPath, selfHotSpotMarkdown(reg));
+}
+
+}  // namespace skope::telemetry

@@ -1,0 +1,54 @@
+// Exporters over a telemetry Registry snapshot.
+//
+//   * toChromeTrace — Chrome trace-event JSON ("X" complete events, one
+//     track per recorded thread). Open in Perfetto (ui.perfetto.dev) or
+//     chrome://tracing; see docs/OBSERVABILITY.md.
+//   * toMetricsJson — counters / gauges / histograms / per-stage span
+//     aggregates as one JSON object. This is the shared schema every
+//     BENCH_*.json file uses (schema "skope-metrics-v1", top-level wall_ms).
+//   * selfHotSpotTable / selfHotSpotMarkdown — the paper's hot-spot
+//     criterion applied to the framework itself: pipeline stages ranked by
+//     self (exclusive) time with coverage percentages.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "telemetry/telemetry.h"
+
+namespace skope::telemetry {
+
+/// Per-stage aggregate over every recorded span with a given name.
+struct StageStat {
+  std::string name;
+  uint64_t count = 0;   ///< spans recorded
+  double totalMs = 0;   ///< summed inclusive wall time
+  double selfMs = 0;    ///< summed exclusive time (children subtracted)
+};
+
+/// Aggregates all recorded spans by name, sorted by selfMs descending
+/// (ties by name for determinism).
+std::vector<StageStat> aggregateStages(const Registry& reg);
+
+/// Chrome trace-event JSON of every recorded span track.
+std::string toChromeTrace(const Registry& reg);
+
+/// Metrics + stage aggregates as JSON. `benchName` (when non-empty) and
+/// `wallMs` (when >= 0) become top-level "bench" / "wall_ms" fields — the
+/// contract shared by all BENCH_*.json emitters.
+std::string toMetricsJson(const Registry& reg, const std::string& benchName = "",
+                          double wallMs = -1);
+
+/// Human-readable ranked self-hot-spot table (fixed-width, via src/report).
+std::string selfHotSpotTable(const Registry& reg);
+
+/// The same ranking as a GitHub-flavored markdown table (CI job summaries).
+std::string selfHotSpotMarkdown(const Registry& reg);
+
+/// Writes the requested exports; an empty path skips that export. Throws
+/// Error when a file cannot be written. Shared by the skopec / sweep CLIs.
+void writeExports(const Registry& reg, const std::string& tracePath,
+                  const std::string& metricsPath,
+                  const std::string& selfReportPath = "");
+
+}  // namespace skope::telemetry

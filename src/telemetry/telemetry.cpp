@@ -1,0 +1,165 @@
+#include "telemetry/telemetry.h"
+
+#include <algorithm>
+
+#include "support/diagnostics.h"
+
+namespace skope::telemetry {
+
+namespace {
+
+/// fetch_add for atomic<double> without relying on C++20 floating-point
+/// atomic arithmetic support in older standard libraries.
+void atomicAdd(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Gauge::add(double v) { atomicAdd(value_, v); }
+
+Histogram::Histogram(std::vector<double> upperEdges)
+    : edges_(std::move(upperEdges)), counts_(edges_.size() + 1) {
+  if (edges_.empty()) throw Error("histogram needs at least one bucket edge");
+  for (size_t i = 1; i < edges_.size(); ++i) {
+    if (!(edges_[i - 1] < edges_[i])) {
+      throw Error("histogram bucket edges must be strictly increasing");
+    }
+  }
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+}
+
+void Histogram::observe(double v) {
+  // lower_bound: first edge >= v, so v lands in the bucket whose upper edge
+  // it does not exceed (upper-inclusive); past the last edge -> overflow.
+  size_t i = static_cast<size_t>(
+      std::lower_bound(edges_.begin(), edges_.end(), v) - edges_.begin());
+  counts_[i].fetch_add(1, std::memory_order_relaxed);
+  total_.fetch_add(1, std::memory_order_relaxed);
+  atomicAdd(sum_, v);
+}
+
+std::vector<uint64_t> Histogram::counts() const {
+  std::vector<uint64_t> out(counts_.size());
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    out[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::reset() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  total_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+Registry::Registry() : epoch_(Clock::now()) {}
+
+Registry& Registry::global() {
+  static Registry reg;
+  return reg;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name, std::vector<double> upperEdges) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(upperEdges));
+  return *slot;
+}
+
+MetricsSnapshot Registry::metrics() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms[name] = {h->edges(), h->counts(), h->total(), h->sum()};
+  }
+  return snap;
+}
+
+std::vector<ThreadTrack> Registry::spanTracks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ThreadTrack> out;
+  out.reserve(logs_.size());
+  for (const auto& log : logs_) {
+    std::lock_guard<std::mutex> logLock(log->mu);
+    out.push_back({log->tid, log->name, log->events});
+  }
+  return out;
+}
+
+void Registry::nameCurrentThread(const std::string& name) {
+  if (!enabled()) return;
+  ThreadLog* log = threadLog();
+  std::lock_guard<std::mutex> lock(log->mu);
+  log->name = name;
+}
+
+void Registry::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+  for (const auto& log : logs_) {
+    std::lock_guard<std::mutex> logLock(log->mu);
+    log->events.clear();
+  }
+}
+
+Registry::ThreadLog* Registry::threadLog() {
+  // One cached slot per thread: correct for the global registry (the only
+  // one spans use); a thread switching registries would just re-register.
+  thread_local ThreadLog* cached = nullptr;
+  thread_local Registry* cachedOwner = nullptr;
+  if (cached != nullptr && cachedOwner == this) return cached;
+  auto log = std::make_shared<ThreadLog>();
+  std::lock_guard<std::mutex> lock(mu_);
+  log->tid = static_cast<uint32_t>(logs_.size());
+  logs_.push_back(log);
+  cached = log.get();
+  cachedOwner = this;
+  return cached;
+}
+
+Span::Span(const char* prefix, const std::string& suffix) {
+  if (!Registry::global().enabled()) return;
+  std::string name(prefix);
+  name += suffix;
+  begin(nullptr, &name);
+}
+
+void Span::begin(const char* staticName, const std::string* dynName) {
+  Registry& reg = Registry::global();
+  log_ = reg.threadLog();
+  staticName_ = staticName;
+  if (dynName != nullptr) dynName_ = *dynName;
+  depth_ = log_->depth++;
+  startNs_ = reg.nowNs();
+}
+
+void Span::end() {
+  uint64_t endNs = Registry::global().nowNs();
+  --log_->depth;
+  std::lock_guard<std::mutex> lock(log_->mu);
+  log_->events.push_back(
+      {staticName_, std::move(dynName_), startNs_, endNs - startNs_, depth_});
+}
+
+}  // namespace skope::telemetry

@@ -1,0 +1,234 @@
+// Self-instrumentation for the modeling framework: the paper explains where
+// an application's time goes, this layer explains where OUR time goes.
+//
+// Three primitives, all thread-safe and all near-free when disabled:
+//
+//   * Spans — RAII wall-clock intervals (SKOPE_SPAN("bet/build")) recorded
+//     into per-thread tracks with nesting depth. When the registry is
+//     disabled (the default) a span construction is a single relaxed atomic
+//     load: no clock read, no allocation, no lock.
+//   * Metrics — a registry of named counters (monotonic uint64), gauges
+//     (last-write double) and fixed-bucket histograms. Hot-path producers
+//     guard their updates with telemetry::enabled() so disabled runs pay
+//     nothing.
+//   * Exporters (telemetry/export.h) — Chrome trace-event JSON for
+//     Perfetto / chrome://tracing, a metrics JSON dump (the shared
+//     BENCH_*.json schema), and the ranked self-hot-spot table.
+//
+// Naming convention (docs/OBSERVABILITY.md): lowercase "area/stage" paths,
+// e.g. "frontend/parse", "backend/roofline", "sweep/pool/steals". Span names
+// identify pipeline stages; per-item spans prefix the area ("config/<name>").
+//
+// Everything records into the process-wide Registry::global(); tests reset
+// it with clear(). Compile out entirely with -DSKOPE_NO_TELEMETRY.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace skope::telemetry {
+
+using Clock = std::chrono::steady_clock;
+
+/// One finished span. `staticName` (a string literal) is preferred; dynamic
+/// names own their storage in `dynName`.
+struct SpanEvent {
+  const char* staticName = nullptr;
+  std::string dynName;
+  uint64_t startNs = 0;  ///< relative to the registry's epoch
+  uint64_t durNs = 0;
+  uint32_t depth = 0;    ///< nesting depth on its thread at begin time
+
+  [[nodiscard]] std::string_view name() const {
+    return staticName != nullptr ? std::string_view(staticName)
+                                 : std::string_view(dynName);
+  }
+};
+
+/// Monotonic event count. add() is lock-free; callers on hot paths should
+/// batch (one add per run, not per event) and guard with enabled().
+class Counter {
+ public:
+  void add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins double (e.g. a bench figure's wall_ms).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double v);
+  [[nodiscard]] double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0};
+};
+
+/// Fixed-bucket histogram with Prometheus-style upper-inclusive edges:
+/// bucket i counts observations v with edges[i-1] < v <= edges[i]; the
+/// final (edges.size()-th) bucket is the overflow for v > edges.back().
+class Histogram {
+ public:
+  /// `upperEdges` must be non-empty and strictly increasing (throws Error).
+  explicit Histogram(std::vector<double> upperEdges);
+
+  void observe(double v);
+
+  [[nodiscard]] const std::vector<double>& edges() const { return edges_; }
+  /// edges().size() + 1 entries; the last is the overflow bucket.
+  [[nodiscard]] std::vector<uint64_t> counts() const;
+  [[nodiscard]] uint64_t total() const { return total_.load(std::memory_order_relaxed); }
+  [[nodiscard]] double sum() const { return sum_.load(std::memory_order_relaxed); }
+  void reset();
+
+ private:
+  std::vector<double> edges_;
+  std::vector<std::atomic<uint64_t>> counts_;
+  std::atomic<uint64_t> total_{0};
+  std::atomic<double> sum_{0};
+};
+
+/// Snapshot of one thread's recorded spans (events in end order).
+struct ThreadTrack {
+  uint32_t tid = 0;   ///< sequential registration id, not the OS tid
+  std::string name;   ///< from setThreadName(); empty = unnamed
+  std::vector<SpanEvent> events;
+};
+
+/// Point-in-time copy of every metric, for the exporters.
+struct MetricsSnapshot {
+  struct Hist {
+    std::vector<double> edges;
+    std::vector<uint64_t> counts;
+    uint64_t total = 0;
+    double sum = 0;
+  };
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, Hist> histograms;
+};
+
+class Span;
+
+class Registry {
+ public:
+  Registry();
+
+  /// Relaxed read; the only cost telemetry adds to a disabled run.
+  [[nodiscard]] bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void setEnabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+
+  /// Looks up or creates a metric. References stay valid for the registry's
+  /// lifetime (clear() resets values, it never destroys entries).
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `upperEdges` is used only on first creation of `name`.
+  Histogram& histogram(const std::string& name, std::vector<double> upperEdges);
+
+  [[nodiscard]] MetricsSnapshot metrics() const;
+  /// Tracks in registration (tid) order; tracks with no events are included
+  /// so worker naming survives even if a worker recorded nothing.
+  [[nodiscard]] std::vector<ThreadTrack> spanTracks() const;
+
+  /// Labels the calling thread's track (shown in the Chrome trace). No-op
+  /// while disabled.
+  void nameCurrentThread(const std::string& name);
+
+  /// Resets every metric value and drops all span events. Entries, thread
+  /// registrations and the enabled flag are kept. Do not call with spans
+  /// still open.
+  void clear();
+
+  /// The process-wide registry all spans and wired counters use.
+  static Registry& global();
+
+ private:
+  friend class Span;
+
+  struct ThreadLog {
+    uint32_t tid = 0;
+    uint32_t depth = 0;  ///< touched only by the owning thread
+    std::mutex mu;       ///< guards events + name against snapshot readers
+    std::string name;
+    std::vector<SpanEvent> events;
+  };
+
+  /// The calling thread's log, registering it on first use.
+  ThreadLog* threadLog();
+  [[nodiscard]] uint64_t nowNs() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - epoch_)
+            .count());
+  }
+
+  std::atomic<bool> enabled_{false};
+  Clock::time_point epoch_;
+  mutable std::mutex mu_;  ///< guards the three maps and logs_
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::vector<std::shared_ptr<ThreadLog>> logs_;
+};
+
+/// RAII span over the global registry. Prefer the SKOPE_SPAN macro for
+/// literal names; the (prefix, suffix) form concatenates only when enabled,
+/// so dynamic-name call sites stay allocation-free while disabled.
+class Span {
+ public:
+  explicit Span(const char* staticName) {
+    if (Registry::global().enabled()) begin(staticName, nullptr);
+  }
+  explicit Span(const std::string& dynName) {
+    if (Registry::global().enabled()) begin(nullptr, &dynName);
+  }
+  Span(const char* prefix, const std::string& suffix);
+  ~Span() {
+    if (log_ != nullptr) end();
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  void begin(const char* staticName, const std::string* dynName);
+  void end();
+
+  Registry::ThreadLog* log_ = nullptr;  ///< null = disabled at construction
+  const char* staticName_ = nullptr;
+  std::string dynName_;
+  uint64_t startNs_ = 0;
+  uint32_t depth_ = 0;
+};
+
+/// Shorthand for Registry::global().enabled(): the guard hot-path producers
+/// put around counter updates.
+[[nodiscard]] inline bool enabled() { return Registry::global().enabled(); }
+
+/// Labels the calling thread's track in the global registry.
+inline void setThreadName(const std::string& name) {
+  Registry::global().nameCurrentThread(name);
+}
+
+#if defined(SKOPE_NO_TELEMETRY)
+#define SKOPE_SPAN(name) ((void)0)
+#else
+#define SKOPE_SPAN_CONCAT_(a, b) a##b
+#define SKOPE_SPAN_CONCAT(a, b) SKOPE_SPAN_CONCAT_(a, b)
+/// Scoped span with a string-literal stage name.
+#define SKOPE_SPAN(name) \
+  ::skope::telemetry::Span SKOPE_SPAN_CONCAT(skopeSpan_, __LINE__)(name)
+#endif
+
+}  // namespace skope::telemetry

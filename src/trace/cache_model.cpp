@@ -4,7 +4,22 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "telemetry/telemetry.h"
+
 namespace skope::trace {
+
+namespace {
+
+/// Counts which modeling tier served a cache level: exact per-set LRU replay
+/// vs the Smith binomial approximation over the reuse histograms.
+void countDispatch(bool exact) {
+  if (!telemetry::enabled()) return;
+  telemetry::Registry::global()
+      .counter(exact ? "cache-model/exact-replay" : "cache-model/binomial")
+      .add(1);
+}
+
+}  // namespace
 
 double setAssocHitProbability(uint64_t d, uint32_t sets, uint32_t assoc) {
   if (d < assoc) return 1.0;       // even an adversarial mapping cannot evict
@@ -131,6 +146,7 @@ CachePrediction CacheModel::evaluate(const MachineModel& machine) const {
   // Each level takes whichever tier models it (exact replay for small set
   // counts, histogram + binomial otherwise); both enumerate the same region
   // set (every region that issued an access).
+  countDispatch(usesExactReplay(machine.l1));
   if (usesExactReplay(machine.l1)) {
     const ExactLevel& e = exactLevel(machine.l1);
     std::vector<uint64_t> refs;
@@ -158,6 +174,7 @@ CachePrediction CacheModel::evaluate(const MachineModel& machine) const {
 
   // The global-stack approximation can only be served closer, never
   // further, than the smaller level predicts — hence the per-region clamp.
+  countDispatch(usesExactReplay(machine.llc));
   if (usesExactReplay(machine.llc)) {
     const ExactLevel& e = exactLevel(machine.llc);
     for (auto& [id, region] : out.regions) {

@@ -3,11 +3,13 @@
 #include <cmath>
 
 #include "sim/vectorize.h"
+#include "telemetry/telemetry.h"
 
 namespace skope::trace {
 
 sim::SimResult replaySimulate(const minic::Program& prog, const MachineModel& machine,
                               const ReplayInputs& in) {
+  SKOPE_SPAN("trace/replay");
   sim::SimResult result;
   result.machineName = machine.name;
   result.freqGHz = machine.freqGHz;

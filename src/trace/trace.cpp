@@ -1,5 +1,7 @@
 #include "trace/trace.h"
 
+#include "telemetry/telemetry.h"
+
 namespace skope::trace {
 
 namespace {
@@ -89,6 +91,12 @@ void TraceRecorder::onBranch(uint32_t region, uint32_t site, bool taken) {
 MemoryTrace TraceRecorder::finish(const vm::Vm& vm) {
   trace_.dynamicInstrs = vm.dynamicInstrs();
   trace_.stream.shrink_to_fit();
+  if (telemetry::enabled()) {
+    auto& reg = telemetry::Registry::global();
+    reg.counter("trace/bytes").add(trace_.stream.size());
+    reg.counter("trace/refs").add(trace_.recordedRefs);
+    if (trace_.truncated) reg.counter("trace/truncated").add(1);
+  }
   return std::move(trace_);
 }
 

@@ -1,5 +1,7 @@
 #include "vm/profile.h"
 
+#include "telemetry/telemetry.h"
+
 namespace skope::vm {
 
 void ProfileTracer::onBranch(uint32_t region, uint32_t site, bool taken) {
@@ -30,6 +32,7 @@ ProfileData profileRun(const Module& mod, const std::map<std::string, double>& p
 ProfileData profileRun(const Module& mod, const std::map<std::string, double>& params,
                        uint64_t seed, Tracer* extra, uint64_t maxOps,
                        const std::function<void(const Vm&)>& vmOut) {
+  SKOPE_SPAN("vm/profile-run");
   Vm vm(mod);
   vm.bindParams(params);
   vm.setSeed(seed);
@@ -40,6 +43,9 @@ ProfileData profileRun(const Module& mod, const std::map<std::string, double>& p
     vm.run(&tee);
   } else {
     vm.run(&tracer);
+  }
+  if (telemetry::enabled()) {
+    telemetry::Registry::global().counter("vm/ops").add(vm.dynamicInstrs());
   }
   if (vmOut) vmOut(vm);
   return tracer.finish(vm);

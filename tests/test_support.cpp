@@ -1,9 +1,12 @@
-// Unit tests for src/support: text utilities, RNG determinism, diagnostics.
+// Unit tests for src/support: text utilities, RNG determinism, diagnostics,
+// flag parsing with "did you mean" suggestions, and the logging level ladder.
 #include <gtest/gtest.h>
 
 #include <set>
 
+#include "support/argparse.h"
 #include "support/diagnostics.h"
+#include "support/log.h"
 #include "support/rng.h"
 #include "support/text.h"
 
@@ -155,6 +158,90 @@ TEST(Diagnostics, ErrorCarriesLocation) {
   } catch (const Error& e) {
     EXPECT_EQ(std::string(e.what()), "h.mc:9:4: bad thing");
   }
+}
+
+TEST(Diagnostics, ThresholdDropsBelowSeverity) {
+  DiagSink sink;
+  sink.setThreshold(Severity::Warning);
+  sink.note(SourceLoc{"f", 1, 1}, "dropped note");
+  sink.warning(SourceLoc{"f", 2, 1}, "kept warning");
+  ASSERT_EQ(sink.all().size(), 1u);
+  EXPECT_EQ(sink.all()[0].severity, Severity::Warning);
+}
+
+TEST(Diagnostics, ErrorsSurviveAnyThreshold) {
+  DiagSink sink;
+  sink.setThreshold(Severity::Error);
+  sink.note(SourceLoc{"f", 1, 1}, "n");
+  sink.warning(SourceLoc{"f", 2, 1}, "w");
+  sink.error(SourceLoc{"f", 3, 1}, "e");
+  ASSERT_EQ(sink.all().size(), 1u);
+  EXPECT_TRUE(sink.hasErrors());
+  EXPECT_EQ(sink.errorCount(), 1u);
+}
+
+TEST(Text, EditDistance) {
+  EXPECT_EQ(editDistance("", ""), 0u);
+  EXPECT_EQ(editDistance("abc", "abc"), 0u);
+  EXPECT_EQ(editDistance("", "abc"), 3u);
+  EXPECT_EQ(editDistance("abc", ""), 3u);
+  EXPECT_EQ(editDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(editDistance("flaw", "lawn"), 2u);
+  EXPECT_EQ(editDistance("trace-rofline", "trace-roofline"), 1u);
+  // symmetric (the implementation swaps to keep the shorter string first)
+  EXPECT_EQ(editDistance("sunday", "saturday"), editDistance("saturday", "sunday"));
+}
+
+TEST(ArgParse, UnknownFlagSuggestsNearestKnown) {
+  ArgParser args("t", "test");
+  args.addBool("trace-roofline", "x");
+  args.addFlag("threads", "y", "0");
+  const char* argv[] = {"t", "--trace-rofline"};
+  try {
+    args.parse(2, argv);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown flag --trace-rofline"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("did you mean --trace-roofline?"), std::string::npos) << msg;
+  }
+}
+
+TEST(ArgParse, UnknownFlagWithNoNearNeighborGetsNoSuggestion) {
+  ArgParser args("t", "test");
+  args.addFlag("threads", "y", "0");
+  const char* argv[] = {"t", "--zzzzqqqq"};
+  try {
+    args.parse(2, argv);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    std::string msg = e.what();
+    EXPECT_EQ(msg.find("did you mean"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("--help"), std::string::npos) << msg;
+  }
+}
+
+TEST(Logging, ParseLevelAndThresholds) {
+  EXPECT_EQ(logging::parseLevel("quiet"), logging::Level::Quiet);
+  EXPECT_EQ(logging::parseLevel("info"), logging::Level::Info);
+  EXPECT_EQ(logging::parseLevel("debug"), logging::Level::Debug);
+  EXPECT_THROW(logging::parseLevel("verbose"), Error);
+
+  logging::Level saved = logging::level();
+  logging::setLevel(logging::Level::Quiet);
+  EXPECT_FALSE(logging::infoEnabled());
+  EXPECT_FALSE(logging::debugEnabled());
+  EXPECT_EQ(logging::severityThreshold(), Severity::Error);
+
+  logging::setLevel(logging::Level::Debug);
+  EXPECT_TRUE(logging::infoEnabled());
+  EXPECT_TRUE(logging::debugEnabled());
+  EXPECT_EQ(logging::severityThreshold(), Severity::Note);
+
+  DiagSink sink;
+  logging::configureSink(sink);
+  EXPECT_EQ(sink.threshold(), Severity::Note);
+  logging::setLevel(saved);
 }
 
 }  // namespace

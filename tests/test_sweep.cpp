@@ -9,7 +9,9 @@
 //      facade computes when it rebuilds everything itself.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <mutex>
 #include <vector>
 
 #include "core/backend.h"
@@ -123,6 +125,33 @@ TEST(Pool, PropagatesTaskExceptions) {
 TEST(Pool, AutoThreadCountIsPositive) {
   EXPECT_GE(WorkStealingPool(0).threadCount(), 1);
   EXPECT_EQ(WorkStealingPool(7).threadCount(), 7);
+}
+
+TEST(Pool, CompletionCallbackDeliversEveryCountOnce) {
+  WorkStealingPool pool(4);
+  constexpr size_t kTasks = 200;
+  std::mutex mu;
+  std::vector<size_t> dones;
+  pool.run(
+      kTasks, [](size_t) {},
+      [&](size_t done, size_t total) {
+        EXPECT_EQ(total, kTasks);
+        std::lock_guard<std::mutex> lock(mu);
+        dones.push_back(done);
+      });
+  ASSERT_EQ(dones.size(), kTasks);
+  std::sort(dones.begin(), dones.end());
+  for (size_t i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(dones[i], i + 1);  // each of 1..total exactly once
+  }
+}
+
+TEST(Pool, SerialCompletionCallbackRunsInOrder) {
+  WorkStealingPool pool(1);
+  std::vector<size_t> dones;
+  pool.run(
+      5, [](size_t) {}, [&](size_t done, size_t) { dones.push_back(done); });
+  EXPECT_EQ(dones, (std::vector<size_t>{1, 2, 3, 4, 5}));
 }
 
 // -------------------------------------------------------------- determinism

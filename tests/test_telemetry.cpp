@@ -1,0 +1,399 @@
+// Telemetry contracts: span nesting and ordering (also under the
+// work-stealing pool, where aggregate totals must be thread-count
+// independent), histogram bucket-edge semantics, the disabled mode's
+// zero-allocation guarantee, and well-formedness of both JSON exporters.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <new>
+#include <thread>
+#include <vector>
+
+#include "support/diagnostics.h"
+#include "sweep/pool.h"
+#include "telemetry/export.h"
+#include "telemetry/telemetry.h"
+
+// Counting global operator new: the disabled-mode test asserts that span
+// construction performs no heap allocation at all.
+static std::atomic<uint64_t> g_newCalls{0};
+
+void* operator new(std::size_t n) {
+  g_newCalls.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace skope::telemetry {
+namespace {
+
+/// Resets the global registry around each test so state never leaks.
+class TelemetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Registry::global().setEnabled(false);
+    Registry::global().clear();
+  }
+  void TearDown() override {
+    Registry::global().setEnabled(false);
+    Registry::global().clear();
+  }
+};
+
+// ------------------------------------------------------------------ metrics
+
+TEST_F(TelemetryTest, CounterIsExactUnderConcurrency) {
+  Counter& c = Registry::global().counter("t/hits");
+  constexpr int kThreads = 8, kAdds = 10000;
+  std::vector<std::thread> crew;
+  crew.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    crew.emplace_back([&c] {
+      for (int i = 0; i < kAdds; ++i) c.add(1);
+    });
+  }
+  for (auto& t : crew) t.join();
+  EXPECT_EQ(c.value(), static_cast<uint64_t>(kThreads) * kAdds);
+}
+
+TEST_F(TelemetryTest, MetricReferencesSurviveClear) {
+  Registry& reg = Registry::global();
+  Counter& c = reg.counter("t/stable");
+  c.add(5);
+  reg.clear();
+  EXPECT_EQ(c.value(), 0u);             // value reset...
+  c.add(1);
+  EXPECT_EQ(&c, &reg.counter("t/stable"));  // ...entry (and address) kept
+  EXPECT_EQ(reg.metrics().counters.at("t/stable"), 1u);
+}
+
+TEST_F(TelemetryTest, HistogramBucketEdgesAreUpperInclusive) {
+  Histogram& h = Registry::global().histogram("t/h", {1.0, 10.0});
+  h.observe(0.5);   // <= 1           -> bucket 0
+  h.observe(1.0);   // == edge        -> bucket 0 (upper-inclusive)
+  h.observe(1.5);   // (1, 10]        -> bucket 1
+  h.observe(10.0);  // == edge        -> bucket 1
+  h.observe(11.0);  // > last edge    -> overflow
+  auto counts = h.counts();
+  ASSERT_EQ(counts.size(), 3u);  // edges + overflow
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 10.0 + 11.0);
+}
+
+TEST_F(TelemetryTest, HistogramRejectsBadEdges) {
+  EXPECT_THROW(Histogram({}), Error);
+  EXPECT_THROW(Histogram({1.0, 1.0}), Error);
+  EXPECT_THROW(Histogram({2.0, 1.0}), Error);
+}
+
+TEST_F(TelemetryTest, GaugeAddAccumulates) {
+  Gauge& g = Registry::global().gauge("t/g");
+  g.set(1.5);
+  g.add(2.25);
+  EXPECT_DOUBLE_EQ(g.value(), 3.75);
+}
+
+// -------------------------------------------------------------------- spans
+
+TEST_F(TelemetryTest, SpanNestingRecordsDepthAndContainment) {
+  Registry& reg = Registry::global();
+  reg.setEnabled(true);
+  {
+    SKOPE_SPAN("outer");
+    {
+      SKOPE_SPAN("inner");
+    }
+    { Span dyn("config/", std::string("bgq{membw=30}")); }
+  }
+  reg.setEnabled(false);
+
+  auto tracks = reg.spanTracks();
+  const ThreadTrack* mine = nullptr;
+  for (const auto& t : tracks) {
+    if (!t.events.empty()) mine = &t;
+  }
+  ASSERT_NE(mine, nullptr);
+  ASSERT_EQ(mine->events.size(), 3u);
+  // Events land in end order: inner, dynamic, outer.
+  EXPECT_EQ(mine->events[0].name(), "inner");
+  EXPECT_EQ(mine->events[1].name(), "config/bgq{membw=30}");
+  EXPECT_EQ(mine->events[2].name(), "outer");
+  EXPECT_EQ(mine->events[0].depth, 1u);
+  EXPECT_EQ(mine->events[1].depth, 1u);
+  EXPECT_EQ(mine->events[2].depth, 0u);
+  // Both children sit inside the outer interval.
+  const SpanEvent& outer = mine->events[2];
+  for (size_t i = 0; i < 2; ++i) {
+    const SpanEvent& kid = mine->events[i];
+    EXPECT_GE(kid.startNs, outer.startNs);
+    EXPECT_LE(kid.startNs + kid.durNs, outer.startNs + outer.durNs);
+  }
+}
+
+TEST_F(TelemetryTest, AggregateStagesComputesSelfTime) {
+  Registry& reg = Registry::global();
+  reg.setEnabled(true);
+  for (int i = 0; i < 3; ++i) {
+    SKOPE_SPAN("stage/outer");
+    SKOPE_SPAN("stage/inner");
+  }
+  reg.setEnabled(false);
+
+  auto stages = aggregateStages(reg);
+  ASSERT_EQ(stages.size(), 2u);
+  const StageStat* outer = nullptr;
+  const StageStat* inner = nullptr;
+  for (const auto& s : stages) {
+    if (s.name == "stage/outer") outer = &s;
+    if (s.name == "stage/inner") inner = &s;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->count, 3u);
+  EXPECT_EQ(inner->count, 3u);
+  // Inner spans are leaves: self == total. Outer excludes its child.
+  EXPECT_DOUBLE_EQ(inner->selfMs, inner->totalMs);
+  EXPECT_LE(outer->selfMs, outer->totalMs);
+  EXPECT_NEAR(outer->selfMs, outer->totalMs - inner->totalMs, 1e-9);
+}
+
+TEST_F(TelemetryTest, AggregateTotalsAreThreadCountIndependent) {
+  // The same batch through a 1-thread and an N-thread pool must produce the
+  // same per-stage span counts and the same counter values; only wall-clock
+  // durations may differ.
+  constexpr size_t kTasks = 64;
+  auto runBatch = [&](int threads) {
+    Registry& reg = Registry::global();
+    reg.clear();
+    reg.setEnabled(true);
+    sweep::WorkStealingPool pool(threads);
+    pool.run(kTasks, [&reg](size_t i) {
+      SKOPE_SPAN("t/task");
+      reg.counter("t/work").add(i + 1);
+    });
+    reg.setEnabled(false);
+    auto stages = aggregateStages(reg);
+    uint64_t spanCount = 0;
+    for (const auto& s : stages) {
+      if (s.name == "t/task") spanCount = s.count;
+    }
+    return std::pair<uint64_t, uint64_t>(spanCount,
+                                         reg.metrics().counters.at("t/work"));
+  };
+
+  auto serial = runBatch(1);
+  auto parallel = runBatch(4);
+  EXPECT_EQ(serial.first, kTasks);
+  EXPECT_EQ(parallel.first, kTasks);
+  EXPECT_EQ(serial.second, parallel.second);
+  EXPECT_EQ(serial.second, kTasks * (kTasks + 1) / 2);
+}
+
+TEST_F(TelemetryTest, DisabledSpansAllocateNothing) {
+  Registry& reg = Registry::global();
+  ASSERT_FALSE(reg.enabled());
+  // Warm the thread-local log path and the suffix string outside the
+  // measured window.
+  reg.setEnabled(true);
+  { SKOPE_SPAN("warmup"); }
+  reg.setEnabled(false);
+  std::string suffix = "dynamic-name-longer-than-sso-buffers-everywhere";
+
+  uint64_t before = g_newCalls.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    SKOPE_SPAN("t/disabled");
+    Span dyn("config/", suffix);
+  }
+  uint64_t after = g_newCalls.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u);
+  reg.clear();
+}
+
+// ---------------------------------------------------- JSON well-formedness
+
+/// Minimal recursive-descent JSON validator — accepts exactly the RFC 8259
+/// grammar, which is all the tests need to prove the exports are loadable.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& s) : s_(s) {}
+
+  bool valid() {
+    skipWs();
+    if (!value()) return false;
+    skipWs();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skipWs();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skipWs();
+      if (!string()) return false;
+      skipWs();
+      if (peek() != ':') return false;
+      ++pos_;
+      skipWs();
+      if (!value()) return false;
+      skipWs();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    skipWs();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skipWs();
+      if (!value()) return false;
+      skipWs();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (static_cast<unsigned char>(s_[pos_]) < 0x20) return false;
+      if (s_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        char e = s_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= s_.size() || !std::isxdigit(static_cast<unsigned char>(s_[pos_])))
+              return false;
+          }
+        } else if (std::string("\"\\/bfnrt").find(e) == std::string::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool number() {
+    size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (!digits()) return false;
+    if (peek() == '.') {
+      ++pos_;
+      if (!digits()) return false;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!digits()) return false;
+    }
+    return pos_ > start;
+  }
+  bool digits() {
+    size_t start = pos_;
+    while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+    return pos_ > start;
+  }
+  bool literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p, ++pos_) {
+      if (pos_ >= s_.size() || s_[pos_] != *p) return false;
+    }
+    return true;
+  }
+  [[nodiscard]] char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skipWs() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                                s_[pos_] == '\n' || s_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+TEST_F(TelemetryTest, ChromeTraceJsonIsWellFormed) {
+  Registry& reg = Registry::global();
+  reg.setEnabled(true);
+  reg.nameCurrentThread("main");
+  {
+    SKOPE_SPAN("json/outer");
+    Span dyn("config/", std::string("quotes \" and \\ backslash\tand tab"));
+  }
+  reg.setEnabled(false);
+
+  std::string trace = toChromeTrace(reg);
+  EXPECT_TRUE(JsonChecker(trace).valid()) << trace;
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("\"json/outer\""), std::string::npos);
+  EXPECT_NE(trace.find("thread_name"), std::string::npos);
+}
+
+TEST_F(TelemetryTest, MetricsJsonIsWellFormedAndCarriesWallMs) {
+  Registry& reg = Registry::global();
+  reg.setEnabled(true);
+  reg.counter("j/count").add(7);
+  reg.gauge("j/gauge").set(2.5);
+  reg.histogram("j/hist", {0.1, 1.0}).observe(0.05);
+  { SKOPE_SPAN("j/stage"); }
+  reg.setEnabled(false);
+
+  std::string metrics = toMetricsJson(reg, "bench_unit", 12.5);
+  EXPECT_TRUE(JsonChecker(metrics).valid()) << metrics;
+  EXPECT_NE(metrics.find("\"skope-metrics-v1\""), std::string::npos);
+  EXPECT_NE(metrics.find("\"bench\": \"bench_unit\""), std::string::npos);
+  EXPECT_NE(metrics.find("\"wall_ms\""), std::string::npos);
+  EXPECT_NE(metrics.find("\"j/count\": 7"), std::string::npos);
+
+  // Without a bench name / wall time the optional fields stay out.
+  std::string bare = toMetricsJson(reg);
+  EXPECT_TRUE(JsonChecker(bare).valid()) << bare;
+  EXPECT_EQ(bare.find("\"bench\""), std::string::npos);
+  EXPECT_EQ(bare.find("\"wall_ms\""), std::string::npos);
+}
+
+TEST_F(TelemetryTest, SelfHotSpotTablesRankStages) {
+  Registry& reg = Registry::global();
+  reg.setEnabled(true);
+  { SKOPE_SPAN("rank/a"); }
+  { SKOPE_SPAN("rank/b"); }
+  reg.setEnabled(false);
+
+  std::string table = selfHotSpotTable(reg);
+  EXPECT_NE(table.find("rank/a"), std::string::npos);
+  EXPECT_NE(table.find("self ms"), std::string::npos);
+  std::string md = selfHotSpotMarkdown(reg);
+  EXPECT_NE(md.find("| stage |"), std::string::npos);
+  EXPECT_NE(md.find("rank/b"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace skope::telemetry

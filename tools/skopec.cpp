@@ -16,7 +16,10 @@
 #include "roofline/multinode.h"
 #include "skeleton/printer.h"
 #include "support/argparse.h"
+#include "support/log.h"
 #include "support/text.h"
+#include "telemetry/export.h"
+#include "telemetry/telemetry.h"
 
 using namespace skope;
 
@@ -52,7 +55,20 @@ int run(int argc, char** argv) {
   args.addFlag("steps", "halo exchanges per run (with --scaling)", "4");
   args.addFlag("max-ops", "dynamic instruction budget per VM run "
                           "(0 = default 4e9)", "0");
+  args.addFlag("log-level", "stderr verbosity: quiet, info, debug", "info");
+  args.addFlag("trace-json", "write a Chrome trace-event JSON of the pipeline "
+                             "stages here (open in Perfetto)");
+  args.addFlag("metrics-json", "write the telemetry metrics JSON here");
   if (!args.parse(argc, argv)) return 0;
+
+  logging::setLevel(logging::parseLevel(args.get("log-level")));
+  const std::string tracePath = args.get("trace-json");
+  const std::string metricsPath = args.get("metrics-json");
+  auto& telem = telemetry::Registry::global();
+  if (!tracePath.empty() || !metricsPath.empty() || logging::debugEnabled()) {
+    telem.setEnabled(true);
+    telemetry::setThreadName("main");
+  }
 
   auto fw = load(args.get("workload"), args.get("params"), args.get("hints"),
                  static_cast<uint64_t>(args.getDouble("max-ops")));
@@ -113,6 +129,15 @@ int run(int argc, char** argv) {
     int crossover = roofline::commDominanceCrossover(scaling);
     if (crossover > 0) {
       std::printf("communication dominates from %d nodes on.\n", crossover);
+    }
+  }
+
+  if (telem.enabled()) {
+    telemetry::writeExports(telem, tracePath, metricsPath);
+    if (!tracePath.empty()) logging::info("skopec: wrote %s", tracePath.c_str());
+    if (!metricsPath.empty()) logging::info("skopec: wrote %s", metricsPath.c_str());
+    if (logging::debugEnabled()) {
+      std::fputs(telemetry::selfHotSpotTable(telem).c_str(), stderr);
     }
   }
   return 0;

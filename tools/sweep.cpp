@@ -10,16 +10,21 @@
 //   sweep --list-fields                          # sweepable hardware knobs
 //
 // See docs/SWEEP.md for the grid-spec format and the output schema.
+#include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <mutex>
 
 #include "core/backend.h"
 #include "core/framework.h"
 #include "machine/grid.h"
 #include "support/argparse.h"
+#include "support/log.h"
 #include "support/text.h"
 #include "sweep/report.h"
 #include "sweep/sweep.h"
+#include "telemetry/export.h"
+#include "telemetry/telemetry.h"
 
 using namespace skope;
 
@@ -39,6 +44,45 @@ MachineGrid loadGrid(const std::string& spec, const std::string& baseFlag) {
   }
   return grid;
 }
+
+/// Live "done/total, rate, ETA" line on stderr, fed by the pool's completion
+/// callback from multiple worker threads. Repaints in place (\r) at most
+/// ~10x/s; always paints the final count, then finish() ends the line.
+class ProgressLine {
+ public:
+  void update(size_t done, size_t total) {
+    using namespace std::chrono;
+    std::lock_guard<std::mutex> lock(mu_);
+    auto now = steady_clock::now();
+    if (!started_) {
+      started_ = true;
+      start_ = now;
+      last_ = now - milliseconds(1000);  // paint the first update immediately
+    }
+    if (done < total && now - last_ < milliseconds(100)) return;
+    last_ = now;
+    double secs = duration_cast<duration<double>>(now - start_).count();
+    double rate = secs > 0 ? static_cast<double>(done) / secs : 0;
+    double eta = rate > 0 ? static_cast<double>(total - done) / rate : 0;
+    std::fprintf(stderr, "\rsweep: %zu/%zu configs, %.1f cfg/s, ETA %.1fs   ",
+                 done, total, rate, eta);
+    std::fflush(stderr);
+    painted_ = true;
+  }
+
+  void finish() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (painted_) std::fputc('\n', stderr);
+    painted_ = false;
+  }
+
+ private:
+  std::mutex mu_;
+  bool started_ = false;
+  bool painted_ = false;
+  std::chrono::steady_clock::time_point start_;
+  std::chrono::steady_clock::time_point last_;
+};
 
 int run(int argc, char** argv) {
   ArgParser args("sweep", "evaluate a workload across a grid of machine configs "
@@ -71,7 +115,24 @@ int run(int argc, char** argv) {
                           "(0 = default 4e9)", "0");
   args.addBool("hotpath", "extract each config's hot path (adds size columns)");
   args.addBool("list-fields", "print the sweepable machine fields and exit");
+  args.addFlag("log-level", "stderr verbosity: quiet, info, debug", "info");
+  args.addFlag("trace-json", "write a Chrome trace-event JSON of the sweep "
+                             "(one track per worker; open in Perfetto)");
+  args.addFlag("metrics-json", "write the telemetry metrics JSON here");
+  args.addFlag("self-report", "write the framework's own hot-spot ranking as a "
+                              "markdown table here (CI job summaries)");
   if (!args.parse(argc, argv)) return 0;
+
+  logging::setLevel(logging::parseLevel(args.get("log-level")));
+  const std::string tracePath = args.get("trace-json");
+  const std::string metricsPath = args.get("metrics-json");
+  const std::string selfReportPath = args.get("self-report");
+  auto& telem = telemetry::Registry::global();
+  if (!tracePath.empty() || !metricsPath.empty() || !selfReportPath.empty() ||
+      logging::debugEnabled()) {
+    telem.setEnabled(true);
+    telemetry::setThreadName("main");
+  }
 
   if (args.getBool("list-fields")) {
     std::fputs(gridFieldHelp().c_str(), stdout);
@@ -112,7 +173,14 @@ int run(int argc, char** argv) {
   auto frontend = core::loadFrontend(args.get("workload"), args.get("params"),
                                      args.get("hints"), fopts);
 
+  ProgressLine progress;
+  if (logging::infoEnabled()) {
+    opts.progress = [&progress](size_t done, size_t total) {
+      progress.update(done, total);
+    };
+  }
   auto result = sweep::runSweep(*frontend, grid, opts);
+  progress.finish();
 
   std::string format = args.get("format");
   std::string report;
@@ -131,13 +199,23 @@ int run(int argc, char** argv) {
     std::ofstream out(args.get("out"));
     if (!out) throw Error("cannot write '" + args.get("out") + "'");
     out << report;
-    std::fprintf(stderr, "sweep: %zu configs -> %s (%d threads, %.3f s)\n",
-                 result.outcomes.size(), args.get("out").c_str(), result.threadsUsed,
-                 result.sweepSeconds);
+    logging::info("sweep: %zu configs -> %s (%d threads, %.3f s)",
+                  result.outcomes.size(), args.get("out").c_str(), result.threadsUsed,
+                  result.sweepSeconds);
   } else {
     std::fputs(report.c_str(), stdout);
-    std::fprintf(stderr, "sweep: %zu configs, %d threads, %.3f s back-end\n",
-                 result.outcomes.size(), result.threadsUsed, result.sweepSeconds);
+    logging::info("sweep: %zu configs, %d threads, %.3f s back-end",
+                  result.outcomes.size(), result.threadsUsed, result.sweepSeconds);
+  }
+
+  if (telem.enabled()) {
+    telemetry::writeExports(telem, tracePath, metricsPath, selfReportPath);
+    for (const std::string& p : {tracePath, metricsPath, selfReportPath}) {
+      if (!p.empty()) logging::info("sweep: wrote %s", p.c_str());
+    }
+    if (logging::debugEnabled()) {
+      std::fputs(telemetry::selfHotSpotTable(telem).c_str(), stderr);
+    }
   }
   return 0;
 }
