@@ -15,7 +15,16 @@
 //
 // Also verifies, every run, that the 1-thread and N-thread sweeps render
 // byte-identical reports.
+//
+// The second half measures the node-major batched back-end against the
+// scalar reference on a cache-axis grid with the trace-informed roofline —
+// the worst case for the scalar path (it re-runs the cache model and
+// re-walks the BET per config) and the case the batched path was built for
+// (4 distinct L1 geometries shared by 64 configs). Both halves assert their
+// reports byte-identical; the batched half additionally asserts the >= 5x
+// speedup claim. `--grid-axes=stress` swaps in a 256-config 4-axis grid.
 #include <chrono>
+#include <cstring>
 
 #include "common.h"
 #include "core/backend.h"
@@ -39,6 +48,26 @@ MachineGrid grid64() {
                        "membw=15:60:15;"
                        "peakflops=2,4,8,16;"
                        "memlat=90:270:60");
+}
+
+// Cache-axis grid for the batched-vs-scalar comparison: 64 configs sharing 4
+// distinct L1 geometries, so the geometry memo turns 64 cache-model
+// evaluations into 4.
+MachineGrid cacheGrid() {
+  return parseGridSpec("base=bgq;"
+                       "l1kb=8,16,32,64;"
+                       "freq=1.2,1.4,1.6,1.8;"
+                       "membw=15,30,45,60");
+}
+
+// --grid-axes=stress: a 4th axis on the comparison grid (256 configs, still 4
+// geometries).
+MachineGrid cacheGridStress() {
+  return parseGridSpec("base=bgq;"
+                       "l1kb=8,16,32,64;"
+                       "freq=1.2,1.4,1.6,1.8;"
+                       "membw=15,30,45,60;"
+                       "memlat=90,150,210,270");
 }
 
 }  // namespace
@@ -110,6 +139,58 @@ int main(int argc, char** argv) {
   // even before threads enter the picture.
   if (naiveTotal < 3 * serial.sweepSeconds) {
     std::printf("\nFAIL: shared sweep not >= 3x faster than naive\n");
+    return 1;
+  }
+
+  // --- batched vs scalar back-end, cache-axis grid, trace-informed ---
+  bool stress = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--grid-axes=stress") == 0) stress = true;
+  }
+  auto cgrid = stress ? cacheGridStress() : cacheGrid();
+  auto cconfigs = cgrid.expand();
+  bench::banner(format("batched vs scalar back-end (SORD, %zu-config cache grid, "
+                       "trace-informed roofline)", cconfigs.size()));
+
+  sweep::SweepOptions bopts;
+  bopts.criteria = bench::scaledCriteria();
+  bopts.threads = 1;  // isolate the back-end algorithm, not the pool
+  bopts.traceInformedRoofline = true;
+  bopts.cacheModel = sweep::CacheModelMode::ReuseDist;
+
+  bopts.backend = sweep::SweepBackend::Scalar;
+  auto scalar = sweep::runSweep(*frontend, cgrid, bopts);
+  bopts.backend = sweep::SweepBackend::Batched;
+  auto batched = sweep::runSweep(*frontend, cgrid, bopts);
+
+  bool sameReports = sweep::toCsv(scalar) == sweep::toCsv(batched) &&
+                     sweep::toMarkdown(scalar) == sweep::toMarkdown(batched);
+  double speedup = batched.sweepSeconds > 0
+                       ? scalar.sweepSeconds / batched.sweepSeconds
+                       : 0;
+
+  report::Table bt({"back-end", "wall-clock", "speedup"});
+  bt.addRow({"scalar: BET walk + cache model per config",
+             format("%.3f s", scalar.sweepSeconds), "1.0x"});
+  bt.addRow({"batched: node-major, geometry-memoized",
+             format("%.3f s", batched.sweepSeconds), format("%.1fx", speedup)});
+  std::printf("%s\n", bt.str().c_str());
+  std::printf("scalar vs batched reports byte-identical: %s\n",
+              sameReports ? "yes" : "NO — BUG");
+
+  metrics.gauge("sweep/scalar_s", scalar.sweepSeconds);
+  metrics.gauge("sweep/batched_s", batched.sweepSeconds);
+  metrics.gauge("sweep/batched_speedup", speedup);
+  metrics.gauge("sweep/batched_configs", static_cast<double>(cconfigs.size()));
+  metrics.gauge("sweep/batched_identical", sameReports ? 1 : 0);
+
+  if (!sameReports) return 1;
+  if (speedup < 1.0) {
+    std::printf("\nFAIL: batched back-end slower than scalar (%.2fx)\n", speedup);
+    return 1;
+  }
+  if (speedup < 5.0) {
+    std::printf("\nFAIL: batched back-end speedup %.2fx < 5x target\n", speedup);
     return 1;
   }
   return 0;

@@ -47,6 +47,27 @@ std::vector<const BetNode*> Bet::nodesForOrigin(uint32_t origin) const {
 
 namespace {
 
+void flattenNode(const BetNode& n, int32_t parentIndex, FlatBet& out) {
+  auto self = static_cast<int32_t>(out.nodes.size());
+  out.nodes.push_back(&n);
+  out.parent.push_back(parentIndex);
+  for (const auto& k : n.kids) flattenNode(*k, self, out);
+}
+
+}  // namespace
+
+FlatBet flatten(const Bet& bet) {
+  FlatBet out;
+  if (bet.root) {
+    out.nodes.reserve(bet.size());
+    out.parent.reserve(bet.size());
+    flattenNode(*bet.root, -1, out);
+  }
+  return out;
+}
+
+namespace {
+
 void printNode(const BetNode& n, int depth, int maxDepth, std::string& out) {
   if (depth > maxDepth) return;
   for (int i = 0; i < depth; ++i) out += "  ";

@@ -80,6 +80,25 @@ struct Bet {
   [[nodiscard]] std::vector<const BetNode*> nodesForOrigin(uint32_t origin) const;
 };
 
+/// Flattened preorder view of a BET for node-major batched iteration.
+///
+/// `nodes[i]` is the i-th node in preorder (kids in declaration order —
+/// exactly the order the recursive estimator visits), and `parent[i]` is the
+/// index of its parent in the same array (-1 for the root). A linear walk
+/// over this view can therefore compute any top-down quantity (ENR chains,
+/// per-node machine terms) with array indexing instead of pointer chasing —
+/// the layout the batched grid estimator (roofline::BatchedEstimator)
+/// iterates node-major. Borrowed pointers: the BET must outlive the view.
+struct FlatBet {
+  std::vector<const BetNode*> nodes;  ///< preorder
+  std::vector<int32_t> parent;        ///< index into `nodes`; -1 for the root
+
+  [[nodiscard]] size_t size() const { return nodes.size(); }
+};
+
+/// Builds the flattened preorder view of `bet` (empty for an empty tree).
+FlatBet flatten(const Bet& bet);
+
 /// Renders the tree (one node per line, indented) for inspection and tests.
 std::string printBet(const Bet& bet, int maxDepth = 32);
 

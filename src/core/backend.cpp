@@ -1,30 +1,26 @@
 #include "core/backend.h"
 
+#include <map>
+#include <tuple>
+
 #include "sim/simulator.h"
 #include "telemetry/telemetry.h"
 #include "trace/replay.h"
 
 namespace skope::core {
 
-MachineEvaluation evaluateMachine(const WorkloadFrontend& frontend,
-                                  const MachineModel& machine,
-                                  const BackendOptions& options) {
-  MachineEvaluation ev;
-  ev.machineName = machine.name;
+namespace {
 
+/// The machine-dependent stages downstream of the roofline projection:
+/// hot-spot ranking + selection, optional hot-path extraction, optional
+/// ground truth. Shared by the scalar and the batched paths so the two stay
+/// equivalent by construction. `ev.model` must already be filled;
+/// `renderHotPath` is off on the batched path (rendering needs the per-node
+/// annotations side table, which only the scalar path builds).
+void finishEvaluation(const WorkloadFrontend& frontend, const MachineModel& machine,
+                      const BackendOptions& options, MachineEvaluation& ev,
+                      bool renderHotPath) {
   size_t totalInstrs = 0;
-  {
-    SKOPE_SPAN("backend/roofline");
-    roofline::RooflineParams rparams = options.rparams;
-    if (options.traceInformedRoofline && options.cacheModel != nullptr) {
-      trace::CachePrediction pred = options.cacheModel->evaluate(machine);
-      rparams.l1MissRatio = pred.l1MissRate;
-      rparams.dramMissRatio = pred.l1MissRate * pred.llcMissRate;
-    }
-    roofline::Roofline model(machine, rparams);
-    ev.model = roofline::estimate(frontend.bet(), model, &frontend.module(),
-                                  &WorkloadFrontend::libProfile().mixes, &ev.annotations);
-  }
   {
     SKOPE_SPAN("backend/hotspot");
     ev.ranking = hotspot::rankingFromModel(ev.model);
@@ -37,7 +33,9 @@ MachineEvaluation evaluateMachine(const WorkloadFrontend& frontend,
     auto path = hotpath::extractHotPath(frontend.bet(), ev.selection);
     ev.hotPathNodes = path.size();
     ev.hotSpotInstances = path.hotSpotInstances;
-    ev.hotPathText = hotpath::printHotPath(path, &frontend.module(), &ev.annotations);
+    if (renderHotPath) {
+      ev.hotPathText = hotpath::printHotPath(path, &frontend.module(), &ev.annotations);
+    }
   }
 
   if (options.groundTruth) {
@@ -59,7 +57,111 @@ MachineEvaluation evaluateMachine(const WorkloadFrontend& frontend,
     auto measured = hotspot::fractionsByOrigin(*ev.profRanking);
     ev.quality = hotspot::selectionQuality(ev.selection, *ev.profSelection, measured);
   }
+}
+
+/// Per-machine RooflineParams: the configured base, with the trace-predicted
+/// miss ratios substituted in when --trace-roofline is on.
+roofline::RooflineParams rooflineParamsFor(const BackendOptions& options,
+                                           const trace::CachePrediction& pred) {
+  roofline::RooflineParams rparams = options.rparams;
+  rparams.l1MissRatio = pred.l1MissRate;
+  rparams.dramMissRatio = pred.l1MissRate * pred.llcMissRate;
+  return rparams;
+}
+
+}  // namespace
+
+MachineEvaluation evaluateMachine(const WorkloadFrontend& frontend,
+                                  const MachineModel& machine,
+                                  const BackendOptions& options) {
+  MachineEvaluation ev;
+  ev.machineName = machine.name;
+
+  {
+    SKOPE_SPAN("backend/roofline");
+    roofline::RooflineParams rparams = options.rparams;
+    if (options.traceInformedRoofline && options.cacheModel != nullptr) {
+      rparams = rooflineParamsFor(options, options.cacheModel->evaluate(machine));
+    }
+    roofline::Roofline model(machine, rparams);
+    ev.model = roofline::estimate(frontend.bet(), model, &frontend.module(),
+                                  &WorkloadFrontend::libProfile().mixes, &ev.annotations);
+  }
+  finishEvaluation(frontend, machine, options, ev, /*renderHotPath=*/true);
   return ev;
+}
+
+GridBackend::GridBackend(const WorkloadFrontend& frontend,
+                         std::vector<MachineModel> machines, const BackendOptions& options)
+    : frontend_(frontend), options_(options), machines_(std::move(machines)) {
+  SKOPE_SPAN("backend/batched-roofline");
+
+  // Per-config rooflines. Trace-informed miss ratios depend only on the two
+  // cache geometries, so the prediction is memoized per distinct
+  // (L1, LLC) geometry pair across the whole grid: a freq × bandwidth grid
+  // with 4 distinct geometries does 4 cache-model evaluations, not N.
+  std::vector<roofline::Roofline> models;
+  models.reserve(machines_.size());
+  if (options_.traceInformedRoofline && options_.cacheModel != nullptr) {
+    using GeometryKey = std::tuple<uint64_t, uint32_t, uint32_t,   // L1 size/line/assoc
+                                   uint64_t, uint32_t, uint32_t>;  // LLC size/line/assoc
+    std::map<GeometryKey, trace::CachePrediction> memo;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    for (const MachineModel& m : machines_) {
+      GeometryKey key{m.l1.sizeBytes,  m.l1.lineBytes,  m.l1.assoc,
+                      m.llc.sizeBytes, m.llc.lineBytes, m.llc.assoc};
+      auto it = memo.find(key);
+      if (it == memo.end()) {
+        ++misses;
+        it = memo.emplace(key, options_.cacheModel->evaluate(m)).first;
+      } else {
+        ++hits;
+      }
+      models.emplace_back(m, rooflineParamsFor(options_, it->second));
+    }
+    if (telemetry::enabled()) {
+      auto& reg = telemetry::Registry::global();
+      reg.counter("sweep/memo-hit").add(hits);
+      reg.counter("sweep/memo-miss").add(misses);
+    }
+  } else {
+    for (const MachineModel& m : machines_) {
+      models.emplace_back(m, options_.rparams);
+    }
+  }
+
+  roofline::BatchedEstimator estimator(frontend_.bet(), &frontend_.module(),
+                                       &WorkloadFrontend::libProfile().mixes);
+  models_ = estimator.estimateGrid(models);
+}
+
+MachineEvaluation GridBackend::evaluate(size_t i) const {
+  MachineEvaluation ev;
+  ev.machineName = machines_[i].name;
+  ev.model = models_[i];
+  finishEvaluation(frontend_, machines_[i], options_, ev, /*renderHotPath=*/false);
+  return ev;
+}
+
+std::vector<MachineEvaluation> evaluateMachineGrid(const WorkloadFrontend& frontend,
+                                                   const std::vector<MachineModel>& machines,
+                                                   const BackendOptions& options) {
+  std::vector<MachineEvaluation> out;
+  out.reserve(machines.size());
+  if (machines.size() <= 1) {
+    // Single-config callers keep the scalar path (and with it the
+    // annotations side table and the rendered hot path).
+    for (const MachineModel& m : machines) {
+      out.push_back(evaluateMachine(frontend, m, options));
+    }
+    return out;
+  }
+  GridBackend backend(frontend, machines, options);
+  for (size_t i = 0; i < backend.size(); ++i) {
+    out.push_back(backend.evaluate(i));
+  }
+  return out;
 }
 
 }  // namespace skope::core

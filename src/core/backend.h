@@ -69,4 +69,54 @@ MachineEvaluation evaluateMachine(const WorkloadFrontend& frontend,
                                   const MachineModel& machine,
                                   const BackendOptions& options = {});
 
+/// Node-major batched back-end for machine grids.
+///
+/// Where evaluateMachine() re-walks the BET per machine, a GridBackend walks
+/// it once: the constructor factors the tree into machine-independent
+/// roofline terms (roofline::BatchedEstimator), builds every config's
+/// Roofline — memoizing the trace-informed cache prediction per distinct
+/// (L1, LLC) geometry pair, counted as "sweep/memo-hit" / "sweep/memo-miss"
+/// — and computes all per-config ModelResults in one structure-of-arrays
+/// combine pass. evaluate(i) then finishes config i (hot-spot ranking and
+/// selection, hot-path extraction, optional ground truth) from the
+/// precomputed model; it is const and thread-safe, so a sweep pool can fan
+/// the finish stage out across workers.
+///
+/// Equivalence contract: evaluate(i) returns the same MachineEvaluation
+/// evaluateMachine(frontend, machines[i], options) computes — bit-identical
+/// model numbers, rankings, selections and ground truth — except that the
+/// per-node annotations side table and the rendered hotPathText are left
+/// empty (grid consumers digest counts, not renderings; single-config
+/// callers wanting the rendering use the scalar path).
+class GridBackend {
+ public:
+  GridBackend(const WorkloadFrontend& frontend, std::vector<MachineModel> machines,
+              const BackendOptions& options = {});
+
+  [[nodiscard]] size_t size() const { return machines_.size(); }
+
+  /// Finishes config i from the batched model. Thread-safe for distinct i.
+  [[nodiscard]] MachineEvaluation evaluate(size_t i) const;
+
+  /// The batched per-config projections, in construction order.
+  [[nodiscard]] const std::vector<roofline::ModelResult>& models() const {
+    return models_;
+  }
+
+ private:
+  const WorkloadFrontend& frontend_;
+  BackendOptions options_;
+  std::vector<MachineModel> machines_;
+  std::vector<roofline::ModelResult> models_;
+};
+
+/// Batched grid evaluation: one node-major pass for the roofline stage, then
+/// the per-config finish, serially. Falls back to the scalar
+/// evaluateMachine() path for single-config grids (which also fills the
+/// annotations / hotPathText fields the batched path skips). Parallel
+/// callers construct a GridBackend and fan evaluate(i) out themselves.
+std::vector<MachineEvaluation> evaluateMachineGrid(const WorkloadFrontend& frontend,
+                                                   const std::vector<MachineModel>& machines,
+                                                   const BackendOptions& options = {});
+
 }  // namespace skope::core

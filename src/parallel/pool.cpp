@@ -1,4 +1,4 @@
-#include "sweep/pool.h"
+#include "parallel/pool.h"
 
 #include <algorithm>
 #include <atomic>
@@ -11,7 +11,7 @@
 #include "support/text.h"
 #include "telemetry/telemetry.h"
 
-namespace skope::sweep {
+namespace skope::parallel {
 
 namespace {
 
@@ -155,4 +155,4 @@ void WorkStealingPool::run(size_t numTasks, const std::function<void(size_t)>& t
   if (state.error) std::rethrow_exception(state.error);
 }
 
-}  // namespace skope::sweep
+}  // namespace skope::parallel

@@ -1,0 +1,59 @@
+// A small work-stealing thread pool for index-addressed task batches.
+//
+// The canonical unit of work is "evaluate grid config #i" (the sweep engine)
+// or "finalize region #r's histogram" (the reuse-distance analyzer) — tasks
+// are pre-known, independent, and write only to their own result slot, so
+// the pool API is deliberately batch-shaped: run(n, fn) invokes fn(0..n-1)
+// exactly once each, from up to `threads` workers, and returns when all are
+// done. Results are deterministic regardless of thread count because slot i
+// never depends on which worker ran it. The pool lives in its own library
+// (skope_parallel, above telemetry, below every pipeline stage) so both the
+// sweep engine and the trace analyzer can share it without a cycle.
+//
+// Scheduling: the batch is dealt round-robin into one deque per worker;
+// a worker pops its own deque from the back (LIFO, cache-warm) and, when
+// empty, steals from the front of a victim's deque (FIFO, oldest first) —
+// the classic Blumofe–Leiserson discipline, with plain mutex-guarded deques
+// since tasks here are coarse (an entire machine evaluation, µs to seconds)
+// and queue overhead is noise.
+//
+// The first exception thrown by any task aborts the remaining batch (tasks
+// already running finish) and is rethrown from run() on the caller's thread.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace skope::parallel {
+
+class WorkStealingPool {
+ public:
+  /// Completion callback: onTaskDone(done, total) fires after each task
+  /// finishes, from whichever worker ran it — so it MUST be thread-safe.
+  /// `done` values 1..total are each delivered exactly once (not necessarily
+  /// in order). Drives the sweep CLI's live progress/ETA line.
+  using DoneFn = std::function<void(size_t done, size_t total)>;
+
+  /// `threads` <= 0 selects std::thread::hardware_concurrency().
+  explicit WorkStealingPool(int threads = 0);
+
+  [[nodiscard]] int threadCount() const { return threads_; }
+
+  /// Runs task(0) ... task(numTasks-1), each exactly once, and blocks until
+  /// all finish. With threadCount() == 1 everything runs inline on the
+  /// calling thread in index order (the deterministic serial baseline).
+  /// Otherwise threadCount() workers are spawned for the batch (the calling
+  /// thread is worker 0).
+  ///
+  /// When telemetry is enabled the batch reports itself: counters
+  /// "sweep/pool/tasks", "sweep/pool/steals" and "sweep/pool/idle_ns"
+  /// (scheduling overhead summed over workers), the per-worker histogram
+  /// "sweep/pool/worker_idle_ms", and a named span track per spawned worker.
+  void run(size_t numTasks, const std::function<void(size_t)>& task,
+           const DoneFn& onTaskDone = {}) const;
+
+ private:
+  int threads_ = 1;
+};
+
+}  // namespace skope::parallel

@@ -106,18 +106,10 @@ void walkConst(const BetNode& n, double parentEnr, const Roofline& model,
   }
 }
 
-}  // namespace
-
-ModelResult estimate(const bet::Bet& bet, const Roofline& model, const vm::Module* mod,
-                     const LibMixes* libMixes, BetAnnotations* annotations) {
-  SKOPE_SPAN("roofline/estimate");
-  ModelResult result;
-  result.machineName = model.machine().name;
-  if (!bet.root) return result;
-
-  walkConst(*bet.root, 1.0, model, libMixes, result, annotations);
-
-  // Pass 3: normalize aggregates, attach labels, compute fractions.
+/// Pass 3 of both the scalar and the batched estimator: normalize aggregates,
+/// attach labels, compute the total and per-block fractions. Shared code so
+/// the two paths stay bit-identical by construction.
+void finalizeModel(ModelResult& result, const vm::Module* mod) {
   for (auto& [origin, bc] : result.blocks) {
     if (bc.enr > 0) bc.perInvocation = bc.perInvocation.scaled(1.0 / bc.enr);
     if (bc.isComm) {
@@ -146,7 +138,153 @@ ModelResult estimate(const bet::Bet& bet, const Roofline& model, const vm::Modul
   for (auto& [origin, bc] : result.blocks) {
     bc.fraction = result.totalSeconds > 0 ? bc.seconds / result.totalSeconds : 0;
   }
+}
+
+}  // namespace
+
+ModelResult estimate(const bet::Bet& bet, const Roofline& model, const vm::Module* mod,
+                     const LibMixes* libMixes, BetAnnotations* annotations) {
+  SKOPE_SPAN("roofline/estimate");
+  ModelResult result;
+  result.machineName = model.machine().name;
+  if (!bet.root) return result;
+
+  walkConst(*bet.root, 1.0, model, libMixes, result, annotations);
+  finalizeModel(result, mod);
   return result;
+}
+
+BatchedEstimator::BatchedEstimator(const bet::Bet& bet, const vm::Module* mod,
+                                   const LibMixes* libMixes)
+    : mod_(mod) {
+  SKOPE_SPAN("roofline/factorize");
+  bet::FlatBet flat = bet::flatten(bet);
+  std::vector<double> enr(flat.size());
+  std::unordered_map<uint32_t, uint32_t> slotOf;
+  for (size_t i = 0; i < flat.size(); ++i) {
+    const BetNode& n = *flat.nodes[i];
+    // The same multiplication chain walkConst computes top-down, so every
+    // term's ENR carries identical bits.
+    double parentEnr = flat.parent[i] < 0 ? 1.0 : enr[static_cast<size_t>(flat.parent[i])];
+    enr[i] = n.numIter * n.prob * parentEnr;
+    if (!n.isBlock()) continue;
+
+    BlockTerm term;
+    uint32_t origin = n.origin;
+    double invocations = enr[i];
+    if (n.kind == BetKind::LibCall) {
+      term.kind = TermKind::LibCall;
+      term.mix = builtinMix(n.builtinIndex, libMixes);
+      invocations *= n.callsPerExec;
+      origin = vm::libRegion(n.builtinIndex);
+    } else if (n.kind == BetKind::Comm) {
+      term.kind = TermKind::Comm;
+      term.commBytes = n.commBytes;
+    } else {
+      collectBlockMix(n, n, 1.0, term.mix);
+      term.kind = n.kind == BetKind::Loop && n.parallel ? TermKind::ParallelLoop
+                                                        : TermKind::Block;
+      term.numIter = n.numIter;
+    }
+    term.invocations = invocations;
+
+    auto [it, inserted] = slotOf.emplace(origin, static_cast<uint32_t>(slots_.size()));
+    if (inserted) slots_.emplace_back();
+    term.slot = it->second;
+    OriginAccum& oa = slots_[term.slot];
+    oa.origin = origin;
+    if (n.kind == BetKind::Comm) {
+      oa.isComm = true;
+      oa.commBytes = n.commBytes;
+    }
+    // Machine-independent aggregates accumulate here ONCE, in the same
+    // preorder walkConst uses, instead of once per config.
+    oa.perInvocation += term.mix.scaled(invocations);
+    oa.enr += invocations;
+    terms_.push_back(std::move(term));
+  }
+}
+
+std::vector<ModelResult> BatchedEstimator::estimateGrid(
+    const std::vector<Roofline>& models) const {
+  SKOPE_SPAN("roofline/estimate-grid");
+  const size_t numConfigs = models.size();
+  const size_t numSlots = slots_.size();
+  std::vector<ModelResult> out(numConfigs);
+  for (size_t c = 0; c < numConfigs; ++c) {
+    out[c].machineName = models[c].machine().name;
+  }
+  if (numConfigs == 0 || terms_.empty()) return out;
+  if (telemetry::enabled()) {
+    telemetry::Registry::global()
+        .counter("roofline/batched-nodes")
+        .add(terms_.size() * numConfigs);
+  }
+
+  // Node-major combine: outer loop over block terms, inner loop over configs,
+  // partial sums in config-contiguous structure-of-arrays vectors. Per
+  // (config, origin) the floating-point accumulation order is the preorder
+  // walkConst uses, so every sum matches the scalar path bit for bit.
+  std::vector<double> tcSec(numSlots * numConfigs, 0);
+  std::vector<double> tmSec(numSlots * numConfigs, 0);
+  std::vector<double> toSec(numSlots * numConfigs, 0);
+  std::vector<double> totSec(numSlots * numConfigs, 0);
+  for (const BlockTerm& t : terms_) {
+    double* tc = &tcSec[t.slot * numConfigs];
+    double* tm = &tmSec[t.slot * numConfigs];
+    double* to = &toSec[t.slot * numConfigs];
+    double* tot = &totSec[t.slot * numConfigs];
+    const double w = t.invocations;
+    for (size_t c = 0; c < numConfigs; ++c) {
+      const Roofline& model = models[c];
+      const MachineModel& m = model.machine();
+      Breakdown b;
+      switch (t.kind) {
+        case TermKind::LibCall:
+          b = model.libCallTime(t.mix);
+          break;
+        case TermKind::Comm: {
+          // postal model: alpha + bytes / beta, booked as memory time
+          double seconds =
+              m.network.linkLatencySec + t.commBytes / (m.network.linkBandwidthGBs * 1e9);
+          b.tmCycles = seconds * m.freqGHz * 1e9;
+          break;
+        }
+        case TermKind::ParallelLoop: {
+          int ways =
+              static_cast<int>(std::min<double>(m.cores, std::max(1.0, t.numIter)));
+          b = model.blockTime(t.mix, ways);
+          break;
+        }
+        case TermKind::Block:
+          b = model.blockTime(t.mix, 1);
+          break;
+      }
+      tc[c] += m.cyclesToSeconds(b.tcCycles * w);
+      tm[c] += m.cyclesToSeconds(b.tmCycles * w);
+      to[c] += m.cyclesToSeconds(b.toCycles * w);
+      tot[c] += m.cyclesToSeconds(b.totalCycles() * w);
+    }
+  }
+
+  for (size_t c = 0; c < numConfigs; ++c) {
+    ModelResult& r = out[c];
+    for (size_t s = 0; s < numSlots; ++s) {
+      const OriginAccum& oa = slots_[s];
+      BlockCost& bc = r.blocks[oa.origin];
+      bc.origin = oa.origin;
+      bc.isComm = oa.isComm;
+      bc.commBytes = oa.commBytes;
+      bc.enr = oa.enr;
+      bc.perInvocation = oa.perInvocation;  // finalizeModel normalizes by enr
+      bc.tcSeconds = tcSec[s * numConfigs + c];
+      bc.tmSeconds = tmSec[s * numConfigs + c];
+      bc.toSeconds = toSec[s * numConfigs + c];
+      bc.seconds = totSec[s * numConfigs + c];
+    }
+    finalizeModel(r, mod_);
+  }
+  return out;
 }
 
 ModelResult estimate(bet::Bet& bet, const Roofline& model, const vm::Module* mod,

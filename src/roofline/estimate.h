@@ -79,4 +79,70 @@ ModelResult estimate(const bet::Bet& bet, const Roofline& model,
 ModelResult estimate(bet::Bet& bet, const Roofline& model,
                      const vm::Module* mod = nullptr, const LibMixes* libMixes = nullptr);
 
+/// Node-major batched estimation for machine grids.
+///
+/// The roofline projection factors cleanly into machine-parameter groups
+/// (the kerncraft observation): for every BET block node, the operands of
+/// the combine step — the per-invocation operation mix, the ENR chain, the
+/// parallel-ways policy and the aggregation origin — depend only on the
+/// workload, never on the machine. The constructor walks the BET ONCE
+/// (through bet::flatten's preorder view) and extracts those operands into a
+/// contiguous term array; estimateGrid() then runs the thin per-config
+/// combine (Roofline::blockTime over the precomputed mix) node-major: outer
+/// loop over block terms, inner loop over configs, accumulating into
+/// structure-of-arrays per-config partial sums.
+///
+/// Bit-exact contract: for every model in the batch, the returned
+/// ModelResult is byte-identical to what estimate() computes for that model
+/// alone — the per-(config, origin) floating-point accumulation order is the
+/// same preorder, the combine calls the very same Roofline methods, and the
+/// finalization pass is shared code. The sweep equivalence suite
+/// (tests/test_batched.cpp) asserts this for every workload.
+class BatchedEstimator {
+ public:
+  /// Factors `bet` once. All three references are borrowed and must outlive
+  /// the estimator (the sweep keeps them alive via the shared frontend).
+  BatchedEstimator(const bet::Bet& bet, const vm::Module* mod, const LibMixes* libMixes);
+
+  /// Per-config results, in `models` order. Thread-safe (const, no shared
+  /// writes); increments the "roofline/batched-nodes" counter by
+  /// terms × configs when telemetry is enabled.
+  [[nodiscard]] std::vector<ModelResult> estimateGrid(
+      const std::vector<Roofline>& models) const;
+
+  /// Block terms extracted from the BET (one per block node, preorder).
+  [[nodiscard]] size_t termCount() const { return terms_.size(); }
+
+ private:
+  enum class TermKind : uint8_t {
+    Block,         ///< Func / serial Loop: blockTime(mix, 1)
+    ParallelLoop,  ///< parallel Loop: blockTime(mix, min(cores, numIter))
+    LibCall,       ///< libCallTime(mix), invocations × callsPerExec
+    Comm,          ///< postal-model message (machine network terms)
+  };
+
+  /// Machine-independent operands of one block node's combine step.
+  struct BlockTerm {
+    TermKind kind = TermKind::Block;
+    uint32_t slot = 0;         ///< dense origin slot (first-appearance order)
+    skel::SkMetrics mix;       ///< per-invocation operation mix
+    double invocations = 0;    ///< ENR (× callsPerExec for LibCall)
+    double numIter = 1;        ///< ParallelLoop: expected trip count
+    double commBytes = 0;      ///< Comm: expected message bytes
+  };
+
+  /// Machine-independent per-origin aggregates, shared by every config.
+  struct OriginAccum {
+    uint32_t origin = 0;
+    double enr = 0;                 ///< summed invocations
+    skel::SkMetrics perInvocation;  ///< invocation-weighted mix sum (unnormalized)
+    bool isComm = false;
+    double commBytes = 0;
+  };
+
+  const vm::Module* mod_;
+  std::vector<BlockTerm> terms_;     ///< preorder over block nodes
+  std::vector<OriginAccum> slots_;   ///< dense, first-appearance order
+};
+
 }  // namespace skope::roofline

@@ -30,7 +30,7 @@ ConfigOutcome digest(const core::MachineEvaluation& ev, size_t index,
   }
   if (!ev.ranking.empty()) {
     const auto& top = ev.model.blocks.at(ev.ranking.front().origin);
-    out.topBound = top.tmSeconds > top.tcSeconds ? "memory" : "compute";
+    out.topBound = std::string(boundLabel(top.tmSeconds, top.tcSeconds));
   }
   out.hotPathNodes = ev.hotPathNodes;
   out.hotSpotInstances = ev.hotSpotInstances;
@@ -40,6 +40,10 @@ ConfigOutcome digest(const core::MachineEvaluation& ev, size_t index,
 }
 
 }  // namespace
+
+std::string_view boundLabel(double tmSeconds, double tcSeconds) {
+  return tmSeconds >= tcSeconds ? "memory" : "compute";
+}
 
 std::vector<size_t> SweepResult::ranked() const {
   std::vector<size_t> order(outcomes.size());
@@ -83,7 +87,7 @@ SweepResult runSweep(const core::WorkloadFrontend& frontend,
                                      "--cache-model=simulate)"
                                    : "empty (front-end built with recordTrace off)"));
     }
-    cacheModel.emplace(mt);
+    cacheModel.emplace(mt, options.threads);
     cacheModel->prepare(configs);
     backendOpts.cacheModel = &*cacheModel;
     backendOpts.traceInformedRoofline = options.traceInformedRoofline;
@@ -115,7 +119,25 @@ SweepResult runSweep(const core::WorkloadFrontend& frontend,
 
   result.outcomes.resize(configs.size());
   auto t0 = std::chrono::steady_clock::now();
-  {
+  if (options.backend == SweepBackend::Batched && configs.size() > 1) {
+    // Node-major: one shared BET factorization + geometry-memoized cache
+    // predictions up front, then only the cheap per-config finish stages go
+    // through the pool.
+    std::vector<MachineModel> machines;
+    machines.reserve(configs.size());
+    for (const auto& c : configs) machines.push_back(c.machine);
+    core::GridBackend backend(frontend, std::move(machines), backendOpts);
+    SKOPE_SPAN("sweep/fan-out");
+    pool.run(
+        configs.size(),
+        [&](size_t i) {
+          telemetry::Span span("config/", configs[i].name);
+          auto ev = backend.evaluate(i);
+          result.outcomes[i] =
+              digest(ev, i, configs[i], result.baseProjectedSeconds, options);
+        },
+        options.progress);
+  } else {
     SKOPE_SPAN("sweep/fan-out");
     pool.run(
         configs.size(),

@@ -13,12 +13,24 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/backend.h"
 #include "machine/grid.h"
 
 namespace skope::sweep {
+
+/// Which roofline back-end evaluates the grid.
+enum class SweepBackend {
+  /// One full BET walk per config (core::evaluateMachine). Kept as the
+  /// reference implementation; the equivalence suite pins Batched to it.
+  Scalar,
+  /// Node-major batched evaluation (core::GridBackend): one BET
+  /// factorization shared by every config, cache predictions memoized per
+  /// distinct geometry. Produces bit-identical outcomes to Scalar.
+  Batched,
+};
 
 /// How the per-config ground-truth side is produced.
 enum class CacheModelMode {
@@ -35,6 +47,9 @@ enum class CacheModelMode {
 struct SweepOptions {
   /// Worker threads; <= 0 selects hardware concurrency, 1 is serial.
   int threads = 1;
+  /// Roofline back-end (--backend). Batched is the default; Scalar remains
+  /// for reference timing and the equivalence suite.
+  SweepBackend backend = SweepBackend::Batched;
   hotspot::SelectionCriteria criteria{};
   roofline::RooflineParams rparams{};
   /// Run the ground-truth timing simulator per config too (Prof ranking +
@@ -109,5 +124,13 @@ SweepResult runSweep(const core::WorkloadFrontend& frontend,
 /// Convenience: expand a grid and sweep it.
 SweepResult runSweep(const core::WorkloadFrontend& frontend, const MachineGrid& grid,
                      const SweepOptions& options = {});
+
+/// The bound label for a block with the given memory / compute times.
+/// Ties (tm == tc) report "memory": under the extended roofline the memory
+/// term is the one a co-design sweep can usually buy down (bandwidth,
+/// latency, cache geometry), so the paper's bias toward memory-bound
+/// classification is kept deterministic instead of falling to whichever
+/// side FP rounding lands on.
+std::string_view boundLabel(double tmSeconds, double tcSeconds);
 
 }  // namespace skope::sweep

@@ -216,6 +216,17 @@ std::string selfHotSpotMarkdown(const Registry& reg) {
                   s.name.c_str(), static_cast<unsigned long long>(s.count), s.totalMs,
                   s.selfMs, share * 100, cum * 100);
   }
+  // Counters ride along so CI job summaries surface the work-avoidance
+  // figures (sweep/memo-hit, roofline/batched-nodes, pool task counts)
+  // next to the stage times.
+  MetricsSnapshot snap = reg.metrics();
+  if (!snap.counters.empty()) {
+    out += "\n### Counters\n\n| counter | value |\n|:--------|------:|\n";
+    for (const auto& [name, v] : snap.counters) {
+      out += format("| %s | %llu |\n", name.c_str(),
+                    static_cast<unsigned long long>(v));
+    }
+  }
   return out;
 }
 

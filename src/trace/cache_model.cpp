@@ -51,7 +51,8 @@ double expectedMisses(const RegionHistogram& rh, uint32_t sets, uint32_t assoc) 
 
 }  // namespace
 
-CacheModel::CacheModel(const MemoryTrace& trace) : analyzer_(trace) {}
+CacheModel::CacheModel(const MemoryTrace& trace, int histogramThreads)
+    : analyzer_(trace, histogramThreads) {}
 
 bool CacheModel::usesExactReplay(const CacheLevelDesc& level) {
   return cacheGeometry(level).numSets <= kExactSetLimit;

@@ -69,8 +69,10 @@ struct CachePrediction {
 class CacheModel {
  public:
   /// `trace` must outlive the model and be usable() (throws Error otherwise,
-  /// via ReuseDistanceAnalyzer).
-  explicit CacheModel(const MemoryTrace& trace);
+  /// via ReuseDistanceAnalyzer). `histogramThreads` > 1 shards the
+  /// analyzer's per-region histogram construction (see ReuseDistanceAnalyzer);
+  /// predictions are identical for any value.
+  explicit CacheModel(const MemoryTrace& trace, int histogramThreads = 1);
 
   /// Predicts hit rates for `machine`'s L1 + LLC geometry. The first call
   /// for a new line size pays the O(N log N) histogram pass; further calls

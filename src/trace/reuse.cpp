@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "parallel/pool.h"
 #include "support/diagnostics.h"
 
 namespace skope::trace {
@@ -33,7 +34,8 @@ class Fenwick {
 
 }  // namespace
 
-ReuseDistanceAnalyzer::ReuseDistanceAnalyzer(const MemoryTrace& trace) : trace_(trace) {
+ReuseDistanceAnalyzer::ReuseDistanceAnalyzer(const MemoryTrace& trace, int threads)
+    : trace_(trace), threads_(threads) {
   if (!trace.usable()) {
     throw Error(trace.truncated
                     ? "reuse-distance analysis needs a complete trace, but this one "
@@ -63,8 +65,14 @@ const ReuseHistograms& ReuseDistanceAnalyzer::histograms(uint32_t lineBytes) con
   std::unordered_map<uint64_t, size_t> lastPos;  // line -> position of last touch
   lastPos.reserve(n / 4 + 16);
   // Per-region accumulation: distance -> count. Region ids are sparse AST
-  // node ids, so gather in a map keyed by region first.
+  // node ids, so gather in a map keyed by region first. With threads_ > 1
+  // the accumulate-and-sort work is deferred: the walk only appends each
+  // distance to its region's vector, and the histogram construction shards
+  // per region across a pool afterwards. The walk itself cannot shard — a
+  // reference's distance counts *every* region's intervening lines.
+  bool sharded = threads_ > 1;
   std::map<uint32_t, std::unordered_map<uint64_t, uint64_t>> hist;
+  std::map<uint32_t, std::vector<uint64_t>> rawDist;
   std::map<uint32_t, RegionHistogram> partial;
 
   size_t t = 0;
@@ -82,7 +90,11 @@ const ReuseHistograms& ReuseDistanceAnalyzer::histograms(uint32_t lineBytes) con
       // set positions in (prev, t).
       auto d = static_cast<uint64_t>(lastTouches.prefix(t) -
                                      lastTouches.prefix(prev->second + 1));
-      ++hist[region][d];
+      if (sharded) {
+        rawDist[region].push_back(d);
+      } else {
+        ++hist[region][d];
+      }
       lastTouches.add(prev->second, -1);
     }
     lastTouches.add(t, +1);
@@ -90,13 +102,33 @@ const ReuseHistograms& ReuseDistanceAnalyzer::histograms(uint32_t lineBytes) con
     ++t;
   });
 
-  for (auto& [region, rh] : partial) {
-    auto hit = hist.find(region);
-    if (hit != hist.end()) {
-      rh.dist.assign(hit->second.begin(), hit->second.end());
-      std::sort(rh.dist.begin(), rh.dist.end());
+  if (sharded) {
+    out->regions.reserve(partial.size());
+    for (auto& [region, rh] : partial) out->regions.push_back(std::move(rh));
+    std::vector<const std::vector<uint64_t>*> work(out->regions.size(), nullptr);
+    for (size_t i = 0; i < out->regions.size(); ++i) {
+      auto raw = rawDist.find(out->regions[i].region);
+      if (raw != rawDist.end()) work[i] = &raw->second;
     }
-    out->regions.push_back(std::move(rh));
+    parallel::WorkStealingPool pool(threads_);
+    pool.run(out->regions.size(), [&](size_t i) {
+      if (work[i] == nullptr) return;  // all-cold region
+      std::unordered_map<uint64_t, uint64_t> acc;
+      acc.reserve(work[i]->size() / 4 + 8);
+      for (uint64_t d : *work[i]) ++acc[d];
+      auto& dist = out->regions[i].dist;
+      dist.assign(acc.begin(), acc.end());
+      std::sort(dist.begin(), dist.end());
+    });
+  } else {
+    for (auto& [region, rh] : partial) {
+      auto hit = hist.find(region);
+      if (hit != hist.end()) {
+        rh.dist.assign(hit->second.begin(), hit->second.end());
+        std::sort(rh.dist.begin(), rh.dist.end());
+      }
+      out->regions.push_back(std::move(rh));
+    }
   }
 
   const ReuseHistograms& ref = *out;

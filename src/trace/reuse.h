@@ -58,7 +58,12 @@ class ReuseDistanceAnalyzer {
  public:
   /// `trace` must outlive the analyzer and be usable() — throws Error
   /// otherwise (a truncated trace would silently underestimate distances).
-  explicit ReuseDistanceAnalyzer(const MemoryTrace& trace);
+  /// `threads` > 1 shards the per-region histogram construction (the
+  /// accumulate-and-sort phase) across a work-stealing pool; the
+  /// order-statistic walk itself stays serial because every reference's
+  /// distance depends on the globally interleaved stream. Output is
+  /// identical for any thread count.
+  explicit ReuseDistanceAnalyzer(const MemoryTrace& trace, int threads = 1);
 
   /// Histograms at `lineBytes` granularity (power of two, >= 8).
   const ReuseHistograms& histograms(uint32_t lineBytes) const;
@@ -67,6 +72,7 @@ class ReuseDistanceAnalyzer {
 
  private:
   const MemoryTrace& trace_;
+  int threads_ = 1;
   mutable std::mutex mu_;
   mutable std::map<uint32_t, std::unique_ptr<ReuseHistograms>> cache_;
 };

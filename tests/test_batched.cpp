@@ -1,0 +1,260 @@
+// Batched back-end contracts: the node-major grid evaluation must be
+// indistinguishable from the scalar reference —
+//   1. equivalence: for every workload, a batched sweep's ConfigOutcome
+//      vector (and both rendered reports) equals the scalar sweep's exactly,
+//      with and without the trace-informed roofline and ground truth;
+//   2. memoization: the geometry memo does exactly one cache-model
+//      evaluation per distinct (L1, LLC) geometry pair, counted by the
+//      "sweep/memo-hit" / "sweep/memo-miss" telemetry counters;
+//   3. the supporting pieces: bet::flatten preorder, the deterministic
+//      tie rule for the bound label, and the sharded reuse-distance
+//      histogram construction matching the serial one.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bet/bet.h"
+#include "core/backend.h"
+#include "machine/grid.h"
+#include "sweep/report.h"
+#include "sweep/sweep.h"
+#include "telemetry/telemetry.h"
+#include "trace/reuse.h"
+
+namespace skope::sweep {
+namespace {
+
+hotspot::SelectionCriteria scaledCriteria() { return {0.90, 0.45}; }
+
+/// One front-end per workload for the whole binary (profiling runs are the
+/// expensive part; every test reads them concurrently-safely).
+const core::WorkloadFrontend& frontendFor(const std::string& name) {
+  static std::map<std::string, std::shared_ptr<const core::WorkloadFrontend>> cache;
+  auto it = cache.find(name);
+  if (it == cache.end()) it = cache.emplace(name, core::loadFrontend(name)).first;
+  return *it->second;
+}
+
+/// Mixed axes: one cache-geometry axis (2 distinct L1 geometries) plus two
+/// non-geometry axes — 8 configs total.
+MachineGrid mixedGrid() {
+  return parseGridSpec("base=bgq; l1kb=16,32; membw=20,40; freq=1.0,1.4");
+}
+
+/// Full field-by-field equality of two sweeps' outcome vectors. EXPECT_EQ on
+/// the doubles: the batched back-end claims bit-identical results, not
+/// merely close ones.
+void expectOutcomesEqual(const SweepResult& a, const SweepResult& b) {
+  EXPECT_EQ(a.baseProjectedSeconds, b.baseProjectedSeconds);
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  for (size_t i = 0; i < a.outcomes.size(); ++i) {
+    const ConfigOutcome& x = a.outcomes[i];
+    const ConfigOutcome& y = b.outcomes[i];
+    EXPECT_EQ(x.index, y.index);
+    EXPECT_EQ(x.config, y.config);
+    EXPECT_EQ(x.projectedSeconds, y.projectedSeconds) << x.config;
+    EXPECT_EQ(x.speedupVsBase, y.speedupVsBase) << x.config;
+    EXPECT_EQ(x.coverage, y.coverage) << x.config;
+    EXPECT_EQ(x.leanness, y.leanness) << x.config;
+    EXPECT_EQ(x.spotCount, y.spotCount) << x.config;
+    EXPECT_EQ(x.topSpots, y.topSpots) << x.config;
+    EXPECT_EQ(x.topBound, y.topBound) << x.config;
+    EXPECT_EQ(x.hotPathNodes, y.hotPathNodes) << x.config;
+    EXPECT_EQ(x.hotSpotInstances, y.hotSpotInstances) << x.config;
+    EXPECT_EQ(x.measuredSeconds, y.measuredSeconds) << x.config;
+    EXPECT_EQ(x.quality, y.quality) << x.config;
+  }
+}
+
+// ---------------------------------------------------- scalar == batched
+
+class BatchedEquivalence : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(BatchedEquivalence, MatchesScalarOutcomes) {
+  const auto& fe = frontendFor(GetParam());
+  SweepOptions opts;
+  opts.threads = 2;
+  opts.criteria = scaledCriteria();
+  opts.hotPaths = true;
+  for (bool traceRoofline : {false, true}) {
+    if (traceRoofline && !fe.memoryTrace().usable()) continue;
+    opts.traceInformedRoofline = traceRoofline;
+    opts.cacheModel =
+        traceRoofline ? CacheModelMode::ReuseDist : CacheModelMode::Simulate;
+
+    opts.backend = SweepBackend::Scalar;
+    auto scalar = runSweep(fe, mixedGrid(), opts);
+    opts.backend = SweepBackend::Batched;
+    auto batched = runSweep(fe, mixedGrid(), opts);
+
+    expectOutcomesEqual(scalar, batched);
+    EXPECT_EQ(toCsv(scalar), toCsv(batched)) << "trace-roofline=" << traceRoofline;
+    EXPECT_EQ(toMarkdown(scalar), toMarkdown(batched))
+        << "trace-roofline=" << traceRoofline;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, BatchedEquivalence,
+                         ::testing::Values("sord", "chargei", "srad", "cfd",
+                                           "stassuij"));
+
+TEST(Batched, GroundTruthReplayMatchesScalar) {
+  const auto& fe = frontendFor("sord");
+  auto grid = parseGridSpec("base=bgq; l1kb=16,32; membw=30,60");
+  SweepOptions opts;
+  opts.threads = 1;
+  opts.criteria = scaledCriteria();
+  opts.groundTruth = true;
+  opts.cacheModel = CacheModelMode::ReuseDist;
+  opts.traceInformedRoofline = true;
+
+  opts.backend = SweepBackend::Scalar;
+  auto scalar = runSweep(fe, grid, opts);
+  opts.backend = SweepBackend::Batched;
+  auto batched = runSweep(fe, grid, opts);
+
+  ASSERT_TRUE(scalar.outcomes.front().measuredSeconds.has_value());
+  expectOutcomesEqual(scalar, batched);
+}
+
+TEST(Batched, GridModelsAreBitIdenticalToScalar) {
+  const auto& fe = frontendFor("sord");
+  auto configs = mixedGrid().expand();
+  std::vector<MachineModel> machines;
+  for (const auto& c : configs) machines.push_back(c.machine);
+
+  core::BackendOptions opts;
+  opts.criteria = scaledCriteria();
+  core::GridBackend backend(fe, machines, opts);
+  ASSERT_EQ(backend.size(), machines.size());
+  for (size_t i = 0; i < machines.size(); ++i) {
+    auto scalar = core::evaluateMachine(fe, machines[i], opts);
+    const auto& model = backend.models()[i];
+    EXPECT_EQ(model.totalSeconds, scalar.model.totalSeconds) << machines[i].name;
+    ASSERT_EQ(model.blocks.size(), scalar.model.blocks.size());
+    for (const auto& [origin, sb] : scalar.model.blocks) {
+      const auto& bb = model.blocks.at(origin);
+      EXPECT_EQ(bb.label, sb.label);
+      EXPECT_EQ(bb.enr, sb.enr) << sb.label;
+      EXPECT_EQ(bb.tcSeconds, sb.tcSeconds) << sb.label;
+      EXPECT_EQ(bb.tmSeconds, sb.tmSeconds) << sb.label;
+      EXPECT_EQ(bb.toSeconds, sb.toSeconds) << sb.label;
+      EXPECT_EQ(bb.seconds, sb.seconds) << sb.label;
+      EXPECT_EQ(bb.fraction, sb.fraction) << sb.label;
+      EXPECT_EQ(bb.staticInstrs, sb.staticInstrs) << sb.label;
+      EXPECT_EQ(bb.isComm, sb.isComm) << sb.label;
+      EXPECT_EQ(bb.commBytes, sb.commBytes) << sb.label;
+    }
+  }
+}
+
+TEST(Batched, SingleConfigGridFallsBackToScalar) {
+  const auto& fe = frontendFor("sord");
+  core::BackendOptions opts;
+  opts.criteria = scaledCriteria();
+  opts.wantHotPath = true;
+  std::vector<MachineModel> one{machineByName("bgq")};
+  auto evs = core::evaluateMachineGrid(fe, one, opts);
+  ASSERT_EQ(evs.size(), 1u);
+  // The scalar fallback keeps the renderings the batched path skips.
+  EXPECT_FALSE(evs[0].hotPathText.empty());
+  EXPECT_FALSE(evs[0].annotations.empty());
+  auto scalar = core::evaluateMachine(fe, one[0], opts);
+  EXPECT_EQ(evs[0].model.totalSeconds, scalar.model.totalSeconds);
+  EXPECT_EQ(evs[0].hotPathText, scalar.hotPathText);
+}
+
+// ----------------------------------------------------- geometry memoization
+
+TEST(Batched, GeometryMemoCountsHitsAndMisses) {
+  auto& reg = telemetry::Registry::global();
+  bool wasEnabled = reg.enabled();
+  reg.setEnabled(true);
+  reg.counter("sweep/memo-hit").reset();
+  reg.counter("sweep/memo-miss").reset();
+  reg.counter("roofline/batched-nodes").reset();
+
+  SweepOptions opts;
+  opts.threads = 1;
+  opts.criteria = scaledCriteria();
+  opts.traceInformedRoofline = true;
+  opts.cacheModel = CacheModelMode::ReuseDist;
+  opts.backend = SweepBackend::Batched;
+  // 8 configs, 2 distinct L1 geometries (the membw / freq axes do not touch
+  // the caches): exactly 2 misses, configs - 2 hits.
+  runSweep(frontendFor("sord"), mixedGrid(), opts);
+
+  EXPECT_EQ(reg.counter("sweep/memo-miss").value(), 2u);
+  EXPECT_EQ(reg.counter("sweep/memo-hit").value(), 8u - 2u);
+  EXPECT_GT(reg.counter("roofline/batched-nodes").value(), 0u);
+  reg.setEnabled(wasEnabled);
+}
+
+// ------------------------------------------------------- supporting pieces
+
+TEST(Batched, FlattenIsPreorderWithParents) {
+  const auto& bet = frontendFor("sord").bet();
+  auto flat = bet::flatten(bet);
+  ASSERT_GT(flat.size(), 0u);
+  ASSERT_EQ(flat.size(), bet.size());
+
+  std::vector<const bet::BetNode*> visitOrder;
+  bet.root->visit([&](const bet::BetNode& n) { visitOrder.push_back(&n); });
+  EXPECT_EQ(flat.nodes, visitOrder);  // flatten IS the visit() preorder
+
+  ASSERT_EQ(flat.parent.size(), flat.size());
+  EXPECT_EQ(flat.parent[0], -1);
+  for (size_t i = 1; i < flat.size(); ++i) {
+    ASSERT_GE(flat.parent[i], 0) << i;
+    ASSERT_LT(flat.parent[i], static_cast<int32_t>(i)) << i;  // parents precede kids
+    const bet::BetNode* p = flat.nodes[static_cast<size_t>(flat.parent[i])];
+    bool isChild = false;
+    for (const auto& k : p->kids) {
+      if (k.get() == flat.nodes[i]) isChild = true;
+    }
+    EXPECT_TRUE(isChild) << "node " << i << " not a child of its parent index";
+  }
+}
+
+TEST(Batched, EmptyBetFlattensEmpty) {
+  bet::Bet empty;
+  auto flat = bet::flatten(empty);
+  EXPECT_EQ(flat.size(), 0u);
+}
+
+TEST(Batched, TopBoundTieReportsMemory) {
+  // tm == tc is a legitimate model outcome (e.g. a block sitting exactly on
+  // the roofline ridge); the label must not depend on FP rounding luck.
+  EXPECT_EQ(boundLabel(1.0, 1.0), "memory");
+  EXPECT_EQ(boundLabel(0.0, 0.0), "memory");
+  EXPECT_EQ(boundLabel(2.0, 1.0), "memory");
+  EXPECT_EQ(boundLabel(1.0, 2.0), "compute");
+}
+
+TEST(Batched, ShardedReuseHistogramsMatchSerial) {
+  const auto& trace = frontendFor("sord").memoryTrace();
+  ASSERT_TRUE(trace.usable());
+  trace::ReuseDistanceAnalyzer serial(trace, 1);
+  trace::ReuseDistanceAnalyzer sharded(trace, 4);
+  for (uint32_t line : {32u, 64u, 128u}) {
+    const auto& a = serial.histograms(line);
+    const auto& b = sharded.histograms(line);
+    EXPECT_EQ(a.lineBytes, b.lineBytes);
+    EXPECT_EQ(a.totalRefs, b.totalRefs);
+    EXPECT_EQ(a.totalCold, b.totalCold);
+    ASSERT_EQ(a.regions.size(), b.regions.size()) << line;
+    for (size_t i = 0; i < a.regions.size(); ++i) {
+      EXPECT_EQ(a.regions[i].region, b.regions[i].region);
+      EXPECT_EQ(a.regions[i].coldRefs, b.regions[i].coldRefs);
+      EXPECT_EQ(a.regions[i].totalRefs, b.regions[i].totalRefs);
+      EXPECT_EQ(a.regions[i].dist, b.regions[i].dist)
+          << "line " << line << " region " << a.regions[i].region;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace skope::sweep

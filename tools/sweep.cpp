@@ -94,6 +94,10 @@ int run(int argc, char** argv) {
   args.addFlag("base", "base machine when the spec has no 'base =' line: "
                        "bgq, xeon, knl, arm", "bgq");
   args.addFlag("threads", "worker threads (0 = all hardware threads)", "0");
+  args.addFlag("backend", "roofline back-end: 'batched' walks the BET once and "
+                          "combines per config (node-major), 'scalar' re-walks "
+                          "it per config; both produce identical reports",
+               "batched");
   args.addFlag("coverage", "hot-spot time-coverage criterion", "0.90");
   args.addFlag("leanness", "hot-spot code-leanness criterion", "0.45");
   args.addFlag("format", "report format: md, csv, or both", "md");
@@ -158,6 +162,13 @@ int run(int argc, char** argv) {
   opts.hotPaths = args.getBool("hotpath");
   opts.traceInformedRoofline = args.getBool("trace-roofline");
   opts.maxOps = static_cast<uint64_t>(args.getDouble("max-ops"));
+
+  std::string backend = args.get("backend");
+  if (backend == "scalar") {
+    opts.backend = sweep::SweepBackend::Scalar;
+  } else if (backend != "batched") {
+    throw Error("unknown --backend '" + backend + "' (batched, scalar)");
+  }
 
   std::string cacheModel = args.get("cache-model");
   if (cacheModel == "reuse-dist" || opts.traceInformedRoofline) {
