@@ -1,0 +1,514 @@
+#include "cachemodel/access.h"
+
+#include <algorithm>
+#include <map>
+
+namespace skope::cachemodel {
+
+using minic::BinOp;
+using minic::ExprKind;
+using minic::ExprNode;
+using minic::FuncDecl;
+using minic::GlobalDecl;
+using minic::Program;
+using minic::StmtKind;
+using minic::StmtNode;
+
+namespace {
+
+/// Symbolizes an expression over params and integer literals only — the
+/// shape global array dimensions are declared in.
+ExprPtr symbolizeDim(const ExprNode& e) {
+  switch (e.kind) {
+    case ExprKind::IntLit:
+    case ExprKind::RealLit:
+      return constant(e.numValue);
+    case ExprKind::VarRef:
+      // Sema restricts dim expressions to params, but records the param index
+      // in globalIndex (checkDimExpr) — accept the name unconditionally.
+      return param(e.name);
+    case ExprKind::Unary:
+      if (e.un == minic::UnOp::Neg) {
+        auto a = symbolizeDim(*e.args[0]);
+        return a ? neg(a) : nullptr;
+      }
+      return nullptr;
+    case ExprKind::Binary: {
+      auto a = symbolizeDim(*e.args[0]);
+      auto b = symbolizeDim(*e.args[1]);
+      if (!a || !b) return nullptr;
+      switch (e.bin) {
+        case BinOp::Add: return add(a, b);
+        case BinOp::Sub: return sub(a, b);
+        case BinOp::Mul: return mul(a, b);
+        case BinOp::Div: return divide(a, b);
+        default: return nullptr;
+      }
+    }
+    default:
+      return nullptr;
+  }
+}
+
+/// Affine decomposition of one index expression: sum over induction-variable
+/// slots of coeff * var, plus a symbolic constant. A null coefficient means
+/// "this loop variable appears but its coefficient is unknown" (the model
+/// randomizes that loop). `randomizeBelow` is the deepest loop-stack depth
+/// at which an unknown (data-dependent) base input was last assigned.
+struct Lin {
+  std::map<int, ExprPtr> co;  ///< induction slot -> element coefficient
+  ExprPtr c0 = constant(0);   ///< symbolic constant term (null = unknown)
+  int randomizeBelow = 0;
+  bool opaque = false;
+
+  [[nodiscard]] bool pureSymbolic() const {
+    return co.empty() && randomizeBelow == 0 && !opaque && c0;
+  }
+};
+
+class FuncExtractor {
+ public:
+  FuncExtractor(const Program& prog, const FuncDecl& fn, ExtractionResult& out)
+      : prog_(prog), fn_(fn), out_(out) {
+    for (size_t i = 0; i < fn_.params.size(); ++i) {
+      tracked_[static_cast<int>(i)] = fn_.params[i].name;
+    }
+  }
+
+  void run() { walkStmts(fn_.body); }
+
+ private:
+  struct LoopFrame {
+    uint32_t id = 0;
+    int slot = -1;       ///< induction local slot (-1 for while)
+    ExprPtr start;       ///< induction start value (null = unknown)
+    ExprPtr step;        ///< signed per-iteration step (null = unknown)
+  };
+  struct BranchFrame {
+    uint32_t id = 0;
+    bool thenArm = true;
+    size_t loopDepth = 0;  ///< loop-stack size when the arm was entered
+  };
+
+  // ---- symbolic tracking, mirroring translate::FuncTranslator ----
+
+  ExprPtr symbolize(const ExprNode& e) const {
+    switch (e.kind) {
+      case ExprKind::IntLit:
+      case ExprKind::RealLit:
+        return constant(e.numValue);
+      case ExprKind::VarRef:
+        if (e.paramIndex >= 0) return param(e.name);
+        if (e.localSlot >= 0 && !inductionOf_.count(e.localSlot)) {
+          auto it = tracked_.find(e.localSlot);
+          if (it != tracked_.end()) return param(it->second);
+        }
+        return nullptr;
+      case ExprKind::Binary: {
+        auto a = symbolize(*e.args[0]);
+        auto b = symbolize(*e.args[1]);
+        if (!a || !b) return nullptr;
+        switch (e.bin) {
+          case BinOp::Add: return add(a, b);
+          case BinOp::Sub: return sub(a, b);
+          case BinOp::Mul: return mul(a, b);
+          case BinOp::Div: return divide(a, b);
+          case BinOp::Mod: return mod(a, b);
+          default: return nullptr;
+        }
+      }
+      case ExprKind::Unary:
+        if (e.un == minic::UnOp::Neg) {
+          auto a = symbolize(*e.args[0]);
+          return a ? neg(a) : nullptr;
+        }
+        return nullptr;
+      default:
+        return nullptr;
+    }
+  }
+
+  void trackAssign(int slot, const std::string& name, const ExprNode& rhs) {
+    if (slot < 0 || inductionOf_.count(slot)) return;
+    auto sym = symbolize(rhs);
+    if (sym) {
+      tracked_[slot] = name;
+    } else {
+      tracked_.erase(slot);
+      assignDepth_[slot] = loops_.size();
+    }
+  }
+
+  // ---- affine index decomposition ----
+
+  Lin decompose(const ExprNode& e) const {
+    Lin r;
+    switch (e.kind) {
+      case ExprKind::IntLit:
+      case ExprKind::RealLit:
+        r.c0 = constant(e.numValue);
+        return r;
+      case ExprKind::VarRef: {
+        if (e.paramIndex >= 0) {
+          r.c0 = param(e.name);
+          return r;
+        }
+        if (e.localSlot >= 0) {
+          if (inductionOf_.count(e.localSlot)) {
+            r.co[e.localSlot] = constant(1);
+            return r;
+          }
+          auto it = tracked_.find(e.localSlot);
+          if (it != tracked_.end()) {
+            r.c0 = param(it->second);
+            return r;
+          }
+          // Data-dependent local: unknown base, re-randomized by the loops
+          // enclosing its last assignment.
+          auto d = assignDepth_.find(e.localSlot);
+          r.randomizeBelow = d != assignDepth_.end() ? static_cast<int>(d->second) : 0;
+          return r;
+        }
+        // Global scalar used as an index: its value can change anywhere, so
+        // treat it as re-randomized every iteration.
+        r.randomizeBelow = static_cast<int>(loops_.size());
+        return r;
+      }
+      case ExprKind::ArrayRef:
+        // Direct indirection a[b[i]]: the value is a fresh load each time.
+        r.randomizeBelow = static_cast<int>(loops_.size());
+        return r;
+      case ExprKind::Unary: {
+        if (e.un != minic::UnOp::Neg) {
+          r.opaque = true;
+          return r;
+        }
+        Lin a = decompose(*e.args[0]);
+        for (auto& [slot, c] : a.co) c = c ? neg(c) : nullptr;
+        a.c0 = a.c0 ? neg(a.c0) : nullptr;
+        return a;
+      }
+      case ExprKind::Binary: {
+        Lin a = decompose(*e.args[0]);
+        Lin b = decompose(*e.args[1]);
+        switch (e.bin) {
+          case BinOp::Add:
+          case BinOp::Sub: {
+            Lin out;
+            out.randomizeBelow = std::max(a.randomizeBelow, b.randomizeBelow);
+            out.opaque = a.opaque || b.opaque;
+            out.co = std::move(a.co);
+            for (auto& [slot, c] : b.co) {
+              ExprPtr bc = c && e.bin == BinOp::Sub ? neg(c) : c;
+              auto it = out.co.find(slot);
+              if (it == out.co.end()) {
+                out.co[slot] = bc;
+              } else {
+                it->second = (it->second && bc) ? add(it->second, bc) : nullptr;
+              }
+            }
+            if (a.c0 && b.c0) {
+              out.c0 = e.bin == BinOp::Add ? add(a.c0, b.c0) : sub(a.c0, b.c0);
+            } else {
+              out.c0 = nullptr;
+            }
+            return out;
+          }
+          case BinOp::Mul: {
+            // One side must be free of loop variables; it scales the other.
+            const Lin* varside = &a;
+            const Lin* scalar = &b;
+            if (!b.co.empty()) std::swap(varside, scalar);
+            if (!scalar->co.empty()) {  // loop var x loop var: not affine
+              Lin out;
+              out.opaque = true;
+              return out;
+            }
+            Lin out;
+            out.randomizeBelow = std::max(a.randomizeBelow, b.randomizeBelow);
+            out.opaque = a.opaque || b.opaque;
+            bool scalarKnown = scalar->pureSymbolic();
+            for (const auto& [slot, c] : varside->co) {
+              out.co[slot] = (c && scalarKnown) ? mul(c, scalar->c0) : nullptr;
+            }
+            out.c0 = (varside->c0 && scalarKnown) ? mul(varside->c0, scalar->c0)
+                                                  : nullptr;
+            return out;
+          }
+          case BinOp::Div: {
+            if (!b.co.empty() || b.randomizeBelow > 0 || b.opaque || !b.c0) {
+              Lin out;
+              out.opaque = true;
+              return out;
+            }
+            // i / C is a staircase; coeff / C models its average stride,
+            // which is what the footprint arithmetic needs.
+            Lin out;
+            out.randomizeBelow = a.randomizeBelow;
+            out.opaque = a.opaque;
+            for (const auto& [slot, c] : a.co) {
+              out.co[slot] = c ? divide(c, b.c0) : nullptr;
+            }
+            out.c0 = a.c0 ? divide(a.c0, b.c0) : nullptr;
+            return out;
+          }
+          case BinOp::Mod: {
+            if (a.co.empty() && a.randomizeBelow == 0 && !a.opaque &&
+                b.pureSymbolic() && a.c0) {
+              Lin out;
+              out.c0 = mod(a.c0, b.c0);
+              return out;
+            }
+            Lin out;  // (i % C) wraps: not affine
+            out.opaque = true;
+            return out;
+          }
+          default: {
+            Lin out;
+            out.opaque = true;
+            return out;
+          }
+        }
+      }
+      default: {
+        r.opaque = true;
+        return r;
+      }
+    }
+  }
+
+  // ---- reference recording ----
+
+  void recordAccess(const ExprNode* site, int arrayIndex,
+                    const std::vector<minic::ExprUP>& indices, bool isStore,
+                    uint32_t /*stmtId*/) {
+    (void)site;
+    AccessPattern ap;
+    ap.arrayIndex = arrayIndex;
+    ap.isStore = isStore;
+    ap.funcId = fn_.id;
+    ap.region = loops_.empty() ? fn_.id : loops_.back().id;
+
+    const GlobalDecl& decl = prog_.globals[static_cast<size_t>(arrayIndex)];
+    bool dimsOk = decl.dims.size() == indices.size();
+
+    Lin flat;
+    if (dimsOk) {
+      for (size_t d = 0; d < indices.size() && !flat.opaque; ++d) {
+        ExprPtr stride = dimStrideElems(decl, d);
+        if (!stride) {
+          flat.opaque = true;
+          break;
+        }
+        Lin ix = decompose(*indices[d]);
+        flat.opaque = flat.opaque || ix.opaque;
+        flat.randomizeBelow = std::max(flat.randomizeBelow, ix.randomizeBelow);
+        for (const auto& [slot, c] : ix.co) {
+          ExprPtr term = c ? mul(c, stride) : nullptr;
+          auto it = flat.co.find(slot);
+          if (it == flat.co.end()) {
+            flat.co[slot] = term;
+          } else {
+            it->second = (it->second && term) ? add(it->second, term) : nullptr;
+          }
+        }
+        if (flat.c0 && ix.c0) {
+          flat.c0 = add(flat.c0, mul(ix.c0, stride));
+        } else {
+          flat.c0 = nullptr;
+        }
+      }
+    } else {
+      flat.opaque = true;
+    }
+
+    ExprPtr offset = flat.c0;
+    for (const auto& frame : loops_) {
+      LoopTerm term;
+      term.loopId = frame.id;
+      auto it = frame.slot >= 0 ? flat.co.find(frame.slot) : flat.co.end();
+      if (it == flat.co.end()) {
+        term.strideElems = constant(0);  // invariant under this loop
+      } else if (it->second && frame.step) {
+        term.strideElems = mul(it->second, frame.step);
+        // Fold the start value into the constant offset so that offset
+        // differences between nest-mates stay meaningful.
+        offset = (offset && frame.start) ? add(offset, mul(it->second, frame.start))
+                                         : nullptr;
+      } else {
+        term.strideElems = nullptr;  // unknown stride -> randomized tier
+      }
+      ap.loops.push_back(std::move(term));
+    }
+    ap.offsetElems = offset ? offset : constant(0);
+    ap.opaque = flat.opaque;
+    ap.randomDepth = ap.opaque ? static_cast<int>(ap.loops.size())
+                               : std::min(flat.randomizeBelow,
+                                          static_cast<int>(ap.loops.size()));
+
+    for (const auto& bf : branches_) {
+      if (bf.loopDepth == loops_.size()) ap.branchPath.emplace_back(bf.id, bf.thenArm);
+    }
+
+    if (ap.opaque) {
+      ++out_.opaqueRefs;
+    } else if (ap.randomDepth > 0 ||
+               std::any_of(ap.loops.begin(), ap.loops.end(),
+                           [](const LoopTerm& t) { return !t.strideElems; })) {
+      ++out_.indirectRefs;
+    } else {
+      ++out_.affineRefs;
+    }
+    out_.accesses.push_back(std::move(ap));
+  }
+
+  /// Finds every ArrayRef load in `e` (including index sub-expressions).
+  void scanLoads(const ExprNode& e) {
+    if (e.kind == ExprKind::ArrayRef) {
+      for (const auto& ix : e.args) scanLoads(*ix);
+      if (e.arrayIndex >= 0) {
+        recordAccess(&e, e.arrayIndex, e.args, /*isStore=*/false, 0);
+      }
+      return;
+    }
+    for (const auto& a : e.args) scanLoads(*a);
+  }
+
+  // ---- statement walk ----
+
+  void walkStmts(const std::vector<minic::StmtUP>& stmts) {
+    for (const auto& s : stmts) walkStmt(*s);
+  }
+
+  void walkStmt(const StmtNode& s) {
+    switch (s.kind) {
+      case StmtKind::Block:
+        walkStmts(s.body);
+        return;
+      case StmtKind::VarDecl:
+        if (s.rhs) {
+          scanLoads(*s.rhs);
+          trackAssign(s.localSlot, s.lhsName, *s.rhs);
+        }
+        return;
+      case StmtKind::Assign:
+        for (const auto& ix : s.lhsIndices) scanLoads(*ix);
+        scanLoads(*s.rhs);
+        if (s.arrayIndex >= 0) {
+          recordAccess(nullptr, s.arrayIndex, s.lhsIndices, /*isStore=*/true, s.id);
+        } else if (s.localSlot >= 0) {
+          trackAssign(s.localSlot, s.lhsName, *s.rhs);
+        }
+        return;
+      case StmtKind::ExprStmt:
+        scanLoads(*s.rhs);
+        return;
+      case StmtKind::If: {
+        scanLoads(*s.cond);
+        branches_.push_back({s.id, true, loops_.size()});
+        walkStmts(s.body);
+        branches_.back().thenArm = false;
+        walkStmts(s.elseBody);
+        branches_.pop_back();
+        return;
+      }
+      case StmtKind::For: {
+        scanLoads(*s.init->rhs);
+        LoopFrame frame;
+        frame.id = s.id;
+        frame.slot = s.init->localSlot;
+        frame.start = symbolize(*s.init->rhs);
+        frame.step = deriveStep(s, frame.slot);
+        bool wasInduction = frame.slot >= 0 && inductionOf_.count(frame.slot) != 0;
+        bool wasTracked = frame.slot >= 0 && tracked_.count(frame.slot) != 0;
+        std::string trackedName = wasTracked ? tracked_[frame.slot] : "";
+        if (frame.slot >= 0) {
+          inductionOf_[frame.slot] = loops_.size();
+          tracked_.erase(frame.slot);
+        }
+        loops_.push_back(std::move(frame));
+        scanLoads(*s.cond);
+        if (s.step && s.step->rhs) scanLoads(*s.step->rhs);
+        walkStmts(s.body);
+        int slot = loops_.back().slot;
+        loops_.pop_back();
+        if (slot >= 0 && !wasInduction) inductionOf_.erase(slot);
+        if (wasTracked) tracked_[slot] = trackedName;
+        return;
+      }
+      case StmtKind::While: {
+        loops_.push_back({s.id, -1, nullptr, nullptr});
+        scanLoads(*s.cond);
+        walkStmts(s.body);
+        loops_.pop_back();
+        return;
+      }
+      case StmtKind::Return:
+        if (s.rhs) scanLoads(*s.rhs);
+        return;
+      case StmtKind::Break:
+      case StmtKind::Continue:
+        return;
+    }
+  }
+
+  /// Signed symbolic step of `for (i = ...; ...; i = i +- C)`.
+  ExprPtr deriveStep(const StmtNode& s, int loopVar) const {
+    if (loopVar < 0 || !s.step || !s.step->rhs) return nullptr;
+    const ExprNode& step = *s.step->rhs;
+    if (s.step->localSlot != loopVar || step.kind != ExprKind::Binary) return nullptr;
+    if (step.bin != BinOp::Add && step.bin != BinOp::Sub) return nullptr;
+    auto isVar = [&](const ExprNode& e) {
+      return e.kind == ExprKind::VarRef && e.localSlot == loopVar;
+    };
+    ExprPtr c;
+    if (isVar(*step.args[0])) {
+      c = symbolize(*step.args[1]);
+    } else if (isVar(*step.args[1]) && step.bin == BinOp::Add) {
+      c = symbolize(*step.args[0]);
+    }
+    if (!c) return nullptr;
+    return step.bin == BinOp::Sub ? neg(c) : c;
+  }
+
+  const Program& prog_;
+  const FuncDecl& fn_;
+  ExtractionResult& out_;
+  std::vector<LoopFrame> loops_;
+  std::vector<BranchFrame> branches_;
+  std::map<int, std::string> tracked_;
+  std::map<int, size_t> inductionOf_;   ///< slot -> loop-stack index
+  std::map<int, size_t> assignDepth_;   ///< untracked slot -> depth of last assign
+};
+
+}  // namespace
+
+ExprPtr dimStrideElems(const minic::GlobalDecl& decl, size_t dim) {
+  ExprPtr stride = constant(1);
+  for (size_t j = dim + 1; j < decl.dims.size(); ++j) {
+    ExprPtr d = symbolizeDim(*decl.dims[j]);
+    if (!d) return nullptr;
+    stride = mul(stride, d);
+  }
+  return stride;
+}
+
+ExprPtr totalElems(const minic::GlobalDecl& decl) {
+  ExprPtr total = constant(1);
+  for (const auto& d : decl.dims) {
+    ExprPtr e = symbolizeDim(*d);
+    if (!e) return nullptr;
+    total = mul(total, e);
+  }
+  return total;
+}
+
+ExtractionResult extractAccesses(const minic::Program& prog) {
+  ExtractionResult out;
+  for (const auto& fn : prog.funcs) {
+    FuncExtractor(prog, *fn, out).run();
+  }
+  return out;
+}
+
+}  // namespace skope::cachemodel

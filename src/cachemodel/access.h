@@ -1,0 +1,82 @@
+// Symbolic array-access descriptors extracted from the MiniC AST.
+//
+// The layer-condition cache model (src/cachemodel/layercond.h) needs, for
+// every array reference, the loop nest it sits in and the per-loop byte
+// stride as a *symbolic expression* over workload parameters — no trace, no
+// execution. This pass mirrors the skeleton translator's context tracking
+// (src/translate): function formals and symbolically-assigned locals are
+// usable in index expressions; loop induction variables become affine terms;
+// anything data-dependent (a value loaded from another array, an untracked
+// local) degrades the reference to the "randomized base" tier at the loops
+// that reassign it, which the model treats as uniform access over the array.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "expr/expr.h"
+#include "minic/ast.h"
+
+namespace skope::cachemodel {
+
+/// One enclosing loop of a reference, outermost-first.
+struct LoopTerm {
+  uint32_t loopId = 0;    ///< AST NodeId of the For/While (a BET Loop origin)
+  /// Per-iteration element stride of the flattened offset under this loop
+  /// (index coefficient x loop step, symbolic over params/formals/context
+  /// vars). constant(0) when the offset is invariant under the loop; null
+  /// when the stride is unknown (while-loops, unknown coefficients) — the
+  /// model falls back to the randomized tier for such loops.
+  ExprPtr strideElems;
+};
+
+/// One static array reference (a load of an ArrayRef or a store of an array
+/// Assign) with its flattened, row-major affine decomposition.
+struct AccessPattern {
+  int arrayIndex = -1;      ///< into minic::Program::globals
+  bool isStore = false;
+  uint32_t funcId = 0;      ///< owning FuncDecl id
+  uint32_t region = 0;      ///< innermost loop id, or funcId outside loops —
+                            ///< the VM's region attribution for this ref
+  std::vector<LoopTerm> loops;  ///< enclosing AST loops, outermost first
+  /// Constant element offset from the array base at the first iteration of
+  /// every enclosing loop (loop starts folded in). Only offset *differences*
+  /// within a loop nest are meaningful; unknown bases collapse to 0.
+  ExprPtr offsetElems;
+  /// Loops with chain index < randomDepth re-randomize the reference's base
+  /// each iteration (an index input is reassigned data-dependently inside
+  /// them). 0 = fully affine; loops.size() = random every iteration.
+  int randomDepth = 0;
+  /// True when an index was structurally unanalyzable (mod of a loop
+  /// variable, opaque call, ...) — randomDepth is loops.size() and the
+  /// reference counts against the model's coverage.
+  bool opaque = false;
+  /// Branch arms strictly inside the innermost loop that guard this
+  /// reference: (If statement id, true = then-arm). The model multiplies in
+  /// the BET's profiled arm probabilities.
+  std::vector<std::pair<uint32_t, bool>> branchPath;
+};
+
+struct ExtractionResult {
+  std::vector<AccessPattern> accesses;
+  /// Static-reference classification (diagnostics / telemetry).
+  size_t affineRefs = 0;    ///< fully affine in the enclosing induction vars
+  size_t indirectRefs = 0;  ///< randomized base from a data-dependent input
+  size_t opaqueRefs = 0;    ///< structurally unanalyzable index
+};
+
+/// Walks every function of `prog` and extracts all array references. The
+/// program must be sema-checked (arrayIndex / localSlot / paramIndex
+/// resolved). Never throws: unanalyzable references come back opaque.
+ExtractionResult extractAccesses(const minic::Program& prog);
+
+/// Row-major element "stride" of dimension `dim` of `decl` — the product of
+/// the dimension extents after it (symbolic over params). Exposed for tests.
+ExprPtr dimStrideElems(const minic::GlobalDecl& decl, size_t dim);
+
+/// Total element count of `decl` (product of its extents), or null when a
+/// dimension expression is not symbolizable.
+ExprPtr totalElems(const minic::GlobalDecl& decl);
+
+}  // namespace skope::cachemodel

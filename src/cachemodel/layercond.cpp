@@ -1,0 +1,395 @@
+#include "cachemodel/layercond.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "support/text.h"
+#include "telemetry/telemetry.h"
+
+namespace skope::cachemodel {
+
+namespace {
+
+constexpr double kElemBytes = 8;       // the VM stores every element as 8 bytes
+constexpr double kCanonicalLine = 64;  // line size for config-independent volumes
+
+/// Cold-footprint geometry of a reference set: R runs of ~sigma line-occupied
+/// bytes each, spread over an extent of E bytes. lines is the distinct line
+/// count of the base offsets alone.
+struct Geometry {
+  double runs = 1;
+  double sigma = kCanonicalLine;  ///< line-occupied bytes per run
+  double extent = kCanonicalLine;
+  double lines = 1;
+};
+
+/// Clusters the sorted byte offsets at `line` granularity: offsets more than
+/// one line apart start a new run. Offsets are relative to the array base,
+/// which the VM page-aligns, so line boundaries at multiples of `line` are
+/// exact for every power-of-two line size up to the page.
+Geometry clusterOffsets(const std::vector<double>& offsets, double line) {
+  Geometry g;
+  if (offsets.empty()) return g;
+  auto lineOf = [line](double b) { return std::floor(b / line); };
+  double runs = 0, lines = 0, sigmaSum = 0;
+  double runFirst = offsets.front(), prev = offsets.front();
+  auto closeRun = [&](double last) {
+    runs += 1;
+    double runLines = lineOf(last + kElemBytes - 1) - lineOf(runFirst) + 1;
+    lines += runLines;
+    sigmaSum += runLines * line;
+  };
+  for (size_t i = 1; i < offsets.size(); ++i) {
+    if (offsets[i] - prev > line) {
+      closeRun(prev);
+      runFirst = offsets[i];
+    }
+    prev = offsets[i];
+  }
+  closeRun(prev);
+  g.runs = runs;
+  g.lines = lines;
+  g.sigma = sigmaSum / runs;
+  g.extent = offsets.back() - offsets.front() + line;
+  return g;
+}
+
+/// Advances the cold-footprint geometry across one loop (no cache: pure
+/// distinct-bytes accounting). Shared by the volume precompute and the
+/// per-level miss walk.
+void advanceFootprint(Geometry& g, double trip, double strideBytes, bool random,
+                      double arrayBytes, double line) {
+  double f = std::max(trip, 1.0);
+  double s = std::fabs(strideBytes);
+  double cap = std::max(arrayBytes, line);
+  if (random) {
+    g.runs = 1;
+    g.sigma = cap;
+    g.extent = cap;
+    return;
+  }
+  if (s == 0 || f <= 1) return;
+  if (s <= g.sigma + line) {
+    // Overlapping sweep: each run extends by s per iteration.
+    double grown = g.sigma + (f - 1) * s;
+    double spacing = g.runs > 1 ? (g.extent - g.sigma) / (g.runs - 1) : 0;
+    g.extent += (f - 1) * s;
+    if (g.runs > 1 && grown + line >= spacing) {
+      g.runs = 1;
+      g.sigma = g.extent;
+    } else {
+      g.sigma = grown;
+    }
+  } else {
+    // Disjoint replication: f fresh copies of the current pattern.
+    g.runs *= f;
+    g.extent += (f - 1) * s;
+  }
+  if (g.runs * g.sigma > cap) {
+    g.runs = std::max(cap / g.sigma, 1.0);
+  }
+}
+
+double footprintBytes(const Geometry& g, double arrayBytes, double line) {
+  return std::min(g.runs * g.sigma, std::max(arrayBytes, line));
+}
+
+}  // namespace
+
+LayerConditionModel::LayerConditionModel(const minic::Program& prog,
+                                         const bet::Bet& bet,
+                                         const std::map<std::string, double>& params,
+                                         const LayerConditionOptions& options)
+    : options_(options), paramsEnv_(params) {
+  const ParamEnv& env = paramsEnv_;
+
+  arrayBytes_.resize(prog.globals.size(), 0);
+  for (size_t i = 0; i < prog.globals.size(); ++i) {
+    if (!prog.globals[i].isArray()) continue;
+    auto elems = tryEval(totalElems(prog.globals[i]), env);
+    arrayBytes_[i] = elems ? *elems * kElemBytes : 0;
+  }
+
+  ExtractionResult extracted = extractAccesses(prog);
+  stats_.affineRefs = extracted.affineRefs;
+  stats_.indirectRefs = extracted.indirectRefs;
+  stats_.opaqueRefs = extracted.opaqueRefs;
+
+  std::map<uint32_t, std::vector<const AccessPattern*>> byRegion;
+  for (const auto& ap : extracted.accesses) byRegion[ap.region].push_back(&ap);
+
+  // Anchor every reference at the BET nodes of its region; each mount of a
+  // function yields its own chain (own trip counts, own context bindings).
+  if (bet.root) {
+    std::vector<const bet::BetNode*> path;
+    std::function<void(const bet::BetNode&)> walk = [&](const bet::BetNode& n) {
+      path.push_back(&n);
+      if (n.kind == bet::BetKind::Loop || n.kind == bet::BetKind::Func) {
+        auto it = byRegion.find(n.origin);
+        if (it != byRegion.end()) {
+          for (const AccessPattern* ap : it->second) anchorAccess(*ap, n, path);
+        }
+      }
+      for (const auto& k : n.kids) walk(*k);
+      path.pop_back();
+    };
+    walk(*bet.root);
+  }
+
+  for (auto& g : groups_) {
+    std::sort(g.offsets.begin(), g.offsets.end());
+    g.offsets.erase(std::unique(g.offsets.begin(), g.offsets.end()), g.offsets.end());
+    double c = g.count();
+    stats_.dynamicRefs += c;
+    if (g.opaque) stats_.opaqueDynamicRefs += c;
+  }
+  stats_.groups = groups_.size();
+
+  buildVolumes();
+
+  if (telemetry::enabled()) {
+    auto& reg = telemetry::Registry::global();
+    reg.counter("cachemodel/affine-refs").add(stats_.affineRefs);
+    reg.counter("cachemodel/indirect-refs").add(stats_.indirectRefs);
+    reg.counter("cachemodel/opaque-refs").add(stats_.opaqueRefs);
+  }
+}
+
+void LayerConditionModel::anchorAccess(const AccessPattern& ap,
+                                       const bet::BetNode& node,
+                                       const std::vector<const bet::BetNode*>& path) {
+  if (ap.arrayIndex < 0 ||
+      static_cast<size_t>(ap.arrayIndex) >= arrayBytes_.size()) {
+    return;
+  }
+
+  // Workload params first, then the anchor's context snapshot on top: the
+  // snapshot closes over formals and Set variables at this mount and wins
+  // where both bind a name.
+  ParamEnv env = paramsEnv_;
+  for (const auto& [k, v] : node.context) env.set(k, v);
+
+  std::vector<ChainLoop> chain;
+  double mult = 1;
+  size_t j = 0;
+  for (const bet::BetNode* n : path) {
+    mult *= std::clamp(n->prob, 0.0, 1.0);
+    if (n->kind != bet::BetKind::Loop) continue;
+    ChainLoop cl;
+    cl.node = n;
+    cl.trip = std::max(n->numIter, 0.0);
+    if (j < ap.loops.size() && n->origin == ap.loops[j].loopId) {
+      bool random = static_cast<int>(j) < ap.randomDepth;
+      auto stride = tryEval(ap.loops[j].strideElems, env);
+      if (stride && !random) {
+        cl.strideBytes = std::fabs(*stride) * kElemBytes;
+      } else {
+        cl.random = true;  // unknown stride or randomized base
+      }
+      ++j;
+    }  // else: a caller's loop — the reference is invariant across it
+    chain.push_back(cl);
+  }
+
+  // Branch arms inside the innermost loop: profiled arm probabilities live
+  // in the anchor's subtree.
+  double weight = 1;
+  for (const auto& [ifId, thenArm] : ap.branchPath) {
+    bet::BetKind want = thenArm ? bet::BetKind::BranchThen : bet::BetKind::BranchElse;
+    double p = -1;
+    node.visit([&](const bet::BetNode& n) {
+      if (p < 0 && n.kind == want && n.origin == ifId) p = std::clamp(n.prob, 0.0, 1.0);
+    });
+    if (p >= 0) weight *= p;
+  }
+
+  auto offset = tryEval(ap.offsetElems, env);
+  double offsetBytes = offset ? *offset * kElemBytes : 0;
+
+  std::string key = format("%p|%d", static_cast<const void*>(&node), ap.arrayIndex);
+  for (const auto& cl : chain) {
+    key += format("|%.6g:%.6g:%d", cl.trip, cl.strideBytes, cl.random ? 1 : 0);
+  }
+  auto [it, inserted] = groupIndex_.emplace(key, groups_.size());
+  if (inserted) {
+    Group g;
+    g.arrayIndex = ap.arrayIndex;
+    g.region = ap.region;
+    g.arrayBytes = arrayBytes_[static_cast<size_t>(ap.arrayIndex)];
+    g.chain = std::move(chain);
+    g.mult = mult;
+    groups_.push_back(std::move(g));
+  }
+  Group& g = groups_[it->second];
+  g.refsPerIter += weight;
+  g.offsets.push_back(offsetBytes);
+  g.opaque = g.opaque || ap.opaque;
+}
+
+double LayerConditionModel::footprintBelow(const Group& g, size_t fromChainPos) const {
+  Geometry geo = clusterOffsets(g.offsets, kCanonicalLine);
+  for (size_t k = g.chain.size(); k-- > 0;) {
+    if (fromChainPos != kWholeChain && k <= fromChainPos) break;
+    const ChainLoop& cl = g.chain[k];
+    advanceFootprint(geo, cl.trip, cl.strideBytes, cl.random, g.arrayBytes,
+                     kCanonicalLine);
+  }
+  return footprintBytes(geo, g.arrayBytes, kCanonicalLine);
+}
+
+void LayerConditionModel::buildVolumes() {
+  // V_oneIter(betLoop) = sum over arrays of the largest one-iteration
+  // footprint any group under the loop has — the "what must survive between
+  // carried reuses" quantity of the layer condition.
+  std::map<const bet::BetNode*, std::map<int, double>> perArray;
+  std::map<int, double> touched;  ///< full-run footprint per array
+  for (const auto& g : groups_) {
+    if (g.count() <= 0) continue;
+    for (size_t k = 0; k < g.chain.size(); ++k) {
+      double fb = footprintBelow(g, k);
+      auto& slot = perArray[g.chain[k].node][g.arrayIndex];
+      slot = std::max(slot, fb);
+    }
+    double full = footprintBelow(g, kWholeChain);
+    auto& t = touched[g.arrayIndex];
+    t = std::max(t, full);
+  }
+  for (const auto& [node, arrays] : perArray) {
+    double v = 0;
+    for (const auto& [arr, bytes] : arrays) v += bytes;
+    oneIterVolume_[node] = v;
+  }
+  workingSetBytes_ = 0;
+  for (const auto& [arr, bytes] : touched) {
+    touchedBytes_[arr] = bytes;
+    workingSetBytes_ += bytes;
+  }
+}
+
+double LayerConditionModel::levelMisses(const CacheLevelDesc& level,
+                                        std::map<uint32_t, double>* regionMisses) const {
+  const double ceff = static_cast<double>(level.sizeBytes) * options_.capacityFraction;
+  const double line = std::max<double>(level.lineBytes, 1);
+  double total = 0;
+
+  for (const auto& g : groups_) {
+    double trips = 1;
+    for (const auto& cl : g.chain) trips *= std::max(cl.trip, 0.0);
+    if (g.refsPerIter <= 0 || trips <= 0) continue;
+
+    Geometry geo = clusterOffsets(g.offsets, line);
+    double m = geo.lines;
+    bool randomApplied = false;
+    for (size_t k = g.chain.size(); k-- > 0;) {
+      const ChainLoop& cl = g.chain[k];
+      double f = std::max(cl.trip, 0.0);
+      if (f <= 0) {
+        m = 0;
+        break;
+      }
+      double lo = std::min(f, 1.0);
+      auto vit = oneIterVolume_.find(cl.node);
+      double vol = vit != oneIterVolume_.end() ? vit->second : 0;
+      bool fits = vol <= ceff;
+      double s = cl.strideBytes;
+
+      if (cl.random) {
+        double fa = std::max(g.arrayBytes, line);
+        if (fa <= ceff) {
+          // The array stays resident once touched: cold fill, then hits.
+          m = std::min(m * f, fa / line + m);
+        } else if (!randomApplied) {
+          // Uniform random draws over a too-big array: each draw hits with
+          // probability ceff/fa. Applied once; outer loops just repeat draws.
+          m = std::max(m * f * (1.0 - ceff / fa), std::min(m * f, fa / line));
+          randomApplied = true;
+        } else {
+          m *= f;
+        }
+        advanceFootprint(geo, f, 0, /*random=*/true, g.arrayBytes, line);
+      } else if (s == 0) {
+        // Temporal reuse carried by this loop.
+        m = fits ? m * lo : m * f;
+      } else if (s <= geo.sigma + line) {
+        // Overlapping sweep: iterations share most of their footprint.
+        double before = footprintBytes(geo, g.arrayBytes, line);
+        advanceFootprint(geo, f, s, false, g.arrayBytes, line);
+        double after = footprintBytes(geo, g.arrayBytes, line);
+        m = fits ? m * lo + std::max(after - before, 0.0) / line : m * f;
+      } else {
+        // Disjoint strides: every iteration touches fresh lines.
+        advanceFootprint(geo, f, s, false, g.arrayBytes, line);
+        m *= f;
+      }
+    }
+    // A reference fetches at most one line, so misses never exceed the
+    // group's dynamic reference count.
+    m = std::min(m, g.refsPerIter * trips);
+    double contrib = m * g.mult;
+    total += contrib;
+    if (regionMisses) (*regionMisses)[g.region] += contrib;
+  }
+
+  // Whole-working-set clamp: when everything the run touches fits this
+  // level, steady state leaves only compulsory misses — cross-phase reuse
+  // the per-group chains cannot see (each phase counts its own cold sweep).
+  if (workingSetBytes_ > 0 && workingSetBytes_ <= ceff) {
+    double compulsory = 0;
+    for (const auto& [arr, bytes] : touchedBytes_) compulsory += bytes / line;
+    if (total > compulsory && total > 0) {
+      double scale = compulsory / total;
+      if (regionMisses) {
+        for (auto& [region, misses] : *regionMisses) misses *= scale;
+      }
+      total = compulsory;
+    }
+  }
+  return total;
+}
+
+trace::CachePrediction LayerConditionModel::evaluate(const MachineModel& machine) const {
+  if (telemetry::enabled()) {
+    telemetry::Registry::global().counter("cachemodel/evaluations").add(1);
+  }
+  trace::CachePrediction pred;
+
+  std::map<uint32_t, double> countByRegion;
+  double accesses = 0;
+  for (const auto& g : groups_) {
+    double c = g.count();
+    accesses += c;
+    countByRegion[g.region] += c;
+  }
+
+  std::map<uint32_t, double> l1ByRegion, llcByRegion;
+  double l1 = levelMisses(machine.l1, &l1ByRegion);
+  // The LLC is evaluated against the same global reference stream (the same
+  // inclusive-LRU approximation the reuse-distance model documents).
+  double llc = levelMisses(machine.llc, &llcByRegion);
+
+  l1 = std::min(l1, accesses);
+  llc = std::min(llc, l1);
+
+  pred.accesses = static_cast<uint64_t>(std::llround(accesses));
+  pred.l1Misses = l1;
+  pred.llcMisses = llc;
+  pred.l1MissRate = accesses > 0 ? std::clamp(l1 / accesses, 0.0, 1.0) : 0;
+  pred.llcMissRate = l1 > 0 ? std::clamp(llc / l1, 0.0, 1.0) : 0;
+
+  for (const auto& [region, count] : countByRegion) {
+    trace::CachePrediction::Region r;
+    r.accesses = static_cast<uint64_t>(std::llround(count));
+    r.l1Misses = std::min(l1ByRegion[region], count);
+    r.llcMisses = std::min(llcByRegion[region], r.l1Misses);
+    pred.regions[region] = r;
+  }
+  return pred;
+}
+
+bool LayerConditionModel::usable() const {
+  return stats_.dynamicRefs > 0 &&
+         stats_.modeledFraction() >= options_.minModeledFraction;
+}
+
+}  // namespace skope::cachemodel

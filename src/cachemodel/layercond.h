@@ -1,0 +1,145 @@
+// Analytic layer-condition cache model — the third cache model, O(1)/config.
+//
+// Where `simulate` executes the workload per machine and `reuse-dist` replays
+// a recorded trace, this model predicts per-level hit ratios *symbolically*,
+// from the loop bounds and strides of the skeleton's array references
+// (Kerncraft-style layer conditions; see docs/CACHE_MODELS.md). Nothing is
+// executed and no trace is recorded: evaluation cost is O(references x loop
+// depth) per cache geometry, independent of the input size — which is what
+// makes million-config cache-axis sweeps feasible.
+//
+// Construction (once per workload):
+//   1. extractAccesses() pulls every array reference's loop nest and
+//      symbolic per-loop strides out of the MiniC AST (src/cachemodel/access.h).
+//   2. Each reference is anchored at the BET nodes of its innermost loop;
+//      the BET contributes numeric trip counts, mount multiplicities, branch
+//      probabilities and the context bindings that close over formals.
+//   3. References sharing an anchor, array and stride chain merge into a
+//      *group*; per-BET-loop one-iteration data volumes are precomputed for
+//      the layer-condition tests.
+//
+// evaluate(machine) then walks each group's loop chain innermost-out per
+// cache level: a loop whose one-iteration volume fits the level's effective
+// capacity turns carried reuse into hits (misses stay at the cold-footprint
+// count); one that does not multiplies the inner miss count by its trip
+// count. Data-dependent (indirect) references take a randomized-base tier:
+// uniform access over the array, hit probability capacity/footprint.
+//
+// The model is deliberately binary where real caches are gradual —
+// borderline layer conditions, associativity conflicts and replacement noise
+// are part of the documented error envelope (bench_cachemodel measures it
+// against exact trace replay on all five workloads).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bet/bet.h"
+#include "cachemodel/access.h"
+#include "machine/machine.h"
+#include "minic/ast.h"
+#include "trace/cache_model.h"
+
+namespace skope::cachemodel {
+
+struct LayerConditionOptions {
+  /// Effective-capacity derating: the layer-condition tests use
+  /// capacityFraction x sizeBytes. 1.0 models an ideal fully-associative
+  /// LRU level; lower values emulate conflict/replacement pressure.
+  double capacityFraction = 1.0;
+  /// usable() requires at least this fraction of the (estimated) dynamic
+  /// references to be non-opaque.
+  double minModeledFraction = 0.5;
+};
+
+/// Build-time classification of the workload's reference population.
+struct LayerConditionStats {
+  size_t affineRefs = 0;    ///< static refs, fully affine
+  size_t indirectRefs = 0;  ///< static refs on the randomized-base tier
+  size_t opaqueRefs = 0;    ///< static refs with unanalyzable indices
+  double dynamicRefs = 0;   ///< estimated dynamic references (all groups)
+  double opaqueDynamicRefs = 0;  ///< estimated dynamic refs from opaque sites
+  size_t groups = 0;        ///< anchored reference groups
+
+  [[nodiscard]] double modeledFraction() const {
+    return dynamicRefs > 0 ? 1.0 - opaqueDynamicRefs / dynamicRefs : 0.0;
+  }
+};
+
+/// One layer-condition model per (program, BET, parameter binding); any
+/// number of threads may call evaluate() concurrently (it is pure).
+class LayerConditionModel {
+ public:
+  LayerConditionModel(const minic::Program& prog, const bet::Bet& bet,
+                      const std::map<std::string, double>& params,
+                      const LayerConditionOptions& options = {});
+
+  /// Predicts L1 / LLC hit behavior of `machine`'s hierarchy. Returns the
+  /// same shape as the reuse-distance model so downstream consumers
+  /// (RooflineParams substitution, reports) are shared. Thread-safe, O(1)
+  /// in the input size.
+  [[nodiscard]] trace::CachePrediction evaluate(const MachineModel& machine) const;
+
+  [[nodiscard]] const LayerConditionStats& stats() const { return stats_; }
+
+  /// True when enough of the dynamic reference stream is analyzable for the
+  /// prediction to be trusted; consumers below the threshold should fall
+  /// back to trace replay (the sweep engine does, with a telemetry counter).
+  [[nodiscard]] bool usable() const;
+
+ private:
+  /// One numeric loop of a group's chain, outermost first.
+  struct ChainLoop {
+    const bet::BetNode* node = nullptr;
+    double trip = 1;         ///< expected iterations
+    double strideBytes = 0;  ///< |per-iteration byte stride|; 0 = invariant
+    bool random = false;     ///< base re-randomized each iteration
+  };
+
+  /// References sharing (anchor, array, chain shape): the unit the
+  /// per-level walk runs over.
+  struct Group {
+    int arrayIndex = -1;
+    uint32_t region = 0;
+    double arrayBytes = 0;
+    std::vector<ChainLoop> chain;
+    std::vector<double> offsets;  ///< distinct byte offsets, sorted
+    double refsPerIter = 0;       ///< static refs x inner-branch probability
+    double mult = 1;              ///< ancestor execution-probability product
+    bool opaque = false;
+
+    [[nodiscard]] double count() const {
+      double c = refsPerIter * mult;
+      for (const auto& l : chain) c *= std::max(l.trip, 0.0);
+      return c;
+    }
+  };
+
+  /// Sentinel for footprintBelow: include the whole chain (no prefix cut).
+  static constexpr size_t kWholeChain = static_cast<size_t>(-1);
+
+  void anchorAccess(const AccessPattern& ap, const bet::BetNode& node,
+                    const std::vector<const bet::BetNode*>& path);
+  void buildVolumes();
+  /// Cold footprint (bytes) of the chain suffix strictly below position
+  /// `fromChainPos` (kWholeChain = the entire chain), at canonical line size.
+  [[nodiscard]] double footprintBelow(const Group& g, size_t fromChainPos) const;
+  double levelMisses(const CacheLevelDesc& level,
+                     std::map<uint32_t, double>* regionMisses) const;
+
+  LayerConditionOptions options_;
+  LayerConditionStats stats_;
+  std::vector<Group> groups_;
+  std::map<std::string, size_t> groupIndex_;  ///< construction-time dedupe
+  std::vector<double> arrayBytes_;  ///< per minic global, 0 for scalars
+  /// One-iteration data volume per BET loop node appearing in any chain
+  /// (the layer-condition "what must fit" quantity), in bytes.
+  std::map<const bet::BetNode*, double> oneIterVolume_;
+  std::map<int, double> touchedBytes_;  ///< full-run footprint per array
+  double workingSetBytes_ = 0;          ///< sum of touchedBytes_
+  ParamEnv paramsEnv_;                  ///< workload parameter binding
+};
+
+}  // namespace skope::cachemodel

@@ -69,6 +69,21 @@ roofline::RooflineParams rooflineParamsFor(const BackendOptions& options,
   return rparams;
 }
 
+/// True when a miss-ratio predictor is available for the roofline
+/// substitution. The layer-condition model wins over trace replay when both
+/// are set (it is the one the caller asked for; replay stays the ground-truth
+/// side).
+bool hasMissPredictor(const BackendOptions& options) {
+  return options.traceInformedRoofline &&
+         (options.layerModel != nullptr || options.cacheModel != nullptr);
+}
+
+trace::CachePrediction predictMisses(const BackendOptions& options,
+                                     const MachineModel& machine) {
+  if (options.layerModel != nullptr) return options.layerModel->evaluate(machine);
+  return options.cacheModel->evaluate(machine);
+}
+
 }  // namespace
 
 MachineEvaluation evaluateMachine(const WorkloadFrontend& frontend,
@@ -80,8 +95,8 @@ MachineEvaluation evaluateMachine(const WorkloadFrontend& frontend,
   {
     SKOPE_SPAN("backend/roofline");
     roofline::RooflineParams rparams = options.rparams;
-    if (options.traceInformedRoofline && options.cacheModel != nullptr) {
-      rparams = rooflineParamsFor(options, options.cacheModel->evaluate(machine));
+    if (hasMissPredictor(options)) {
+      rparams = rooflineParamsFor(options, predictMisses(options, machine));
     }
     roofline::Roofline model(machine, rparams);
     ev.model = roofline::estimate(frontend.bet(), model, &frontend.module(),
@@ -102,7 +117,7 @@ GridBackend::GridBackend(const WorkloadFrontend& frontend,
   // with 4 distinct geometries does 4 cache-model evaluations, not N.
   std::vector<roofline::Roofline> models;
   models.reserve(machines_.size());
-  if (options_.traceInformedRoofline && options_.cacheModel != nullptr) {
+  if (hasMissPredictor(options_)) {
     using GeometryKey = std::tuple<uint64_t, uint32_t, uint32_t,   // L1 size/line/assoc
                                    uint64_t, uint32_t, uint32_t>;  // LLC size/line/assoc
     std::map<GeometryKey, trace::CachePrediction> memo;
@@ -114,7 +129,7 @@ GridBackend::GridBackend(const WorkloadFrontend& frontend,
       auto it = memo.find(key);
       if (it == memo.end()) {
         ++misses;
-        it = memo.emplace(key, options_.cacheModel->evaluate(m)).first;
+        it = memo.emplace(key, predictMisses(options_, m)).first;
       } else {
         ++hits;
       }

@@ -12,6 +12,7 @@
 #include <optional>
 #include <string>
 
+#include "cachemodel/layercond.h"
 #include "core/frontend.h"
 #include "hotpath/hotpath.h"
 #include "hotspot/quality.h"
@@ -36,9 +37,15 @@ struct BackendOptions {
   /// (--cache-model=reuse-dist). The model must be built from the
   /// front-end's own trace; prepare() it before concurrent evaluation.
   const trace::CacheModel* cacheModel = nullptr;
-  /// When set together with cacheModel, the roofline's constant miss ratios
-  /// are replaced per machine by the trace-predicted ones
-  /// (--trace-roofline).
+  /// Analytic layer-condition model (--cache-model=layer-cond): predicts the
+  /// per-machine miss ratios symbolically, no trace required. When set
+  /// together with traceInformedRoofline it takes precedence over cacheModel
+  /// for the roofline substitution; ground truth still needs cacheModel (the
+  /// analytic model carries no instruction timing to replay).
+  const cachemodel::LayerConditionModel* layerModel = nullptr;
+  /// When set together with cacheModel or layerModel, the roofline's
+  /// constant miss ratios are replaced per machine by the predicted ones
+  /// (--trace-roofline / --cache-model=layer-cond).
   bool traceInformedRoofline = false;
   /// Dynamic instruction budget for the simulated run; 0 keeps the default.
   uint64_t maxOps = 0;

@@ -69,6 +69,25 @@ bool Expr::isConstant() const {
   return true;
 }
 
+std::optional<double> tryEval(const ExprPtr& e, const ParamEnv& env) {
+  if (!e) return std::nullopt;
+  if (!fullyBound(e, env)) return std::nullopt;
+  try {
+    return e->eval(env);
+  } catch (const Error&) {
+    return std::nullopt;  // division by zero / log2 domain
+  }
+}
+
+bool fullyBound(const ExprPtr& e, const ParamEnv& env) {
+  if (!e) return false;
+  if (e->op == ExprOp::Param) return env.has(e->name);
+  for (const auto& o : e->operands) {
+    if (!fullyBound(o, env)) return false;
+  }
+  return true;
+}
+
 namespace {
 
 int precedence(ExprOp op) {

@@ -92,4 +92,15 @@ ExprPtr log2e(ExprPtr a);
 /// Throws Error on malformed input.
 ExprPtr parseExpr(std::string_view text);
 
+/// Non-throwing evaluation: nullopt when a referenced parameter is unbound or
+/// the arithmetic is undefined (division by zero, log2 of a non-positive
+/// value). Used by consumers that probe partially bound environments — e.g.
+/// the layer-condition cache model evaluating stride expressions under a BET
+/// context snapshot that may lack a formal.
+std::optional<double> tryEval(const ExprPtr& e, const ParamEnv& env);
+
+/// True when every parameter referenced by `e` is bound in `env` (cheaper
+/// than tryEval when the value itself is not needed).
+bool fullyBound(const ExprPtr& e, const ParamEnv& env);
+
 }  // namespace skope

@@ -12,11 +12,17 @@ ArgParser::ArgParser(std::string programName, std::string description)
 
 void ArgParser::addFlag(const std::string& name, const std::string& help,
                         const std::string& defaultValue, bool required) {
-  flags_.push_back({name, help, defaultValue, required, false});
+  flags_.push_back({name, help, defaultValue, required, false, {}});
 }
 
 void ArgParser::addBool(const std::string& name, const std::string& help) {
-  flags_.push_back({name, help, "", false, true});
+  flags_.push_back({name, help, "", false, true, {}});
+}
+
+void ArgParser::addChoice(const std::string& name, const std::string& help,
+                          std::vector<std::string> choices,
+                          const std::string& defaultValue, bool required) {
+  flags_.push_back({name, help, defaultValue, required, false, std::move(choices)});
 }
 
 void ArgParser::addPositional(const std::string& name, const std::string& help,
@@ -82,6 +88,25 @@ bool ArgParser::parse(int argc, const char* const* argv) {
         if (i + 1 >= argc) throw Error("--" + name + " expects a value");
         value = argv[++i];
       }
+      if (!spec->choices.empty() &&
+          std::find(spec->choices.begin(), spec->choices.end(), value) ==
+              spec->choices.end()) {
+        std::string msg = "invalid value '" + value + "' for --" + name +
+                          " (choices: " + join(spec->choices, ", ") + ")";
+        std::string best;
+        size_t bestDist = ~size_t{0};
+        for (const auto& c : spec->choices) {
+          size_t d = editDistance(value, c);
+          if (d < bestDist) {
+            bestDist = d;
+            best = c;
+          }
+        }
+        if (bestDist <= std::max<size_t>(2, value.size() / 3)) {
+          msg += " — did you mean '" + best + "'?";
+        }
+        throw Error(msg);
+      }
       values_[name] = value;
       continue;
     }
@@ -142,6 +167,7 @@ std::string ArgParser::helpText() const {
   for (const auto& f : flags_) {
     std::string left = "--" + f.name + (f.boolean ? "" : "=<v>");
     std::string right = f.help;
+    if (!f.choices.empty()) right += " [" + join(f.choices, "|") + "]";
     if (!f.defaultValue.empty()) right += " (default: " + f.defaultValue + ")";
     if (f.required) right += " (required)";
     out += format("  %-22s %s\n", left.c_str(), right.c_str());

@@ -26,6 +26,15 @@ class ArgParser {
   /// Registers a boolean flag (present = true).
   void addBool(const std::string& name, const std::string& help);
 
+  /// Registers a string flag restricted to an enumerated value set. parse()
+  /// rejects anything else with an error that lists the valid choices (plus
+  /// a "did you mean" when a choice is close); the help text appends the
+  /// choice list. `defaultValue` must be one of `choices` (or empty with
+  /// required=true).
+  void addChoice(const std::string& name, const std::string& help,
+                 std::vector<std::string> choices,
+                 const std::string& defaultValue = "", bool required = false);
+
   /// Declares a positional argument (in order).
   void addPositional(const std::string& name, const std::string& help,
                      bool required = true);
@@ -48,6 +57,7 @@ class ArgParser {
     std::string defaultValue;
     bool required = false;
     bool boolean = false;
+    std::vector<std::string> choices;  ///< non-empty = enumerated values only
   };
   struct PosSpec {
     std::string name;

@@ -28,7 +28,7 @@ std::string toCsv(const SweepResult& result) {
                     "spots,top_spot";
   if (gt) out += ",measured_s,quality";
   if (hp) out += ",hotpath_nodes,hotspot_instances";
-  out += "\n";
+  out += ",miss_model\n";
 
   size_t rank = 0;
   for (size_t idx : result.ranked()) {
@@ -43,7 +43,7 @@ std::string toCsv(const SweepResult& result) {
                     c.quality.value_or(0.0));
     }
     if (hp) out += format(",%zu,%zu", c.hotPathNodes, c.hotSpotInstances);
-    out += "\n";
+    out += format(",%s\n", csvField(result.missModel).c_str());
   }
   return out;
 }
@@ -53,9 +53,10 @@ std::string toMarkdown(const SweepResult& result, size_t topN) {
   std::string out;
   out += format("# Co-design sweep: %s\n\n", result.workload.c_str());
   out += format("base machine: %s (projected %.4e s) — %zu configs, ranked by "
-                "projected time\n\n",
+                "projected time\n",
                 result.baseMachine.c_str(), result.baseProjectedSeconds,
                 result.outcomes.size());
+  out += format("roofline miss ratios: %s\n\n", result.missModel.c_str());
 
   out += "| rank | config | projected | speedup | bound | top hot spot | coverage |";
   if (gt) out += " measured | quality |";

@@ -69,12 +69,46 @@ SweepResult runSweep(const core::WorkloadFrontend& frontend,
   backendOpts.groundTruth = options.groundTruth;
   backendOpts.maxOps = options.maxOps;
 
+  // Analytic layer conditions: one symbolic model per workload serves every
+  // config with no trace at all. Always informs the roofline; when the
+  // workload is too data-dependent to analyze, degrade to trace replay (or
+  // to the constant ratios when no trace exists) — counted, so sweeps can
+  // tell which model actually ran.
+  bool wantReuseDist = options.cacheModel == CacheModelMode::ReuseDist &&
+                       (options.groundTruth || options.traceInformedRoofline);
+  bool rooflineFromPrediction = options.traceInformedRoofline;
+  std::optional<cachemodel::LayerConditionModel> layerModel;
+  if (options.cacheModel == CacheModelMode::LayerCond) {
+    SKOPE_SPAN("sweep/prepare-layer-cond");
+    layerModel.emplace(frontend.program(), frontend.bet(), frontend.params());
+    if (telemetry::enabled()) {
+      telemetry::Registry::global().counter("cachemodel/dispatch").add(1);
+    }
+    if (layerModel->usable()) {
+      backendOpts.layerModel = &*layerModel;
+      backendOpts.traceInformedRoofline = true;
+      result.missModel = "layer-cond";
+    } else {
+      layerModel.reset();
+      if (telemetry::enabled()) {
+        telemetry::Registry::global().counter("cachemodel/fallback-replay").add(1);
+      }
+      if (frontend.memoryTrace().usable()) {
+        wantReuseDist = true;
+        rooflineFromPrediction = true;
+        result.missModel = "layer-cond:replay-fallback";
+      } else {
+        result.missModel = "layer-cond:constant-fallback";
+      }
+    }
+  } else if (wantReuseDist && options.traceInformedRoofline) {
+    result.missModel = "reuse-dist";
+  }
+
   // Trace-once / replay-many: one CacheModel over the front-end's recorded
   // trace serves every config. Histograms for every line size on the grid
   // are computed here, before the fan-out, so workers never contend on the
   // analyzer's lazy cache.
-  bool wantReuseDist = options.cacheModel == CacheModelMode::ReuseDist &&
-                       (options.groundTruth || options.traceInformedRoofline);
   std::optional<trace::CacheModel> cacheModel;
   if (wantReuseDist) {
     SKOPE_SPAN("sweep/prepare-cache-model");
@@ -90,7 +124,7 @@ SweepResult runSweep(const core::WorkloadFrontend& frontend,
     cacheModel.emplace(mt, options.threads);
     cacheModel->prepare(configs);
     backendOpts.cacheModel = &*cacheModel;
-    backendOpts.traceInformedRoofline = options.traceInformedRoofline;
+    backendOpts.traceInformedRoofline = rooflineFromPrediction;
   }
 
   // The speedup baseline: the front-end's projection is cheap enough that

@@ -42,6 +42,13 @@ enum class CacheModelMode {
   /// replay the recorded run (microseconds per config). Requires a usable
   /// front-end trace (recordTrace on, not truncated).
   ReuseDist,
+  /// Analytic layer conditions: predict per-level hit ratios symbolically
+  /// from the skeleton's loop bounds and strides — no trace, no execution,
+  /// O(1) per config (see docs/CACHE_MODELS.md). Always feeds the roofline's
+  /// miss ratios; ground truth (if requested) uses the simulator. Falls back
+  /// to ReuseDist (counted as "cachemodel/fallback-replay") when too much of
+  /// the reference stream is data-dependent to analyze.
+  LayerCond,
 };
 
 struct SweepOptions {
@@ -104,6 +111,12 @@ struct SweepResult {
   std::vector<ConfigOutcome> outcomes;  ///< in grid order
   bool groundTruth = false;  ///< outcomes carry measuredSeconds / quality
   bool hotPaths = false;     ///< outcomes carry hot-path sizes
+  /// Where the roofline's per-config miss ratios came from: "constant"
+  /// (RooflineParams as configured), "reuse-dist" (trace replay,
+  /// --trace-roofline), "layer-cond" (analytic layer conditions), or the
+  /// fallback provenances "layer-cond:replay-fallback" /
+  /// "layer-cond:constant-fallback". Printed by both report writers.
+  std::string missModel = "constant";
 
   // Run metadata (not part of the deterministic report surface).
   int threadsUsed = 1;

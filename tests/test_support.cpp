@@ -221,6 +221,57 @@ TEST(ArgParse, UnknownFlagWithNoNearNeighborGetsNoSuggestion) {
   }
 }
 
+TEST(ArgParse, ChoiceFlagAcceptsListedValues) {
+  ArgParser args("t", "test");
+  args.addChoice("cache-model", "x", {"simulate", "reuse-dist", "layer-cond"},
+                 "simulate");
+  const char* argv[] = {"t", "--cache-model=layer-cond"};
+  ASSERT_TRUE(args.parse(2, argv));
+  EXPECT_EQ(args.get("cache-model"), "layer-cond");
+
+  ArgParser dflt("t", "test");
+  dflt.addChoice("cache-model", "x", {"simulate", "reuse-dist"}, "simulate");
+  const char* none[] = {"t"};
+  ASSERT_TRUE(dflt.parse(1, none));
+  EXPECT_EQ(dflt.get("cache-model"), "simulate");
+}
+
+TEST(ArgParse, ChoiceFlagRejectsUnknownValueListingChoices) {
+  ArgParser args("t", "test");
+  args.addChoice("cache-model", "x", {"simulate", "reuse-dist", "layer-cond"},
+                 "simulate");
+  const char* argv[] = {"t", "--cache-model=exact"};
+  try {
+    args.parse(2, argv);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    std::string msg = e.what();
+    EXPECT_NE(msg.find("invalid value 'exact' for --cache-model"), std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("simulate, reuse-dist, layer-cond"), std::string::npos) << msg;
+  }
+}
+
+TEST(ArgParse, ChoiceFlagSuggestsNearestChoiceOnTypo) {
+  ArgParser args("t", "test");
+  args.addChoice("cache-model", "x", {"simulate", "reuse-dist", "layer-cond"},
+                 "simulate");
+  const char* argv[] = {"t", "--cache-model", "layercond"};
+  try {
+    args.parse(3, argv);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    std::string msg = e.what();
+    EXPECT_NE(msg.find("did you mean 'layer-cond'?"), std::string::npos) << msg;
+  }
+}
+
+TEST(ArgParse, ChoiceListAppearsInHelpText) {
+  ArgParser args("t", "test");
+  args.addChoice("format", "report format", {"md", "csv", "both"}, "md");
+  EXPECT_NE(args.helpText().find("[md|csv|both]"), std::string::npos);
+}
+
 TEST(Logging, ParseLevelAndThresholds) {
   EXPECT_EQ(logging::parseLevel("quiet"), logging::Level::Quiet);
   EXPECT_EQ(logging::parseLevel("info"), logging::Level::Info);

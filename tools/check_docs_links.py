@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Fail CI on broken intra-repo markdown links.
+
+Scans README.md and docs/*.md for markdown links and image references,
+resolves every relative target against the repo root (anchors and external
+URLs are skipped), and exits nonzero listing each target that does not
+exist. Links with an anchor (``FILE.md#section``) are checked for the file
+only — section names are free to change.
+
+Usage: python3 tools/check_docs_links.py [repo-root]
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# [text](target) — stop at the first unescaped ')'; markdown titles
+# ("[t](x \"title\")") are split off below.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+
+def doc_files(root: Path):
+    yield root / "README.md"
+    yield from sorted((root / "docs").glob("*.md"))
+
+
+def check_file(path: Path, root: Path):
+    broken = []
+    text = path.read_text(encoding="utf-8")
+    in_code = False
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if line.lstrip().startswith("```"):
+            in_code = not in_code
+            continue
+        if in_code:
+            continue
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            target = target.split("#", 1)[0]
+            if not target:
+                continue
+            resolved = (path.parent / target).resolve()
+            if not resolved.exists():
+                broken.append((lineno, match.group(1)))
+            elif root.resolve() not in resolved.parents and resolved != root.resolve():
+                broken.append((lineno, match.group(1) + " (escapes the repo)"))
+    return broken
+
+
+def main():
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(__file__).resolve().parent.parent
+    failures = 0
+    checked = 0
+    for doc in doc_files(root):
+        if not doc.exists():
+            continue
+        checked += 1
+        for lineno, target in check_file(doc, root):
+            print(f"{doc.relative_to(root)}:{lineno}: broken link -> {target}")
+            failures += 1
+    if failures:
+        print(f"\n{failures} broken link(s) across {checked} file(s)")
+        return 1
+    print(f"OK: {checked} markdown file(s), all intra-repo links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,7 @@
 //   skopec sord --scaling --cells 64000 --steps 4  # multi-node projection
 #include <cstdio>
 
+#include "cachemodel/layercond.h"
 #include "core/framework.h"
 #include "report/table.h"
 #include "roofline/multinode.h"
@@ -18,6 +19,7 @@
 #include "support/argparse.h"
 #include "support/log.h"
 #include "support/text.h"
+#include "trace/cache_model.h"
 #include "telemetry/export.h"
 #include "telemetry/telemetry.h"
 
@@ -41,6 +43,13 @@ int run(int argc, char** argv) {
   args.addPositional("workload", "bundled workload name (sord, chargei, srad, cfd, "
                                  "stassuij) or a MiniC file path");
   args.addFlag("machine", "target machine: bgq, xeon, knl, arm", "bgq");
+  args.addChoice("cache-model",
+                 "miss-ratio source for the roofline projection: 'constant' "
+                 "keeps the configured roofline parameters, 'reuse-dist' "
+                 "predicts them from the profiling run's memory trace, "
+                 "'layer-cond' predicts them symbolically from loop bounds and "
+                 "strides — no trace needed (see docs/CACHE_MODELS.md)",
+                 {"constant", "reuse-dist", "layer-cond"}, "constant");
   args.addFlag("params", "override workload params, e.g. N=128,STEPS=10");
   args.addFlag("hints", "hint file with one 'name = value' binding per line");
   args.addFlag("coverage", "hot-spot time-coverage criterion", "0.90");
@@ -86,11 +95,54 @@ int run(int argc, char** argv) {
     return 0;
   }
 
+  // Resolve the roofline's miss-ratio source (--cache-model). Both predictive
+  // models print their per-level prediction so a co-design session can see
+  // what the projection is built on.
+  roofline::RooflineParams rparams{};
+  std::string cacheModelName = args.get("cache-model");
+  std::optional<trace::CachePrediction> pred;
+  if (cacheModelName == "layer-cond") {
+    cachemodel::LayerConditionModel lc(fw->program(), fw->frontend()->bet(),
+                                       fw->params());
+    const auto& st = lc.stats();
+    std::printf("layer-cond: %zu groups, %zu affine / %zu indirect / %zu opaque "
+                "refs, %.1f%% of the dynamic stream modeled\n",
+                st.groups, st.affineRefs, st.indirectRefs, st.opaqueRefs,
+                st.modeledFraction() * 100);
+    if (lc.usable()) {
+      pred = lc.evaluate(machine);
+    } else if (fw->frontend()->memoryTrace().usable()) {
+      std::printf("layer-cond: coverage too low, falling back to reuse-dist\n");
+      cacheModelName = "reuse-dist";
+    } else {
+      std::printf("layer-cond: coverage too low and no trace recorded, keeping "
+                  "constant roofline parameters\n");
+    }
+  }
+  if (cacheModelName == "reuse-dist") {
+    const trace::MemoryTrace& mt = fw->frontend()->memoryTrace();
+    if (!mt.usable()) {
+      throw Error("cache-model=reuse-dist needs a usable memory trace "
+                  "(raise --max-ops or use --cache-model=layer-cond)");
+    }
+    trace::CacheModel cm(mt);
+    pred = cm.evaluate(machine);
+  }
+  if (pred) {
+    rparams.l1MissRatio = pred->l1MissRate;
+    rparams.dramMissRatio = pred->l1MissRate * pred->llcMissRate;
+    std::printf("%s prediction on %s: L1 hit %.2f%%, LLC hit %.2f%% "
+                "(%llu references)\n",
+                cacheModelName.c_str(), machine.name.c_str(),
+                (1 - pred->l1MissRate) * 100, (1 - pred->llcMissRate) * 100,
+                static_cast<unsigned long long>(pred->accesses));
+  }
+
   if (args.getBool("compare")) {
     auto analysis = fw->analyze(machine, criteria);
     std::fputs(analysis.summary(topN).c_str(), stdout);
   } else {
-    auto model = fw->project(machine);
+    auto model = fw->project(machine, rparams);
     auto ranking = hotspot::rankingFromModel(model);
     std::printf("projected hot spots on %s (total %.4f s, no simulation run):\n",
                 machine.name.c_str(), model.totalSeconds);
@@ -116,7 +168,7 @@ int run(int argc, char** argv) {
     halo.fields = 4;
     std::vector<int> counts;
     for (int n = 1; n <= maxNodes; n *= 2) counts.push_back(n);
-    auto model = fw->project(machine);
+    auto model = fw->project(machine, rparams);
     auto scaling = roofline::projectStrongScaling(model, machine, halo, counts);
     std::printf("\nstrong-scaling projection (%s network):\n", machine.name.c_str());
     report::Table t({"nodes", "compute s", "comm s", "total s", "speedup", "efficiency"});

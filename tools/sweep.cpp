@@ -94,24 +94,27 @@ int run(int argc, char** argv) {
   args.addFlag("base", "base machine when the spec has no 'base =' line: "
                        "bgq, xeon, knl, arm", "bgq");
   args.addFlag("threads", "worker threads (0 = all hardware threads)", "0");
-  args.addFlag("backend", "roofline back-end: 'batched' walks the BET once and "
-                          "combines per config (node-major), 'scalar' re-walks "
-                          "it per config; both produce identical reports",
-               "batched");
+  args.addChoice("backend", "roofline back-end: 'batched' walks the BET once and "
+                            "combines per config (node-major), 'scalar' re-walks "
+                            "it per config; both produce identical reports",
+                 {"batched", "scalar"}, "batched");
   args.addFlag("coverage", "hot-spot time-coverage criterion", "0.90");
   args.addFlag("leanness", "hot-spot code-leanness criterion", "0.45");
-  args.addFlag("format", "report format: md, csv, or both", "md");
+  args.addChoice("format", "report format", {"md", "csv", "both"}, "md");
   args.addFlag("out", "write the report here instead of stdout");
   args.addFlag("top", "rows in the markdown table (0 = all)", "0");
   args.addFlag("params", "override workload params, e.g. N=128,STEPS=10");
   args.addFlag("hints", "hint file with one 'name = value' binding per line");
   args.addBool("quality", "also run the ground-truth simulator per config "
                           "(measured time + selection quality; much slower)");
-  args.addFlag("cache-model", "ground-truth engine for --quality: 'simulate' "
-                              "re-runs the simulator per config, 'reuse-dist' "
-                              "replays the recorded trace through the analytic "
-                              "reuse-distance cache model (orders of magnitude "
-                              "faster; see docs/TRACE.md)", "simulate");
+  args.addChoice("cache-model",
+                 "cache model: 'simulate' re-runs the simulator per config, "
+                 "'reuse-dist' replays the recorded trace through the analytic "
+                 "reuse-distance model (orders of magnitude faster; see "
+                 "docs/TRACE.md), 'layer-cond' predicts hit ratios symbolically "
+                 "from loop bounds and strides — no trace, O(1)/config, and "
+                 "feeds the roofline's miss ratios (see docs/CACHE_MODELS.md)",
+                 {"simulate", "reuse-dist", "layer-cond"}, "simulate");
   args.addBool("trace-roofline", "feed trace-predicted miss ratios into the "
                                  "roofline instead of the constant 0.85 hit rate "
                                  "(implies building the reuse-distance model)");
@@ -163,18 +166,14 @@ int run(int argc, char** argv) {
   opts.traceInformedRoofline = args.getBool("trace-roofline");
   opts.maxOps = static_cast<uint64_t>(args.getDouble("max-ops"));
 
-  std::string backend = args.get("backend");
-  if (backend == "scalar") {
-    opts.backend = sweep::SweepBackend::Scalar;
-  } else if (backend != "batched") {
-    throw Error("unknown --backend '" + backend + "' (batched, scalar)");
-  }
+  // Choice validation happens in parse(); here we only map strings to enums.
+  if (args.get("backend") == "scalar") opts.backend = sweep::SweepBackend::Scalar;
 
   std::string cacheModel = args.get("cache-model");
-  if (cacheModel == "reuse-dist" || opts.traceInformedRoofline) {
+  if (cacheModel == "layer-cond") {
+    opts.cacheModel = sweep::CacheModelMode::LayerCond;
+  } else if (cacheModel == "reuse-dist" || opts.traceInformedRoofline) {
     opts.cacheModel = sweep::CacheModelMode::ReuseDist;
-  } else if (cacheModel != "simulate") {
-    throw Error("unknown --cache-model '" + cacheModel + "' (simulate, reuse-dist)");
   }
 
   core::FrontendOptions fopts;
