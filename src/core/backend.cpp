@@ -19,10 +19,11 @@ namespace {
 /// annotations side table, which only the scalar path builds).
 void finishEvaluation(const WorkloadFrontend& frontend, const MachineModel& machine,
                       const BackendOptions& options, MachineEvaluation& ev,
-                      bool renderHotPath) {
+                      bool renderHotPath, const CancelToken& cancel) {
   size_t totalInstrs = 0;
   {
     SKOPE_SPAN("backend/hotspot");
+    cancel.throwIfExpired("backend/hotspot");
     ev.ranking = hotspot::rankingFromModel(ev.model);
     totalInstrs = frontend.module().totalStaticInstrs();
     ev.selection = hotspot::selectHotSpots(ev.ranking, totalInstrs, options.criteria);
@@ -30,6 +31,7 @@ void finishEvaluation(const WorkloadFrontend& frontend, const MachineModel& mach
 
   if (options.wantHotPath) {
     SKOPE_SPAN("backend/hotpath");
+    cancel.throwIfExpired("backend/hotpath");
     auto path = hotpath::extractHotPath(frontend.bet(), ev.selection);
     ev.hotPathNodes = path.size();
     ev.hotSpotInstances = path.hotSpotInstances;
@@ -40,6 +42,7 @@ void finishEvaluation(const WorkloadFrontend& frontend, const MachineModel& mach
 
   if (options.groundTruth) {
     SKOPE_SPAN("backend/ground-truth");
+    cancel.throwIfExpired("backend/ground-truth");
     sim::SimResult sim;
     if (options.cacheModel != nullptr) {
       trace::ReplayInputs inputs{frontend.memoryTrace(), *options.cacheModel,
@@ -49,6 +52,7 @@ void finishEvaluation(const WorkloadFrontend& frontend, const MachineModel& mach
       sim::Simulator simulator(frontend.program(), frontend.module(), machine,
                                &WorkloadFrontend::libProfile().mixes);
       if (options.maxOps != 0) simulator.setMaxOps(options.maxOps);
+      if (cancel.valid()) simulator.setCancelToken(cancel);
       sim = simulator.run(frontend.params(), frontend.seed());
     }
     ev.prof = sim::makeReport(sim, frontend.module());
@@ -102,7 +106,8 @@ MachineEvaluation evaluateMachine(const WorkloadFrontend& frontend,
     ev.model = roofline::estimate(frontend.bet(), model, &frontend.module(),
                                   &WorkloadFrontend::libProfile().mixes, &ev.annotations);
   }
-  finishEvaluation(frontend, machine, options, ev, /*renderHotPath=*/true);
+  finishEvaluation(frontend, machine, options, ev, /*renderHotPath=*/true,
+                   options.cancel);
   return ev;
 }
 
@@ -148,14 +153,18 @@ GridBackend::GridBackend(const WorkloadFrontend& frontend,
 
   roofline::BatchedEstimator estimator(frontend_.bet(), &frontend_.module(),
                                        &WorkloadFrontend::libProfile().mixes);
-  models_ = estimator.estimateGrid(models);
+  models_ = estimator.estimateGrid(models, options_.cancel);
 }
 
 MachineEvaluation GridBackend::evaluate(size_t i) const {
+  return evaluate(i, options_.cancel);
+}
+
+MachineEvaluation GridBackend::evaluate(size_t i, const CancelToken& cancel) const {
   MachineEvaluation ev;
   ev.machineName = machines_[i].name;
   ev.model = models_[i];
-  finishEvaluation(frontend_, machines_[i], options_, ev, /*renderHotPath=*/false);
+  finishEvaluation(frontend_, machines_[i], options_, ev, /*renderHotPath=*/false, cancel);
   return ev;
 }
 

@@ -49,6 +49,10 @@ struct BackendOptions {
   bool traceInformedRoofline = false;
   /// Dynamic instruction budget for the simulated run; 0 keeps the default.
   uint64_t maxOps = 0;
+  /// Cooperative cancellation: checked between back-end stages, inside the
+  /// batched combine, and forwarded into the ground-truth simulator's VM.
+  /// The default null token costs one pointer test per poll.
+  CancelToken cancel{};
 };
 
 /// Everything the back-end produces for one (workload, machine) pair.
@@ -104,6 +108,10 @@ class GridBackend {
 
   /// Finishes config i from the batched model. Thread-safe for distinct i.
   [[nodiscard]] MachineEvaluation evaluate(size_t i) const;
+
+  /// Same, under a per-call token (e.g. a sweep worker's per-config child)
+  /// that overrides options.cancel for this config's finish stage.
+  [[nodiscard]] MachineEvaluation evaluate(size_t i, const CancelToken& cancel) const;
 
   /// The batched per-config projections, in construction order.
   [[nodiscard]] const std::vector<roofline::ModelResult>& models() const {

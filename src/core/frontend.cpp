@@ -48,9 +48,11 @@ WorkloadFrontend::WorkloadFrontend(std::string name, std::string source,
     if (options.recordTrace) {
       trace::TraceRecorder recorder(options.traceMaxRefs);
       profile_ = vm::profileRun(mod_, params_, seed_, &recorder, options.maxOps,
-                                [&](const vm::Vm& vm) { trace_ = recorder.finish(vm); });
+                                [&](const vm::Vm& vm) { trace_ = recorder.finish(vm); },
+                                options.cancel);
     } else {
-      profile_ = vm::profileRun(mod_, params_, seed_, nullptr, options.maxOps);
+      profile_ = vm::profileRun(mod_, params_, seed_, nullptr, options.maxOps, nullptr,
+                                options.cancel);
     }
   }
 

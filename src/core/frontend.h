@@ -20,6 +20,7 @@
 
 #include "bet/bet.h"
 #include "libmodel/libmodel.h"
+#include "support/cancel.h"
 #include "minic/ast.h"
 #include "skeleton/skeleton.h"
 #include "trace/trace.h"
@@ -41,6 +42,9 @@ struct FrontendOptions {
   /// Reference cap for the trace recorder; beyond it the trace is marked
   /// truncated and trace consumers fall back to simulation.
   uint64_t traceMaxRefs = trace::kDefaultMaxRefs;
+  /// Cooperative cancellation for the profiling run (--deadline-ms): the
+  /// VM polls it every ~64K dynamic instructions and throws CancelledError.
+  CancelToken cancel{};
 };
 
 class WorkloadFrontend {

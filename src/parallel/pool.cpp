@@ -8,6 +8,8 @@
 #include <thread>
 #include <vector>
 
+#include "support/diagnostics.h"
+#include "support/faultinject.h"
 #include "support/text.h"
 #include "telemetry/telemetry.h"
 
@@ -41,6 +43,7 @@ struct BatchState {
   std::vector<WorkerQueue> queues;
   const std::function<void(size_t)>* task = nullptr;
   const WorkStealingPool::DoneFn* onDone = nullptr;
+  const WorkStealingPool::ErrorFn* onError = nullptr;
   size_t total = 0;
   std::atomic<size_t> done{0};
   std::atomic<bool> abort{false};
@@ -53,6 +56,19 @@ struct BatchState {
     std::lock_guard<std::mutex> lock(errorMu);
     if (!error) error = std::current_exception();
     abort.store(true, std::memory_order_relaxed);
+  }
+
+  void runOne(size_t idx) const {
+    SKOPE_FAULT_POINT("pool/task",
+                      throw Error("fault injected: pool/task (task " +
+                                  std::to_string(idx) + ")"));
+    (*task)(idx);
+  }
+
+  void notifyDone() {
+    if (onDone != nullptr && *onDone) {
+      (*onDone)(done.fetch_add(1, std::memory_order_relaxed) + 1, total);
+    }
   }
 
   void workerLoop(size_t self) {
@@ -80,16 +96,27 @@ struct BatchState {
       try {
         if (tel) {
           auto t0 = telemetry::Clock::now();
-          (*task)(idx);
+          runOne(idx);
           busy += telemetry::Clock::now() - t0;
         } else {
-          (*task)(idx);
+          runOne(idx);
         }
         ++tasksRun;
-        if (onDone != nullptr && *onDone) {
-          (*onDone)(done.fetch_add(1, std::memory_order_relaxed) + 1, total);
-        }
+        notifyDone();
       } catch (...) {
+        // Barrier mode: hand the failure to the caller's handler and keep
+        // draining — one bad task must not kill the batch. Without a
+        // handler (or if the handler itself throws) fall back to the
+        // abort-and-rethrow discipline.
+        if (onError != nullptr && *onError) {
+          try {
+            (*onError)(idx, std::current_exception());
+            ++tasksRun;
+            notifyDone();
+            continue;
+          } catch (...) {
+          }
+        }
         recordError();
         break;
       }
@@ -119,14 +146,44 @@ WorkStealingPool::WorkStealingPool(int threads) {
   threads_ = threads;
 }
 
+namespace {
+
+/// Joins every spawned worker on scope exit, whatever path leaves run() —
+/// a destructor firing with joinable threads alive would std::terminate.
+struct Joiner {
+  std::vector<std::thread>& crew;
+  ~Joiner() {
+    for (auto& t : crew) {
+      if (t.joinable()) t.join();
+    }
+  }
+};
+
+}  // namespace
+
 void WorkStealingPool::run(size_t numTasks, const std::function<void(size_t)>& task,
-                           const DoneFn& onTaskDone) const {
+                           const DoneFn& onTaskDone, const ErrorFn& onTaskError) const {
   if (numTasks == 0) return;
   size_t workers = std::min<size_t>(static_cast<size_t>(threads_), numTasks);
   if (workers <= 1) {
+    // Inline serial path, same failure semantics as the pooled one.
+    BatchState state(1);
+    state.task = &task;
+    state.onDone = &onTaskDone;
+    state.onError = &onTaskError;
+    state.total = numTasks;
     for (size_t i = 0; i < numTasks; ++i) {
-      task(i);
-      if (onTaskDone) onTaskDone(i + 1, numTasks);
+      try {
+        state.runOne(i);
+        state.notifyDone();
+      } catch (...) {
+        if (onTaskError) {
+          onTaskError(i, std::current_exception());
+          state.notifyDone();
+          continue;
+        }
+        throw;
+      }
     }
     return;
   }
@@ -134,6 +191,7 @@ void WorkStealingPool::run(size_t numTasks, const std::function<void(size_t)>& t
   BatchState state(workers);
   state.task = &task;
   state.onDone = &onTaskDone;
+  state.onError = &onTaskError;
   state.total = numTasks;
   // Deal the batch round-robin; deques are popped from the back, so push
   // order keeps low indices (often the cheap baseline configs) early.
@@ -143,14 +201,23 @@ void WorkStealingPool::run(size_t numTasks, const std::function<void(size_t)>& t
 
   std::vector<std::thread> crew;
   crew.reserve(workers - 1);
-  for (size_t w = 1; w < workers; ++w) {
-    crew.emplace_back([&state, w] {
-      telemetry::setThreadName(format("pool-worker-%zu", w));
-      state.workerLoop(w);
-    });
+  {
+    Joiner joiner{crew};
+    for (size_t w = 1; w < workers; ++w) {
+      crew.emplace_back([&state, w] {
+        telemetry::setThreadName(format("pool-worker-%zu", w));
+        state.workerLoop(w);
+      });
+    }
+    try {
+      state.workerLoop(0);  // the calling thread is worker 0
+    } catch (...) {
+      // workerLoop contains its own barriers, but if anything still escapes
+      // (e.g. the telemetry flush), record it — the Joiner must run with no
+      // exception in flight before we rethrow.
+      state.recordError();
+    }
   }
-  state.workerLoop(0);  // the calling thread is worker 0
-  for (auto& t : crew) t.join();
 
   if (state.error) std::rethrow_exception(state.error);
 }

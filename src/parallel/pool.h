@@ -17,11 +17,19 @@
 // since tasks here are coarse (an entire machine evaluation, µs to seconds)
 // and queue overhead is noise.
 //
-// The first exception thrown by any task aborts the remaining batch (tasks
-// already running finish) and is rethrown from run() on the caller's thread.
+// Failure semantics are caller-selected. By default the first exception
+// thrown by any task aborts the remaining batch (tasks already running
+// finish) and is rethrown from run() on the caller's thread. When an
+// onTaskError callback is supplied, run() instead becomes a per-task
+// exception barrier: a throwing task is reported as (index, exception_ptr)
+// and the batch keeps going — the discipline the fault-isolated sweep uses
+// to turn one bad config into one failed row instead of a dead sweep. In
+// both modes spawned workers are joined through an RAII guard, so a
+// throwing task can never leave a joinable thread behind.
 #pragma once
 
 #include <cstddef>
+#include <exception>
 #include <functional>
 
 namespace skope::parallel {
@@ -33,6 +41,13 @@ class WorkStealingPool {
   /// `done` values 1..total are each delivered exactly once (not necessarily
   /// in order). Drives the sweep CLI's live progress/ETA line.
   using DoneFn = std::function<void(size_t done, size_t total)>;
+
+  /// Per-task exception barrier: onTaskError(index, error) fires instead of
+  /// aborting the batch when task(index) throws, from whichever worker ran
+  /// it — so it MUST be thread-safe, and it must not throw (a throw from the
+  /// handler falls back to the abort-and-rethrow path). The failed task
+  /// still counts toward the completion callback.
+  using ErrorFn = std::function<void(size_t index, std::exception_ptr error)>;
 
   /// `threads` <= 0 selects std::thread::hardware_concurrency().
   explicit WorkStealingPool(int threads = 0);
@@ -49,8 +64,11 @@ class WorkStealingPool {
   /// "sweep/pool/tasks", "sweep/pool/steals" and "sweep/pool/idle_ns"
   /// (scheduling overhead summed over workers), the per-worker histogram
   /// "sweep/pool/worker_idle_ms", and a named span track per spawned worker.
+  /// Fault injection: each task invocation passes the "pool/task" fault
+  /// point (see support/faultinject.h) before running; an injected fault is
+  /// indistinguishable from the task itself throwing.
   void run(size_t numTasks, const std::function<void(size_t)>& task,
-           const DoneFn& onTaskDone = {}) const;
+           const DoneFn& onTaskDone = {}, const ErrorFn& onTaskError = {}) const;
 
  private:
   int threads_ = 1;

@@ -206,7 +206,7 @@ BatchedEstimator::BatchedEstimator(const bet::Bet& bet, const vm::Module* mod,
 }
 
 std::vector<ModelResult> BatchedEstimator::estimateGrid(
-    const std::vector<Roofline>& models) const {
+    const std::vector<Roofline>& models, const CancelToken& cancel) const {
   SKOPE_SPAN("roofline/estimate-grid");
   const size_t numConfigs = models.size();
   const size_t numSlots = slots_.size();
@@ -230,6 +230,9 @@ std::vector<ModelResult> BatchedEstimator::estimateGrid(
   std::vector<double> toSec(numSlots * numConfigs, 0);
   std::vector<double> totSec(numSlots * numConfigs, 0);
   for (const BlockTerm& t : terms_) {
+    // One poll per term row (a row is numConfigs combine calls) — far off
+    // the inner loop, still bounds interruption to one row of work.
+    cancel.throwIfExpired("roofline/estimate-grid");
     double* tc = &tcSec[t.slot * numConfigs];
     double* tm = &tmSec[t.slot * numConfigs];
     double* to = &toSec[t.slot * numConfigs];

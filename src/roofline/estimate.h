@@ -16,6 +16,7 @@
 
 #include "bet/bet.h"
 #include "roofline/roofline.h"
+#include "support/cancel.h"
 #include "vm/bytecode.h"
 
 namespace skope::roofline {
@@ -106,9 +107,10 @@ class BatchedEstimator {
 
   /// Per-config results, in `models` order. Thread-safe (const, no shared
   /// writes); increments the "roofline/batched-nodes" counter by
-  /// terms × configs when telemetry is enabled.
+  /// terms × configs when telemetry is enabled. `cancel` interrupts the
+  /// combine between term rows with CancelledError.
   [[nodiscard]] std::vector<ModelResult> estimateGrid(
-      const std::vector<Roofline>& models) const;
+      const std::vector<Roofline>& models, const CancelToken& cancel = {}) const;
 
   /// Block terms extracted from the BET (one per block node, preorder).
   [[nodiscard]] size_t termCount() const { return terms_.size(); }

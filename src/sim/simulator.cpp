@@ -138,6 +138,7 @@ SimResult Simulator::run(const std::map<std::string, double>& params, uint64_t s
   vmachine.bindParams(params);
   vmachine.setSeed(seed);
   if (maxOps_ != 0) vmachine.setMaxOps(maxOps_);
+  if (cancel_.valid()) vmachine.setCancelToken(cancel_);
   SimTracer tracer(costs_, machine_, result, libMixes_);
   vmachine.run(&tracer);
   tracer.finish();

@@ -98,6 +98,9 @@ class Simulator {
   /// Dynamic instruction budget for the simulated run (see Vm::setMaxOps).
   void setMaxOps(uint64_t maxOps) { maxOps_ = maxOps; }
 
+  /// Cooperative cancellation, forwarded to the Vm (see Vm::setCancelToken).
+  void setCancelToken(CancelToken token) { cancel_ = std::move(token); }
+
   /// True when this machine's compiler model vectorizes the given loop.
   [[nodiscard]] bool isVectorized(uint32_t region) const {
     auto it = vectorized_.find(region);
@@ -112,6 +115,7 @@ class Simulator {
   std::map<minic::NodeId, bool> vectorized_;
   const LibMixMap* libMixes_ = nullptr;
   uint64_t maxOps_ = 0;  ///< 0 = keep the Vm default
+  CancelToken cancel_;
 };
 
 }  // namespace skope::sim

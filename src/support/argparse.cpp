@@ -1,6 +1,7 @@
 #include "support/argparse.h"
 
 #include <algorithm>
+#include <charconv>
 #include <cstdio>
 
 #include "support/text.h"
@@ -144,6 +145,46 @@ double ArgParser::getDouble(const std::string& name) const {
   } catch (const std::exception&) {
     throw Error("flag --" + name + " expects a number, got '" + v + "'");
   }
+}
+
+namespace {
+
+/// Strict from_chars wrapper: the entire string must be one in-range decimal
+/// integer. Returns false on empty input, sign mismatch, overflow (ERANGE
+/// maps to from_chars' result_out_of_range) or trailing garbage.
+template <typename T>
+bool parseIntStrict(const std::string& v, T& out) {
+  if (v.empty()) return false;
+  const char* first = v.data();
+  const char* last = v.data() + v.size();
+  // from_chars accepts a leading '-' for signed types only — exactly the
+  // contract we want (no "+", no spaces, no hex).
+  auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc{} && ptr == last;
+}
+
+template <typename T>
+[[noreturn]] void badIntFlag(const std::string& name, const std::string& v, T min, T max) {
+  throw Error("flag --" + name + " expects an integer in [" + std::to_string(min) +
+              ", " + std::to_string(max) + "], got '" + v + "'");
+}
+
+}  // namespace
+
+int64_t ArgParser::getInt(const std::string& name, int64_t min, int64_t max) const {
+  std::string v = get(name);
+  if (v.empty()) throw Error("flag --" + name + " has no value");
+  int64_t out = 0;
+  if (!parseIntStrict(v, out) || out < min || out > max) badIntFlag(name, v, min, max);
+  return out;
+}
+
+uint64_t ArgParser::getUint64(const std::string& name, uint64_t min, uint64_t max) const {
+  std::string v = get(name);
+  if (v.empty()) throw Error("flag --" + name + " has no value");
+  uint64_t out = 0;
+  if (!parseIntStrict(v, out) || out < min || out > max) badIntFlag(name, v, min, max);
+  return out;
 }
 
 bool ArgParser::getBool(const std::string& name) const {

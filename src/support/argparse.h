@@ -5,6 +5,7 @@
 // beyond string/double/bool.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
@@ -47,6 +48,17 @@ class ArgParser {
   [[nodiscard]] double getDouble(const std::string& name) const;
   [[nodiscard]] bool getBool(const std::string& name) const;
   [[nodiscard]] bool has(const std::string& name) const;
+
+  /// Strict integer accessors: the whole value must parse as a decimal
+  /// integer within [min, max], or the call throws an Error naming the flag,
+  /// the valid range and the offending value. Unlike getDouble + cast, these
+  /// reject overflowing literals ("99999999999999999999"), negative values
+  /// for unsigned flags ("--max-ops=-1"), fractions and trailing garbage —
+  /// the UB/wraparound family of numeric-flag bugs.
+  [[nodiscard]] int64_t getInt(const std::string& name,
+                               int64_t min = INT64_MIN, int64_t max = INT64_MAX) const;
+  [[nodiscard]] uint64_t getUint64(const std::string& name,
+                                   uint64_t min = 0, uint64_t max = UINT64_MAX) const;
 
   [[nodiscard]] std::string helpText() const;
 

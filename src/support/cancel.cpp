@@ -1,0 +1,75 @@
+#include "support/cancel.h"
+
+#include <algorithm>
+
+namespace skope {
+
+std::string_view cancelReasonLabel(CancelReason reason) {
+  switch (reason) {
+    case CancelReason::None: return "none";
+    case CancelReason::Cancelled: return "cancelled";
+    case CancelReason::DeadlineExceeded: return "deadline exceeded";
+  }
+  return "none";
+}
+
+CancelToken CancelToken::cancellable() {
+  return CancelToken(std::make_shared<State>());
+}
+
+CancelToken CancelToken::withDeadline(Clock::time_point deadline) {
+  auto state = std::make_shared<State>();
+  state->deadline = deadline;
+  return CancelToken(std::move(state));
+}
+
+CancelToken CancelToken::withTimeoutMs(int64_t ms) {
+  if (ms <= 0) return cancellable();
+  return withDeadline(Clock::now() + std::chrono::milliseconds(ms));
+}
+
+CancelToken CancelToken::childWithDeadline(Clock::time_point deadline) const {
+  auto state = std::make_shared<State>();
+  state->parent = state_;
+  state->deadline = std::min(deadline, this->deadline());
+  return CancelToken(std::move(state));
+}
+
+CancelToken CancelToken::childWithTimeoutMs(int64_t ms) const {
+  if (ms <= 0) return childWithDeadline(Clock::time_point::max());
+  return childWithDeadline(Clock::now() + std::chrono::milliseconds(ms));
+}
+
+void CancelToken::cancel() const {
+  if (state_ != nullptr) state_->cancelled.store(true, std::memory_order_relaxed);
+}
+
+CancelReason CancelToken::reason() const {
+  if (state_ == nullptr) return CancelReason::None;
+  // Explicit cancellation anywhere up the chain wins (it is the stronger,
+  // clock-independent signal). The chain is short — a sweep derives at most
+  // root -> per-config, so this walk is two pointer chases.
+  for (const State* s = state_.get(); s != nullptr; s = s->parent.get()) {
+    if (s->cancelled.load(std::memory_order_relaxed)) return CancelReason::Cancelled;
+  }
+  // The effective deadline was folded in at creation (children take
+  // min(parent, own)), so one comparison suffices — and the clock is only
+  // read when some ancestor actually set a deadline.
+  if (state_->deadline != Clock::time_point::max() && Clock::now() >= state_->deadline) {
+    return CancelReason::DeadlineExceeded;
+  }
+  return CancelReason::None;
+}
+
+void CancelToken::throwIfExpired(const char* what) const {
+  if (state_ == nullptr) return;
+  CancelReason r = reason();
+  if (r == CancelReason::None) return;
+  throw CancelledError(r, std::string(what) + ": " + std::string(cancelReasonLabel(r)));
+}
+
+CancelToken::Clock::time_point CancelToken::deadline() const {
+  return state_ != nullptr ? state_->deadline : Clock::time_point::max();
+}
+
+}  // namespace skope

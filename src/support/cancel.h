@@ -1,0 +1,128 @@
+// Cooperative cancellation and deadlines for long-running pipeline stages.
+//
+// A CancelToken is a cheap, copyable handle onto shared cancellation state:
+// an explicit cancel() flag plus an optional monotonic-clock deadline. Tokens
+// form a hierarchy — child() derives a token that observes its parent's
+// cancellation and may tighten (never loosen) the effective deadline — which
+// is how a sweep maps "--deadline-ms for the whole grid, --config-timeout-ms
+// per config" onto one mechanism: the sweep holds the root token and each
+// worker derives a per-config child when it picks the config up.
+//
+// Checking is cooperative and polled: the VM exec loop, trace replay, the
+// reuse-distance walk, the batched SoA combine and the sweep workers call
+// expired() / throwIfExpired() at bounded intervals (every ~64K units of
+// work), so a runaway config is interrupted within a predictable amount of
+// work, not at an instruction boundary. A default-constructed token is the
+// null token: expired() is a single pointer test and never a clock read, so
+// uncancellable callers pay effectively nothing — the property the
+// bench_robustness overhead gauge pins at <= 3%.
+//
+// Cancellation surfaces as CancelledError (a subclass of Error carrying the
+// reason), so the sweep's per-config exception barrier can classify a
+// deadline expiry as status "timeout" rather than "error" — see
+// docs/ROBUSTNESS.md for the status schema.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "support/diagnostics.h"
+
+namespace skope {
+
+/// Why a token reports expiry.
+enum class CancelReason {
+  None,              ///< not cancelled
+  Cancelled,         ///< someone called cancel() on this token or an ancestor
+  DeadlineExceeded,  ///< the effective deadline passed
+};
+
+/// Human-readable reason ("cancelled" / "deadline exceeded").
+[[nodiscard]] std::string_view cancelReasonLabel(CancelReason reason);
+
+/// Thrown by throwIfExpired(). Subclasses Error so existing catch sites keep
+/// working; carries the reason so fault-isolation barriers can distinguish a
+/// timeout from a genuine failure.
+class CancelledError : public Error {
+ public:
+  CancelledError(CancelReason reason, const std::string& msg)
+      : Error(msg), reason_(reason) {}
+
+  [[nodiscard]] CancelReason reason() const { return reason_; }
+
+ private:
+  CancelReason reason_;
+};
+
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// The null token: never expires, costs one pointer test to poll.
+  CancelToken() = default;
+
+  /// A cancellable token with no deadline (cancel() is the only trigger).
+  [[nodiscard]] static CancelToken cancellable();
+  /// A token that expires at `deadline` (monotonic clock).
+  [[nodiscard]] static CancelToken withDeadline(Clock::time_point deadline);
+  /// A token that expires `ms` milliseconds from now. `ms` <= 0 returns a
+  /// cancellable token with no deadline (the CLI's "0 = unlimited").
+  [[nodiscard]] static CancelToken withTimeoutMs(int64_t ms);
+
+  /// A child observing this token's cancellation, with its own cancel()
+  /// scope. The child's effective deadline is min(parent's, `deadline`) —
+  /// children tighten deadlines, never extend them. Callable on the null
+  /// token (the child then simply has no parent).
+  [[nodiscard]] CancelToken childWithDeadline(Clock::time_point deadline) const;
+  [[nodiscard]] CancelToken childWithTimeoutMs(int64_t ms) const;
+
+  /// Non-null (was created by one of the factories)?
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+
+  /// Requests cancellation of this token and every child derived from it.
+  /// No-op on the null token. Thread-safe; idempotent.
+  void cancel() const;
+
+  /// Polls the state: explicit cancellation anywhere up the parent chain
+  /// wins over deadline expiry. Reads the clock only when a deadline is set.
+  [[nodiscard]] CancelReason reason() const;
+
+  /// True when reason() != None. The hot-path poll: one pointer test on the
+  /// null token.
+  [[nodiscard]] bool expired() const {
+    return state_ != nullptr && reason() != CancelReason::None;
+  }
+
+  /// Throws CancelledError("<what>: <reason>") when expired. `what` names
+  /// the stage being interrupted ("vm", "sweep", "trace/reuse", ...).
+  void throwIfExpired(const char* what) const;
+
+  /// The effective deadline (min over the parent chain), or
+  /// Clock::time_point::max() when none is set.
+  [[nodiscard]] Clock::time_point deadline() const;
+
+ private:
+  struct State {
+    /// mutable: tokens share State via shared_ptr<const State> (the tree is
+    /// immutable after creation) but cancel() still flips this flag.
+    mutable std::atomic<bool> cancelled{false};
+    /// min(own deadline, parent's effective deadline), frozen at creation.
+    Clock::time_point deadline = Clock::time_point::max();
+    std::shared_ptr<const State> parent;
+  };
+
+  explicit CancelToken(std::shared_ptr<const State> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<const State> state_;
+};
+
+/// Polling interval for hot loops: check the token every time
+/// (counter & kCancelCheckMask) == 0. 64K units keeps the clock read far off
+/// the per-iteration path while still bounding interruption latency.
+constexpr uint64_t kCancelCheckMask = 0xFFFF;
+
+}  // namespace skope

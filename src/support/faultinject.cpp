@@ -1,0 +1,151 @@
+#include "support/faultinject.h"
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+
+#include "support/diagnostics.h"
+#include "support/text.h"
+
+namespace skope::faultinject {
+
+namespace {
+
+/// splitmix64 — the standard 64-bit finalizer; full avalanche, so successive
+/// invocation indices decorrelate completely.
+uint64_t splitmix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+struct ArmedPoint {
+  FaultSpec spec;
+  std::atomic<uint64_t> invocations{0};
+  std::atomic<uint64_t> fired{0};
+};
+
+/// Armed points behind a mutex-guarded shared_ptr snapshot: shouldFail()
+/// takes one lock to copy the snapshot pointer (fault points are off the
+/// per-instruction hot path — they sit at task/run granularity), then works
+/// lock-free on the stable vector.
+struct Registry {
+  std::mutex mu;
+  std::shared_ptr<std::vector<std::unique_ptr<ArmedPoint>>> points;
+  std::atomic<bool> armed{false};
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+std::shared_ptr<std::vector<std::unique_ptr<ArmedPoint>>> snapshot() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return r.points;
+}
+
+[[noreturn]] void grammarError(const std::string& spec, const std::string& why) {
+  throw Error("bad fault spec '" + spec + "': " + why +
+              " (grammar: point:rate:seed[,point:rate:seed...], rate in [0,1], "
+              "e.g. pool/task:0.05:7)");
+}
+
+}  // namespace
+
+std::vector<FaultSpec> parseFaultSpec(const std::string& spec) {
+  std::vector<FaultSpec> out;
+  if (spec.empty()) return out;
+  for (std::string_view partView : split(spec, ',')) {
+    std::string part(trim(partView));
+    // Split on the LAST two colons: point names contain '/' but may one day
+    // contain ':'-free hierarchies; rate and seed never contain colons.
+    size_t seedColon = part.rfind(':');
+    if (seedColon == std::string::npos || seedColon == 0) {
+      grammarError(spec, "expected point:rate:seed in '" + part + "'");
+    }
+    size_t rateColon = part.rfind(':', seedColon - 1);
+    if (rateColon == std::string::npos || rateColon == 0) {
+      grammarError(spec, "expected point:rate:seed in '" + part + "'");
+    }
+    FaultSpec f;
+    f.point = part.substr(0, rateColon);
+    std::string rateStr = part.substr(rateColon + 1, seedColon - rateColon - 1);
+    std::string seedStr = part.substr(seedColon + 1);
+    try {
+      size_t used = 0;
+      f.rate = std::stod(rateStr, &used);
+      if (used != rateStr.size()) throw std::invalid_argument(rateStr);
+    } catch (const std::exception&) {
+      grammarError(spec, "rate '" + rateStr + "' is not a number");
+    }
+    if (f.rate < 0 || f.rate > 1) {
+      grammarError(spec, "rate " + rateStr + " outside [0, 1]");
+    }
+    try {
+      size_t used = 0;
+      f.seed = std::stoull(seedStr, &used);
+      if (used != seedStr.size()) throw std::invalid_argument(seedStr);
+    } catch (const std::exception&) {
+      grammarError(spec, "seed '" + seedStr + "' is not a non-negative integer");
+    }
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+void configure(const std::string& spec) { configure(parseFaultSpec(spec)); }
+
+void configure(std::vector<FaultSpec> specs) {
+  auto points = std::make_shared<std::vector<std::unique_ptr<ArmedPoint>>>();
+  for (FaultSpec& s : specs) {
+    auto p = std::make_unique<ArmedPoint>();
+    p->spec = std::move(s);
+    points->push_back(std::move(p));
+  }
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.points = points->empty() ? nullptr : std::move(points);
+  r.armed.store(r.points != nullptr, std::memory_order_relaxed);
+}
+
+void clear() { configure(std::vector<FaultSpec>{}); }
+
+bool armed() { return registry().armed.load(std::memory_order_relaxed); }
+
+bool wouldFire(uint64_t n, double rate, uint64_t seed) {
+  if (rate <= 0) return false;
+  if (rate >= 1) return true;
+  // Compare the hashed invocation index against rate scaled into u64 space;
+  // the double holds 2^64 exactly, and rate < 1 keeps the product in range.
+  auto threshold = static_cast<uint64_t>(rate * 18446744073709551616.0);
+  return splitmix64(seed ^ n) < threshold;
+}
+
+bool shouldFail(const char* point) {
+  auto points = snapshot();
+  if (points == nullptr) return false;
+  for (const auto& p : *points) {
+    if (p->spec.point != point) continue;
+    uint64_t n = p->invocations.fetch_add(1, std::memory_order_relaxed);
+    if (wouldFire(n, p->spec.rate, p->spec.seed)) {
+      p->fired.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+  return false;
+}
+
+uint64_t firedCount(const std::string& point) {
+  auto points = snapshot();
+  if (points == nullptr) return 0;
+  for (const auto& p : *points) {
+    if (p->spec.point == point) return p->fired.load(std::memory_order_relaxed);
+  }
+  return 0;
+}
+
+}  // namespace skope::faultinject

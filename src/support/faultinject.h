@@ -1,0 +1,85 @@
+// Deterministic fault injection for exercising degradation paths.
+//
+// Robustness code is only as good as its least-travelled branch, and the
+// branches that matter — a worker task throwing, the trace recorder giving
+// up, the cache-model dispatch failing, the report writer erroring — almost
+// never fire in a healthy run. This registry plants named fault points at
+// those spots:
+//
+//   SKOPE_FAULT_POINT("pool/task", throw Error("fault injected: pool/task"));
+//
+// and lets a test or CI job arm them from one spec string:
+//
+//   --fault-spec=point:rate:seed[,point:rate:seed...]
+//   e.g. --fault-spec=pool/task:0.05:7
+//
+// Firing is seeded and counter-based: the n-th invocation of a point fires
+// iff hash(seed, n) < rate, so for a fixed spec the NUMBER of faults over N
+// invocations is exactly reproducible regardless of thread interleaving
+// (which invocation lands on which config may vary; fault-isolation tests
+// therefore compare per-config rows by name, not by which rows failed).
+//
+// Disarmed cost is one relaxed atomic load per fault point. Compile out
+// entirely with -DSKOPE_NO_FAULTINJECT (the macro becomes a no-op and no
+// registry code is referenced).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace skope::faultinject {
+
+/// One armed fault point: `point` fires with probability `rate` per
+/// invocation, deterministically derived from `seed`.
+struct FaultSpec {
+  std::string point;
+  double rate = 0;    ///< in [0, 1]
+  uint64_t seed = 0;
+};
+
+/// Parses "point:rate:seed[,point:rate:seed...]". Throws Error with the
+/// grammar on malformed input (missing fields, rate outside [0,1], trailing
+/// garbage). An empty string parses to an empty list.
+[[nodiscard]] std::vector<FaultSpec> parseFaultSpec(const std::string& spec);
+
+/// Arms the registry with `spec` (replacing any previous arming). An empty
+/// spec disarms. Throws Error on a malformed spec.
+void configure(const std::string& spec);
+void configure(std::vector<FaultSpec> specs);
+
+/// Disarms every fault point and resets invocation/fired counters.
+void clear();
+
+/// True when at least one fault point is armed. One relaxed atomic load —
+/// the only cost a disarmed run pays at each SKOPE_FAULT_POINT.
+[[nodiscard]] bool armed();
+
+/// Decides whether the current invocation of `point` fires. Called by the
+/// macro only when armed(); thread-safe.
+[[nodiscard]] bool shouldFail(const char* point);
+
+/// Faults fired at `point` since the last configure()/clear() — the number
+/// CI smoke checks assert against telemetry's sweep/failed counter.
+[[nodiscard]] uint64_t firedCount(const std::string& point);
+
+/// The deterministic per-invocation decision, exposed for tests: invocation
+/// `n` of a point armed with (rate, seed) fires iff
+/// splitmix64(seed ^ n) < rate * 2^64.
+[[nodiscard]] bool wouldFire(uint64_t n, double rate, uint64_t seed);
+
+}  // namespace skope::faultinject
+
+#if defined(SKOPE_NO_FAULTINJECT)
+#define SKOPE_FAULT_POINT(point, ...) ((void)0)
+#else
+/// Plants a named fault point: when armed at `point`, runs `...` (usually a
+/// throw). Disarmed cost: one relaxed atomic load.
+#define SKOPE_FAULT_POINT(point, ...)                                        \
+  do {                                                                       \
+    if (::skope::faultinject::armed() &&                                     \
+        ::skope::faultinject::shouldFail(point)) {                           \
+      __VA_ARGS__;                                                           \
+    }                                                                        \
+  } while (0)
+#endif

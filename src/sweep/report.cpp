@@ -1,12 +1,15 @@
 #include "sweep/report.h"
 
+#include "support/diagnostics.h"
+#include "support/faultinject.h"
 #include "support/text.h"
 
 namespace skope::sweep {
 
 namespace {
 
-/// CSV-escapes a field (config names contain commas from multi-axis grids).
+/// CSV-escapes a field (config names contain commas from multi-axis grids;
+/// error strings can contain anything).
 std::string csvField(const std::string& s) {
   if (s.find_first_of(",\"\n") == std::string::npos) return s;
   std::string out = "\"";
@@ -18,9 +21,14 @@ std::string csvField(const std::string& s) {
   return out;
 }
 
+bool rankable(const ConfigOutcome& c) {
+  return c.status == ConfigStatus::Ok || c.status == ConfigStatus::Degraded;
+}
+
 }  // namespace
 
 std::string toCsv(const SweepResult& result) {
+  SKOPE_FAULT_POINT("report/write", throw Error("fault injected: report/write"));
   bool gt = result.groundTruth;
   bool hp = result.hotPaths;
 
@@ -28,27 +36,37 @@ std::string toCsv(const SweepResult& result) {
                     "spots,top_spot";
   if (gt) out += ",measured_s,quality";
   if (hp) out += ",hotpath_nodes,hotspot_instances";
-  out += ",miss_model\n";
+  out += ",status,error,miss_model\n";
 
   size_t rank = 0;
   for (size_t idx : result.ranked()) {
     const ConfigOutcome& c = result.outcomes[idx];
-    ++rank;
-    out += format("%zu,%s,%.6e,%.3f,%s,%.4f,%.4f,%zu,%s", rank,
-                  csvField(c.config).c_str(), c.projectedSeconds, c.speedupVsBase,
-                  c.topBound.c_str(), c.coverage, c.leanness, c.spotCount,
-                  csvField(c.topSpots.empty() ? "" : c.topSpots.front()).c_str());
-    if (gt) {
-      out += format(",%.6e,%.4f", c.measuredSeconds.value_or(0.0),
-                    c.quality.value_or(0.0));
+    if (rankable(c)) {
+      ++rank;
+      out += format("%zu,%s,%.6e,%.3f,%s,%.4f,%.4f,%zu,%s", rank,
+                    csvField(c.config).c_str(), c.projectedSeconds, c.speedupVsBase,
+                    c.topBound.c_str(), c.coverage, c.leanness, c.spotCount,
+                    csvField(c.topSpots.empty() ? "" : c.topSpots.front()).c_str());
+      if (gt) {
+        out += format(",%.6e,%.4f", c.measuredSeconds.value_or(0.0),
+                      c.quality.value_or(0.0));
+      }
+      if (hp) out += format(",%zu,%zu", c.hotPathNodes, c.hotSpotInstances);
+    } else {
+      // Timeout / Error rows carry no meaningful metrics: unranked ("-"),
+      // metric fields left empty rather than printed as misleading zeros.
+      out += format("-,%s,,,,,,,", csvField(c.config).c_str());
+      if (gt) out += ",,";
+      if (hp) out += ",,";
     }
-    if (hp) out += format(",%zu,%zu", c.hotPathNodes, c.hotSpotInstances);
-    out += format(",%s\n", csvField(result.missModel).c_str());
+    out += format(",%s,%s,%s\n", std::string(configStatusLabel(c.status)).c_str(),
+                  csvField(c.error).c_str(), csvField(result.missModel).c_str());
   }
   return out;
 }
 
 std::string toMarkdown(const SweepResult& result, size_t topN) {
+  SKOPE_FAULT_POINT("report/write", throw Error("fault injected: report/write"));
   bool gt = result.groundTruth;
   std::string out;
   out += format("# Co-design sweep: %s\n\n", result.workload.c_str());
@@ -58,21 +76,28 @@ std::string toMarkdown(const SweepResult& result, size_t topN) {
                 result.outcomes.size());
   out += format("roofline miss ratios: %s\n\n", result.missModel.c_str());
 
-  out += "| rank | config | projected | speedup | bound | top hot spot | coverage |";
+  out += "| rank | config | status | projected | speedup | bound | top hot spot | coverage |";
   if (gt) out += " measured | quality |";
   out += "\n";
-  out += "|---:|---|---:|---:|---|---|---:|";
+  out += "|---:|---|---|---:|---:|---|---|---:|";
   if (gt) out += "---:|---:|";
   out += "\n";
+
+  // ranked() puts every rankable config first, failures after — the table
+  // shows the ranking, the failures get their own section below it.
+  size_t rankedCount = 0;
+  for (const ConfigOutcome& c : result.outcomes) rankedCount += rankable(c) ? 1 : 0;
 
   size_t rank = 0;
   for (size_t idx : result.ranked()) {
     const ConfigOutcome& c = result.outcomes[idx];
+    if (!rankable(c)) break;
     ++rank;
     if (topN != 0 && rank > topN) break;
-    out += format("| %zu | %s | %.4e s | %.2fx | %s | %s | %.1f%% |", rank,
-                  c.config.c_str(), c.projectedSeconds, c.speedupVsBase,
-                  c.topBound.c_str(), c.topSpots.empty() ? "-" : c.topSpots.front().c_str(),
+    out += format("| %zu | %s | %s | %.4e s | %.2fx | %s | %s | %.1f%% |", rank,
+                  c.config.c_str(), std::string(configStatusLabel(c.status)).c_str(),
+                  c.projectedSeconds, c.speedupVsBase, c.topBound.c_str(),
+                  c.topSpots.empty() ? "-" : c.topSpots.front().c_str(),
                   c.coverage * 100);
     if (gt) {
       out += format(" %.4e s | %.1f%% |", c.measuredSeconds.value_or(0.0),
@@ -80,8 +105,21 @@ std::string toMarkdown(const SweepResult& result, size_t topN) {
     }
     out += "\n";
   }
-  if (topN != 0 && result.outcomes.size() > topN) {
-    out += format("\n(%zu further configs omitted)\n", result.outcomes.size() - topN);
+  if (topN != 0 && rankedCount > topN) {
+    out += format("\n(%zu further configs omitted)\n", rankedCount - topN);
+  }
+
+  if (rankedCount < result.outcomes.size()) {
+    out += format("\n## unranked configs (%zu)\n\n",
+                  result.outcomes.size() - rankedCount);
+    out += "Excluded from the ranking: these configs timed out or failed and "
+           "carry no meaningful projection (see docs/ROBUSTNESS.md).\n\n";
+    for (const ConfigOutcome& c : result.outcomes) {
+      if (rankable(c)) continue;
+      out += format("- `%s` — %s: %s\n", c.config.c_str(),
+                    std::string(configStatusLabel(c.status)).c_str(),
+                    c.error.c_str());
+    }
   }
   return out;
 }

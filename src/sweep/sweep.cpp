@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <exception>
 
 #include "support/diagnostics.h"
+#include "support/faultinject.h"
 #include "support/text.h"
 #include "sweep/pool.h"
 #include "telemetry/telemetry.h"
@@ -45,13 +47,47 @@ std::string_view boundLabel(double tmSeconds, double tcSeconds) {
   return tmSeconds >= tcSeconds ? "memory" : "compute";
 }
 
+std::string_view configStatusLabel(ConfigStatus status) {
+  switch (status) {
+    case ConfigStatus::Ok: return "ok";
+    case ConfigStatus::Degraded: return "degraded";
+    case ConfigStatus::Timeout: return "timeout";
+    case ConfigStatus::Error: return "error";
+  }
+  return "ok";
+}
+
+namespace {
+
+/// Did this config produce a meaningful projection? Timeout/Error rows
+/// carry none, so ranking them by projectedSeconds would be noise.
+bool rankable(const ConfigOutcome& out) {
+  return out.status == ConfigStatus::Ok || out.status == ConfigStatus::Degraded;
+}
+
+}  // namespace
+
 std::vector<size_t> SweepResult::ranked() const {
-  std::vector<size_t> order(outcomes.size());
-  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::vector<size_t> order;
+  order.reserve(outcomes.size());
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    if (rankable(outcomes[i])) order.push_back(i);
+  }
   std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
     return outcomes[a].projectedSeconds < outcomes[b].projectedSeconds;
   });
+  // Failed configs trail the ranking in grid order — present (a silent drop
+  // would misreport coverage) but never ranked.
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    if (!rankable(outcomes[i])) order.push_back(i);
+  }
   return order;
+}
+
+size_t SweepResult::countWithStatus(ConfigStatus status) const {
+  size_t n = 0;
+  for (const ConfigOutcome& o : outcomes) n += o.status == status ? 1 : 0;
+  return n;
 }
 
 SweepResult runSweep(const core::WorkloadFrontend& frontend,
@@ -77,14 +113,34 @@ SweepResult runSweep(const core::WorkloadFrontend& frontend,
   bool wantReuseDist = options.cacheModel == CacheModelMode::ReuseDist &&
                        (options.groundTruth || options.traceInformedRoofline);
   bool rooflineFromPrediction = options.traceInformedRoofline;
+  // Non-empty once a resource budget or an injected dispatch fault forced a
+  // model downgrade; every config then reports status Degraded with this
+  // note instead of the sweep aborting.
+  std::string degradeNote;
+  // A CancelledError from a shared prepare stage (the deadline expired while
+  // building the cache model). Deferred: the graceful-timeout path below
+  // turns it into per-config Timeout rows once the outcome slots exist.
+  std::exception_ptr sweepExpired;
   std::optional<cachemodel::LayerConditionModel> layerModel;
   if (options.cacheModel == CacheModelMode::LayerCond) {
     SKOPE_SPAN("sweep/prepare-layer-cond");
-    layerModel.emplace(frontend.program(), frontend.bet(), frontend.params());
+    bool usable = false;
+    try {
+      SKOPE_FAULT_POINT("cachemodel/dispatch",
+                        throw Error("fault injected: cachemodel/dispatch"));
+      layerModel.emplace(frontend.program(), frontend.bet(), frontend.params());
+      usable = layerModel->usable();
+    } catch (const std::exception& e) {
+      // Dispatch failure (injected or real): fall through the same ladder
+      // the usable() == false path takes, but carry the note so the configs
+      // report Degraded rather than a silent provenance change.
+      layerModel.reset();
+      degradeNote = std::string("cache-model dispatch failed: ") + e.what();
+    }
     if (telemetry::enabled()) {
       telemetry::Registry::global().counter("cachemodel/dispatch").add(1);
     }
-    if (layerModel->usable()) {
+    if (usable) {
       backendOpts.layerModel = &*layerModel;
       backendOpts.traceInformedRoofline = true;
       result.missModel = "layer-cond";
@@ -113,18 +169,76 @@ SweepResult runSweep(const core::WorkloadFrontend& frontend,
   if (wantReuseDist) {
     SKOPE_SPAN("sweep/prepare-cache-model");
     const trace::MemoryTrace& mt = frontend.memoryTrace();
+    const bool hasBudgets = options.traceBudgetBytes > 0 || options.replayBudgetOps > 0;
+    // Budget gate: replay cost scales with the recorded trace, so a sweep
+    // under a resource budget downgrades the model instead of paying it
+    // (or dying on an unusable trace).
+    std::string overBudget;
     if (!mt.usable()) {
-      throw Error(
-          "cache-model=reuse-dist needs a usable memory trace, but the front-end's "
-          "trace is " +
-          std::string(mt.truncated ? "truncated (raise the trace cap or use "
-                                     "--cache-model=simulate)"
-                                   : "empty (front-end built with recordTrace off)"));
+      if (!hasBudgets) {
+        // The historical contract: with no budgets set, an unusable trace
+        // is a hard configuration error.
+        throw Error(
+            "cache-model=reuse-dist needs a usable memory trace, but the front-end's "
+            "trace is " +
+            std::string(mt.truncated ? "truncated (raise the trace cap or use "
+                                       "--cache-model=simulate)"
+                                     : "empty (front-end built with recordTrace off)"));
+      }
+      overBudget = mt.truncated ? "trace truncated at its reference cap"
+                                : "trace recorded no references";
+    } else if (options.traceBudgetBytes > 0 &&
+               mt.stream.size() > options.traceBudgetBytes) {
+      overBudget = format("trace is %zu bytes, over the %llu-byte budget",
+                          mt.stream.size(),
+                          static_cast<unsigned long long>(options.traceBudgetBytes));
+    } else if (options.replayBudgetOps > 0 && mt.recordedRefs > options.replayBudgetOps) {
+      overBudget = format("trace has %llu refs to replay, over the %llu-op budget",
+                          static_cast<unsigned long long>(mt.recordedRefs),
+                          static_cast<unsigned long long>(options.replayBudgetOps));
     }
-    cacheModel.emplace(mt, options.threads);
-    cacheModel->prepare(configs);
-    backendOpts.cacheModel = &*cacheModel;
-    backendOpts.traceInformedRoofline = rooflineFromPrediction;
+    if (overBudget.empty()) {
+      try {
+        SKOPE_FAULT_POINT("cachemodel/dispatch",
+                          throw Error("fault injected: cachemodel/dispatch"));
+        cacheModel.emplace(mt, options.threads, options.cancel);
+        cacheModel->prepare(configs);
+        backendOpts.cacheModel = &*cacheModel;
+        backendOpts.traceInformedRoofline = rooflineFromPrediction;
+      } catch (const CancelledError&) {
+        sweepExpired = std::current_exception();
+      } catch (const std::exception& e) {
+        cacheModel.reset();
+        overBudget = std::string("cache-model dispatch failed: ") + e.what();
+      }
+    }
+    if (!overBudget.empty()) {
+      // Degradation ladder: reuse-dist -> layer-cond -> constant. The
+      // provenance string and the per-config Degraded status record what
+      // actually ran — nothing aborts.
+      degradeNote = "reuse-dist degraded: " + overBudget;
+      if (telemetry::enabled()) {
+        telemetry::Registry::global().counter("cachemodel/budget-degrade").add(1);
+      }
+      bool layerUsable = false;
+      try {
+        layerModel.emplace(frontend.program(), frontend.bet(), frontend.params());
+        layerUsable = layerModel->usable();
+      } catch (const std::exception&) {
+        layerModel.reset();
+      }
+      if (layerUsable) {
+        backendOpts.layerModel = &*layerModel;
+        backendOpts.traceInformedRoofline = true;
+        result.missModel = "reuse-dist:layer-cond-fallback";
+      } else {
+        layerModel.reset();
+        result.missModel = "reuse-dist:constant-fallback";
+      }
+      // The replay ground-truth side needs the cache model we just refused
+      // to build; the simulator path stands in for it.
+      backendOpts.cacheModel = nullptr;
+    }
   }
 
   // The speedup baseline: the front-end's projection is cheap enough that
@@ -138,54 +252,127 @@ SweepResult runSweep(const core::WorkloadFrontend& frontend,
     base = MachineModel::bgq();
   }
   result.baseMachine = base.name;
-  {
-    SKOPE_SPAN("sweep/base-eval");
-    core::BackendOptions cheap;
-    cheap.rparams = options.rparams;
-    cheap.criteria = options.criteria;
-    result.baseProjectedSeconds =
-        core::evaluateMachine(frontend, base, cheap).model.totalSeconds;
+
+  // Prefill every outcome slot: a config that never runs (deadline expired
+  // first) still appears in the result, identified and classified.
+  result.outcomes.resize(configs.size());
+  for (size_t i = 0; i < configs.size(); ++i) {
+    result.outcomes[i].index = i;
+    result.outcomes[i].config = configs[i].name;
   }
 
   WorkStealingPool pool(options.threads);
   result.threadsUsed = static_cast<int>(
       std::min<size_t>(static_cast<size_t>(pool.threadCount()), std::max<size_t>(configs.size(), 1)));
 
-  result.outcomes.resize(configs.size());
+  // `evaluated[i]` marks outcomes the fan-out actually wrote — when the
+  // sweep deadline expires inside a shared stage, the rest become Timeout
+  // rows instead of half-written Ok ones.
+  std::vector<char> evaluated(configs.size(), 0);
+
+  // Per-task exception barrier: classify and keep going. Slot i belongs to
+  // task i alone, so no lock is needed.
+  auto classify = [&](size_t i, std::exception_ptr ep) {
+    ConfigOutcome& out = result.outcomes[i];
+    try {
+      std::rethrow_exception(ep);
+    } catch (const CancelledError& e) {
+      out.status = ConfigStatus::Timeout;
+      out.error = e.what();
+    } catch (const std::exception& e) {
+      out.status = ConfigStatus::Error;
+      out.error = e.what();
+    } catch (...) {
+      out.status = ConfigStatus::Error;
+      out.error = "unknown error";
+    }
+    evaluated[i] = 1;
+  };
+
+  // One config, one worker task. The sweep token gates entry (a sweep past
+  // its deadline fails every remaining config fast); the per-config child
+  // token bounds this config's own wall clock.
+  auto finishOne = [&](size_t i, const core::MachineEvaluation& ev) {
+    result.outcomes[i] = digest(ev, i, configs[i], result.baseProjectedSeconds, options);
+    if (!degradeNote.empty()) {
+      result.outcomes[i].status = ConfigStatus::Degraded;
+      result.outcomes[i].error = degradeNote;
+    }
+    evaluated[i] = 1;
+  };
+  auto configToken = [&](size_t i) {
+    options.cancel.throwIfExpired("sweep");
+    (void)i;
+    return options.configTimeoutMs > 0
+               ? options.cancel.childWithTimeoutMs(options.configTimeoutMs)
+               : options.cancel;
+  };
+
   auto t0 = std::chrono::steady_clock::now();
-  if (options.backend == SweepBackend::Batched && configs.size() > 1) {
-    // Node-major: one shared BET factorization + geometry-memoized cache
-    // predictions up front, then only the cheap per-config finish stages go
-    // through the pool.
-    std::vector<MachineModel> machines;
-    machines.reserve(configs.size());
-    for (const auto& c : configs) machines.push_back(c.machine);
-    core::GridBackend backend(frontend, std::move(machines), backendOpts);
-    SKOPE_SPAN("sweep/fan-out");
-    pool.run(
-        configs.size(),
-        [&](size_t i) {
-          telemetry::Span span("config/", configs[i].name);
-          auto ev = backend.evaluate(i);
-          result.outcomes[i] =
-              digest(ev, i, configs[i], result.baseProjectedSeconds, options);
-        },
-        options.progress);
-  } else {
-    SKOPE_SPAN("sweep/fan-out");
-    pool.run(
-        configs.size(),
-        [&](size_t i) {
-          // One span per config on whichever worker track ran it.
-          telemetry::Span span("config/", configs[i].name);
-          auto ev = core::evaluateMachine(frontend, configs[i].machine, backendOpts);
-          result.outcomes[i] =
-              digest(ev, i, configs[i], result.baseProjectedSeconds, options);
-        },
-        options.progress);
+  try {
+    if (sweepExpired) std::rethrow_exception(sweepExpired);
+    {
+      SKOPE_SPAN("sweep/base-eval");
+      core::BackendOptions cheap;
+      cheap.rparams = options.rparams;
+      cheap.criteria = options.criteria;
+      cheap.cancel = options.cancel;
+      result.baseProjectedSeconds =
+          core::evaluateMachine(frontend, base, cheap).model.totalSeconds;
+    }
+
+    if (options.backend == SweepBackend::Batched && configs.size() > 1) {
+      // Node-major: one shared BET factorization + geometry-memoized cache
+      // predictions up front, then only the cheap per-config finish stages go
+      // through the pool.
+      std::vector<MachineModel> machines;
+      machines.reserve(configs.size());
+      for (const auto& c : configs) machines.push_back(c.machine);
+      core::BackendOptions gridOpts = backendOpts;
+      gridOpts.cancel = options.cancel;
+      core::GridBackend backend(frontend, std::move(machines), gridOpts);
+      SKOPE_SPAN("sweep/fan-out");
+      pool.run(
+          configs.size(),
+          [&](size_t i) {
+            auto token = configToken(i);
+            telemetry::Span span("config/", configs[i].name);
+            finishOne(i, backend.evaluate(i, token));
+          },
+          options.progress, classify);
+    } else {
+      SKOPE_SPAN("sweep/fan-out");
+      pool.run(
+          configs.size(),
+          [&](size_t i) {
+            auto token = configToken(i);
+            // One span per config on whichever worker track ran it.
+            telemetry::Span span("config/", configs[i].name);
+            core::BackendOptions opts = backendOpts;
+            opts.cancel = token;
+            finishOne(i, core::evaluateMachine(frontend, configs[i].machine, opts));
+          },
+          options.progress, classify);
+    }
+  } catch (const CancelledError& e) {
+    // Deadline expired inside a shared stage (base eval, batched combine,
+    // cache-model prepare): the sweep still returns — configs evaluated so
+    // far keep their rows, the rest are Timeout.
+    for (size_t i = 0; i < result.outcomes.size(); ++i) {
+      if (evaluated[i]) continue;
+      result.outcomes[i].status = ConfigStatus::Timeout;
+      result.outcomes[i].error = e.what();
+    }
   }
   result.sweepSeconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  if (telemetry::enabled()) {
+    auto& reg = telemetry::Registry::global();
+    reg.counter("sweep/failed").add(result.countWithStatus(ConfigStatus::Error));
+    reg.counter("sweep/timeout").add(result.countWithStatus(ConfigStatus::Timeout));
+    reg.counter("sweep/degraded").add(result.countWithStatus(ConfigStatus::Degraded));
+  }
   return result;
 }
 

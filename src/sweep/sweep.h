@@ -51,6 +51,20 @@ enum class CacheModelMode {
   LayerCond,
 };
 
+/// Per-config completion status. A sweep never dies because one config
+/// failed: each worker task is an exception barrier, and every config lands
+/// in the result with a status (docs/ROBUSTNESS.md has the full schema).
+enum class ConfigStatus {
+  Ok,        ///< evaluated normally
+  Degraded,  ///< evaluated on a downgraded model (resource budget / fault)
+  Timeout,   ///< interrupted by --config-timeout-ms or the sweep deadline
+  Error,     ///< evaluation threw; see ConfigOutcome::error
+};
+
+/// Stable lowercase label ("ok", "degraded", "timeout", "error") — the
+/// status column value in both report formats.
+[[nodiscard]] std::string_view configStatusLabel(ConfigStatus status);
+
 struct SweepOptions {
   /// Worker threads; <= 0 selects hardware concurrency, 1 is serial.
   int threads = 1;
@@ -83,6 +97,24 @@ struct SweepOptions {
   /// `done` values 1..total are each delivered exactly once (not necessarily
   /// in order). The sweep CLI uses this for its live progress/ETA line.
   std::function<void(size_t done, size_t total)> progress;
+  /// Sweep-wide cancellation (--deadline-ms): checked before each config and
+  /// polled inside every long-running stage. Expiry marks configs not yet
+  /// evaluated as Timeout; finished outcomes are kept.
+  CancelToken cancel{};
+  /// Per-config wall-clock budget in ms (--config-timeout-ms); 0 = none.
+  /// Each worker derives a child token when it picks the config up, so one
+  /// runaway config times out alone instead of stalling the sweep.
+  int64_t configTimeoutMs = 0;
+  /// Resource budgets with graceful degradation (0 = unlimited). When the
+  /// recorded trace exceeds traceBudgetBytes (encoded bytes) or
+  /// replayBudgetOps (recorded references), a reuse-dist sweep downgrades to
+  /// the layer-condition model, and to the constant roofline ratios if that
+  /// is unusable too — recording the provenance in SweepResult::missModel
+  /// ("reuse-dist:layer-cond-fallback" / "reuse-dist:constant-fallback") and
+  /// marking every config Degraded, instead of aborting. With both budgets 0
+  /// an unusable trace still throws (the historical contract).
+  uint64_t traceBudgetBytes = 0;
+  uint64_t replayBudgetOps = 0;
 };
 
 /// What the sweep keeps per machine config (a deliberately flat, printable
@@ -102,6 +134,8 @@ struct ConfigOutcome {
   size_t hotSpotInstances = 0; ///< (hotPaths) BET instances on the path
   std::optional<double> measuredSeconds;  ///< (groundTruth) simulated total
   std::optional<double> quality;          ///< (groundTruth) selection quality
+  ConfigStatus status = ConfigStatus::Ok;
+  std::string error;  ///< diagnostic when status != Ok (empty otherwise)
 };
 
 struct SweepResult {
@@ -115,7 +149,10 @@ struct SweepResult {
   /// (RooflineParams as configured), "reuse-dist" (trace replay,
   /// --trace-roofline), "layer-cond" (analytic layer conditions), or the
   /// fallback provenances "layer-cond:replay-fallback" /
-  /// "layer-cond:constant-fallback". Printed by both report writers.
+  /// "layer-cond:constant-fallback" / "reuse-dist:layer-cond-fallback" /
+  /// "reuse-dist:constant-fallback" (the last two are budget- or
+  /// fault-driven degradations; see SweepOptions::traceBudgetBytes).
+  /// Printed by both report writers.
   std::string missModel = "constant";
 
   // Run metadata (not part of the deterministic report surface).
@@ -123,13 +160,22 @@ struct SweepResult {
   double sweepSeconds = 0;  ///< wall-clock of the per-config fan-out
 
   /// Outcome indices ranked by projected time, fastest first; ties break by
-  /// grid order. This is the order the reports print in.
+  /// grid order. This is the order the reports print in. Only Ok and
+  /// Degraded configs are ranked; Timeout / Error rows (which carry no
+  /// meaningful projection) follow after them in grid order.
   [[nodiscard]] std::vector<size_t> ranked() const;
+
+  /// Outcome counts by status (failed == Error).
+  [[nodiscard]] size_t countWithStatus(ConfigStatus status) const;
 };
 
 /// Evaluates every config against the shared front-end. Deterministic: the
 /// outcome vector (and everything derived from it) is identical for any
-/// `threads` value. Exceptions from any config abort the sweep and rethrow.
+/// `threads` value. Per-config failures are isolated: a config that throws,
+/// times out or exceeds a budget lands as a non-Ok outcome row instead of
+/// aborting the sweep (counted as "sweep/failed" / "sweep/timeout" /
+/// "sweep/degraded"). Only failures of the shared pre-fan-out stages (e.g.
+/// an unusable trace with no budgets set) still throw.
 SweepResult runSweep(const core::WorkloadFrontend& frontend,
                      const std::vector<MachineConfig>& configs,
                      const SweepOptions& options = {});

@@ -51,8 +51,8 @@ double expectedMisses(const RegionHistogram& rh, uint32_t sets, uint32_t assoc) 
 
 }  // namespace
 
-CacheModel::CacheModel(const MemoryTrace& trace, int histogramThreads)
-    : analyzer_(trace, histogramThreads) {}
+CacheModel::CacheModel(const MemoryTrace& trace, int histogramThreads, CancelToken cancel)
+    : analyzer_(trace, histogramThreads, cancel), cancel_(std::move(cancel)) {}
 
 bool CacheModel::usesExactReplay(const CacheLevelDesc& level) {
   return cacheGeometry(level).numSets <= kExactSetLimit;
@@ -79,7 +79,9 @@ void CacheModel::ensureExact(const std::vector<CacheLevelDesc>& levels) const {
   const bool countRefs = refsByRegion_.empty();
   std::vector<uint64_t> refs;
   uint64_t total = 0;
+  uint64_t seen = 0;
   analyzer_.trace().forEachRef([&](uint32_t region, uint64_t word) {
+    if ((seen++ & kCancelCheckMask) == 0) cancel_.throwIfExpired("trace/cache-model");
     uint64_t addr = word * 8;  // traces are word (8-byte) granular
     if (countRefs) {
       if (region >= refs.size()) refs.resize(region + 1, 0);

@@ -71,8 +71,10 @@ class CacheModel {
   /// `trace` must outlive the model and be usable() (throws Error otherwise,
   /// via ReuseDistanceAnalyzer). `histogramThreads` > 1 shards the
   /// analyzer's per-region histogram construction (see ReuseDistanceAnalyzer);
-  /// predictions are identical for any value.
-  explicit CacheModel(const MemoryTrace& trace, int histogramThreads = 1);
+  /// predictions are identical for any value. `cancel` interrupts the
+  /// histogram pass and the replay decode pass with CancelledError.
+  explicit CacheModel(const MemoryTrace& trace, int histogramThreads = 1,
+                      CancelToken cancel = {});
 
   /// Predicts hit rates for `machine`'s L1 + LLC geometry. The first call
   /// for a new line size pays the O(N log N) histogram pass; further calls
@@ -108,6 +110,7 @@ class CacheModel {
   const ExactLevel& exactLevel(const CacheLevelDesc& level) const;
 
   ReuseDistanceAnalyzer analyzer_;
+  CancelToken cancel_;
   mutable std::mutex mu_;
   mutable std::map<LevelKey, ExactLevel> exact_;
   mutable std::vector<uint64_t> refsByRegion_;  ///< filled by the first replay pass

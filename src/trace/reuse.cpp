@@ -34,8 +34,9 @@ class Fenwick {
 
 }  // namespace
 
-ReuseDistanceAnalyzer::ReuseDistanceAnalyzer(const MemoryTrace& trace, int threads)
-    : trace_(trace), threads_(threads) {
+ReuseDistanceAnalyzer::ReuseDistanceAnalyzer(const MemoryTrace& trace, int threads,
+                                             CancelToken cancel)
+    : trace_(trace), threads_(threads), cancel_(std::move(cancel)) {
   if (!trace.usable()) {
     throw Error(trace.truncated
                     ? "reuse-distance analysis needs a complete trace, but this one "
@@ -77,6 +78,7 @@ const ReuseHistograms& ReuseDistanceAnalyzer::histograms(uint32_t lineBytes) con
 
   size_t t = 0;
   trace_.forEachRef([&](uint32_t region, uint64_t wordAddr) {
+    if ((t & kCancelCheckMask) == 0) cancel_.throwIfExpired("trace/reuse");
     uint64_t line = wordAddr >> wordShift;
     RegionHistogram& rh = partial[region];
     rh.region = region;
@@ -112,6 +114,7 @@ const ReuseHistograms& ReuseDistanceAnalyzer::histograms(uint32_t lineBytes) con
     }
     parallel::WorkStealingPool pool(threads_);
     pool.run(out->regions.size(), [&](size_t i) {
+      cancel_.throwIfExpired("trace/reuse");
       if (work[i] == nullptr) return;  // all-cold region
       std::unordered_map<uint64_t, uint64_t> acc;
       acc.reserve(work[i]->size() / 4 + 8);

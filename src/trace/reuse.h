@@ -28,6 +28,7 @@
 #include <mutex>
 #include <vector>
 
+#include "support/cancel.h"
 #include "trace/trace.h"
 
 namespace skope::trace {
@@ -62,8 +63,10 @@ class ReuseDistanceAnalyzer {
   /// accumulate-and-sort phase) across a work-stealing pool; the
   /// order-statistic walk itself stays serial because every reference's
   /// distance depends on the globally interleaved stream. Output is
-  /// identical for any thread count.
-  explicit ReuseDistanceAnalyzer(const MemoryTrace& trace, int threads = 1);
+  /// identical for any thread count. `cancel` interrupts the Fenwick walk
+  /// and the shard tasks with CancelledError at ~64K-ref granularity.
+  explicit ReuseDistanceAnalyzer(const MemoryTrace& trace, int threads = 1,
+                                 CancelToken cancel = {});
 
   /// Histograms at `lineBytes` granularity (power of two, >= 8).
   const ReuseHistograms& histograms(uint32_t lineBytes) const;
@@ -73,6 +76,7 @@ class ReuseDistanceAnalyzer {
  private:
   const MemoryTrace& trace_;
   int threads_ = 1;
+  CancelToken cancel_;
   mutable std::mutex mu_;
   mutable std::map<uint32_t, std::unique_ptr<ReuseHistograms>> cache_;
 };

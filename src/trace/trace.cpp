@@ -1,5 +1,6 @@
 #include "trace/trace.h"
 
+#include "support/faultinject.h"
 #include "telemetry/telemetry.h"
 
 namespace skope::trace {
@@ -61,7 +62,11 @@ TraceRecorder::TraceRecorder(uint64_t maxRefs) : maxRefs_(maxRefs) {
 
 void TraceRecorder::record(uint32_t region, uint64_t addr) {
   ++trace_.numRefs;
-  if (trace_.recordedRefs >= maxRefs_) {
+  // Injection point: simulates the recorder hitting its cap early, which
+  // marks the trace truncated and exercises the downstream degradation
+  // ladder (reuse-dist -> layer-cond -> constant).
+  SKOPE_FAULT_POINT("trace/record", trace_.truncated = true);
+  if (trace_.truncated || trace_.recordedRefs >= maxRefs_) {
     trace_.truncated = true;
     return;
   }

@@ -210,6 +210,9 @@ double Vm::execFunc(int funcIndex) {
                       "--max-ops or Vm::setMaxOps)",
                       static_cast<unsigned long long>(maxOps_)));
     }
+    // Throws CancelledError directly (not fail(): the sweep's exception
+    // barrier must see the reason to classify a timeout vs. a real error).
+    if ((executed_ & kCancelCheckMask) == 0) cancel_.throwIfExpired("vm");
     switch (in.op) {
       case Op::PushConst: stack_.push_back(in.imm); break;
       case Op::LoadLocal: stack_.push_back(locals[static_cast<size_t>(in.a)]); break;

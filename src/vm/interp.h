@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "support/cancel.h"
 #include "support/rng.h"
 #include "vm/bytecode.h"
 
@@ -117,6 +118,11 @@ class Vm {
   /// skopec / sweep CLIs expose it as --max-ops.
   void setMaxOps(uint64_t maxOps) { maxOps_ = maxOps; }
 
+  /// Cooperative cancellation: the exec loop polls `token` every ~64K
+  /// dynamic instructions and throws CancelledError on expiry. The default
+  /// null token costs one pointer test per poll and never reads the clock.
+  void setCancelToken(CancelToken token) { cancel_ = std::move(token); }
+
   /// Executes main. Storage is (re)allocated and zeroed on each call.
   void run(Tracer* tracer = nullptr);
 
@@ -151,6 +157,7 @@ class Vm {
   std::vector<ArrayInfo> arrayInfos_;
 
   std::vector<double> stack_;
+  CancelToken cancel_;
   Rng rng_{0x5eed};
   Tracer* tracer_ = nullptr;
   OpCounters counters_;

@@ -31,12 +31,14 @@ ProfileData profileRun(const Module& mod, const std::map<std::string, double>& p
 
 ProfileData profileRun(const Module& mod, const std::map<std::string, double>& params,
                        uint64_t seed, Tracer* extra, uint64_t maxOps,
-                       const std::function<void(const Vm&)>& vmOut) {
+                       const std::function<void(const Vm&)>& vmOut,
+                       const CancelToken& cancel) {
   SKOPE_SPAN("vm/profile-run");
   Vm vm(mod);
   vm.bindParams(params);
   vm.setSeed(seed);
   if (maxOps != 0) vm.setMaxOps(maxOps);
+  if (cancel.valid()) vm.setCancelToken(cancel);
   ProfileTracer tracer;
   if (extra != nullptr) {
     TeeTracer tee(&tracer, extra);

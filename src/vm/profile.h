@@ -68,8 +68,10 @@ ProfileData profileRun(const Module& mod, const std::map<std::string, double>& p
 /// trace::TraceRecorder) via TeeTracer, and honors a dynamic instruction
 /// budget (`maxOps` == 0 keeps the Vm default). `vmOut`, when non-null,
 /// receives the Vm so the caller can snapshot run state (dynamicInstrs).
+/// `cancel` interrupts the run with CancelledError at ~64K-instr granularity.
 ProfileData profileRun(const Module& mod, const std::map<std::string, double>& params,
                        uint64_t seed, Tracer* extra, uint64_t maxOps,
-                       const std::function<void(const Vm&)>& vmOut = nullptr);
+                       const std::function<void(const Vm&)>& vmOut = nullptr,
+                       const CancelToken& cancel = {});
 
 }  // namespace skope::vm

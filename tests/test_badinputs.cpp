@@ -1,0 +1,76 @@
+// Hostile-input corpus: every file under tests/bad_inputs/ is a MiniC
+// program that is malformed in a way real usage produces — truncated
+// sources, absurd loop bounds, zero-extent arrays, binary garbage. The
+// contract is the same for all of them: the front-end diagnoses and the
+// skopec driver exits nonzero; neither ever crashes, hangs, or silently
+// succeeds.
+//
+// The corpus is exercised twice: in-process through core::loadFrontend
+// (the API contract — throws Error) and out-of-process through the built
+// skopec binary (the CLI contract — clean nonzero exit, which also catches
+// aborts/segfaults a try/catch would miss).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/framework.h"
+#include "support/diagnostics.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/wait.h>
+#endif
+
+namespace skope {
+namespace {
+
+const std::vector<std::string>& corpus() {
+  static const std::vector<std::string> kFiles = {
+      "truncated.mc",     // cut off mid-expression
+      "absurd_bounds.mc", // 4e18 iterations; must stop at --max-ops
+      "zero_dim.mc",      // zero-extent array
+      "non_utf8.mc",      // invalid byte sequences in the source
+      "empty.mc",         // no main
+      "bad_params.mc",    // malformed param default, negative extent
+  };
+  return kFiles;
+}
+
+std::string corpusPath(const std::string& file) {
+  return std::string(SKOPE_BAD_INPUTS_DIR) + "/" + file;
+}
+
+TEST(BadInputs, FrontendThrowsErrorInsteadOfCrashing) {
+  for (const auto& file : corpus()) {
+    core::FrontendOptions fopts;
+    fopts.maxOps = 100000;  // absurd_bounds must hit the budget, not spin
+    try {
+      core::loadFrontend(corpusPath(file), "", "", fopts);
+      FAIL() << file << ": expected Error, got a successful front-end";
+    } catch (const Error& e) {
+      EXPECT_FALSE(std::string(e.what()).empty()) << file;
+    }
+    // Anything else (std::bad_alloc, segfault, ...) fails the test harness.
+  }
+}
+
+TEST(BadInputs, SkopecExitsNonzeroWithDiagnostic) {
+  for (const auto& file : corpus()) {
+    std::string cmd = std::string("\"") + SKOPE_SKOPEC_PATH + "\" \"" +
+                      corpusPath(file) +
+                      "\" --max-ops=100000 --log-level=quiet >/dev/null 2>&1";
+    int rc = std::system(cmd.c_str());
+    ASSERT_NE(rc, -1) << file << ": could not spawn skopec";
+#if defined(__unix__) || defined(__APPLE__)
+    ASSERT_TRUE(WIFEXITED(rc)) << file << ": skopec died on a signal "
+                               << "(raw status " << rc << ")";
+    EXPECT_NE(WEXITSTATUS(rc), 0) << file << ": skopec accepted bad input";
+#else
+    EXPECT_NE(rc, 0) << file;
+#endif
+  }
+}
+
+}  // namespace
+}  // namespace skope

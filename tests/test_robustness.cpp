@@ -1,0 +1,376 @@
+// Fault-isolation contracts: cancellation tokens, the deterministic
+// fault-injection registry, the pool's per-task exception barrier, and the
+// sweep-level guarantees they combine into —
+//   1. one bad config is one non-Ok row, never a dead sweep;
+//   2. rows that did evaluate are byte-identical to a fault-free run
+//      (compared by config name — which configs fail varies with thread
+//      interleaving, what the survivors report must not);
+//   3. a deadline expiring mid-grid drains into Timeout rows instead of
+//      escaping runSweep or deadlocking the pool.
+// See docs/ROBUSTNESS.md for the status schema these tests pin down.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/framework.h"
+#include "machine/grid.h"
+#include "parallel/pool.h"
+#include "support/cancel.h"
+#include "support/faultinject.h"
+#include "sweep/report.h"
+#include "sweep/sweep.h"
+
+namespace skope {
+namespace {
+
+using parallel::WorkStealingPool;
+
+// ------------------------------------------------------------- CancelToken
+
+TEST(CancelToken, NullTokenNeverExpires) {
+  CancelToken t;
+  EXPECT_FALSE(t.valid());
+  EXPECT_FALSE(t.expired());
+  EXPECT_EQ(t.reason(), CancelReason::None);
+  EXPECT_NO_THROW(t.throwIfExpired("test"));
+  t.cancel();  // no-op on the null token
+  EXPECT_FALSE(t.expired());
+}
+
+TEST(CancelToken, CancelPropagatesToChildrenNotParents) {
+  CancelToken parent = CancelToken::cancellable();
+  CancelToken child = parent.childWithTimeoutMs(0);
+  EXPECT_FALSE(parent.expired());
+  EXPECT_FALSE(child.expired());
+
+  // Child cancellation stays scoped to the child.
+  child.cancel();
+  EXPECT_TRUE(child.expired());
+  EXPECT_FALSE(parent.expired());
+
+  // Parent cancellation reaches every derived token.
+  CancelToken sibling = parent.childWithTimeoutMs(0);
+  parent.cancel();
+  EXPECT_TRUE(parent.expired());
+  EXPECT_TRUE(sibling.expired());
+  EXPECT_EQ(sibling.reason(), CancelReason::Cancelled);
+}
+
+TEST(CancelToken, DeadlineExpiryThrowsWithReason) {
+  CancelToken t = CancelToken::withTimeoutMs(1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(t.expired());
+  EXPECT_EQ(t.reason(), CancelReason::DeadlineExceeded);
+  try {
+    t.throwIfExpired("vm");
+    FAIL() << "expected CancelledError";
+  } catch (const CancelledError& e) {
+    EXPECT_EQ(e.reason(), CancelReason::DeadlineExceeded);
+    EXPECT_NE(std::string(e.what()).find("vm"), std::string::npos) << e.what();
+  }
+}
+
+TEST(CancelToken, ChildrenTightenButNeverLoosenDeadlines) {
+  CancelToken loose = CancelToken::withTimeoutMs(1000000);
+  CancelToken tightened = loose.childWithTimeoutMs(1);
+  EXPECT_LT(tightened.deadline(), loose.deadline());
+
+  CancelToken tight = CancelToken::withTimeoutMs(1);
+  CancelToken wouldLoosen = tight.childWithTimeoutMs(1000000);
+  EXPECT_EQ(wouldLoosen.deadline(), tight.deadline());
+}
+
+TEST(CancelToken, TimeoutZeroMeansNoDeadline) {
+  CancelToken t = CancelToken::withTimeoutMs(0);
+  EXPECT_TRUE(t.valid());
+  EXPECT_EQ(t.deadline(), CancelToken::Clock::time_point::max());
+  EXPECT_FALSE(t.expired());
+}
+
+// --------------------------------------------------------- fault injection
+
+TEST(FaultInject, ParsesSpecGrammar) {
+  EXPECT_TRUE(faultinject::parseFaultSpec("").empty());
+
+  auto specs = faultinject::parseFaultSpec("pool/task:0.05:7");
+  ASSERT_EQ(specs.size(), 1u);
+  EXPECT_EQ(specs[0].point, "pool/task");
+  EXPECT_DOUBLE_EQ(specs[0].rate, 0.05);
+  EXPECT_EQ(specs[0].seed, 7u);
+
+  specs = faultinject::parseFaultSpec("a:0:1,trace/record:1:42");
+  ASSERT_EQ(specs.size(), 2u);
+  EXPECT_EQ(specs[1].point, "trace/record");
+  EXPECT_DOUBLE_EQ(specs[1].rate, 1.0);
+
+  EXPECT_THROW(faultinject::parseFaultSpec("pool/task"), Error);        // no fields
+  EXPECT_THROW(faultinject::parseFaultSpec("pool/task:0.5"), Error);    // no seed
+  EXPECT_THROW(faultinject::parseFaultSpec("pool/task:2:1"), Error);    // rate > 1
+  EXPECT_THROW(faultinject::parseFaultSpec("pool/task:-0.1:1"), Error); // rate < 0
+  EXPECT_THROW(faultinject::parseFaultSpec("pool/task:x:1"), Error);    // bad rate
+  EXPECT_THROW(faultinject::parseFaultSpec("pool/task:0.5:zz"), Error); // bad seed
+}
+
+TEST(FaultInject, FiringIsDeterministicPerInvocationIndex) {
+  // The decision depends only on (n, rate, seed) — re-asking gives the same
+  // answer, which is what makes fault counts reproducible across thread
+  // interleavings.
+  for (uint64_t n = 0; n < 200; ++n) {
+    EXPECT_EQ(faultinject::wouldFire(n, 0.3, 7), faultinject::wouldFire(n, 0.3, 7));
+    EXPECT_FALSE(faultinject::wouldFire(n, 0.0, 7));
+    EXPECT_TRUE(faultinject::wouldFire(n, 1.0, 7));
+  }
+  // The empirical rate over many invocations tracks the configured rate.
+  uint64_t fired = 0;
+  constexpr uint64_t kN = 20000;
+  for (uint64_t n = 0; n < kN; ++n) fired += faultinject::wouldFire(n, 0.05, 9) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(fired) / kN, 0.05, 0.01);
+}
+
+TEST(FaultInject, RegistryArmsFiresAndClears) {
+  EXPECT_FALSE(faultinject::armed());
+  faultinject::configure("test/point:1:1");
+  EXPECT_TRUE(faultinject::armed());
+
+  int fired = 0;
+  for (int i = 0; i < 5; ++i) {
+    SKOPE_FAULT_POINT("test/point", ++fired);
+    SKOPE_FAULT_POINT("test/other", FAIL() << "unarmed point fired");
+  }
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(faultinject::firedCount("test/point"), 5u);
+
+  faultinject::clear();
+  EXPECT_FALSE(faultinject::armed());
+  EXPECT_EQ(faultinject::firedCount("test/point"), 0u);
+  SKOPE_FAULT_POINT("test/point", FAIL() << "cleared point fired");
+}
+
+// ---------------------------------------------------- pool exception barrier
+
+TEST(Pool, ThrowingTaskNeitherDeadlocksNorSkipsWork) {
+  WorkStealingPool pool(4);
+  constexpr size_t kTasks = 200;
+  std::vector<std::atomic<int>> hits(kTasks);
+  std::mutex mu;
+  std::vector<size_t> failed;
+  std::atomic<size_t> doneCalls{0};
+
+  pool.run(
+      kTasks,
+      [&](size_t i) {
+        if (i % 10 == 3) throw Error("boom " + std::to_string(i));
+        hits[i].fetch_add(1);
+      },
+      [&](size_t done, size_t total) {
+        EXPECT_EQ(total, kTasks);
+        EXPECT_GE(done, 1u);
+        doneCalls.fetch_add(1);
+      },
+      [&](size_t index, std::exception_ptr error) {
+        ASSERT_TRUE(error != nullptr);
+        std::lock_guard<std::mutex> lock(mu);
+        failed.push_back(index);
+      });
+
+  // Every non-throwing task ran exactly once; every throwing one reported.
+  EXPECT_EQ(failed.size(), kTasks / 10);
+  for (size_t i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(hits[i].load(), i % 10 == 3 ? 0 : 1) << "task " << i;
+  }
+  // Failed tasks still count toward completion (progress bars reach 100%).
+  EXPECT_EQ(doneCalls.load(), kTasks);
+}
+
+TEST(Pool, SerialPoolHonorsErrorBarrier) {
+  WorkStealingPool pool(1);
+  std::vector<size_t> ran, failed;
+  pool.run(
+      6, [&](size_t i) { if (i == 2 || i == 4) throw Error("boom"); ran.push_back(i); },
+      {}, [&](size_t index, std::exception_ptr) { failed.push_back(index); });
+  EXPECT_EQ(ran, (std::vector<size_t>{0, 1, 3, 5}));
+  EXPECT_EQ(failed, (std::vector<size_t>{2, 4}));
+}
+
+TEST(Pool, AbortPathStillJoinsAndPoolStaysUsable) {
+  WorkStealingPool pool(3);
+  // Without an error barrier the first exception aborts and rethrows ...
+  EXPECT_THROW(pool.run(64, [&](size_t i) { if (i == 9) throw Error("boom"); }),
+               Error);
+  // ... but the pool spawned-and-joined cleanly: the next batch works.
+  std::atomic<int> ran{0};
+  pool.run(32, [&](size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 32);
+}
+
+// ------------------------------------------------------ sweep fault isolation
+
+/// One shared SORD front-end for the whole binary (profiling once is the
+/// point of the artifact).
+const core::WorkloadFrontend& sordFrontend() {
+  static std::shared_ptr<const core::WorkloadFrontend> fe = core::loadFrontend("sord");
+  return *fe;
+}
+
+MachineGrid faultGrid() {
+  return parseGridSpec("base=bgq; membw=15,30,45,60; peakflops=2,4,8; memlat=120,240");
+}
+
+/// CSV data rows keyed by quoted config name, with the leading rank field
+/// stripped (fault injection shifts ranks; the per-config payload must not
+/// move).
+std::map<std::string, std::string> rowsByConfig(const std::string& csv) {
+  std::map<std::string, std::string> rows;
+  size_t pos = 0;
+  while (pos < csv.size()) {
+    size_t eol = csv.find('\n', pos);
+    if (eol == std::string::npos) eol = csv.size();
+    std::string line = csv.substr(pos, eol - pos);
+    pos = eol + 1;
+    size_t comma = line.find(',');
+    if (comma == std::string::npos || line.compare(0, 4, "rank") == 0) continue;
+    std::string rest = line.substr(comma + 1);  // "config",...
+    size_t q2 = rest.find('"', 1);
+    if (rest.empty() || rest[0] != '"' || q2 == std::string::npos) continue;
+    rows[rest.substr(1, q2 - 1)] = rest;
+  }
+  return rows;
+}
+
+TEST(SweepFaults, InjectedTaskFaultsBecomeErrorRowsNotAbortedSweeps) {
+  sweep::SweepOptions opts;
+  opts.threads = 4;
+
+  auto clean = sweep::runSweep(sordFrontend(), faultGrid(), opts);
+  EXPECT_EQ(clean.countWithStatus(sweep::ConfigStatus::Error), 0u);
+
+  faultinject::configure("pool/task:0.2:7");
+  auto faulty = sweep::runSweep(sordFrontend(), faultGrid(), opts);
+  uint64_t fired = faultinject::firedCount("pool/task");
+  faultinject::clear();
+
+  ASSERT_EQ(faulty.outcomes.size(), clean.outcomes.size());
+  EXPECT_GE(fired, 1u) << "0.2 over 24 configs should fire at least once";
+  EXPECT_EQ(faulty.countWithStatus(sweep::ConfigStatus::Error), fired);
+  for (const auto& o : faulty.outcomes) {
+    if (o.status == sweep::ConfigStatus::Error) {
+      EXPECT_NE(o.error.find("fault injected: pool/task"), std::string::npos)
+          << o.error;
+    }
+  }
+
+  // Survivor rows are byte-identical to the fault-free run, keyed by config
+  // name (rank stripped: failures shift ranks, never payloads).
+  auto cleanRows = rowsByConfig(sweep::toCsv(clean));
+  auto faultyRows = rowsByConfig(sweep::toCsv(faulty));
+  ASSERT_EQ(cleanRows.size(), faulty.outcomes.size());
+  size_t okRows = 0;
+  for (const auto& o : faulty.outcomes) {
+    if (o.status != sweep::ConfigStatus::Ok) continue;
+    ++okRows;
+    ASSERT_TRUE(cleanRows.count(o.config)) << o.config;
+    EXPECT_EQ(faultyRows.at(o.config), cleanRows.at(o.config)) << o.config;
+  }
+  EXPECT_EQ(okRows, faulty.outcomes.size() - fired);
+
+  // Reports render the failures without dying: the markdown gets an
+  // unranked-configs section, the CSV a status column.
+  if (fired > 0) {
+    EXPECT_NE(sweep::toMarkdown(faulty).find("unranked configs"), std::string::npos);
+    EXPECT_NE(sweep::toCsv(faulty).find(",error,fault injected"), std::string::npos);
+  }
+}
+
+TEST(SweepFaults, CancelMidGridDrainsIntoTimeoutRows) {
+  sweep::SweepOptions opts;
+  opts.threads = 1;  // deterministic: configs complete in grid order
+  CancelToken root = CancelToken::cancellable();
+  opts.cancel = root;
+  opts.progress = [&](size_t done, size_t) {
+    if (done == 3) root.cancel();  // expire mid-grid
+  };
+
+  auto result = sweep::runSweep(sordFrontend(), faultGrid(), opts);
+  ASSERT_EQ(result.outcomes.size(), 24u);
+  EXPECT_EQ(result.countWithStatus(sweep::ConfigStatus::Ok), 3u);
+  EXPECT_EQ(result.countWithStatus(sweep::ConfigStatus::Timeout), 21u);
+  for (const auto& o : result.outcomes) {
+    if (o.status == sweep::ConfigStatus::Timeout) {
+      EXPECT_FALSE(o.error.empty());
+      EXPECT_EQ(o.projectedSeconds, 0.0);
+    }
+  }
+
+  // ranked() keeps the three evaluated configs first; timeouts follow in
+  // grid order with rank "-" in the CSV.
+  auto order = result.ranked();
+  ASSERT_EQ(order.size(), 24u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(result.outcomes[order[i]].status, sweep::ConfigStatus::Ok);
+  }
+  for (size_t i = 4; i < order.size(); ++i) {
+    EXPECT_GT(order[i], order[i - 1]) << "timeouts must keep grid order";
+  }
+}
+
+TEST(SweepFaults, PerConfigTimeoutCannotStallTheSweep) {
+  // An aggressive per-config budget with the ground-truth simulator: some
+  // configs may finish, the rest must land as Timeout — never a hang and
+  // never an escape from runSweep.
+  sweep::SweepOptions opts;
+  opts.threads = 2;
+  opts.groundTruth = true;
+  opts.configTimeoutMs = 1;
+  auto result =
+      sweep::runSweep(sordFrontend(), parseGridSpec("membw=15,30; peakflops=2,4"), opts);
+  ASSERT_EQ(result.outcomes.size(), 4u);
+  for (const auto& o : result.outcomes) {
+    EXPECT_TRUE(o.status == sweep::ConfigStatus::Ok ||
+                o.status == sweep::ConfigStatus::Timeout)
+        << configStatusLabel(o.status);
+  }
+}
+
+TEST(SweepFaults, TraceBudgetDegradesReuseDistWithProvenance) {
+  sweep::SweepOptions opts;
+  opts.threads = 2;
+  opts.groundTruth = true;
+  opts.cacheModel = sweep::CacheModelMode::ReuseDist;
+  opts.traceBudgetBytes = 1;  // any real trace exceeds one byte
+
+  auto result =
+      sweep::runSweep(sordFrontend(), parseGridSpec("membw=15,30"), opts);
+  EXPECT_TRUE(result.missModel == "reuse-dist:layer-cond-fallback" ||
+              result.missModel == "reuse-dist:constant-fallback")
+      << result.missModel;
+  ASSERT_EQ(result.outcomes.size(), 2u);
+  for (const auto& o : result.outcomes) {
+    EXPECT_EQ(o.status, sweep::ConfigStatus::Degraded);
+    EXPECT_NE(o.error.find("reuse-dist degraded"), std::string::npos) << o.error;
+    EXPECT_GT(o.projectedSeconds, 0.0);  // degraded configs still evaluate
+  }
+  // Degraded rows stay rankable.
+  EXPECT_EQ(result.ranked().size(), 2u);
+  EXPECT_GT(result.outcomes[result.ranked()[0]].projectedSeconds, 0.0);
+}
+
+TEST(SweepFaults, ReplayOpsBudgetDegradesToo) {
+  sweep::SweepOptions opts;
+  opts.threads = 1;
+  opts.groundTruth = true;
+  opts.cacheModel = sweep::CacheModelMode::ReuseDist;
+  opts.replayBudgetOps = 1;
+
+  auto result = sweep::runSweep(sordFrontend(), parseGridSpec("membw=15"), opts);
+  EXPECT_EQ(result.countWithStatus(sweep::ConfigStatus::Degraded), 1u);
+  EXPECT_NE(result.missModel.find("reuse-dist:"), std::string::npos)
+      << result.missModel;
+}
+
+}  // namespace
+}  // namespace skope

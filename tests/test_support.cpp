@@ -272,6 +272,53 @@ TEST(ArgParse, ChoiceListAppearsInHelpText) {
   EXPECT_NE(args.helpText().find("[md|csv|both]"), std::string::npos);
 }
 
+TEST(ArgParse, GetIntParsesAndRangeChecks) {
+  ArgParser args("t", "test");
+  args.addFlag("threads", "workers", "0");
+  args.addFlag("delta", "signed", "0");
+
+  const char* argv[] = {"t", "--threads=8", "--delta=-3"};
+  ASSERT_TRUE(args.parse(3, argv));
+  EXPECT_EQ(args.getInt("threads", 0, 4096), 8);
+  EXPECT_EQ(args.getInt("delta"), -3);
+  // Out of the caller's range: the diagnostic names flag, range and value.
+  try {
+    (void)args.getInt("delta", 0, 4096);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    std::string msg = e.what();
+    EXPECT_NE(msg.find("--delta"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("[0, 4096]"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("'-3'"), std::string::npos) << msg;
+  }
+}
+
+TEST(ArgParse, IntAccessorsRejectOverflowGarbageAndNegativeUnsigned) {
+  auto parseWith = [](const std::string& value) {
+    ArgParser a("t", "test");
+    a.addFlag("max-ops", "budget", "0");
+    std::string flag = "--max-ops=" + value;
+    const char* argv[] = {"t", flag.c_str()};
+    EXPECT_TRUE(a.parse(2, argv));
+    return a;
+  };
+
+  // The UB/wraparound family getDouble+cast lets through:
+  EXPECT_THROW((void)parseWith("99999999999999999999").getUint64("max-ops"), Error);
+  EXPECT_THROW((void)parseWith("99999999999999999999").getInt("max-ops"), Error);
+  EXPECT_THROW((void)parseWith("-1").getUint64("max-ops"), Error);
+  EXPECT_THROW((void)parseWith("1.5").getInt("max-ops"), Error);
+  EXPECT_THROW((void)parseWith("12abc").getInt("max-ops"), Error);
+  EXPECT_THROW((void)parseWith("abc").getUint64("max-ops"), Error);
+  EXPECT_THROW((void)parseWith(" 7").getInt("max-ops"), Error);
+
+  // Extremes that do fit parse exactly.
+  EXPECT_EQ(parseWith("18446744073709551615").getUint64("max-ops"), UINT64_MAX);
+  EXPECT_EQ(parseWith("9223372036854775807").getInt("max-ops"), INT64_MAX);
+  EXPECT_EQ(parseWith("-9223372036854775808").getInt("max-ops"), INT64_MIN);
+  EXPECT_EQ(parseWith("0").getUint64("max-ops"), 0u);
+}
+
 TEST(Logging, ParseLevelAndThresholds) {
   EXPECT_EQ(logging::parseLevel("quiet"), logging::Level::Quiet);
   EXPECT_EQ(logging::parseLevel("info"), logging::Level::Info);

@@ -17,6 +17,8 @@
 #include "roofline/multinode.h"
 #include "skeleton/printer.h"
 #include "support/argparse.h"
+#include "support/cancel.h"
+#include "support/faultinject.h"
 #include "support/log.h"
 #include "support/text.h"
 #include "trace/cache_model.h"
@@ -30,9 +32,11 @@ namespace {
 std::unique_ptr<core::CodesignFramework> load(const std::string& target,
                                               const std::string& paramSpec,
                                               const std::string& hintPath,
-                                              uint64_t maxOps) {
+                                              uint64_t maxOps,
+                                              const CancelToken& cancel) {
   core::FrontendOptions fopts;
   fopts.maxOps = maxOps;
+  fopts.cancel = cancel;
   return std::make_unique<core::CodesignFramework>(
       core::loadFrontend(target, paramSpec, hintPath, fopts));
 }
@@ -64,6 +68,12 @@ int run(int argc, char** argv) {
   args.addFlag("steps", "halo exchanges per run (with --scaling)", "4");
   args.addFlag("max-ops", "dynamic instruction budget per VM run "
                           "(0 = default 4e9)", "0");
+  args.addFlag("deadline-ms", "wall-clock budget for the whole run in ms "
+                              "(0 = unlimited); on expiry skopec exits with "
+                              "a 'deadline exceeded' diagnostic", "0");
+  args.addFlag("fault-spec", "arm deterministic fault injection: "
+                             "point:rate:seed[,point:rate:seed...] "
+                             "(see docs/ROBUSTNESS.md)");
   args.addFlag("log-level", "stderr verbosity: quiet, info, debug", "info");
   args.addFlag("trace-json", "write a Chrome trace-event JSON of the pipeline "
                              "stages here (open in Perfetto)");
@@ -79,12 +89,18 @@ int run(int argc, char** argv) {
     telemetry::setThreadName("main");
   }
 
+  faultinject::configure(args.get("fault-spec"));
+  CancelToken cancel;
+  if (int64_t deadlineMs = args.getInt("deadline-ms", 0); deadlineMs > 0) {
+    cancel = CancelToken::withTimeoutMs(deadlineMs);
+  }
+
   auto fw = load(args.get("workload"), args.get("params"), args.get("hints"),
-                 static_cast<uint64_t>(args.getDouble("max-ops")));
+                 args.getUint64("max-ops"), cancel);
   MachineModel machine = core::machineByName(args.get("machine"));
   hotspot::SelectionCriteria criteria{args.getDouble("coverage"),
                                       args.getDouble("leanness")};
-  auto topN = static_cast<size_t>(args.getDouble("top"));
+  auto topN = static_cast<size_t>(args.getUint64("top"));
 
   if (args.getBool("skeleton")) {
     std::fputs(skel::printSkeleton(fw->skeleton()).c_str(), stdout);
@@ -125,7 +141,7 @@ int run(int argc, char** argv) {
       throw Error("cache-model=reuse-dist needs a usable memory trace "
                   "(raise --max-ops or use --cache-model=layer-cond)");
     }
-    trace::CacheModel cm(mt);
+    trace::CacheModel cm(mt, /*histogramThreads=*/1, cancel);
     pred = cm.evaluate(machine);
   }
   if (pred) {
@@ -161,10 +177,10 @@ int run(int argc, char** argv) {
   }
 
   if (!args.get("scaling").empty()) {
-    int maxNodes = static_cast<int>(args.getDouble("scaling"));
+    int maxNodes = static_cast<int>(args.getInt("scaling", 1, 1 << 20));
     roofline::HaloDecomposition halo;
     halo.totalCells = args.getDouble("cells");
-    halo.stepsPerRun = static_cast<int>(args.getDouble("steps"));
+    halo.stepsPerRun = static_cast<int>(args.getInt("steps", 1, 1 << 20));
     halo.fields = 4;
     std::vector<int> counts;
     for (int n = 1; n <= maxNodes; n *= 2) counts.push_back(n);

@@ -19,6 +19,8 @@
 #include "core/framework.h"
 #include "machine/grid.h"
 #include "support/argparse.h"
+#include "support/cancel.h"
+#include "support/faultinject.h"
 #include "support/log.h"
 #include "support/text.h"
 #include "sweep/report.h"
@@ -120,6 +122,22 @@ int run(int argc, char** argv) {
                                  "(implies building the reuse-distance model)");
   args.addFlag("max-ops", "dynamic instruction budget per VM run "
                           "(0 = default 4e9)", "0");
+  args.addFlag("deadline-ms", "wall-clock budget for the whole run in ms "
+                              "(0 = unlimited); configs the deadline cuts off "
+                              "report status=timeout", "0");
+  args.addFlag("config-timeout-ms", "per-config wall-clock budget in ms "
+                                    "(0 = unlimited); over-budget configs "
+                                    "report status=timeout", "0");
+  args.addFlag("trace-budget-bytes", "largest memory trace reuse-dist will "
+                                     "replay, in bytes (0 = no budget); over "
+                                     "budget degrades to layer-cond, see "
+                                     "docs/ROBUSTNESS.md", "0");
+  args.addFlag("replay-budget-ops", "largest reference count reuse-dist will "
+                                    "replay (0 = no budget); over budget "
+                                    "degrades to layer-cond", "0");
+  args.addFlag("fault-spec", "arm deterministic fault injection: "
+                             "point:rate:seed[,point:rate:seed...], e.g. "
+                             "pool/task:0.05:7 (see docs/ROBUSTNESS.md)");
   args.addBool("hotpath", "extract each config's hot path (adds size columns)");
   args.addBool("list-fields", "print the sweepable machine fields and exit");
   args.addFlag("log-level", "stderr verbosity: quiet, info, debug", "info");
@@ -158,13 +176,28 @@ int run(int argc, char** argv) {
     throw Error("grid has no axes — nothing to sweep (see --list-fields)");
   }
 
+  // Arm fault injection before any pipeline stage runs, so front-end points
+  // (trace/record) are live too.
+  faultinject::configure(args.get("fault-spec"));
+
+  // The root token covers the whole run (front-end included); a null token
+  // when no deadline is set keeps the clean-run polls at one pointer test.
+  CancelToken cancel;
+  if (int64_t deadlineMs = args.getInt("deadline-ms", 0); deadlineMs > 0) {
+    cancel = CancelToken::withTimeoutMs(deadlineMs);
+  }
+
   sweep::SweepOptions opts;
-  opts.threads = static_cast<int>(args.getDouble("threads"));
+  opts.threads = static_cast<int>(args.getInt("threads", 0, 4096));
   opts.criteria = {args.getDouble("coverage"), args.getDouble("leanness")};
   opts.groundTruth = args.getBool("quality");
   opts.hotPaths = args.getBool("hotpath");
   opts.traceInformedRoofline = args.getBool("trace-roofline");
-  opts.maxOps = static_cast<uint64_t>(args.getDouble("max-ops"));
+  opts.maxOps = args.getUint64("max-ops");
+  opts.cancel = cancel;
+  opts.configTimeoutMs = args.getInt("config-timeout-ms", 0);
+  opts.traceBudgetBytes = args.getUint64("trace-budget-bytes");
+  opts.replayBudgetOps = args.getUint64("replay-budget-ops");
 
   // Choice validation happens in parse(); here we only map strings to enums.
   if (args.get("backend") == "scalar") opts.backend = sweep::SweepBackend::Scalar;
@@ -178,6 +211,7 @@ int run(int argc, char** argv) {
 
   core::FrontendOptions fopts;
   fopts.maxOps = opts.maxOps;
+  fopts.cancel = cancel;
   // The trace rides along on the profiling run either way; it is only
   // *required* in reuse-dist mode.
   auto frontend = core::loadFrontend(args.get("workload"), args.get("params"),
@@ -195,7 +229,7 @@ int run(int argc, char** argv) {
   std::string format = args.get("format");
   std::string report;
   if (format == "md" || format == "both") {
-    report += sweep::toMarkdown(result, static_cast<size_t>(args.getDouble("top")));
+    report += sweep::toMarkdown(result, static_cast<size_t>(args.getUint64("top")));
   }
   if (format == "csv" || format == "both") {
     if (!report.empty()) report += "\n";
