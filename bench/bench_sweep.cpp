@@ -158,28 +158,39 @@ int main(int argc, char** argv) {
   bopts.traceInformedRoofline = true;
   bopts.cacheModel = sweep::CacheModelMode::ReuseDist;
 
-  bopts.backend = sweep::SweepBackend::Scalar;
-  auto scalar = sweep::runSweep(*frontend, cgrid, bopts);
-  bopts.backend = sweep::SweepBackend::Batched;
-  auto batched = sweep::runSweep(*frontend, cgrid, bopts);
+  // Median of BENCH_REPS repetitions: one bad scheduling slice must not
+  // decide the perf gate either way.
+  const int reps = bench::benchReps();
+  sweep::SweepResult scalar;
+  sweep::SweepResult batched;
+  std::vector<double> scalarSamples;
+  std::vector<double> batchedSamples;
+  for (int r = 0; r < reps; ++r) {
+    bopts.backend = sweep::SweepBackend::Scalar;
+    scalar = sweep::runSweep(*frontend, cgrid, bopts);
+    scalarSamples.push_back(scalar.sweepSeconds);
+    bopts.backend = sweep::SweepBackend::Batched;
+    batched = sweep::runSweep(*frontend, cgrid, bopts);
+    batchedSamples.push_back(batched.sweepSeconds);
+  }
+  double scalarS = bench::median(scalarSamples);
+  double batchedS = bench::median(batchedSamples);
 
   bool sameReports = sweep::toCsv(scalar) == sweep::toCsv(batched) &&
                      sweep::toMarkdown(scalar) == sweep::toMarkdown(batched);
-  double speedup = batched.sweepSeconds > 0
-                       ? scalar.sweepSeconds / batched.sweepSeconds
-                       : 0;
+  double speedup = batchedS > 0 ? scalarS / batchedS : 0;
 
   report::Table bt({"back-end", "wall-clock", "speedup"});
   bt.addRow({"scalar: BET walk + cache model per config",
-             format("%.3f s", scalar.sweepSeconds), "1.0x"});
+             format("%.3f s", scalarS), "1.0x"});
   bt.addRow({"batched: node-major, geometry-memoized",
-             format("%.3f s", batched.sweepSeconds), format("%.1fx", speedup)});
+             format("%.3f s", batchedS), format("%.1fx", speedup)});
   std::printf("%s\n", bt.str().c_str());
-  std::printf("scalar vs batched reports byte-identical: %s\n",
-              sameReports ? "yes" : "NO — BUG");
+  std::printf("median of %d reps; scalar vs batched reports byte-identical: %s\n",
+              reps, sameReports ? "yes" : "NO — BUG");
 
-  metrics.gauge("sweep/scalar_s", scalar.sweepSeconds);
-  metrics.gauge("sweep/batched_s", batched.sweepSeconds);
+  metrics.gauge("sweep/scalar_s", scalarS);
+  metrics.gauge("sweep/batched_s", batchedS);
   metrics.gauge("sweep/batched_speedup", speedup);
   metrics.gauge("sweep/batched_configs", static_cast<double>(cconfigs.size()));
   metrics.gauge("sweep/batched_identical", sameReports ? 1 : 0);

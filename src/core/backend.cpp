@@ -153,7 +153,7 @@ GridBackend::GridBackend(const WorkloadFrontend& frontend,
 
   roofline::BatchedEstimator estimator(frontend_.bet(), &frontend_.module(),
                                        &WorkloadFrontend::libProfile().mixes);
-  models_ = estimator.estimateGrid(models, options_.cancel);
+  models_ = estimator.estimateGrid(models, options_.cancel, options_.combine);
 }
 
 MachineEvaluation GridBackend::evaluate(size_t i) const {

@@ -49,6 +49,11 @@ struct BackendOptions {
   bool traceInformedRoofline = false;
   /// Dynamic instruction budget for the simulated run; 0 keeps the default.
   uint64_t maxOps = 0;
+  /// Combine loop for the batched grid path (GridBackend only): Auto picks
+  /// the SIMD lane-parallel combine when eligible. All modes are
+  /// bit-identical; Scalar exists for reference timing and the equivalence
+  /// suite (see roofline::CombineMode).
+  roofline::CombineMode combine = roofline::CombineMode::Auto;
   /// Cooperative cancellation: checked between back-end stages, inside the
   /// batched combine, and forwarded into the ground-truth simulator's VM.
   /// The default null token costs one pointer test per poll.

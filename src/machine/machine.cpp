@@ -1,8 +1,57 @@
 #include "machine/machine.h"
 
+#include <cstdio>
+#include <cstring>
+
 #include "support/diagnostics.h"
 
 namespace skope {
+
+std::string machineKey(const MachineModel& m) {
+  std::string key;
+  key.reserve(26 * 17);
+  // Doubles go in as their raw bit patterns: -0.0 vs 0.0 or distinct NaNs
+  // must not collide, and "%g" round-trips neither.
+  auto d = [&key](double v) {
+    uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof bits);
+    char buf[20];
+    std::snprintf(buf, sizeof buf, "%016llx|", static_cast<unsigned long long>(bits));
+    key += buf;
+  };
+  auto u = [&key](uint64_t v) {
+    key += std::to_string(v);
+    key += '|';
+  };
+  auto cache = [&](const CacheLevelDesc& c) {
+    u(c.sizeBytes);
+    u(c.lineBytes);
+    u(c.assoc);
+    d(c.latencyCycles);
+  };
+  d(m.freqGHz);
+  u(static_cast<uint64_t>(m.cores));
+  u(static_cast<uint64_t>(m.issueWidth));
+  u(static_cast<uint64_t>(m.simdWidthDoubles));
+  d(m.autoVecQuality);
+  d(m.intAluLat);
+  d(m.intDivLat);
+  d(m.fpAddLat);
+  d(m.fpMulLat);
+  d(m.fpDivLat);
+  d(m.convLat);
+  d(m.branchLat);
+  d(m.mispredictPenalty);
+  cache(m.l1);
+  cache(m.llc);
+  d(m.memLatencyCycles);
+  d(m.memBandwidthGBs);
+  d(m.mlp);
+  d(m.peakFlopsPerCyclePerCore);
+  d(m.network.linkLatencySec);
+  d(m.network.linkBandwidthGBs);
+  return key;
+}
 
 MachineModel machineByName(std::string_view name) {
   if (name == "bgq") return MachineModel::bgq();

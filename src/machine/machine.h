@@ -106,4 +106,11 @@ struct MachineModel {
 /// Throws Error for unknown names (the message lists the valid ones).
 MachineModel machineByName(std::string_view name);
 
+/// Canonical byte-exact identity over every numeric field (the name is
+/// deliberately excluded): equal keys imply bit-identical evaluations under
+/// both the roofline model and the simulator. The sweep engine keys its
+/// duplicate-config dedup on this ("sweep/dedup"), so the key must change
+/// whenever a field that can affect any consumer changes.
+[[nodiscard]] std::string machineKey(const MachineModel& m);
+
 }  // namespace skope

@@ -1,8 +1,10 @@
 #include "roofline/estimate.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "minic/builtins.h"
+#include "support/diagnostics.h"
 #include "support/text.h"
 #include "telemetry/telemetry.h"
 
@@ -106,9 +108,11 @@ void walkConst(const BetNode& n, double parentEnr, const Roofline& model,
   }
 }
 
-/// Pass 3 of both the scalar and the batched estimator: normalize aggregates,
-/// attach labels, compute the total and per-block fractions. Shared code so
-/// the two paths stay bit-identical by construction.
+/// Finalization for the one-model path: normalize aggregates, attach labels,
+/// compute the total and per-block fractions. The batched estimator runs the
+/// same expressions with the machine-independent parts precomputed per slot
+/// (BatchedEstimator::finals_); the equivalence suite pins the two outputs
+/// byte-identical.
 void finalizeModel(ModelResult& result, const vm::Module* mod) {
   for (auto& [origin, bc] : result.blocks) {
     if (bc.enr > 0) bc.perInvocation = bc.perInvocation.scaled(1.0 / bc.enr);
@@ -203,10 +207,384 @@ BatchedEstimator::BatchedEstimator(const bet::Bet& bet, const vm::Module* mod,
     oa.enr += invocations;
     terms_.push_back(std::move(term));
   }
+
+  // Precompute finalization once: labels, static sizes and the normalized
+  // mean mix are machine-independent, so computing them per config (as
+  // finalizeModel does for the one-model path) is pure repetition. The exact
+  // same expressions run here, so the values — including the normalized
+  // perInvocation bits — match finalizeModel's per config.
+  finals_.reserve(slots_.size());
+  for (uint32_t s = 0; s < slots_.size(); ++s) {
+    const OriginAccum& oa = slots_[s];
+    SlotFinal f;
+    f.origin = oa.origin;
+    f.slot = s;
+    f.enr = oa.enr;
+    f.perInvocation = oa.enr > 0 ? oa.perInvocation.scaled(1.0 / oa.enr)
+                                 : oa.perInvocation;
+    f.isComm = oa.isComm;
+    f.commBytes = oa.commBytes;
+    if (oa.isComm) {
+      f.label = format("comm@%u", oa.origin);
+      f.staticInstrs = 1;  // a message is one source statement
+    } else if (mod_) {
+      f.label = vm::regionLabel(*mod_, oa.origin);
+      f.staticInstrs = vm::regionStaticInstrs(*mod_, oa.origin);
+    } else {
+      f.label = vm::isLibRegion(oa.origin)
+                    ? "lib:" + std::string(minic::builtinTable()[static_cast<size_t>(
+                                               vm::libRegionBuiltin(oa.origin))]
+                                               .name)
+                    : format("block@%u", oa.origin);
+      // Without a compiled module, approximate code size by the mix size.
+      f.staticInstrs = static_cast<size_t>(f.perInvocation.totalFlops() +
+                                           f.perInvocation.iops +
+                                           f.perInvocation.accesses()) +
+                       1;
+    }
+    finals_.push_back(std::move(f));
+  }
+  std::sort(finals_.begin(), finals_.end(),
+            [](const SlotFinal& a, const SlotFinal& b) { return a.origin < b.origin; });
+}
+
+namespace {
+
+/// Per-config roofline coefficients in structure-of-arrays form: the Simd
+/// combine reads one contiguous vector per coefficient so the per-term lane
+/// loop is a straight stream of independent mul/div/min/max over configs —
+/// exactly what the auto-vectorizer wants.
+struct ConfigLanes {
+  std::vector<double> fpCost, fpDivCost, iopCost, accCost;
+  std::vector<double> memPerAccess, dramRatio, bwPerCycle;
+  std::vector<double> l1Lat;       ///< libCallTime's latency term
+  std::vector<double> coresD;      ///< machine cores as double (parallel ways)
+  std::vector<double> freqGHz;     ///< for the Comm postal model
+  std::vector<double> freqHz;      ///< freqGHz * 1e9 (cyclesToSeconds divisor)
+  std::vector<double> commAlpha;   ///< network link latency, seconds
+  std::vector<double> commBeta;    ///< network bandwidth, bytes/second
+
+  explicit ConfigLanes(const std::vector<Roofline>& models) {
+    const size_t n = models.size();
+    for (auto* v : {&fpCost, &fpDivCost, &iopCost, &accCost, &memPerAccess,
+                    &dramRatio, &bwPerCycle, &l1Lat, &coresD, &freqGHz, &freqHz,
+                    &commAlpha, &commBeta}) {
+      v->resize(n);
+    }
+    for (size_t c = 0; c < n; ++c) {
+      const Roofline::Coefficients k = models[c].coefficients();
+      const MachineModel& m = models[c].machine();
+      fpCost[c] = k.fpCost;
+      fpDivCost[c] = k.fpDivCost;
+      iopCost[c] = k.iopCost;
+      accCost[c] = k.accessIssueCost;
+      memPerAccess[c] = k.memPerAccess;
+      dramRatio[c] = k.dramRatio;
+      bwPerCycle[c] = k.bytesPerCycle;
+      l1Lat[c] = m.l1.latencyCycles;
+      coresD[c] = m.cores;
+      freqGHz[c] = m.freqGHz;
+      // The same single product cyclesToSeconds computes, so dividing by the
+      // precomputed value carries identical bits.
+      freqHz[c] = m.freqGHz * 1e9;
+      commAlpha[c] = m.network.linkLatencySec;
+      commBeta[c] = m.network.linkBandwidthGBs * 1e9;
+    }
+  }
+};
+
+/// Accumulation targets for one term row (slot-contiguous SoA partials).
+struct RowAccum {
+  double* tc;
+  double* tm;
+  double* to;
+  double* tot;
+};
+
+// The lane loops take every array as a __restrict function parameter: GCC
+// only honors restrict qualifiers on parameters (not locals or struct
+// members), and without them the four accumulator stores cannot be
+// disambiguated from the coefficient loads, which blocks vectorization
+// entirely ("couldn't vectorize loop: no vectype"). The combine*Row wrappers
+// below unpack ConfigLanes/RowAccum and forward here.
+
+/// Lane loop for Block terms — the hot row kind. Every lane performs the
+/// same IEEE operation sequence Roofline::blockTime(mix, 1) performs for its
+/// config (ways == 1, so the /ways divisions — exact no-ops — are elided),
+/// then accumulates through the same cyclesToSeconds division. Uniform /
+/// Overlap are per-batch template parameters so the loop body is branch-free.
+template <bool Uniform, bool Overlap>
+void blockLanes(const double* __restrict fpCost, const double* __restrict fpDivCost,
+                const double* __restrict iopCost, const double* __restrict accCost,
+                const double* __restrict memPerAccess,
+                const double* __restrict dramRatio, const double* __restrict bwPerCycle,
+                const double* __restrict freqHz, double flops, double fl, double fd,
+                double iops, double acc, double bytes, double delta, double w,
+                double* __restrict tcS, double* __restrict tmS,
+                double* __restrict toS, double* __restrict totS, size_t n) {
+  for (size_t c = 0; c < n; ++c) {
+    double tc = Uniform ? flops * fpCost[c] : fl * fpCost[c] + fd * fpDivCost[c];
+    tc = tc + (iops * iopCost[c] + acc * accCost[c]);
+    double tm = std::max(acc * memPerAccess[c], bytes * dramRatio[c] / bwPerCycle[c]);
+    double to = Overlap ? std::min(tc, tm) * delta : std::min(tc, tm);
+    const double fh = freqHz[c];
+    tcS[c] += tc * w / fh;
+    tmS[c] += tm * w / fh;
+    toS[c] += to * w / fh;
+    totS[c] += (tc + tm - to) * w / fh;
+  }
+}
+
+template <bool Uniform, bool Overlap>
+void combineBlockRow(const ConfigLanes& L, const skel::SkMetrics& mix, double w,
+                     RowAccum row, size_t n) {
+  const double flops = mix.totalFlops();
+  const double delta = 1.0 - 1.0 / std::max(1.0, flops);
+  blockLanes<Uniform, Overlap>(
+      L.fpCost.data(), L.fpDivCost.data(), L.iopCost.data(), L.accCost.data(),
+      L.memPerAccess.data(), L.dramRatio.data(), L.bwPerCycle.data(),
+      L.freqHz.data(), flops, mix.flops, mix.fpdivs, mix.iops, mix.accesses(),
+      mix.bytes(), delta, w, row.tc, row.tm, row.to, row.tot, n);
+}
+
+/// Parallel-loop terms: same as a Block row but spread over
+/// ways = trunc(min(cores, max(1, numIter))) lanes-per-config. The floor()
+/// reproduces blockTime's int cast (the value is always in [1, cores], so
+/// the method's extra clamp never fires).
+template <bool Uniform, bool Overlap>
+void parallelLanes(const double* __restrict fpCost, const double* __restrict fpDivCost,
+                   const double* __restrict iopCost, const double* __restrict accCost,
+                   const double* __restrict memPerAccess,
+                   const double* __restrict dramRatio,
+                   const double* __restrict bwPerCycle, const double* __restrict coresD,
+                   const double* __restrict freqHz, double flops, double fl, double fd,
+                   double iops, double acc, double bytes, double delta,
+                   double iterFloor, double w, double* __restrict tcS,
+                   double* __restrict tmS, double* __restrict toS,
+                   double* __restrict totS, size_t n) {
+  for (size_t c = 0; c < n; ++c) {
+    // blockTime truncates its ways operand through an int cast and clamps it
+    // to [1, cores]; min() already bounds the value above by cores, and the
+    // outer max() reproduces the lower clamp for degenerate cores <= 0
+    // machines. The int round-trip IS the reference semantics — and unlike
+    // std::floor it vectorizes on baseline SSE2 (cvttpd2dq / cvtdq2pd).
+    const double ways = std::max(
+        1.0, static_cast<double>(static_cast<int>(std::min(coresD[c], iterFloor))));
+    double tc = Uniform ? flops * fpCost[c] : fl * fpCost[c] + fd * fpDivCost[c];
+    tc = tc + (iops * iopCost[c] + acc * accCost[c]);
+    tc /= ways;
+    double tm = std::max(acc * memPerAccess[c] / ways,
+                         bytes * dramRatio[c] / (bwPerCycle[c] * ways));
+    double to = Overlap ? std::min(tc, tm) * delta : std::min(tc, tm);
+    const double fh = freqHz[c];
+    tcS[c] += tc * w / fh;
+    tmS[c] += tm * w / fh;
+    toS[c] += to * w / fh;
+    totS[c] += (tc + tm - to) * w / fh;
+  }
+}
+
+template <bool Uniform, bool Overlap>
+void combineParallelRow(const ConfigLanes& L, const skel::SkMetrics& mix, double w,
+                        double numIter, RowAccum row, size_t n) {
+  const double flops = mix.totalFlops();
+  const double delta = 1.0 - 1.0 / std::max(1.0, flops);
+  parallelLanes<Uniform, Overlap>(
+      L.fpCost.data(), L.fpDivCost.data(), L.iopCost.data(), L.accCost.data(),
+      L.memPerAccess.data(), L.dramRatio.data(), L.bwPerCycle.data(),
+      L.coresD.data(), L.freqHz.data(), flops, mix.flops, mix.fpdivs, mix.iops,
+      mix.accesses(), mix.bytes(), delta, std::max(1.0, numIter), w, row.tc,
+      row.tm, row.to, row.tot, n);
+}
+
+/// Library-call terms (Roofline::libCallTime's operation sequence).
+void libCallLanes(const double* __restrict fpCost, const double* __restrict iopCost,
+                  const double* __restrict accCost, const double* __restrict l1Lat,
+                  const double* __restrict freqHz, double flops, double iops,
+                  double acc, double w, double* __restrict tcS,
+                  double* __restrict tmS, double* __restrict toS,
+                  double* __restrict totS, size_t n) {
+  for (size_t c = 0; c < n; ++c) {
+    const double tc = flops * fpCost[c] * 1.5 + iops * iopCost[c] + acc * accCost[c];
+    const double tm = acc * l1Lat[c] * 0.5;
+    const double fh = freqHz[c];
+    tcS[c] += tc * w / fh;
+    tmS[c] += tm * w / fh;
+    toS[c] += 0.0 * w / fh;
+    totS[c] += (tc + tm - 0.0) * w / fh;
+  }
+}
+
+void combineLibCallRow(const ConfigLanes& L, const skel::SkMetrics& mix, double w,
+                       RowAccum row, size_t n) {
+  libCallLanes(L.fpCost.data(), L.iopCost.data(), L.accCost.data(), L.l1Lat.data(),
+               L.freqHz.data(), mix.totalFlops(), mix.iops, mix.accesses(), w,
+               row.tc, row.tm, row.to, row.tot, n);
+}
+
+/// Comm terms (the postal model, booked as memory time).
+void commLanes(const double* __restrict commAlpha, const double* __restrict commBeta,
+               const double* __restrict freqGHz, const double* __restrict freqHz,
+               double commBytes, double w, double* __restrict tcS,
+               double* __restrict tmS, double* __restrict toS,
+               double* __restrict totS, size_t n) {
+  for (size_t c = 0; c < n; ++c) {
+    const double seconds = commAlpha[c] + commBytes / commBeta[c];
+    const double tm = seconds * freqGHz[c] * 1e9;
+    const double fh = freqHz[c];
+    tcS[c] += 0.0 * w / fh;
+    tmS[c] += tm * w / fh;
+    toS[c] += 0.0 * w / fh;
+    totS[c] += (0.0 + tm - 0.0) * w / fh;
+  }
+}
+
+void combineCommRow(const ConfigLanes& L, double commBytes, double w, RowAccum row,
+                    size_t n) {
+  commLanes(L.commAlpha.data(), L.commBeta.data(), L.freqGHz.data(), L.freqHz.data(),
+            commBytes, w, row.tc, row.tm, row.to, row.tot, n);
+}
+
+// Totals-only lane loops for estimateTotals: the identical per-lane operation
+// sequence, but only the total-seconds stream is accumulated — one store
+// stream and one cyclesToSeconds division per lane instead of four. The
+// tc/tm/to intermediates stay in registers, so the bits of the accumulated
+// total are unchanged.
+
+template <bool Uniform, bool Overlap>
+void blockTotLanes(const double* __restrict fpCost, const double* __restrict fpDivCost,
+                   const double* __restrict iopCost, const double* __restrict accCost,
+                   const double* __restrict memPerAccess,
+                   const double* __restrict dramRatio,
+                   const double* __restrict bwPerCycle, const double* __restrict freqHz,
+                   double flops, double fl, double fd, double iops, double acc,
+                   double bytes, double delta, double w, double* __restrict totS,
+                   size_t n) {
+  for (size_t c = 0; c < n; ++c) {
+    double tc = Uniform ? flops * fpCost[c] : fl * fpCost[c] + fd * fpDivCost[c];
+    tc = tc + (iops * iopCost[c] + acc * accCost[c]);
+    double tm = std::max(acc * memPerAccess[c], bytes * dramRatio[c] / bwPerCycle[c]);
+    double to = Overlap ? std::min(tc, tm) * delta : std::min(tc, tm);
+    totS[c] += (tc + tm - to) * w / freqHz[c];
+  }
+}
+
+template <bool Uniform, bool Overlap>
+void combineBlockTot(const ConfigLanes& L, const skel::SkMetrics& mix, double w,
+                     double* totS, size_t n) {
+  const double flops = mix.totalFlops();
+  const double delta = 1.0 - 1.0 / std::max(1.0, flops);
+  blockTotLanes<Uniform, Overlap>(
+      L.fpCost.data(), L.fpDivCost.data(), L.iopCost.data(), L.accCost.data(),
+      L.memPerAccess.data(), L.dramRatio.data(), L.bwPerCycle.data(),
+      L.freqHz.data(), flops, mix.flops, mix.fpdivs, mix.iops, mix.accesses(),
+      mix.bytes(), delta, w, totS, n);
+}
+
+template <bool Uniform, bool Overlap>
+void parallelTotLanes(const double* __restrict fpCost,
+                      const double* __restrict fpDivCost,
+                      const double* __restrict iopCost, const double* __restrict accCost,
+                      const double* __restrict memPerAccess,
+                      const double* __restrict dramRatio,
+                      const double* __restrict bwPerCycle,
+                      const double* __restrict coresD, const double* __restrict freqHz,
+                      double flops, double fl, double fd, double iops, double acc,
+                      double bytes, double delta, double iterFloor, double w,
+                      double* __restrict totS, size_t n) {
+  for (size_t c = 0; c < n; ++c) {
+    const double ways = std::max(
+        1.0, static_cast<double>(static_cast<int>(std::min(coresD[c], iterFloor))));
+    double tc = Uniform ? flops * fpCost[c] : fl * fpCost[c] + fd * fpDivCost[c];
+    tc = tc + (iops * iopCost[c] + acc * accCost[c]);
+    tc /= ways;
+    double tm = std::max(acc * memPerAccess[c] / ways,
+                         bytes * dramRatio[c] / (bwPerCycle[c] * ways));
+    double to = Overlap ? std::min(tc, tm) * delta : std::min(tc, tm);
+    totS[c] += (tc + tm - to) * w / freqHz[c];
+  }
+}
+
+template <bool Uniform, bool Overlap>
+void combineParallelTot(const ConfigLanes& L, const skel::SkMetrics& mix, double w,
+                        double numIter, double* totS, size_t n) {
+  const double flops = mix.totalFlops();
+  const double delta = 1.0 - 1.0 / std::max(1.0, flops);
+  parallelTotLanes<Uniform, Overlap>(
+      L.fpCost.data(), L.fpDivCost.data(), L.iopCost.data(), L.accCost.data(),
+      L.memPerAccess.data(), L.dramRatio.data(), L.bwPerCycle.data(),
+      L.coresD.data(), L.freqHz.data(), flops, mix.flops, mix.fpdivs, mix.iops,
+      mix.accesses(), mix.bytes(), delta, std::max(1.0, numIter), w, totS, n);
+}
+
+void libCallTotLanes(const double* __restrict fpCost, const double* __restrict iopCost,
+                     const double* __restrict accCost, const double* __restrict l1Lat,
+                     const double* __restrict freqHz, double flops, double iops,
+                     double acc, double w, double* __restrict totS, size_t n) {
+  for (size_t c = 0; c < n; ++c) {
+    const double tc = flops * fpCost[c] * 1.5 + iops * iopCost[c] + acc * accCost[c];
+    const double tm = acc * l1Lat[c] * 0.5;
+    totS[c] += (tc + tm - 0.0) * w / freqHz[c];
+  }
+}
+
+void combineLibCallTot(const ConfigLanes& L, const skel::SkMetrics& mix, double w,
+                       double* totS, size_t n) {
+  libCallTotLanes(L.fpCost.data(), L.iopCost.data(), L.accCost.data(),
+                  L.l1Lat.data(), L.freqHz.data(), mix.totalFlops(), mix.iops,
+                  mix.accesses(), w, totS, n);
+}
+
+void commTotLanes(const double* __restrict commAlpha, const double* __restrict commBeta,
+                  const double* __restrict freqGHz, const double* __restrict freqHz,
+                  double commBytes, double w, double* __restrict totS, size_t n) {
+  for (size_t c = 0; c < n; ++c) {
+    const double seconds = commAlpha[c] + commBytes / commBeta[c];
+    const double tm = seconds * freqGHz[c] * 1e9;
+    totS[c] += (0.0 + tm - 0.0) * w / freqHz[c];
+  }
+}
+
+void combineCommTot(const ConfigLanes& L, double commBytes, double w, double* totS,
+                    size_t n) {
+  commTotLanes(L.commAlpha.data(), L.commBeta.data(), L.freqGHz.data(),
+               L.freqHz.data(), commBytes, w, totS, n);
+}
+
+/// The Simd combine is only eligible when every config shares the two
+/// roofline behavior flags (they select the operation sequence itself, not
+/// just its operands — per-lane flags would need masked code paths for no
+/// real use case: sweeps vary machines, not model variants).
+bool uniformFlags(const std::vector<Roofline>& models, bool& uniformFlops,
+                  bool& modelOverlap) {
+  uniformFlops = models.front().params().uniformFlops;
+  modelOverlap = models.front().params().modelOverlap;
+  for (const Roofline& r : models) {
+    if (r.params().uniformFlops != uniformFlops ||
+        r.params().modelOverlap != modelOverlap) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int BatchedEstimator::simdLanes() {
+#if defined(__AVX512F__)
+  return 8;
+#elif defined(__AVX__)
+  return 4;
+#elif defined(__SSE2__) || defined(__x86_64__) || defined(_M_X64) || defined(__ARM_NEON)
+  return 2;
+#else
+  return 1;
+#endif
 }
 
 std::vector<ModelResult> BatchedEstimator::estimateGrid(
-    const std::vector<Roofline>& models, const CancelToken& cancel) const {
+    const std::vector<Roofline>& models, const CancelToken& cancel,
+    CombineMode mode) const {
   SKOPE_SPAN("roofline/estimate-grid");
   const size_t numConfigs = models.size();
   const size_t numSlots = slots_.size();
@@ -215,10 +593,20 @@ std::vector<ModelResult> BatchedEstimator::estimateGrid(
     out[c].machineName = models[c].machine().name;
   }
   if (numConfigs == 0 || terms_.empty()) return out;
+
+  bool uniformFlops = true;
+  bool modelOverlap = true;
+  const bool eligible = uniformFlags(models, uniformFlops, modelOverlap);
+  const bool simd =
+      mode == CombineMode::Simd || (mode == CombineMode::Auto && eligible);
+  if (simd && !eligible) {
+    throw Error("CombineMode::Simd requires every config to share the "
+                "uniformFlops/modelOverlap roofline flags");
+  }
   if (telemetry::enabled()) {
-    telemetry::Registry::global()
-        .counter("roofline/batched-nodes")
-        .add(terms_.size() * numConfigs);
+    auto& reg = telemetry::Registry::global();
+    reg.counter("roofline/batched-nodes").add(terms_.size() * numConfigs);
+    reg.gauge("roofline/simd-lanes").set(simd ? simdLanes() : 1);
   }
 
   // Node-major combine: outer loop over block terms, inner loop over configs,
@@ -229,6 +617,40 @@ std::vector<ModelResult> BatchedEstimator::estimateGrid(
   std::vector<double> tmSec(numSlots * numConfigs, 0);
   std::vector<double> toSec(numSlots * numConfigs, 0);
   std::vector<double> totSec(numSlots * numConfigs, 0);
+  if (simd) {
+    const ConfigLanes lanes(models);
+    // Dispatch the flag combination once; each term row then runs one
+    // branch-free lane loop over all configs.
+    auto blockRow = uniformFlops
+                        ? (modelOverlap ? combineBlockRow<true, true>
+                                        : combineBlockRow<true, false>)
+                        : (modelOverlap ? combineBlockRow<false, true>
+                                        : combineBlockRow<false, false>);
+    auto parallelRow = uniformFlops
+                           ? (modelOverlap ? combineParallelRow<true, true>
+                                           : combineParallelRow<true, false>)
+                           : (modelOverlap ? combineParallelRow<false, true>
+                                           : combineParallelRow<false, false>);
+    for (const BlockTerm& t : terms_) {
+      cancel.throwIfExpired("roofline/estimate-grid");
+      RowAccum row{&tcSec[t.slot * numConfigs], &tmSec[t.slot * numConfigs],
+                   &toSec[t.slot * numConfigs], &totSec[t.slot * numConfigs]};
+      switch (t.kind) {
+        case TermKind::Block:
+          blockRow(lanes, t.mix, t.invocations, row, numConfigs);
+          break;
+        case TermKind::ParallelLoop:
+          parallelRow(lanes, t.mix, t.invocations, t.numIter, row, numConfigs);
+          break;
+        case TermKind::LibCall:
+          combineLibCallRow(lanes, t.mix, t.invocations, row, numConfigs);
+          break;
+        case TermKind::Comm:
+          combineCommRow(lanes, t.commBytes, t.invocations, row, numConfigs);
+          break;
+      }
+    }
+  } else {
   for (const BlockTerm& t : terms_) {
     // One poll per term row (a row is numConfigs combine calls) — far off
     // the inner loop, still bounds interruption to one row of work.
@@ -269,23 +691,133 @@ std::vector<ModelResult> BatchedEstimator::estimateGrid(
       tot[c] += m.cyclesToSeconds(b.totalCycles() * w);
     }
   }
+  }
 
+  // Finalization with the per-slot products precomputed by the constructor:
+  // per config this is one hinted map insert plus plain field copies per
+  // slot. finals_ is in ascending-origin order, so the inserts are O(1)
+  // amortized and totalSeconds accumulates in map-iteration order — the
+  // order finalizeModel uses — keeping the sum bit-identical to the scalar
+  // path.
   for (size_t c = 0; c < numConfigs; ++c) {
     ModelResult& r = out[c];
-    for (size_t s = 0; s < numSlots; ++s) {
-      const OriginAccum& oa = slots_[s];
-      BlockCost& bc = r.blocks[oa.origin];
-      bc.origin = oa.origin;
-      bc.isComm = oa.isComm;
-      bc.commBytes = oa.commBytes;
-      bc.enr = oa.enr;
-      bc.perInvocation = oa.perInvocation;  // finalizeModel normalizes by enr
-      bc.tcSeconds = tcSec[s * numConfigs + c];
-      bc.tmSeconds = tmSec[s * numConfigs + c];
-      bc.toSeconds = toSec[s * numConfigs + c];
-      bc.seconds = totSec[s * numConfigs + c];
+    for (const SlotFinal& f : finals_) {
+      BlockCost& bc = r.blocks.try_emplace(r.blocks.end(), f.origin)->second;
+      bc.origin = f.origin;
+      bc.label = f.label;
+      bc.enr = f.enr;
+      bc.perInvocation = f.perInvocation;
+      bc.staticInstrs = f.staticInstrs;
+      bc.isComm = f.isComm;
+      bc.commBytes = f.commBytes;
+      bc.tcSeconds = tcSec[f.slot * numConfigs + c];
+      bc.tmSeconds = tmSec[f.slot * numConfigs + c];
+      bc.toSeconds = toSec[f.slot * numConfigs + c];
+      bc.seconds = totSec[f.slot * numConfigs + c];
+      r.totalSeconds += bc.seconds;
     }
-    finalizeModel(r, mod_);
+    for (auto& [origin, bc] : r.blocks) {
+      bc.fraction = r.totalSeconds > 0 ? bc.seconds / r.totalSeconds : 0;
+    }
+  }
+  return out;
+}
+
+std::vector<double> BatchedEstimator::estimateTotals(
+    const std::vector<Roofline>& models, const CancelToken& cancel,
+    CombineMode mode) const {
+  SKOPE_SPAN("roofline/estimate-totals");
+  const size_t numConfigs = models.size();
+  const size_t numSlots = slots_.size();
+  std::vector<double> out(numConfigs, 0.0);
+  if (numConfigs == 0 || terms_.empty()) return out;
+
+  bool uniformFlops = true;
+  bool modelOverlap = true;
+  const bool eligible = uniformFlags(models, uniformFlops, modelOverlap);
+  const bool simd =
+      mode == CombineMode::Simd || (mode == CombineMode::Auto && eligible);
+  if (simd && !eligible) {
+    throw Error("CombineMode::Simd requires every config to share the "
+                "uniformFlops/modelOverlap roofline flags");
+  }
+  if (telemetry::enabled()) {
+    auto& reg = telemetry::Registry::global();
+    reg.counter("roofline/batched-nodes").add(terms_.size() * numConfigs);
+    reg.gauge("roofline/simd-lanes").set(simd ? simdLanes() : 1);
+  }
+
+  std::vector<double> totSec(numSlots * numConfigs, 0.0);
+  if (simd) {
+    const ConfigLanes lanes(models);
+    auto blockTot = uniformFlops
+                        ? (modelOverlap ? combineBlockTot<true, true>
+                                        : combineBlockTot<true, false>)
+                        : (modelOverlap ? combineBlockTot<false, true>
+                                        : combineBlockTot<false, false>);
+    auto parallelTot = uniformFlops
+                           ? (modelOverlap ? combineParallelTot<true, true>
+                                           : combineParallelTot<true, false>)
+                           : (modelOverlap ? combineParallelTot<false, true>
+                                           : combineParallelTot<false, false>);
+    for (const BlockTerm& t : terms_) {
+      cancel.throwIfExpired("roofline/estimate-totals");
+      double* tot = &totSec[t.slot * numConfigs];
+      switch (t.kind) {
+        case TermKind::Block:
+          blockTot(lanes, t.mix, t.invocations, tot, numConfigs);
+          break;
+        case TermKind::ParallelLoop:
+          parallelTot(lanes, t.mix, t.invocations, t.numIter, tot, numConfigs);
+          break;
+        case TermKind::LibCall:
+          combineLibCallTot(lanes, t.mix, t.invocations, tot, numConfigs);
+          break;
+        case TermKind::Comm:
+          combineCommTot(lanes, t.commBytes, t.invocations, tot, numConfigs);
+          break;
+      }
+    }
+  } else {
+    for (const BlockTerm& t : terms_) {
+      cancel.throwIfExpired("roofline/estimate-totals");
+      double* tot = &totSec[t.slot * numConfigs];
+      const double w = t.invocations;
+      for (size_t c = 0; c < numConfigs; ++c) {
+        const Roofline& model = models[c];
+        const MachineModel& m = model.machine();
+        Breakdown b;
+        switch (t.kind) {
+          case TermKind::LibCall:
+            b = model.libCallTime(t.mix);
+            break;
+          case TermKind::Comm: {
+            double seconds = m.network.linkLatencySec +
+                             t.commBytes / (m.network.linkBandwidthGBs * 1e9);
+            b.tmCycles = seconds * m.freqGHz * 1e9;
+            break;
+          }
+          case TermKind::ParallelLoop: {
+            int ways =
+                static_cast<int>(std::min<double>(m.cores, std::max(1.0, t.numIter)));
+            b = model.blockTime(t.mix, ways);
+            break;
+          }
+          case TermKind::Block:
+            b = model.blockTime(t.mix, 1);
+            break;
+        }
+        tot[c] += m.cyclesToSeconds(b.totalCycles() * w);
+      }
+    }
+  }
+
+  // Reduce per-slot partials in ascending-origin order — the map-iteration
+  // order estimateGrid's finalization uses — so every total carries bits
+  // identical to ModelResult::totalSeconds.
+  for (const SlotFinal& f : finals_) {
+    const double* row = &totSec[static_cast<size_t>(f.slot) * numConfigs];
+    for (size_t c = 0; c < numConfigs; ++c) out[c] += row[c];
   }
   return out;
 }

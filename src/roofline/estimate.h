@@ -80,6 +80,23 @@ ModelResult estimate(const bet::Bet& bet, const Roofline& model,
 ModelResult estimate(bet::Bet& bet, const Roofline& model,
                      const vm::Module* mod = nullptr, const LibMixes* libMixes = nullptr);
 
+/// How BatchedEstimator::estimateGrid runs the per-config combine loop.
+enum class CombineMode : uint8_t {
+  /// Pick Simd when the batch is eligible (every config shares the
+  /// uniformFlops / modelOverlap flags), Scalar otherwise.
+  Auto,
+  /// Reference combine: one out-of-line Roofline::blockTime / libCallTime
+  /// call per (term, config). Kept as the timing baseline and for batches
+  /// whose configs disagree on the roofline flags.
+  Scalar,
+  /// Lane-parallel combine: per-config coefficients gathered into
+  /// structure-of-arrays vectors, each term row evaluated across configs in
+  /// one vectorizable loop (lanes = configs). Per config the IEEE operation
+  /// sequence — and hence every result bit — is identical to Scalar; only
+  /// the lane organization changes.
+  Simd,
+};
+
 /// Node-major batched estimation for machine grids.
 ///
 /// The roofline projection factors cleanly into machine-parameter groups
@@ -107,10 +124,31 @@ class BatchedEstimator {
 
   /// Per-config results, in `models` order. Thread-safe (const, no shared
   /// writes); increments the "roofline/batched-nodes" counter by
-  /// terms × configs when telemetry is enabled. `cancel` interrupts the
-  /// combine between term rows with CancelledError.
+  /// terms × configs and sets the "roofline/simd-lanes" gauge when telemetry
+  /// is enabled. `cancel` interrupts the combine between term rows with
+  /// CancelledError. All combine modes produce bit-identical results; Simd
+  /// is the fast path (see CombineMode).
   [[nodiscard]] std::vector<ModelResult> estimateGrid(
-      const std::vector<Roofline>& models, const CancelToken& cancel = {}) const;
+      const std::vector<Roofline>& models, const CancelToken& cancel = {},
+      CombineMode mode = CombineMode::Auto) const;
+
+  /// Projected total seconds per config, in `models` order — the combine
+  /// alone, without materializing per-config ModelResults (no block maps, no
+  /// labels). For ranking-only consumers (guided search generations, huge
+  /// grids) this is the cheap path: one accumulation stream instead of four,
+  /// and none of the per-config result construction. Bit-exact contract:
+  /// element c equals estimateGrid(models)[c].totalSeconds to the last bit,
+  /// for every combine mode.
+  [[nodiscard]] std::vector<double> estimateTotals(
+      const std::vector<Roofline>& models, const CancelToken& cancel = {},
+      CombineMode mode = CombineMode::Auto) const;
+
+  /// Vector lanes (doubles) the combine loop is compiled for on this build:
+  /// 8 with AVX-512, 4 with AVX, 2 with SSE2/NEON, 1 portable-scalar. The
+  /// Simd combine is plain structure-of-arrays C++ either way — this reports
+  /// what the compiler can vectorize it to, and feeds the
+  /// "roofline/simd-lanes" telemetry gauge.
+  [[nodiscard]] static int simdLanes();
 
   /// Block terms extracted from the BET (one per block node, preorder).
   [[nodiscard]] size_t termCount() const { return terms_.size(); }
@@ -142,9 +180,27 @@ class BatchedEstimator {
     double commBytes = 0;
   };
 
+  /// Everything finalization needs that does not depend on the machine —
+  /// label, static size, normalized mean mix — computed ONCE in the
+  /// constructor instead of once per config. Held in ascending-origin order
+  /// so each config's result map builds with hinted O(1) insertion and the
+  /// totalSeconds accumulation runs in map order (the order finalizeModel
+  /// iterates), keeping every sum bit-identical to the scalar path.
+  struct SlotFinal {
+    uint32_t origin = 0;
+    uint32_t slot = 0;              ///< index into the partial-sum rows
+    std::string label;
+    size_t staticInstrs = 0;
+    double enr = 0;
+    skel::SkMetrics perInvocation;  ///< normalized (ENR-weighted mean) mix
+    bool isComm = false;
+    double commBytes = 0;
+  };
+
   const vm::Module* mod_;
   std::vector<BlockTerm> terms_;     ///< preorder over block nodes
   std::vector<OriginAccum> slots_;   ///< dense, first-appearance order
+  std::vector<SlotFinal> finals_;    ///< ascending origin
 };
 
 }  // namespace skope::roofline

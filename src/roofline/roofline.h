@@ -62,6 +62,25 @@ class Roofline {
   [[nodiscard]] const MachineModel& machine() const { return machine_; }
   [[nodiscard]] const RooflineParams& params() const { return params_; }
 
+  /// The derived per-machine coefficients blockTime() / libCallTime() are
+  /// built from. Exposed for the batched SIMD combine (src/roofline/
+  /// estimate.cpp), which replays the exact same IEEE operation sequence
+  /// lane-parallel across configs — any drift between these values and the
+  /// ones the methods use breaks that path's bit-identity contract.
+  struct Coefficients {
+    double fpCost = 1;
+    double fpDivCost = 1;
+    double iopCost = 1;
+    double accessIssueCost = 1;
+    double memPerAccess = 0;
+    double dramRatio = 0;
+    double bytesPerCycle = 1;
+  };
+  [[nodiscard]] Coefficients coefficients() const {
+    return {fpCost_,   fpDivCost_, iopCost_,      accessIssueCost_,
+            memPerAccess_, dramRatio_, bytesPerCycle_};
+  }
+
  private:
   MachineModel machine_;
   RooflineParams params_;

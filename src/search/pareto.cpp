@@ -1,0 +1,46 @@
+#include "search/pareto.h"
+
+#include <algorithm>
+
+namespace skope::search {
+
+bool dominates(const ParetoPoint& a, const ParetoPoint& b) {
+  return a.time <= b.time && a.cost <= b.cost && (a.time < b.time || a.cost < b.cost);
+}
+
+std::vector<size_t> paretoFront(const std::vector<ParetoPoint>& pts) {
+  std::vector<size_t> order(pts.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+    const ParetoPoint& a = pts[x];
+    const ParetoPoint& b = pts[y];
+    if (a.time != b.time) return a.time < b.time;
+    if (a.cost != b.cost) return a.cost < b.cost;
+    return a.tag < b.tag;
+  });
+
+  // Sweep in time order: everything before the current point has time <= t,
+  // so it is dominated iff some predecessor also has cost <= c with one
+  // strict inequality. Tracking the cheapest predecessor (and the time at
+  // which that cost was first reached) decides both cases: a point beats
+  // the front when it is strictly cheaper, and exact duplicates of the
+  // cost-setter are co-frontier rather than dominated.
+  std::vector<size_t> front;
+  double bestCost = 0;
+  double bestTime = 0;
+  bool any = false;
+  for (size_t idx : order) {
+    const ParetoPoint& p = pts[idx];
+    if (!any || p.cost < bestCost) {
+      bestCost = p.cost;
+      bestTime = p.time;
+      any = true;
+      front.push_back(idx);
+    } else if (p.cost == bestCost && p.time == bestTime) {
+      front.push_back(idx);
+    }
+  }
+  return front;
+}
+
+}  // namespace skope::search

@@ -1,0 +1,32 @@
+// Pareto dominance over (projected time, cost) candidate points.
+//
+// The search driver answers two-objective questions — "what is the
+// time/cost frontier of this space?" — by filtering evaluated candidates
+// down to the non-dominated set. Both objectives minimize. The front is
+// deterministic: output order and tie handling depend only on the point
+// values and tags, never on evaluation order or thread count.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace skope::search {
+
+/// One candidate in objective space. `tag` is the caller's identity for the
+/// point (e.g. its index in the evaluated list); it breaks ordering ties.
+struct ParetoPoint {
+  double time = 0;
+  double cost = 0;
+  size_t tag = 0;
+};
+
+/// True when `a` dominates `b`: no worse in both objectives, strictly
+/// better in at least one. Points equal in both objectives dominate neither
+/// way (both stay on the front).
+[[nodiscard]] bool dominates(const ParetoPoint& a, const ParetoPoint& b);
+
+/// Positions (indices into `pts`) of the non-dominated points, sorted by
+/// (time, cost, tag) ascending. O(n log n).
+[[nodiscard]] std::vector<size_t> paretoFront(const std::vector<ParetoPoint>& pts);
+
+}  // namespace skope::search

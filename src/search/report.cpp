@@ -1,0 +1,162 @@
+#include "search/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "support/faultinject.h"
+#include "support/text.h"
+
+namespace skope::search {
+
+namespace {
+
+std::string csvField(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+bool usable(sweep::ConfigStatus s) {
+  return s == sweep::ConfigStatus::Ok || s == sweep::ConfigStatus::Degraded;
+}
+
+/// Evaluated indices in report order: usable points ranked by projected
+/// time (ties to the lower index), then the rest in proposal order.
+std::vector<size_t> reportOrder(const SearchResult& result) {
+  std::vector<size_t> order;
+  order.reserve(result.evaluated.size());
+  for (size_t i = 0; i < result.evaluated.size(); ++i) {
+    if (usable(result.evaluated[i].status)) order.push_back(i);
+  }
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return result.evaluated[a].projectedSeconds < result.evaluated[b].projectedSeconds;
+  });
+  for (size_t i = 0; i < result.evaluated.size(); ++i) {
+    if (!usable(result.evaluated[i].status)) order.push_back(i);
+  }
+  return order;
+}
+
+std::string costCell(const SearchResult& result, const EvaluatedPoint& p) {
+  if (!result.hasCost || std::isnan(p.cost)) return "";
+  return format("%.4f", p.cost);
+}
+
+}  // namespace
+
+std::string searchToCsv(const SearchResult& result) {
+  SKOPE_FAULT_POINT("report/write", throw Error("fault injected: report/write"));
+  std::unordered_set<size_t> onFront(result.front.begin(), result.front.end());
+
+  std::string out = "rank,config,projected_s,cost,on_front,status,error\n";
+  size_t rank = 0;
+  for (size_t idx : reportOrder(result)) {
+    const EvaluatedPoint& p = result.evaluated[idx];
+    if (usable(p.status)) {
+      ++rank;
+      out += format("%zu,%s,%.6e,%s,%s", rank, csvField(p.config).c_str(),
+                    p.projectedSeconds, costCell(result, p).c_str(),
+                    onFront.count(idx) != 0 ? "yes" : "no");
+    } else {
+      out += format("-,%s,,,no", csvField(p.config).c_str());
+    }
+    out += format(",%s,%s\n", std::string(sweep::configStatusLabel(p.status)).c_str(),
+                  csvField(p.error).c_str());
+  }
+  return out;
+}
+
+std::string searchToMarkdown(const SearchResult& result, size_t topN) {
+  SKOPE_FAULT_POINT("report/write", throw Error("fault injected: report/write"));
+  std::string out;
+  out += format("# Design-space search: %s\n\n", result.workload.c_str());
+  out += format("algorithm: %s (seed %llu) — %zu of %zu lattice points evaluated "
+                "(%.2f%%), %zu rejected by constraints\n",
+                result.algorithm.c_str(),
+                static_cast<unsigned long long>(result.seed), result.evals(),
+                result.spaceSize,
+                result.spaceSize > 0
+                    ? 100.0 * static_cast<double>(result.evals()) /
+                          static_cast<double>(result.spaceSize)
+                    : 0.0,
+                result.rejected);
+  out += format("status: %s\n", result.provenance.c_str());
+  out += format("roofline miss ratios: %s\n\n", result.missModel.c_str());
+
+  if (result.bestIndex) {
+    const EvaluatedPoint& best = result.evaluated[*result.bestIndex];
+    out += format("**fastest:** `%s` — %.4e s%s\n", best.config.c_str(),
+                  best.projectedSeconds,
+                  costCell(result, best).empty()
+                      ? ""
+                      : format(" at cost %s", costCell(result, best).c_str()).c_str());
+    if (result.cheapestWithin) {
+      const EvaluatedPoint& cw = result.evaluated[*result.cheapestWithin];
+      out += format("**cheapest within %.1f%% of fastest:** `%s` — %.4e s at cost "
+                    "%s\n",
+                    result.withinPct, cw.config.c_str(), cw.projectedSeconds,
+                    costCell(result, cw).c_str());
+    }
+    out += "\n";
+  } else {
+    out += "No usable candidate was evaluated (every point timed out, failed, or "
+           "was rejected).\n\n";
+  }
+
+  if (!result.front.empty()) {
+    out += format("## Pareto front (%zu point%s, time%s)\n\n", result.front.size(),
+                  result.front.size() == 1 ? "" : "s",
+                  result.hasCost ? " / cost" : " only");
+    out += "| config | projected | cost |\n|---|---:|---:|\n";
+    for (size_t idx : result.front) {
+      const EvaluatedPoint& p = result.evaluated[idx];
+      std::string cc = costCell(result, p);
+      out += format("| %s | %.4e s | %s |\n", p.config.c_str(), p.projectedSeconds,
+                    cc.empty() ? "-" : cc.c_str());
+    }
+    out += "\n";
+  }
+
+  std::unordered_set<size_t> onFront(result.front.begin(), result.front.end());
+  size_t usableCount = 0;
+  for (const EvaluatedPoint& p : result.evaluated) usableCount += usable(p.status) ? 1 : 0;
+
+  out += "## Evaluated candidates\n\n";
+  out += "| rank | config | status | projected | cost | front |\n";
+  out += "|---:|---|---|---:|---:|---|\n";
+  size_t rank = 0;
+  for (size_t idx : reportOrder(result)) {
+    const EvaluatedPoint& p = result.evaluated[idx];
+    if (!usable(p.status)) break;
+    ++rank;
+    if (topN != 0 && rank > topN) break;
+    std::string cc = costCell(result, p);
+    out += format("| %zu | %s | %s | %.4e s | %s | %s |\n", rank, p.config.c_str(),
+                  std::string(sweep::configStatusLabel(p.status)).c_str(),
+                  p.projectedSeconds, cc.empty() ? "-" : cc.c_str(),
+                  onFront.count(idx) != 0 ? "yes" : "");
+  }
+  if (topN != 0 && usableCount > topN) {
+    out += format("\n(%zu further candidates omitted)\n", usableCount - topN);
+  }
+
+  if (usableCount < result.evaluated.size()) {
+    out += format("\n## unranked candidates (%zu)\n\n",
+                  result.evaluated.size() - usableCount);
+    for (const EvaluatedPoint& p : result.evaluated) {
+      if (usable(p.status)) continue;
+      out += format("- `%s` — %s: %s\n", p.config.c_str(),
+                    std::string(sweep::configStatusLabel(p.status)).c_str(),
+                    p.error.c_str());
+    }
+  }
+  return out;
+}
+
+}  // namespace skope::search

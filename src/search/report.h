@@ -1,0 +1,26 @@
+// Deterministic report rendering for search results.
+//
+// Like the sweep reports (sweep/report.h), both writers are pure functions
+// of the result's deterministic surface — no wall-clock numbers, thread
+// counts or timestamps — so the same seed renders byte-identical reports at
+// any thread count (pinned by tests/test_search.cpp).
+#pragma once
+
+#include <string>
+
+#include "search/search.h"
+
+namespace skope::search {
+
+/// CSV, one row per evaluated candidate, ranked by projected time (Pareto
+/// membership flagged in its own column):
+///   rank,config,projected_s,cost,on_front,status,error
+/// The cost column is empty when the space has no cost model.
+std::string searchToCsv(const SearchResult& result);
+
+/// Markdown: a run summary (algorithm, lattice coverage, provenance), the
+/// best / cheapest-within answers, the Pareto front table, and the ranked
+/// candidate table. `topN` == 0 prints every candidate.
+std::string searchToMarkdown(const SearchResult& result, size_t topN = 0);
+
+}  // namespace skope::search

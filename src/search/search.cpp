@@ -1,0 +1,335 @@
+#include "search/search.h"
+
+#include "search/pareto.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <unordered_set>
+
+#include "support/diagnostics.h"
+#include "support/rng.h"
+#include "support/text.h"
+#include "telemetry/telemetry.h"
+
+namespace skope::search {
+
+namespace {
+
+bool usable(sweep::ConfigStatus s) {
+  return s == sweep::ConfigStatus::Ok || s == sweep::ConfigStatus::Degraded;
+}
+
+/// Row-major flat index of a pick tuple — the inverse of DesignSpace::decode.
+/// Identifies a lattice point in the proposal dedup set.
+size_t encodePick(const DesignSpace& space, const std::vector<size_t>& pick) {
+  size_t idx = 0;
+  for (size_t a = 0; a < space.axes.size(); ++a) {
+    idx = idx * space.axes[a].values.size() + pick[a];
+  }
+  return idx;
+}
+
+/// Shared state of one search run: the evaluated points, their lattice
+/// picks (for mutation), and the proposal dedup set.
+struct SearchState {
+  const core::WorkloadFrontend& frontend;
+  const DesignSpace& space;
+  const SearchOptions& options;
+  SearchResult& result;
+  std::vector<std::vector<size_t>> picks;  ///< parallel to result.evaluated
+  std::unordered_set<size_t> proposed;     ///< lattice indices ever proposed
+  size_t generations = 0;
+
+  [[nodiscard]] size_t budgetLeft() const {
+    if (options.evalBudget == 0) return static_cast<size_t>(-1);
+    size_t spent = result.evaluated.size();
+    return options.evalBudget > spent ? options.evalBudget - spent : 0;
+  }
+
+  /// Materializes and evaluates one generation of NOT-yet-proposed pick
+  /// tuples (in the given deterministic order), appending the outcomes to
+  /// the result. Constraint-rejected picks are counted and skipped;
+  /// proposals beyond the remaining eval budget are truncated (recorded as
+  /// budget exhaustion). Returns the number of points appended.
+  size_t evaluateGeneration(const std::vector<std::vector<size_t>>& generation) {
+    std::vector<MachineConfig> configs;
+    std::vector<std::vector<size_t>> genPicks;
+    std::vector<double> costs;
+    for (const auto& pick : generation) {
+      if (!proposed.insert(encodePick(space, pick)).second) continue;
+      double cost = 0;
+      auto cfg = space.materialize(pick, &cost);
+      if (!cfg) {
+        ++result.rejected;
+        continue;
+      }
+      if (configs.size() >= budgetLeft()) {
+        result.budgetExhausted = true;
+        break;
+      }
+      configs.push_back(std::move(*cfg));
+      genPicks.push_back(pick);
+      costs.push_back(cost);
+    }
+    if (configs.empty()) return 0;
+
+    sweep::SweepOptions opts = options.sweep;
+    // The baseline must not float with whatever config leads a generation.
+    if (!opts.baseline) opts.baseline = space.base;
+    sweep::SweepResult swept = sweep::runSweep(frontend, configs, opts);
+    ++generations;
+    result.missModel = swept.missModel;
+    result.threadsUsed = std::max(result.threadsUsed, swept.threadsUsed);
+    for (size_t i = 0; i < swept.outcomes.size(); ++i) {
+      const sweep::ConfigOutcome& out = swept.outcomes[i];
+      EvaluatedPoint pt;
+      pt.config = out.config;
+      pt.projectedSeconds = out.projectedSeconds;
+      pt.cost = costs[i];
+      pt.status = out.status;
+      pt.error = out.error;
+      result.evaluated.push_back(std::move(pt));
+      picks.push_back(genPicks[i]);
+    }
+    return swept.outcomes.size();
+  }
+
+  /// Usable evaluated indices ranked by projected time; ties break to the
+  /// lower (earlier-proposed) index, keeping the ranking thread-invariant.
+  [[nodiscard]] std::vector<size_t> rankedUsable() const {
+    std::vector<size_t> order;
+    for (size_t i = 0; i < result.evaluated.size(); ++i) {
+      if (usable(result.evaluated[i].status)) order.push_back(i);
+    }
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return result.evaluated[a].projectedSeconds < result.evaluated[b].projectedSeconds;
+    });
+    return order;
+  }
+};
+
+/// Stratified first generation, Latin-hypercube style: each axis is covered
+/// by an independent random permutation of the sample strata, so every
+/// region of every axis is visited even when the sample is a tiny fraction
+/// of the lattice.
+std::vector<std::vector<size_t>> stratifiedSample(const DesignSpace& space, size_t count,
+                                                  Rng& rng) {
+  const size_t axes = space.axes.size();
+  std::vector<std::vector<size_t>> perms(axes);
+  for (size_t a = 0; a < axes; ++a) {
+    perms[a].resize(count);
+    for (size_t g = 0; g < count; ++g) perms[a][g] = g;
+    for (size_t g = count; g-- > 1;) {
+      std::swap(perms[a][g], perms[a][rng.below(g + 1)]);
+    }
+  }
+  std::vector<std::vector<size_t>> out(count, std::vector<size_t>(axes));
+  for (size_t g = 0; g < count; ++g) {
+    for (size_t a = 0; a < axes; ++a) {
+      size_t n = space.axes[a].values.size();
+      // Stratum center, scaled onto this axis's value indices.
+      size_t v = static_cast<size_t>((static_cast<double>(perms[a][g]) + 0.5) /
+                                     static_cast<double>(count) * static_cast<double>(n));
+      out[g][a] = std::min(v, n - 1);
+    }
+  }
+  return out;
+}
+
+/// One mutant of a survivor: each axis steps ±1 or ±2 with probability 1/2;
+/// if no axis moved, one forced step keeps the mutant distinct.
+std::vector<size_t> mutate(const DesignSpace& space, const std::vector<size_t>& parent,
+                           Rng& rng) {
+  std::vector<size_t> pick = parent;
+  bool moved = false;
+  for (size_t a = 0; a < pick.size(); ++a) {
+    if (!rng.chance(0.5)) continue;
+    int64_t delta = rng.range(1, 2) * (rng.chance(0.5) ? 1 : -1);
+    int64_t v = static_cast<int64_t>(pick[a]) + delta;
+    int64_t hi = static_cast<int64_t>(space.axes[a].values.size()) - 1;
+    v = std::clamp<int64_t>(v, 0, hi);
+    moved = moved || v != static_cast<int64_t>(pick[a]);
+    pick[a] = static_cast<size_t>(v);
+  }
+  if (!moved && !pick.empty()) {
+    size_t a = rng.below(pick.size());
+    size_t hi = space.axes[a].values.size() - 1;
+    pick[a] = pick[a] < hi ? pick[a] + 1 : (pick[a] > 0 ? pick[a] - 1 : pick[a]);
+  }
+  return pick;
+}
+
+/// All single-axis ±1 neighbors of a point, in axis order (-1 before +1):
+/// the deterministic hill-climb neighborhood.
+std::vector<std::vector<size_t>> neighborhood(const DesignSpace& space,
+                                              const std::vector<size_t>& center) {
+  std::vector<std::vector<size_t>> out;
+  for (size_t a = 0; a < center.size(); ++a) {
+    if (center[a] > 0) {
+      auto p = center;
+      --p[a];
+      out.push_back(std::move(p));
+    }
+    if (center[a] + 1 < space.axes[a].values.size()) {
+      auto p = center;
+      ++p[a];
+      out.push_back(std::move(p));
+    }
+  }
+  return out;
+}
+
+void runExhaustive(SearchState& st) {
+  const size_t total = st.space.gridCount();
+  std::vector<std::vector<size_t>> all;
+  all.reserve(total);
+  for (size_t i = 0; i < total; ++i) all.push_back(st.space.decode(i));
+  st.evaluateGeneration(all);
+  st.result.provenance =
+      st.result.budgetExhausted
+          ? format("budget-exhausted: evaluated %zu of %zu lattice points "
+                   "(eval budget %zu)",
+                   st.result.evaluated.size(), total - st.result.rejected,
+                   st.options.evalBudget)
+          : format("complete: exhaustive over %zu lattice points (%zu rejected "
+                   "by constraints)",
+                   total, st.result.rejected);
+}
+
+void runSuccessiveHalving(SearchState& st) {
+  const SearchOptions& opt = st.options;
+  Rng rng(opt.seed);
+  const size_t total = st.space.gridCount();
+  const size_t survivors = std::max<size_t>(1, opt.survivors);
+  size_t gen0 = std::max<size_t>(survivors, std::min(opt.generationSize, total));
+
+  st.evaluateGeneration(stratifiedSample(st.space, gen0, rng));
+
+  // Halving rounds: each survivor seeds local mutants; the target size
+  // halves round over round while the pool concentrates near the leaders.
+  for (size_t r = 1; r <= opt.rounds && !st.result.budgetExhausted; ++r) {
+    auto ranked = st.rankedUsable();
+    if (ranked.empty()) break;
+    size_t keep = std::min(survivors, ranked.size());
+    size_t target = std::max(survivors, gen0 >> r);
+    size_t perSurvivor = (target + keep - 1) / keep;
+    std::vector<std::vector<size_t>> generation;
+    for (size_t s = 0; s < keep; ++s) {
+      for (size_t m = 0; m < perSurvivor; ++m) {
+        generation.push_back(mutate(st.space, st.picks[ranked[s]], rng));
+      }
+    }
+    st.evaluateGeneration(generation);
+  }
+
+  // Hill-climb refinement: evaluate the incumbent's full ±1 neighborhood,
+  // move to any improvement, repeat until a local optimum (or the budget).
+  // On the roofline's largely monotone response surfaces this is what
+  // closes the last fraction of a percent to the exhaustive optimum.
+  size_t steps = 0;
+  const size_t maxSteps = 64;  // backstop; convergence normally stops it
+  while (!st.result.budgetExhausted && steps < maxSteps) {
+    auto ranked = st.rankedUsable();
+    if (ranked.empty()) break;
+    size_t best = ranked.front();
+    double bestTime = st.result.evaluated[best].projectedSeconds;
+    st.evaluateGeneration(neighborhood(st.space, st.picks[best]));
+    auto after = st.rankedUsable();
+    if (after.empty() ||
+        st.result.evaluated[after.front()].projectedSeconds >= bestTime) {
+      break;  // no neighbor improved: local optimum
+    }
+    ++steps;
+  }
+
+  st.result.provenance =
+      st.result.budgetExhausted
+          ? format("budget-exhausted: evaluated %zu candidates of a %zu-point "
+                   "lattice (eval budget %zu)",
+                   st.result.evaluated.size(), total, opt.evalBudget)
+          : format("complete: %zu generations, %zu hill steps, %zu evals over a "
+                   "%zu-point lattice (%zu rejected by constraints)",
+                   st.generations, steps, st.result.evaluated.size(), total,
+                   st.result.rejected);
+}
+
+}  // namespace
+
+SearchResult runSearch(const core::WorkloadFrontend& frontend, const DesignSpace& space,
+                       const SearchOptions& options) {
+  SKOPE_SPAN("search/run");
+  if (space.axes.empty()) throw Error("design space has no axes to search over");
+
+  SearchResult result;
+  result.workload = frontend.name();
+  result.algorithm =
+      options.algorithm == SearchAlgorithm::Exhaustive ? "exhaustive" : "shalving";
+  result.seed = options.seed;
+  result.spaceSize = space.gridCount();
+  result.hasCost = space.cost != nullptr;
+  result.withinPct = options.withinPct;
+
+  auto t0 = std::chrono::steady_clock::now();
+  SearchState st{frontend, space, options, result, {}, {}, 0};
+  if (options.algorithm == SearchAlgorithm::Exhaustive) {
+    runExhaustive(st);
+  } else {
+    runSuccessiveHalving(st);
+  }
+
+  // The answers. Only usable (Ok / Degraded) points participate; Timeout /
+  // Error rows stay in `evaluated` for the report but carry no projection.
+  std::vector<ParetoPoint> pts;
+  std::vector<size_t> ptIndex;  // pts position -> evaluated index
+  for (size_t i = 0; i < result.evaluated.size(); ++i) {
+    const EvaluatedPoint& p = result.evaluated[i];
+    if (!usable(p.status)) continue;
+    pts.push_back({p.projectedSeconds, result.hasCost ? p.cost : 0.0, i});
+    ptIndex.push_back(i);
+  }
+  for (size_t pos : paretoFront(pts)) result.front.push_back(ptIndex[pos]);
+
+  if (!pts.empty()) {
+    size_t best = ptIndex.front();
+    for (size_t i : ptIndex) {
+      if (result.evaluated[i].projectedSeconds <
+          result.evaluated[best].projectedSeconds) {
+        best = i;
+      }
+    }
+    result.bestIndex = best;
+    if (result.hasCost) {
+      double limit = result.evaluated[best].projectedSeconds *
+                     (1.0 + options.withinPct / 100.0);
+      std::optional<size_t> cheapest;
+      for (size_t i : ptIndex) {
+        const EvaluatedPoint& p = result.evaluated[i];
+        if (p.projectedSeconds > limit || std::isnan(p.cost)) continue;
+        if (!cheapest) {
+          cheapest = i;
+          continue;
+        }
+        const EvaluatedPoint& c = result.evaluated[*cheapest];
+        if (p.cost < c.cost ||
+            (p.cost == c.cost && p.projectedSeconds < c.projectedSeconds)) {
+          cheapest = i;
+        }
+      }
+      result.cheapestWithin = cheapest;
+    }
+  }
+  result.searchSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  if (telemetry::enabled()) {
+    auto& reg = telemetry::Registry::global();
+    reg.counter("search/evals").add(result.evaluated.size());
+    reg.counter("search/rejected").add(result.rejected);
+    reg.gauge("search/space-size").set(static_cast<double>(result.spaceSize));
+    reg.gauge("search/front-size").set(static_cast<double>(result.front.size()));
+  }
+  return result;
+}
+
+}  // namespace skope::search

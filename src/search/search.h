@@ -1,0 +1,111 @@
+// Guided design-space search over a workload's analytic model.
+//
+// Answers the co-design question the exhaustive sweep cannot scale to:
+// "across a lattice of millions of candidate machines, which designs sit on
+// the time/cost Pareto front — and what is the cheapest design within X% of
+// the fastest?" Two drivers share one evaluation engine:
+//
+//   * Exhaustive — every constraint-passing lattice point, in grid order.
+//     The reference answer; cost grows with the lattice.
+//   * SuccessiveHalving — a stratified (Latin-hypercube-style) first
+//     generation, successive halving onto the best survivors with local
+//     mutation, then a hill-climb refinement of the incumbent. Deterministic
+//     for a fixed seed; evaluates a few percent of the lattice.
+//
+// Every generation is dispatched through sweep::runSweep, so the batched
+// node-major back-end (and its SIMD combine), geometry memoization,
+// per-config fault isolation, deadlines and resource budgets all apply to
+// search exactly as they do to plain sweeps. Identical candidates proposed
+// twice are never re-evaluated (search-level tuple dedup plus the sweep's
+// machineKey dedup).
+//
+// Determinism contract: the result's deterministic surface — evaluated
+// points, front, best / cheapest-within answers, provenance — is identical
+// for any thread count; with the same seed, byte-identical reports.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "search/space.h"
+#include "sweep/sweep.h"
+
+namespace skope::search {
+
+enum class SearchAlgorithm {
+  Exhaustive,         ///< every constraint-passing point (--search=exhaustive)
+  SuccessiveHalving,  ///< sample + halve + refine (--search=shalving)
+};
+
+struct SearchOptions {
+  SearchAlgorithm algorithm = SearchAlgorithm::Exhaustive;
+  /// Seed for the sampler / mutator (--seed). Exhaustive ignores it.
+  uint64_t seed = 1;
+  /// Hard cap on candidate evaluations (--eval-budget); 0 = uncapped.
+  /// Exceeding proposals are truncated deterministically in proposal order
+  /// and the result records budgetExhausted + a provenance note.
+  size_t evalBudget = 0;
+  /// Slack for the "cheapest config within X% of the best" answer
+  /// (--within-pct).
+  double withinPct = 5.0;
+  /// SuccessiveHalving: first-generation size (stratified sample).
+  size_t generationSize = 64;
+  /// SuccessiveHalving: halving rounds after the first generation.
+  size_t rounds = 4;
+  /// SuccessiveHalving: survivors mutated into each next generation.
+  size_t survivors = 8;
+  /// Evaluation engine options — threads, backend + combine mode, cache
+  /// model, deadlines, per-config timeouts, resource budgets — applied to
+  /// every generation the search dispatches.
+  sweep::SweepOptions sweep{};
+};
+
+/// One evaluated candidate (the search-level digest of a sweep outcome).
+struct EvaluatedPoint {
+  std::string config;           ///< materialized config name
+  double projectedSeconds = 0;  ///< analytic total ("Modl")
+  double cost = 0;              ///< cost-model value; NaN without a cost model
+  sweep::ConfigStatus status = sweep::ConfigStatus::Ok;
+  std::string error;  ///< diagnostic when status != Ok
+};
+
+struct SearchResult {
+  std::string workload;
+  std::string algorithm;  ///< "exhaustive" or "shalving"
+  uint64_t seed = 0;
+  size_t spaceSize = 0;  ///< lattice size before constraint filtering
+  size_t rejected = 0;   ///< proposals rejected by constraints
+  bool budgetExhausted = false;
+  std::string provenance;  ///< "complete: ..." or "budget-exhausted: ..."
+  std::string missModel = "constant";  ///< miss-ratio provenance (last generation)
+  bool hasCost = false;   ///< the space priced candidates (front is 2-D)
+  double withinPct = 5.0;
+
+  /// Every evaluated candidate, in deterministic proposal order.
+  std::vector<EvaluatedPoint> evaluated;
+  /// Indices into `evaluated` on the Pareto front over (time, cost) —
+  /// (time) alone without a cost model — sorted by time, then cost, then
+  /// index. Only Ok/Degraded points participate.
+  std::vector<size_t> front;
+  /// Fastest usable point (ties break to the lowest index).
+  std::optional<size_t> bestIndex;
+  /// Cheapest usable point with projected time within withinPct of the
+  /// best. Unset without a cost model or usable points.
+  std::optional<size_t> cheapestWithin;
+
+  // Run metadata (not part of the deterministic report surface).
+  int threadsUsed = 1;
+  double searchSeconds = 0;
+
+  [[nodiscard]] size_t evals() const { return evaluated.size(); }
+};
+
+/// Runs the search. Throws only for pre-dispatch configuration errors;
+/// per-candidate failures land as non-Ok evaluated points (the sweep
+/// engine's fault isolation).
+SearchResult runSearch(const core::WorkloadFrontend& frontend, const DesignSpace& space,
+                       const SearchOptions& options = {});
+
+}  // namespace skope::search

@@ -1,0 +1,302 @@
+#include "search/space.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "support/diagnostics.h"
+#include "support/text.h"
+
+namespace skope::search {
+
+namespace {
+
+double parseNumber(std::string_view tok, std::string_view what) {
+  try {
+    size_t pos = 0;
+    std::string s(trim(tok));
+    double v = std::stod(s, &pos);
+    if (pos != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    throw Error("space spec: non-numeric " + std::string(what) + " '" +
+                std::string(trim(tok)) + "'");
+  }
+}
+
+/// Expands one comma-separated axis element: a plain number, an arithmetic
+/// range lo:hi:step, or a geometric range lo:hi:*factor (the log-stepped
+/// form cache sizes and bandwidths naturally sweep in).
+void expandElement(std::string_view elem, std::vector<double>& out) {
+  auto parts = split(elem, ':');
+  if (parts.size() == 1) {
+    out.push_back(parseNumber(parts[0], "axis value"));
+    return;
+  }
+  if (parts.size() != 3) {
+    throw Error("space spec: bad range '" + std::string(trim(elem)) +
+                "' (expected lo:hi:step or lo:hi:*factor)");
+  }
+  double lo = parseNumber(parts[0], "range bound");
+  double hi = parseNumber(parts[1], "range bound");
+  std::string_view stepTok = trim(parts[2]);
+  if (!stepTok.empty() && stepTok.front() == '*') {
+    double factor = parseNumber(stepTok.substr(1), "range factor");
+    if (factor <= 1 || lo <= 0 || hi < lo) {
+      throw Error("space spec: bad geometric range '" + std::string(trim(elem)) +
+                  "' (need 0 < lo <= hi and factor > 1)");
+    }
+    for (double v = lo; v <= hi * (1 + 1e-9); v *= factor) out.push_back(v);
+    return;
+  }
+  double step = parseNumber(stepTok, "range step");
+  if (step <= 0 || hi < lo) {
+    throw Error("space spec: bad range '" + std::string(trim(elem)) +
+                "' (need lo <= hi and step > 0)");
+  }
+  for (double v = lo; v <= hi + step * 1e-9; v += step) out.push_back(v);
+}
+
+/// Parses an expression and checks every referenced name is a grid field —
+/// the only names the materializer ever binds.
+ExprPtr parseFieldExpr(std::string_view text, std::string_view directive) {
+  ExprPtr e;
+  try {
+    e = parseExpr(text);
+  } catch (const Error& err) {
+    throw Error("space spec: bad expression in '" + std::string(directive) + "': " +
+                err.what());
+  }
+  std::vector<std::string> params;
+  e->collectParams(params);
+  for (const std::string& p : params) {
+    if (!findGridField(p)) {
+      throw Error("space spec: '" + std::string(directive) + "' references '" + p +
+                  "', which is not a grid field (see gridFieldHelp())");
+    }
+  }
+  return e;
+}
+
+/// Splits a constraint body at its (single) comparison operator. Two-char
+/// operators are matched before their one-char prefixes.
+SpaceConstraint parseConstraint(std::string_view body) {
+  struct OpTok {
+    std::string_view tok;
+    CmpOp op;
+  };
+  static constexpr OpTok kOps[] = {
+      {"<=", CmpOp::Le}, {">=", CmpOp::Ge}, {"==", CmpOp::Eq},
+      {"!=", CmpOp::Ne}, {"<", CmpOp::Lt},  {">", CmpOp::Gt},
+  };
+  size_t at = std::string_view::npos;
+  const OpTok* found = nullptr;
+  for (const OpTok& o : kOps) {
+    size_t pos = body.find(o.tok);
+    if (pos != std::string_view::npos && (at == std::string_view::npos || pos < at)) {
+      at = pos;
+      found = &o;
+    }
+  }
+  if (found == nullptr) {
+    throw Error("space spec: constraint '" + std::string(body) +
+                "' has no comparison (expected EXPR <=|<|>=|>|==|!= EXPR)");
+  }
+  SpaceConstraint c;
+  c.text = std::string(trim(body));
+  c.op = found->op;
+  c.lhs = parseFieldExpr(trim(body.substr(0, at)), c.text);
+  c.rhs = parseFieldExpr(trim(body.substr(at + found->tok.size())), c.text);
+  return c;
+}
+
+/// The expression environment of a candidate: every grid field bound to its
+/// current value on the machine.
+ParamEnv fieldEnv(const MachineModel& m) {
+  ParamEnv env;
+  for (const GridField& f : gridFields()) env.set(std::string(f.name), f.get(m));
+  return env;
+}
+
+}  // namespace
+
+bool SpaceConstraint::holds(const ParamEnv& env) const {
+  double a = lhs->eval(env);
+  double b = rhs->eval(env);
+  switch (op) {
+    case CmpOp::Lt: return a < b;
+    case CmpOp::Le: return a <= b;
+    case CmpOp::Gt: return a > b;
+    case CmpOp::Ge: return a >= b;
+    case CmpOp::Eq: return a == b;
+    case CmpOp::Ne: return a != b;
+  }
+  return false;
+}
+
+size_t DesignSpace::gridCount() const {
+  size_t n = 1;
+  for (const auto& axis : axes) n *= axis.values.size();
+  return n;
+}
+
+std::vector<size_t> DesignSpace::decode(size_t index) const {
+  std::vector<size_t> pick(axes.size());
+  size_t rem = index;
+  for (size_t a = axes.size(); a-- > 0;) {
+    pick[a] = rem % axes[a].values.size();
+    rem /= axes[a].values.size();
+  }
+  return pick;
+}
+
+std::optional<MachineConfig> DesignSpace::materialize(const std::vector<size_t>& pick,
+                                                      double* costOut) const {
+  if (pick.size() != axes.size()) {
+    throw Error(format("design space: pick has %zu indices for %zu axes", pick.size(),
+                       axes.size()));
+  }
+  MachineConfig cfg;
+  cfg.machine = base;
+  std::string suffix;
+  for (size_t a = 0; a < axes.size(); ++a) {
+    const GridField* f = findGridField(axes[a].field);
+    double v = axes[a].values.at(pick[a]);
+    f->apply(cfg.machine, v);
+    if (!suffix.empty()) suffix += ",";
+    suffix += format("%s=%s", axes[a].field.c_str(), humanDouble(v, 6).c_str());
+  }
+
+  // Derives run in spec order, each seeing the axes and every earlier
+  // derive. The binding lands in the name too: the name must identify the
+  // machine, and a derived field changes it as much as an axis does.
+  ParamEnv env = fieldEnv(cfg.machine);
+  for (const DerivedField& d : derived) {
+    double v = d.expr->eval(env);
+    findGridField(d.field)->apply(cfg.machine, v);
+    env.set(d.field, findGridField(d.field)->get(cfg.machine));
+    if (!suffix.empty()) suffix += ",";
+    suffix += format("%s=%s", d.field.c_str(),
+                     humanDouble(env.lookup(d.field).value_or(v), 6).c_str());
+  }
+
+  if (costOut != nullptr) {
+    *costOut = cost ? cost->eval(env) : std::nan("");
+  }
+  for (const SpaceConstraint& c : constraints) {
+    if (!c.holds(env)) return std::nullopt;
+  }
+  cfg.name = suffix.empty() ? base.name : base.name + "{" + suffix + "}";
+  cfg.machine.name = cfg.name;
+  return cfg;
+}
+
+DesignSpace DesignSpace::fromGrid(const MachineGrid& grid) {
+  DesignSpace space;
+  space.base = grid.base;
+  space.axes = grid.axes;
+  return space;
+}
+
+DesignSpace parseDesignSpace(std::string_view text) {
+  DesignSpace space;
+  space.base = MachineModel::bgq();
+  bool baseSeen = false;
+
+  // Normalize ';' to newlines so inline and file specs share one path.
+  std::string normalized(text);
+  for (char& c : normalized) {
+    if (c == ';') c = '\n';
+  }
+
+  for (std::string_view line : split(normalized, '\n')) {
+    size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+
+    // Split at the FIRST '=' only: constraint bodies legitimately contain
+    // '<=' / '==' to the right of the directive's own '='.
+    size_t eq = line.find('=');
+    if (eq == std::string_view::npos || trim(line.substr(0, eq)).empty() ||
+        trim(line.substr(eq + 1)).empty()) {
+      throw Error("space spec: expected 'directive = value', got '" + std::string(line) +
+                  "'");
+    }
+    std::string key(trim(line.substr(0, eq)));
+    std::string_view value = trim(line.substr(eq + 1));
+
+    if (key == "base") {
+      if (baseSeen) throw Error("space spec: duplicate 'base' directive");
+      space.base = machineByName(value);
+      baseSeen = true;
+      continue;
+    }
+    if (key == "constraint") {
+      space.constraints.push_back(parseConstraint(value));
+      continue;
+    }
+    if (key == "cost") {
+      if (space.cost) throw Error("space spec: duplicate 'cost' directive");
+      space.costText = std::string(value);
+      space.cost = parseFieldExpr(value, "cost = " + space.costText);
+      continue;
+    }
+    if (key.rfind("derive ", 0) == 0) {
+      DerivedField d;
+      d.field = std::string(trim(std::string_view(key).substr(7)));
+      d.text = key + " = " + std::string(value);
+      if (!findGridField(d.field)) {
+        throw Error("space spec: derive targets unknown field '" + d.field + "'");
+      }
+      for (const auto& axis : space.axes) {
+        if (axis.field == d.field) {
+          throw Error("space spec: '" + d.field + "' is both an axis and a derive");
+        }
+      }
+      for (const auto& prev : space.derived) {
+        if (prev.field == d.field) {
+          throw Error("space spec: duplicate derive for '" + d.field + "'");
+        }
+      }
+      d.expr = parseFieldExpr(value, d.text);
+      space.derived.push_back(std::move(d));
+      continue;
+    }
+
+    if (!findGridField(key)) {
+      std::string known;
+      for (const auto& f : gridFields()) {
+        if (!known.empty()) known += ", ";
+        known += f.name;
+      }
+      throw Error("space spec: unknown field '" + key + "' (known: " + known +
+                  "; or base/derive/constraint/cost)");
+    }
+    for (const auto& axis : space.axes) {
+      if (axis.field == key) throw Error("space spec: duplicate axis '" + key + "'");
+    }
+    for (const auto& d : space.derived) {
+      if (d.field == key) {
+        throw Error("space spec: '" + key + "' is both an axis and a derive");
+      }
+    }
+
+    GridAxis axis;
+    axis.field = key;
+    for (std::string_view elem : split(value, ',')) expandElement(elem, axis.values);
+    if (axis.values.empty()) throw Error("space spec: axis '" + key + "' has no values");
+    space.axes.push_back(std::move(axis));
+  }
+  return space;
+}
+
+DesignSpace loadDesignSpaceFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot read space spec '" + path + "'");
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return parseDesignSpace(ss.str());
+}
+
+}  // namespace skope::search

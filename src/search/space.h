@@ -1,0 +1,101 @@
+// Design spaces for guided co-design search.
+//
+// A DesignSpace generalizes the sweep grid (machine/grid.h) from "cross
+// product of value lists" to a searchable space: axes may be log-stepped,
+// candidate points can be rejected by cross-axis constraints, derived fields
+// follow the axes through expressions, and a pluggable cost expression
+// prices every candidate — the $-per-config side of a time/cost Pareto
+// front. The search driver (search/search.h) samples and refines over the
+// axis index lattice; exhaustive enumeration degenerates to the classic grid
+// expansion.
+//
+// Spec format — a superset of the grid spec, one directive per line in a
+// file or ';'-separated inline:
+//
+//   base = xeon
+//   membw = 15, 30, 60               # axis: explicit list (grid syntax)
+//   peakflops = 2:16:2               # axis: arithmetic range lo:hi:step
+//   l1kb = 16:256:*2                 # axis: geometric range lo:hi:*factor
+//   derive llcmb = max(8, l1kb / 4)  # derived field, follows the axes
+//   constraint = membw <= peakflops * 16  # reject violating points
+//   cost = cores * 3 + membw / 4 + l1kb / 16  # $ model (Pareto front)
+//
+// Expressions use the skeleton expression language (src/expr). When a
+// derive / constraint / cost expression is evaluated, every grid field name
+// (machine/grid.h's registry) is bound to its value on the candidate
+// machine — axes applied first, then earlier derives in spec order — so
+// cross-axis and non-axis fields mix freely. Referencing a name that is not
+// a grid field is a parse-time error.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "expr/expr.h"
+#include "machine/grid.h"
+
+namespace skope::search {
+
+/// Comparison operator of a constraint directive.
+enum class CmpOp { Lt, Le, Gt, Ge, Eq, Ne };
+
+/// One `constraint = EXPR CMP EXPR` directive.
+struct SpaceConstraint {
+  ExprPtr lhs;
+  CmpOp op = CmpOp::Le;
+  ExprPtr rhs;
+  std::string text;  ///< original spec text, for reports and diagnostics
+
+  /// True when the constraint holds under `env` (all fields bound).
+  [[nodiscard]] bool holds(const ParamEnv& env) const;
+};
+
+/// One `derive FIELD = EXPR` directive.
+struct DerivedField {
+  std::string field;  ///< grid field keyword the result is written to
+  ExprPtr expr;
+  std::string text;  ///< original spec text
+};
+
+/// A searchable machine design space: axes over the grid-field registry,
+/// plus derives, constraints and an optional cost model.
+struct DesignSpace {
+  MachineModel base;
+  std::vector<GridAxis> axes;
+  std::vector<DerivedField> derived;
+  std::vector<SpaceConstraint> constraints;
+  ExprPtr cost;          ///< nullptr when the spec has no cost directive
+  std::string costText;  ///< original cost spec text ("" without one)
+
+  /// Lattice size: the product of axis value counts, before constraint
+  /// filtering (1 for no axes).
+  [[nodiscard]] size_t gridCount() const;
+
+  /// Decodes a flat lattice index into per-axis value indices, row-major in
+  /// axis order (the last axis varies fastest — grid expansion order).
+  [[nodiscard]] std::vector<size_t> decode(size_t index) const;
+
+  /// Materializes the candidate at per-axis value indices `pick`: applies
+  /// the axes and derives, names the config with both bindings, evaluates
+  /// the constraints. Returns nullopt when a constraint rejects the point.
+  /// `costOut` (optional) receives the cost expression's value, or NaN when
+  /// the space has no cost model.
+  [[nodiscard]] std::optional<MachineConfig> materialize(
+      const std::vector<size_t>& pick, double* costOut = nullptr) const;
+
+  /// Wraps a plain sweep grid as a constraint-free, cost-free space.
+  static DesignSpace fromGrid(const MachineGrid& grid);
+};
+
+/// Parses a design-space spec (see the file header for the format). Every
+/// plain-grid spec is also a valid design-space spec. Throws Error on
+/// unknown fields, malformed directives, or expressions referencing
+/// non-field names.
+DesignSpace parseDesignSpace(std::string_view text);
+
+/// Reads and parses a design-space spec file. Throws Error if unreadable.
+DesignSpace loadDesignSpaceFile(const std::string& path);
+
+}  // namespace skope::search

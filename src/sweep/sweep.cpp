@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <exception>
+#include <unordered_map>
 
 #include "support/diagnostics.h"
 #include "support/faultinject.h"
@@ -104,6 +105,7 @@ SweepResult runSweep(const core::WorkloadFrontend& frontend,
   backendOpts.wantHotPath = options.hotPaths;
   backendOpts.groundTruth = options.groundTruth;
   backendOpts.maxOps = options.maxOps;
+  backendOpts.combine = options.combine;
 
   // Analytic layer conditions: one symbolic model per workload serves every
   // config with no trace at all. Always informs the roofline; when the
@@ -261,9 +263,34 @@ SweepResult runSweep(const core::WorkloadFrontend& frontend,
     result.outcomes[i].config = configs[i].name;
   }
 
+  // Identical machines (by machineKey, which ignores the config name)
+  // produce bit-identical evaluations, so only the first occurrence of each
+  // distinct machine is dispatched; its duplicates copy the outcome
+  // afterwards, re-labeled with their own grid identity. Counted as
+  // "sweep/dedup". Grid expansion can emit duplicates freely (a derived or
+  // clamped axis collapsing points), and search generations routinely
+  // re-propose configs an earlier generation already evaluated.
+  std::vector<size_t> primaryOf(configs.size());
+  std::vector<size_t> uniqueIdx;
+  uniqueIdx.reserve(configs.size());
+  {
+    std::unordered_map<std::string, size_t> firstByKey;
+    firstByKey.reserve(configs.size() * 2);
+    for (size_t i = 0; i < configs.size(); ++i) {
+      auto [it, inserted] = firstByKey.emplace(machineKey(configs[i].machine), i);
+      primaryOf[i] = it->second;
+      if (inserted) uniqueIdx.push_back(i);
+    }
+  }
+  if (telemetry::enabled() && uniqueIdx.size() < configs.size()) {
+    telemetry::Registry::global()
+        .counter("sweep/dedup")
+        .add(configs.size() - uniqueIdx.size());
+  }
+
   WorkStealingPool pool(options.threads);
   result.threadsUsed = static_cast<int>(
-      std::min<size_t>(static_cast<size_t>(pool.threadCount()), std::max<size_t>(configs.size(), 1)));
+      std::min<size_t>(static_cast<size_t>(pool.threadCount()), std::max<size_t>(uniqueIdx.size(), 1)));
 
   // `evaluated[i]` marks outcomes the fan-out actually wrote — when the
   // sweep deadline expires inside a shared stage, the rest become Timeout
@@ -307,6 +334,9 @@ SweepResult runSweep(const core::WorkloadFrontend& frontend,
                ? options.cancel.childWithTimeoutMs(options.configTimeoutMs)
                : options.cancel;
   };
+  // The pool hands tasks out by fan-out position; tasks map to config slots
+  // through uniqueIdx (duplicates never get a task of their own).
+  auto classifyTask = [&](size_t u, std::exception_ptr ep) { classify(uniqueIdx[u], ep); };
 
   auto t0 = std::chrono::steady_clock::now();
   try {
@@ -321,30 +351,32 @@ SweepResult runSweep(const core::WorkloadFrontend& frontend,
           core::evaluateMachine(frontend, base, cheap).model.totalSeconds;
     }
 
-    if (options.backend == SweepBackend::Batched && configs.size() > 1) {
+    if (options.backend == SweepBackend::Batched && uniqueIdx.size() > 1) {
       // Node-major: one shared BET factorization + geometry-memoized cache
       // predictions up front, then only the cheap per-config finish stages go
-      // through the pool.
+      // through the pool. Only distinct machines enter the batch.
       std::vector<MachineModel> machines;
-      machines.reserve(configs.size());
-      for (const auto& c : configs) machines.push_back(c.machine);
+      machines.reserve(uniqueIdx.size());
+      for (size_t i : uniqueIdx) machines.push_back(configs[i].machine);
       core::BackendOptions gridOpts = backendOpts;
       gridOpts.cancel = options.cancel;
       core::GridBackend backend(frontend, std::move(machines), gridOpts);
       SKOPE_SPAN("sweep/fan-out");
       pool.run(
-          configs.size(),
-          [&](size_t i) {
+          uniqueIdx.size(),
+          [&](size_t u) {
+            const size_t i = uniqueIdx[u];
             auto token = configToken(i);
             telemetry::Span span("config/", configs[i].name);
-            finishOne(i, backend.evaluate(i, token));
+            finishOne(i, backend.evaluate(u, token));
           },
-          options.progress, classify);
+          options.progress, classifyTask);
     } else {
       SKOPE_SPAN("sweep/fan-out");
       pool.run(
-          configs.size(),
-          [&](size_t i) {
+          uniqueIdx.size(),
+          [&](size_t u) {
+            const size_t i = uniqueIdx[u];
             auto token = configToken(i);
             // One span per config on whichever worker track ran it.
             telemetry::Span span("config/", configs[i].name);
@@ -352,7 +384,7 @@ SweepResult runSweep(const core::WorkloadFrontend& frontend,
             opts.cancel = token;
             finishOne(i, core::evaluateMachine(frontend, configs[i].machine, opts));
           },
-          options.progress, classify);
+          options.progress, classifyTask);
     }
   } catch (const CancelledError& e) {
     // Deadline expired inside a shared stage (base eval, batched combine,
@@ -363,6 +395,18 @@ SweepResult runSweep(const core::WorkloadFrontend& frontend,
       result.outcomes[i].status = ConfigStatus::Timeout;
       result.outcomes[i].error = e.what();
     }
+  }
+
+  // Duplicates mirror their primary's outcome — status, error and numbers
+  // alike — under their own index and config name.
+  for (size_t i = 0; i < configs.size(); ++i) {
+    const size_t p = primaryOf[i];
+    if (p == i) continue;
+    ConfigOutcome copy = result.outcomes[p];
+    copy.index = i;
+    copy.config = configs[i].name;
+    result.outcomes[i] = std::move(copy);
+    evaluated[i] = evaluated[p];
   }
   result.sweepSeconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();

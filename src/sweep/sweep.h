@@ -71,6 +71,11 @@ struct SweepOptions {
   /// Roofline back-end (--backend). Batched is the default; Scalar remains
   /// for reference timing and the equivalence suite.
   SweepBackend backend = SweepBackend::Batched;
+  /// Combine loop inside the batched back-end (ignored by Scalar):
+  /// forwarded to core::BackendOptions::combine. All modes produce
+  /// bit-identical outcomes; Simd/Scalar force one side for timing and the
+  /// equivalence suite.
+  roofline::CombineMode combine = roofline::CombineMode::Auto;
   hotspot::SelectionCriteria criteria{};
   roofline::RooflineParams rparams{};
   /// Run the ground-truth timing simulator per config too (Prof ranking +

@@ -1,0 +1,328 @@
+// Guided-search contracts (docs/SEARCH.md):
+//   1. Pareto dominance and hand-checked fronts — order and tie handling are
+//      value-determined, never evaluation-order-determined;
+//   2. design-space parsing: geometric ranges, derives, constraints, cost
+//      models, and the parse-time rejection of malformed specs;
+//   3. search determinism: the same seed renders byte-identical reports at
+//      any thread count, and budget exhaustion is recorded as provenance,
+//      not an error;
+//   4. the sweep-level config dedup that backs search generations;
+//   5. SIMD-vs-scalar combine bit-identity on every workload (the combine
+//      side of the same contract tests/test_batched.cpp pins for the
+//      batched-vs-scalar back-ends).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "machine/grid.h"
+#include "roofline/estimate.h"
+#include "search/pareto.h"
+#include "search/report.h"
+#include "search/search.h"
+#include "search/space.h"
+#include "support/diagnostics.h"
+#include "sweep/report.h"
+#include "sweep/sweep.h"
+#include "telemetry/telemetry.h"
+
+namespace skope::search {
+namespace {
+
+hotspot::SelectionCriteria scaledCriteria() { return {0.90, 0.45}; }
+
+const core::WorkloadFrontend& frontendFor(const std::string& name) {
+  static std::map<std::string, std::shared_ptr<const core::WorkloadFrontend>> cache;
+  auto it = cache.find(name);
+  if (it == cache.end()) it = cache.emplace(name, core::loadFrontend(name)).first;
+  return *it->second;
+}
+
+// -------------------------------------------------------------- Pareto front
+
+TEST(Pareto, DominatesRequiresStrictlyBetterSomewhere) {
+  EXPECT_TRUE(dominates({1, 5, 0}, {2, 6, 1}));   // better in both
+  EXPECT_TRUE(dominates({1, 5, 0}, {1, 6, 1}));   // equal time, cheaper
+  EXPECT_TRUE(dominates({1, 5, 0}, {2, 5, 1}));   // equal cost, faster
+  EXPECT_FALSE(dominates({1, 5, 0}, {1, 5, 1}));  // equal in both: neither
+  EXPECT_FALSE(dominates({1, 5, 0}, {2, 4, 1}));  // trade-off: neither
+  EXPECT_FALSE(dominates({2, 6, 0}, {1, 5, 1}));  // strictly worse
+}
+
+TEST(Pareto, HandCheckedFront) {
+  // (1,5) (2,3) (3,1) form the frontier; (2,4) loses to (2,3), (1.5,6)
+  // loses to (1,5).
+  std::vector<ParetoPoint> pts = {
+      {2, 4, 0}, {3, 1, 1}, {1.5, 6, 2}, {1, 5, 3}, {2, 3, 4}};
+  auto front = paretoFront(pts);
+  ASSERT_EQ(front.size(), 3u);
+  // Sorted by (time, cost, tag): (1,5) then (2,3) then (3,1).
+  EXPECT_EQ(pts[front[0]].tag, 3u);
+  EXPECT_EQ(pts[front[1]].tag, 4u);
+  EXPECT_EQ(pts[front[2]].tag, 1u);
+}
+
+TEST(Pareto, ExactDuplicatesBothStay) {
+  std::vector<ParetoPoint> pts = {{1, 2, 0}, {1, 2, 1}, {2, 3, 2}};
+  auto front = paretoFront(pts);
+  ASSERT_EQ(front.size(), 2u);
+  EXPECT_EQ(pts[front[0]].tag, 0u);
+  EXPECT_EQ(pts[front[1]].tag, 1u);
+}
+
+TEST(Pareto, SingleObjectiveDegeneratesToMinimum) {
+  // All costs equal: only the fastest point (and its exact duplicates)
+  // survive.
+  std::vector<ParetoPoint> pts = {{3, 0, 0}, {1, 0, 1}, {2, 0, 2}, {1, 0, 3}};
+  auto front = paretoFront(pts);
+  ASSERT_EQ(front.size(), 2u);
+  EXPECT_EQ(pts[front[0]].tag, 1u);
+  EXPECT_EQ(pts[front[1]].tag, 3u);
+}
+
+TEST(Pareto, EmptyInputEmptyFront) {
+  EXPECT_TRUE(paretoFront({}).empty());
+}
+
+// ------------------------------------------------------------- design spaces
+
+TEST(DesignSpace, ParsesAxesDerivesConstraintsAndCost) {
+  auto space = parseDesignSpace(
+      "base=bgq;"
+      "membw=15,30,60;"
+      "peakflops=4:8:2;"
+      "l1kb=16:64:*2;"
+      "derive llcmb = l1kb / 2;"
+      "constraint = membw <= peakflops * 10;"
+      "cost = membw / 4 + l1kb / 16");
+  EXPECT_EQ(space.axes.size(), 3u);
+  EXPECT_EQ(space.derived.size(), 1u);
+  EXPECT_EQ(space.constraints.size(), 1u);
+  ASSERT_NE(space.cost, nullptr);
+  // 3 (membw) x 3 (peakflops 4,6,8) x 3 (l1kb 16,32,64).
+  EXPECT_EQ(space.gridCount(), 27u);
+}
+
+TEST(DesignSpace, GeometricRangeExpandsByFactor) {
+  auto space = parseDesignSpace("base=bgq; l1kb=16:256:*2");
+  ASSERT_EQ(space.axes.size(), 1u);
+  std::vector<double> expect = {16, 32, 64, 128, 256};
+  EXPECT_EQ(space.axes[0].values, expect);
+}
+
+TEST(DesignSpace, MaterializeAppliesDerivesAndNamesBoth) {
+  auto space = parseDesignSpace("base=bgq; l1kb=16,32; derive llcmb = l1kb");
+  double cost = 0;
+  auto cfg = space.materialize({1}, &cost);
+  ASSERT_TRUE(cfg.has_value());
+  EXPECT_NE(cfg->name.find("l1kb=32"), std::string::npos);
+  EXPECT_NE(cfg->name.find("llcmb=32"), std::string::npos);
+  EXPECT_TRUE(std::isnan(cost));  // no cost model in this spec
+}
+
+TEST(DesignSpace, ConstraintRejectsViolatingPoints) {
+  auto space = parseDesignSpace(
+      "base=bgq; membw=15,30,60; constraint = membw < 50");
+  EXPECT_TRUE(space.materialize({0}).has_value());
+  EXPECT_TRUE(space.materialize({1}).has_value());
+  EXPECT_FALSE(space.materialize({2}).has_value());
+}
+
+TEST(DesignSpace, CostModelPricesCandidates) {
+  auto space = parseDesignSpace("base=bgq; membw=15,30; cost = membw * 2");
+  double cost = 0;
+  ASSERT_TRUE(space.materialize({1}, &cost).has_value());
+  EXPECT_EQ(cost, 60.0);
+}
+
+TEST(DesignSpace, DecodeIsRowMajorLastAxisFastest) {
+  auto space = parseDesignSpace("base=bgq; membw=15,30; freq=1.0,1.2,1.4");
+  EXPECT_EQ(space.decode(0), (std::vector<size_t>{0, 0}));
+  EXPECT_EQ(space.decode(1), (std::vector<size_t>{0, 1}));
+  EXPECT_EQ(space.decode(3), (std::vector<size_t>{1, 0}));
+  EXPECT_EQ(space.decode(5), (std::vector<size_t>{1, 2}));
+}
+
+TEST(DesignSpace, FromGridWrapsPlainGrid) {
+  auto space = DesignSpace::fromGrid(parseGridSpec("base=bgq; membw=15,30"));
+  EXPECT_EQ(space.gridCount(), 2u);
+  EXPECT_TRUE(space.constraints.empty());
+  EXPECT_EQ(space.cost, nullptr);
+}
+
+TEST(DesignSpace, RejectsMalformedSpecs) {
+  EXPECT_THROW(parseDesignSpace("base=bgq; nosuchfield=1,2"), Error);
+  EXPECT_THROW(parseDesignSpace("base=bgq; derive nosuchfield = 1"), Error);
+  EXPECT_THROW(parseDesignSpace("base=bgq; membw=15; cost = notafield * 2"), Error);
+  EXPECT_THROW(parseDesignSpace("base=bgq; constraint = membw"), Error);  // no cmp op
+  EXPECT_THROW(parseDesignSpace("base=bgq; membw=15:60:*1"), Error);  // factor <= 1
+  EXPECT_THROW(parseDesignSpace("base=bgq; cost = 1; cost = 2"), Error);
+}
+
+// ------------------------------------------------------- search determinism
+
+SearchOptions smallSearch(SearchAlgorithm algo, uint64_t seed, int threads) {
+  SearchOptions opts;
+  opts.algorithm = algo;
+  opts.seed = seed;
+  opts.generationSize = 16;
+  opts.rounds = 2;
+  opts.survivors = 4;
+  opts.sweep.criteria = scaledCriteria();
+  opts.sweep.threads = threads;
+  return opts;
+}
+
+TEST(Search, SameSeedAnyThreadCountRendersByteIdenticalReports) {
+  auto space = parseDesignSpace(
+      "base=bgq; freq=1.0:1.8:0.2; mlp=1:4:1; memlat=90:210:60;"
+      "cost = freq * 4 + mlp");
+  const auto& fe = frontendFor("sord");
+  auto serial =
+      runSearch(fe, space, smallSearch(SearchAlgorithm::SuccessiveHalving, 7, 1));
+  auto parallel =
+      runSearch(fe, space, smallSearch(SearchAlgorithm::SuccessiveHalving, 7, 3));
+  EXPECT_EQ(searchToCsv(serial), searchToCsv(parallel));
+  EXPECT_EQ(searchToMarkdown(serial), searchToMarkdown(parallel));
+  EXPECT_GT(serial.evals(), 0u);
+  ASSERT_TRUE(serial.bestIndex.has_value());
+  EXPECT_TRUE(serial.hasCost);
+  EXPECT_FALSE(serial.front.empty());
+}
+
+TEST(Search, ExhaustiveFindsTheLatticeOptimum) {
+  auto space = parseDesignSpace("base=bgq; freq=1.0,1.4,1.8; mlp=1,2,4");
+  const auto& fe = frontendFor("sord");
+  auto result =
+      runSearch(fe, space, smallSearch(SearchAlgorithm::Exhaustive, 1, 1));
+  ASSERT_EQ(result.evals(), 9u);
+  ASSERT_TRUE(result.bestIndex.has_value());
+  const auto& best = result.evaluated[*result.bestIndex];
+  for (const auto& p : result.evaluated) {
+    EXPECT_GE(p.projectedSeconds, best.projectedSeconds) << p.config;
+  }
+  EXPECT_EQ(result.provenance.rfind("complete", 0), 0u) << result.provenance;
+}
+
+TEST(Search, BudgetExhaustionIsProvenanceNotAnError) {
+  auto space = parseDesignSpace("base=bgq; freq=1.0:1.8:0.2; mlp=1:8:1");
+  auto opts = smallSearch(SearchAlgorithm::SuccessiveHalving, 3, 1);
+  opts.evalBudget = 10;
+  auto result = runSearch(frontendFor("sord"), space, opts);
+  EXPECT_TRUE(result.budgetExhausted);
+  EXPECT_LE(result.evals(), 10u);
+  EXPECT_EQ(result.provenance.rfind("budget-exhausted", 0), 0u)
+      << result.provenance;
+  ASSERT_TRUE(result.bestIndex.has_value());  // partial answers still land
+}
+
+TEST(Search, ThrowsOnAxislessSpace) {
+  auto space = parseDesignSpace("base=bgq");
+  EXPECT_THROW(runSearch(frontendFor("sord"), space, {}), Error);
+}
+
+// ------------------------------------------------------------- sweep dedup
+
+TEST(SweepDedup, DuplicateConfigsEvaluateOnceAndMirrorOutcomes) {
+  auto& reg = telemetry::Registry::global();
+  bool wasEnabled = reg.enabled();
+  reg.setEnabled(true);
+  reg.counter("sweep/dedup").reset();
+
+  auto configs = parseGridSpec("base=bgq; membw=15,30").expand();
+  ASSERT_EQ(configs.size(), 2u);
+  std::vector<MachineConfig> withDups = {configs[0], configs[1], configs[0],
+                                         configs[1]};
+  withDups[2].name = "dup-of-0";
+  withDups[3].name = "dup-of-1";
+
+  sweep::SweepOptions opts;
+  opts.threads = 1;
+  opts.criteria = scaledCriteria();
+  auto result = sweep::runSweep(frontendFor("sord"), withDups, opts);
+
+  EXPECT_EQ(reg.counter("sweep/dedup").value(), 2u);
+  ASSERT_EQ(result.outcomes.size(), 4u);
+  EXPECT_EQ(result.outcomes[2].config, "dup-of-0");
+  EXPECT_EQ(result.outcomes[2].projectedSeconds,
+            result.outcomes[0].projectedSeconds);
+  EXPECT_EQ(result.outcomes[3].config, "dup-of-1");
+  EXPECT_EQ(result.outcomes[3].projectedSeconds,
+            result.outcomes[1].projectedSeconds);
+  EXPECT_EQ(result.outcomes[2].index, 2u);
+  reg.setEnabled(wasEnabled);
+}
+
+// ------------------------------------------- SIMD combine == scalar combine
+
+class SimdCombine : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SimdCombine, BitIdenticalAcrossModesAndTotals) {
+  const auto& fe = frontendFor(GetParam());
+  auto configs =
+      parseGridSpec("base=bgq; membw=20,40; freq=1.0,1.4; mlp=2,4").expand();
+  std::vector<roofline::Roofline> models;
+  for (const auto& c : configs) {
+    models.emplace_back(c.machine, roofline::RooflineParams{});
+  }
+  roofline::BatchedEstimator estimator(fe.bet(), &fe.module(),
+                                       &core::WorkloadFrontend::libProfile().mixes);
+
+  auto scalar =
+      estimator.estimateGrid(models, {}, roofline::CombineMode::Scalar);
+  auto simd = estimator.estimateGrid(models, {}, roofline::CombineMode::Simd);
+  ASSERT_EQ(scalar.size(), simd.size());
+  for (size_t i = 0; i < scalar.size(); ++i) {
+    EXPECT_EQ(scalar[i].totalSeconds, simd[i].totalSeconds) << configs[i].name;
+    ASSERT_EQ(scalar[i].blocks.size(), simd[i].blocks.size());
+    for (const auto& [origin, sb] : scalar[i].blocks) {
+      const auto& vb = simd[i].blocks.at(origin);
+      EXPECT_EQ(vb.label, sb.label);
+      EXPECT_EQ(vb.tcSeconds, sb.tcSeconds) << sb.label;
+      EXPECT_EQ(vb.tmSeconds, sb.tmSeconds) << sb.label;
+      EXPECT_EQ(vb.toSeconds, sb.toSeconds) << sb.label;
+      EXPECT_EQ(vb.seconds, sb.seconds) << sb.label;
+      EXPECT_EQ(vb.fraction, sb.fraction) << sb.label;
+    }
+  }
+
+  // The totals-only combine must agree with the materializing one bitwise,
+  // in every mode.
+  auto totScalar =
+      estimator.estimateTotals(models, {}, roofline::CombineMode::Scalar);
+  auto totSimd = estimator.estimateTotals(models, {}, roofline::CombineMode::Simd);
+  ASSERT_EQ(totScalar.size(), scalar.size());
+  for (size_t i = 0; i < scalar.size(); ++i) {
+    EXPECT_EQ(totScalar[i], scalar[i].totalSeconds) << configs[i].name;
+    EXPECT_EQ(totSimd[i], scalar[i].totalSeconds) << configs[i].name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, SimdCombine,
+                         ::testing::Values("sord", "chargei", "srad", "cfd",
+                                           "stassuij"));
+
+TEST(SimdCombine, SweepReportsByteIdenticalAcrossCombineModes) {
+  sweep::SweepOptions opts;
+  opts.threads = 1;
+  opts.criteria = scaledCriteria();
+  auto grid = parseGridSpec("base=bgq; l1kb=16,32; membw=20,40; freq=1.0,1.4");
+  opts.combine = roofline::CombineMode::Scalar;
+  auto scalar = sweep::runSweep(frontendFor("sord"), grid, opts);
+  opts.combine = roofline::CombineMode::Simd;
+  auto simd = sweep::runSweep(frontendFor("sord"), grid, opts);
+  EXPECT_EQ(sweep::toCsv(scalar), sweep::toCsv(simd));
+  EXPECT_EQ(sweep::toMarkdown(scalar), sweep::toMarkdown(simd));
+}
+
+TEST(SimdCombine, LanesMatchBuildTarget) {
+  // 1 (portable), 2 (SSE2/NEON), 4 (AVX) or 8 (AVX-512), never anything else.
+  int lanes = roofline::BatchedEstimator::simdLanes();
+  EXPECT_TRUE(lanes == 1 || lanes == 2 || lanes == 4 || lanes == 8);
+}
+
+}  // namespace
+}  // namespace skope::search

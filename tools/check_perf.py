@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over the benches' BENCH_*.json metric dumps.
+
+Reads bench/baselines.json (conservative floors seeded from local runs) and
+the skope-metrics-v1 JSON files the bench binaries write, and fails when any
+gated gauge regresses more than the allowed tolerance past its baseline:
+
+  * direction "higher" (speedups): fail when value < baseline * (1 - tol)
+  * direction "lower"  (coverage fractions, quality gaps):
+    fail when value > baseline * (1 + tol)
+
+A missing metrics file or gauge is a FAILURE, not a skip — a gate that
+silently passes when the bench stopped emitting its headline number is no
+gate at all.
+
+Usage:
+  python3 tools/check_perf.py [--baselines bench/baselines.json] [--dir .]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_gauges(path):
+    with open(path) as f:
+        m = json.load(f)
+    return m.get("gauges", {})
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baselines", default="bench/baselines.json",
+                    help="baseline spec (default: bench/baselines.json)")
+    ap.add_argument("--dir", default=".",
+                    help="directory holding the BENCH_*.json dumps (default: .)")
+    args = ap.parse_args()
+
+    with open(args.baselines) as f:
+        spec = json.load(f)
+    tol = spec.get("tolerance_pct", 20) / 100.0
+
+    gauges_by_file = {}
+    failures = 0
+    rows = []
+    for m in spec["metrics"]:
+        fname, gauge = m["file"], m["gauge"]
+        baseline, direction = m["baseline"], m["direction"]
+        path = os.path.join(args.dir, fname)
+        if fname not in gauges_by_file:
+            try:
+                gauges_by_file[fname] = load_gauges(path)
+            except (OSError, json.JSONDecodeError) as e:
+                gauges_by_file[fname] = None
+                print(f"ERROR: cannot read {path}: {e}", file=sys.stderr)
+        gauges = gauges_by_file[fname]
+        value = gauges.get(gauge) if gauges is not None else None
+        if value is None:
+            rows.append((gauge, "MISSING", f"{baseline:g}", "-", "FAIL"))
+            failures += 1
+            continue
+        if direction == "higher":
+            limit = baseline * (1 - tol)
+            ok = value >= limit
+            bound = f">= {limit:g}"
+        else:
+            limit = baseline * (1 + tol)
+            ok = value <= limit
+            bound = f"<= {limit:g}"
+        rows.append((gauge, f"{value:g}", f"{baseline:g}", bound, "ok" if ok else "FAIL"))
+        if not ok:
+            failures += 1
+
+    widths = [max(len(str(r[i])) for r in rows + [("gauge", "value", "baseline", "gate", "")])
+              for i in range(5)]
+    header = ("gauge", "value", "baseline", "gate", "")
+    for r in [header] + rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(r, widths)).rstrip())
+
+    if failures:
+        print(f"\nperf gate: {failures} regression(s) past the "
+              f"{spec.get('tolerance_pct', 20)}% tolerance", file=sys.stderr)
+        return 1
+    print(f"\nperf gate: all {len(rows)} metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

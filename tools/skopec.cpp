@@ -9,7 +9,9 @@
 //   skopec cfd --skeleton                        # dump the annotated skeleton
 //   skopec sord --compare                        # model vs ground truth
 //   skopec sord --scaling --cells 64000 --steps 4  # multi-node projection
+#include <algorithm>
 #include <cstdio>
+#include <thread>
 
 #include "cachemodel/layercond.h"
 #include "core/framework.h"
@@ -56,6 +58,10 @@ int run(int argc, char** argv) {
                  {"constant", "reuse-dist", "layer-cond"}, "constant");
   args.addFlag("params", "override workload params, e.g. N=128,STEPS=10");
   args.addFlag("hints", "hint file with one 'name = value' binding per line");
+  args.addFlag("threads", "worker threads for the reuse-distance histogram "
+                          "shards (--cache-model=reuse-dist); 0 auto-detects "
+                          "all hardware threads "
+                          "(std::thread::hardware_concurrency)", "1");
   args.addFlag("coverage", "hot-spot time-coverage criterion", "0.90");
   args.addFlag("leanness", "hot-spot code-leanness criterion", "0.45");
   args.addFlag("top", "rows to print in rankings", "10");
@@ -141,7 +147,11 @@ int run(int argc, char** argv) {
       throw Error("cache-model=reuse-dist needs a usable memory trace "
                   "(raise --max-ops or use --cache-model=layer-cond)");
     }
-    trace::CacheModel cm(mt, /*histogramThreads=*/1, cancel);
+    int threads = static_cast<int>(args.getInt("threads", 0, 4096));
+    if (threads == 0) {
+      threads = static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+    }
+    trace::CacheModel cm(mt, threads, cancel);
     pred = cm.evaluate(machine);
   }
   if (pred) {

@@ -9,7 +9,15 @@
 //   sweep srad --grid "base=xeon; llcmb=5,15,30" --quality
 //   sweep --list-fields                          # sweepable hardware knobs
 //
-// See docs/SWEEP.md for the grid-spec format and the output schema.
+// With --search the grid spec is read as a design space (log-stepped axes,
+// derives, constraints, a cost model) and a guided search answers the
+// Pareto question instead of exhaustively ranking the grid:
+//
+//   sweep cfd --search shalving --seed 7 --eval-budget 200
+//       --grid "membw=15:240:*2; cores=4:64:*2; cost = cores/2 + membw/8"
+//
+// See docs/SWEEP.md for the grid-spec format and the output schema, and
+// docs/SEARCH.md for design spaces and the search drivers.
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -18,6 +26,9 @@
 #include "core/backend.h"
 #include "core/framework.h"
 #include "machine/grid.h"
+#include "search/report.h"
+#include "search/search.h"
+#include "search/space.h"
 #include "support/argparse.h"
 #include "support/cancel.h"
 #include "support/faultinject.h"
@@ -45,6 +56,19 @@ MachineGrid loadGrid(const std::string& spec, const std::string& baseFlag) {
     grid.base = machineByName(baseFlag);
   }
   return grid;
+}
+
+search::DesignSpace loadSpace(const std::string& spec, const std::string& baseFlag) {
+  search::DesignSpace space;
+  if (spec.find('=') != std::string::npos) {
+    space = search::parseDesignSpace(spec);
+  } else {
+    space = search::loadDesignSpaceFile(spec);
+  }
+  if (spec.find("base") == std::string::npos && !baseFlag.empty()) {
+    space.base = machineByName(baseFlag);
+  }
+  return space;
 }
 
 /// Live "done/total, rate, ETA" line on stderr, fed by the pool's completion
@@ -95,7 +119,27 @@ int run(int argc, char** argv) {
                        "\"membw=15:60:15; peakflops=2,4,8\"");
   args.addFlag("base", "base machine when the spec has no 'base =' line: "
                        "bgq, xeon, knl, arm", "bgq");
-  args.addFlag("threads", "worker threads (0 = all hardware threads)", "0");
+  args.addFlag("threads", "worker threads; 0 auto-detects all hardware threads "
+                          "(std::thread::hardware_concurrency)", "0");
+  args.addChoice("search", "evaluation driver: 'none' sweeps the grid "
+                           "exhaustively (classic ranked report); 'exhaustive' "
+                           "and 'shalving' read the spec as a design space "
+                           "(constraints, derives, cost model — see "
+                           "docs/SEARCH.md) and report the time/cost Pareto "
+                           "front, either over every point or via guided "
+                           "successive-halving search",
+                 {"none", "exhaustive", "shalving"}, "none");
+  args.addChoice("pareto", "search objectives: projected time alone, or "
+                           "time plus the spec's 'cost =' model",
+                 {"time", "time,cost"}, "time,cost");
+  args.addFlag("eval-budget", "max candidate evaluations for --search "
+                              "(0 = uncapped); exhausting it truncates "
+                              "deterministically and is recorded in the "
+                              "report's provenance line", "0");
+  args.addFlag("seed", "deterministic seed for --search=shalving sampling "
+                       "and mutation", "1");
+  args.addFlag("within-pct", "report the cheapest config within this % of "
+                             "the fastest (needs a cost model)", "5");
   args.addChoice("backend", "roofline back-end: 'batched' walks the BET once and "
                             "combines per config (node-major), 'scalar' re-walks "
                             "it per config; both produce identical reports",
@@ -171,9 +215,28 @@ int run(int argc, char** argv) {
                 "see --list-fields for the axes)");
   }
 
-  MachineGrid grid = loadGrid(args.get("grid"), args.get("base"));
-  if (grid.axes.empty()) {
-    throw Error("grid has no axes — nothing to sweep (see --list-fields)");
+  // --search=none keeps the classic exhaustive ranked sweep; the search
+  // modes read the same spec as a design space (a strict superset).
+  const std::string searchMode = args.get("search");
+  MachineGrid grid;
+  search::DesignSpace space;
+  if (searchMode == "none") {
+    grid = loadGrid(args.get("grid"), args.get("base"));
+    if (grid.axes.empty()) {
+      throw Error("grid has no axes — nothing to sweep (see --list-fields)");
+    }
+  } else {
+    space = loadSpace(args.get("grid"), args.get("base"));
+    if (space.axes.empty()) {
+      throw Error("design space has no axes — nothing to search "
+                  "(see --list-fields and docs/SEARCH.md)");
+    }
+    if (args.get("pareto") == "time") {
+      // Time-only front: drop the cost model so the Pareto filter and the
+      // cheapest-within answer don't engage.
+      space.cost = nullptr;
+      space.costText.clear();
+    }
   }
 
   // Arm fault injection before any pipeline stage runs, so front-end points
@@ -223,17 +286,46 @@ int run(int argc, char** argv) {
       progress.update(done, total);
     };
   }
-  auto result = sweep::runSweep(*frontend, grid, opts);
-  progress.finish();
-
   std::string format = args.get("format");
   std::string report;
-  if (format == "md" || format == "both") {
-    report += sweep::toMarkdown(result, static_cast<size_t>(args.getUint64("top")));
-  }
-  if (format == "csv" || format == "both") {
-    if (!report.empty()) report += "\n";
-    report += sweep::toCsv(result);
+  size_t configCount = 0;
+  int threadsUsed = 1;
+  double runSeconds = 0;
+  const size_t topN = static_cast<size_t>(args.getUint64("top"));
+  if (searchMode == "none") {
+    auto result = sweep::runSweep(*frontend, grid, opts);
+    progress.finish();
+    if (format == "md" || format == "both") {
+      report += sweep::toMarkdown(result, topN);
+    }
+    if (format == "csv" || format == "both") {
+      if (!report.empty()) report += "\n";
+      report += sweep::toCsv(result);
+    }
+    configCount = result.outcomes.size();
+    threadsUsed = result.threadsUsed;
+    runSeconds = result.sweepSeconds;
+  } else {
+    search::SearchOptions sopts;
+    sopts.algorithm = searchMode == "exhaustive"
+                          ? search::SearchAlgorithm::Exhaustive
+                          : search::SearchAlgorithm::SuccessiveHalving;
+    sopts.seed = args.getUint64("seed");
+    sopts.evalBudget = static_cast<size_t>(args.getUint64("eval-budget"));
+    sopts.withinPct = args.getDouble("within-pct");
+    sopts.sweep = opts;
+    auto result = search::runSearch(*frontend, space, sopts);
+    progress.finish();
+    if (format == "md" || format == "both") {
+      report += search::searchToMarkdown(result, topN);
+    }
+    if (format == "csv" || format == "both") {
+      if (!report.empty()) report += "\n";
+      report += search::searchToCsv(result);
+    }
+    configCount = result.evals();
+    threadsUsed = result.threadsUsed;
+    runSeconds = result.searchSeconds;
   }
   if (report.empty()) {
     throw Error("unknown --format '" + format + "' (md, csv, both)");
@@ -244,12 +336,11 @@ int run(int argc, char** argv) {
     if (!out) throw Error("cannot write '" + args.get("out") + "'");
     out << report;
     logging::info("sweep: %zu configs -> %s (%d threads, %.3f s)",
-                  result.outcomes.size(), args.get("out").c_str(), result.threadsUsed,
-                  result.sweepSeconds);
+                  configCount, args.get("out").c_str(), threadsUsed, runSeconds);
   } else {
     std::fputs(report.c_str(), stdout);
     logging::info("sweep: %zu configs, %d threads, %.3f s back-end",
-                  result.outcomes.size(), result.threadsUsed, result.sweepSeconds);
+                  configCount, threadsUsed, runSeconds);
   }
 
   if (telem.enabled()) {
