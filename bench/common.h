@@ -58,6 +58,7 @@ class BenchMetrics {
     double wallMs = std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
                         std::chrono::steady_clock::now() - start_)
                         .count();
+    if (double kb = peakRssKb(); kb > 0) gauge("bench/peak_rss_kb", kb);
     std::ofstream out(path_);
     if (!out) {
       std::fprintf(stderr, "%s: cannot write %s\n", name_.c_str(), path_.c_str());
@@ -68,6 +69,19 @@ class BenchMetrics {
   }
 
  private:
+  /// Process peak resident set ("VmHWM" from /proc/self/status) in kB, or 0
+  /// where the kernel does not report it (non-Linux).
+  static double peakRssKb() {
+#ifdef __linux__
+    std::ifstream status("/proc/self/status");
+    std::string line;
+    while (std::getline(status, line)) {
+      if (line.rfind("VmHWM:", 0) == 0) return std::atof(line.c_str() + 6);
+    }
+#endif
+    return 0;
+  }
+
   std::string name_;
   std::string path_;
   std::chrono::steady_clock::time_point start_;

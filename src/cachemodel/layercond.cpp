@@ -149,7 +149,7 @@ LayerConditionModel::LayerConditionModel(const minic::Program& prog,
   buildVolumes();
 
   if (telemetry::enabled()) {
-    auto& reg = telemetry::Registry::global();
+    auto& reg = telemetry::Registry::current();
     reg.counter("cachemodel/affine-refs").add(stats_.affineRefs);
     reg.counter("cachemodel/indirect-refs").add(stats_.indirectRefs);
     reg.counter("cachemodel/opaque-refs").add(stats_.opaqueRefs);
@@ -350,7 +350,7 @@ double LayerConditionModel::levelMisses(const CacheLevelDesc& level,
 
 trace::CachePrediction LayerConditionModel::evaluate(const MachineModel& machine) const {
   if (telemetry::enabled()) {
-    telemetry::Registry::global().counter("cachemodel/evaluations").add(1);
+    telemetry::Registry::current().counter("cachemodel/evaluations").add(1);
   }
   trace::CachePrediction pred;
 

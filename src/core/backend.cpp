@@ -141,7 +141,7 @@ GridBackend::GridBackend(const WorkloadFrontend& frontend,
       models.emplace_back(m, rooflineParamsFor(options_, it->second));
     }
     if (telemetry::enabled()) {
-      auto& reg = telemetry::Registry::global();
+      auto& reg = telemetry::Registry::current();
       reg.counter("sweep/memo-hit").add(hits);
       reg.counter("sweep/memo-miss").add(misses);
     }

@@ -126,7 +126,9 @@ struct BatchState {
       auto idle = (telemetry::Clock::now() - loopStart) - busy;
       auto idleNs =
           std::chrono::duration_cast<std::chrono::nanoseconds>(idle).count();
-      auto& reg = telemetry::Registry::global();
+      // current(), not global(): under a telemetry::Context the scheduling
+      // metrics belong to the request that submitted the batch.
+      auto& reg = telemetry::Registry::current();
       reg.counter("sweep/pool/tasks").add(tasksRun);
       reg.counter("sweep/pool/steals").add(steals);
       reg.counter("sweep/pool/idle_ns").add(static_cast<uint64_t>(idleNs));
@@ -199,12 +201,20 @@ void WorkStealingPool::run(size_t numTasks, const std::function<void(size_t)>& t
     state.queues[i % workers].tasks.push_front(i);
   }
 
+  // Capture the submitting thread's telemetry context BEFORE spawning:
+  // workers install it first thing, so their spans, counters and flight
+  // events land in the submitting request's registry instead of the global
+  // one. The handoff is ordered by thread creation (everything the spawner
+  // wrote happens-before the worker body) — TSan-clean by construction.
+  telemetry::Registry* telemetryCtx = &telemetry::Registry::current();
+
   std::vector<std::thread> crew;
   crew.reserve(workers - 1);
   {
     Joiner joiner{crew};
     for (size_t w = 1; w < workers; ++w) {
-      crew.emplace_back([&state, w] {
+      crew.emplace_back([&state, w, telemetryCtx] {
+        telemetry::ScopedRegistry scope(telemetryCtx);
         telemetry::setThreadName(format("pool-worker-%zu", w));
         state.workerLoop(w);
       });

@@ -64,6 +64,10 @@ class WorkStealingPool {
   /// "sweep/pool/tasks", "sweep/pool/steals" and "sweep/pool/idle_ns"
   /// (scheduling overhead summed over workers), the per-worker histogram
   /// "sweep/pool/worker_idle_ms", and a named span track per spawned worker.
+  /// All of it lands in the SUBMITTING thread's telemetry::Registry::current()
+  /// — the caller's registry is captured before the workers spawn and
+  /// installed in each of them, so a batch run under a telemetry::Context
+  /// attributes every worker's spans and metrics to that context.
   /// Fault injection: each task invocation passes the "pool/task" fault
   /// point (see support/faultinject.h) before running; an injected fault is
   /// indistinguishable from the task itself throwing.

@@ -604,7 +604,7 @@ std::vector<ModelResult> BatchedEstimator::estimateGrid(
                 "uniformFlops/modelOverlap roofline flags");
   }
   if (telemetry::enabled()) {
-    auto& reg = telemetry::Registry::global();
+    auto& reg = telemetry::Registry::current();
     reg.counter("roofline/batched-nodes").add(terms_.size() * numConfigs);
     reg.gauge("roofline/simd-lanes").set(simd ? simdLanes() : 1);
   }
@@ -742,7 +742,7 @@ std::vector<double> BatchedEstimator::estimateTotals(
                 "uniformFlops/modelOverlap roofline flags");
   }
   if (telemetry::enabled()) {
-    auto& reg = telemetry::Registry::global();
+    auto& reg = telemetry::Registry::current();
     reg.counter("roofline/batched-nodes").add(terms_.size() * numConfigs);
     reg.gauge("roofline/simd-lanes").set(simd ? simdLanes() : 1);
   }

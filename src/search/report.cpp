@@ -50,11 +50,13 @@ std::string costCell(const SearchResult& result, const EvaluatedPoint& p) {
 
 }  // namespace
 
-std::string searchToCsv(const SearchResult& result) {
+std::string searchToCsv(const SearchResult& result, const sweep::ReportOptions& opts) {
   SKOPE_FAULT_POINT("report/write", throw Error("fault injected: report/write"));
   std::unordered_set<size_t> onFront(result.front.begin(), result.front.end());
 
-  std::string out = "rank,config,projected_s,cost,on_front,status,error\n";
+  std::string out = "rank,config,projected_s,cost,on_front,status,error";
+  if (opts.evalMs) out += ",eval_ms";
+  out += "\n";
   size_t rank = 0;
   for (size_t idx : reportOrder(result)) {
     const EvaluatedPoint& p = result.evaluated[idx];
@@ -66,13 +68,18 @@ std::string searchToCsv(const SearchResult& result) {
     } else {
       out += format("-,%s,,,no", csvField(p.config).c_str());
     }
-    out += format(",%s,%s\n", std::string(sweep::configStatusLabel(p.status)).c_str(),
+    out += format(",%s,%s", std::string(sweep::configStatusLabel(p.status)).c_str(),
                   csvField(p.error).c_str());
+    if (opts.evalMs) {
+      out += usable(p.status) || p.evalMs > 0 ? format(",%.3f", p.evalMs) : ",";
+    }
+    out += "\n";
   }
   return out;
 }
 
-std::string searchToMarkdown(const SearchResult& result, size_t topN) {
+std::string searchToMarkdown(const SearchResult& result, size_t topN,
+                             const sweep::ReportOptions& opts) {
   SKOPE_FAULT_POINT("report/write", throw Error("fault injected: report/write"));
   std::string out;
   out += format("# Design-space search: %s\n\n", result.workload.c_str());
@@ -128,8 +135,12 @@ std::string searchToMarkdown(const SearchResult& result, size_t topN) {
   for (const EvaluatedPoint& p : result.evaluated) usableCount += usable(p.status) ? 1 : 0;
 
   out += "## Evaluated candidates\n\n";
-  out += "| rank | config | status | projected | cost | front |\n";
-  out += "|---:|---|---|---:|---:|---|\n";
+  out += "| rank | config | status | projected | cost | front |";
+  if (opts.evalMs) out += " eval ms |";
+  out += "\n";
+  out += "|---:|---|---|---:|---:|---|";
+  if (opts.evalMs) out += "---:|";
+  out += "\n";
   size_t rank = 0;
   for (size_t idx : reportOrder(result)) {
     const EvaluatedPoint& p = result.evaluated[idx];
@@ -137,10 +148,12 @@ std::string searchToMarkdown(const SearchResult& result, size_t topN) {
     ++rank;
     if (topN != 0 && rank > topN) break;
     std::string cc = costCell(result, p);
-    out += format("| %zu | %s | %s | %.4e s | %s | %s |\n", rank, p.config.c_str(),
+    out += format("| %zu | %s | %s | %.4e s | %s | %s |", rank, p.config.c_str(),
                   std::string(sweep::configStatusLabel(p.status)).c_str(),
                   p.projectedSeconds, cc.empty() ? "-" : cc.c_str(),
                   onFront.count(idx) != 0 ? "yes" : "");
+    if (opts.evalMs) out += format(" %.3f |", p.evalMs);
+    out += "\n";
   }
   if (topN != 0 && usableCount > topN) {
     out += format("\n(%zu further candidates omitted)\n", usableCount - topN);

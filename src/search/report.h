@@ -9,18 +9,23 @@
 #include <string>
 
 #include "search/search.h"
+#include "sweep/report.h"
 
 namespace skope::search {
 
 /// CSV, one row per evaluated candidate, ranked by projected time (Pareto
 /// membership flagged in its own column):
-///   rank,config,projected_s,cost,on_front,status,error
-/// The cost column is empty when the space has no cost model.
-std::string searchToCsv(const SearchResult& result);
+///   rank,config,projected_s,cost,on_front,status,error[,eval_ms]
+/// The cost column is empty when the space has no cost model; eval_ms
+/// appears only under sweep::ReportOptions::evalMs (opt-in, breaks the
+/// determinism contract above).
+std::string searchToCsv(const SearchResult& result,
+                        const sweep::ReportOptions& opts = {});
 
 /// Markdown: a run summary (algorithm, lattice coverage, provenance), the
 /// best / cheapest-within answers, the Pareto front table, and the ranked
 /// candidate table. `topN` == 0 prints every candidate.
-std::string searchToMarkdown(const SearchResult& result, size_t topN = 0);
+std::string searchToMarkdown(const SearchResult& result, size_t topN = 0,
+                             const sweep::ReportOptions& opts = {});
 
 }  // namespace skope::search

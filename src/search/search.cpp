@@ -89,6 +89,7 @@ struct SearchState {
       pt.cost = costs[i];
       pt.status = out.status;
       pt.error = out.error;
+      pt.evalMs = out.evalMs;
       result.evaluated.push_back(std::move(pt));
       picks.push_back(genPicks[i]);
     }
@@ -323,7 +324,7 @@ SearchResult runSearch(const core::WorkloadFrontend& frontend, const DesignSpace
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 
   if (telemetry::enabled()) {
-    auto& reg = telemetry::Registry::global();
+    auto& reg = telemetry::Registry::current();
     reg.counter("search/evals").add(result.evaluated.size());
     reg.counter("search/rejected").add(result.rejected);
     reg.gauge("search/space-size").set(static_cast<double>(result.spaceSize));

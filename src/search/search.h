@@ -69,6 +69,10 @@ struct EvaluatedPoint {
   double cost = 0;              ///< cost-model value; NaN without a cost model
   sweep::ConfigStatus status = sweep::ConfigStatus::Ok;
   std::string error;  ///< diagnostic when status != Ok
+  /// Wall-clock ms the candidate's sweep evaluation took (see
+  /// sweep::ConfigOutcome::evalMs). NOT part of the deterministic report
+  /// surface — printed only under sweep::ReportOptions::evalMs.
+  double evalMs = 0;
 };
 
 struct SearchResult {

@@ -144,7 +144,7 @@ SimResult Simulator::run(const std::map<std::string, double>& params, uint64_t s
   tracer.finish();
   result.dynamicInstrs = vmachine.dynamicInstrs();
   if (telemetry::enabled()) {
-    telemetry::Registry::global().counter("sim/ops").add(vmachine.dynamicInstrs());
+    telemetry::Registry::current().counter("sim/ops").add(vmachine.dynamicInstrs());
   }
 
   // Convert the VM's per-region op counts into compute cycles, honoring the

@@ -9,13 +9,26 @@ namespace skope::logging {
 namespace {
 
 std::atomic<int> g_level{static_cast<int>(Level::Info)};
+std::atomic<EventHook> g_eventHook{nullptr};
 
-void vlogTo(const char* fmt, va_list ap) {
+void vlogTo(Level lvl, const char* fmt, va_list ap) {
+  if (EventHook hook = g_eventHook.load(std::memory_order_acquire)) {
+    va_list ap2;
+    va_copy(ap2, ap);
+    char buf[512];
+    std::vsnprintf(buf, sizeof buf, fmt, ap2);
+    va_end(ap2);
+    hook(lvl, buf);
+  }
   std::vfprintf(stderr, fmt, ap);
   std::fputc('\n', stderr);
 }
 
 }  // namespace
+
+void setEventHook(EventHook hook) {
+  g_eventHook.store(hook, std::memory_order_release);
+}
 
 void setLevel(Level level) { g_level.store(static_cast<int>(level), std::memory_order_relaxed); }
 
@@ -50,7 +63,7 @@ void info(const char* fmt, ...) {
   if (!infoEnabled()) return;
   va_list ap;
   va_start(ap, fmt);
-  vlogTo(fmt, ap);
+  vlogTo(Level::Info, fmt, ap);
   va_end(ap);
 }
 
@@ -58,7 +71,7 @@ void debug(const char* fmt, ...) {
   if (!debugEnabled()) return;
   va_list ap;
   va_start(ap, fmt);
-  vlogTo(fmt, ap);
+  vlogTo(Level::Debug, fmt, ap);
   va_end(ap);
 }
 

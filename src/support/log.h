@@ -37,4 +37,13 @@ void configureSink(DiagSink& sink);
 void info(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 void debug(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 
+/// Mirrors every kept info()/debug() line to an out-of-band consumer — the
+/// telemetry layer installs one to feed its flight recorder. A plain
+/// function pointer (not std::function) so the holder can be
+/// constant-initialized, making installation safe from any static
+/// initializer. nullptr uninstalls. The hook runs on the logging thread and
+/// must be thread-safe.
+using EventHook = void (*)(Level level, const char* message);
+void setEventHook(EventHook hook);
+
 }  // namespace skope::logging

@@ -27,7 +27,7 @@ bool rankable(const ConfigOutcome& c) {
 
 }  // namespace
 
-std::string toCsv(const SweepResult& result) {
+std::string toCsv(const SweepResult& result, const ReportOptions& opts) {
   SKOPE_FAULT_POINT("report/write", throw Error("fault injected: report/write"));
   bool gt = result.groundTruth;
   bool hp = result.hotPaths;
@@ -36,7 +36,9 @@ std::string toCsv(const SweepResult& result) {
                     "spots,top_spot";
   if (gt) out += ",measured_s,quality";
   if (hp) out += ",hotpath_nodes,hotspot_instances";
-  out += ",status,error,miss_model\n";
+  out += ",status,error,miss_model";
+  if (opts.evalMs) out += ",eval_ms";
+  out += "\n";
 
   size_t rank = 0;
   for (size_t idx : result.ranked()) {
@@ -59,13 +61,20 @@ std::string toCsv(const SweepResult& result) {
       if (gt) out += ",,";
       if (hp) out += ",,";
     }
-    out += format(",%s,%s,%s\n", std::string(configStatusLabel(c.status)).c_str(),
+    out += format(",%s,%s,%s", std::string(configStatusLabel(c.status)).c_str(),
                   csvField(c.error).c_str(), csvField(result.missModel).c_str());
+    if (opts.evalMs) {
+      // Rows that never ran (deadline expired before dispatch) print empty
+      // rather than a misleading 0.000.
+      out += rankable(c) || c.evalMs > 0 ? format(",%.3f", c.evalMs) : ",";
+    }
+    out += "\n";
   }
   return out;
 }
 
-std::string toMarkdown(const SweepResult& result, size_t topN) {
+std::string toMarkdown(const SweepResult& result, size_t topN,
+                       const ReportOptions& opts) {
   SKOPE_FAULT_POINT("report/write", throw Error("fault injected: report/write"));
   bool gt = result.groundTruth;
   std::string out;
@@ -78,9 +87,11 @@ std::string toMarkdown(const SweepResult& result, size_t topN) {
 
   out += "| rank | config | status | projected | speedup | bound | top hot spot | coverage |";
   if (gt) out += " measured | quality |";
+  if (opts.evalMs) out += " eval ms |";
   out += "\n";
   out += "|---:|---|---|---:|---:|---|---|---:|";
   if (gt) out += "---:|---:|";
+  if (opts.evalMs) out += "---:|";
   out += "\n";
 
   // ranked() puts every rankable config first, failures after — the table
@@ -103,6 +114,7 @@ std::string toMarkdown(const SweepResult& result, size_t topN) {
       out += format(" %.4e s | %.1f%% |", c.measuredSeconds.value_or(0.0),
                     c.quality.value_or(0.0) * 100);
     }
+    if (opts.evalMs) out += format(" %.3f |", c.evalMs);
     out += "\n";
   }
   if (topN != 0 && rankedCount > topN) {
@@ -119,6 +131,12 @@ std::string toMarkdown(const SweepResult& result, size_t topN) {
       out += format("- `%s` — %s: %s\n", c.config.c_str(),
                     std::string(configStatusLabel(c.status)).c_str(),
                     c.error.c_str());
+      if (opts.flightTrace && !c.lastEvents.empty()) {
+        out += "  - last events:\n";
+        for (const std::string& ev : c.lastEvents) {
+          out += format("    - `%s`\n", ev.c_str());
+        }
+      }
     }
   }
   return out;

@@ -13,15 +13,31 @@
 
 namespace skope::sweep {
 
+/// Opt-in report extensions. Both default OFF because they break the
+/// determinism contract above: eval_ms is wall-clock, and the flight trace
+/// depends on telemetry being enabled and on event timing. The CLIs turn
+/// them on only for instrumented runs.
+struct ReportOptions {
+  /// Append a per-config eval_ms column (where the framework spent its
+  /// wall-clock, per row).
+  bool evalMs = false;
+  /// Under each failed/timed-out row, print the flight-recorder tail
+  /// captured when the failure was classified (markdown only; see
+  /// docs/OBSERVABILITY.md, "The flight recorder").
+  bool flightTrace = false;
+};
+
 /// CSV, one row per config:
 ///   rank,config,projected_s,speedup_vs_base,bound,coverage,leanness,
-///   spots,top_spot[,measured_s,quality][,hotpath_nodes,hotspot_instances]
+///   spots,top_spot[,measured_s,quality][,hotpath_nodes,hotspot_instances],
+///   status,error,miss_model[,eval_ms]
 /// The optional column groups appear only when the sweep ran with
-/// groundTruth / hotPaths respectively.
-std::string toCsv(const SweepResult& result);
+/// groundTruth / hotPaths (and eval_ms only with ReportOptions::evalMs).
+std::string toCsv(const SweepResult& result, const ReportOptions& opts = {});
 
 /// Markdown: a header block (workload, base machine, grid size) and a ranked
 /// table. `topN` == 0 prints every config.
-std::string toMarkdown(const SweepResult& result, size_t topN = 0);
+std::string toMarkdown(const SweepResult& result, size_t topN = 0,
+                       const ReportOptions& opts = {});
 
 }  // namespace skope::sweep

@@ -140,7 +140,7 @@ SweepResult runSweep(const core::WorkloadFrontend& frontend,
       degradeNote = std::string("cache-model dispatch failed: ") + e.what();
     }
     if (telemetry::enabled()) {
-      telemetry::Registry::global().counter("cachemodel/dispatch").add(1);
+      telemetry::Registry::current().counter("cachemodel/dispatch").add(1);
     }
     if (usable) {
       backendOpts.layerModel = &*layerModel;
@@ -149,7 +149,7 @@ SweepResult runSweep(const core::WorkloadFrontend& frontend,
     } else {
       layerModel.reset();
       if (telemetry::enabled()) {
-        telemetry::Registry::global().counter("cachemodel/fallback-replay").add(1);
+        telemetry::Registry::current().counter("cachemodel/fallback-replay").add(1);
       }
       if (frontend.memoryTrace().usable()) {
         wantReuseDist = true;
@@ -220,7 +220,7 @@ SweepResult runSweep(const core::WorkloadFrontend& frontend,
       // actually ran — nothing aborts.
       degradeNote = "reuse-dist degraded: " + overBudget;
       if (telemetry::enabled()) {
-        telemetry::Registry::global().counter("cachemodel/budget-degrade").add(1);
+        telemetry::Registry::current().counter("cachemodel/budget-degrade").add(1);
       }
       bool layerUsable = false;
       try {
@@ -283,7 +283,7 @@ SweepResult runSweep(const core::WorkloadFrontend& frontend,
     }
   }
   if (telemetry::enabled() && uniqueIdx.size() < configs.size()) {
-    telemetry::Registry::global()
+    telemetry::Registry::current()
         .counter("sweep/dedup")
         .add(configs.size() - uniqueIdx.size());
   }
@@ -314,6 +314,17 @@ SweepResult runSweep(const core::WorkloadFrontend& frontend,
       out.error = "unknown error";
     }
     evaluated[i] = 1;
+    if (telemetry::enabled()) {
+      // Black-box moment: append the failure itself to the flight recorder,
+      // then capture its tail so the report's status/error row carries the
+      // last events leading up to the deadline / fault / exception.
+      auto& reg = telemetry::Registry::current();
+      reg.flight().record(telemetry::FlightRecorder::Kind::Counter,
+                          out.status == ConfigStatus::Timeout ? "sweep/timeout"
+                                                              : "sweep/failed",
+                          1, out.config + ": " + out.error, reg.nowNs());
+      out.lastEvents = reg.flight().lastEvents(8);
+    }
   };
 
   // One config, one worker task. The sweep token gates entry (a sweep past
@@ -368,7 +379,11 @@ SweepResult runSweep(const core::WorkloadFrontend& frontend,
             const size_t i = uniqueIdx[u];
             auto token = configToken(i);
             telemetry::Span span("config/", configs[i].name);
+            auto evalT0 = std::chrono::steady_clock::now();
             finishOne(i, backend.evaluate(u, token));
+            result.outcomes[i].evalMs = std::chrono::duration<double, std::milli>(
+                                            std::chrono::steady_clock::now() - evalT0)
+                                            .count();
           },
           options.progress, classifyTask);
     } else {
@@ -382,7 +397,11 @@ SweepResult runSweep(const core::WorkloadFrontend& frontend,
             telemetry::Span span("config/", configs[i].name);
             core::BackendOptions opts = backendOpts;
             opts.cancel = token;
+            auto evalT0 = std::chrono::steady_clock::now();
             finishOne(i, core::evaluateMachine(frontend, configs[i].machine, opts));
+            result.outcomes[i].evalMs = std::chrono::duration<double, std::milli>(
+                                            std::chrono::steady_clock::now() - evalT0)
+                                            .count();
           },
           options.progress, classifyTask);
     }
@@ -412,7 +431,7 @@ SweepResult runSweep(const core::WorkloadFrontend& frontend,
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 
   if (telemetry::enabled()) {
-    auto& reg = telemetry::Registry::global();
+    auto& reg = telemetry::Registry::current();
     reg.counter("sweep/failed").add(result.countWithStatus(ConfigStatus::Error));
     reg.counter("sweep/timeout").add(result.countWithStatus(ConfigStatus::Timeout));
     reg.counter("sweep/degraded").add(result.countWithStatus(ConfigStatus::Degraded));

@@ -141,6 +141,16 @@ struct ConfigOutcome {
   std::optional<double> quality;          ///< (groundTruth) selection quality
   ConfigStatus status = ConfigStatus::Ok;
   std::string error;  ///< diagnostic when status != Ok (empty otherwise)
+  /// Wall-clock ms this config's evaluation took on its worker (0 when it
+  /// never ran, e.g. a deadline expired first; duplicates mirror their
+  /// primary's). NOT part of the deterministic report surface — reports
+  /// print it only when ReportOptions::evalMs asks for it.
+  double evalMs = 0;
+  /// Flight-recorder tail captured when this config's evaluation failed or
+  /// timed out (empty for ok rows and for configs that never started):
+  /// the last events of the registry the sweep ran under, formatted as in
+  /// FlightRecorder::lastEvents(). Requires telemetry to be enabled.
+  std::vector<std::string> lastEvents;
 };
 
 struct SweepResult {

@@ -70,6 +70,33 @@ std::vector<double> childNsPerEvent(const std::vector<SpanEvent>& events) {
 
 }  // namespace
 
+HistogramSummary summarizeHistogram(const MetricsSnapshot::Hist& h) {
+  HistogramSummary s;
+  if (h.total == 0 || h.edges.empty() || h.counts.empty()) return s;
+  s.max = h.max;
+  auto quantile = [&](double q) {
+    double rank = q * static_cast<double>(h.total);
+    uint64_t cum = 0;
+    for (size_t i = 0; i < h.counts.size(); ++i) {
+      if (h.counts[i] == 0) continue;
+      double cumBefore = static_cast<double>(cum);
+      cum += h.counts[i];
+      if (static_cast<double>(cum) < rank) continue;
+      // Bucket bounds: the first bucket opens at 0 (or the first edge if it
+      // is negative); the overflow bucket closes at the tracked max.
+      double lo = i == 0 ? std::min(0.0, h.edges.front()) : h.edges[i - 1];
+      double hi = i < h.edges.size() ? h.edges[i] : std::max(h.max, h.edges.back());
+      double frac = (rank - cumBefore) / static_cast<double>(h.counts[i]);
+      return std::min(lo + (hi - lo) * frac, h.max);
+    }
+    return h.max;
+  };
+  s.p50 = quantile(0.50);
+  s.p90 = quantile(0.90);
+  s.p99 = quantile(0.99);
+  return s;
+}
+
 std::vector<StageStat> aggregateStages(const Registry& reg) {
   std::map<std::string, StageStat, std::less<>> byName;
   for (const ThreadTrack& track : reg.spanTracks()) {
@@ -121,10 +148,13 @@ std::string toChromeTrace(const Registry& reg) {
   return out;
 }
 
-std::string toMetricsJson(const Registry& reg, const std::string& benchName,
-                          double wallMs) {
-  MetricsSnapshot snap = reg.metrics();
+std::string toMetricsJson(const MetricsSnapshot& snap,
+                          const std::vector<StageStat>& stages,
+                          const std::string& benchName, double wallMs) {
   std::string out = "{\n  \"schema\": \"skope-metrics-v1\"";
+  if (!snap.requestId.empty()) {
+    out += format(",\n  \"request_id\": \"%s\"", jsonEscape(snap.requestId).c_str());
+  }
   if (!benchName.empty()) {
     out += format(",\n  \"bench\": \"%s\"", jsonEscape(benchName).c_str());
   }
@@ -155,19 +185,23 @@ std::string toMetricsJson(const Registry& reg, const std::string& benchName,
     for (double e : h.edges) edges.push_back(jsonNumber(e));
     for (uint64_t c : h.counts)
       counts.push_back(format("%llu", static_cast<unsigned long long>(c)));
+    HistogramSummary sum = summarizeHistogram(h);
     out += format(
         "%s\n    \"%s\": {\"edges\": [%s], \"counts\": [%s], "
-        "\"total\": %llu, \"sum\": %s}",
+        "\"total\": %llu, \"sum\": %s, \"max\": %s, "
+        "\"p50\": %s, \"p90\": %s, \"p99\": %s}",
         first ? "" : ",", jsonEscape(name).c_str(), join(edges, ", ").c_str(),
         join(counts, ", ").c_str(), static_cast<unsigned long long>(h.total),
-        jsonNumber(h.sum).c_str());
+        jsonNumber(h.sum).c_str(), jsonNumber(sum.max).c_str(),
+        jsonNumber(sum.p50).c_str(), jsonNumber(sum.p90).c_str(),
+        jsonNumber(sum.p99).c_str());
     first = false;
   }
   out += first ? "}" : "\n  }";
 
   out += ",\n  \"stages\": [";
   first = true;
-  for (const StageStat& s : aggregateStages(reg)) {
+  for (const StageStat& s : stages) {
     out += format(
         "%s\n    {\"name\": \"%s\", \"count\": %llu, \"total_ms\": %s, "
         "\"self_ms\": %s}",
@@ -179,6 +213,118 @@ std::string toMetricsJson(const Registry& reg, const std::string& benchName,
   out += first ? "]" : "\n  ]";
   out += "\n}\n";
   return out;
+}
+
+std::string toMetricsJson(const Registry& reg, const std::string& benchName,
+                          double wallMs) {
+  return toMetricsJson(reg.metrics(), aggregateStages(reg), benchName, wallMs);
+}
+
+namespace {
+
+/// Prometheus metric-name mangling (docs/OBSERVABILITY.md): "skope_" prefix,
+/// every character outside [a-zA-Z0-9_] becomes '_'. Distinct skope names
+/// can collide after mangling ("a/b" and "a_b"); exposition stays
+/// well-formed, the series just share a name.
+std::string promName(std::string_view name) {
+  std::string out = "skope_";
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string promLabelValue(std::string_view v) {
+  std::string out;
+  for (char c : v) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '"') out += "\\\"";
+    else if (c == '\n') out += "\\n";
+    else out += c;
+  }
+  return out;
+}
+
+std::string promHelpText(std::string_view v) {
+  std::string out;
+  for (char c : v) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '\n') out += "\\n";
+    else out += c;
+  }
+  return out;
+}
+
+/// Renders the label block: {} elided, le ordered before request_id.
+std::string promLabels(const std::string& le, const std::string& requestId) {
+  std::vector<std::string> parts;
+  if (!le.empty()) parts.push_back("le=\"" + le + "\"");
+  if (!requestId.empty()) {
+    parts.push_back("request_id=\"" + promLabelValue(requestId) + "\"");
+  }
+  if (parts.empty()) return "";
+  return "{" + join(parts, ",") + "}";
+}
+
+}  // namespace
+
+std::string toPrometheusText(const MetricsSnapshot& snap) {
+  const std::string rid = snap.requestId;
+  std::string out;
+  auto head = [&](const std::string& mangled, std::string_view original,
+                  const char* type) {
+    out += format("# HELP %s skope metric %s\n", mangled.c_str(),
+                  promHelpText(original).c_str());
+    out += format("# TYPE %s %s\n", mangled.c_str(), type);
+  };
+
+  for (const auto& [name, v] : snap.counters) {
+    std::string n = promName(name) + "_total";
+    head(n, name, "counter");
+    out += format("%s%s %llu\n", n.c_str(), promLabels("", rid).c_str(),
+                  static_cast<unsigned long long>(v));
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    std::string n = promName(name);
+    head(n, name, "gauge");
+    out += format("%s%s %s\n", n.c_str(), promLabels("", rid).c_str(),
+                  jsonNumber(v).c_str());
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    std::string n = promName(name);
+    head(n, name, "histogram");
+    uint64_t cum = 0;
+    for (size_t i = 0; i < h.edges.size() && i < h.counts.size(); ++i) {
+      cum += h.counts[i];
+      out += format("%s_bucket%s %llu\n", n.c_str(),
+                    promLabels(jsonNumber(h.edges[i]), rid).c_str(),
+                    static_cast<unsigned long long>(cum));
+    }
+    out += format("%s_bucket%s %llu\n", n.c_str(), promLabels("+Inf", rid).c_str(),
+                  static_cast<unsigned long long>(h.total));
+    out += format("%s_sum%s %s\n", n.c_str(), promLabels("", rid).c_str(),
+                  jsonNumber(h.sum).c_str());
+    out += format("%s_count%s %llu\n", n.c_str(), promLabels("", rid).c_str(),
+                  static_cast<unsigned long long>(h.total));
+    // Percentile summaries as derived gauges next to their histogram, so a
+    // scrape gets p50/p90/p99/max without server-side histogram_quantile.
+    HistogramSummary s = summarizeHistogram(h);
+    const std::pair<const char*, double> percentiles[] = {
+        {"_p50", s.p50}, {"_p90", s.p90}, {"_p99", s.p99}, {"_max", s.max}};
+    for (const auto& [suffix, value] : percentiles) {
+      std::string pn = n + suffix;
+      head(pn, name, "gauge");
+      out += format("%s%s %s\n", pn.c_str(), promLabels("", rid).c_str(),
+                    jsonNumber(value).c_str());
+    }
+  }
+  return out;
+}
+
+std::string toPrometheusText(const Registry& reg) {
+  return toPrometheusText(reg.metrics());
 }
 
 std::string selfHotSpotTable(const Registry& reg) {
@@ -227,18 +373,34 @@ std::string selfHotSpotMarkdown(const Registry& reg) {
                     static_cast<unsigned long long>(v));
     }
   }
+  if (!snap.histograms.empty()) {
+    out += "\n### Histogram percentiles\n\n";
+    out += "| histogram | count | p50 | p90 | p99 | max |\n";
+    out += "|:----------|------:|----:|----:|----:|----:|\n";
+    for (const auto& [name, h] : snap.histograms) {
+      HistogramSummary s = summarizeHistogram(h);
+      out += format("| %s | %llu | %s | %s | %s | %s |\n", name.c_str(),
+                    static_cast<unsigned long long>(h.total),
+                    jsonNumber(s.p50).c_str(), jsonNumber(s.p90).c_str(),
+                    jsonNumber(s.p99).c_str(), jsonNumber(s.max).c_str());
+    }
+  }
   return out;
 }
 
 void writeExports(const Registry& reg, const std::string& tracePath,
-                  const std::string& metricsPath, const std::string& selfReportPath) {
+                  const std::string& metricsPath, const std::string& selfReportPath,
+                  MetricsFormat metricsFormat) {
   auto write = [](const std::string& path, const std::string& content) {
     std::ofstream out(path);
     if (!out) throw Error("cannot write '" + path + "'");
     out << content;
   };
   if (!tracePath.empty()) write(tracePath, toChromeTrace(reg));
-  if (!metricsPath.empty()) write(metricsPath, toMetricsJson(reg));
+  if (!metricsPath.empty()) {
+    write(metricsPath, metricsFormat == MetricsFormat::Prom ? toPrometheusText(reg)
+                                                            : toMetricsJson(reg));
+  }
   if (!selfReportPath.empty()) write(selfReportPath, selfHotSpotMarkdown(reg));
 }
 

@@ -3,9 +3,16 @@
 //   * toChromeTrace — Chrome trace-event JSON ("X" complete events, one
 //     track per recorded thread). Open in Perfetto (ui.perfetto.dev) or
 //     chrome://tracing; see docs/OBSERVABILITY.md.
-//   * toMetricsJson — counters / gauges / histograms / per-stage span
-//     aggregates as one JSON object. This is the shared schema every
-//     BENCH_*.json file uses (schema "skope-metrics-v1", top-level wall_ms).
+//   * toMetricsJson — counters / gauges / histograms (with percentile
+//     summaries) / per-stage span aggregates as one JSON object. This is
+//     the shared schema every BENCH_*.json file uses (schema
+//     "skope-metrics-v1", top-level wall_ms).
+//   * toPrometheusText — the metrics in Prometheus exposition format
+//     (text/plain version 0.0.4): # TYPE lines, counters suffixed _total,
+//     histograms as cumulative _bucket{le=...} series plus _sum/_count,
+//     percentile summaries as derived gauges, and the registry's
+//     request_id as a label. Name mangling is documented in
+//     docs/OBSERVABILITY.md.
 //   * selfHotSpotTable / selfHotSpotMarkdown — the paper's hot-spot
 //     criterion applied to the framework itself: pipeline stages ranked by
 //     self (exclusive) time with coverage percentages.
@@ -26,6 +33,23 @@ struct StageStat {
   double selfMs = 0;    ///< summed exclusive time (children subtracted)
 };
 
+/// Deterministic percentile summary of a fixed-bucket histogram. Quantiles
+/// interpolate linearly within the bucket holding the target rank (the
+/// standard Prometheus histogram_quantile estimate); the overflow bucket
+/// interpolates up to the tracked max, and every estimate is clamped to it,
+/// so p99 never exceeds an observation that actually happened. All zeros
+/// when the histogram is empty.
+struct HistogramSummary {
+  double p50 = 0;
+  double p90 = 0;
+  double p99 = 0;
+  double max = 0;
+};
+
+/// Summarizes one snapshot histogram. Pure function of the snapshot —
+/// identical counts give identical percentiles on every platform.
+[[nodiscard]] HistogramSummary summarizeHistogram(const MetricsSnapshot::Hist& h);
+
 /// Aggregates all recorded spans by name, sorted by selfMs descending
 /// (ties by name for determinism).
 std::vector<StageStat> aggregateStages(const Registry& reg);
@@ -35,20 +59,47 @@ std::string toChromeTrace(const Registry& reg);
 
 /// Metrics + stage aggregates as JSON. `benchName` (when non-empty) and
 /// `wallMs` (when >= 0) become top-level "bench" / "wall_ms" fields — the
-/// contract shared by all BENCH_*.json emitters.
+/// contract shared by all BENCH_*.json emitters. The snapshot's requestId
+/// (when non-empty) becomes a top-level "request_id" field.
 std::string toMetricsJson(const Registry& reg, const std::string& benchName = "",
                           double wallMs = -1);
+
+/// Snapshot-based overload: callers that need a deterministic byte surface
+/// (e.g. comparing two contexts' metrics at different thread counts) can
+/// filter the snapshot first — say, drop the wall-clock-valued
+/// "sweep/pool/*" entries — and render exactly what is left. `stages` may
+/// be empty.
+std::string toMetricsJson(const MetricsSnapshot& snap,
+                          const std::vector<StageStat>& stages,
+                          const std::string& benchName = "", double wallMs = -1);
+
+/// Prometheus exposition text for the registry's metrics. Metric names are
+/// mangled as "skope_" + name with every character outside [a-zA-Z0-9_]
+/// replaced by '_'; counters additionally get the conventional "_total"
+/// suffix. A non-empty request_id is attached as a {request_id="..."} label
+/// on every sample. Each histogram also exports derived _p50/_p90/_p99/_max
+/// gauges from summarizeHistogram().
+std::string toPrometheusText(const Registry& reg);
+std::string toPrometheusText(const MetricsSnapshot& snap);
 
 /// Human-readable ranked self-hot-spot table (fixed-width, via src/report).
 std::string selfHotSpotTable(const Registry& reg);
 
 /// The same ranking as a GitHub-flavored markdown table (CI job summaries).
+/// Appends a counters table and, when histograms exist, a percentile table.
 std::string selfHotSpotMarkdown(const Registry& reg);
+
+/// Which serialization writeExports uses for the metrics file.
+enum class MetricsFormat {
+  Json,  ///< skope-metrics-v1 JSON (the default, and the BENCH_*.json schema)
+  Prom,  ///< Prometheus exposition text (--metrics-format=prom)
+};
 
 /// Writes the requested exports; an empty path skips that export. Throws
 /// Error when a file cannot be written. Shared by the skopec / sweep CLIs.
 void writeExports(const Registry& reg, const std::string& tracePath,
                   const std::string& metricsPath,
-                  const std::string& selfReportPath = "");
+                  const std::string& selfReportPath = "",
+                  MetricsFormat metricsFormat = MetricsFormat::Json);
 
 }  // namespace skope::telemetry

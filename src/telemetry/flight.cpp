@@ -1,0 +1,91 @@
+#include "telemetry/flight.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "support/text.h"
+
+namespace skope::telemetry {
+
+FlightRecorder::FlightRecorder(size_t capacity)
+    : perStripe_(std::max<size_t>(1, (capacity + kStripes - 1) / kStripes)) {
+  for (Stripe& s : stripes_) s.ring.resize(perStripe_);
+}
+
+FlightRecorder::Stripe& FlightRecorder::myStripe() {
+  // Threads hash onto a fixed stripe, so the common case (each pool worker
+  // recording its own events) never contends.
+  thread_local const size_t idx =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) % kStripes;
+  return stripes_[idx];
+}
+
+void FlightRecorder::record(Kind kind, std::string_view name, double value,
+                            std::string_view detail, uint64_t tsNs) {
+  uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  Stripe& s = myStripe();
+  std::lock_guard<std::mutex> lock(s.mu);
+  Event& ev = s.ring[s.next];
+  s.next = (s.next + 1) % perStripe_;
+  ev.seq = seq;
+  ev.tsNs = tsNs;
+  ev.kind = kind;
+  ev.value = value;
+  // assign() reuses each slot's string capacity once the ring has wrapped.
+  ev.name.assign(name);
+  ev.detail.assign(detail);
+}
+
+std::vector<FlightRecorder::Event> FlightRecorder::snapshot() const {
+  std::vector<Event> out;
+  out.reserve(kStripes * perStripe_);
+  for (const Stripe& s : stripes_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (const Event& ev : s.ring) {
+      if (ev.seq != 0) out.push_back(ev);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Event& a, const Event& b) { return a.seq < b.seq; });
+  return out;
+}
+
+std::string formatFlightEvent(const FlightRecorder::Event& ev) {
+  double tsMs = static_cast<double>(ev.tsNs) / 1e6;
+  switch (ev.kind) {
+    case FlightRecorder::Kind::Span:
+      return format("+%.3fms span %s %.3fms", tsMs, ev.name.c_str(), ev.value);
+    case FlightRecorder::Kind::Counter:
+      return format("+%.3fms counter %s +%llu%s%s", tsMs, ev.name.c_str(),
+                    static_cast<unsigned long long>(ev.value),
+                    ev.detail.empty() ? "" : " — ", ev.detail.c_str());
+    case FlightRecorder::Kind::Log:
+      return format("+%.3fms log %s", tsMs, ev.detail.c_str());
+  }
+  return {};
+}
+
+std::vector<std::string> FlightRecorder::lastEvents(size_t n) const {
+  std::vector<Event> all = snapshot();
+  size_t keep = n == 0 ? all.size() : std::min(n, all.size());
+  std::vector<std::string> out;
+  out.reserve(keep);
+  for (size_t i = all.size() - keep; i < all.size(); ++i) {
+    out.push_back(formatFlightEvent(all[i]));
+  }
+  return out;
+}
+
+std::string FlightRecorder::dump(size_t n) const {
+  return join(lastEvents(n), "\n");
+}
+
+void FlightRecorder::clear() {
+  for (Stripe& s : stripes_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (Event& ev : s.ring) ev.seq = 0;
+    s.next = 0;
+  }
+}
+
+}  // namespace skope::telemetry

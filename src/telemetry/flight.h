@@ -1,0 +1,94 @@
+// Bounded flight recorder: the last N span / counter / log events of a
+// registry, kept in a lock-striped ring buffer so recording from pool
+// workers never serializes on one mutex. When something goes wrong — a
+// CancelToken deadline fires, an injected fault trips, the sweep's per-task
+// exception barrier catches — the recorder's tail is dumped alongside the
+// status/error row, giving every non-ok config a replayable last-events
+// trace (docs/OBSERVABILITY.md, "The flight recorder").
+//
+// Capacity is fixed at construction and storage is pre-sized: once every
+// ring slot's strings have been written once, steady-state recording reuses
+// their capacity instead of allocating. Events are globally sequenced, so a
+// snapshot merges the stripes back into one record order.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace skope::telemetry {
+
+class FlightRecorder {
+ public:
+  enum class Kind : uint8_t {
+    Span,     ///< a finished span; value = duration ms
+    Counter,  ///< an explicit counter event (e.g. sweep/failed); value = delta
+    Log,      ///< a kept log line; detail = the message
+  };
+
+  /// One recorded event, in a stable value form (snapshot() copies, so a
+  /// dump stays valid after the owning registry dies).
+  struct Event {
+    uint64_t seq = 0;   ///< global record order (0 = slot never written)
+    uint64_t tsNs = 0;  ///< relative to the owning registry's epoch
+    Kind kind = Kind::Span;
+    double value = 0;
+    std::string name;
+    std::string detail;
+  };
+
+  /// `capacity` is the total slot count across stripes (rounded up to a
+  /// multiple of the stripe count; minimum one slot per stripe).
+  explicit FlightRecorder(size_t capacity = 256);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Records one event. Thread-safe; takes only the calling thread's stripe
+  /// lock. Under heavy skew one thread's burst can evict slightly more than
+  /// its share of history (eviction is per stripe, not global) — the
+  /// recorder trades exact LRU for contention-free recording.
+  void record(Kind kind, std::string_view name, double value,
+              std::string_view detail, uint64_t tsNs);
+
+  /// Every recorded event, oldest first (merged across stripes by seq).
+  [[nodiscard]] std::vector<Event> snapshot() const;
+
+  /// The newest `n` events (oldest of them first), formatted one per line:
+  ///   +<ts ms> span <name> <dur ms>
+  ///   +<ts ms> counter <name> +<delta> — <detail>
+  ///   +<ts ms> log <message>
+  /// `n` == 0 means all.
+  [[nodiscard]] std::vector<std::string> lastEvents(size_t n) const;
+
+  /// lastEvents(n) joined with newlines (the dump format tests pin down).
+  [[nodiscard]] std::string dump(size_t n = 0) const;
+
+  void clear();
+
+  [[nodiscard]] size_t capacity() const { return kStripes * perStripe_; }
+
+ private:
+  static constexpr size_t kStripes = 8;
+
+  struct Stripe {
+    mutable std::mutex mu;
+    std::vector<Event> ring;  ///< pre-sized to perStripe_
+    size_t next = 0;          ///< ring cursor
+  };
+
+  Stripe& myStripe();
+
+  size_t perStripe_;
+  std::atomic<uint64_t> seq_{1};
+  std::array<Stripe, kStripes> stripes_;
+};
+
+/// Formats one event as the dump line documented on lastEvents().
+[[nodiscard]] std::string formatFlightEvent(const FlightRecorder::Event& ev);
+
+}  // namespace skope::telemetry

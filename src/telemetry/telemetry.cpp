@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/diagnostics.h"
+#include "support/log.h"
 
 namespace skope::telemetry {
 
@@ -15,6 +16,32 @@ void atomicAdd(std::atomic<double>& a, double v) {
   while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
   }
 }
+
+/// CAS-max for atomic<double>.
+void atomicMax(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (cur < v && !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+std::atomic<uint64_t> g_nextRegistryUid{1};
+
+/// Mirrors kept log lines into the current registry's flight recorder.
+/// logging (skope_support) sits BELOW telemetry, so the dependency points
+/// upward through logging::setEventHook — a plain function pointer installed
+/// from this TU's static initializer (the hook holder in log.cpp is
+/// constant-initialized, so cross-TU init order cannot bite).
+struct LogHookInstaller {
+  LogHookInstaller() {
+    logging::setEventHook(+[](logging::Level /*level*/, const char* message) {
+      Registry& reg = Registry::current();
+      if (!reg.enabled()) return;
+      reg.flight().record(FlightRecorder::Kind::Log, "log", 0, message,
+                          reg.nowNs());
+    });
+  }
+};
+LogHookInstaller g_logHookInstaller;
 
 }  // namespace
 
@@ -39,6 +66,10 @@ void Histogram::observe(double v) {
   counts_[i].fetch_add(1, std::memory_order_relaxed);
   total_.fetch_add(1, std::memory_order_relaxed);
   atomicAdd(sum_, v);
+  // hasMax_ first: max() treats max_ as meaningless until a store happened,
+  // so a racing reader at worst sees the old max (fine for a summary).
+  hasMax_.store(true, std::memory_order_relaxed);
+  atomicMax(max_, v);
 }
 
 std::vector<uint64_t> Histogram::counts() const {
@@ -49,13 +80,38 @@ std::vector<uint64_t> Histogram::counts() const {
   return out;
 }
 
+double Histogram::max() const {
+  if (!hasMax_.load(std::memory_order_relaxed)) return 0;
+  return max_.load(std::memory_order_relaxed);
+}
+
+bool Histogram::merge(const MetricsSnapshot::Hist& other) {
+  if (other.edges != edges_) return false;
+  for (size_t i = 0; i < counts_.size() && i < other.counts.size(); ++i) {
+    counts_[i].fetch_add(other.counts[i], std::memory_order_relaxed);
+  }
+  total_.fetch_add(other.total, std::memory_order_relaxed);
+  atomicAdd(sum_, other.sum);
+  if (other.total > 0) {
+    hasMax_.store(true, std::memory_order_relaxed);
+    atomicMax(max_, other.max);
+  }
+  return true;
+}
+
 void Histogram::reset() {
   for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
   total_.store(0, std::memory_order_relaxed);
   sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+  hasMax_.store(false, std::memory_order_relaxed);
 }
 
-Registry::Registry() : epoch_(Clock::now()) {}
+Registry::Registry(std::string requestId, size_t flightCapacity)
+    : uid_(g_nextRegistryUid.fetch_add(1, std::memory_order_relaxed)),
+      requestId_(std::move(requestId)),
+      epoch_(Clock::now()),
+      flight_(flightCapacity) {}
 
 Registry& Registry::global() {
   static Registry reg;
@@ -83,13 +139,23 @@ Histogram& Registry::histogram(const std::string& name, std::vector<double> uppe
   return *slot;
 }
 
+const char* Registry::internName(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = interned_.find(name);
+  if (it == interned_.end()) it = interned_.emplace(name).first;
+  // std::set nodes are stable: the c_str() stays valid until the registry
+  // dies (clear() keeps interned names).
+  return it->c_str();
+}
+
 MetricsSnapshot Registry::metrics() const {
   std::lock_guard<std::mutex> lock(mu_);
   MetricsSnapshot snap;
+  snap.requestId = requestId_;
   for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
   for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
   for (const auto& [name, h] : histograms_) {
-    snap.histograms[name] = {h->edges(), h->counts(), h->total(), h->sum()};
+    snap.histograms[name] = {h->edges(), h->counts(), h->total(), h->sum(), h->max()};
   }
   return snap;
 }
@@ -102,7 +168,28 @@ std::vector<ThreadTrack> Registry::spanTracks() const {
     std::lock_guard<std::mutex> logLock(log->mu);
     out.push_back({log->tid, log->name, log->events});
   }
+  // Interned names point into this registry; a snapshot must not dangle
+  // when a context registry is destroyed, so materialize them.
+  for (ThreadTrack& track : out) {
+    for (SpanEvent& ev : track.events) {
+      if (!ev.interned) continue;
+      ev.dynName = ev.staticName;
+      ev.staticName = nullptr;
+      ev.interned = false;
+    }
+  }
   return out;
+}
+
+void Registry::rollUpInto(Registry& parent) const {
+  MetricsSnapshot snap = metrics();
+  for (const auto& [name, v] : snap.counters) {
+    if (v != 0) parent.counter(name).add(v);
+  }
+  for (const auto& [name, v] : snap.gauges) parent.gauge(name).set(v);
+  for (const auto& [name, h] : snap.histograms) {
+    parent.histogram(name, h.edges).merge(h);
+  }
 }
 
 void Registry::nameCurrentThread(const std::string& name) {
@@ -121,45 +208,66 @@ void Registry::clear() {
     std::lock_guard<std::mutex> logLock(log->mu);
     log->events.clear();
   }
+  flight_.clear();
 }
 
 Registry::ThreadLog* Registry::threadLog() {
-  // One cached slot per thread: correct for the global registry (the only
-  // one spans use); a thread switching registries would just re-register.
-  thread_local ThreadLog* cached = nullptr;
-  thread_local Registry* cachedOwner = nullptr;
-  if (cached != nullptr && cachedOwner == this) return cached;
+  // Per-thread cache keyed on the registry's process-unique uid — NOT its
+  // address, which a later registry could reuse. A small vector suffices:
+  // a thread touches the global registry plus at most a few live contexts.
+  struct CacheEntry {
+    uint64_t uid;
+    ThreadLog* log;
+  };
+  thread_local std::vector<CacheEntry> cache;
+  for (const CacheEntry& e : cache) {
+    if (e.uid == uid_) return e.log;
+  }
   auto log = std::make_shared<ThreadLog>();
-  std::lock_guard<std::mutex> lock(mu_);
-  log->tid = static_cast<uint32_t>(logs_.size());
-  logs_.push_back(log);
-  cached = log.get();
-  cachedOwner = this;
-  return cached;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    log->tid = static_cast<uint32_t>(logs_.size());
+    logs_.push_back(log);
+  }
+  // Bound the cache: evicting a live registry's entry is harmless (the
+  // thread would re-register a fresh track on its next span there).
+  if (cache.size() >= 16) cache.erase(cache.begin());
+  cache.push_back({uid_, log.get()});
+  return log.get();
 }
 
 Span::Span(const char* prefix, const std::string& suffix) {
-  if (!Registry::global().enabled()) return;
+  Registry& reg = Registry::current();
+  if (!reg.enabled()) return;
   std::string name(prefix);
   name += suffix;
-  begin(nullptr, &name);
+  begin(reg, nullptr, name);
 }
 
-void Span::begin(const char* staticName, const std::string* dynName) {
-  Registry& reg = Registry::global();
+void Span::begin(Registry& reg, const char* staticName, std::string_view dynName) {
+  reg_ = &reg;
   log_ = reg.threadLog();
-  staticName_ = staticName;
-  if (dynName != nullptr) dynName_ = *dynName;
+  if (staticName != nullptr) {
+    staticName_ = staticName;
+  } else {
+    staticName_ = reg.internName(dynName);
+    interned_ = true;
+  }
   depth_ = log_->depth++;
   startNs_ = reg.nowNs();
 }
 
 void Span::end() {
-  uint64_t endNs = Registry::global().nowNs();
+  Registry& reg = *reg_;
+  uint64_t endNs = reg.nowNs();
   --log_->depth;
-  std::lock_guard<std::mutex> lock(log_->mu);
-  log_->events.push_back(
-      {staticName_, std::move(dynName_), startNs_, endNs - startNs_, depth_});
+  {
+    std::lock_guard<std::mutex> lock(log_->mu);
+    log_->events.push_back(
+        {staticName_, std::string(), startNs_, endNs - startNs_, depth_, interned_});
+  }
+  reg.flight().record(FlightRecorder::Kind::Span, staticName_,
+                      static_cast<double>(endNs - startNs_) / 1e6, {}, endNs);
 }
 
 }  // namespace skope::telemetry

@@ -13,14 +13,21 @@
 //     nothing.
 //   * Exporters (telemetry/export.h) — Chrome trace-event JSON for
 //     Perfetto / chrome://tracing, a metrics JSON dump (the shared
-//     BENCH_*.json schema), and the ranked self-hot-spot table.
+//     BENCH_*.json schema), Prometheus exposition text, and the ranked
+//     self-hot-spot table.
 //
 // Naming convention (docs/OBSERVABILITY.md): lowercase "area/stage" paths,
 // e.g. "frontend/parse", "backend/roofline", "sweep/pool/steals". Span names
 // identify pipeline stages; per-item spans prefix the area ("config/<name>").
 //
-// Everything records into the process-wide Registry::global(); tests reset
-// it with clear(). Compile out entirely with -DSKOPE_NO_TELEMETRY.
+// Multi-tenancy: producers record into Registry::current(), which is
+// Registry::global() unless a telemetry::Context is open on (or was handed
+// to) the calling thread. A Context scopes its own Registry — carrying a
+// correlation ID (request_id) — over the dynamic extent of a sweep / search
+// / request, and WorkStealingPool propagates the submitting thread's current
+// registry to its workers, so worker spans land in the submitting context.
+// Tests reset the global registry with clear(). Compile the span macro out
+// entirely with -DSKOPE_NO_TELEMETRY.
 #pragma once
 
 #include <atomic>
@@ -29,22 +36,28 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "telemetry/flight.h"
 
 namespace skope::telemetry {
 
 using Clock = std::chrono::steady_clock;
 
-/// One finished span. `staticName` (a string literal) is preferred; dynamic
-/// names own their storage in `dynName`.
+/// One finished span. `staticName` points either at a string literal or
+/// (when `interned` is set) into the owning registry's name interner;
+/// snapshots materialize interned names into `dynName` so they survive the
+/// registry (spanTracks()).
 struct SpanEvent {
   const char* staticName = nullptr;
   std::string dynName;
   uint64_t startNs = 0;  ///< relative to the registry's epoch
   uint64_t durNs = 0;
   uint32_t depth = 0;    ///< nesting depth on its thread at begin time
+  bool interned = false; ///< staticName points into the registry's interner
 
   [[nodiscard]] std::string_view name() const {
     return staticName != nullptr ? std::string_view(staticName)
@@ -76,9 +89,27 @@ class Gauge {
   std::atomic<double> value_{0};
 };
 
+/// Point-in-time copy of every metric, for the exporters and for rolling a
+/// context's totals up into a parent registry.
+struct MetricsSnapshot {
+  struct Hist {
+    std::vector<double> edges;
+    std::vector<uint64_t> counts;
+    uint64_t total = 0;
+    double sum = 0;
+    double max = 0;  ///< largest observation; 0 when total == 0
+  };
+  std::string requestId;  ///< the source registry's correlation ID
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, Hist> histograms;
+};
+
 /// Fixed-bucket histogram with Prometheus-style upper-inclusive edges:
 /// bucket i counts observations v with edges[i-1] < v <= edges[i]; the
 /// final (edges.size()-th) bucket is the overflow for v > edges.back().
+/// The largest observation is tracked exactly, so percentile summaries can
+/// clamp overflow-bucket interpolation to a real value.
 class Histogram {
  public:
   /// `upperEdges` must be non-empty and strictly increasing (throws Error).
@@ -91,6 +122,11 @@ class Histogram {
   [[nodiscard]] std::vector<uint64_t> counts() const;
   [[nodiscard]] uint64_t total() const { return total_.load(std::memory_order_relaxed); }
   [[nodiscard]] double sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Largest observation so far; 0 when no observations were recorded.
+  [[nodiscard]] double max() const;
+  /// Adds another histogram's buckets into this one (context rollup).
+  /// Returns false — and changes nothing — when the edges differ.
+  bool merge(const MetricsSnapshot::Hist& other);
   void reset();
 
  private:
@@ -98,6 +134,8 @@ class Histogram {
   std::vector<std::atomic<uint64_t>> counts_;
   std::atomic<uint64_t> total_{0};
   std::atomic<double> sum_{0};
+  std::atomic<double> max_{0};
+  std::atomic<bool> hasMax_{false};
 };
 
 /// Snapshot of one thread's recorded spans (events in end order).
@@ -107,28 +145,20 @@ struct ThreadTrack {
   std::vector<SpanEvent> events;
 };
 
-/// Point-in-time copy of every metric, for the exporters.
-struct MetricsSnapshot {
-  struct Hist {
-    std::vector<double> edges;
-    std::vector<uint64_t> counts;
-    uint64_t total = 0;
-    double sum = 0;
-  };
-  std::map<std::string, uint64_t> counters;
-  std::map<std::string, double> gauges;
-  std::map<std::string, Hist> histograms;
-};
-
 class Span;
 
 class Registry {
  public:
-  Registry();
+  /// `requestId` is the registry's correlation ID: empty for the global
+  /// registry, set by Context for per-request registries. It labels the
+  /// Prometheus export and the metrics JSON.
+  explicit Registry(std::string requestId = {}, size_t flightCapacity = 256);
 
   /// Relaxed read; the only cost telemetry adds to a disabled run.
   [[nodiscard]] bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
   void setEnabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+
+  [[nodiscard]] const std::string& requestId() const { return requestId_; }
 
   /// Looks up or creates a metric. References stay valid for the registry's
   /// lifetime (clear() resets values, it never destroys entries).
@@ -137,25 +167,60 @@ class Registry {
   /// `upperEdges` is used only on first creation of `name`.
   Histogram& histogram(const std::string& name, std::vector<double> upperEdges);
 
+  /// Interns `name` in this registry: one stable, NUL-terminated copy per
+  /// distinct name, alive until the registry dies. Dynamic span names go
+  /// through here so hot per-config spans ("config/<name>") stop allocating
+  /// per event — the per-thread event log stores only the pointer.
+  const char* internName(std::string_view name);
+
+  /// The bounded last-events ring (spans end into it; failure paths add
+  /// counter events; kept log lines mirror into the current registry's).
+  [[nodiscard]] FlightRecorder& flight() { return flight_; }
+  [[nodiscard]] const FlightRecorder& flight() const { return flight_; }
+
+  /// Nanoseconds since this registry's construction (the timestamp base of
+  /// every span and flight-recorder event it holds).
+  [[nodiscard]] uint64_t nowNs() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - epoch_)
+            .count());
+  }
+
   [[nodiscard]] MetricsSnapshot metrics() const;
   /// Tracks in registration (tid) order; tracks with no events are included
-  /// so worker naming survives even if a worker recorded nothing.
+  /// so worker naming survives even if a worker recorded nothing. Interned
+  /// span names are materialized into the returned events, so the snapshot
+  /// stays valid after the registry (e.g. a closed Context) is destroyed.
   [[nodiscard]] std::vector<ThreadTrack> spanTracks() const;
+
+  /// Adds this registry's counters and histograms into `parent` and writes
+  /// its gauges over the parent's (last-write-wins, matching Gauge
+  /// semantics). Histograms merge bucket-wise when the parent's edges match
+  /// and are skipped otherwise. Span tracks and flight events stay local —
+  /// rollup is for totals, not traces.
+  void rollUpInto(Registry& parent) const;
 
   /// Labels the calling thread's track (shown in the Chrome trace). No-op
   /// while disabled.
   void nameCurrentThread(const std::string& name);
 
-  /// Resets every metric value and drops all span events. Entries, thread
-  /// registrations and the enabled flag are kept. Do not call with spans
-  /// still open.
+  /// Resets every metric value and drops all span and flight events.
+  /// Entries, interned names, thread registrations and the enabled flag are
+  /// kept. Do not call with spans still open.
   void clear();
 
-  /// The process-wide registry all spans and wired counters use.
+  /// The process-wide registry, used whenever no Context is current.
   static Registry& global();
+
+  /// The calling thread's effective registry: the innermost Context open on
+  /// (or propagated to) this thread, else global(). This is what every
+  /// producer — spans, counters, the pool's scheduling metrics — records
+  /// into.
+  static Registry& current();
 
  private:
   friend class Span;
+  friend class ScopedRegistry;
 
   struct ThreadLog {
     uint32_t tid = 0;
@@ -167,58 +232,128 @@ class Registry {
 
   /// The calling thread's log, registering it on first use.
   ThreadLog* threadLog();
-  [[nodiscard]] uint64_t nowNs() const {
-    return static_cast<uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - epoch_)
-            .count());
-  }
 
+  const uint64_t uid_;  ///< process-unique; keys the thread-local log cache
+  std::string requestId_;
   std::atomic<bool> enabled_{false};
   Clock::time_point epoch_;
-  mutable std::mutex mu_;  ///< guards the three maps and logs_
+  FlightRecorder flight_;
+  mutable std::mutex mu_;  ///< guards the maps, logs_ and interned_
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::set<std::string, std::less<>> interned_;  ///< node-stable name storage
   std::vector<std::shared_ptr<ThreadLog>> logs_;
 };
 
-/// RAII span over the global registry. Prefer the SKOPE_SPAN macro for
+namespace detail {
+/// The thread's current-registry override; nullptr means global(). Written
+/// only by ScopedRegistry / Context on the owning thread.
+inline thread_local Registry* tlsCurrent = nullptr;
+}  // namespace detail
+
+inline Registry& Registry::current() {
+  return detail::tlsCurrent != nullptr ? *detail::tlsCurrent : global();
+}
+
+/// RAII: installs `reg` as the calling thread's current registry, restoring
+/// the previous one on destruction. nullptr re-selects global(). This is the
+/// propagation primitive WorkStealingPool uses to hand the submitting
+/// thread's context to its workers (the pointer is captured before the
+/// workers spawn, so the handoff is ordered by thread creation — TSan-clean).
+class ScopedRegistry {
+ public:
+  explicit ScopedRegistry(Registry* reg) : prev_(detail::tlsCurrent) {
+    detail::tlsCurrent = reg;
+  }
+  ~ScopedRegistry() { detail::tlsCurrent = prev_; }
+
+  ScopedRegistry(const ScopedRegistry&) = delete;
+  ScopedRegistry& operator=(const ScopedRegistry&) = delete;
+
+ private:
+  Registry* prev_;
+};
+
+/// A request-scoped telemetry context: owns a Registry carrying a
+/// correlation ID and makes it Registry::current() for the calling thread
+/// (and, via the pool's propagation, for every worker executing this
+/// context's tasks) until destroyed. Context registries are born enabled —
+/// opening one IS the opt-in for that request.
+///
+/// On destruction the context's counters and histograms can roll up into a
+/// parent registry (typically Registry::global()) so process-wide totals
+/// still add up across requests; pass nullptr to keep the totals isolated.
+///
+/// Must be constructed and destroyed on the same thread, with no spans of
+/// this context still open (the usual RAII stack discipline gives both).
+class Context {
+ public:
+  explicit Context(std::string requestId, Registry* rollUpInto = nullptr,
+                   size_t flightCapacity = 256)
+      : reg_(std::move(requestId), flightCapacity), rollUpInto_(rollUpInto),
+        scope_(&reg_) {
+    reg_.setEnabled(true);
+  }
+  ~Context() {
+    if (rollUpInto_ != nullptr) reg_.rollUpInto(*rollUpInto_);
+  }
+
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+
+  [[nodiscard]] Registry& registry() { return reg_; }
+  [[nodiscard]] const Registry& registry() const { return reg_; }
+  [[nodiscard]] const std::string& requestId() const { return reg_.requestId(); }
+
+ private:
+  Registry reg_;
+  Registry* rollUpInto_;
+  ScopedRegistry scope_;  ///< declared last: uninstalls before reg_ dies
+};
+
+/// RAII span over the current registry. Prefer the SKOPE_SPAN macro for
 /// literal names; the (prefix, suffix) form concatenates only when enabled,
-/// so dynamic-name call sites stay allocation-free while disabled.
+/// so dynamic-name call sites stay allocation-free while disabled. Dynamic
+/// names are interned in the owning registry (one allocation per distinct
+/// name, none per event).
 class Span {
  public:
   explicit Span(const char* staticName) {
-    if (Registry::global().enabled()) begin(staticName, nullptr);
+    Registry& reg = Registry::current();
+    if (reg.enabled()) begin(reg, staticName, {});
   }
   explicit Span(const std::string& dynName) {
-    if (Registry::global().enabled()) begin(nullptr, &dynName);
+    Registry& reg = Registry::current();
+    if (reg.enabled()) begin(reg, nullptr, dynName);
   }
   Span(const char* prefix, const std::string& suffix);
   ~Span() {
-    if (log_ != nullptr) end();
+    if (reg_ != nullptr) end();
   }
 
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
 
  private:
-  void begin(const char* staticName, const std::string* dynName);
+  void begin(Registry& reg, const char* staticName, std::string_view dynName);
   void end();
 
-  Registry::ThreadLog* log_ = nullptr;  ///< null = disabled at construction
+  Registry* reg_ = nullptr;  ///< null = disabled at construction
+  Registry::ThreadLog* log_ = nullptr;
   const char* staticName_ = nullptr;
-  std::string dynName_;
+  bool interned_ = false;
   uint64_t startNs_ = 0;
   uint32_t depth_ = 0;
 };
 
-/// Shorthand for Registry::global().enabled(): the guard hot-path producers
+/// Shorthand for Registry::current().enabled(): the guard hot-path producers
 /// put around counter updates.
-[[nodiscard]] inline bool enabled() { return Registry::global().enabled(); }
+[[nodiscard]] inline bool enabled() { return Registry::current().enabled(); }
 
-/// Labels the calling thread's track in the global registry.
+/// Labels the calling thread's track in the current registry.
 inline void setThreadName(const std::string& name) {
-  Registry::global().nameCurrentThread(name);
+  Registry::current().nameCurrentThread(name);
 }
 
 #if defined(SKOPE_NO_TELEMETRY)

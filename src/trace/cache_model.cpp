@@ -14,7 +14,7 @@ namespace {
 /// vs the Smith binomial approximation over the reuse histograms.
 void countDispatch(bool exact) {
   if (!telemetry::enabled()) return;
-  telemetry::Registry::global()
+  telemetry::Registry::current()
       .counter(exact ? "cache-model/exact-replay" : "cache-model/binomial")
       .add(1);
 }

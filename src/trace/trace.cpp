@@ -97,7 +97,7 @@ MemoryTrace TraceRecorder::finish(const vm::Vm& vm) {
   trace_.dynamicInstrs = vm.dynamicInstrs();
   trace_.stream.shrink_to_fit();
   if (telemetry::enabled()) {
-    auto& reg = telemetry::Registry::global();
+    auto& reg = telemetry::Registry::current();
     reg.counter("trace/bytes").add(trace_.stream.size());
     reg.counter("trace/refs").add(trace_.recordedRefs);
     if (trace_.truncated) reg.counter("trace/truncated").add(1);

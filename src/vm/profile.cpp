@@ -47,7 +47,7 @@ ProfileData profileRun(const Module& mod, const std::map<std::string, double>& p
     vm.run(&tracer);
   }
   if (telemetry::enabled()) {
-    telemetry::Registry::global().counter("vm/ops").add(vm.dynamicInstrs());
+    telemetry::Registry::current().counter("vm/ops").add(vm.dynamicInstrs());
   }
   if (vmOut) vmOut(vm);
   return tracer.finish(vm);

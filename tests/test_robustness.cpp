@@ -24,6 +24,7 @@
 #include "support/faultinject.h"
 #include "sweep/report.h"
 #include "sweep/sweep.h"
+#include "telemetry/telemetry.h"
 
 namespace skope {
 namespace {
@@ -316,6 +317,55 @@ TEST(SweepFaults, CancelMidGridDrainsIntoTimeoutRows) {
   for (size_t i = 4; i < order.size(); ++i) {
     EXPECT_GT(order[i], order[i - 1]) << "timeouts must keep grid order";
   }
+}
+
+TEST(SweepFaults, DeadlineKilledRowsCarryFlightRecorderDump) {
+  // A sweep under a telemetry Context: when the deadline cuts a config off,
+  // its outcome row must carry the flight recorder's tail (the "what was
+  // happening right before" black-box dump), and the markdown report must
+  // render it under the unranked section when asked to.
+  telemetry::Context ctx("req-deadline");
+  sweep::SweepOptions opts;
+  opts.threads = 1;  // deterministic: configs complete in grid order
+  CancelToken root = CancelToken::cancellable();
+  opts.cancel = root;
+  opts.progress = [&](size_t done, size_t) {
+    if (done == 2) root.cancel();
+  };
+
+  auto result = sweep::runSweep(sordFrontend(), faultGrid(), opts);
+  ASSERT_EQ(result.countWithStatus(sweep::ConfigStatus::Timeout), 22u);
+  for (const auto& o : result.outcomes) {
+    if (o.status == sweep::ConfigStatus::Ok) {
+      EXPECT_TRUE(o.lastEvents.empty());  // dumps accompany failures only
+      EXPECT_GT(o.evalMs, 0.0);           // evaluated rows carry attribution
+    } else {
+      ASSERT_FALSE(o.lastEvents.empty()) << o.config;
+      // The classifier appends the failure itself before capturing the tail,
+      // so the last line names this config's timeout.
+      EXPECT_NE(o.lastEvents.back().find("sweep/timeout"), std::string::npos)
+          << o.lastEvents.back();
+      EXPECT_NE(o.lastEvents.back().find(o.config), std::string::npos)
+          << o.lastEvents.back();
+    }
+  }
+
+  // Default reports stay on the deterministic surface: no eval_ms column,
+  // no flight trace. The opt-in flags add both.
+  std::string plainCsv = sweep::toCsv(result);
+  EXPECT_EQ(plainCsv.find("eval_ms"), std::string::npos);
+  std::string plainMd = sweep::toMarkdown(result);
+  EXPECT_EQ(plainMd.find("last events"), std::string::npos);
+
+  sweep::ReportOptions ropts;
+  ropts.evalMs = true;
+  ropts.flightTrace = true;
+  std::string csv = sweep::toCsv(result, ropts);
+  EXPECT_NE(csv.find(",eval_ms"), std::string::npos);
+  std::string md = sweep::toMarkdown(result, 0, ropts);
+  EXPECT_NE(md.find("eval ms"), std::string::npos);
+  EXPECT_NE(md.find("last events:"), std::string::npos);
+  EXPECT_NE(md.find("sweep/timeout"), std::string::npos);
 }
 
 TEST(SweepFaults, PerConfigTimeoutCannotStallTheSweep) {

@@ -8,10 +8,14 @@
 #include <cctype>
 #include <cstdlib>
 #include <new>
+#include <set>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "support/diagnostics.h"
+#include "support/log.h"
+#include "support/text.h"
 #include "sweep/pool.h"
 #include "telemetry/export.h"
 #include "telemetry/telemetry.h"
@@ -104,6 +108,11 @@ TEST_F(TelemetryTest, GaugeAddAccumulates) {
 }
 
 // -------------------------------------------------------------------- spans
+
+// Span-recording tests need SKOPE_SPAN to exist; the -DSKOPE_NO_TELEMETRY
+// build compiles the macro to nothing (direct Span construction and all
+// metric/registry machinery stay live and are covered below).
+#ifndef SKOPE_NO_TELEMETRY
 
 TEST_F(TelemetryTest, SpanNestingRecordsDepthAndContainment) {
   Registry& reg = Registry::global();
@@ -198,6 +207,8 @@ TEST_F(TelemetryTest, AggregateTotalsAreThreadCountIndependent) {
   EXPECT_EQ(serial.second, parallel.second);
   EXPECT_EQ(serial.second, kTasks * (kTasks + 1) / 2);
 }
+
+#endif  // SKOPE_NO_TELEMETRY
 
 TEST_F(TelemetryTest, DisabledSpansAllocateNothing) {
   Registry& reg = Registry::global();
@@ -340,6 +351,8 @@ class JsonChecker {
   size_t pos_ = 0;
 };
 
+#ifndef SKOPE_NO_TELEMETRY
+
 TEST_F(TelemetryTest, ChromeTraceJsonIsWellFormed) {
   Registry& reg = Registry::global();
   reg.setEnabled(true);
@@ -356,6 +369,8 @@ TEST_F(TelemetryTest, ChromeTraceJsonIsWellFormed) {
   EXPECT_NE(trace.find("\"json/outer\""), std::string::npos);
   EXPECT_NE(trace.find("thread_name"), std::string::npos);
 }
+
+#endif  // SKOPE_NO_TELEMETRY
 
 TEST_F(TelemetryTest, MetricsJsonIsWellFormedAndCarriesWallMs) {
   Registry& reg = Registry::global();
@@ -380,6 +395,8 @@ TEST_F(TelemetryTest, MetricsJsonIsWellFormedAndCarriesWallMs) {
   EXPECT_EQ(bare.find("\"wall_ms\""), std::string::npos);
 }
 
+#ifndef SKOPE_NO_TELEMETRY
+
 TEST_F(TelemetryTest, SelfHotSpotTablesRankStages) {
   Registry& reg = Registry::global();
   reg.setEnabled(true);
@@ -393,6 +410,497 @@ TEST_F(TelemetryTest, SelfHotSpotTablesRankStages) {
   std::string md = selfHotSpotMarkdown(reg);
   EXPECT_NE(md.find("| stage |"), std::string::npos);
   EXPECT_NE(md.find("rank/b"), std::string::npos);
+}
+
+#endif  // SKOPE_NO_TELEMETRY
+
+// ------------------------------------------------------------- percentiles
+
+TEST_F(TelemetryTest, PercentileSummaryInterpolatesWithinBuckets) {
+  Registry& reg = Registry::global();
+  Histogram& h = reg.histogram("p/h", {10.0, 100.0});
+  // 100 observations uniform in (0, 10]: p50 interpolates to ~5, p90 to ~9.
+  for (int i = 1; i <= 100; ++i) h.observe(i * 0.1);
+  auto snap = reg.metrics();
+  HistogramSummary s = summarizeHistogram(snap.histograms.at("p/h"));
+  EXPECT_NEAR(s.p50, 5.0, 0.6);
+  EXPECT_NEAR(s.p90, 9.0, 0.6);
+  EXPECT_DOUBLE_EQ(s.max, 10.0);
+  // p99 interpolates past p90 but can never exceed the tracked max.
+  EXPECT_LE(s.p99, s.max);
+  EXPECT_GE(s.p99, s.p90);
+}
+
+TEST_F(TelemetryTest, PercentileSummaryClampsOverflowBucketToMax) {
+  Registry& reg = Registry::global();
+  Histogram& h = reg.histogram("p/over", {1.0});
+  // Everything overflows the last edge; interpolation would otherwise invent
+  // values up to an arbitrary synthetic upper bound.
+  for (int i = 0; i < 10; ++i) h.observe(50.0);
+  HistogramSummary s = summarizeHistogram(reg.metrics().histograms.at("p/over"));
+  EXPECT_DOUBLE_EQ(s.max, 50.0);
+  EXPECT_LE(s.p50, 50.0);
+  EXPECT_LE(s.p99, 50.0);
+  EXPECT_GT(s.p50, 1.0);  // in the overflow bucket, not below the edge
+}
+
+TEST_F(TelemetryTest, HistogramMergeRequiresMatchingEdges) {
+  Histogram a({1.0, 2.0});
+  Histogram b({1.0, 3.0});
+  a.observe(0.5);
+  MetricsSnapshot::Hist snap;
+  snap.edges = {1.0, 3.0};
+  snap.counts = {1, 0, 0};
+  snap.total = 1;
+  snap.sum = 0.5;
+  snap.max = 0.5;
+  EXPECT_FALSE(a.merge(snap));   // edge mismatch: refused, unchanged
+  EXPECT_EQ(a.total(), 1u);
+  EXPECT_TRUE(b.merge(snap));
+  EXPECT_EQ(b.total(), 1u);
+  EXPECT_DOUBLE_EQ(b.max(), 0.5);
+}
+
+// ----------------------------------------------------------------- interning
+
+TEST_F(TelemetryTest, InternNameReturnsOneStablePointerPerName) {
+  Registry reg;
+  const char* a = reg.internName("config/alpha");
+  const char* b = reg.internName(std::string("config/") + "alpha");
+  const char* c = reg.internName("config/beta");
+  EXPECT_EQ(a, b);  // same name, same storage
+  EXPECT_NE(a, c);
+  EXPECT_STREQ(a, "config/alpha");
+  // clear() keeps interned names alive (span events may still point at them).
+  reg.clear();
+  EXPECT_EQ(reg.internName("config/alpha"), a);
+}
+
+TEST_F(TelemetryTest, DynamicSpanNamesAreInternedNotCopiedPerEvent) {
+  Registry& reg = Registry::global();
+  reg.setEnabled(true);
+  std::string suffix = "the-same-config-name-longer-than-any-sso-buffer";
+  { Span warm("config/", suffix); }  // first event interns the name
+  uint64_t before = g_newCalls.load(std::memory_order_relaxed);
+  for (int i = 0; i < 100; ++i) {
+    Span s("config/", suffix);
+  }
+  uint64_t after = g_newCalls.load(std::memory_order_relaxed);
+  reg.setEnabled(false);
+  // One transient prefix+suffix concatenation per span is allowed; what must
+  // NOT happen is a per-event copy surviving in the log (2+ allocs/event).
+  EXPECT_LE(after - before, 150u);
+  auto tracks = reg.spanTracks();
+  size_t events = 0;
+  for (const auto& t : tracks) {
+    for (const auto& e : t.events) {
+      if (e.name() == "config/" + suffix) ++events;
+    }
+  }
+  EXPECT_EQ(events, 101u);
+}
+
+// ------------------------------------------------------------ flight recorder
+
+TEST_F(TelemetryTest, FlightRecorderKeepsABoundedOrderedTail) {
+  FlightRecorder fr(16);
+  for (int i = 0; i < 100; ++i) {
+    fr.record(FlightRecorder::Kind::Counter, "t/evt", i, "detail",
+              static_cast<uint64_t>(i) * 1000000);
+  }
+  // Capacity is divided across the lock stripes and a thread writes only its
+  // own stripe, so a single-threaded writer keeps at most capacity/stripes
+  // events — bounded is the contract, the exact count is an implementation
+  // detail.
+  auto events = fr.snapshot();
+  ASSERT_LE(events.size(), 16u);
+  ASSERT_GE(events.size(), 1u);
+  // Global sequence numbers come back sorted and from the most recent writes.
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GT(events[i].seq, events[i - 1].seq);
+  }
+  EXPECT_EQ(events.back().value, 99.0);
+
+  auto tail = fr.lastEvents(1);
+  ASSERT_EQ(tail.size(), 1u);
+  // "+<ms>ms counter <name> +<delta> — <detail>"
+  EXPECT_NE(tail.back().find("counter t/evt"), std::string::npos);
+  EXPECT_NE(tail.back().find("+99.000ms"), std::string::npos);
+  EXPECT_NE(tail.back().find("detail"), std::string::npos);
+
+  fr.clear();
+  EXPECT_TRUE(fr.snapshot().empty());
+}
+
+TEST_F(TelemetryTest, FlightRecorderCapturesSpansAndKeptLogLines) {
+  Context ctx("req-flight");
+  { Span s("stage/compile"); }
+  logging::info("flight test message %d", 42);
+  auto dump = ctx.registry().flight().dump();
+  EXPECT_NE(dump.find("span stage/compile"), std::string::npos);
+  EXPECT_NE(dump.find("flight test message 42"), std::string::npos);
+}
+
+// ----------------------------------------------------------------- contexts
+
+TEST_F(TelemetryTest, ContextOverridesCurrentAndRestoresOnClose) {
+  Registry& global = Registry::global();
+  EXPECT_EQ(&Registry::current(), &global);
+  {
+    Context ctx("req-1");
+    EXPECT_EQ(&Registry::current(), &ctx.registry());
+    EXPECT_TRUE(ctx.registry().enabled());  // opening is the opt-in
+    EXPECT_EQ(ctx.requestId(), "req-1");
+    Registry::current().counter("ctx/hits").add(3);
+    EXPECT_EQ(ctx.registry().metrics().counters.at("ctx/hits"), 3u);
+  }
+  EXPECT_EQ(&Registry::current(), &global);
+  // No rollup target was given: the global registry saw nothing.
+  EXPECT_EQ(global.metrics().counters.count("ctx/hits"), 0u);
+}
+
+TEST_F(TelemetryTest, ContextRollsTotalsUpIntoParent) {
+  Registry parent;
+  parent.counter("ctx/hits").add(10);
+  parent.gauge("ctx/gauge").set(1.0);
+  parent.histogram("ctx/h", {1.0, 10.0}).observe(0.5);
+  {
+    Context ctx("req-2", &parent);
+    Registry::current().counter("ctx/hits").add(5);
+    Registry::current().gauge("ctx/gauge").set(7.5);
+    Registry::current().histogram("ctx/h", {1.0, 10.0}).observe(4.0);
+    // Mismatched edges must NOT merge into the parent's histogram.
+    Registry::current().histogram("ctx/other", {99.0}).observe(1.0);
+  }
+  auto snap = parent.metrics();
+  EXPECT_EQ(snap.counters.at("ctx/hits"), 15u);      // counters add
+  EXPECT_DOUBLE_EQ(snap.gauges.at("ctx/gauge"), 7.5);  // gauges last-write-win
+  EXPECT_EQ(snap.histograms.at("ctx/h").total, 2u);  // matching edges merge
+  EXPECT_DOUBLE_EQ(snap.histograms.at("ctx/h").max, 4.0);
+  EXPECT_EQ(snap.histograms.at("ctx/other").total, 1u);  // created in parent
+}
+
+TEST_F(TelemetryTest, PoolHandoffLandsInSubmittingContext) {
+  Registry& global = Registry::global();
+  Context ctx("req-pool");
+  sweep::WorkStealingPool pool(4);
+  pool.run(64, [](size_t i) {
+    Registry::current().counter("ctx/pool-work").add(i + 1);
+  });
+  // Every worker recorded into the submitting thread's context...
+  EXPECT_EQ(ctx.registry().metrics().counters.at("ctx/pool-work"),
+            64u * 65u / 2);
+  // ...and none of it leaked into the global registry.
+  EXPECT_EQ(global.metrics().counters.count("ctx/pool-work"), 0u);
+}
+
+/// Serializes a snapshot's counters/gauges/histogram totals minus the
+/// nondeterministic scheduling metrics ("sweep/pool/*" counts steals and
+/// idle time, which vary run to run).
+std::string deterministicDigest(const MetricsSnapshot& snap) {
+  MetricsSnapshot copy = snap;
+  auto scrub = [](auto& m) {
+    for (auto it = m.begin(); it != m.end();) {
+      it = it->first.rfind("sweep/pool/", 0) == 0 ? m.erase(it) : std::next(it);
+    }
+  };
+  scrub(copy.counters);
+  scrub(copy.gauges);
+  scrub(copy.histograms);
+  return toMetricsJson(copy, {});
+}
+
+TEST_F(TelemetryTest, ConcurrentContextsStayDisjointAndDeterministic) {
+  // Two threads, each under its own Context, running the same pool batch
+  // concurrently: per-context metrics must be fully disjoint (no cross-talk)
+  // and byte-identical run to run and across pool thread counts.
+  auto runOne = [](const std::string& id, int threads) {
+    Context ctx(id);
+    sweep::WorkStealingPool pool(threads);
+    pool.run(32, [&](size_t i) {
+      Registry::current().counter("ctx/" + id).add(i + 1);
+      Registry::current().histogram("ctx/lat", {1.0, 8.0}).observe(double(i % 10));
+    });
+    return deterministicDigest(ctx.registry().metrics());
+  };
+
+  std::string a1, b1;
+  {
+    std::thread ta([&] { a1 = runOne("req-A", 4); });
+    std::thread tb([&] { b1 = runOne("req-B", 4); });
+    ta.join();
+    tb.join();
+  }
+  // Disjoint: each digest names only its own counter.
+  EXPECT_NE(a1.find("ctx/req-A"), std::string::npos);
+  EXPECT_EQ(a1.find("ctx/req-B"), std::string::npos);
+  EXPECT_NE(b1.find("ctx/req-B"), std::string::npos);
+  EXPECT_EQ(b1.find("ctx/req-A"), std::string::npos);
+  // Deterministic: same batch serially and at another thread count ==
+  // byte-identical digest (request_id included).
+  EXPECT_EQ(a1, runOne("req-A", 1));
+  EXPECT_EQ(b1, runOne("req-B", 2));
+}
+
+TEST_F(TelemetryTest, ConcurrentContextEnterExitRollupIsExact) {
+  Registry parent;
+  constexpr int kThreads = 8, kIters = 50;
+  std::vector<std::thread> crew;
+  crew.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    crew.emplace_back([&parent, t] {
+      for (int i = 0; i < kIters; ++i) {
+        Context ctx(std::string("req-") + std::to_string(t), &parent);
+        Registry::current().counter("race/total").add(1);
+        Registry::current().histogram("race/h", {0.5}).observe(1.0);
+      }
+    });
+  }
+  for (auto& t : crew) t.join();
+  auto snap = parent.metrics();
+  EXPECT_EQ(snap.counters.at("race/total"),
+            static_cast<uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(snap.histograms.at("race/h").total,
+            static_cast<uint64_t>(kThreads) * kIters);
+}
+
+TEST_F(TelemetryTest, ClearRacingExportersIsSafe) {
+  // clear() on one thread while others export: no torn reads, no crashes
+  // (values may be mid-reset; TSan in CI proves the absence of data races).
+  Registry& reg = Registry::global();
+  reg.setEnabled(true);
+  reg.counter("race/c").add(1);
+  reg.histogram("race/h", {1.0}).observe(0.5);
+  std::atomic<bool> stop{false};
+  std::thread exporter([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)toMetricsJson(reg);
+      (void)toPrometheusText(reg);
+    }
+  });
+  std::thread writer([&] {
+    for (int i = 0; i < 200; ++i) {
+      reg.counter("race/c").add(1);
+      reg.histogram("race/h", {1.0}).observe(double(i));
+      reg.flight().record(FlightRecorder::Kind::Log, "race", 0, "msg", 0);
+    }
+  });
+  for (int i = 0; i < 100; ++i) reg.clear();
+  writer.join();
+  stop.store(true, std::memory_order_relaxed);
+  exporter.join();
+  reg.setEnabled(false);
+}
+
+// ------------------------------------------------------ Prometheus exposition
+
+/// Line-oriented validator for the Prometheus text exposition format
+/// (version 0.0.4): every line is a comment (# HELP / # TYPE with a valid
+/// metric name) or a sample `name[{label="value",...}] number`, names match
+/// [a-zA-Z_:][a-zA-Z0-9_:]*, label values escape `\`, `"` and newline, and
+/// every sample's name was announced by a preceding # TYPE.
+class PromChecker {
+ public:
+  bool valid(const std::string& text, std::string* why) {
+    size_t start = 0;
+    int lineNo = 0;
+    while (start < text.size()) {
+      size_t end = text.find('\n', start);
+      if (end == std::string::npos) {
+        *why = "missing trailing newline";
+        return false;
+      }
+      ++lineNo;
+      std::string line = text.substr(start, end - start);
+      start = end + 1;
+      if (line.empty()) continue;
+      if (!checkLine(line, why)) {
+        *why += format(" (line %d: %s)", lineNo, line.c_str());
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  static bool nameOk(const std::string& n) {
+    if (n.empty()) return false;
+    auto head = [](char c) {
+      return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+    };
+    if (!head(n[0])) return false;
+    for (char c : n) {
+      if (!head(c) && !std::isdigit(static_cast<unsigned char>(c))) return false;
+    }
+    return true;
+  }
+
+  bool checkLine(const std::string& line, std::string* why) {
+    if (line[0] == '#') {
+      // "# HELP <name> <text>" or "# TYPE <name> <type>"
+      size_t sp1 = line.find(' ', 2);
+      if (line.rfind("# HELP ", 0) != 0 && line.rfind("# TYPE ", 0) != 0) {
+        *why = "bad comment";
+        return false;
+      }
+      sp1 = line.find(' ', 7);
+      std::string name = line.substr(7, sp1 == std::string::npos
+                                            ? std::string::npos
+                                            : sp1 - 7);
+      if (!nameOk(name)) {
+        *why = "bad metric name in comment";
+        return false;
+      }
+      if (line.rfind("# TYPE ", 0) == 0) {
+        std::string type = sp1 == std::string::npos ? "" : line.substr(sp1 + 1);
+        if (type != "counter" && type != "gauge" && type != "histogram" &&
+            type != "summary" && type != "untyped") {
+          *why = "bad type";
+          return false;
+        }
+        typed_.insert(name);
+      }
+      return true;
+    }
+    // Sample line: name[{labels}] value
+    size_t brace = line.find('{');
+    size_t nameEnd = brace != std::string::npos ? brace : line.find(' ');
+    if (nameEnd == std::string::npos) {
+      *why = "no value";
+      return false;
+    }
+    std::string name = line.substr(0, nameEnd);
+    if (!nameOk(name)) {
+      *why = "bad sample name";
+      return false;
+    }
+    // Histogram series announce the base name; _bucket/_sum/_count/_p50...
+    // samples belong to it.
+    bool announced = typed_.count(name) != 0;
+    for (const char* suffix :
+         {"_bucket", "_sum", "_count", "_total", "_p50", "_p90", "_p99", "_max"}) {
+      std::string s(suffix);
+      if (!announced && name.size() > s.size() &&
+          name.compare(name.size() - s.size(), s.size(), s) == 0) {
+        announced = typed_.count(name.substr(0, name.size() - s.size())) != 0 ||
+                    typed_.count(name) != 0;
+      }
+    }
+    if (!announced) {
+      *why = "sample without # TYPE";
+      return false;
+    }
+    size_t pos = nameEnd;
+    if (brace != std::string::npos) {
+      if (!checkLabels(line, &pos, why)) return false;
+    }
+    if (pos >= line.size() || line[pos] != ' ') {
+      *why = "no space before value";
+      return false;
+    }
+    std::string value = line.substr(pos + 1);
+    char* parseEnd = nullptr;
+    if (value == "+Inf" || value == "-Inf" || value == "NaN") return true;
+    std::strtod(value.c_str(), &parseEnd);
+    if (parseEnd == value.c_str() || *parseEnd != '\0') {
+      *why = "bad value";
+      return false;
+    }
+    return true;
+  }
+
+  bool checkLabels(const std::string& line, size_t* pos, std::string* why) {
+    ++*pos;  // '{'
+    while (*pos < line.size() && line[*pos] != '}') {
+      size_t eq = line.find('=', *pos);
+      if (eq == std::string::npos || !nameOk(line.substr(*pos, eq - *pos))) {
+        *why = "bad label name";
+        return false;
+      }
+      *pos = eq + 1;
+      if (*pos >= line.size() || line[*pos] != '"') {
+        *why = "unquoted label value";
+        return false;
+      }
+      ++*pos;
+      while (*pos < line.size() && line[*pos] != '"') {
+        if (line[*pos] == '\\') {
+          ++*pos;
+          if (*pos >= line.size() ||
+              (line[*pos] != '\\' && line[*pos] != '"' && line[*pos] != 'n')) {
+            *why = "bad escape in label value";
+            return false;
+          }
+        }
+        ++*pos;
+      }
+      if (*pos >= line.size()) {
+        *why = "unterminated label value";
+        return false;
+      }
+      ++*pos;  // closing quote
+      if (*pos < line.size() && line[*pos] == ',') ++*pos;
+    }
+    if (*pos >= line.size()) {
+      *why = "unterminated label set";
+      return false;
+    }
+    ++*pos;  // '}'
+    return true;
+  }
+
+  std::set<std::string> typed_;
+};
+
+TEST_F(TelemetryTest, PrometheusTextPassesFormatValidator) {
+  Context ctx("req-prom-1");
+  Registry& reg = ctx.registry();
+  reg.counter("sweep/configs evaluated").add(12);  // space needs mangling
+  reg.gauge("search/eval-fraction").set(0.033);    // dash needs mangling
+  reg.histogram("sweep/eval_ms", {1.0, 10.0, 100.0}).observe(2.0);
+  reg.histogram("sweep/eval_ms", {1.0, 10.0, 100.0}).observe(50.0);
+
+  std::string prom = toPrometheusText(reg);
+  std::string why;
+  EXPECT_TRUE(PromChecker().valid(prom, &why)) << why << "\n" << prom;
+
+  // Mangling: outside [a-zA-Z0-9_] -> '_', "skope_" prefix, counters _total.
+  EXPECT_NE(prom.find("skope_sweep_configs_evaluated_total"), std::string::npos);
+  EXPECT_NE(prom.find("skope_search_eval_fraction"), std::string::npos);
+  // Histograms: cumulative buckets, +Inf == count, sum, derived percentiles.
+  EXPECT_NE(prom.find("skope_sweep_eval_ms_bucket{"), std::string::npos);
+  EXPECT_NE(prom.find("le=\"+Inf\""), std::string::npos);
+  EXPECT_NE(prom.find("skope_sweep_eval_ms_count"), std::string::npos);
+  EXPECT_NE(prom.find("skope_sweep_eval_ms_p99"), std::string::npos);
+  // Correlation: every sample carries the context's request_id label.
+  EXPECT_NE(prom.find("request_id=\"req-prom-1\""), std::string::npos);
+  // HELP lines preserve the original (unmangled) name for humans.
+  EXPECT_NE(prom.find("sweep/configs evaluated"), std::string::npos);
+}
+
+TEST_F(TelemetryTest, PrometheusBucketsAreCumulative) {
+  Registry reg;
+  Histogram& h = reg.histogram("c/h", {1.0, 10.0});
+  h.observe(0.5);
+  h.observe(5.0);
+  h.observe(50.0);
+  std::string prom = toPrometheusText(reg);
+  EXPECT_NE(prom.find("le=\"1\"} 1\n"), std::string::npos);
+  EXPECT_NE(prom.find("le=\"10\"} 2\n"), std::string::npos);
+  EXPECT_NE(prom.find("le=\"+Inf\"} 3\n"), std::string::npos);
+  EXPECT_NE(prom.find("skope_c_h_count 3\n"), std::string::npos);
+}
+
+TEST_F(TelemetryTest, MetricsJsonCarriesRequestIdAndPercentiles) {
+  Context ctx("req-json-7");
+  Registry& reg = ctx.registry();
+  reg.histogram("j/lat", {1.0, 10.0}).observe(0.5);
+  std::string json = toMetricsJson(reg);
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"request_id\": \"req-json-7\""), std::string::npos);
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  EXPECT_NE(json.find("\"max\""), std::string::npos);
 }
 
 }  // namespace

@@ -13,11 +13,18 @@ A missing metrics file or gauge is a FAILURE, not a skip — a gate that
 silently passes when the bench stopped emitting its headline number is no
 gate at all.
 
+The inverse is checked too: a gauge that appears in a dump but is neither
+gated nor matched by a pattern in the spec's "ungated" allowlist is flagged
+(WARNING by default, a failure under --fail-on-ungated) — a bench that grew
+a new headline number should either gate it or declare it informational.
+
 Usage:
   python3 tools/check_perf.py [--baselines bench/baselines.json] [--dir .]
+      [--fail-on-ungated]
 """
 
 import argparse
+import fnmatch
 import json
 import os
 import sys
@@ -35,6 +42,9 @@ def main():
                     help="baseline spec (default: bench/baselines.json)")
     ap.add_argument("--dir", default=".",
                     help="directory holding the BENCH_*.json dumps (default: .)")
+    ap.add_argument("--fail-on-ungated", action="store_true",
+                    help="treat gauges missing from both the gate list and the "
+                         "'ungated' allowlist as failures instead of warnings")
     args = ap.parse_args()
 
     with open(args.baselines) as f:
@@ -77,6 +87,37 @@ def main():
     header = ("gauge", "value", "baseline", "gate", "")
     for r in [header] + rows:
         print("  ".join(str(c).ljust(w) for c, w in zip(r, widths)).rstrip())
+
+    # Coverage check: every gauge a bench emitted must be gated above or
+    # matched by an "ungated" pattern (informational numbers like
+    # bench/peak_rss_kb). Anything else is a new headline figure nobody
+    # decided a policy for. Scans every BENCH_*.json in --dir, including
+    # dumps no gate references.
+    for fname in sorted(os.listdir(args.dir)):
+        if fname.startswith("BENCH_") and fname.endswith(".json") \
+                and fname not in gauges_by_file:
+            try:
+                gauges_by_file[fname] = load_gauges(os.path.join(args.dir, fname))
+            except (OSError, json.JSONDecodeError):
+                gauges_by_file[fname] = None
+    gated = {(m["file"], m["gauge"]) for m in spec["metrics"]}
+    ungated_patterns = spec.get("ungated", [])
+    ungated = 0
+    for fname in sorted(gauges_by_file):
+        gauges = gauges_by_file[fname]
+        if gauges is None:
+            continue
+        for gauge in sorted(gauges):
+            if (fname, gauge) in gated:
+                continue
+            if any(fnmatch.fnmatch(gauge, pat) for pat in ungated_patterns):
+                continue
+            ungated += 1
+            label = "ERROR" if args.fail_on_ungated else "WARNING"
+            print(f"{label}: {fname} gauge '{gauge}' is neither gated nor in "
+                  f"the 'ungated' allowlist", file=sys.stderr)
+    if ungated and args.fail_on_ungated:
+        failures += ungated
 
     if failures:
         print(f"\nperf gate: {failures} regression(s) past the "

@@ -11,6 +11,7 @@
 //   skopec sord --scaling --cells 64000 --steps 4  # multi-node projection
 #include <algorithm>
 #include <cstdio>
+#include <optional>
 #include <thread>
 
 #include "cachemodel/layercond.h"
@@ -83,17 +84,31 @@ int run(int argc, char** argv) {
   args.addFlag("log-level", "stderr verbosity: quiet, info, debug", "info");
   args.addFlag("trace-json", "write a Chrome trace-event JSON of the pipeline "
                              "stages here (open in Perfetto)");
-  args.addFlag("metrics-json", "write the telemetry metrics JSON here");
+  args.addFlag("metrics-json", "write the telemetry metrics export here");
+  args.addChoice("metrics-format", "metrics export format for --metrics-json: "
+                                   "structured JSON or Prometheus text "
+                                   "exposition (see docs/OBSERVABILITY.md)",
+                 {"json", "prom"}, "json");
+  args.addFlag("request-id", "correlation id: run under a request-scoped "
+                             "telemetry context so every exported metric and "
+                             "span carries this id (implies telemetry on)");
   if (!args.parse(argc, argv)) return 0;
 
   logging::setLevel(logging::parseLevel(args.get("log-level")));
   const std::string tracePath = args.get("trace-json");
   const std::string metricsPath = args.get("metrics-json");
-  auto& telem = telemetry::Registry::global();
-  if (!tracePath.empty() || !metricsPath.empty() || logging::debugEnabled()) {
-    telem.setEnabled(true);
+  const std::string requestId = args.get("request-id");
+  std::optional<telemetry::Context> teleCtx;
+  if (!tracePath.empty() || !metricsPath.empty() || !requestId.empty() ||
+      logging::debugEnabled()) {
+    if (!requestId.empty()) {
+      teleCtx.emplace(requestId);
+    } else {
+      telemetry::Registry::global().setEnabled(true);
+    }
     telemetry::setThreadName("main");
   }
+  auto& telem = teleCtx ? teleCtx->registry() : telemetry::Registry::global();
 
   faultinject::configure(args.get("fault-spec"));
   CancelToken cancel;
@@ -211,7 +226,9 @@ int run(int argc, char** argv) {
   }
 
   if (telem.enabled()) {
-    telemetry::writeExports(telem, tracePath, metricsPath);
+    auto mfmt = args.get("metrics-format") == "prom" ? telemetry::MetricsFormat::Prom
+                                                     : telemetry::MetricsFormat::Json;
+    telemetry::writeExports(telem, tracePath, metricsPath, "", mfmt);
     if (!tracePath.empty()) logging::info("skopec: wrote %s", tracePath.c_str());
     if (!metricsPath.empty()) logging::info("skopec: wrote %s", metricsPath.c_str());
     if (logging::debugEnabled()) {

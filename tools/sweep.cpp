@@ -22,6 +22,7 @@
 #include <cstdio>
 #include <fstream>
 #include <mutex>
+#include <optional>
 
 #include "core/backend.h"
 #include "core/framework.h"
@@ -187,7 +188,18 @@ int run(int argc, char** argv) {
   args.addFlag("log-level", "stderr verbosity: quiet, info, debug", "info");
   args.addFlag("trace-json", "write a Chrome trace-event JSON of the sweep "
                              "(one track per worker; open in Perfetto)");
-  args.addFlag("metrics-json", "write the telemetry metrics JSON here");
+  args.addFlag("metrics-json", "write the telemetry metrics export here");
+  args.addChoice("metrics-format", "metrics export format for --metrics-json: "
+                                   "structured JSON or Prometheus text "
+                                   "exposition (see docs/OBSERVABILITY.md)",
+                 {"json", "prom"}, "json");
+  args.addFlag("request-id", "correlation id: run under a request-scoped "
+                             "telemetry context so every exported metric, "
+                             "span and flight-recorder event carries this id "
+                             "(implies telemetry on)");
+  args.addBool("report-eval-ms", "append a per-config eval_ms wall-clock "
+                                 "column to the reports (not byte-deterministic "
+                                 "across runs)");
   args.addFlag("self-report", "write the framework's own hot-spot ranking as a "
                               "markdown table here (CI job summaries)");
   if (!args.parse(argc, argv)) return 0;
@@ -196,12 +208,22 @@ int run(int argc, char** argv) {
   const std::string tracePath = args.get("trace-json");
   const std::string metricsPath = args.get("metrics-json");
   const std::string selfReportPath = args.get("self-report");
-  auto& telem = telemetry::Registry::global();
+  const std::string requestId = args.get("request-id");
+  // With --request-id the whole run executes under a request-scoped Context
+  // (its registry thread-locally shadows the global one and tags every
+  // export with the id); otherwise instrumentation lands in the global
+  // registry as before.
+  std::optional<telemetry::Context> teleCtx;
   if (!tracePath.empty() || !metricsPath.empty() || !selfReportPath.empty() ||
-      logging::debugEnabled()) {
-    telem.setEnabled(true);
+      !requestId.empty() || logging::debugEnabled()) {
+    if (!requestId.empty()) {
+      teleCtx.emplace(requestId);
+    } else {
+      telemetry::Registry::global().setEnabled(true);
+    }
     telemetry::setThreadName("main");
   }
+  auto& telem = teleCtx ? teleCtx->registry() : telemetry::Registry::global();
 
   if (args.getBool("list-fields")) {
     std::fputs(gridFieldHelp().c_str(), stdout);
@@ -292,15 +314,21 @@ int run(int argc, char** argv) {
   int threadsUsed = 1;
   double runSeconds = 0;
   const size_t topN = static_cast<size_t>(args.getUint64("top"));
+  sweep::ReportOptions ropts;
+  ropts.evalMs = args.getBool("report-eval-ms");
+  // When telemetry is on, failed/timed-out rows carry their flight-recorder
+  // tail in the markdown report — an instrumented run already gave up byte
+  // determinism, so the extra context is free.
+  ropts.flightTrace = telem.enabled();
   if (searchMode == "none") {
     auto result = sweep::runSweep(*frontend, grid, opts);
     progress.finish();
     if (format == "md" || format == "both") {
-      report += sweep::toMarkdown(result, topN);
+      report += sweep::toMarkdown(result, topN, ropts);
     }
     if (format == "csv" || format == "both") {
       if (!report.empty()) report += "\n";
-      report += sweep::toCsv(result);
+      report += sweep::toCsv(result, ropts);
     }
     configCount = result.outcomes.size();
     threadsUsed = result.threadsUsed;
@@ -317,11 +345,11 @@ int run(int argc, char** argv) {
     auto result = search::runSearch(*frontend, space, sopts);
     progress.finish();
     if (format == "md" || format == "both") {
-      report += search::searchToMarkdown(result, topN);
+      report += search::searchToMarkdown(result, topN, ropts);
     }
     if (format == "csv" || format == "both") {
       if (!report.empty()) report += "\n";
-      report += search::searchToCsv(result);
+      report += search::searchToCsv(result, ropts);
     }
     configCount = result.evals();
     threadsUsed = result.threadsUsed;
@@ -344,7 +372,9 @@ int run(int argc, char** argv) {
   }
 
   if (telem.enabled()) {
-    telemetry::writeExports(telem, tracePath, metricsPath, selfReportPath);
+    auto mfmt = args.get("metrics-format") == "prom" ? telemetry::MetricsFormat::Prom
+                                                     : telemetry::MetricsFormat::Json;
+    telemetry::writeExports(telem, tracePath, metricsPath, selfReportPath, mfmt);
     for (const std::string& p : {tracePath, metricsPath, selfReportPath}) {
       if (!p.empty()) logging::info("sweep: wrote %s", p.c_str());
     }
