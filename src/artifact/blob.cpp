@@ -1,0 +1,14 @@
+#include "artifact/blob.h"
+
+namespace skope::artifact {
+
+uint64_t fnv1a64(const uint8_t* data, size_t len) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace skope::artifact

@@ -1,0 +1,157 @@
+// Strict bounds-checked binary blob encoding for cached artifacts.
+//
+// Artifacts are read back from disk, where anything can happen — truncation
+// by a killed writer, bit rot, a stale entry from a future format. The
+// reader therefore treats the byte stream as hostile: every primitive read
+// is bounds-checked and throws Error on overrun, varints are capped at ten
+// bytes, and section sizes are validated against the remaining payload
+// before a sub-reader is handed out. A decode failure of ANY kind maps to
+// "cache miss, recompute" in the store layer — corrupt data is never served.
+//
+// Encoding conventions: little-endian fixed-width integers, LEB128 varints
+// for counts, doubles as IEEE-754 bit patterns, byte arrays length-prefixed.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "support/diagnostics.h"
+#include "support/text.h"
+
+namespace skope::artifact {
+
+/// FNV-1a 64-bit — the container's payload checksum. Fast enough to verify
+/// multi-MB trace blobs at load time, and reliably catches the real failure
+/// modes (torn writes, truncation, flipped bytes). Collision *attacks* are
+/// not in the threat model — the cache directory is the user's own disk.
+[[nodiscard]] uint64_t fnv1a64(const uint8_t* data, size_t len);
+
+/// Append-only binary writer.
+class BlobWriter {
+ public:
+  void u8(uint8_t v) { out_.push_back(v); }
+  void u32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) out_.push_back(static_cast<uint8_t>(v >> (i * 8)));
+  }
+  void u64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) out_.push_back(static_cast<uint8_t>(v >> (i * 8)));
+  }
+  void f64(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+  void varint(uint64_t v) {
+    while (v >= 0x80) {
+      out_.push_back(static_cast<uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    out_.push_back(static_cast<uint8_t>(v));
+  }
+  /// Length-prefixed byte array.
+  void bytes(const uint8_t* data, size_t len) {
+    varint(len);
+    out_.insert(out_.end(), data, data + len);
+  }
+  void str(const std::string& s) {
+    bytes(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+  }
+
+  [[nodiscard]] const std::vector<uint8_t>& data() const { return out_; }
+  [[nodiscard]] std::vector<uint8_t> take() { return std::move(out_); }
+
+ private:
+  std::vector<uint8_t> out_;
+};
+
+/// Strict reader over a borrowed byte range. Throws Error("artifact blob
+/// ...") on any overrun or malformed varint; never reads past `size`.
+class BlobReader {
+ public:
+  BlobReader(const uint8_t* data, size_t size) : p_(data), end_(data + size) {}
+
+  [[nodiscard]] size_t remaining() const { return static_cast<size_t>(end_ - p_); }
+  /// The current read position (for zero-copy views into the blob).
+  [[nodiscard]] const uint8_t* pos() const { return p_; }
+
+  uint8_t u8() {
+    need(1);
+    return *p_++;
+  }
+  uint32_t u32() {
+    need(4);
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(*p_++) << (i * 8);
+    return v;
+  }
+  uint64_t u64() {
+    need(8);
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(*p_++) << (i * 8);
+    return v;
+  }
+  double f64() {
+    uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  uint64_t varint() {
+    uint64_t v = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      need(1);
+      uint8_t b = *p_++;
+      v |= static_cast<uint64_t>(b & 0x7f) << shift;
+      if ((b & 0x80) == 0) return v;
+    }
+    throw Error("artifact blob: varint exceeds 64 bits");
+  }
+  /// Validates the prefixed length against the remaining bytes, then returns
+  /// a view (no copy) and advances past it.
+  struct Span {
+    const uint8_t* data;
+    size_t size;
+  };
+  Span bytes() {
+    uint64_t len = varint();
+    if (len > remaining()) {
+      throw Error(format("artifact blob: %llu-byte field overruns the %zu remaining "
+                         "bytes",
+                         static_cast<unsigned long long>(len), remaining()));
+    }
+    Span s{p_, static_cast<size_t>(len)};
+    p_ += len;
+    return s;
+  }
+  std::string str() {
+    Span s = bytes();
+    return std::string(reinterpret_cast<const char*>(s.data), s.size);
+  }
+  /// A bounds-checked sub-reader over the next length-prefixed section.
+  BlobReader section() {
+    Span s = bytes();
+    return BlobReader(s.data, s.size);
+  }
+  /// Throws unless exactly everything was consumed — a decoder that leaves
+  /// trailing bytes read a different format than the writer produced.
+  void expectEnd() const {
+    if (p_ != end_) {
+      throw Error(format("artifact blob: %zu trailing bytes after decode", remaining()));
+    }
+  }
+
+ private:
+  void need(size_t n) const {
+    if (remaining() < n) {
+      throw Error(format("artifact blob truncated: need %zu bytes, %zu remain", n,
+                         remaining()));
+    }
+  }
+
+  const uint8_t* p_;
+  const uint8_t* end_;
+};
+
+}  // namespace skope::artifact

@@ -1,0 +1,433 @@
+#include "artifact/cache.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <utility>
+
+#include "artifact/blob.h"
+#include "artifact/sha256.h"
+#include "support/diagnostics.h"
+#include "support/log.h"
+#include "telemetry/telemetry.h"
+#include "vm/interp.h"
+
+namespace skope::artifact {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// Section tags inside a front-end blob. New sections get new tags; decoders
+// reject unknown tags (strict — the format version already gates evolution).
+constexpr uint8_t kSectionProfile = 1;
+constexpr uint8_t kSectionTrace = 2;
+
+inline uint64_t zigzag(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+
+inline int64_t unzigzag(uint64_t v) {
+  return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+void encodeProfile(BlobWriter& w, const vm::ProfileData& p) {
+  w.varint(p.branchSites.size());
+  for (const auto& [site, stats] : p.branchSites) {
+    w.varint(site);
+    w.varint(stats.takenCount);
+    w.varint(stats.total);
+  }
+  w.varint(p.libCalls.size());
+  for (const auto& [key, count] : p.libCalls) {
+    w.varint(key.first);
+    w.varint(zigzag(key.second));
+    w.varint(count);
+  }
+  w.varint(p.calls.size());
+  for (const auto& [key, count] : p.calls) {
+    w.varint(key.first);
+    w.varint(zigzag(key.second));
+    w.varint(count);
+  }
+  w.varint(p.opCounters.flat.size());
+  for (uint64_t v : p.opCounters.flat) w.varint(v);
+}
+
+vm::ProfileData decodeProfile(BlobReader& r) {
+  vm::ProfileData p;
+  for (uint64_t i = 0, n = r.varint(); i < n; ++i) {
+    auto site = static_cast<uint32_t>(r.varint());
+    vm::BranchSiteStats stats;
+    stats.takenCount = r.varint();
+    stats.total = r.varint();
+    p.branchSites.emplace(site, stats);
+  }
+  for (uint64_t i = 0, n = r.varint(); i < n; ++i) {
+    auto region = static_cast<uint32_t>(r.varint());
+    auto builtin = static_cast<int>(unzigzag(r.varint()));
+    p.libCalls.emplace(std::make_pair(region, builtin), r.varint());
+  }
+  for (uint64_t i = 0, n = r.varint(); i < n; ++i) {
+    auto region = static_cast<uint32_t>(r.varint());
+    auto callee = static_cast<int>(unzigzag(r.varint()));
+    p.calls.emplace(std::make_pair(region, callee), r.varint());
+  }
+  uint64_t flatSize = r.varint();
+  // Every flat entry costs >= 1 encoded byte, so this bound rejects absurd
+  // sizes before the allocation.
+  if (flatSize > r.remaining()) {
+    throw Error(format("artifact blob: op-counter table of %llu entries overruns "
+                       "the %zu remaining bytes",
+                       static_cast<unsigned long long>(flatSize), r.remaining()));
+  }
+  if (flatSize % vm::kNumOpClasses != 0) {
+    throw Error("artifact blob: op-counter table is not a whole number of regions");
+  }
+  p.opCounters.flat.reserve(static_cast<size_t>(flatSize));
+  for (uint64_t i = 0; i < flatSize; ++i) p.opCounters.flat.push_back(r.varint());
+  r.expectEnd();
+  return p;
+}
+
+void encodeTrace(BlobWriter& w, const trace::MemoryTrace& t) {
+  w.varint(t.numRefs);
+  w.varint(t.recordedRefs);
+  w.u8(t.truncated ? 1 : 0);
+  w.varint(t.dynamicInstrs);
+  w.varint(t.mispredictsByRegion.size());
+  for (const auto& [region, count] : t.mispredictsByRegion) {
+    w.varint(region);
+    w.varint(count);
+  }
+  // The encoded reference stream goes LAST so its bytes sit contiguously at
+  // the blob's tail — the decoder hands out a zero-copy view into them.
+  w.bytes(t.data(), t.sizeBytes());
+}
+
+trace::MemoryTrace decodeTrace(BlobReader& r, std::shared_ptr<const MappedBlob> file) {
+  trace::MemoryTrace t;
+  t.numRefs = r.varint();
+  t.recordedRefs = r.varint();
+  t.truncated = r.u8() != 0;
+  t.dynamicInstrs = r.varint();
+  for (uint64_t i = 0, n = r.varint(); i < n; ++i) {
+    auto region = static_cast<uint32_t>(r.varint());
+    t.mispredictsByRegion.emplace(region, r.varint());
+  }
+  BlobReader::Span stream = r.bytes();
+  r.expectEnd();
+  // Zero-copy: the view points into the mapped blob; `backing` keeps the
+  // mapping alive for as long as any copy of the trace exists.
+  t.view = stream.data;
+  t.viewSize = stream.size;
+  t.backing = std::move(file);
+  return t;
+}
+
+void encodeHistograms(BlobWriter& w, const trace::ReuseHistograms& h) {
+  w.u32(h.lineBytes);
+  w.varint(h.totalRefs);
+  w.varint(h.totalCold);
+  w.varint(h.regions.size());
+  for (const auto& rh : h.regions) {
+    w.varint(rh.region);
+    w.varint(rh.coldRefs);
+    w.varint(rh.totalRefs);
+    w.varint(rh.dist.size());
+    for (const auto& [d, count] : rh.dist) {
+      w.varint(d);
+      w.varint(count);
+    }
+  }
+}
+
+std::unique_ptr<trace::ReuseHistograms> decodeHistograms(BlobReader& r) {
+  auto h = std::make_unique<trace::ReuseHistograms>();
+  h->lineBytes = r.u32();
+  h->totalRefs = r.varint();
+  h->totalCold = r.varint();
+  uint64_t numRegions = r.varint();
+  if (numRegions > r.remaining()) {
+    throw Error(format("artifact blob: %llu histogram regions overrun the %zu "
+                       "remaining bytes",
+                       static_cast<unsigned long long>(numRegions), r.remaining()));
+  }
+  h->regions.reserve(static_cast<size_t>(numRegions));
+  for (uint64_t i = 0; i < numRegions; ++i) {
+    trace::RegionHistogram rh;
+    rh.region = static_cast<uint32_t>(r.varint());
+    rh.coldRefs = r.varint();
+    rh.totalRefs = r.varint();
+    uint64_t pairs = r.varint();
+    if (pairs > r.remaining()) {
+      throw Error(format("artifact blob: %llu distance pairs overrun the %zu "
+                         "remaining bytes",
+                         static_cast<unsigned long long>(pairs), r.remaining()));
+    }
+    rh.dist.reserve(static_cast<size_t>(pairs));
+    for (uint64_t j = 0; j < pairs; ++j) {
+      uint64_t d = r.varint();
+      rh.dist.emplace_back(d, r.varint());
+    }
+    h->regions.push_back(std::move(rh));
+  }
+  r.expectEnd();
+  return h;
+}
+
+/// Histogram entries get their own content address binding the front-end key
+/// and the line size (and, via the front-end key, everything upstream).
+std::string histogramKey(const std::string& frontendKey, uint32_t lineBytes) {
+  Sha256 h;
+  h.update(format("skope-reuse-hist-v%u\n", kFormatVersion));
+  h.update(frontendKey);
+  h.update(format("\nlineBytes=%u\n", lineBytes));
+  return h.hex();
+}
+
+void encodeExactReplay(BlobWriter& w, const trace::ExactReplayArtifact& e) {
+  w.u64(e.sizeBytes);
+  w.u32(e.lineBytes);
+  w.u32(e.assoc);
+  w.varint(e.refsTotal);
+  w.varint(e.regionMisses.size());
+  for (double m : e.regionMisses) w.f64(m);
+  w.varint(e.refsByRegion.size());
+  for (uint64_t n : e.refsByRegion) w.varint(n);
+}
+
+std::unique_ptr<trace::ExactReplayArtifact> decodeExactReplay(BlobReader& r) {
+  auto e = std::make_unique<trace::ExactReplayArtifact>();
+  e->sizeBytes = r.u64();
+  e->lineBytes = r.u32();
+  e->assoc = r.u32();
+  e->refsTotal = r.varint();
+  uint64_t numMisses = r.varint();
+  if (numMisses * 8 > r.remaining()) {
+    throw Error(format("artifact blob: %llu replay miss entries overrun the %zu "
+                       "remaining bytes",
+                       static_cast<unsigned long long>(numMisses), r.remaining()));
+  }
+  e->regionMisses.reserve(static_cast<size_t>(numMisses));
+  for (uint64_t i = 0; i < numMisses; ++i) e->regionMisses.push_back(r.f64());
+  uint64_t numRefs = r.varint();
+  if (numRefs > r.remaining()) {
+    throw Error(format("artifact blob: %llu replay ref entries overrun the %zu "
+                       "remaining bytes",
+                       static_cast<unsigned long long>(numRefs), r.remaining()));
+  }
+  e->refsByRegion.reserve(static_cast<size_t>(numRefs));
+  for (uint64_t i = 0; i < numRefs; ++i) e->refsByRegion.push_back(r.varint());
+  r.expectEnd();
+  return e;
+}
+
+/// Exact-replay entries bind the front-end key and the full level geometry.
+std::string exactReplayKey(const std::string& frontendKey, uint64_t sizeBytes,
+                           uint32_t lineBytes, uint32_t assoc) {
+  Sha256 h;
+  h.update(format("skope-exact-replay-v%u\n", kFormatVersion));
+  h.update(frontendKey);
+  h.update(format("\nsize=%llu;line=%u;assoc=%u\n",
+                  static_cast<unsigned long long>(sizeBytes), lineBytes, assoc));
+  return h.hex();
+}
+
+/// Adapter handed to ReuseDistanceAnalyzer: persists histograms under the
+/// front-end's key. All failures are swallowed inside the cache methods.
+class ReuseHook final : public trace::ReuseCacheHook {
+ public:
+  ReuseHook(const ArtifactCache* cache, std::string frontendKey)
+      : cache_(cache), frontendKey_(std::move(frontendKey)) {}
+
+  std::unique_ptr<trace::ReuseHistograms> load(uint32_t lineBytes) override {
+    return cache_->loadHistograms(frontendKey_, lineBytes);
+  }
+
+  void store(const trace::ReuseHistograms& h) override {
+    cache_->storeHistograms(frontendKey_, h);
+  }
+
+  std::unique_ptr<trace::ExactReplayArtifact> loadExactReplay(
+      uint64_t sizeBytes, uint32_t lineBytes, uint32_t assoc) override {
+    return cache_->loadExactReplay(frontendKey_, sizeBytes, lineBytes, assoc);
+  }
+
+  void storeExactReplay(const trace::ExactReplayArtifact& e) override {
+    cache_->storeExactReplay(frontendKey_, e);
+  }
+
+ private:
+  const ArtifactCache* cache_;
+  std::string frontendKey_;
+};
+
+}  // namespace
+
+const char* outcomeName(Outcome o) {
+  switch (o) {
+    case Outcome::kOff: return "off";
+    case Outcome::kHit: return "hit";
+    case Outcome::kMiss: return "miss:stored";
+    case Outcome::kCorrupt: return "corrupt:recomputed";
+  }
+  return "?";
+}
+
+ArtifactCache::ArtifactCache(std::string dir, uint64_t maxBytes)
+    : store_(std::move(dir), maxBytes) {}
+
+std::string ArtifactCache::frontendKey(const std::string& source,
+                                       const std::map<std::string, double>& params,
+                                       uint64_t seed, uint64_t maxOps, bool recordTrace,
+                                       uint64_t traceMaxRefs) {
+  Sha256 h;
+  h.update(format("skope-frontend-v%u\n", kFormatVersion));
+  h.update(format("source:%zu\n", source.size()));
+  h.update(source);
+  // std::map iterates sorted by name — canonical ordering for free. %.17g
+  // round-trips every IEEE-754 double exactly.
+  for (const auto& [name, value] : params) {
+    h.update(format("\nparam:%s=%.17g", name.c_str(), value));
+  }
+  h.update(format("\nseed=%llu;maxOps=%llu;recordTrace=%d;traceMaxRefs=%llu\n",
+                  static_cast<unsigned long long>(seed),
+                  static_cast<unsigned long long>(maxOps), recordTrace ? 1 : 0,
+                  static_cast<unsigned long long>(traceMaxRefs)));
+  return h.hex();
+}
+
+std::optional<FrontendArtifacts> ArtifactCache::loadFrontend(const std::string& key,
+                                                             Outcome* outcomeOut) const {
+  bool corrupt = false;
+  auto blob = store_.load(key, &corrupt);
+  if (!blob) {
+    if (outcomeOut != nullptr) *outcomeOut = corrupt ? Outcome::kCorrupt : Outcome::kMiss;
+    return std::nullopt;
+  }
+  try {
+    BlobReader r(blob->payload, blob->size);
+    if (r.u8() != kSectionProfile) throw Error("artifact blob: expected profile section");
+    BlobReader pr = r.section();
+    if (r.u8() != kSectionTrace) throw Error("artifact blob: expected trace section");
+    BlobReader tr = r.section();
+    r.expectEnd();
+    FrontendArtifacts out;
+    out.profile = decodeProfile(pr);
+    out.trace = decodeTrace(tr, blob->file);
+    if (outcomeOut != nullptr) *outcomeOut = Outcome::kHit;
+    return out;
+  } catch (const Error& e) {
+    // The container checksum passed but the payload doesn't decode — a
+    // format bug or targeted tampering. Same policy as container-level
+    // corruption: count, drop the entry, recompute.
+    if (telemetry::enabled()) {
+      telemetry::Registry::current().counter("artifact/corrupt").add(1);
+    }
+    logging::info("artifact cache: undecodable payload for %s (%s), recomputing",
+                  key.c_str(), e.what());
+    std::error_code ec;
+    fs::remove(store_.pathFor(key), ec);
+    if (outcomeOut != nullptr) *outcomeOut = Outcome::kCorrupt;
+    return std::nullopt;
+  }
+}
+
+void ArtifactCache::storeFrontend(const std::string& key, const vm::ProfileData& profile,
+                                  const trace::MemoryTrace& trace) const {
+  try {
+    BlobWriter profileSection;
+    encodeProfile(profileSection, profile);
+    BlobWriter traceSection;
+    encodeTrace(traceSection, trace);
+    BlobWriter w;
+    w.u8(kSectionProfile);
+    w.bytes(profileSection.data().data(), profileSection.data().size());
+    w.u8(kSectionTrace);
+    w.bytes(traceSection.data().data(), traceSection.data().size());
+    store_.store(key, w.data());
+  } catch (const Error& e) {
+    logging::info("artifact cache: cannot store front-end blob: %s", e.what());
+  }
+}
+
+std::unique_ptr<trace::ReuseHistograms> ArtifactCache::loadHistograms(
+    const std::string& frontendKey, uint32_t lineBytes) const {
+  const std::string key = histogramKey(frontendKey, lineBytes);
+  auto blob = store_.load(key);
+  if (!blob) return nullptr;
+  try {
+    BlobReader r(blob->payload, blob->size);
+    auto h = decodeHistograms(r);
+    return h;
+  } catch (const Error& e) {
+    if (telemetry::enabled()) {
+      telemetry::Registry::current().counter("artifact/corrupt").add(1);
+    }
+    logging::info("artifact cache: undecodable histogram blob for %s (%s), recomputing",
+                  key.c_str(), e.what());
+    std::error_code ec;
+    fs::remove(store_.pathFor(key), ec);
+    return nullptr;
+  }
+}
+
+void ArtifactCache::storeHistograms(const std::string& frontendKey,
+                                    const trace::ReuseHistograms& h) const {
+  try {
+    BlobWriter w;
+    encodeHistograms(w, h);
+    store_.store(histogramKey(frontendKey, h.lineBytes), w.data());
+  } catch (const Error& e) {
+    logging::info("artifact cache: cannot store histogram blob: %s", e.what());
+  }
+}
+
+std::unique_ptr<trace::ExactReplayArtifact> ArtifactCache::loadExactReplay(
+    const std::string& frontendKey, uint64_t sizeBytes, uint32_t lineBytes,
+    uint32_t assoc) const {
+  const std::string key = exactReplayKey(frontendKey, sizeBytes, lineBytes, assoc);
+  auto blob = store_.load(key);
+  if (!blob) return nullptr;
+  try {
+    BlobReader r(blob->payload, blob->size);
+    auto e = decodeExactReplay(r);
+    if (e->sizeBytes != sizeBytes || e->lineBytes != lineBytes || e->assoc != assoc) {
+      throw Error("artifact blob: replay geometry does not match its key");
+    }
+    return e;
+  } catch (const Error& e) {
+    if (telemetry::enabled()) {
+      telemetry::Registry::current().counter("artifact/corrupt").add(1);
+    }
+    logging::info("artifact cache: undecodable replay blob for %s (%s), recomputing",
+                  key.c_str(), e.what());
+    std::error_code ec;
+    fs::remove(store_.pathFor(key), ec);
+    return nullptr;
+  }
+}
+
+void ArtifactCache::storeExactReplay(const std::string& frontendKey,
+                                     const trace::ExactReplayArtifact& e) const {
+  try {
+    BlobWriter w;
+    encodeExactReplay(w, e);
+    store_.store(exactReplayKey(frontendKey, e.sizeBytes, e.lineBytes, e.assoc),
+                 w.data());
+  } catch (const Error& err) {
+    logging::info("artifact cache: cannot store replay blob: %s", err.what());
+  }
+}
+
+std::unique_ptr<trace::ReuseCacheHook> ArtifactCache::makeReuseHook(
+    std::string frontendKey) const {
+  return std::make_unique<ReuseHook>(this, std::move(frontendKey));
+}
+
+std::string ArtifactCache::envDir() {
+  const char* env = std::getenv("SKOPE_ARTIFACT_CACHE");
+  return env == nullptr ? std::string() : std::string(env);
+}
+
+}  // namespace skope::artifact

@@ -1,0 +1,122 @@
+// High-level artifact cache: compile-once, serve-many (docs/ARTIFACTS.md).
+//
+// Sits on top of the content-addressed ArtifactStore and knows the three
+// expensive cold-path artifacts by name:
+//
+//   * the BET profile annotations (vm::ProfileData) and the compressed
+//     recorded memory trace (trace::MemoryTrace), bundled in ONE blob per
+//     front-end build — they come from the same profiling run and are always
+//     produced together;
+//   * per-(front-end, line-size) reuse-distance histograms
+//     (trace::ReuseHistograms) and per-(front-end, cache-geometry)
+//     exact-replay miss counts (trace::ExactReplayArtifact), one blob each,
+//     fed to the analyzer / cache model through the ReuseCacheHook interface
+//     so the trace layer never links artifact.
+//
+// Key derivation (the correctness contract: a key hit IS a semantic hit).
+// The front-end key is SHA-256 over, in order: the blob format version, the
+// workload source bytes, the canonicalized parameter bindings (sorted by
+// name, values printed with %.17g so every double round-trips), the VM seed,
+// and the profiling knobs (maxOps, recordTrace, traceMaxRefs). Histogram
+// keys additionally bind the line size. Changing ANY of these inputs changes
+// the key; bumping kFormatVersion orphans every old entry (clean misses).
+//
+// Failure policy: corruption of any kind — torn container, bad checksum,
+// payload that fails the strict BlobReader decode — counts artifact/corrupt,
+// removes the entry, and reports a miss so callers recompute. The cache can
+// lose work, never correctness.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "artifact/store.h"
+#include "trace/reuse.h"
+#include "trace/trace.h"
+#include "vm/profile.h"
+
+namespace skope::artifact {
+
+/// How a front-end build interacted with the cache (exposed by
+/// WorkloadFrontend::artifactProvenance and the sweep self-report).
+enum class Outcome {
+  kOff,      ///< no cache configured
+  kHit,      ///< profile + trace served from the store
+  kMiss,     ///< not present; recomputed and stored
+  kCorrupt,  ///< present but failed verification; recomputed and stored
+};
+
+[[nodiscard]] const char* outcomeName(Outcome o);
+
+/// The profiling-run outputs bundled in one front-end blob.
+struct FrontendArtifacts {
+  vm::ProfileData profile;
+  trace::MemoryTrace trace;  ///< zero-copy view into the blob when loaded
+};
+
+/// Thread-safe facade over one on-disk store. Const methods may be called
+/// concurrently from sweep workers; cross-process safety comes from the
+/// store's atomic-rename writes.
+class ArtifactCache {
+ public:
+  /// Opens (creating if needed) the store rooted at `dir`. `maxBytes` > 0
+  /// enables the per-write LRU eviction pass.
+  explicit ArtifactCache(std::string dir, uint64_t maxBytes = 0);
+
+  /// The content address of one front-end build. Everything that determines
+  /// the profiling run's outputs participates; see the header comment.
+  [[nodiscard]] static std::string frontendKey(
+      const std::string& source, const std::map<std::string, double>& params,
+      uint64_t seed, uint64_t maxOps, bool recordTrace, uint64_t traceMaxRefs);
+
+  /// Loads the profile + trace bundle for `key`. nullopt on miss or any
+  /// verification/decode failure (counted, entry removed). On success the
+  /// trace is a zero-copy view backed by the mapped blob. `outcomeOut`,
+  /// when non-null, receives kHit / kMiss / kCorrupt.
+  [[nodiscard]] std::optional<FrontendArtifacts> loadFrontend(
+      const std::string& key, Outcome* outcomeOut = nullptr) const;
+
+  /// Serializes and stores the bundle (best-effort: storage failures warn
+  /// and are swallowed — the caller already holds the computed results).
+  void storeFrontend(const std::string& key, const vm::ProfileData& profile,
+                     const trace::MemoryTrace& trace) const;
+
+  /// Loads the reuse-distance histograms for (frontendKey, lineBytes);
+  /// nullptr on miss or decode failure.
+  [[nodiscard]] std::unique_ptr<trace::ReuseHistograms> loadHistograms(
+      const std::string& frontendKey, uint32_t lineBytes) const;
+
+  /// Serializes and stores freshly computed histograms (best-effort).
+  void storeHistograms(const std::string& frontendKey,
+                       const trace::ReuseHistograms& h) const;
+
+  /// Loads the exact-replay miss counts for (frontendKey, geometry);
+  /// nullptr on miss or decode failure.
+  [[nodiscard]] std::unique_ptr<trace::ExactReplayArtifact> loadExactReplay(
+      const std::string& frontendKey, uint64_t sizeBytes, uint32_t lineBytes,
+      uint32_t assoc) const;
+
+  /// Serializes and stores a freshly replayed geometry (best-effort).
+  void storeExactReplay(const std::string& frontendKey,
+                        const trace::ExactReplayArtifact& e) const;
+
+  /// An adapter feeding ReuseDistanceAnalyzer from this cache under the
+  /// given front-end key. The cache must outlive the hook.
+  [[nodiscard]] std::unique_ptr<trace::ReuseCacheHook> makeReuseHook(
+      std::string frontendKey) const;
+
+  /// The process environment's cache directory (SKOPE_ARTIFACT_CACHE), or
+  /// empty. CLIs use it as the --artifact-cache default.
+  [[nodiscard]] static std::string envDir();
+
+  [[nodiscard]] const ArtifactStore& store() const { return store_; }
+  [[nodiscard]] ArtifactStore& store() { return store_; }
+
+ private:
+  ArtifactStore store_;
+};
+
+}  // namespace skope::artifact

@@ -1,0 +1,42 @@
+// SHA-256 (FIPS 180-4) — the artifact store's content-addressing hash.
+//
+// Cache keys must be collision-resistant across *everything* that determines
+// an artifact's bytes (source text, canonicalized options, format version):
+// a weak hash would let two different workloads silently share an entry, and
+// the cache's whole correctness contract is "a key hit IS a semantic hit".
+// SHA-256 buys that guarantee at a cost that is irrelevant here — keys hash
+// kilobytes of source once per front-end build, never per config.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace skope::artifact {
+
+/// Incremental SHA-256. update() any number of times, then hex() once.
+class Sha256 {
+ public:
+  Sha256();
+
+  void update(const void* data, size_t len);
+  void update(std::string_view s) { update(s.data(), s.size()); }
+
+  /// Finalizes and returns the digest as 64 lowercase hex characters. The
+  /// object must not be updated afterwards.
+  [[nodiscard]] std::string hex();
+
+ private:
+  void compress(const uint8_t* block);
+
+  uint32_t state_[8];
+  uint64_t bitLen_ = 0;
+  uint8_t buf_[64];
+  size_t bufLen_ = 0;
+};
+
+/// One-shot convenience: SHA-256 of `data`, hex-encoded.
+[[nodiscard]] std::string sha256Hex(std::string_view data);
+
+}  // namespace skope::artifact

@@ -1,0 +1,278 @@
+#include "artifact/store.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "artifact/blob.h"
+#include "support/diagnostics.h"
+#include "support/log.h"
+#include "telemetry/telemetry.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#define SKOPE_HAVE_MMAP 1
+#endif
+
+namespace skope::artifact {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'K', 'O', 'P', 'E', 'A', 'R', '1'};
+constexpr size_t kHeaderSize = 32;
+
+void count(const char* name, uint64_t n = 1) {
+  if (telemetry::enabled()) telemetry::Registry::current().counter(name).add(n);
+}
+
+bool validKey(const std::string& key) {
+  if (key.size() != 64) return false;
+  for (char c : key) {
+    if (!((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))) return false;
+  }
+  return true;
+}
+
+bool mmapDisabled() {
+  const char* env = std::getenv("SKOPE_ARTIFACT_NO_MMAP");
+  return env != nullptr && *env != '\0' && *env != '0';
+}
+
+}  // namespace
+
+MappedBlob::~MappedBlob() {
+#ifdef SKOPE_HAVE_MMAP
+  if (mapped_ && data_ != nullptr) {
+    munmap(const_cast<uint8_t*>(data_), size_);
+  }
+#endif
+}
+
+std::shared_ptr<const MappedBlob> MappedBlob::open(const std::string& path) {
+  auto blob = std::shared_ptr<MappedBlob>(new MappedBlob());
+#ifdef SKOPE_HAVE_MMAP
+  if (!mmapDisabled()) {
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return nullptr;
+    struct stat st {};
+    if (fstat(fd, &st) != 0 || st.st_size < 0) {
+      ::close(fd);
+      return nullptr;
+    }
+    size_t size = static_cast<size_t>(st.st_size);
+    if (size == 0) {
+      // mmap(0) is EINVAL; an empty file can never verify, report it as an
+      // open failure and let the store treat it as corrupt via size checks.
+      ::close(fd);
+      blob->size_ = 0;
+      blob->data_ = reinterpret_cast<const uint8_t*>(&blob->size_);  // non-null
+      return blob;
+    }
+    void* m = mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);  // the mapping keeps the inode alive
+    if (m != MAP_FAILED) {
+      blob->data_ = static_cast<const uint8_t*>(m);
+      blob->size_ = size;
+      blob->mapped_ = true;
+      return blob;
+    }
+    // fall through to the read() path
+  }
+#endif
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return nullptr;
+  blob->fallback_.assign(std::istreambuf_iterator<char>(in),
+                         std::istreambuf_iterator<char>());
+  if (in.bad()) return nullptr;
+  blob->data_ = blob->fallback_.data();
+  blob->size_ = blob->fallback_.size();
+  // An empty fallback buffer has a null data(); keep it non-null so callers
+  // can form (ptr, 0) ranges safely.
+  if (blob->data_ == nullptr) {
+    blob->data_ = reinterpret_cast<const uint8_t*>(&blob->size_);
+  }
+  return blob;
+}
+
+ArtifactStore::ArtifactStore(std::string root, uint64_t maxBytes)
+    : root_(std::move(root)), maxBytes_(maxBytes) {
+  if (root_.empty()) throw Error("artifact store: empty cache directory");
+  std::error_code ec;
+  fs::create_directories(root_, ec);
+  if (ec) {
+    throw Error("artifact store: cannot create cache directory '" + root_ +
+                "': " + ec.message());
+  }
+}
+
+std::string ArtifactStore::pathFor(const std::string& key) const {
+  if (!validKey(key)) {
+    throw Error("artifact store: malformed key '" + key + "' (want 64 hex chars)");
+  }
+  return root_ + "/" + key.substr(0, 2) + "/" + key + ".blob";
+}
+
+std::optional<LoadedBlob> ArtifactStore::load(const std::string& key,
+                                              bool* corruptOut) const {
+  const std::string path = pathFor(key);
+  if (corruptOut != nullptr) *corruptOut = false;
+  std::error_code ec;
+  if (!fs::exists(path, ec) || ec) {
+    count("artifact/miss");
+    return std::nullopt;
+  }
+  auto file = MappedBlob::open(path);
+  if (file == nullptr) {
+    // Vanished between the existence check and the open (eviction race):
+    // indistinguishable from a miss, and just as safe.
+    count("artifact/miss");
+    return std::nullopt;
+  }
+
+  // Verify the container before a single payload byte is trusted. Any
+  // failure here demotes the entry to a recompute — never a crash, never
+  // stale data served.
+  auto corrupt = [&](const char* why) -> std::optional<LoadedBlob> {
+    if (corruptOut != nullptr) *corruptOut = true;
+    count("artifact/corrupt");
+    logging::info("artifact cache: %s at %s, recomputing", why, path.c_str());
+    fs::remove(path, ec);  // best effort; a racing writer may have replaced it
+    return std::nullopt;
+  };
+  if (file->size() < kHeaderSize) return corrupt("truncated header");
+  const uint8_t* h = file->data();
+  if (std::memcmp(h, kMagic, sizeof(kMagic)) != 0) return corrupt("bad magic");
+  BlobReader header(h + sizeof(kMagic), kHeaderSize - sizeof(kMagic));
+  uint32_t version = header.u32();
+  (void)header.u32();  // reserved
+  uint64_t payloadSize = header.u64();
+  uint64_t checksum = header.u64();
+  if (version != kFormatVersion) return corrupt("format version mismatch");
+  if (payloadSize != file->size() - kHeaderSize) return corrupt("payload size mismatch");
+  const uint8_t* payload = h + kHeaderSize;
+  if (fnv1a64(payload, payloadSize) != checksum) return corrupt("checksum mismatch");
+
+  count("artifact/hit");
+  count("artifact/bytes", payloadSize);
+  LoadedBlob out;
+  out.file = std::move(file);
+  out.payload = payload;
+  out.size = static_cast<size_t>(payloadSize);
+  return out;
+}
+
+void ArtifactStore::store(const std::string& key,
+                          const std::vector<uint8_t>& payload) const {
+  const std::string path = pathFor(key);
+  std::error_code ec;
+  fs::create_directories(fs::path(path).parent_path(), ec);
+  if (ec) throw Error("artifact store: cannot create '" + path + "': " + ec.message());
+
+  // Unique temp name in the SAME directory (rename must not cross devices).
+  // pid + a process-local sequence keeps concurrent writers — threads and
+  // processes alike — off each other's temp files.
+  static std::atomic<uint64_t> seq{0};
+#if defined(__unix__) || defined(__APPLE__)
+  const auto pid = static_cast<unsigned long>(::getpid());
+#else
+  const auto pid = 0ul;
+#endif
+  const std::string tmp =
+      format("%s.tmp.%lu.%llu", path.c_str(), pid,
+             static_cast<unsigned long long>(seq.fetch_add(1)));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw Error("artifact store: cannot write '" + tmp + "'");
+    BlobWriter header;
+    header.u32(kFormatVersion);
+    header.u32(0);  // reserved
+    header.u64(payload.size());
+    header.u64(fnv1a64(payload.data(), payload.size()));
+    out.write(kMagic, sizeof(kMagic));
+    out.write(reinterpret_cast<const char*>(header.data().data()),
+              static_cast<std::streamsize>(header.data().size()));
+    out.write(reinterpret_cast<const char*>(payload.data()),
+              static_cast<std::streamsize>(payload.size()));
+    out.flush();
+    if (!out) {
+      fs::remove(tmp, ec);
+      throw Error("artifact store: short write to '" + tmp + "'");
+    }
+  }
+  // The atomic publish: a complete, checksummed file replaces whatever was
+  // at the final path in one step.
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    throw Error("artifact store: cannot publish '" + path + "': " + ec.message());
+  }
+  count("artifact/write");
+  if (maxBytes_ > 0) evictToFit();
+  if (telemetry::enabled()) {
+    telemetry::Registry::current().gauge("artifact/store_bytes")
+        .set(static_cast<double>(storeBytes()));
+  }
+}
+
+uint64_t ArtifactStore::storeBytes() const {
+  uint64_t total = 0;
+  std::error_code ec;
+  for (fs::recursive_directory_iterator it(root_, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (it->is_regular_file(ec) && !ec) {
+      total += static_cast<uint64_t>(it->file_size(ec));
+    }
+  }
+  return total;
+}
+
+void ArtifactStore::evictToFit() const {
+  if (maxBytes_ == 0) return;
+  struct Entry {
+    fs::file_time_type mtime;
+    std::string path;
+    uint64_t size;
+  };
+  std::vector<Entry> entries;
+  uint64_t total = 0;
+  std::error_code ec;
+  for (fs::recursive_directory_iterator it(root_, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (!it->is_regular_file(ec) || ec) continue;
+    uint64_t size = static_cast<uint64_t>(it->file_size(ec));
+    if (ec) continue;
+    auto mtime = it->last_write_time(ec);
+    if (ec) continue;
+    total += size;
+    entries.push_back({mtime, it->path().string(), size});
+  }
+  if (total <= maxBytes_) return;
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    if (a.mtime != b.mtime) return a.mtime < b.mtime;
+    return a.path < b.path;
+  });
+  uint64_t evicted = 0;
+  for (const Entry& e : entries) {
+    if (total <= maxBytes_) break;
+    if (!fs::remove(e.path, ec) || ec) continue;  // racing reader/evictor: fine
+    total -= e.size;
+    ++evicted;
+  }
+  if (evicted > 0) {
+    count("artifact/evict", evicted);
+    logging::info("artifact cache: evicted %llu entries to fit %llu bytes",
+                  static_cast<unsigned long long>(evicted),
+                  static_cast<unsigned long long>(maxBytes_));
+  }
+}
+
+}  // namespace skope::artifact

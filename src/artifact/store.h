@@ -1,0 +1,125 @@
+// Persistent content-addressed artifact store (compile-once, serve-many).
+//
+// Layout: one file per entry, `<root>/<k[0:2]>/<key>.blob`, where `key` is a
+// 64-hex-char SHA-256 content address (see cache.h for the derivation). The
+// two-char fan-out keeps directories small under large corpora.
+//
+// Container format (everything after it is the section payload):
+//
+//   offset  size  field
+//   0       8     magic "SKOPEAR1"
+//   8       4     format version (little-endian u32, kFormatVersion)
+//   12      4     reserved, zero
+//   16      8     payload size in bytes (u64)
+//   24      8     FNV-1a 64 checksum of the payload (u64)
+//   32      -     payload
+//
+// Concurrency contract:
+//   * Writers are atomic: the blob is written to a unique temp file in the
+//     same directory and rename(2)d over the final path. Two processes
+//     racing on one key both produce valid files with identical content
+//     (the key is a content address), and readers observe one of them —
+//     never a torn intermediate.
+//   * Eviction is unlink(2): a reader that already open(2)ed/mmap(2)ed the
+//     file keeps a consistent view (POSIX keeps the inode alive); a reader
+//     that arrives after the unlink sees a clean miss.
+//   * load() verifies magic, version, size and checksum before handing the
+//     payload out; any mismatch counts as artifact/corrupt, removes the bad
+//     file, and reports a miss so the caller recomputes.
+//
+// Telemetry (docs/OBSERVABILITY.md): artifact/hit, artifact/miss,
+// artifact/write, artifact/bytes (payload bytes served), artifact/evict,
+// artifact/corrupt counters plus the artifact/store_bytes gauge.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace skope::artifact {
+
+/// Store/blob format version. Bump on ANY change to the container or the
+/// section encodings: the version participates in key derivation AND is
+/// checked in the header, so old entries become clean misses, never
+/// misdecodes.
+constexpr uint32_t kFormatVersion = 1;
+
+/// An open artifact file: mmap(2)ed read-only where available, with a plain
+/// read(2)-into-buffer fallback (non-POSIX builds, mmap failure, or the
+/// SKOPE_ARTIFACT_NO_MMAP=1 escape hatch for testing the fallback). Either
+/// way data() is a stable buffer for the object's lifetime, so consumers can
+/// keep zero-copy views into it via shared ownership.
+class MappedBlob {
+ public:
+  ~MappedBlob();
+  MappedBlob(const MappedBlob&) = delete;
+  MappedBlob& operator=(const MappedBlob&) = delete;
+
+  /// Opens and maps `path`; nullptr when the file cannot be opened or read.
+  static std::shared_ptr<const MappedBlob> open(const std::string& path);
+
+  [[nodiscard]] const uint8_t* data() const { return data_; }
+  [[nodiscard]] size_t size() const { return size_; }
+  [[nodiscard]] bool mapped() const { return mapped_; }
+
+ private:
+  MappedBlob() = default;
+
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+  bool mapped_ = false;               ///< true: munmap on destruction
+  std::vector<uint8_t> fallback_;     ///< owns the bytes on the read() path
+};
+
+/// A verified load: `payload` points at the checksummed section bytes inside
+/// `file`, which keeps the mapping alive (hand `file` to anything that keeps
+/// zero-copy views, e.g. trace::MemoryTrace::backing).
+struct LoadedBlob {
+  std::shared_ptr<const MappedBlob> file;
+  const uint8_t* payload = nullptr;
+  size_t size = 0;
+};
+
+class ArtifactStore {
+ public:
+  /// Creates `root` (and fan-out subdirectories on demand). `maxBytes` > 0
+  /// caps the store: every write runs an LRU eviction pass (see evictToFit).
+  explicit ArtifactStore(std::string root, uint64_t maxBytes = 0);
+
+  /// Loads and verifies the entry for `key` (64 hex chars). Returns nullopt
+  /// on miss or on any verification failure (counted as artifact/corrupt,
+  /// bad file removed). `corruptOut`, when non-null, is set true iff the
+  /// entry existed but failed verification — callers surface the difference
+  /// in provenance ("miss" vs "corrupt:recomputed").
+  [[nodiscard]] std::optional<LoadedBlob> load(const std::string& key,
+                                               bool* corruptOut = nullptr) const;
+
+  /// Writes `payload` under `key` via temp file + atomic rename, then (when
+  /// size-capped) runs an eviction pass. Const: only the disk mutates, so
+  /// concurrent callers (sweep workers sharing one cache) are safe.
+  void store(const std::string& key, const std::vector<uint8_t>& payload) const;
+
+  /// Total bytes currently on disk under the root (also published as the
+  /// artifact/store_bytes gauge).
+  [[nodiscard]] uint64_t storeBytes() const;
+
+  /// LRU eviction pass: while the store exceeds maxBytes, unlinks entries
+  /// oldest-mtime-first (ties broken by path for determinism). Counted as
+  /// artifact/evict per removed entry. No-op when maxBytes == 0.
+  void evictToFit() const;
+
+  [[nodiscard]] const std::string& root() const { return root_; }
+  [[nodiscard]] uint64_t maxBytes() const { return maxBytes_; }
+
+  /// The on-disk path an entry for `key` lives at (exposed for tests and the
+  /// bad-blob corpus, which plants hostile files directly).
+  [[nodiscard]] std::string pathFor(const std::string& key) const;
+
+ private:
+  std::string root_;
+  uint64_t maxBytes_ = 0;
+};
+
+}  // namespace skope::artifact

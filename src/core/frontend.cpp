@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "artifact/cache.h"
 #include "bet/builder.h"
 #include "core/framework.h"
 #include "minic/parser.h"
@@ -22,6 +23,12 @@ WorkloadFrontend::WorkloadFrontend(std::string name, std::string source,
                                    const FrontendOptions& options)
     : name_(std::move(name)), params_(std::move(params)), seed_(seed) {
   SKOPE_SPAN("frontend/build");
+  // The content address is computed unconditionally (it hashes kilobytes of
+  // source, once) so the sweep can key reuse-distance histograms off it even
+  // when the front-end blob itself was a miss.
+  artifactKey_ = artifact::ArtifactCache::frontendKey(
+      source, params_, seed_, options.maxOps, options.recordTrace,
+      options.traceMaxRefs);
   {
     SKOPE_SPAN("frontend/parse");
     prog_ = minic::parseProgram(source, name_);
@@ -40,10 +47,23 @@ WorkloadFrontend::WorkloadFrontend(std::string name, std::string source,
     mod_ = vm::compile(*prog_);
   }
 
-  // The one profiling run. When trace recording is on, the TraceRecorder
-  // rides along on the same run via TeeTracer — the sweep's replay fast
-  // path costs no extra execution here.
-  {
+  // The one profiling run — unless the artifact cache already holds this
+  // key's profile + trace, in which case the run is skipped entirely (the
+  // warm fast path; the restored trace is a zero-copy view into the blob).
+  // When trace recording is on, the TraceRecorder rides along on the same
+  // run via TeeTracer — the sweep's replay fast path costs no extra
+  // execution here.
+  bool restored = false;
+  if (options.artifacts != nullptr) {
+    artifact::Outcome outcome = artifact::Outcome::kMiss;
+    if (auto cached = options.artifacts->loadFrontend(artifactKey_, &outcome)) {
+      profile_ = std::move(cached->profile);
+      trace_ = std::move(cached->trace);
+      restored = true;
+    }
+    artifactProvenance_ = artifact::outcomeName(outcome);
+  }
+  if (!restored) {
     SKOPE_SPAN("frontend/profile");
     if (options.recordTrace) {
       trace::TraceRecorder recorder(options.traceMaxRefs);
@@ -53,6 +73,9 @@ WorkloadFrontend::WorkloadFrontend(std::string name, std::string source,
     } else {
       profile_ = vm::profileRun(mod_, params_, seed_, nullptr, options.maxOps, nullptr,
                                 options.cancel);
+    }
+    if (options.artifacts != nullptr) {
+      options.artifacts->storeFrontend(artifactKey_, profile_, trace_);
     }
   }
 

@@ -28,6 +28,10 @@
 #include "vm/profile.h"
 #include "workloads/workloads.h"
 
+namespace skope::artifact {
+class ArtifactCache;
+}
+
 namespace skope::core {
 
 /// Knobs for the front-end's single profiling run.
@@ -45,6 +49,11 @@ struct FrontendOptions {
   /// Cooperative cancellation for the profiling run (--deadline-ms): the
   /// VM polls it every ~64K dynamic instructions and throws CancelledError.
   CancelToken cancel{};
+  /// Persistent artifact cache (borrowed; --artifact-cache). When set, the
+  /// profiling run is skipped on a key hit — profile and trace are restored
+  /// from the store (the trace as a zero-copy view into the mapped blob) —
+  /// and stored after a miss. See docs/ARTIFACTS.md.
+  const artifact::ArtifactCache* artifacts = nullptr;
 };
 
 class WorkloadFrontend {
@@ -79,6 +88,16 @@ class WorkloadFrontend {
   /// tables (roofline::BetAnnotations), never in these nodes.
   [[nodiscard]] const bet::Bet& bet() const { return bet_; }
 
+  /// This build's artifact content address (computed whether or not a cache
+  /// was configured — the sweep reuses it to key reuse-distance histograms).
+  [[nodiscard]] const std::string& artifactKey() const { return artifactKey_; }
+
+  /// How the build interacted with the artifact cache: "off", "hit",
+  /// "miss:stored", or "corrupt:recomputed" (artifact::outcomeName).
+  [[nodiscard]] const std::string& artifactProvenance() const {
+    return artifactProvenance_;
+  }
+
   /// Builds a private mutable copy of the BET (same skeleton, same input
   /// binding) for callers that use the in-place annotating estimator.
   [[nodiscard]] bet::Bet buildPrivateBet() const;
@@ -97,6 +116,8 @@ class WorkloadFrontend {
   vm::ProfileData profile_;
   trace::MemoryTrace trace_;
   bet::Bet bet_;
+  std::string artifactKey_;
+  std::string artifactProvenance_ = "off";
 };
 
 /// Resolves `target` as a bundled workload name (case-insensitive) or a

@@ -5,6 +5,7 @@
 #include <exception>
 #include <unordered_map>
 
+#include "artifact/cache.h"
 #include "support/diagnostics.h"
 #include "support/faultinject.h"
 #include "support/text.h"
@@ -167,6 +168,10 @@ SweepResult runSweep(const core::WorkloadFrontend& frontend,
   // trace serves every config. Histograms for every line size on the grid
   // are computed here, before the fan-out, so workers never contend on the
   // analyzer's lazy cache.
+  // Histogram persistence: when an artifact cache is configured, the cache
+  // model's analyzer loads/stores per-line-size histograms under the
+  // front-end's content address. The hook must outlive the model.
+  std::unique_ptr<trace::ReuseCacheHook> reuseHook;
   std::optional<trace::CacheModel> cacheModel;
   if (wantReuseDist) {
     SKOPE_SPAN("sweep/prepare-cache-model");
@@ -190,9 +195,9 @@ SweepResult runSweep(const core::WorkloadFrontend& frontend,
       overBudget = mt.truncated ? "trace truncated at its reference cap"
                                 : "trace recorded no references";
     } else if (options.traceBudgetBytes > 0 &&
-               mt.stream.size() > options.traceBudgetBytes) {
+               mt.sizeBytes() > options.traceBudgetBytes) {
       overBudget = format("trace is %zu bytes, over the %llu-byte budget",
-                          mt.stream.size(),
+                          mt.sizeBytes(),
                           static_cast<unsigned long long>(options.traceBudgetBytes));
     } else if (options.replayBudgetOps > 0 && mt.recordedRefs > options.replayBudgetOps) {
       overBudget = format("trace has %llu refs to replay, over the %llu-op budget",
@@ -203,7 +208,10 @@ SweepResult runSweep(const core::WorkloadFrontend& frontend,
       try {
         SKOPE_FAULT_POINT("cachemodel/dispatch",
                           throw Error("fault injected: cachemodel/dispatch"));
-        cacheModel.emplace(mt, options.threads, options.cancel);
+        if (options.artifacts != nullptr) {
+          reuseHook = options.artifacts->makeReuseHook(frontend.artifactKey());
+        }
+        cacheModel.emplace(mt, options.threads, options.cancel, reuseHook.get());
         cacheModel->prepare(configs);
         backendOpts.cacheModel = &*cacheModel;
         backendOpts.traceInformedRoofline = rooflineFromPrediction;

@@ -19,6 +19,10 @@
 #include "core/backend.h"
 #include "machine/grid.h"
 
+namespace skope::artifact {
+class ArtifactCache;
+}
+
 namespace skope::sweep {
 
 /// Which roofline back-end evaluates the grid.
@@ -120,6 +124,12 @@ struct SweepOptions {
   /// an unusable trace still throws (the historical contract).
   uint64_t traceBudgetBytes = 0;
   uint64_t replayBudgetOps = 0;
+  /// Persistent artifact cache (borrowed; --artifact-cache). A reuse-dist
+  /// sweep keyed through it loads previously computed reuse-distance
+  /// histograms instead of paying the O(N log N) stack-distance pass, and
+  /// stores freshly computed ones. Pair with FrontendOptions::artifacts so
+  /// the profiling run is skipped too (docs/ARTIFACTS.md).
+  const artifact::ArtifactCache* artifacts = nullptr;
 };
 
 /// What the sweep keeps per machine config (a deliberately flat, printable

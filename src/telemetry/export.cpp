@@ -373,6 +373,14 @@ std::string selfHotSpotMarkdown(const Registry& reg) {
                     static_cast<unsigned long long>(v));
     }
   }
+  // Gauges too: point-in-time figures like artifact/store_bytes (the
+  // artifact cache's on-disk footprint) belong in the same summary.
+  if (!snap.gauges.empty()) {
+    out += "\n### Gauges\n\n| gauge | value |\n|:------|------:|\n";
+    for (const auto& [name, v] : snap.gauges) {
+      out += format("| %s | %s |\n", name.c_str(), jsonNumber(v).c_str());
+    }
+  }
   if (!snap.histograms.empty()) {
     out += "\n### Histogram percentiles\n\n";
     out += "| histogram | count | p50 | p90 | p99 | max |\n";

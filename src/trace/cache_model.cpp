@@ -51,8 +51,11 @@ double expectedMisses(const RegionHistogram& rh, uint32_t sets, uint32_t assoc) 
 
 }  // namespace
 
-CacheModel::CacheModel(const MemoryTrace& trace, int histogramThreads, CancelToken cancel)
-    : analyzer_(trace, histogramThreads, cancel), cancel_(std::move(cancel)) {}
+CacheModel::CacheModel(const MemoryTrace& trace, int histogramThreads, CancelToken cancel,
+                       ReuseCacheHook* hook)
+    : analyzer_(trace, histogramThreads, cancel, hook),
+      cancel_(std::move(cancel)),
+      hook_(hook) {}
 
 bool CacheModel::usesExactReplay(const CacheLevelDesc& level) {
   return cacheGeometry(level).numSets <= kExactSetLimit;
@@ -67,6 +70,30 @@ void CacheModel::ensureExact(const std::vector<CacheLevelDesc>& levels) const {
     bool queued = false;
     for (const auto& m : missing) queued = queued || m.first == key;
     if (!queued) missing.emplace_back(key, lvl);
+  }
+  // Persisted replays short-circuit the decode pass per geometry: the
+  // replay is a pure function of (trace, geometry), so a stored result
+  // whose reference count matches the trace is the result. A mismatched or
+  // partial entry is recomputed, never trusted.
+  if (hook_ != nullptr && !missing.empty()) {
+    std::vector<std::pair<LevelKey, CacheLevelDesc>> stillMissing;
+    for (const auto& [key, lvl] : missing) {
+      auto loaded = hook_->loadExactReplay(lvl.sizeBytes, lvl.lineBytes, lvl.assoc);
+      if (loaded != nullptr && loaded->refsTotal == analyzer_.trace().recordedRefs &&
+          loaded->regionMisses.size() <= loaded->refsByRegion.size()) {
+        ExactLevel level;
+        level.regionMisses = std::move(loaded->regionMisses);
+        for (double m : level.regionMisses) level.misses += m;
+        exact_.emplace(key, std::move(level));
+        if (refsByRegion_.empty()) {
+          refsByRegion_ = std::move(loaded->refsByRegion);
+          refsTotal_ = loaded->refsTotal;
+        }
+      } else {
+        stillMissing.emplace_back(key, lvl);
+      }
+    }
+    missing = std::move(stillMissing);
   }
   if (missing.empty()) return;
 
@@ -103,6 +130,16 @@ void CacheModel::ensureExact(const std::vector<CacheLevelDesc>& levels) const {
     ExactLevel level;
     level.regionMisses = std::move(misses[i]);
     for (double m : level.regionMisses) level.misses += m;
+    if (hook_ != nullptr) {
+      ExactReplayArtifact art;
+      art.sizeBytes = missing[i].second.sizeBytes;
+      art.lineBytes = missing[i].second.lineBytes;
+      art.assoc = missing[i].second.assoc;
+      art.regionMisses = level.regionMisses;
+      art.refsByRegion = refsByRegion_;
+      art.refsTotal = refsTotal_;
+      hook_->storeExactReplay(art);
+    }
     exact_.emplace(missing[i].first, std::move(level));
   }
 }

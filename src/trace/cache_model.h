@@ -72,9 +72,13 @@ class CacheModel {
   /// via ReuseDistanceAnalyzer). `histogramThreads` > 1 shards the
   /// analyzer's per-region histogram construction (see ReuseDistanceAnalyzer);
   /// predictions are identical for any value. `cancel` interrupts the
-  /// histogram pass and the replay decode pass with CancelledError.
+  /// histogram pass and the replay decode pass with CancelledError. `hook`
+  /// (borrowed, may be null; must outlive the model) persists computed
+  /// histograms AND exact-replay miss counts through the artifact cache, so
+  /// a warm sweep pays neither the O(N log N) histogram pass nor the O(N)
+  /// per-geometry replay decode.
   explicit CacheModel(const MemoryTrace& trace, int histogramThreads = 1,
-                      CancelToken cancel = {});
+                      CancelToken cancel = {}, ReuseCacheHook* hook = nullptr);
 
   /// Predicts hit rates for `machine`'s L1 + LLC geometry. The first call
   /// for a new line size pays the O(N log N) histogram pass; further calls
@@ -111,6 +115,7 @@ class CacheModel {
 
   ReuseDistanceAnalyzer analyzer_;
   CancelToken cancel_;
+  ReuseCacheHook* hook_ = nullptr;  ///< also persists exact-replay results
   mutable std::mutex mu_;
   mutable std::map<LevelKey, ExactLevel> exact_;
   mutable std::vector<uint64_t> refsByRegion_;  ///< filled by the first replay pass

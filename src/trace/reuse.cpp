@@ -35,8 +35,8 @@ class Fenwick {
 }  // namespace
 
 ReuseDistanceAnalyzer::ReuseDistanceAnalyzer(const MemoryTrace& trace, int threads,
-                                             CancelToken cancel)
-    : trace_(trace), threads_(threads), cancel_(std::move(cancel)) {
+                                             CancelToken cancel, ReuseCacheHook* hook)
+    : trace_(trace), threads_(threads), cancel_(std::move(cancel)), hook_(hook) {
   if (!trace.usable()) {
     throw Error(trace.truncated
                     ? "reuse-distance analysis needs a complete trace, but this one "
@@ -53,6 +53,20 @@ const ReuseHistograms& ReuseDistanceAnalyzer::histograms(uint32_t lineBytes) con
   std::lock_guard<std::mutex> lock(mu_);
   auto it = cache_.find(lineBytes);
   if (it != cache_.end()) return *it->second;
+
+  // Persisted histograms skip the O(N log N) walk entirely. Trust a loaded
+  // entry only if it matches this trace's reference count — the artifact key
+  // already binds it to the trace, but the check costs nothing and converts
+  // any residual mismatch into a recompute rather than wrong predictions.
+  if (hook_ != nullptr) {
+    if (auto loaded = hook_->load(lineBytes);
+        loaded != nullptr && loaded->lineBytes == lineBytes &&
+        loaded->totalRefs == trace_.recordedRefs) {
+      const ReuseHistograms& ref = *loaded;
+      cache_.emplace(lineBytes, std::move(loaded));
+      return ref;
+    }
+  }
 
   uint32_t wordShift = 0;
   for (uint32_t v = lineBytes / 8; v > 1; v >>= 1) ++wordShift;
@@ -134,6 +148,7 @@ const ReuseHistograms& ReuseDistanceAnalyzer::histograms(uint32_t lineBytes) con
     }
   }
 
+  if (hook_ != nullptr) hook_->store(*out);
   const ReuseHistograms& ref = *out;
   cache_.emplace(lineBytes, std::move(out));
   return ref;

@@ -51,6 +51,48 @@ struct ReuseHistograms {
   uint64_t totalCold = 0;                ///< distinct lines touched
 };
 
+/// Exact per-set LRU replay results for one small-set cache geometry (the
+/// CacheModel's exact tier, see trace/cache_model.h). Machine independent
+/// given (trace, geometry) — the replay is a pure function of the recorded
+/// stream — so it is persistable under the front-end's content address just
+/// like the histograms. refsByRegion / refsTotal ride along because the
+/// replay pass is also where the model counts per-region references.
+struct ExactReplayArtifact {
+  uint64_t sizeBytes = 0;   ///< level capacity in bytes
+  uint32_t lineBytes = 0;   ///< line size in bytes
+  uint32_t assoc = 0;       ///< ways
+  std::vector<double> regionMisses;    ///< exact misses, indexed by region id
+  std::vector<uint64_t> refsByRegion;  ///< references issued, by region id
+  uint64_t refsTotal = 0;              ///< sum of refsByRegion
+};
+
+/// Persistence hook for the trace layer's two expensive derived results:
+/// reuse-distance histograms and exact-replay miss counts. Implemented by
+/// the artifact cache (src/artifact/cache.h) and declared here so the trace
+/// layer stays independent of the artifact layer. Implementations must be
+/// internally thread-safe and must swallow their own I/O failures: loads
+/// return nullptr on miss OR error, stores are best-effort.
+class ReuseCacheHook {
+ public:
+  virtual ~ReuseCacheHook() = default;
+
+  /// The persisted histograms for `lineBytes`, or nullptr on miss/error.
+  [[nodiscard]] virtual std::unique_ptr<ReuseHistograms> load(uint32_t lineBytes) = 0;
+
+  /// Persists freshly computed histograms (best-effort).
+  virtual void store(const ReuseHistograms& h) = 0;
+
+  /// The persisted exact-replay result for one geometry, or nullptr on
+  /// miss/error. Default: always a miss (histogram-only implementations).
+  [[nodiscard]] virtual std::unique_ptr<ExactReplayArtifact> loadExactReplay(
+      uint64_t /*sizeBytes*/, uint32_t /*lineBytes*/, uint32_t /*assoc*/) {
+    return nullptr;
+  }
+
+  /// Persists a freshly replayed geometry (best-effort). Default: drop.
+  virtual void storeExactReplay(const ExactReplayArtifact& /*e*/) {}
+};
+
 /// Computes exact per-region stack-distance histograms from a recorded
 /// trace. Histograms depend only on the line granularity, so they are
 /// computed once per distinct line size and cached; the cache is guarded by
@@ -65,8 +107,13 @@ class ReuseDistanceAnalyzer {
   /// distance depends on the globally interleaved stream. Output is
   /// identical for any thread count. `cancel` interrupts the Fenwick walk
   /// and the shard tasks with CancelledError at ~64K-ref granularity.
+  /// A non-null `hook` (borrowed; must outlive the analyzer) is consulted
+  /// before each Fenwick walk and fed afterwards, so persisted histograms
+  /// skip the O(N log N) pass entirely. A loaded result is trusted only if
+  /// its totalRefs matches the trace — a mismatched entry is recomputed.
   explicit ReuseDistanceAnalyzer(const MemoryTrace& trace, int threads = 1,
-                                 CancelToken cancel = {});
+                                 CancelToken cancel = {},
+                                 ReuseCacheHook* hook = nullptr);
 
   /// Histograms at `lineBytes` granularity (power of two, >= 8).
   const ReuseHistograms& histograms(uint32_t lineBytes) const;
@@ -77,6 +124,7 @@ class ReuseDistanceAnalyzer {
   const MemoryTrace& trace_;
   int threads_ = 1;
   CancelToken cancel_;
+  ReuseCacheHook* hook_ = nullptr;
   mutable std::mutex mu_;
   mutable std::map<uint32_t, std::unique_ptr<ReuseHistograms>> cache_;
 };

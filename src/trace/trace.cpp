@@ -42,8 +42,8 @@ void MemoryTrace::forEachRef(const std::function<void(uint32_t, uint64_t)>& fn) 
   // its region id explicitly.
   std::map<uint32_t, uint64_t> lastWordByRegion;
   uint32_t region = ~0u;
-  const uint8_t* p = stream.data();
-  const uint8_t* end = p + stream.size();
+  const uint8_t* p = data();
+  const uint8_t* end = p + sizeBytes();
   while (p < end) {
     uint64_t header = getVarint(p);
     if (header & 1) region = static_cast<uint32_t>(getVarint(p));

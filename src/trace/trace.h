@@ -33,6 +33,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "vm/interp.h"
@@ -43,10 +44,27 @@ namespace skope::trace {
 constexpr uint64_t kDefaultMaxRefs = 64ull << 20;
 
 /// The captured characterization of one profiling run.
+///
+/// The encoded stream lives either in `stream` (a freshly recorded trace
+/// owns its bytes) or — when the trace was restored from the artifact cache
+/// — as a zero-copy `view` into an mmap(2)ed blob kept alive by `backing`.
+/// Consumers must read the stream through data()/sizeBytes(), which resolve
+/// to whichever storage is active; copies of the trace share the backing.
 struct MemoryTrace {
-  std::vector<uint8_t> stream;   ///< delta-encoded reference records
+  std::vector<uint8_t> stream;   ///< delta-encoded reference records (owned)
+  std::shared_ptr<const void> backing;  ///< keeps a cache blob's mapping alive
+  const uint8_t* view = nullptr; ///< when non-null, the stream lives here
+  size_t viewSize = 0;           ///< byte length of `view`
+
+  [[nodiscard]] const uint8_t* data() const {
+    return view != nullptr ? view : stream.data();
+  }
+  [[nodiscard]] size_t sizeBytes() const {
+    return view != nullptr ? viewSize : stream.size();
+  }
+
   uint64_t numRefs = 0;          ///< references observed (loads + stores)
-  uint64_t recordedRefs = 0;     ///< references actually in `stream`
+  uint64_t recordedRefs = 0;     ///< references actually in the stream
   bool truncated = false;        ///< numRefs exceeded the recorder's cap
 
   /// Branch mispredictions per region under a 2-bit per-site predictor

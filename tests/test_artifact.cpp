@@ -1,0 +1,734 @@
+// Artifact-cache contracts (docs/ARTIFACTS.md):
+//   1. the blob primitives round-trip and the reader rejects every overrun,
+//   2. SHA-256 / FNV-1a match their published test vectors,
+//   3. the front-end key moves with every input that determines the bytes,
+//   4. profile + trace + histograms round-trip exactly, the trace as a
+//      zero-copy view into the blob,
+//   5. corruption of ANY kind (including the checked-in hostile corpus in
+//      tests/bad_inputs/artifact_*.blob) falls back to recompute with the
+//      artifact/corrupt counter bumped and the bad entry removed,
+//   6. concurrent same-key writers converge to one valid entry and a reader
+//      racing the evictor never observes a torn blob,
+//   7. the size cap evicts oldest-first,
+//   8. a warm front-end build equals its cold build and a warm sweep report
+//      is byte-identical to the cold one at any thread count.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "artifact/blob.h"
+#include "artifact/cache.h"
+#include "artifact/sha256.h"
+#include "artifact/store.h"
+#include "core/frontend.h"
+#include "support/diagnostics.h"
+#include "support/text.h"
+#include "sweep/report.h"
+#include "sweep/sweep.h"
+#include "telemetry/telemetry.h"
+#include "trace/cache_model.h"
+#include "trace/reuse.h"
+#include "trace/trace.h"
+#include "vm/interp.h"
+#include "vm/profile.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace skope::artifact {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh store directory per test, removed on destruction.
+struct TempDir {
+  std::string path;
+  TempDir() {
+    static std::atomic<uint64_t> seq{0};
+    path = (fs::temp_directory_path() /
+            format("skope-artifact-test-%d-%llu", static_cast<int>(::getpid()),
+                   static_cast<unsigned long long>(seq.fetch_add(1))))
+               .string();
+    fs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+};
+
+uint64_t counterValue(const char* name) {
+  auto snap = telemetry::Registry::global().metrics();
+  auto it = snap.counters.find(name);
+  return it == snap.counters.end() ? 0 : it->second;
+}
+
+class ArtifactTelemetry : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    telemetry::Registry::global().clear();
+    telemetry::Registry::global().setEnabled(true);
+  }
+  void TearDown() override {
+    telemetry::Registry::global().setEnabled(false);
+    telemetry::Registry::global().clear();
+  }
+};
+
+/// A syntactically valid 64-hex key for store-level tests.
+std::string testKey(char fill = 'a') { return std::string(64, fill); }
+
+trace::MemoryTrace makeTrace(const std::vector<std::pair<uint32_t, uint64_t>>& refs,
+                             uint64_t maxRefs = trace::kDefaultMaxRefs) {
+  trace::TraceRecorder rec(maxRefs);
+  for (const auto& [region, addr] : refs) rec.onLoad(region, addr);
+  vm::Module empty;
+  vm::Vm vm(empty);
+  return rec.finish(vm);
+}
+
+vm::ProfileData makeProfile() {
+  vm::ProfileData p;
+  p.branchSites[3] = {40, 50};
+  p.branchSites[9] = {0, 7};
+  p.libCalls[{2, 1}] = 11;
+  p.libCalls[{5, 0}] = 3;
+  p.calls[{2, 4}] = 19;
+  p.opCounters.reset(3);
+  for (size_t i = 0; i < p.opCounters.flat.size(); ++i) {
+    p.opCounters.flat[i] = i * 17 + 1;
+  }
+  return p;
+}
+
+std::vector<std::pair<uint32_t, uint64_t>> strideRefs(size_t n) {
+  std::vector<std::pair<uint32_t, uint64_t>> refs;
+  refs.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    refs.emplace_back(static_cast<uint32_t>(i % 3 + 1), (i * 24) % 4096);
+  }
+  return refs;
+}
+
+void expectHistogramsEqual(const trace::ReuseHistograms& a,
+                           const trace::ReuseHistograms& b) {
+  EXPECT_EQ(a.lineBytes, b.lineBytes);
+  EXPECT_EQ(a.totalRefs, b.totalRefs);
+  EXPECT_EQ(a.totalCold, b.totalCold);
+  ASSERT_EQ(a.regions.size(), b.regions.size());
+  for (size_t i = 0; i < a.regions.size(); ++i) {
+    EXPECT_EQ(a.regions[i].region, b.regions[i].region);
+    EXPECT_EQ(a.regions[i].coldRefs, b.regions[i].coldRefs);
+    EXPECT_EQ(a.regions[i].totalRefs, b.regions[i].totalRefs);
+    EXPECT_EQ(a.regions[i].dist, b.regions[i].dist);
+  }
+}
+
+// ---------------------------------------------------------------- primitives
+
+TEST(Sha256, MatchesPublishedVectors) {
+  EXPECT_EQ(sha256Hex(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(sha256Hex("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(sha256Hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+  // Incremental updates hash identically to one-shot.
+  Sha256 h;
+  h.update("ab");
+  h.update("c");
+  EXPECT_EQ(h.hex(), sha256Hex("abc"));
+}
+
+TEST(Fnv1a64, MatchesPublishedVectors) {
+  EXPECT_EQ(fnv1a64(nullptr, 0), 0xcbf29ce484222325ull);
+  const uint8_t a[] = {'a'};
+  EXPECT_EQ(fnv1a64(a, 1), 0xaf63dc4c8601ec8cull);
+}
+
+TEST(Blob, PrimitivesRoundTrip) {
+  BlobWriter w;
+  w.u8(0xab);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefull);
+  w.f64(-1.5e300);
+  w.varint(0);
+  w.varint(300);
+  w.varint(UINT64_MAX);
+  w.str("hello");
+  BlobWriter inner;
+  inner.u32(7);
+  w.bytes(inner.data().data(), inner.data().size());
+
+  BlobReader r(w.data().data(), w.data().size());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefull);
+  EXPECT_EQ(r.f64(), -1.5e300);
+  EXPECT_EQ(r.varint(), 0u);
+  EXPECT_EQ(r.varint(), 300u);
+  EXPECT_EQ(r.varint(), UINT64_MAX);
+  EXPECT_EQ(r.str(), "hello");
+  BlobReader sub = r.section();
+  EXPECT_EQ(sub.u32(), 7u);
+  sub.expectEnd();
+  r.expectEnd();
+}
+
+TEST(Blob, ReaderRejectsEveryOverrun) {
+  BlobWriter w;
+  w.u32(42);
+  BlobReader r(w.data().data(), w.data().size());
+  (void)r.u32();
+  EXPECT_THROW(r.u8(), Error);   // past the end
+  EXPECT_THROW(r.u64(), Error);
+
+  // Length prefix larger than the remaining payload.
+  BlobWriter w2;
+  w2.varint(1000);
+  w2.u8(1);
+  BlobReader r2(w2.data().data(), w2.data().size());
+  EXPECT_THROW(r2.bytes(), Error);
+
+  // A varint that never terminates within 64 bits.
+  std::vector<uint8_t> runaway(11, 0x80);
+  BlobReader r3(runaway.data(), runaway.size());
+  EXPECT_THROW(r3.varint(), Error);
+
+  // Trailing bytes after a decode that believed it was done.
+  BlobWriter w4;
+  w4.u8(1);
+  w4.u8(2);
+  BlobReader r4(w4.data().data(), w4.data().size());
+  (void)r4.u8();
+  EXPECT_THROW(r4.expectEnd(), Error);
+}
+
+// ---------------------------------------------------------------------- keys
+
+TEST(FrontendKey, MovesWithEveryInput) {
+  const std::map<std::string, double> params{{"N", 64.0}, {"STEPS", 2.0}};
+  std::string base = ArtifactCache::frontendKey("src", params, 1, 0, true, 100);
+  EXPECT_EQ(base.size(), 64u);
+  EXPECT_EQ(base, ArtifactCache::frontendKey("src", params, 1, 0, true, 100));
+
+  EXPECT_NE(base, ArtifactCache::frontendKey("src2", params, 1, 0, true, 100));
+  EXPECT_NE(base, ArtifactCache::frontendKey("src", {{"N", 65.0}, {"STEPS", 2.0}},
+                                             1, 0, true, 100));
+  EXPECT_NE(base, ArtifactCache::frontendKey("src", {{"N", 64.0}}, 1, 0, true, 100));
+  EXPECT_NE(base, ArtifactCache::frontendKey("src", params, 2, 0, true, 100));
+  EXPECT_NE(base, ArtifactCache::frontendKey("src", params, 1, 7, true, 100));
+  EXPECT_NE(base, ArtifactCache::frontendKey("src", params, 1, 0, false, 100));
+  EXPECT_NE(base, ArtifactCache::frontendKey("src", params, 1, 0, true, 101));
+}
+
+TEST(FrontendKey, EnvDirReflectsEnvironment) {
+  ::setenv("SKOPE_ARTIFACT_CACHE", "/tmp/some-cache", 1);
+  EXPECT_EQ(ArtifactCache::envDir(), "/tmp/some-cache");
+  ::unsetenv("SKOPE_ARTIFACT_CACHE");
+  EXPECT_EQ(ArtifactCache::envDir(), "");
+}
+
+// --------------------------------------------------------------------- store
+
+TEST_F(ArtifactTelemetry, StoreRoundTripsAndCounts) {
+  TempDir dir;
+  ArtifactStore store(dir.path);
+  std::vector<uint8_t> payload{1, 2, 3, 4, 5};
+
+  EXPECT_FALSE(store.load(testKey()).has_value());
+  EXPECT_EQ(counterValue("artifact/miss"), 1u);
+
+  store.store(testKey(), payload);
+  EXPECT_EQ(counterValue("artifact/write"), 1u);
+
+  auto loaded = store.load(testKey());
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size, payload.size());
+  EXPECT_EQ(std::vector<uint8_t>(loaded->payload, loaded->payload + loaded->size),
+            payload);
+  EXPECT_EQ(counterValue("artifact/hit"), 1u);
+  EXPECT_EQ(counterValue("artifact/bytes"), payload.size());
+  EXPECT_EQ(store.storeBytes(), payload.size() + 32);  // container header
+}
+
+TEST(ArtifactStore, RejectsMalformedKeys) {
+  TempDir dir;
+  ArtifactStore store(dir.path);
+  EXPECT_THROW(store.pathFor("short"), Error);
+  EXPECT_THROW(store.pathFor(std::string(64, 'G')), Error);   // not hex
+  EXPECT_THROW(store.pathFor("../" + std::string(61, 'a')), Error);
+}
+
+TEST_F(ArtifactTelemetry, ContainerCorruptionFallsBackToMiss) {
+  struct Case {
+    const char* name;
+    void (*mutate)(const std::string& path);
+  };
+  const Case cases[] = {
+      {"bad magic",
+       [](const std::string& p) {
+         std::fstream f(p, std::ios::in | std::ios::out | std::ios::binary);
+         f.seekp(0);
+         f.write("XXXX", 4);
+       }},
+      {"flipped payload byte",
+       [](const std::string& p) {
+         std::fstream f(p, std::ios::in | std::ios::out | std::ios::binary);
+         f.seekp(35);
+         f.put(static_cast<char>(0x5a));
+       }},
+      {"truncated file",
+       [](const std::string& p) { fs::resize_file(p, 33); }},
+      {"short header",
+       [](const std::string& p) { fs::resize_file(p, 10); }},
+      {"future format version",
+       [](const std::string& p) {
+         std::fstream f(p, std::ios::in | std::ios::out | std::ios::binary);
+         f.seekp(8);
+         f.put(static_cast<char>(0xee));  // version LSB
+       }},
+  };
+  for (const auto& c : cases) {
+    SCOPED_TRACE(c.name);
+    TempDir dir;
+    ArtifactStore store(dir.path);
+    store.store(testKey(), {10, 20, 30, 40, 50, 60});
+    const std::string path = store.pathFor(testKey());
+    c.mutate(path);
+    uint64_t corruptBefore = counterValue("artifact/corrupt");
+    bool corrupt = false;
+    EXPECT_FALSE(store.load(testKey(), &corrupt).has_value());
+    EXPECT_TRUE(corrupt);
+    EXPECT_EQ(counterValue("artifact/corrupt"), corruptBefore + 1);
+    EXPECT_FALSE(fs::exists(path)) << "corrupt entry must be removed";
+    // The slot is reusable: a rewrite serves hits again.
+    store.store(testKey(), {10, 20, 30, 40, 50, 60});
+    EXPECT_TRUE(store.load(testKey()).has_value());
+  }
+}
+
+TEST_F(ArtifactTelemetry, HostileCorpusBlobsAllFallBackToRecompute) {
+  // The checked-in corpus: hand-built containers covering every header
+  // failure plus a checksum-valid blob whose payload fails the strict
+  // section decode. Planted directly at a key's path, each must produce a
+  // clean recompute signal — corrupt counted, entry removed, no throw.
+  const char* corpus[] = {
+      "artifact_bad_magic.blob",      "artifact_version_999.blob",
+      "artifact_truncated.blob",      "artifact_bad_checksum.blob",
+      "artifact_garbage_payload.blob", "artifact_short_header.blob",
+  };
+  for (const char* file : corpus) {
+    SCOPED_TRACE(file);
+    TempDir dir;
+    ArtifactCache cache(dir.path);
+    const std::string key = testKey('b');
+    const std::string path = cache.store().pathFor(key);
+    fs::create_directories(fs::path(path).parent_path());
+    fs::copy_file(std::string(SKOPE_BAD_INPUTS_DIR) + "/" + file, path);
+    uint64_t corruptBefore = counterValue("artifact/corrupt");
+    Outcome outcome = Outcome::kOff;
+    EXPECT_FALSE(cache.loadFrontend(key, &outcome).has_value());
+    EXPECT_EQ(outcome, Outcome::kCorrupt);
+    EXPECT_EQ(counterValue("artifact/corrupt"), corruptBefore + 1);
+    EXPECT_FALSE(fs::exists(path));
+  }
+}
+
+// ------------------------------------------------------------ serialization
+
+TEST(ArtifactCacheRoundTrip, FrontendBlobRestoresProfileAndZeroCopyTrace) {
+  TempDir dir;
+  ArtifactCache cache(dir.path);
+  vm::ProfileData profile = makeProfile();
+  trace::MemoryTrace trace = makeTrace(strideRefs(500));
+  trace.mispredictsByRegion[1] = 12;
+  const std::string key = testKey('c');
+
+  cache.storeFrontend(key, profile, trace);
+  Outcome outcome = Outcome::kOff;
+  auto loaded = cache.loadFrontend(key, &outcome);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(outcome, Outcome::kHit);
+
+  EXPECT_EQ(loaded->profile.branchSites.size(), profile.branchSites.size());
+  EXPECT_EQ(loaded->profile.branchSites.at(3).takenCount, 40u);
+  EXPECT_EQ(loaded->profile.branchSites.at(3).total, 50u);
+  EXPECT_EQ(loaded->profile.libCalls, profile.libCalls);
+  EXPECT_EQ(loaded->profile.calls, profile.calls);
+  EXPECT_EQ(loaded->profile.opCounters.flat, profile.opCounters.flat);
+
+  EXPECT_EQ(loaded->trace.numRefs, trace.numRefs);
+  EXPECT_EQ(loaded->trace.recordedRefs, trace.recordedRefs);
+  EXPECT_EQ(loaded->trace.truncated, trace.truncated);
+  EXPECT_EQ(loaded->trace.dynamicInstrs, trace.dynamicInstrs);
+  EXPECT_EQ(loaded->trace.mispredictsByRegion, trace.mispredictsByRegion);
+
+  // Zero-copy contract: the loaded stream is a view into the blob's mapping
+  // (no owned bytes), same length, same decoded reference sequence.
+  EXPECT_NE(loaded->trace.view, nullptr);
+  EXPECT_TRUE(loaded->trace.stream.empty());
+  EXPECT_NE(loaded->trace.backing, nullptr);
+  ASSERT_EQ(loaded->trace.sizeBytes(), trace.sizeBytes());
+  std::vector<std::pair<uint32_t, uint64_t>> a, b;
+  trace.forEachRef([&](uint32_t r, uint64_t w) { a.emplace_back(r, w); });
+  loaded->trace.forEachRef([&](uint32_t r, uint64_t w) { b.emplace_back(r, w); });
+  EXPECT_EQ(a, b);
+
+  // The view must stay valid after the cache object is gone (backing holds
+  // the mapping) — copy out through it once more.
+  trace::MemoryTrace survivor = loaded->trace;
+  loaded.reset();
+  size_t n = 0;
+  survivor.forEachRef([&](uint32_t, uint64_t) { ++n; });
+  EXPECT_EQ(n, static_cast<size_t>(trace.recordedRefs));
+}
+
+TEST(ArtifactCacheRoundTrip, ReadFallbackMatchesMmap) {
+  TempDir dir;
+  ArtifactCache cache(dir.path);
+  vm::ProfileData profile = makeProfile();
+  trace::MemoryTrace trace = makeTrace(strideRefs(100));
+  const std::string key = testKey('d');
+  cache.storeFrontend(key, profile, trace);
+
+  ::setenv("SKOPE_ARTIFACT_NO_MMAP", "1", 1);
+  auto loaded = cache.loadFrontend(key);
+  ::unsetenv("SKOPE_ARTIFACT_NO_MMAP");
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->trace.recordedRefs, trace.recordedRefs);
+  std::vector<std::pair<uint32_t, uint64_t>> a, b;
+  trace.forEachRef([&](uint32_t r, uint64_t w) { a.emplace_back(r, w); });
+  loaded->trace.forEachRef([&](uint32_t r, uint64_t w) { b.emplace_back(r, w); });
+  EXPECT_EQ(a, b);
+}
+
+TEST(ArtifactCacheRoundTrip, HistogramsRoundTripExactly) {
+  TempDir dir;
+  ArtifactCache cache(dir.path);
+  trace::MemoryTrace trace = makeTrace(strideRefs(400));
+  trace::ReuseDistanceAnalyzer analyzer(trace);
+  const trace::ReuseHistograms& computed = analyzer.histograms(64);
+
+  const std::string key = testKey('e');
+  cache.storeHistograms(key, computed);
+  auto loaded = cache.loadHistograms(key, 64);
+  ASSERT_NE(loaded, nullptr);
+  expectHistogramsEqual(computed, *loaded);
+
+  // Different line size is a different content address: a miss.
+  EXPECT_EQ(cache.loadHistograms(key, 128), nullptr);
+  // And a different front-end key too.
+  EXPECT_EQ(cache.loadHistograms(testKey('f'), 64), nullptr);
+}
+
+// --------------------------------------------------------------------- hooks
+
+TEST_F(ArtifactTelemetry, AnalyzerHookServesPersistedHistograms) {
+  TempDir dir;
+  ArtifactCache cache(dir.path);
+  trace::MemoryTrace trace = makeTrace(strideRefs(600));
+  const std::string key = testKey('a');
+
+  auto hook1 = cache.makeReuseHook(key);
+  trace::ReuseDistanceAnalyzer first(trace, 1, {}, hook1.get());
+  const trace::ReuseHistograms& computed = first.histograms(64);
+  EXPECT_GE(counterValue("artifact/write"), 1u);
+
+  uint64_t hitsBefore = counterValue("artifact/hit");
+  auto hook2 = cache.makeReuseHook(key);
+  trace::ReuseDistanceAnalyzer second(trace, 1, {}, hook2.get());
+  const trace::ReuseHistograms& served = second.histograms(64);
+  EXPECT_GT(counterValue("artifact/hit"), hitsBefore) << "second analyzer must load";
+  expectHistogramsEqual(computed, served);
+}
+
+TEST_F(ArtifactTelemetry, ExactReplayRoundTripsThroughCacheModel) {
+  TempDir dir;
+  ArtifactCache cache(dir.path);
+  trace::MemoryTrace trace = makeTrace(strideRefs(800));
+  const std::string key = testKey('a');
+  // A tiny L1 forces the exact-replay tier (few sets), which the hook must
+  // persist and the second model must serve without re-walking the trace.
+  MachineModel machine = MachineModel::bgq();
+
+  auto hook1 = cache.makeReuseHook(key);
+  trace::CacheModel first(trace, 1, {}, hook1.get());
+  trace::CachePrediction cold = first.evaluate(machine);
+  ASSERT_TRUE(trace::CacheModel::usesExactReplay(machine.l1))
+      << "test premise: bgq L1 takes the exact tier";
+  EXPECT_GE(counterValue("artifact/write"), 2u);  // histograms + replay blob
+
+  uint64_t hitsBefore = counterValue("artifact/hit");
+  auto hook2 = cache.makeReuseHook(key);
+  trace::CacheModel second(trace, 1, {}, hook2.get());
+  trace::CachePrediction warm = second.evaluate(machine);
+  EXPECT_GT(counterValue("artifact/hit"), hitsBefore);
+
+  EXPECT_EQ(warm.accesses, cold.accesses);
+  EXPECT_EQ(warm.l1Misses, cold.l1Misses);
+  EXPECT_EQ(warm.llcMisses, cold.llcMisses);
+  EXPECT_EQ(warm.l1MissRate, cold.l1MissRate);
+  ASSERT_EQ(warm.regions.size(), cold.regions.size());
+  for (const auto& [region, r] : cold.regions) {
+    EXPECT_EQ(warm.regions.at(region).accesses, r.accesses);
+    EXPECT_EQ(warm.regions.at(region).l1Misses, r.l1Misses);
+  }
+}
+
+TEST(ArtifactCacheHooks, MismatchedExactReplayIsRecomputedNotServed) {
+  TempDir dir;
+  ArtifactCache cache(dir.path);
+  trace::MemoryTrace trace = makeTrace(strideRefs(400));
+  const std::string key = testKey('a');
+  MachineModel machine = MachineModel::bgq();
+
+  // Plant a decodable but wrong replay entry: refsTotal disagrees with the
+  // trace, so the model must recompute instead of trusting it.
+  trace::ExactReplayArtifact doctored;
+  doctored.sizeBytes = machine.l1.sizeBytes;
+  doctored.lineBytes = machine.l1.lineBytes;
+  doctored.assoc = machine.l1.assoc;
+  doctored.regionMisses = {1e9};
+  doctored.refsByRegion = {trace.recordedRefs + 1};
+  doctored.refsTotal = trace.recordedRefs + 1;
+  cache.storeExactReplay(key, doctored);
+
+  auto hook = cache.makeReuseHook(key);
+  trace::CacheModel model(trace, 1, {}, hook.get());
+  trace::CachePrediction got = model.evaluate(machine);
+
+  trace::CacheModel oracle(trace);
+  trace::CachePrediction want = oracle.evaluate(machine);
+  EXPECT_EQ(got.accesses, want.accesses);
+  EXPECT_EQ(got.l1Misses, want.l1Misses);
+  EXPECT_EQ(got.llcMisses, want.llcMisses);
+}
+
+TEST(ArtifactCacheHooks, MismatchedTotalRefsIsRecomputedNotServed) {
+  TempDir dir;
+  ArtifactCache cache(dir.path);
+  trace::MemoryTrace trace = makeTrace(strideRefs(300));
+  const std::string key = testKey('a');
+
+  // Plant a decodable but wrong entry under the key: totalRefs disagrees
+  // with the trace, which the analyzer's validation must reject.
+  trace::ReuseHistograms doctored;
+  doctored.lineBytes = 64;
+  doctored.totalRefs = trace.recordedRefs + 1;
+  doctored.totalCold = 1;
+  cache.storeHistograms(key, doctored);
+
+  auto hook = cache.makeReuseHook(key);
+  trace::ReuseDistanceAnalyzer analyzer(trace, 1, {}, hook.get());
+  const trace::ReuseHistograms& h = analyzer.histograms(64);
+  EXPECT_EQ(h.totalRefs, trace.recordedRefs);
+  EXPECT_FALSE(h.regions.empty());
+
+  trace::ReuseDistanceAnalyzer oracle(trace);
+  expectHistogramsEqual(oracle.histograms(64), h);
+}
+
+// --------------------------------------------------------------- concurrency
+
+TEST(ArtifactStoreConcurrency, SameKeyWritersConvergeToOneValidEntry) {
+  TempDir dir;
+  ArtifactStore store(dir.path);
+  const std::vector<uint8_t> payload(4096, 0x7e);
+  constexpr int kThreads = 4;
+  constexpr int kItersPerThread = 25;
+
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&] {
+      for (int i = 0; i < kItersPerThread; ++i) store.store(testKey(), payload);
+    });
+  }
+  for (auto& th : writers) th.join();
+
+  auto loaded = store.load(testKey());
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(std::vector<uint8_t>(loaded->payload, loaded->payload + loaded->size),
+            payload);
+  // Exactly one published entry, zero leaked temp files.
+  size_t files = 0, tmps = 0;
+  for (const auto& e : fs::recursive_directory_iterator(dir.path)) {
+    if (!e.is_regular_file()) continue;
+    ++files;
+    if (e.path().string().find(".tmp.") != std::string::npos) ++tmps;
+  }
+  EXPECT_EQ(files, 1u);
+  EXPECT_EQ(tmps, 0u);
+}
+
+TEST_F(ArtifactTelemetry, ReaderRacingEvictionNeverSeesTornData) {
+  TempDir dir;
+  // Cap so small that every write triggers an eviction pass over the
+  // previous entries — the reader keeps loading under constant unlinks.
+  ArtifactStore writerStore(dir.path, /*maxBytes=*/2048);
+  ArtifactStore readerStore(dir.path);
+  const std::vector<uint8_t> payload(1024, 0x3c);
+  std::vector<std::string> keys;
+  for (char c : {'a', 'b', 'c', 'd'}) keys.push_back(testKey(c));
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> loads{0};
+  std::thread reader([&] {
+    size_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      if (auto got = readerStore.load(keys[i % keys.size()])) {
+        // Verified by checksum: if a load succeeds its bytes are exact.
+        ASSERT_EQ(got->size, payload.size());
+        ASSERT_EQ(std::memcmp(got->payload, payload.data(), got->size), 0);
+        loads.fetch_add(1, std::memory_order_relaxed);
+      }
+      ++i;
+    }
+  });
+  for (int round = 0; round < 50; ++round) {
+    writerStore.store(keys[static_cast<size_t>(round) % keys.size()], payload);
+  }
+  stop.store(true);
+  reader.join();
+  EXPECT_GT(loads.load(), 0u) << "reader should have observed some entries";
+  EXPECT_GT(counterValue("artifact/evict"), 0u);
+  // No entry the final pass left behind is torn.
+  for (const auto& key : keys) {
+    if (auto got = readerStore.load(key)) {
+      EXPECT_EQ(std::memcmp(got->payload, payload.data(), got->size), 0);
+    }
+  }
+  EXPECT_LE(writerStore.storeBytes(), 2048u + payload.size() + 32);
+}
+
+TEST_F(ArtifactTelemetry, SizeCapEvictsOldestFirst) {
+  TempDir dir;
+  const std::vector<uint8_t> payload(512, 1);  // 544 B on disk with header
+  ArtifactStore store(dir.path, /*maxBytes=*/3 * 544);
+  const std::string k1 = testKey('1'), k2 = testKey('2'), k3 = testKey('3'),
+                    k4 = testKey('4');
+  store.store(k1, payload);
+  store.store(k2, payload);
+  store.store(k3, payload);
+  // Age the first two entries explicitly (mtime granularity is too coarse to
+  // rely on write order within one test).
+  auto old = fs::last_write_time(store.pathFor(k3)) - std::chrono::hours(2);
+  fs::last_write_time(store.pathFor(k1), old);
+  fs::last_write_time(store.pathFor(k2), old + std::chrono::minutes(1));
+
+  store.store(k4, payload);  // over cap: must evict k1 (oldest), keep the rest
+  EXPECT_FALSE(store.load(k1).has_value());
+  EXPECT_TRUE(store.load(k2).has_value());
+  EXPECT_TRUE(store.load(k3).has_value());
+  EXPECT_TRUE(store.load(k4).has_value());
+  EXPECT_GE(counterValue("artifact/evict"), 1u);
+  EXPECT_LE(store.storeBytes(), 3u * 544);
+}
+
+// ------------------------------------------------------------ front-end/sweep
+
+constexpr const char* kToySource = R"(
+  param int N = 600;
+  global real a[N];
+  global real out;
+  func void main() {
+    var int i;
+    var int t;
+    for (t = 0; t < 3; t = t + 1) {
+      for (i = 0; i < N; i = i + 1) { a[i] = a[i] * 0.5 + 1.0; }
+    }
+    out = a[7];
+  }
+)";
+
+TEST(ArtifactFrontend, WarmBuildMatchesColdAndReportsProvenance) {
+  TempDir dir;
+  ArtifactCache cache(dir.path);
+  core::FrontendOptions opts;
+  opts.artifacts = &cache;
+
+  core::WorkloadFrontend cold("toy", kToySource, {{"N", 600}}, 0x5eed, opts);
+  EXPECT_EQ(cold.artifactProvenance(), "miss:stored");
+  ASSERT_TRUE(cold.memoryTrace().usable());
+
+  core::WorkloadFrontend warm("toy", kToySource, {{"N", 600}}, 0x5eed, opts);
+  EXPECT_EQ(warm.artifactProvenance(), "hit");
+  EXPECT_EQ(warm.artifactKey(), cold.artifactKey());
+
+  // Restored profiling outputs are exactly the computed ones.
+  EXPECT_EQ(warm.profile().branchSites.size(), cold.profile().branchSites.size());
+  EXPECT_EQ(warm.profile().opCounters.flat, cold.profile().opCounters.flat);
+  EXPECT_EQ(warm.memoryTrace().recordedRefs, cold.memoryTrace().recordedRefs);
+  EXPECT_NE(warm.memoryTrace().view, nullptr) << "warm trace should be zero-copy";
+  std::vector<std::pair<uint32_t, uint64_t>> a, b;
+  cold.memoryTrace().forEachRef([&](uint32_t r, uint64_t w) { a.emplace_back(r, w); });
+  warm.memoryTrace().forEachRef([&](uint32_t r, uint64_t w) { b.emplace_back(r, w); });
+  EXPECT_EQ(a, b);
+
+  // Without a cache the provenance stays off, and the key is still exposed.
+  core::WorkloadFrontend plain("toy", kToySource, {{"N", 600}}, 0x5eed, {});
+  EXPECT_EQ(plain.artifactProvenance(), "off");
+  EXPECT_EQ(plain.artifactKey(), cold.artifactKey());
+}
+
+TEST(ArtifactFrontend, CorruptEntryRecomputesAndHeals) {
+  TempDir dir;
+  ArtifactCache cache(dir.path);
+  core::FrontendOptions opts;
+  opts.artifacts = &cache;
+  core::WorkloadFrontend cold("toy", kToySource, {{"N", 600}}, 0x5eed, opts);
+
+  // Truncate the published blob mid-payload.
+  const std::string path = cache.store().pathFor(cold.artifactKey());
+  fs::resize_file(path, fs::file_size(path) / 2);
+
+  core::WorkloadFrontend healed("toy", kToySource, {{"N", 600}}, 0x5eed, opts);
+  EXPECT_EQ(healed.artifactProvenance(), "corrupt:recomputed");
+  EXPECT_EQ(healed.memoryTrace().recordedRefs, cold.memoryTrace().recordedRefs);
+
+  // The recompute re-published the entry, so a third build hits.
+  core::WorkloadFrontend warm("toy", kToySource, {{"N", 600}}, 0x5eed, opts);
+  EXPECT_EQ(warm.artifactProvenance(), "hit");
+}
+
+TEST(ArtifactSweep, WarmSweepReportIsByteIdenticalAtAnyThreadCount) {
+  TempDir dir;
+  ArtifactCache cache(dir.path);
+  MachineGrid grid = parseGridSpec("membw = 15:45:15\npeakflops = 2,4");
+  grid.base = MachineModel::bgq();
+
+  auto runOnce = [&](const ArtifactCache* artifacts, int threads) {
+    core::FrontendOptions fopts;
+    fopts.artifacts = artifacts;
+    core::WorkloadFrontend frontend("toy", kToySource, {{"N", 600}}, 0x5eed, fopts);
+    sweep::SweepOptions sopts;
+    sopts.threads = threads;
+    sopts.cacheModel = sweep::CacheModelMode::ReuseDist;
+    sopts.traceInformedRoofline = true;
+    sopts.groundTruth = true;
+    sopts.artifacts = artifacts;
+    auto result = sweep::runSweep(frontend, grid, sopts);
+    return sweep::toMarkdown(result, 0);
+  };
+
+  std::string cold = runOnce(&cache, 1);
+  std::string warmSerial = runOnce(&cache, 1);
+  std::string warmThreaded = runOnce(&cache, 3);
+  std::string uncached = runOnce(nullptr, 1);
+  EXPECT_EQ(cold, warmSerial);
+  EXPECT_EQ(cold, warmThreaded);
+  EXPECT_EQ(cold, uncached) << "cache must never change results";
+}
+
+}  // namespace
+}  // namespace skope::artifact

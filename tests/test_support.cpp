@@ -319,6 +319,47 @@ TEST(ArgParse, IntAccessorsRejectOverflowGarbageAndNegativeUnsigned) {
   EXPECT_EQ(parseWith("0").getUint64("max-ops"), 0u);
 }
 
+TEST(ArgParse, ArtifactCacheFlagsParseStrictAndSuggestOnTypo) {
+  // The CLIs parse --artifact-cache-max-mb with getUint64 capped so that
+  // `mb << 20` cannot overflow; the parser itself suggests the real flag on
+  // the near-miss spellings users actually type.
+  ArgParser args("t", "test");
+  args.addFlag("artifact-cache", "cache dir", "");
+  args.addFlag("artifact-cache-max-mb", "size cap", "0");
+
+  const char* typo[] = {"t", "--artifact-cache-max-md=100"};
+  try {
+    args.parse(2, typo);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown flag --artifact-cache-max-md"), std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("did you mean --artifact-cache-max-mb?"), std::string::npos)
+        << msg;
+  }
+
+  constexpr uint64_t kMaxMb = UINT64_MAX >> 20;
+  auto parseCap = [](const std::string& value) {
+    ArgParser a("t", "test");
+    a.addFlag("artifact-cache-max-mb", "size cap", "0");
+    std::string flag = "--artifact-cache-max-mb=" + value;
+    const char* argv[] = {"t", flag.c_str()};
+    EXPECT_TRUE(a.parse(2, argv));
+    return a;
+  };
+  EXPECT_EQ(parseCap("2048").getUint64("artifact-cache-max-mb", 0, kMaxMb), 2048u);
+  EXPECT_EQ(parseCap("0").getUint64("artifact-cache-max-mb", 0, kMaxMb), 0u);
+  // One MiB past the shiftable maximum: rejected by range, not wrapped.
+  EXPECT_THROW((void)parseCap("17592186044416").getUint64("artifact-cache-max-mb",
+                                                          0, kMaxMb),
+               Error);
+  EXPECT_THROW((void)parseCap("-5").getUint64("artifact-cache-max-mb", 0, kMaxMb),
+               Error);
+  EXPECT_THROW((void)parseCap("1g").getUint64("artifact-cache-max-mb", 0, kMaxMb),
+               Error);
+}
+
 TEST(Logging, ParseLevelAndThresholds) {
   EXPECT_EQ(logging::parseLevel("quiet"), logging::Level::Quiet);
   EXPECT_EQ(logging::parseLevel("info"), logging::Level::Info);

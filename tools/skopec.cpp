@@ -14,6 +14,7 @@
 #include <optional>
 #include <thread>
 
+#include "artifact/cache.h"
 #include "cachemodel/layercond.h"
 #include "core/framework.h"
 #include "report/table.h"
@@ -36,10 +37,12 @@ std::unique_ptr<core::CodesignFramework> load(const std::string& target,
                                               const std::string& paramSpec,
                                               const std::string& hintPath,
                                               uint64_t maxOps,
-                                              const CancelToken& cancel) {
+                                              const CancelToken& cancel,
+                                              const artifact::ArtifactCache* artifacts) {
   core::FrontendOptions fopts;
   fopts.maxOps = maxOps;
   fopts.cancel = cancel;
+  fopts.artifacts = artifacts;
   return std::make_unique<core::CodesignFramework>(
       core::loadFrontend(target, paramSpec, hintPath, fopts));
 }
@@ -81,6 +84,16 @@ int run(int argc, char** argv) {
   args.addFlag("fault-spec", "arm deterministic fault injection: "
                              "point:rate:seed[,point:rate:seed...] "
                              "(see docs/ROBUSTNESS.md)");
+  args.addFlag("artifact-cache", "persistent artifact cache directory: the "
+                                 "profiling run, recorded trace and "
+                                 "reuse-distance histograms are stored "
+                                 "content-addressed and reused across runs "
+                                 "(default $SKOPE_ARTIFACT_CACHE; see "
+                                 "docs/ARTIFACTS.md)");
+  args.addFlag("artifact-cache-max-mb", "size cap for --artifact-cache in MiB "
+                                        "(0 = uncapped); writes evict "
+                                        "least-recently-written entries to fit",
+               "0");
   args.addFlag("log-level", "stderr verbosity: quiet, info, debug", "info");
   args.addFlag("trace-json", "write a Chrome trace-event JSON of the pipeline "
                              "stages here (open in Perfetto)");
@@ -116,8 +129,25 @@ int run(int argc, char** argv) {
     cancel = CancelToken::withTimeoutMs(deadlineMs);
   }
 
+  // Persistent artifact cache: --artifact-cache wins, then the
+  // SKOPE_ARTIFACT_CACHE environment. Strict ranged MiB parse (capped so the
+  // byte conversion cannot overflow), applied even when no cache directory is
+  // configured so a bad value never passes silently.
+  std::optional<artifact::ArtifactCache> artifacts;
+  uint64_t maxMb = args.getUint64("artifact-cache-max-mb", 0, UINT64_MAX >> 20);
+  std::string artifactDir = args.get("artifact-cache");
+  if (artifactDir.empty()) artifactDir = artifact::ArtifactCache::envDir();
+  if (!artifactDir.empty()) {
+    artifacts.emplace(artifactDir, maxMb << 20);
+  }
+
   auto fw = load(args.get("workload"), args.get("params"), args.get("hints"),
-                 args.getUint64("max-ops"), cancel);
+                 args.getUint64("max-ops"), cancel, artifacts ? &*artifacts : nullptr);
+  if (artifacts && logging::infoEnabled()) {
+    logging::info("skopec: artifact cache at %s: front-end %s",
+                  artifacts->store().root().c_str(),
+                  fw->frontend()->artifactProvenance().c_str());
+  }
   MachineModel machine = core::machineByName(args.get("machine"));
   hotspot::SelectionCriteria criteria{args.getDouble("coverage"),
                                       args.getDouble("leanness")};
@@ -166,7 +196,11 @@ int run(int argc, char** argv) {
     if (threads == 0) {
       threads = static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
     }
-    trace::CacheModel cm(mt, threads, cancel);
+    std::unique_ptr<trace::ReuseCacheHook> reuseHook;
+    if (artifacts) {
+      reuseHook = artifacts->makeReuseHook(fw->frontend()->artifactKey());
+    }
+    trace::CacheModel cm(mt, threads, cancel, reuseHook.get());
     pred = cm.evaluate(machine);
   }
   if (pred) {

@@ -24,6 +24,7 @@
 #include <mutex>
 #include <optional>
 
+#include "artifact/cache.h"
 #include "core/backend.h"
 #include "core/framework.h"
 #include "machine/grid.h"
@@ -183,6 +184,16 @@ int run(int argc, char** argv) {
   args.addFlag("fault-spec", "arm deterministic fault injection: "
                              "point:rate:seed[,point:rate:seed...], e.g. "
                              "pool/task:0.05:7 (see docs/ROBUSTNESS.md)");
+  args.addFlag("artifact-cache", "persistent artifact cache directory: the "
+                                 "profiling run, recorded trace and "
+                                 "reuse-distance histograms are stored "
+                                 "content-addressed and reused across runs "
+                                 "(default $SKOPE_ARTIFACT_CACHE; see "
+                                 "docs/ARTIFACTS.md)");
+  args.addFlag("artifact-cache-max-mb", "size cap for --artifact-cache in MiB "
+                                        "(0 = uncapped); writes evict "
+                                        "least-recently-written entries to fit",
+               "0");
   args.addBool("hotpath", "extract each config's hot path (adds size columns)");
   args.addBool("list-fields", "print the sweepable machine fields and exit");
   args.addFlag("log-level", "stderr verbosity: quiet, info, debug", "info");
@@ -294,13 +305,32 @@ int run(int argc, char** argv) {
     opts.cacheModel = sweep::CacheModelMode::ReuseDist;
   }
 
+  // Persistent artifact cache: --artifact-cache wins, then the
+  // SKOPE_ARTIFACT_CACHE environment. The MiB cap parses strictly (ranged;
+  // capped so the byte conversion cannot overflow) even when no cache
+  // directory is configured, so a bad value never passes silently.
+  std::optional<artifact::ArtifactCache> artifacts;
+  uint64_t maxMb = args.getUint64("artifact-cache-max-mb", 0, UINT64_MAX >> 20);
+  std::string artifactDir = args.get("artifact-cache");
+  if (artifactDir.empty()) artifactDir = artifact::ArtifactCache::envDir();
+  if (!artifactDir.empty()) {
+    artifacts.emplace(artifactDir, maxMb << 20);
+    opts.artifacts = &*artifacts;
+  }
+
   core::FrontendOptions fopts;
   fopts.maxOps = opts.maxOps;
   fopts.cancel = cancel;
+  fopts.artifacts = opts.artifacts;
   // The trace rides along on the profiling run either way; it is only
   // *required* in reuse-dist mode.
   auto frontend = core::loadFrontend(args.get("workload"), args.get("params"),
                                      args.get("hints"), fopts);
+  if (artifacts && logging::infoEnabled()) {
+    logging::info("sweep: artifact cache at %s: front-end %s",
+                  artifacts->store().root().c_str(),
+                  frontend->artifactProvenance().c_str());
+  }
 
   ProgressLine progress;
   if (logging::infoEnabled()) {
@@ -372,6 +402,13 @@ int run(int argc, char** argv) {
   }
 
   if (telem.enabled()) {
+    // Publish the cache's on-disk footprint even on pure-hit runs (writes
+    // refresh it themselves); it lands in the self-report gauges table and
+    // the Prometheus export next to the hit/miss counters.
+    if (artifacts) {
+      telem.gauge("artifact/store_bytes")
+          .set(static_cast<double>(artifacts->store().storeBytes()));
+    }
     auto mfmt = args.get("metrics-format") == "prom" ? telemetry::MetricsFormat::Prom
                                                      : telemetry::MetricsFormat::Json;
     telemetry::writeExports(telem, tracePath, metricsPath, selfReportPath, mfmt);
